@@ -1,0 +1,246 @@
+//! Building an [`AppProfile`] from measured `(allocation, performance)`
+//! samples.
+//!
+//! The paper leans on users estimating their performance impact and notes
+//! the manager can help by "accommodating discounted job execution to
+//! assist performance modeling" (Section III-F). This module is that
+//! pipeline's analysis half: take noisy calibration-run measurements, bin
+//! them per allocation level, enforce monotonicity with isotonic regression
+//! (pool-adjacent-violators), normalize to full-allocation performance and
+//! emit a valid profile.
+
+use std::collections::BTreeMap;
+
+use crate::profile::{AppProfile, DeviceKind, ProfileError};
+
+/// Errors raised while calibrating a profile from samples.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CalibrationError {
+    /// Fewer than two distinct allocation levels were measured.
+    TooFewLevels,
+    /// No sample at (or near) full allocation to normalize against.
+    MissingFullAllocation,
+    /// The resulting curve failed profile validation.
+    Profile(ProfileError),
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::TooFewLevels => {
+                write!(f, "need samples at two or more allocation levels")
+            }
+            CalibrationError::MissingFullAllocation => {
+                write!(f, "need at least one sample at full allocation")
+            }
+            CalibrationError::Profile(e) => write!(f, "calibrated curve invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrationError::Profile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Isotonic regression by pool-adjacent-violators: the closest
+/// non-decreasing sequence (least squares, weighted) to `ys`.
+#[must_use]
+pub fn isotonic(ys: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(ys.len(), weights.len(), "one weight per value");
+    // Blocks of (mean, weight, count).
+    let mut blocks: Vec<(f64, f64, usize)> = Vec::with_capacity(ys.len());
+    for (&y, &w) in ys.iter().zip(weights) {
+        blocks.push((y, w.max(1e-12), 1));
+        // Merge while the tail violates monotonicity.
+        while blocks.len() >= 2 {
+            let last = blocks[blocks.len() - 1];
+            let prev = blocks[blocks.len() - 2];
+            if prev.0 <= last.0 {
+                break;
+            }
+            let w = prev.1 + last.1;
+            let mean = (prev.0 * prev.1 + last.0 * last.1) / w;
+            let count = prev.2 + last.2;
+            blocks.truncate(blocks.len() - 2);
+            blocks.push((mean, w, count));
+        }
+    }
+    let mut out = Vec::with_capacity(ys.len());
+    for (mean, _, count) in blocks {
+        out.extend(std::iter::repeat(mean).take(count));
+    }
+    out
+}
+
+/// Calibrates a profile from raw measurement samples.
+///
+/// Each sample is `(allocation, performance)` in arbitrary consistent
+/// performance units (throughput, inverse runtime, …). Samples are averaged
+/// per allocation level (two levels within `1e-6` merge), made monotone by
+/// isotonic regression, and normalized so full allocation maps to 1.0.
+///
+/// # Errors
+///
+/// Returns a [`CalibrationError`] when fewer than two levels were measured,
+/// when no sample exists at allocation ≥ 0.999, or when the resulting curve
+/// fails [`AppProfile`] validation.
+pub fn profile_from_samples(
+    name: impl Into<String>,
+    kind: DeviceKind,
+    samples: &[(f64, f64)],
+    unit_dynamic_power_w: f64,
+) -> Result<AppProfile, CalibrationError> {
+    // Bin by allocation (quantized to 1e-6 to merge repeats).
+    let mut bins: BTreeMap<i64, (f64, f64, usize)> = BTreeMap::new();
+    for &(alloc, perf) in samples {
+        if !(alloc.is_finite() && perf.is_finite()) || perf < 0.0 {
+            continue;
+        }
+        let key = (alloc * 1e6).round() as i64;
+        let e = bins.entry(key).or_insert((0.0, 0.0, 0));
+        e.0 = alloc;
+        e.1 += perf;
+        e.2 += 1;
+    }
+    if bins.len() < 2 {
+        return Err(CalibrationError::TooFewLevels);
+    }
+    let allocs: Vec<f64> = bins.values().map(|(a, _, _)| *a).collect();
+    let means: Vec<f64> = bins
+        .values()
+        .map(|(_, sum, n)| sum / *n as f64)
+        .collect();
+    let weights: Vec<f64> = bins.values().map(|(_, _, n)| *n as f64).collect();
+    if allocs.last().copied().unwrap_or(0.0) < 0.999 {
+        return Err(CalibrationError::MissingFullAllocation);
+    }
+
+    // Monotone fit, then normalize to the full-allocation level.
+    let fitted = isotonic(&means, &weights);
+    let full = *fitted.last().expect("non-empty");
+    if full <= 0.0 {
+        return Err(CalibrationError::Profile(
+            ProfileError::PerformanceOutOfRange(0.0),
+        ));
+    }
+    let mut points: Vec<(f64, f64)> = allocs
+        .iter()
+        .zip(&fitted)
+        .map(|(&a, &p)| (a.min(1.0), (p / full).clamp(1e-6, 1.0)))
+        .collect();
+    // Force the exact (1.0, 1.0) endpoint the profile contract requires.
+    if let Some(last) = points.last_mut() {
+        *last = (1.0, 1.0);
+    }
+    AppProfile::new(name, kind, points, unit_dynamic_power_w).map_err(CalibrationError::Profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pava_fixes_local_violations() {
+        let ys = [1.0, 3.0, 2.0, 4.0];
+        let w = [1.0; 4];
+        let fit = isotonic(&ys, &w);
+        assert_eq!(fit, vec![1.0, 2.5, 2.5, 4.0]);
+        // Already-monotone input is untouched.
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(isotonic(&ys, &[1.0; 3]), ys.to_vec());
+    }
+
+    #[test]
+    fn pava_respects_weights() {
+        // Heavy first point pulls the pooled mean toward it.
+        let fit = isotonic(&[2.0, 1.0], &[3.0, 1.0]);
+        assert!((fit[0] - 1.75).abs() < 1e-12);
+        assert_eq!(fit[0], fit[1]);
+    }
+
+    #[test]
+    fn recovers_a_clean_profile() {
+        let samples: Vec<(f64, f64)> = vec![
+            (0.3, 35.0),
+            (0.5, 55.0),
+            (0.7, 75.0),
+            (1.0, 100.0),
+            (1.0, 100.0),
+        ];
+        let p = profile_from_samples("cal", DeviceKind::Cpu, &samples, 125.0).unwrap();
+        assert!((p.performance(0.5) - 0.55).abs() < 1e-9);
+        assert_eq!(p.performance(1.0), 1.0);
+        assert!((p.delta_max() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_measurements_yield_a_monotone_profile() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let truth = |a: f64| 20.0 + 80.0 * a;
+        let samples: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let a = 0.3 + 0.7 * f64::from(i % 8) / 7.0;
+                (a, truth(a) * rng.gen_range(0.9..1.1))
+            })
+            .collect();
+        let p = profile_from_samples("noisy", DeviceKind::Cpu, &samples, 125.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let a = 0.3 + 0.7 * f64::from(i) / 100.0;
+            let perf = p.performance(a);
+            assert!(perf + 1e-9 >= prev, "monotone violated at {a}");
+            prev = perf;
+        }
+        // Close to the ground truth at mid-range.
+        assert!((p.performance(0.65) - truth(0.65) / 100.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            profile_from_samples("x", DeviceKind::Cpu, &[(1.0, 100.0)], 125.0).unwrap_err(),
+            CalibrationError::TooFewLevels
+        );
+        assert_eq!(
+            profile_from_samples(
+                "x",
+                DeviceKind::Cpu,
+                &[(0.3, 30.0), (0.6, 60.0)],
+                125.0
+            )
+            .unwrap_err(),
+            CalibrationError::MissingFullAllocation
+        );
+        // Non-finite and negative samples are ignored, not fatal.
+        let p = profile_from_samples(
+            "x",
+            DeviceKind::Cpu,
+            &[(0.5, 50.0), (1.0, 100.0), (f64::NAN, 1.0), (0.7, -5.0)],
+            125.0,
+        )
+        .unwrap();
+        assert_eq!(p.points().len(), 2);
+    }
+
+    #[test]
+    fn calibrated_profile_feeds_the_market() {
+        use mpr_core::bidding::StaticStrategy;
+        use mpr_core::CostModel;
+        let samples = vec![(0.3, 40.0), (0.6, 70.0), (1.0, 100.0)];
+        let p = std::sync::Arc::new(
+            profile_from_samples("cal", DeviceKind::Cpu, &samples, 125.0).unwrap(),
+        );
+        let cost = p.cost_model(1.0);
+        assert!(cost.cost(0.3) > 0.0);
+        let supply = StaticStrategy::Cooperative.supply_for(&cost).unwrap();
+        assert!(supply.bid() > 0.0);
+    }
+}

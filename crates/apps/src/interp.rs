@@ -1,0 +1,194 @@
+//! Monotone cubic (PCHIP / Fritsch–Carlson) interpolation.
+//!
+//! Application profiles are digitized as a handful of calibration points.
+//! Linear interpolation (the default) has kinks at every point, which show
+//! up as kinks in cost curves and bidding references. The PCHIP scheme
+//! gives a C¹ curve that is still guaranteed monotone — it never
+//! overshoots the data the way natural cubic splines do, which matters
+//! because profile monotonicity is what the market's convergence arguments
+//! lean on.
+
+/// A monotone piecewise-cubic interpolant over `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Fritsch–Carlson tangents at each knot.
+    tangents: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Fits the interpolant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two points are supplied or the `x` values are
+    /// not strictly increasing.
+    #[must_use]
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        for w in points.windows(2) {
+            assert!(w[1].0 > w[0].0, "x values must be strictly increasing");
+        }
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let n = xs.len();
+
+        // Secant slopes of each interval.
+        let d: Vec<f64> = (0..n - 1)
+            .map(|i| (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]))
+            .collect();
+
+        // Initial tangents: average of adjacent secants (one-sided at the
+        // ends).
+        let mut m = vec![0.0f64; n];
+        m[0] = d[0];
+        m[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            m[i] = if d[i - 1] * d[i] <= 0.0 {
+                // Local extremum in the data: flat tangent keeps monotone
+                // segments monotone.
+                0.0
+            } else {
+                0.5 * (d[i - 1] + d[i])
+            };
+        }
+
+        // Fritsch–Carlson limiter: clamp tangents so no interval
+        // overshoots.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                m[i] = 0.0;
+                m[i + 1] = 0.0;
+                continue;
+            }
+            let alpha = m[i] / d[i];
+            let beta = m[i + 1] / d[i];
+            let s = alpha * alpha + beta * beta;
+            if s > 9.0 {
+                let tau = 3.0 / s.sqrt();
+                m[i] = tau * alpha * d[i];
+                m[i + 1] = tau * beta * d[i];
+            }
+        }
+        Self {
+            xs,
+            ys,
+            tangents: m,
+        }
+    }
+
+    /// Evaluates the interpolant at `x`. Outside the knot range the curve
+    /// extrapolates linearly with the boundary tangent.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0] + self.tangents[0] * (x - self.xs[0]);
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1] + self.tangents[n - 1] * (x - self.xs[n - 1]);
+        }
+        // Find the containing interval.
+        let i = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        // Cubic Hermite basis.
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i]
+            + h10 * h * self.tangents[i]
+            + h01 * self.ys[i + 1]
+            + h11 * h * self.tangents[i + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn perf_points() -> Vec<(f64, f64)> {
+        vec![
+            (0.3, 0.35),
+            (0.4, 0.45),
+            (0.5, 0.55),
+            (0.7, 0.75),
+            (0.9, 0.93),
+            (1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn passes_through_knots() {
+        let c = MonotoneCubic::new(&perf_points());
+        for (x, y) in perf_points() {
+            assert!((c.eval(x) - y).abs() < 1e-12, "at {x}");
+        }
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let c = MonotoneCubic::new(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!((c.eval(2.0) - 2.0).abs() < 1e-12);
+        assert!((c.eval(-1.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_data_stays_flat() {
+        let c = MonotoneCubic::new(&[(0.0, 1.0), (0.5, 1.0), (1.0, 1.0)]);
+        for i in 0..=20 {
+            let x = f64::from(i) / 20.0;
+            assert!((c.eval(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_extremum_does_not_overshoot() {
+        // A bump: natural splines would overshoot above 1.0.
+        let c = MonotoneCubic::new(&[(0.0, 0.0), (0.5, 1.0), (1.0, 0.0)]);
+        for i in 0..=100 {
+            let x = f64::from(i) / 100.0;
+            let y = c.eval(x);
+            assert!(y <= 1.0 + 1e-9 && y >= -1e-9, "overshoot {y} at {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_panic() {
+        let _ = MonotoneCubic::new(&[(1.0, 0.0), (0.0, 1.0)]);
+    }
+
+    proptest! {
+        /// Monotone data yields a monotone interpolant — the Fritsch–Carlson
+        /// guarantee the market's assumptions require.
+        #[test]
+        fn monotone_data_monotone_curve(
+            mut ys in proptest::collection::vec(0.0f64..1.0, 4..10),
+            x1 in 0.0f64..1.0,
+            dx in 0.0f64..0.5,
+        ) {
+            ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = ys.len();
+            let points: Vec<(f64, f64)> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64 / (n - 1) as f64, y))
+                .collect();
+            let c = MonotoneCubic::new(&points);
+            let a = c.eval(x1);
+            let b = c.eval((x1 + dx).min(1.0));
+            prop_assert!(b + 1e-9 >= a, "must be non-decreasing: {a} then {b}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # mpr-apps — application performance profiles and user cost models
+//!
+//! The paper's evaluation (Section IV-B) is driven by measured
+//! power-vs-performance profiles of fourteen HPC applications: eight
+//! CPU codes (CoMD, XSBench, miniFE, SWFFT, SimpleMOC, miniMD, HPCCG,
+//! RSBench — power-capping data from Patel & Tiwari, HPDC'19) and six GPU
+//! kernels (Jacobi, TeaLeaf and GEMM/BT on two GPU generations — from
+//! Azimi et al. IGSC'18 and Krzywaniak & Czarnul PPAM'19).
+//!
+//! Since the original measurements are not redistributable, this crate
+//! ships *digitized piecewise-linear profiles* shaped after the paper's
+//! Fig. 7(a) and Fig. 15(a) (see `DESIGN.md`, "Substitutions"): each
+//! [`AppProfile`] maps a per-core resource allocation to normalized
+//! application performance, preserving the sensitivity ordering that drives
+//! every market outcome in the paper.
+//!
+//! On top of the profiles this crate derives everything a user needs to
+//! participate in MPR:
+//!
+//! * [`ProfileCost`] — the ground-truth cost model `C(δ) = α·ExtraExecution(δ)`
+//!   (Eqn. 6, Fig. 3);
+//! * [`fit`] — the paper's logarithmic fit `cost = a·log(b·x) − a` and a
+//!   convex power-law alternative;
+//! * [`mod@reference`] — bidding-reference curves (`cost per unit reduction`,
+//!   Fig. 4);
+//! * [`noise`] — cost-model error injection for the sensitivity study of
+//!   Fig. 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod catalog;
+pub mod fit;
+pub mod interp;
+pub mod noise;
+pub mod profile;
+pub mod reference;
+
+pub use calibrate::{isotonic, profile_from_samples, CalibrationError};
+pub use catalog::{
+    cpu_profiles, cpu_profiles_smooth, gpu_profiles, profile_by_name, CPU_APP_NAMES,
+    GPU_APP_NAMES,
+};
+pub use interp::MonotoneCubic;
+pub use noise::NoisyCost;
+pub use profile::{AppProfile, DeviceKind, ProfileCost, ProfileError};

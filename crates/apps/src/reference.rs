@@ -1,0 +1,104 @@
+//! Bidding-reference curves (Section III-C, Fig. 4 and Fig. 7(d)).
+//!
+//! The reference converts a cost curve `C(δ)` into *cost per unit
+//! reduction* `q_ref(δ) = C(δ)/δ`: for any reduction on the y-axis it gives
+//! the price below which supplying that reduction loses money. A user's
+//! cooperative bid hugs this curve from below.
+
+use mpr_core::CostModel;
+
+/// One point of a bidding reference: at unit price `price`, supplying
+/// `reduction` is exactly break-even.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferencePoint {
+    /// Cost per unit reduction (the break-even price).
+    pub price: f64,
+    /// The resource reduction at which that unit cost is incurred.
+    pub reduction: f64,
+}
+
+/// Samples the bidding reference of a cost model at `n` reductions evenly
+/// spread over `(0, Δ]`.
+///
+/// The returned points are ordered by increasing reduction; for convex
+/// costs the price is increasing too (diminishing returns — the property
+/// the paper's supply function is chosen to capture).
+#[must_use]
+pub fn bidding_reference<C: CostModel + ?Sized>(cost: &C, n: usize) -> Vec<ReferencePoint> {
+    let delta_max = cost.delta_max();
+    let n = n.max(1);
+    (1..=n)
+        .map(|i| {
+            let reduction = delta_max * (i as f64) / (n as f64);
+            ReferencePoint {
+                price: cost.unit_cost(reduction),
+                reduction,
+            }
+        })
+        .collect()
+}
+
+/// The break-even reduction at a given price: the largest reduction whose
+/// unit cost stays at or below `price` (the "upper limit on resource
+/// reduction without a loss" of Section III-C).
+#[must_use]
+pub fn breakeven_reduction<C: CostModel + ?Sized>(cost: &C, price: f64, n: usize) -> f64 {
+    bidding_reference(cost, n.max(16))
+        .iter()
+        .rev()
+        .find(|p| p.price <= price)
+        .map_or(0.0, |p| p.reduction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use mpr_core::QuadraticCost;
+
+    #[test]
+    fn reference_prices_increase_for_convex_costs() {
+        let cost = QuadraticCost::new(2.0, 1.0);
+        let pts = bidding_reference(&cost, 32);
+        assert_eq!(pts.len(), 32);
+        for w in pts.windows(2) {
+            assert!(w[1].price >= w[0].price);
+            assert!(w[1].reduction > w[0].reduction);
+        }
+        // For C = 2δ², unit cost = 2δ: at δ = 0.5 price = 1.0.
+        let mid = pts.iter().find(|p| (p.reduction - 0.5).abs() < 1e-9).unwrap();
+        assert!((mid.price - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitive_apps_have_higher_references() {
+        let s = catalog::profile_by_name("SimpleMOC").unwrap().cost_model(1.0);
+        let r = catalog::profile_by_name("RSBench").unwrap().cost_model(1.0);
+        let ps = bidding_reference(&s, 16);
+        let pr = bidding_reference(&r, 16);
+        for (a, b) in ps.iter().zip(&pr) {
+            assert!(
+                a.price > b.price,
+                "SimpleMOC must demand a higher price than RSBench at δ = {}",
+                a.reduction
+            );
+        }
+    }
+
+    #[test]
+    fn breakeven_monotone_in_price() {
+        let cost = QuadraticCost::new(2.0, 1.0);
+        let lo = breakeven_reduction(&cost, 0.5, 64);
+        let hi = breakeven_reduction(&cost, 1.5, 64);
+        assert!(hi > lo);
+        // unit cost 2δ <= 0.5 → δ <= 0.25.
+        assert!((lo - 0.25).abs() < 0.02, "lo = {lo}");
+    }
+
+    #[test]
+    fn breakeven_zero_when_price_below_any_cost() {
+        let p = catalog::profile_by_name("SimpleMOC").unwrap();
+        let cost = p.cost_model(1.0);
+        assert_eq!(breakeven_reduction(&cost, 1e-9, 64), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! User-side bidding benches: the "lightweight computation" the paper
+//! expects of bidding agents (Section III-D) — cooperative bid derivation
+//! and per-round best responses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_core::bidding::{best_response, cooperative_bid};
+use mpr_core::ScaledCost;
+
+fn bench_bidding(c: &mut Criterion) {
+    let profile = mpr_apps::profile_by_name("XSBench").expect("catalog app");
+    let cost = ScaledCost::new(profile.cost_model(1.0), 16.0);
+
+    c.bench_function("cooperative_bid", |b| {
+        b.iter(|| cooperative_bid(std::hint::black_box(&cost)).unwrap());
+    });
+    c.bench_function("best_response", |b| {
+        b.iter(|| best_response(std::hint::black_box(&cost), 0.7).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_bidding);
+criterion_main!(benches);

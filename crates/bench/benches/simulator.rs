@@ -1,0 +1,39 @@
+//! Simulator throughput: one simulated week of the Gaia cluster under each
+//! overload-handling algorithm (the substrate behind Figs. 8, 9, 11–15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_sim::{Algorithm, SimConfig, Simulation};
+use mpr_workload::{ClusterSpec, TraceGenerator};
+
+fn bench_simulation(c: &mut Criterion) {
+    let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(7.0)).generate();
+    let mut group = c.benchmark_group("simulate_gaia_week");
+    group.sample_size(10);
+    for alg in Algorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.to_string()),
+            &alg,
+            |b, &alg| {
+                b.iter(|| {
+                    Simulation::new(&trace, SimConfig::new(alg, 15.0))
+                        .run()
+                        .cost_core_hours
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prototype(c: &mut Criterion) {
+    c.bench_function("prototype_experiment_30min", |b| {
+        b.iter(|| {
+            mpr_proto::Experiment::new(mpr_proto::ExperimentConfig::default())
+                .run()
+                .mean_power_watts()
+        });
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_prototype);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Fig. 10(a) as a criterion bench: solution time of MPR-STAT clearing,
+//! OPT and EQL as the number of active jobs grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_bench::{attainable_watts, make_jobs};
+use mpr_core::{eql, opt, CostModel, StaticMarket};
+
+fn bench_static_market(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpr_stat_clear");
+    for &n in &[100usize, 1_000, 10_000, 30_000] {
+        let jobs = make_jobs(n);
+        let target = 0.3 * attainable_watts(&jobs);
+        let market: StaticMarket = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| j.participant(i as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| market.clear(std::hint::black_box(target)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_clearing_index(c: &mut Criterion) {
+    // The O(log M) closed-form clearing vs the bisection path.
+    let mut group = c.benchmark_group("clearing_index");
+    for &n in &[1_000usize, 30_000] {
+        let jobs = make_jobs(n);
+        let target = 0.3 * attainable_watts(&jobs);
+        let participants: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| j.participant(i as u64))
+            .collect();
+        let index = mpr_core::ClearingIndex::new(&participants);
+        group.bench_with_input(BenchmarkId::new("clear", n), &n, |b, _| {
+            b.iter(|| index.clear(std::hint::black_box(target)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("build_and_clear", n), &n, |b, _| {
+            b.iter(|| {
+                mpr_core::ClearingIndex::new(std::hint::black_box(&participants))
+                    .clear(target)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_solve");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        let jobs = make_jobs(n);
+        let target = 0.3 * attainable_watts(&jobs);
+        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                opt::solve(
+                    std::hint::black_box(&opt_jobs),
+                    target,
+                    opt::OptMethod::Auto,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eql_reduce");
+    for &n in &[100usize, 1_000, 10_000, 30_000] {
+        let jobs = make_jobs(n);
+        let target = 0.3 * attainable_watts(&jobs);
+        let eql_jobs: Vec<eql::EqlJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| eql::EqlJob {
+                id: i as u64,
+                cores: j.cores,
+                delta_max: j.cost.delta_max(),
+                watts_per_unit: j.profile.unit_dynamic_power_w(),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eql::reduce(std::hint::black_box(&eql_jobs), target).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_market,
+    bench_clearing_index,
+    bench_opt,
+    bench_eql
+);
+criterion_main!(benches);

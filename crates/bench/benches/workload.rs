@@ -1,0 +1,38 @@
+//! Workload substrate benches: trace generation and allocation statistics
+//! (the inputs to Table I, Figs. 1(b), 6 and 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_workload::{utilization_cdf, ClusterSpec, TraceGenerator};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_trace");
+    group.sample_size(10);
+    for days in [7.0, 30.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gaia_{days}d")),
+            &days,
+            |b, &days| {
+                b.iter(|| {
+                    TraceGenerator::new(ClusterSpec::gaia().with_span_days(days))
+                        .generate()
+                        .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(30.0)).generate();
+    c.bench_function("allocation_series_30d", |b| {
+        b.iter(|| trace.allocation_series(60.0).peak());
+    });
+    let series = trace.allocation_series(60.0);
+    c.bench_function("utilization_cdf_30d", |b| {
+        b.iter(|| utilization_cdf(&series, f64::from(trace.total_cores()), 100));
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_stats);
+criterion_main!(benches);

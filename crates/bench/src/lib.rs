@@ -1,0 +1,94 @@
+//! Shared fixtures for the MPR criterion benches.
+
+use std::sync::Arc;
+
+use mpr_apps::{cpu_profiles, AppProfile, ProfileCost};
+use mpr_core::bidding::StaticStrategy;
+use mpr_core::{CostModel, Participant, ScaledCost, SupplyFunction};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One synthetic active job used across the solver benches.
+pub struct BenchJob {
+    /// Core count.
+    pub cores: f64,
+    /// Application profile.
+    pub profile: Arc<AppProfile>,
+    /// True, job-scaled cost model.
+    pub cost: ScaledCost<ProfileCost>,
+    /// Cooperative MPR-STAT supply.
+    pub supply: SupplyFunction,
+}
+
+impl BenchJob {
+    /// The market participant for this job.
+    #[must_use]
+    pub fn participant(&self, id: u64) -> Participant {
+        Participant::new(id, self.supply, self.profile.unit_dynamic_power_w())
+    }
+}
+
+/// Deterministic set of `n` jobs with random profiles and power-of-two
+/// widths — the same fixture the Fig. 10 scalability study uses.
+#[must_use]
+pub fn make_jobs(n: usize) -> Vec<BenchJob> {
+    let profiles = cpu_profiles();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            let p = Arc::clone(&profiles[rng.gen_range(0..profiles.len())]);
+            let cores = f64::from(2u32.pow(rng.gen_range(0..6)));
+            let cost = ScaledCost::new(p.cost_model(1.0), cores);
+            let supply = StaticStrategy::Cooperative
+                .supply_for(&cost)
+                .expect("valid cooperative bid");
+            BenchJob {
+                cores,
+                profile: p,
+                cost,
+                supply,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate attainable power reduction of a job set, watts.
+#[must_use]
+pub fn attainable_watts(jobs: &[BenchJob]) -> f64 {
+    jobs.iter()
+        .map(|j| j.cost.delta_max() * j.profile.unit_dynamic_power_w())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_core::CostModel;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = make_jobs(10);
+        let b = make_jobs(10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cores, y.cores);
+            assert_eq!(x.profile.name(), y.profile.name());
+        }
+    }
+
+    #[test]
+    fn attainable_is_positive_and_scales() {
+        let a = attainable_watts(&make_jobs(10));
+        let b = attainable_watts(&make_jobs(100));
+        assert!(a > 0.0);
+        assert!(b > 5.0 * a);
+    }
+
+    #[test]
+    fn participant_uses_profile_power() {
+        let jobs = make_jobs(3);
+        let p = jobs[0].participant(7);
+        assert_eq!(p.id, 7);
+        assert_eq!(p.watts_per_unit, jobs[0].profile.unit_dynamic_power_w());
+        assert!(jobs[0].cost.delta_max() > 0.0);
+    }
+}

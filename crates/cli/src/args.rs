@@ -1,0 +1,357 @@
+//! Hand-rolled argument parsing for the `mpr` CLI (no external parser — the
+//! interface is small and the workspace stays within its approved
+//! dependency set).
+
+use std::fmt;
+
+use mpr_sim::Algorithm;
+use mpr_workload::ClusterSpec;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mpr simulate …` — run a trace-driven simulation.
+    Simulate(SimulateArgs),
+    /// `mpr market …` — clear one ad-hoc market.
+    Market(MarketArgs),
+    /// `mpr traces` — list the built-in cluster workloads.
+    Traces,
+    /// `mpr apps` — list the application profiles.
+    Apps,
+    /// `mpr prototype [--without-mpr]` — run the prototype experiment.
+    Prototype {
+        /// Disable MPR to show the uncontrolled baseline.
+        with_mpr: bool,
+    },
+    /// `mpr swf …` — emit a generated trace as SWF text on stdout.
+    Swf(SwfArgs),
+    /// `mpr calibrate` — build a profile from `allocation,performance` CSV
+    /// lines on stdin.
+    Calibrate,
+    /// `mpr help` or `--help`.
+    Help,
+}
+
+/// Arguments of `mpr simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Cluster preset name (`gaia`, `pik`, `ricc`, `metacentrum`).
+    pub trace: String,
+    /// Overload-handling algorithm.
+    pub algorithm: Algorithm,
+    /// Oversubscription percentage.
+    pub oversub_pct: f64,
+    /// Simulated span in days.
+    pub days: f64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Market participation fraction.
+    pub participation: f64,
+    /// Emit CSV instead of a human-readable summary.
+    pub csv: bool,
+}
+
+/// Arguments of `mpr swf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfArgs {
+    /// Cluster preset name.
+    pub trace: String,
+    /// Span in days.
+    pub days: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Arguments of `mpr market`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketArgs {
+    /// Number of synthetic jobs.
+    pub jobs: usize,
+    /// Power-reduction target, watts.
+    pub target_watts: f64,
+    /// Use the interactive market instead of the static one.
+    pub interactive: bool,
+}
+
+/// A CLI usage error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The help text.
+pub const USAGE: &str = "\
+mpr — market-based power reduction for oversubscribed HPC systems
+
+USAGE:
+    mpr simulate  [--trace gaia|pik|ricc|metacentrum] [--alg opt|eql|mpr-stat|mpr-int]
+                  [--oversub PCT] [--days N] [--seed N] [--participation F] [--csv]
+    mpr market    [--jobs N] [--target-watts W] [--interactive]
+    mpr prototype [--without-mpr]
+    mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
+    mpr calibrate                                        (CSV samples on stdin)
+    mpr traces
+    mpr apps
+    mpr help
+";
+
+/// Parses a full argument list (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] on unknown subcommands, unknown flags or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "simulate" => parse_simulate(rest).map(Command::Simulate),
+        "market" => parse_market(rest).map(Command::Market),
+        "swf" => parse_swf_args(rest).map(Command::Swf),
+        "calibrate" => expect_no_args(rest, Command::Calibrate),
+        "traces" => expect_no_args(rest, Command::Traces),
+        "apps" => expect_no_args(rest, Command::Apps),
+        "prototype" => match rest {
+            [] => Ok(Command::Prototype { with_mpr: true }),
+            [flag] if flag == "--without-mpr" => Ok(Command::Prototype { with_mpr: false }),
+            _ => Err(UsageError(format!("unexpected arguments: {rest:?}"))),
+        },
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(UsageError(format!("unknown command `{other}`"))),
+    }
+}
+
+fn expect_no_args(rest: &[String], ok: Command) -> Result<Command, UsageError> {
+    if rest.is_empty() {
+        Ok(ok)
+    } else {
+        Err(UsageError(format!("unexpected arguments: {rest:?}")))
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, UsageError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| UsageError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, UsageError> {
+    v.parse()
+        .map_err(|_| UsageError(format!("{flag}: `{v}` is not a valid number")))
+}
+
+fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
+    let mut out = SimulateArgs {
+        trace: "gaia".into(),
+        algorithm: Algorithm::MprStat,
+        oversub_pct: 15.0,
+        days: 30.0,
+        seed: 0x4d50_5221,
+        participation: 1.0,
+        csv: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                let v = take_value(flag, &mut it)?;
+                spec_by_name(v)?; // validate early
+                out.trace = v.to_owned();
+            }
+            "--alg" => {
+                out.algorithm = match take_value(flag, &mut it)? {
+                    "opt" => Algorithm::Opt,
+                    "eql" => Algorithm::Eql,
+                    "mpr-stat" => Algorithm::MprStat,
+                    "mpr-int" => Algorithm::MprInt,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--alg: `{other}` is not one of opt|eql|mpr-stat|mpr-int"
+                        )))
+                    }
+                };
+            }
+            "--oversub" => out.oversub_pct = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--participation" => {
+                out.participation = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--csv" => out.csv = true,
+            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_swf_args(rest: &[String]) -> Result<SwfArgs, UsageError> {
+    let mut out = SwfArgs {
+        trace: "gaia".into(),
+        days: 7.0,
+        seed: 0x4d50_5221,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                let v = take_value(flag, &mut it)?;
+                spec_by_name(v)?;
+                out.trace = v.to_owned();
+            }
+            "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_market(rest: &[String]) -> Result<MarketArgs, UsageError> {
+    let mut out = MarketArgs {
+        jobs: 100,
+        target_watts: 10_000.0,
+        interactive: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jobs" => out.jobs = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--target-watts" => out.target_watts = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--interactive" => out.interactive = true,
+            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves a cluster preset by name.
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for unknown names.
+pub fn spec_by_name(name: &str) -> Result<ClusterSpec, UsageError> {
+    match name {
+        "gaia" => Ok(ClusterSpec::gaia()),
+        "pik" => Ok(ClusterSpec::pik()),
+        "ricc" => Ok(ClusterSpec::ricc()),
+        "metacentrum" => Ok(ClusterSpec::metacentrum()),
+        other => Err(UsageError(format!(
+            "unknown trace `{other}` (expected gaia|pik|ricc|metacentrum)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let Command::Simulate(a) = parse(&argv("simulate")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.trace, "gaia");
+        assert_eq!(a.algorithm, Algorithm::MprStat);
+        assert_eq!(a.oversub_pct, 15.0);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --trace ricc --alg mpr-int --oversub 20 --days 7 --seed 9 --participation 0.5 --csv",
+        ))
+        .unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.trace, "ricc");
+        assert_eq!(a.algorithm, Algorithm::MprInt);
+        assert_eq!(a.oversub_pct, 20.0);
+        assert_eq!(a.days, 7.0);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.participation, 0.5);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_values() {
+        assert!(parse(&argv("simulate --alg magic")).is_err());
+        assert!(parse(&argv("simulate --trace nowhere")).is_err());
+        assert!(parse(&argv("simulate --days soon")).is_err());
+        assert!(parse(&argv("simulate --oversub")).is_err());
+        assert!(parse(&argv("simulate --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn market_parsing() {
+        let Command::Market(m) =
+            parse(&argv("market --jobs 500 --target-watts 2500 --interactive")).unwrap()
+        else {
+            panic!("expected market");
+        };
+        assert_eq!(m.jobs, 500);
+        assert_eq!(m.target_watts, 2500.0);
+        assert!(m.interactive);
+    }
+
+    #[test]
+    fn prototype_flag() {
+        assert_eq!(
+            parse(&argv("prototype")).unwrap(),
+            Command::Prototype { with_mpr: true }
+        );
+        assert_eq!(
+            parse(&argv("prototype --without-mpr")).unwrap(),
+            Command::Prototype { with_mpr: false }
+        );
+        assert!(parse(&argv("prototype --bogus")).is_err());
+    }
+
+    #[test]
+    fn swf_parsing() {
+        let Command::Swf(a) = parse(&argv("swf --trace ricc --days 3 --seed 5")).unwrap() else {
+            panic!("expected swf");
+        };
+        assert_eq!(a.trace, "ricc");
+        assert_eq!(a.days, 3.0);
+        assert_eq!(a.seed, 5);
+        assert!(parse(&argv("swf --trace mars")).is_err());
+    }
+
+    #[test]
+    fn bare_subcommands() {
+        assert_eq!(parse(&argv("calibrate")).unwrap(), Command::Calibrate);
+        assert_eq!(parse(&argv("traces")).unwrap(), Command::Traces);
+        assert_eq!(parse(&argv("apps")).unwrap(), Command::Apps);
+        assert!(parse(&argv("traces extra")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn spec_lookup() {
+        assert_eq!(spec_by_name("gaia").unwrap().name, "Gaia");
+        assert_eq!(spec_by_name("pik").unwrap().name, "PIK");
+        assert!(spec_by_name("x").is_err());
+    }
+}

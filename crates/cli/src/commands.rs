@@ -1,0 +1,431 @@
+//! Command implementations for the `mpr` CLI.
+
+use std::io::Write;
+
+use mpr_core::bidding::StaticStrategy;
+use mpr_core::{
+    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, Participant,
+    ScaledCost, StaticMarket,
+};
+use mpr_proto::{Experiment, ExperimentConfig};
+use mpr_sim::{SimConfig, Simulation};
+use mpr_workload::TraceGenerator;
+
+use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
+
+/// Runs `mpr simulate`, writing the report to `out`.
+///
+/// # Errors
+///
+/// Returns [`crate::args::UsageError`] for unknown traces; I/O errors are propagated as
+/// boxed errors.
+pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = spec_by_name(&args.trace)?.with_span_days(args.days);
+    let trace = TraceGenerator::new(spec).with_seed(args.seed).generate();
+    let config = SimConfig::new(args.algorithm, args.oversub_pct)
+        .with_participation(args.participation)
+        .with_seed(args.seed);
+    let r = Simulation::new(&trace, config).run();
+    if args.csv {
+        writeln!(
+            out,
+            "trace,algorithm,oversub_pct,days,jobs,overload_pct,overload_events,\
+             reduction_core_hours,cost_core_hours,reward_core_hours,avg_runtime_increase_pct,\
+             jobs_affected_pct"
+        )?;
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3}",
+            r.trace_name,
+            r.algorithm,
+            r.oversubscription_pct,
+            args.days,
+            r.jobs_total,
+            r.overload_time_pct(),
+            r.overload_events,
+            r.reduction_core_hours,
+            r.cost_core_hours,
+            r.reward_core_hours,
+            r.avg_runtime_increase_pct,
+            r.jobs_affected_pct(),
+        )?;
+    } else {
+        writeln!(
+            out,
+            "{} | {} | {}% oversubscription | {} days",
+            r.trace_name, r.algorithm, r.oversubscription_pct, args.days
+        )?;
+        writeln!(out, "  jobs:                {}", r.jobs_total)?;
+        writeln!(
+            out,
+            "  overloaded:          {:.2}% of time, {} emergencies",
+            r.overload_time_pct(),
+            r.overload_events
+        )?;
+        writeln!(
+            out,
+            "  resource reduction:  {:.1} core-hours",
+            r.reduction_core_hours
+        )?;
+        writeln!(
+            out,
+            "  performance cost:    {:.1} core-hours",
+            r.cost_core_hours
+        )?;
+        writeln!(
+            out,
+            "  rewards paid:        {:.1} core-hours{}",
+            r.reward_core_hours,
+            r.reward_pct_of_cost()
+                .map_or_else(String::new, |p| format!(" ({p:.0}% of cost)"))
+        )?;
+        writeln!(
+            out,
+            "  runtime increase:    {:.2}% (affected jobs: {:.1}%)",
+            r.avg_runtime_increase_pct,
+            r.jobs_affected_pct()
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs `mpr market`: clears one synthetic market and prints the outcome.
+///
+/// # Errors
+///
+/// Propagates market errors (e.g. infeasible targets).
+pub fn market(args: &MarketArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    let profiles = mpr_apps::cpu_profiles();
+    let costs: Vec<ScaledCost<_>> = (0..args.jobs)
+        .map(|i| ScaledCost::new(profiles[i % profiles.len()].cost_model(1.0), 8.0))
+        .collect();
+    let w = 125.0;
+    let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
+    writeln!(
+        out,
+        "{} jobs, attainable reduction {:.0} W, target {:.0} W",
+        args.jobs, attainable, args.target_watts
+    )?;
+    if args.interactive {
+        let agents: Vec<Box<dyn BiddingAgent>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), w)) as _)
+            .collect();
+        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let o = m.clear(args.target_watts)?;
+        writeln!(
+            out,
+            "MPR-INT cleared at q' = {:.4} after {} iterations (converged: {})",
+            o.clearing.price(),
+            o.clearing.iterations(),
+            o.converged
+        )?;
+        writeln!(
+            out,
+            "total reduction {:.2} cores, payoff {:.2} core-hours/h",
+            o.clearing.total_reduction(),
+            o.clearing.total_reward_rate()
+        )?;
+    } else {
+        let m: StaticMarket = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                Participant::new(
+                    i as u64,
+                    StaticStrategy::Cooperative
+                        .supply_for(c)
+                        .expect("catalog costs are valid"),
+                    w,
+                )
+            })
+            .collect();
+        let clearing = m.clear(args.target_watts)?;
+        writeln!(out, "MPR-STAT cleared at q' = {:.4}", clearing.price())?;
+        writeln!(
+            out,
+            "total reduction {:.2} cores, payoff {:.2} core-hours/h",
+            clearing.total_reduction(),
+            clearing.total_reward_rate()
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs `mpr swf`: generates a trace and writes it as SWF text.
+///
+/// # Errors
+///
+/// Returns usage errors for unknown traces; I/O errors are propagated.
+pub fn swf(args: &SwfArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = spec_by_name(&args.trace)?.with_span_days(args.days);
+    let trace = TraceGenerator::new(spec).with_seed(args.seed).generate();
+    out.write_all(mpr_workload::swf::write_swf(&trace).as_bytes())?;
+    Ok(())
+}
+
+/// Runs `mpr calibrate`: parses `allocation,performance` CSV lines from
+/// `input`, fits a monotone profile and prints its points plus market
+/// parameters.
+///
+/// # Errors
+///
+/// Returns calibration/parse errors with line context.
+pub fn calibrate(
+    input: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use mpr_core::bidding::StaticStrategy;
+    use mpr_core::CostModel;
+    use std::io::BufRead as _;
+
+    let mut samples = Vec::new();
+    for (lineno, line) in (&mut *input).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let (Some(a), Some(p)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected `allocation,performance`", lineno + 1).into());
+        };
+        samples.push((a.trim().parse::<f64>()?, p.trim().parse::<f64>()?));
+    }
+    let profile = std::sync::Arc::new(mpr_apps::profile_from_samples(
+        "calibrated",
+        mpr_apps::DeviceKind::Cpu,
+        &samples,
+        125.0,
+    )?);
+    writeln!(out, "calibrated profile ({} levels):", profile.points().len())?;
+    for &(alloc, perf) in profile.points() {
+        writeln!(out, "  allocation {alloc:.3} -> performance {:.1}%", 100.0 * perf)?;
+    }
+    let cost = profile.cost_model(1.0);
+    let supply = StaticStrategy::Cooperative.supply_for(&cost)?;
+    writeln!(
+        out,
+        "market parameters: Δ = {:.3} per core, cooperative bid b = {:.4}",
+        cost.delta_max(),
+        supply.bid()
+    )?;
+    Ok(())
+}
+
+/// Runs `mpr traces`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn traces(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:<12} {:>7} {:>10} {:>10} {:>9}",
+        "name", "cores", "span days", "mean util", "jobs/day"
+    )?;
+    for name in ["gaia", "pik", "ricc", "metacentrum"] {
+        let spec = spec_by_name(name).expect("builtin");
+        // Jobs/day estimate from the spec's calibration targets.
+        let per_day = spec.total_cores as f64 * spec.mean_util * 24.0
+            / (spec.mean_job_cores * spec.mean_job_runtime_hours);
+        writeln!(
+            out,
+            "{:<12} {:>7} {:>10} {:>10.2} {:>9.0}",
+            spec.name, spec.total_cores, spec.span_days, spec.mean_util, per_day
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs `mpr apps`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn apps(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:<14} {:>4} {:>6} {:>10} {:>12}",
+        "name", "kind", "Δ", "W/unit", "sensitivity"
+    )?;
+    for p in mpr_apps::cpu_profiles()
+        .into_iter()
+        .chain(mpr_apps::gpu_profiles())
+    {
+        writeln!(
+            out,
+            "{:<14} {:>4} {:>6.2} {:>10.0} {:>12.3}",
+            p.name(),
+            p.kind().to_string(),
+            p.delta_max(),
+            p.unit_dynamic_power_w(),
+            p.sensitivity()
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs `mpr prototype`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn prototype(with_mpr: bool, out: &mut dyn Write) -> std::io::Result<()> {
+    let r = Experiment::new(ExperimentConfig {
+        with_mpr,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    writeln!(
+        out,
+        "prototype 30-minute run ({}): mean power {:.1} W, {:.1}% above cap, {} emergencies",
+        if with_mpr { "with MPR" } else { "without MPR" },
+        r.mean_power_watts(),
+        100.0 * r.overload_fraction,
+        r.emergencies
+    )?;
+    for a in &r.apps {
+        writeln!(
+            out,
+            "  {:<8} avg reduction {:.2} cores, avg freq {:.2} GHz",
+            a.name, a.avg_reduction_cores, a.avg_freq_ghz
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Command, parse};
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn simulate_csv_has_header_and_row() {
+        let Command::Simulate(a) =
+            parse(&argv("simulate --days 1 --oversub 10 --csv")).unwrap()
+        else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("trace,algorithm"));
+        assert!(lines[1].starts_with("Gaia,MPR-STAT,10,1"));
+    }
+
+    #[test]
+    fn simulate_human_readable() {
+        let Command::Simulate(a) = parse(&argv("simulate --days 1")).unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("performance cost"));
+        assert!(text.contains("Gaia"));
+    }
+
+    #[test]
+    fn market_static_and_interactive() {
+        let mut buf = Vec::new();
+        market(
+            &crate::args::MarketArgs {
+                jobs: 20,
+                target_watts: 2000.0,
+                interactive: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("MPR-STAT cleared"));
+
+        let mut buf = Vec::new();
+        market(
+            &crate::args::MarketArgs {
+                jobs: 20,
+                target_watts: 2000.0,
+                interactive: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("MPR-INT cleared"));
+    }
+
+    #[test]
+    fn market_infeasible_target_errors() {
+        let mut buf = Vec::new();
+        let err = market(
+            &crate::args::MarketArgs {
+                jobs: 2,
+                target_watts: 1e9,
+                interactive: false,
+            },
+            &mut buf,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn swf_emits_parseable_output() {
+        let mut buf = Vec::new();
+        swf(
+            &SwfArgs {
+                trace: "metacentrum".into(),
+                days: 0.5,
+                seed: 2,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = mpr_workload::swf::parse_swf(&text, "rt", None).unwrap();
+        assert!(!parsed.is_empty());
+        assert_eq!(parsed.total_cores(), 528);
+    }
+
+    #[test]
+    fn calibrate_reads_csv_and_reports_bid() {
+        let csv = "# alloc,perf\n0.3,35\n0.5,55\n0.7,75\n1.0,100\n";
+        let mut input = std::io::BufReader::new(csv.as_bytes());
+        let mut buf = Vec::new();
+        calibrate(&mut input, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("4 levels"));
+        assert!(text.contains("cooperative bid"));
+        // Garbage input errors out with context.
+        let mut bad = std::io::BufReader::new("not-a-number,1\n".as_bytes());
+        assert!(calibrate(&mut bad, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn listing_commands() {
+        let mut buf = Vec::new();
+        traces(&mut buf).unwrap();
+        let t = String::from_utf8(buf).unwrap();
+        assert!(t.contains("Gaia") && t.contains("PIK"));
+
+        let mut buf = Vec::new();
+        apps(&mut buf).unwrap();
+        let t = String::from_utf8(buf).unwrap();
+        assert!(t.contains("XSBench") && t.contains("Jacobi"));
+    }
+
+    #[test]
+    fn prototype_both_modes() {
+        let mut buf = Vec::new();
+        prototype(true, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("with MPR"));
+        let mut buf = Vec::new();
+        prototype(false, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("without MPR"));
+    }
+}

@@ -1,0 +1,50 @@
+//! `mpr` — the command-line interface to the MPR library.
+//!
+//! ```text
+//! mpr simulate --trace gaia --alg mpr-int --oversub 15 --days 30
+//! mpr market --jobs 1000 --target-watts 50000 --interactive
+//! mpr traces
+//! mpr apps
+//! mpr prototype
+//! ```
+
+mod args;
+mod commands;
+
+use args::{parse, Command, USAGE};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = match &command {
+        Command::Simulate(a) => commands::simulate(a, &mut out),
+        Command::Market(a) => commands::market(a, &mut out),
+        Command::Traces => commands::traces(&mut out).map_err(Into::into),
+        Command::Apps => commands::apps(&mut out).map_err(Into::into),
+        Command::Prototype { with_mpr } => {
+            commands::prototype(*with_mpr, &mut out).map_err(Into::into)
+        }
+        Command::Swf(a) => commands::swf(a, &mut out),
+        Command::Calibrate => {
+            let stdin = std::io::stdin();
+            let mut input = stdin.lock();
+            commands::calibrate(&mut input, &mut out)
+        }
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for market construction and clearing.
+
+use core::fmt;
+
+/// Errors produced by MPR market operations.
+///
+/// Every fallible public function in this crate returns `Result<_,
+/// MarketError>`. The type is `Send + Sync + 'static` and implements
+/// [`std::error::Error`] so it composes with standard error handling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarketError {
+    /// A supply function or bid parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"delta_max"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The market has no participants but a positive reduction was requested.
+    NoParticipants,
+    /// Even with every participant supplying its maximum reduction, the
+    /// power-reduction target cannot be met.
+    Infeasible {
+        /// Requested power reduction in watts.
+        target_watts: f64,
+        /// Maximum attainable power reduction in watts.
+        attainable_watts: f64,
+    },
+    /// The interactive market failed to converge within its iteration limit.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Price reached when the limit was hit.
+        last_price: f64,
+    },
+    /// A numeric routine (bisection, golden-section search) was given an
+    /// invalid bracket or produced a non-finite value.
+    Numeric(&'static str),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid parameter {name}={value}: {constraint}")
+            }
+            MarketError::NoParticipants => {
+                write!(f, "market has no participants but reduction was requested")
+            }
+            MarketError::Infeasible {
+                target_watts,
+                attainable_watts,
+            } => write!(
+                f,
+                "power reduction target {target_watts} W exceeds attainable {attainable_watts} W"
+            ),
+            MarketError::NoConvergence {
+                iterations,
+                last_price,
+            } => write!(
+                f,
+                "interactive market did not converge after {iterations} iterations (last price {last_price})"
+            ),
+            MarketError::Numeric(what) => write!(f, "numeric failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<MarketError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MarketError::Infeasible {
+            target_watts: 100.0,
+            attainable_watts: 50.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("50"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = MarketError::InvalidParameter {
+            name: "bid",
+            value: -1.0,
+            constraint: "must be non-negative",
+        };
+        assert!(e.to_string().contains("bid"));
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        assert_eq!(MarketError::NoParticipants, MarketError::NoParticipants);
+        assert_ne!(
+            MarketError::NoParticipants,
+            MarketError::Numeric("bad bracket")
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! # mpr-core — Market-based Power Reduction for oversubscribed HPC systems
+//!
+//! This crate implements the core contribution of *"Market Mechanism-Based
+//! User-in-the-Loop Scalable Power Oversubscription for HPC Systems"*
+//! (HPCA 2023): a supply-function bidding market — **MPR** — through which
+//! HPC users sell resource reduction of their running jobs to the HPC
+//! manager during a power overload, in exchange for core-hour rewards.
+//!
+//! The building blocks map one-to-one onto the paper:
+//!
+//! * [`SupplyFunction`] — the parameterized supply `δ(q) = [Δ − b/q]⁺`
+//!   (Eqn. 3) through which a user expresses how much resource it is willing
+//!   to shed at a given unit price `q`.
+//! * [`CostModel`] — the user-perceived cost of performance loss
+//!   `C(δ)` (Eqn. 6) with linear, quadratic, logarithmic-fit and power-law
+//!   implementations.
+//! * [`bidding`] — the user-side strategies: the *cooperative* /
+//!   *conservative* / *deficient* static bids of Fig. 4(a) and the net-gain
+//!   maximizing best response of Fig. 4(b) (Eqn. 7).
+//! * [`StaticMarket`] (MPR-STAT) — one-shot market clearing from bids fixed
+//!   at job-submission time, solved by bisection on the **MClr** problem
+//!   (Eqns. 4–5).
+//! * [`InteractiveMarket`] (MPR-INT) — the iterative price/bid exchange that
+//!   converges to a Nash equilibrium with socially optimal cost.
+//! * [`opt`] — the centralized **OPT** benchmark (Eqns. 1–2) minimizing total
+//!   performance-loss cost subject to the power-reduction constraint.
+//! * [`eql`] — the performance-oblivious **EQL** benchmark that slows every
+//!   core down uniformly.
+//!
+//! # Quick example
+//!
+//! Clear a static market over three jobs that must jointly shed 500 W:
+//!
+//! ```
+//! use mpr_core::{Participant, StaticMarket, SupplyFunction};
+//!
+//! # fn main() -> Result<(), mpr_core::MarketError> {
+//! let market = StaticMarket::new(vec![
+//!     Participant::new(0, SupplyFunction::new(4.0, 0.8)?, 125.0),
+//!     Participant::new(1, SupplyFunction::new(8.0, 0.4)?, 125.0),
+//!     Participant::new(2, SupplyFunction::new(2.0, 2.0)?, 125.0),
+//! ]);
+//! let clearing = market.clear(500.0)?;
+//! assert!(clearing.total_power_reduction() >= 500.0 * 0.999);
+//! for a in clearing.allocations() {
+//!     println!("job {} sheds {:.3} cores, reward {:.3} core-hours/h",
+//!              a.id, a.reduction, a.reward_rate());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bidding;
+pub mod cost;
+pub mod eql;
+pub mod error;
+pub mod market;
+pub mod mclr;
+pub mod numeric;
+pub mod opt;
+pub mod participant;
+pub mod supply;
+pub mod units;
+pub mod vcg;
+
+/// Convenience re-exports for downstream users: `use mpr_core::prelude::*`
+/// pulls in everything a typical market integration touches.
+pub mod prelude {
+    pub use crate::bidding::{best_response, cooperative_bid, net_gain, StaticStrategy};
+    pub use crate::cost::{CostModel, LinearCost, PowerLawCost, QuadraticCost, ScaledCost};
+    pub use crate::error::MarketError;
+    pub use crate::market::interactive::{
+        BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    };
+    pub use crate::market::static_market::StaticMarket;
+    pub use crate::market::{Allocation, Clearing};
+    pub use crate::participant::Participant;
+    pub use crate::supply::{LinearSupply, Supply, SupplyFunction};
+    pub use crate::units::{CoreHours, Cores, Price, Watts};
+}
+
+pub use cost::{CostModel, LinearCost, LogFitCost, PowerLawCost, QuadraticCost, ScaledCost};
+pub use error::MarketError;
+pub use market::interactive::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent};
+pub use market::static_market::StaticMarket;
+pub use market::{Allocation, Clearing};
+pub use mclr::ClearingIndex;
+pub use participant::Participant;
+pub use supply::{LinearSupply, Supply, SupplyFunction};
+pub use units::{CoreHours, Cores, Price, Watts};

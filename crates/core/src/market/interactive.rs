@@ -1,0 +1,487 @@
+//! MPR-INT: the interactive market (Section III-B).
+//!
+//! The HPC manager declares an initial clearing price; users respond with
+//! bids maximizing their net gain at that price; the manager re-solves MClr
+//! and announces the updated price. The exchange repeats until the price
+//! converges — a Nash equilibrium whose allocation matches the social
+//! optimum OPT (Johari & Tsitsiklis 2011; Section III-D).
+
+use crate::bidding;
+use crate::cost::CostModel;
+use crate::error::MarketError;
+use crate::market::{Allocation, Clearing};
+use crate::mclr;
+use crate::participant::{JobId, Participant};
+use crate::supply::SupplyFunction;
+
+/// A user-side software agent that answers price announcements with bids.
+///
+/// The paper notes such agents are "relatively straightforward as they
+/// require lightweight computation to find the optimum bid" — see
+/// [`NetGainAgent`] for the rational implementation. The trait is public so
+/// simulations can inject non-rational or faulty agents.
+pub trait BiddingAgent: Send {
+    /// The job this agent bids for.
+    fn job_id(&self) -> JobId;
+
+    /// Power reduction per unit of resource reduction, in watts.
+    fn watts_per_unit(&self) -> f64;
+
+    /// The job's maximum resource reduction `Δ`.
+    fn delta_max(&self) -> f64;
+
+    /// Responds to an announced price with a bidding parameter `b`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on invalid prices or internal numeric
+    /// problems; the market aborts the round and propagates the error.
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError>;
+}
+
+/// The rational agent: best-responds by maximizing the net gain
+/// `G = q·δ(q) − C(δ(q))` of Eqn. (7) at every announced price.
+#[derive(Debug, Clone)]
+pub struct NetGainAgent<C> {
+    id: JobId,
+    cost: C,
+    watts_per_unit: f64,
+}
+
+impl<C: CostModel> NetGainAgent<C> {
+    /// Creates a rational agent for job `id` with the user's private cost
+    /// model.
+    #[must_use]
+    pub fn new(id: JobId, cost: C, watts_per_unit: f64) -> Self {
+        Self {
+            id,
+            cost,
+            watts_per_unit,
+        }
+    }
+
+    /// The agent's private cost model.
+    #[must_use]
+    pub fn cost(&self) -> &C {
+        &self.cost
+    }
+}
+
+impl<C: CostModel + Send> BiddingAgent for NetGainAgent<C> {
+    fn job_id(&self) -> JobId {
+        self.id
+    }
+    fn watts_per_unit(&self) -> f64 {
+        self.watts_per_unit
+    }
+    fn delta_max(&self) -> f64 {
+        self.cost.delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        Ok(bidding::best_response(&self.cost, price)?.bid)
+    }
+}
+
+/// Tuning knobs for the interactive market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractiveConfig {
+    /// Price announced in the first round, `q'_0`.
+    pub initial_price: f64,
+    /// Convergence threshold: relative change in clearing price between
+    /// consecutive rounds below which the market is considered cleared.
+    pub tolerance: f64,
+    /// Hard cap on rounds; the manager takes the last price as clearing
+    /// price when hit (the paper's fixed-timeout safeguard).
+    pub max_iterations: usize,
+    /// Damping `γ ∈ (0, 1]` applied to price updates:
+    /// `q_{k+1} = (1−γ)·q_k + γ·q_solved`. `1.0` is the undamped exchange;
+    /// smaller values stabilize bang-bang best responses under non-convex
+    /// cost models.
+    pub damping: f64,
+}
+
+impl Default for InteractiveConfig {
+    fn default() -> Self {
+        Self {
+            initial_price: 0.5,
+            tolerance: 1e-6,
+            max_iterations: 100,
+            damping: 1.0,
+        }
+    }
+}
+
+/// Outcome of an interactive clearing, bundling the final [`Clearing`] with
+/// convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractiveOutcome {
+    /// The final clearing (price, allocations).
+    pub clearing: Clearing,
+    /// Whether the price converged within tolerance (as opposed to the
+    /// iteration cap firing).
+    pub converged: bool,
+    /// Price trajectory over the rounds, including the final price.
+    pub price_trace: Vec<f64>,
+}
+
+/// The interactive MPR market over a set of bidding agents.
+pub struct InteractiveMarket {
+    agents: Vec<Box<dyn BiddingAgent>>,
+    config: InteractiveConfig,
+}
+
+impl std::fmt::Debug for InteractiveMarket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InteractiveMarket")
+            .field("agents", &self.agents.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl InteractiveMarket {
+    /// Creates an interactive market with the given agents and
+    /// configuration.
+    #[must_use]
+    pub fn new(agents: Vec<Box<dyn BiddingAgent>>, config: InteractiveConfig) -> Self {
+        Self { agents, config }
+    }
+
+    /// Number of registered agents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// `true` when no agents are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Runs the iterative price/bid exchange for a power-reduction target.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarketError::NoParticipants`] on an empty market with a positive
+    ///   target.
+    /// * [`MarketError::Infeasible`] when `Σ Δ_m · watts_per_unit` cannot
+    ///   cover the target (feasibility does not depend on the bids).
+    /// * Any error raised by an agent's [`BiddingAgent::respond`].
+    pub fn clear(&mut self, target_watts: f64) -> Result<InteractiveOutcome, MarketError> {
+        if target_watts <= 0.0 {
+            return Ok(InteractiveOutcome {
+                clearing: Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 0),
+                converged: true,
+                price_trace: vec![0.0],
+            });
+        }
+        if self.agents.is_empty() {
+            return Err(MarketError::NoParticipants);
+        }
+        let attainable: f64 = self
+            .agents
+            .iter()
+            .map(|a| a.delta_max() * a.watts_per_unit())
+            .sum();
+        if attainable < target_watts * (1.0 - 1e-9) {
+            return Err(MarketError::Infeasible {
+                target_watts,
+                attainable_watts: attainable,
+            });
+        }
+
+        let mut price = self.config.initial_price.max(1e-9);
+        let mut trace = vec![price];
+        let mut converged = false;
+        let mut participants: Vec<Participant> = Vec::with_capacity(self.agents.len());
+        let mut iterations = 0;
+
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            participants.clear();
+            for agent in &mut self.agents {
+                let bid = agent.respond(price)?;
+                if !bid.is_finite() {
+                    // A NaN would otherwise slip through `max(0.0)` as a
+                    // zero bid — maximal supply for a garbage response.
+                    return Err(MarketError::InvalidParameter {
+                        name: "bid",
+                        value: bid,
+                        constraint: "agent returned a non-finite bid",
+                    });
+                }
+                participants.push(Participant::new(
+                    agent.job_id(),
+                    SupplyFunction::new(agent.delta_max(), bid.max(0.0))?,
+                    agent.watts_per_unit(),
+                ));
+            }
+            let sol = mclr::clear_best_effort(&participants, target_watts);
+            let next = (1.0 - self.config.damping) * price + self.config.damping * sol.price;
+            let rel_change = (next - price).abs() / price.abs().max(1e-9);
+            price = next;
+            trace.push(price);
+            if rel_change <= self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final clearing with the last bids: one more MClr solve guarantees
+        // the damped/announced price is replaced by one that actually meets
+        // the target with these supplies.
+        let final_sol = mclr::clear_best_effort(&participants, target_watts);
+        price = final_sol.price;
+        let allocations: Vec<Allocation> = participants
+            .iter()
+            .map(|p| {
+                let reduction = p.supply.supply(price);
+                Allocation {
+                    id: p.id,
+                    reduction,
+                    power_reduction: reduction * p.watts_per_unit,
+                    price,
+                }
+            })
+            .collect();
+        Ok(InteractiveOutcome {
+            clearing: Clearing::new(price, target_watts, allocations, iterations),
+            converged,
+            price_trace: trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PowerLawCost, QuadraticCost};
+    use crate::opt;
+
+    fn quad_agents(alphas: &[f64]) -> Vec<Box<dyn BiddingAgent>> {
+        alphas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                Box::new(NetGainAgent::new(
+                    i as u64,
+                    QuadraticCost::new(a, 1.0),
+                    125.0,
+                )) as Box<dyn BiddingAgent>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn converges_on_quadratic_costs() {
+        let mut m = InteractiveMarket::new(
+            quad_agents(&[1.0, 2.0, 4.0]),
+            InteractiveConfig::default(),
+        );
+        let out = m.clear(150.0).unwrap();
+        assert!(out.converged, "price trace: {:?}", out.price_trace);
+        assert!(out.clearing.met_target());
+        // More sensitive (higher α) jobs reduce less.
+        let a = out.clearing.allocations();
+        assert!(a[0].reduction > a[1].reduction);
+        assert!(a[1].reduction > a[2].reduction);
+    }
+
+    #[test]
+    fn equilibrium_matches_opt_for_convex_costs() {
+        // At the Nash equilibrium the interactive market's total cost should
+        // be close to OPT's (the paper's headline property).
+        let costs: Vec<QuadraticCost> = [1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&a| QuadraticCost::new(a, 1.0))
+            .collect();
+        let agents: Vec<Box<dyn BiddingAgent>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+            .collect();
+        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let out = m.clear(250.0).unwrap();
+
+        let jobs: Vec<opt::OptJob<'_>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| opt::OptJob::new(i as u64, c, 125.0))
+            .collect();
+        let optimal = opt::solve(&jobs, 250.0, opt::OptMethod::Auto).unwrap();
+
+        let int_cost: f64 = out
+            .clearing
+            .allocations()
+            .iter()
+            .zip(&costs)
+            .map(|(a, c)| {
+                use crate::cost::CostModel;
+                c.cost(a.reduction)
+            })
+            .sum();
+        assert!(
+            int_cost <= optimal.total_cost * 1.10 + 1e-9,
+            "interactive {int_cost} vs OPT {}",
+            optimal.total_cost
+        );
+    }
+
+    #[test]
+    fn zero_target_clears_immediately() {
+        let mut m = InteractiveMarket::new(quad_agents(&[1.0]), InteractiveConfig::default());
+        let out = m.clear(0.0).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.clearing.price(), 0.0);
+    }
+
+    #[test]
+    fn empty_market_errs() {
+        let mut m = InteractiveMarket::new(Vec::new(), InteractiveConfig::default());
+        assert_eq!(m.clear(10.0).unwrap_err(), MarketError::NoParticipants);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn infeasible_target_errs() {
+        let mut m = InteractiveMarket::new(quad_agents(&[1.0]), InteractiveConfig::default());
+        // One job, Δ = 1, 125 W/unit → attainable 125 W.
+        let err = m.clear(1000.0).unwrap_err();
+        assert!(matches!(err, MarketError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn iteration_cap_returns_last_price() {
+        let mut m = InteractiveMarket::new(
+            quad_agents(&[1.0, 3.0]),
+            InteractiveConfig {
+                max_iterations: 2,
+                tolerance: 0.0, // never converges by tolerance
+                ..InteractiveConfig::default()
+            },
+        );
+        let out = m.clear(100.0).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.clearing.iterations(), 2);
+        assert!(out.clearing.price() > 0.0);
+    }
+
+    #[test]
+    fn damping_still_converges() {
+        let mut m = InteractiveMarket::new(
+            quad_agents(&[1.0, 2.0, 4.0]),
+            InteractiveConfig {
+                damping: 0.5,
+                ..InteractiveConfig::default()
+            },
+        );
+        let out = m.clear(150.0).unwrap();
+        assert!(out.converged);
+        assert!(out.clearing.met_target());
+    }
+
+    #[test]
+    fn iteration_count_stays_flat_with_more_agents() {
+        // Fig. 10(b): iterations barely grow with the number of jobs.
+        let mut iters = Vec::new();
+        for n in [10usize, 100, 1000] {
+            let alphas: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+            let mut m = InteractiveMarket::new(quad_agents(&alphas), InteractiveConfig::default());
+            let attainable = 125.0 * n as f64;
+            let out = m.clear(0.3 * attainable).unwrap();
+            assert!(out.converged);
+            iters.push(out.clearing.iterations());
+        }
+        let max = *iters.iter().max().unwrap();
+        let min = *iters.iter().min().unwrap();
+        assert!(
+            max <= min.saturating_mul(3).max(min + 10),
+            "iterations grew too fast: {iters:?}"
+        );
+    }
+
+    /// An agent whose communication fails after a few rounds.
+    struct FlakyAgent {
+        inner: NetGainAgent<QuadraticCost>,
+        rounds_before_failure: usize,
+        round: usize,
+    }
+
+    impl BiddingAgent for FlakyAgent {
+        fn job_id(&self) -> u64 {
+            self.inner.job_id()
+        }
+        fn watts_per_unit(&self) -> f64 {
+            self.inner.watts_per_unit()
+        }
+        fn delta_max(&self) -> f64 {
+            self.inner.delta_max()
+        }
+        fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+            self.round += 1;
+            if self.round > self.rounds_before_failure {
+                return Err(MarketError::Numeric("agent lost connectivity"));
+            }
+            self.inner.respond(price)
+        }
+    }
+
+    #[test]
+    fn agent_failure_aborts_the_round_with_an_error() {
+        let mut agents = quad_agents(&[1.0, 2.0]);
+        agents.push(Box::new(FlakyAgent {
+            inner: NetGainAgent::new(99, QuadraticCost::new(3.0, 1.0), 125.0),
+            rounds_before_failure: 2,
+            round: 0,
+        }));
+        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let err = m.clear(200.0).unwrap_err();
+        assert_eq!(err, MarketError::Numeric("agent lost connectivity"));
+    }
+
+    /// A hostile agent that bids NaN/∞-adjacent garbage must not poison
+    /// the clearing: with_bid clamps negatives, and SupplyFunction::new
+    /// rejects non-finite bids.
+    struct GarbageAgent;
+    impl BiddingAgent for GarbageAgent {
+        fn job_id(&self) -> u64 {
+            7
+        }
+        fn watts_per_unit(&self) -> f64 {
+            125.0
+        }
+        fn delta_max(&self) -> f64 {
+            1.0
+        }
+        fn respond(&mut self, _price: f64) -> Result<f64, MarketError> {
+            Ok(f64::NAN)
+        }
+    }
+
+    #[test]
+    fn non_finite_bids_are_rejected_not_propagated() {
+        let mut agents = quad_agents(&[1.0]);
+        agents.push(Box::new(GarbageAgent));
+        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let err = m.clear(150.0).unwrap_err();
+        assert!(matches!(err, MarketError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn power_law_costs_converge() {
+        let agents: Vec<Box<dyn BiddingAgent>> = (0..5)
+            .map(|i| {
+                Box::new(NetGainAgent::new(
+                    i as u64,
+                    PowerLawCost::new(1.0 + i as f64, 2.2, 0.7),
+                    125.0,
+                )) as _
+            })
+            .collect();
+        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let out = m.clear(200.0).unwrap();
+        assert!(out.clearing.met_target());
+    }
+}

@@ -1,0 +1,160 @@
+//! The two MPR market implementations and their shared outcome types.
+//!
+//! * [`static_market::StaticMarket`] — **MPR-STAT**: bids fixed at job
+//!   submission, one bisection solve per overload. Maximum agility.
+//! * [`interactive::InteractiveMarket`] — **MPR-INT**: iterative price/bid
+//!   exchange converging to the socially optimal allocation.
+
+pub mod interactive;
+pub mod static_market;
+
+use crate::participant::JobId;
+
+/// The resource reduction assigned to one job by a market clearing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Allocation {
+    /// The job being reduced.
+    pub id: JobId,
+    /// Resource reduction `δ_m(q')` in cores.
+    pub reduction: f64,
+    /// Power reduction in watts obtained from this job.
+    pub power_reduction: f64,
+    /// Clearing price the reward is paid at.
+    pub price: f64,
+}
+
+impl Allocation {
+    /// Reward rate `q'·δ_m` in core-hours per hour of capping.
+    #[must_use]
+    pub fn reward_rate(&self) -> f64 {
+        self.price * self.reduction
+    }
+}
+
+/// Outcome of clearing an MPR market.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Clearing {
+    price: f64,
+    target_watts: f64,
+    allocations: Vec<Allocation>,
+    iterations: usize,
+}
+
+impl Clearing {
+    pub(crate) fn new(
+        price: f64,
+        target_watts: f64,
+        allocations: Vec<Allocation>,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            price,
+            target_watts,
+            allocations,
+            iterations,
+        }
+    }
+
+    /// The market clearing price `q'`.
+    #[must_use]
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// The power-reduction target this clearing was solved for, in watts.
+    #[must_use]
+    pub fn target_watts(&self) -> f64 {
+        self.target_watts
+    }
+
+    /// Per-job reductions. Jobs supplying zero still appear with
+    /// `reduction == 0`.
+    #[must_use]
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// Number of market iterations used (1 for MPR-STAT).
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total resource reduction across all jobs, in cores.
+    #[must_use]
+    pub fn total_reduction(&self) -> f64 {
+        self.allocations.iter().map(|a| a.reduction).sum()
+    }
+
+    /// Total power reduction across all jobs, in watts.
+    #[must_use]
+    pub fn total_power_reduction(&self) -> f64 {
+        self.allocations.iter().map(|a| a.power_reduction).sum()
+    }
+
+    /// Total reward payoff rate `Σ q'·δ_m`, in core-hours per hour.
+    #[must_use]
+    pub fn total_reward_rate(&self) -> f64 {
+        self.allocations.iter().map(Allocation::reward_rate).sum()
+    }
+
+    /// Whether the clearing met its power-reduction target (within
+    /// numerical tolerance).
+    #[must_use]
+    pub fn met_target(&self) -> bool {
+        self.total_power_reduction() >= self.target_watts * (1.0 - 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearing_aggregates() {
+        let c = Clearing::new(
+            0.5,
+            250.0,
+            vec![
+                Allocation {
+                    id: 0,
+                    reduction: 1.0,
+                    power_reduction: 125.0,
+                    price: 0.5,
+                },
+                Allocation {
+                    id: 1,
+                    reduction: 1.0,
+                    power_reduction: 125.0,
+                    price: 0.5,
+                },
+            ],
+            1,
+        );
+        assert_eq!(c.price(), 0.5);
+        assert_eq!(c.total_reduction(), 2.0);
+        assert_eq!(c.total_power_reduction(), 250.0);
+        assert_eq!(c.total_reward_rate(), 1.0);
+        assert!(c.met_target());
+        assert_eq!(c.iterations(), 1);
+        assert_eq!(c.target_watts(), 250.0);
+    }
+
+    #[test]
+    fn unmet_target_detected() {
+        let c = Clearing::new(
+            0.5,
+            1000.0,
+            vec![Allocation {
+                id: 0,
+                reduction: 1.0,
+                power_reduction: 125.0,
+                price: 0.5,
+            }],
+            1,
+        );
+        assert!(!c.met_target());
+    }
+}

@@ -1,0 +1,214 @@
+//! MPR-STAT: the static market (Section III-B).
+//!
+//! Bidding parameters `(Δ_m, b_m)` are supplied once, at job-submission
+//! time. When an overload occurs the HPC manager plugs the already-received
+//! bids into MClr, finds the clearing price with a single bisection, and
+//! reads off every job's reduction — no user interaction on the critical
+//! path, which is what makes MPR-STAT clear 30,000-job markets in well under
+//! a second (Fig. 10(a)).
+
+use crate::error::MarketError;
+use crate::market::{Allocation, Clearing};
+use crate::mclr;
+use crate::participant::Participant;
+
+/// The static MPR market over a set of active jobs.
+///
+/// ```
+/// use mpr_core::{Participant, StaticMarket, SupplyFunction};
+///
+/// # fn main() -> Result<(), mpr_core::MarketError> {
+/// let market = StaticMarket::new(vec![
+///     Participant::new(0, SupplyFunction::new(1.0, 0.2)?, 125.0),
+///     Participant::new(1, SupplyFunction::new(1.0, 0.8)?, 125.0),
+/// ]);
+/// let clearing = market.clear(100.0)?;
+/// // The cheaper supplier (lower bid) reduces more.
+/// let a = clearing.allocations();
+/// assert!(a[0].reduction > a[1].reduction);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StaticMarket {
+    participants: Vec<Participant>,
+}
+
+impl StaticMarket {
+    /// Creates a market over the given active jobs.
+    #[must_use]
+    pub fn new(participants: Vec<Participant>) -> Self {
+        Self { participants }
+    }
+
+    /// The registered participants.
+    #[must_use]
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Adds a participant (e.g. a newly started job registering its bid).
+    pub fn register(&mut self, participant: Participant) {
+        self.participants.push(participant);
+    }
+
+    /// Removes the participant for a completed job, returning it if present.
+    pub fn deregister(&mut self, id: u64) -> Option<Participant> {
+        let idx = self.participants.iter().position(|p| p.id == id)?;
+        Some(self.participants.swap_remove(idx))
+    }
+
+    /// Clears the market for a power-reduction target, returning the
+    /// clearing price and per-job reductions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MarketError::NoParticipants`] and
+    /// [`MarketError::Infeasible`] from the MClr solve.
+    pub fn clear(&self, target_watts: f64) -> Result<Clearing, MarketError> {
+        let sol = mclr::solve(&self.participants, target_watts)?;
+        Ok(self.allocate(sol, target_watts))
+    }
+
+    /// Best-effort clearing: on an infeasible target every job is capped at
+    /// its maximum reduction instead of failing (the manager then falls back
+    /// to direct capping for the remainder).
+    #[must_use]
+    pub fn clear_best_effort(&self, target_watts: f64) -> Clearing {
+        if self.participants.is_empty() || target_watts <= 0.0 {
+            return Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 1);
+        }
+        let sol = mclr::clear_best_effort(&self.participants, target_watts);
+        self.allocate(sol, target_watts)
+    }
+
+    fn allocate(&self, sol: mclr::MclrSolution, target_watts: f64) -> Clearing {
+        let allocations = self
+            .participants
+            .iter()
+            .map(|p| {
+                let reduction = p.supply.supply(sol.price);
+                Allocation {
+                    id: p.id,
+                    reduction,
+                    power_reduction: reduction * p.watts_per_unit,
+                    price: sol.price,
+                }
+            })
+            .collect();
+        Clearing::new(sol.price, target_watts.max(0.0), allocations, 1)
+    }
+}
+
+impl FromIterator<Participant> for StaticMarket {
+    fn from_iter<I: IntoIterator<Item = Participant>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Participant> for StaticMarket {
+    fn extend<I: IntoIterator<Item = Participant>>(&mut self, iter: I) {
+        self.participants.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supply::SupplyFunction;
+    use proptest::prelude::*;
+
+    fn job(id: u64, delta: f64, bid: f64) -> Participant {
+        Participant::new(id, SupplyFunction::new(delta, bid).unwrap(), 125.0)
+    }
+
+    #[test]
+    fn clearing_meets_target() {
+        let m = StaticMarket::new(vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5), job(2, 0.5, 0.1)]);
+        let c = m.clear(200.0).unwrap();
+        assert!(c.met_target());
+        assert!(c.total_power_reduction() >= 200.0 * (1.0 - 1e-9));
+        assert_eq!(c.allocations().len(), 3);
+        assert_eq!(c.iterations(), 1);
+    }
+
+    #[test]
+    fn lower_bids_reduce_more() {
+        let m = StaticMarket::new(vec![job(0, 1.0, 0.1), job(1, 1.0, 0.4)]);
+        let c = m.clear(100.0).unwrap();
+        let a = c.allocations();
+        assert!(a[0].reduction > a[1].reduction);
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let mut m = StaticMarket::default();
+        m.register(job(0, 1.0, 0.2));
+        m.register(job(1, 1.0, 0.3));
+        assert_eq!(m.participants().len(), 2);
+        let removed = m.deregister(0).unwrap();
+        assert_eq!(removed.id, 0);
+        assert_eq!(m.participants().len(), 1);
+        assert!(m.deregister(42).is_none());
+    }
+
+    #[test]
+    fn best_effort_on_infeasible_target() {
+        let m = StaticMarket::new(vec![job(0, 1.0, 0.2)]);
+        let c = m.clear_best_effort(1e6);
+        assert!(!c.met_target());
+        // The price ceiling extracts Δ to within 0.1 %, at a bounded price.
+        assert!(c.total_power_reduction() >= 125.0 * (1.0 - 2e-3));
+        assert!(c.price() <= 1000.0 * 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn best_effort_empty_market() {
+        let m = StaticMarket::default();
+        let c = m.clear_best_effort(100.0);
+        assert_eq!(c.total_reduction(), 0.0);
+        assert!(!c.met_target());
+    }
+
+    #[test]
+    fn zero_target_is_free() {
+        let m = StaticMarket::new(vec![job(0, 1.0, 0.2)]);
+        let c = m.clear(0.0).unwrap();
+        assert_eq!(c.price(), 0.0);
+        assert_eq!(c.total_reduction(), 0.0);
+        assert!(c.met_target());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let m: StaticMarket = (0..5).map(|i| job(i, 1.0, 0.2)).collect();
+        assert_eq!(m.participants().len(), 5);
+        let mut m2 = StaticMarket::default();
+        m2.extend((0..3).map(|i| job(i, 1.0, 0.1)));
+        assert_eq!(m2.participants().len(), 3);
+    }
+
+    proptest! {
+        /// Every allocation respects its job's Δ and the reward is the
+        /// price times the reduction.
+        #[test]
+        fn allocations_respect_delta_max(
+            jobs in proptest::collection::vec((0.1f64..3.0, 0.0f64..1.0), 1..30),
+            frac in 0.1f64..0.9,
+        ) {
+            let ps: Vec<Participant> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (d, b))| job(i as u64, *d, *b))
+                .collect();
+            let attainable: f64 = ps.iter().map(Participant::max_power).sum();
+            let m = StaticMarket::new(ps.clone());
+            let c = m.clear(frac * attainable).unwrap();
+            for (a, p) in c.allocations().iter().zip(&ps) {
+                prop_assert!(a.reduction >= 0.0);
+                prop_assert!(a.reduction <= p.supply.delta_max() + 1e-9);
+                prop_assert!((a.reward_rate() - c.price() * a.reduction).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The MClr (Market Clearing) problem of Eqns. (4)–(5): find the cheapest
+//! price at which the aggregate supplied power reduction meets the target.
+//!
+//! Because MClr has a single optimization variable `q` and the aggregate
+//! payoff is monotone in `q`, the optimum is
+//! `q' = min { q : Σ_m P(δ_m(q)) = P(t) − C }`, solvable by bisection
+//! (Section III-D, "Scalability"). This module implements exactly that.
+
+use crate::error::MarketError;
+use crate::numeric;
+use crate::participant::Participant;
+
+/// Absolute floor for the clearing-price search bracket.
+const PRICE_EPS: f64 = 1e-12;
+
+/// Result of solving MClr.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MclrSolution {
+    /// The market clearing price `q'`.
+    pub price: f64,
+    /// Aggregate power reduction supplied at `q'`, in watts.
+    pub power: f64,
+}
+
+/// Aggregate power reduction supplied by `participants` at `price`, in watts.
+#[must_use]
+pub fn aggregate_power(participants: &[Participant], price: f64) -> f64 {
+    participants.iter().map(|p| p.power_at(price)).sum()
+}
+
+/// Maximum aggregate power reduction attainable (every job at its `Δ`).
+#[must_use]
+pub fn attainable_power(participants: &[Participant]) -> f64 {
+    participants.iter().map(Participant::max_power).sum()
+}
+
+/// Solves MClr: the minimum price `q'` such that the aggregate supplied
+/// power reduction is at least `target_watts`.
+///
+/// A non-positive target clears trivially at price 0 with no reductions.
+///
+/// ```
+/// use mpr_core::mclr;
+/// use mpr_core::{Participant, SupplyFunction};
+///
+/// # fn main() -> Result<(), mpr_core::MarketError> {
+/// // δ(q) = 1 − 0.5/q at 125 W per unit: 62.5 W requires δ = 0.5 → q' = 1.
+/// let ps = [Participant::new(0, SupplyFunction::new(1.0, 0.5)?, 125.0)];
+/// let sol = mclr::solve(&ps, 62.5)?;
+/// assert!((sol.price - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`MarketError::NoParticipants`] if the market is empty and the target
+///   is positive.
+/// * [`MarketError::Infeasible`] if even the maximal supplies fall short of
+///   the target; callers that prefer best-effort capping should catch this
+///   and use [`clear_best_effort`].
+pub fn solve(participants: &[Participant], target_watts: f64) -> Result<MclrSolution, MarketError> {
+    if target_watts <= 0.0 {
+        return Ok(MclrSolution {
+            price: 0.0,
+            power: 0.0,
+        });
+    }
+    if participants.is_empty() {
+        return Err(MarketError::NoParticipants);
+    }
+    let attainable = attainable_power(participants);
+    // Tolerance: supplies only reach Δ in the limit q → ∞, so accept targets
+    // within a hair of the attainable maximum and clear them at a large price.
+    if attainable < target_watts * (1.0 - 1e-9) {
+        return Err(MarketError::Infeasible {
+            target_watts,
+            attainable_watts: attainable,
+        });
+    }
+
+    // Find an upper bracket by doubling from the largest activation price.
+    let mut hi = participants
+        .iter()
+        .filter_map(|p| p.supply.activation_price())
+        .fold(PRICE_EPS, f64::max)
+        .max(PRICE_EPS)
+        * 2.0;
+    let mut doubles = 0;
+    while aggregate_power(participants, hi) < target_watts {
+        hi *= 2.0;
+        doubles += 1;
+        if doubles > 2000 {
+            // Target equals the attainable supremum: every participant must
+            // deliver (numerically) all of Δ.
+            return Ok(MclrSolution {
+                price: hi,
+                power: aggregate_power(participants, hi),
+            });
+        }
+    }
+
+    let price = numeric::bisect_threshold(PRICE_EPS, hi, target_watts, 1e-12, |q| {
+        aggregate_power(participants, q)
+    })?;
+    Ok(MclrSolution {
+        price,
+        power: aggregate_power(participants, price),
+    })
+}
+
+/// Precomputed index over a fixed set of bids for *exact, closed-form*
+/// market clearing in `O(log M)` per overload.
+///
+/// With hyperbolic supplies the aggregate power reduction over the set of
+/// participants active at price `q` (those with activation price
+/// `b_i/Δ_i ≤ q`) is
+///
+/// ```text
+/// P(q) = Σ wᵢ·(Δᵢ − bᵢ/q) = A_k − B_k / q
+/// ```
+///
+/// where `A_k = Σ wᵢΔᵢ` and `B_k = Σ wᵢbᵢ` over the `k` cheapest
+/// activation prices. Sorting once by activation price and keeping prefix
+/// sums of `A` and `B` turns clearing into a binary search over segments
+/// plus one division — no bisection, no tolerance. This is how a production
+/// deployment would clear MPR-STAT markets at 100 kHz.
+#[derive(Debug, Clone)]
+pub struct ClearingIndex {
+    /// Activation prices, ascending.
+    activations: Vec<f64>,
+    /// Prefix sums of `w·Δ` in activation order (entry `k` covers the
+    /// first `k` participants).
+    prefix_a: Vec<f64>,
+    /// Prefix sums of `w·b` in activation order.
+    prefix_b: Vec<f64>,
+}
+
+impl ClearingIndex {
+    /// Builds the index over a set of participants.
+    #[must_use]
+    pub fn new(participants: &[Participant]) -> Self {
+        let mut order: Vec<usize> = (0..participants.len()).collect();
+        let activation = |p: &Participant| p.supply.activation_price().unwrap_or(f64::INFINITY);
+        order.sort_by(|&a, &b| {
+            activation(&participants[a])
+                .partial_cmp(&activation(&participants[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut activations = Vec::with_capacity(order.len());
+        let mut prefix_a = vec![0.0f64];
+        let mut prefix_b = vec![0.0f64];
+        for &i in &order {
+            let p = &participants[i];
+            activations.push(activation(p));
+            prefix_a.push(prefix_a.last().unwrap() + p.watts_per_unit * p.supply.delta_max());
+            prefix_b.push(prefix_b.last().unwrap() + p.watts_per_unit * p.supply.bid());
+        }
+        Self {
+            activations,
+            prefix_a,
+            prefix_b,
+        }
+    }
+
+    /// Aggregate power reduction at price `q`, in watts (closed form).
+    #[must_use]
+    pub fn power_at(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            return 0.0;
+        }
+        // Number of participants with activation price <= q.
+        let k = self.activations.partition_point(|&a| a <= q);
+        (self.prefix_a[k] - self.prefix_b[k] / q).max(0.0)
+    }
+
+    /// Solves MClr exactly: the minimal price meeting `target_watts`.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`solve`]: [`MarketError::NoParticipants`] and
+    /// [`MarketError::Infeasible`].
+    pub fn clear(&self, target_watts: f64) -> Result<MclrSolution, MarketError> {
+        if target_watts <= 0.0 {
+            return Ok(MclrSolution {
+                price: 0.0,
+                power: 0.0,
+            });
+        }
+        let n = self.activations.len();
+        if n == 0 {
+            return Err(MarketError::NoParticipants);
+        }
+        let attainable = self.prefix_a[n];
+        if attainable < target_watts * (1.0 - 1e-9) {
+            return Err(MarketError::Infeasible {
+                target_watts,
+                attainable_watts: attainable,
+            });
+        }
+        // Binary search for the first segment whose right-endpoint power
+        // meets the target. Segment k spans [activations[k-1],
+        // activations[k]) with k participants active; the final segment is
+        // unbounded above.
+        let segment_end_power = |k: usize| -> f64 {
+            if k >= n {
+                f64::INFINITY
+            } else {
+                // Just below activations[k], k participants are active.
+                let q = self.activations[k];
+                self.prefix_a[k] - self.prefix_b[k] / q
+            }
+        };
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if segment_end_power(mid + 1) >= target_watts {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        // Within segment `lo` (participants 0..=lo active): solve
+        // A − B/q = target → q = B / (A − target).
+        let k = lo + 1;
+        let (a, b) = (self.prefix_a[k], self.prefix_b[k]);
+        let price = if a > target_watts {
+            (b / (a - target_watts)).max(self.activations[lo]).max(PRICE_EPS)
+        } else if b == 0.0 {
+            // Zero-bid segment: full supply at any price past activation.
+            self.activations[lo].max(PRICE_EPS)
+        } else {
+            // Target only attainable in the limit within this (final)
+            // segment: fall back to a large price.
+            (b / (a * 1e-9).max(f64::MIN_POSITIVE)).max(self.activations[lo])
+        };
+        Ok(MclrSolution {
+            price,
+            power: self.power_at(price),
+        })
+    }
+}
+
+/// Generic MClr over arbitrary [`Supply`](crate::supply::Supply) curves —
+/// `items` pairs each curve with its watts-per-unit conversion. Used by the
+/// supply-function ablation to clear linear-supply markets with the same
+/// bisection machinery.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_supplies<S: crate::supply::Supply>(
+    items: &[(S, f64)],
+    target_watts: f64,
+) -> Result<MclrSolution, MarketError> {
+    if target_watts <= 0.0 {
+        return Ok(MclrSolution {
+            price: 0.0,
+            power: 0.0,
+        });
+    }
+    if items.is_empty() {
+        return Err(MarketError::NoParticipants);
+    }
+    let power_at = |q: f64| -> f64 { items.iter().map(|(s, w)| s.supply(q) * w).sum() };
+    let attainable: f64 = items.iter().map(|(s, w)| s.delta_max() * w).sum();
+    if attainable < target_watts * (1.0 - 1e-9) {
+        return Err(MarketError::Infeasible {
+            target_watts,
+            attainable_watts: attainable,
+        });
+    }
+    let mut hi = 1.0;
+    let mut doubles = 0;
+    while power_at(hi) < target_watts {
+        hi *= 2.0;
+        doubles += 1;
+        if doubles > 2000 {
+            break;
+        }
+    }
+    let price = numeric::bisect_threshold(PRICE_EPS, hi, target_watts, 1e-12, power_at)?;
+    Ok(MclrSolution {
+        price,
+        power: power_at(price),
+    })
+}
+
+/// Factor applied to the highest activation price to form the manager's
+/// price ceiling in best-effort clearings. At the ceiling every supply is
+/// within 0.1 % of its Δ, so raising the price further buys (almost)
+/// nothing while the payoff `q·δ` grows without bound.
+const PRICE_CEILING_FACTOR: f64 = 1000.0;
+
+/// Best-effort variant of [`solve`] with a price ceiling: when the target
+/// is infeasible — or only reachable at an absurd price because it sits
+/// within a hair of the attainable maximum — the market clears at the
+/// ceiling (1000× the highest activation price), extracting essentially
+/// every participant's Δ. The manager covers any remaining shortfall with
+/// direct, market-bypassing power capping (Section III-F, "Malicious
+/// users"), which the simulator models as escalation.
+#[must_use]
+pub fn clear_best_effort(participants: &[Participant], target_watts: f64) -> MclrSolution {
+    let max_activation = participants
+        .iter()
+        .filter_map(|p| p.supply.activation_price())
+        .fold(0.0f64, f64::max);
+    let ceiling = (PRICE_CEILING_FACTOR * max_activation).max(1.0);
+    match solve(participants, target_watts) {
+        Ok(sol) if sol.price <= ceiling => sol,
+        _ => MclrSolution {
+            price: ceiling,
+            power: aggregate_power(participants, ceiling),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supply::SupplyFunction;
+    use proptest::prelude::*;
+
+    fn job(id: u64, delta: f64, bid: f64) -> Participant {
+        Participant::new(id, SupplyFunction::new(delta, bid).unwrap(), 125.0)
+    }
+
+    #[test]
+    fn trivial_target_clears_at_zero() {
+        let ps = vec![job(0, 1.0, 0.5)];
+        let sol = solve(&ps, 0.0).unwrap();
+        assert_eq!(sol.price, 0.0);
+        assert_eq!(sol.power, 0.0);
+        assert_eq!(solve(&ps, -5.0).unwrap().price, 0.0);
+    }
+
+    #[test]
+    fn empty_market_with_positive_target_errs() {
+        assert_eq!(solve(&[], 10.0), Err(MarketError::NoParticipants));
+    }
+
+    #[test]
+    fn infeasible_target_errs_with_attainable() {
+        let ps = vec![job(0, 1.0, 0.1)]; // max 125 W
+        match solve(&ps, 500.0) {
+            Err(MarketError::Infeasible {
+                target_watts,
+                attainable_watts,
+            }) => {
+                assert_eq!(target_watts, 500.0);
+                assert!((attainable_watts - 125.0).abs() < 1e-9);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_job_price_matches_closed_form() {
+        // δ(q) = 1 − 0.5/q; want 125·δ = 62.5 → δ = 0.5 → q = 1.0.
+        let ps = vec![job(0, 1.0, 0.5)];
+        let sol = solve(&ps, 62.5).unwrap();
+        assert!((sol.price - 1.0).abs() < 1e-6, "price = {}", sol.price);
+        assert!(sol.power >= 62.5 * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn cheaper_supplier_activates_first() {
+        // Job 1 activates at q = 0.1, job 2 at q = 1.0. A small target should
+        // clear below job 2's activation price: only job 1 reduces.
+        let ps = vec![job(1, 1.0, 0.1), job(2, 1.0, 1.0)];
+        let sol = solve(&ps, 30.0).unwrap();
+        assert!(sol.price < 1.0);
+        assert_eq!(ps[1].supply.supply(sol.price), 0.0);
+        assert!(ps[0].supply.supply(sol.price) > 0.0);
+    }
+
+    #[test]
+    fn near_attainable_target_clears_at_high_price() {
+        let ps = vec![job(0, 1.0, 0.5)];
+        let attainable = attainable_power(&ps);
+        let sol = solve(&ps, attainable * (1.0 - 1e-10)).unwrap();
+        assert!(sol.power >= attainable * (1.0 - 1e-6));
+    }
+
+    #[test]
+    fn best_effort_caps_everyone_when_infeasible() {
+        let ps = vec![job(0, 1.0, 0.1), job(1, 2.0, 0.3)];
+        let sol = clear_best_effort(&ps, 1e9);
+        let attainable = attainable_power(&ps);
+        // The price ceiling extracts every Δ to within 0.1 %.
+        assert!(sol.power >= attainable * (1.0 - 2e-3));
+        // ...at a bounded price: 1000× the highest activation price.
+        assert!(sol.price <= 1000.0 * 0.3 + 1e-9, "price = {}", sol.price);
+    }
+
+    #[test]
+    fn best_effort_caps_absurd_feasible_prices_too() {
+        // Target within 1e-12 of the attainable max: the exact clearing
+        // price would be astronomical; the ceiling bounds it.
+        let ps = vec![job(0, 1.0, 0.5)];
+        let attainable = attainable_power(&ps);
+        let sol = clear_best_effort(&ps, attainable * (1.0 - 1e-12));
+        assert!(sol.price <= 1000.0 * 0.5 + 1e-9);
+        assert!(sol.power >= attainable * (1.0 - 2e-3));
+    }
+
+    #[test]
+    fn best_effort_matches_solve_when_feasible() {
+        let ps = vec![job(0, 1.0, 0.5)];
+        let a = solve(&ps, 62.5).unwrap();
+        let b = clear_best_effort(&ps, 62.5);
+        assert!((a.price - b.price).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bids_clear_at_epsilon_price() {
+        let ps = vec![job(0, 1.0, 0.0), job(1, 1.0, 0.0)];
+        let sol = solve(&ps, 200.0).unwrap();
+        assert!(sol.price <= 1e-6, "price = {}", sol.price);
+        assert!(sol.power >= 200.0 * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn index_matches_bisection_on_simple_market() {
+        let ps = vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5), job(2, 0.5, 0.1)];
+        let idx = ClearingIndex::new(&ps);
+        for target in [10.0, 50.0, 150.0, 300.0, 430.0] {
+            let a = solve(&ps, target).unwrap();
+            let b = idx.clear(target).unwrap();
+            assert!(
+                (a.price - b.price).abs() < 1e-6 * a.price.max(1.0),
+                "target {target}: bisection {} vs closed form {}",
+                a.price,
+                b.price
+            );
+            assert!(b.power >= target * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn index_error_cases_mirror_solve() {
+        let idx = ClearingIndex::new(&[]);
+        assert!(matches!(idx.clear(1.0), Err(MarketError::NoParticipants)));
+        assert_eq!(idx.clear(0.0).unwrap().price, 0.0);
+        let idx = ClearingIndex::new(&[job(0, 1.0, 0.2)]);
+        assert!(matches!(
+            idx.clear(1e6),
+            Err(MarketError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn index_handles_zero_bids() {
+        let ps = vec![job(0, 1.0, 0.0), job(1, 1.0, 0.0)];
+        let idx = ClearingIndex::new(&ps);
+        let sol = idx.clear(200.0).unwrap();
+        assert!(sol.power >= 200.0 * (1.0 - 1e-9));
+        assert!(sol.price <= 1e-6);
+    }
+
+    #[test]
+    fn generic_solve_matches_specialized_for_hyperbolic_supplies() {
+        let ps = vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5)];
+        let items: Vec<(crate::supply::SupplyFunction, f64)> =
+            ps.iter().map(|p| (p.supply, p.watts_per_unit)).collect();
+        let a = solve(&ps, 150.0).unwrap();
+        let b = solve_supplies(&items, 150.0).unwrap();
+        assert!((a.price - b.price).abs() < 1e-9);
+        assert!((a.power - b.power).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generic_solve_clears_linear_supplies() {
+        use crate::supply::{LinearSupply, Supply};
+        let items = vec![
+            (LinearSupply::new(1.0, 1.0).unwrap(), 125.0),
+            (LinearSupply::new(1.0, 2.0).unwrap(), 125.0),
+        ];
+        // At price q: supply = q + q/2 (pre-saturation); want 93.75 W
+        // = 0.75 cores → q = 0.5.
+        let sol = solve_supplies(&items, 93.75).unwrap();
+        assert!((sol.price - 0.5).abs() < 1e-6, "price = {}", sol.price);
+        assert!((items[0].0.supply(sol.price) - 0.5).abs() < 1e-6);
+        // Errors mirror the specialized solver.
+        assert!(matches!(
+            solve_supplies(&items, 1e9),
+            Err(MarketError::Infeasible { .. })
+        ));
+        let empty: Vec<(LinearSupply, f64)> = Vec::new();
+        assert!(matches!(
+            solve_supplies(&empty, 1.0),
+            Err(MarketError::NoParticipants)
+        ));
+        assert_eq!(solve_supplies(&items, 0.0).unwrap().price, 0.0);
+    }
+
+    proptest! {
+        /// The closed-form index clears identically to bisection on random
+        /// markets.
+        #[test]
+        fn index_equals_bisection(
+            bids in proptest::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..30),
+            frac in 0.05f64..0.95,
+        ) {
+            let ps: Vec<Participant> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
+                .collect();
+            let target = frac * attainable_power(&ps);
+            prop_assume!(target > 0.0);
+            let a = solve(&ps, target).unwrap();
+            let b = ClearingIndex::new(&ps).clear(target).unwrap();
+            prop_assert!(
+                (a.price - b.price).abs() < 1e-6 * a.price.max(1.0),
+                "bisection {} vs closed form {}", a.price, b.price
+            );
+            prop_assert!(b.power >= target * (1.0 - 1e-6));
+        }
+
+        /// The clearing price is minimal: slightly below it the market
+        /// under-delivers; at it, the target is met.
+        #[test]
+        fn clearing_price_is_minimal(
+            bids in proptest::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..20),
+            frac in 0.05f64..0.95,
+        ) {
+            let ps: Vec<Participant> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
+                .collect();
+            let target = frac * attainable_power(&ps);
+            prop_assume!(target > 0.0);
+            let sol = solve(&ps, target).unwrap();
+            prop_assert!(sol.power >= target * (1.0 - 1e-6));
+            let below = aggregate_power(&ps, sol.price * (1.0 - 1e-6));
+            prop_assert!(below <= target * (1.0 + 1e-6),
+                "price not minimal: below={below} target={target}");
+        }
+    }
+}

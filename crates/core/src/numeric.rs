@@ -1,0 +1,225 @@
+//! Small numeric toolbox: bisection root/threshold search, golden-section
+//! maximization and grid scans.
+//!
+//! These routines are deliberately dependency-free and deterministic; every
+//! solver in this crate (MClr bisection, water-filling, best-response
+//! maximization) is built on them.
+
+use crate::error::MarketError;
+
+/// Relative tolerance used by default across the crate's solvers.
+pub const DEFAULT_REL_TOL: f64 = 1e-10;
+
+/// Maximum bisection iterations; 200 halvings shrink any practical bracket
+/// below `f64` resolution.
+const MAX_BISECT_ITERS: usize = 200;
+
+/// Finds the smallest `x` in `[lo, hi]` such that `f(x) >= target`, assuming
+/// `f` is non-decreasing.
+///
+/// This is the primitive behind MClr's clearing-price search: the aggregate
+/// power reduction is monotone in the price, so the cheapest feasible price
+/// is the threshold point.
+///
+/// # Errors
+///
+/// Returns [`MarketError::Numeric`] if the bracket is invalid or `f` is not
+/// finite at the bracket ends, and [`MarketError::Infeasible`] is *not*
+/// raised here — callers must check `f(hi) >= target` beforehand; if it is
+/// not, `hi` is returned.
+pub fn bisect_threshold<F>(
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    rel_tol: f64,
+    f: F,
+) -> Result<f64, MarketError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(MarketError::Numeric("invalid bisection bracket"));
+    }
+    if f(lo) >= target {
+        return Ok(lo);
+    }
+    if f(hi) < target {
+        return Ok(hi);
+    }
+    for _ in 0..MAX_BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo) <= rel_tol * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+/// Maximizes `f` over `[lo, hi]` with a coarse grid scan followed by
+/// golden-section refinement around the best grid cell.
+///
+/// Returns `(x_best, f(x_best))`. The grid scan makes the routine robust to
+/// multi-modal objectives (e.g. net gain under non-convex cost models); the
+/// golden-section pass then polishes to ~1e-10 relative accuracy.
+///
+/// # Errors
+///
+/// Returns [`MarketError::Numeric`] when the bracket is invalid.
+pub fn maximize<F>(lo: f64, hi: f64, grid: usize, f: F) -> Result<(f64, f64), MarketError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(MarketError::Numeric("invalid maximization bracket"));
+    }
+    if hi - lo <= f64::EPSILON * lo.abs().max(1.0) {
+        return Ok((lo, f(lo)));
+    }
+    let n = grid.max(3);
+    let step = (hi - lo) / n as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..=n {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        // Ties break toward larger x so bang-bang objectives prefer the
+        // full-supply corner, matching the paper's cooperative spirit.
+        if v >= best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let a = lo + step * best_i.saturating_sub(1) as f64;
+    let b = (lo + step * (best_i + 1) as f64).min(hi);
+    let (x, v) = golden_section_max(a, b, &f);
+    if v >= best_v {
+        Ok((x, v))
+    } else {
+        Ok((lo + step * best_i as f64, best_v))
+    }
+}
+
+/// Golden-section search for the maximum of a unimodal `f` on `[a, b]`.
+fn golden_section_max<F>(mut a: f64, mut b: f64, f: &F) -> (f64, f64)
+where
+    F: Fn(f64) -> f64,
+{
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..120 {
+        if (b - a).abs() <= DEFAULT_REL_TOL * b.abs().max(1.0) {
+            break;
+        }
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// Numerically estimates the derivative of `f` at `x` with central
+/// differences, falling back to one-sided differences at domain edges.
+pub fn derivative<F>(f: &F, x: f64, lo: f64, hi: f64) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    let h = 1e-6 * (hi - lo).abs().max(1e-6);
+    let a = (x - h).max(lo);
+    let b = (x + h).min(hi);
+    if b - a <= 0.0 {
+        return 0.0;
+    }
+    (f(b) - f(a)) / (b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_finds_minimal_feasible_point() {
+        // f(x) = x^2 is non-decreasing on [0, 10]; smallest x with x^2 >= 9 is 3.
+        let x = bisect_threshold(0.0, 10.0, 9.0, 1e-12, |x| x * x).unwrap();
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn threshold_returns_lo_when_already_satisfied() {
+        let x = bisect_threshold(2.0, 10.0, 1.0, 1e-12, |x| x).unwrap();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn threshold_returns_hi_when_unreachable() {
+        let x = bisect_threshold(0.0, 1.0, 100.0, 1e-12, |x| x).unwrap();
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn threshold_rejects_bad_bracket() {
+        assert!(bisect_threshold(1.0, 0.0, 0.0, 1e-12, |x| x).is_err());
+        assert!(bisect_threshold(f64::NAN, 1.0, 0.0, 1e-12, |x| x).is_err());
+    }
+
+    #[test]
+    fn maximize_quadratic() {
+        // max of -(x-2)^2 + 5 at x = 2.
+        let (x, v) = maximize(0.0, 10.0, 64, |x| -(x - 2.0).powi(2) + 5.0).unwrap();
+        assert!((x - 2.0).abs() < 1e-6);
+        assert!((v - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maximize_prefers_larger_x_on_ties() {
+        // Constant function: tie-break should land in the upper region.
+        let (x, _) = maximize(0.0, 1.0, 16, |_| 1.0).unwrap();
+        assert!(x > 0.8, "x = {x}");
+    }
+
+    #[test]
+    fn maximize_handles_bang_bang_objective() {
+        // Convex objective: maximum at a boundary.
+        let (x, _) = maximize(0.0, 1.0, 64, |x| (x - 0.5).powi(2)).unwrap();
+        assert!(!(0.01..=0.99).contains(&x));
+    }
+
+    #[test]
+    fn maximize_degenerate_interval() {
+        let (x, v) = maximize(3.0, 3.0, 8, |x| x).unwrap();
+        assert_eq!(x, 3.0);
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn derivative_of_square() {
+        let f = |x: f64| x * x;
+        let d = derivative(&f, 2.0, 0.0, 10.0);
+        assert!((d - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn derivative_at_edges_uses_one_sided() {
+        let f = |x: f64| 3.0 * x;
+        assert!((derivative(&f, 0.0, 0.0, 1.0) - 3.0).abs() < 1e-4);
+        assert!((derivative(&f, 1.0, 0.0, 1.0) - 3.0).abs() < 1e-4);
+    }
+}

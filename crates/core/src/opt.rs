@@ -1,0 +1,433 @@
+//! The OPT benchmark (Eqns. 1–2): centralized optimal overload handling.
+//!
+//! OPT minimizes the total cost of performance loss `Σ C_m(δ_m)` subject to
+//! the power-reduction constraint `Σ P(δ_m) ≥ P(t) − C` and per-job bounds
+//! `0 ≤ δ_m ≤ Δ_m`. It is the performance upper limit MPR is compared
+//! against, and also what MPR-INT provably attains at equilibrium.
+//!
+//! The problem is a *separable* non-linear program, which we exploit:
+//!
+//! * [`OptMethod::WaterFilling`] — exact for convex per-job costs:
+//!   λ-bisection on the common marginal cost (KKT conditions), per-job
+//!   inverse marginals found by inner bisection.
+//! * [`OptMethod::ConcaveGreedy`] — for concave per-job costs the optimum
+//!   lies at an extreme point with at most one fractionally reduced job;
+//!   greedily fill the cheapest average-cost jobs.
+//! * [`OptMethod::Auto`] — probes the marginals and dispatches.
+
+use crate::cost::CostModel;
+use crate::error::MarketError;
+use crate::numeric;
+use crate::participant::JobId;
+
+/// One job as seen by the centralized OPT solver: the manager would need to
+/// know the true cost model of every job — precisely the burden MPR removes.
+#[derive(Clone, Copy)]
+pub struct OptJob<'a> {
+    id: JobId,
+    cost: &'a dyn CostModel,
+    watts_per_unit: f64,
+}
+
+impl<'a> OptJob<'a> {
+    /// Creates an OPT job from its (true) cost model.
+    #[must_use]
+    pub fn new(id: JobId, cost: &'a dyn CostModel, watts_per_unit: f64) -> Self {
+        Self {
+            id,
+            cost,
+            watts_per_unit,
+        }
+    }
+
+    /// The job id.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Evaluates the job's cost model at a reduction (used by the VCG
+    /// auction's payment rule).
+    #[must_use]
+    pub fn cost_at(&self, delta: f64) -> f64 {
+        self.cost.cost(delta)
+    }
+
+    /// Power reduction per unit of resource reduction, watts.
+    #[must_use]
+    pub fn watts_per_unit(&self) -> f64 {
+        self.watts_per_unit
+    }
+}
+
+impl std::fmt::Debug for OptJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptJob")
+            .field("id", &self.id)
+            .field("delta_max", &self.cost.delta_max())
+            .field("watts_per_unit", &self.watts_per_unit)
+            .finish()
+    }
+}
+
+/// Solution strategy for OPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptMethod {
+    /// Probe cost-model curvature and pick water-filling (convex) or the
+    /// concave greedy automatically.
+    #[default]
+    Auto,
+    /// KKT water-filling; exact when every cost model is convex.
+    WaterFilling,
+    /// Extreme-point greedy; exact when every cost model is concave.
+    ConcaveGreedy,
+}
+
+/// The reductions chosen by OPT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptSolution {
+    /// Per-job reductions `(job id, δ_m)` in input order.
+    pub reductions: Vec<(JobId, f64)>,
+    /// Total performance-loss cost `Σ C_m(δ_m)`.
+    pub total_cost: f64,
+    /// Total power reduction achieved, in watts.
+    pub total_power: f64,
+}
+
+/// Solves OPT for the given jobs and power-reduction target.
+///
+/// A non-positive target returns the all-zero solution.
+///
+/// ```
+/// use mpr_core::opt::{solve, OptJob, OptMethod};
+/// use mpr_core::QuadraticCost;
+///
+/// # fn main() -> Result<(), mpr_core::MarketError> {
+/// let cheap = QuadraticCost::new(1.0, 1.0);
+/// let dear = QuadraticCost::new(4.0, 1.0);
+/// let jobs = [OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
+/// let sol = solve(&jobs, 100.0, OptMethod::Auto)?;
+/// // Water-filling equalizes marginals: the cheap job sheds 4x more.
+/// assert!(sol.reductions[0].1 > 3.5 * sol.reductions[1].1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`MarketError::NoParticipants`] for an empty job list with positive
+///   target.
+/// * [`MarketError::Infeasible`] when `Σ Δ_m · watts_per_unit` is below the
+///   target.
+pub fn solve(
+    jobs: &[OptJob<'_>],
+    target_watts: f64,
+    method: OptMethod,
+) -> Result<OptSolution, MarketError> {
+    if target_watts <= 0.0 {
+        return Ok(OptSolution {
+            reductions: jobs.iter().map(|j| (j.id, 0.0)).collect(),
+            total_cost: 0.0,
+            total_power: 0.0,
+        });
+    }
+    if jobs.is_empty() {
+        return Err(MarketError::NoParticipants);
+    }
+    let attainable: f64 = jobs
+        .iter()
+        .map(|j| j.cost.delta_max() * j.watts_per_unit)
+        .sum();
+    if attainable < target_watts * (1.0 - 1e-9) {
+        return Err(MarketError::Infeasible {
+            target_watts,
+            attainable_watts: attainable,
+        });
+    }
+
+    let method = match method {
+        OptMethod::Auto => {
+            if jobs.iter().all(|j| is_convex(j.cost)) {
+                OptMethod::WaterFilling
+            } else {
+                OptMethod::ConcaveGreedy
+            }
+        }
+        m => m,
+    };
+    match method {
+        OptMethod::WaterFilling => water_filling(jobs, target_watts),
+        OptMethod::ConcaveGreedy => concave_greedy(jobs, target_watts),
+        OptMethod::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+/// Samples the marginal cost at a few points to classify curvature.
+fn is_convex(cost: &dyn CostModel) -> bool {
+    let delta_max = cost.delta_max();
+    if delta_max <= 0.0 {
+        return true;
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for i in 1..=8 {
+        let d = delta_max * (i as f64) / 9.0;
+        let m = cost.marginal(d);
+        if m < prev - 1e-9 * prev.abs().max(1.0) {
+            return false;
+        }
+        prev = m;
+    }
+    true
+}
+
+/// Per-job reduction at Lagrange multiplier `lambda`: the largest `δ` whose
+/// marginal cost per watt stays below `lambda`.
+fn delta_at_lambda(job: &OptJob<'_>, lambda: f64) -> f64 {
+    let delta_max = job.cost.delta_max();
+    if delta_max <= 0.0 {
+        return 0.0;
+    }
+    let threshold = lambda * job.watts_per_unit;
+    if job.cost.marginal(0.0) >= threshold {
+        return 0.0;
+    }
+    if job.cost.marginal(delta_max) <= threshold {
+        return delta_max;
+    }
+    // Smallest δ with C'(δ) >= threshold; C' non-decreasing for convex costs.
+    numeric::bisect_threshold(0.0, delta_max, threshold, 1e-12, |d| job.cost.marginal(d))
+        .unwrap_or(delta_max)
+}
+
+fn water_filling(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, MarketError> {
+    let power_at = |lambda: f64| -> f64 {
+        jobs.iter()
+            .map(|j| delta_at_lambda(j, lambda) * j.watts_per_unit)
+            .sum()
+    };
+    // Bracket lambda by doubling.
+    let mut hi = 1e-6;
+    let mut doubles = 0;
+    while power_at(hi) < target_watts {
+        hi *= 2.0;
+        doubles += 1;
+        if doubles > 200 {
+            break;
+        }
+    }
+    let lambda = numeric::bisect_threshold(0.0, hi, target_watts, 1e-12, power_at)?;
+    let mut reductions: Vec<(JobId, f64)> = jobs
+        .iter()
+        .map(|j| (j.id, delta_at_lambda(j, lambda)))
+        .collect();
+
+    // Trim overshoot: the bisection lands a hair above the target; shave the
+    // most expensive marginal reductions back to hit it exactly.
+    let total: f64 = reductions
+        .iter()
+        .zip(jobs)
+        .map(|((_, d), j)| d * j.watts_per_unit)
+        .sum();
+    let mut excess = total - target_watts;
+    if excess > 0.0 {
+        // Shrink jobs with the highest marginal cost first (they benefit most).
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ma = jobs[a].cost.marginal(reductions[a].1);
+            let mb = jobs[b].cost.marginal(reductions[b].1);
+            mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for idx in order {
+            if excess <= 0.0 {
+                break;
+            }
+            let give_back = (excess / jobs[idx].watts_per_unit).min(reductions[idx].1);
+            reductions[idx].1 -= give_back;
+            excess -= give_back * jobs[idx].watts_per_unit;
+        }
+    }
+
+    Ok(finish(jobs, reductions))
+}
+
+fn concave_greedy(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, MarketError> {
+    // For concave costs, average cost per watt at full reduction is the
+    // right greedy key: the optimum reduces the cheapest jobs fully, with at
+    // most one fractional job.
+    let mut order: Vec<usize> = (0..jobs.len())
+        .filter(|&i| jobs[i].cost.delta_max() > 0.0)
+        .collect();
+    let key = |i: usize| -> f64 {
+        let j = &jobs[i];
+        let dm = j.cost.delta_max();
+        j.cost.cost(dm) / (dm * j.watts_per_unit)
+    };
+    order.sort_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut reductions: Vec<(JobId, f64)> = jobs.iter().map(|j| (j.id, 0.0)).collect();
+    let mut remaining = target_watts;
+    for i in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let j = &jobs[i];
+        let full = j.cost.delta_max();
+        let delta = (remaining / j.watts_per_unit).min(full);
+        reductions[i].1 = delta;
+        remaining -= delta * j.watts_per_unit;
+    }
+    Ok(finish(jobs, reductions))
+}
+
+fn finish(jobs: &[OptJob<'_>], reductions: Vec<(JobId, f64)>) -> OptSolution {
+    let total_cost = reductions
+        .iter()
+        .zip(jobs)
+        .map(|((_, d), j)| j.cost.cost(*d))
+        .sum();
+    let total_power = reductions
+        .iter()
+        .zip(jobs)
+        .map(|((_, d), j)| d * j.watts_per_unit)
+        .sum();
+    OptSolution {
+        reductions,
+        total_cost,
+        total_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LinearCost, LogFitCost, QuadraticCost};
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_target_is_free() {
+        let c = QuadraticCost::new(1.0, 1.0);
+        let jobs = vec![OptJob::new(0, &c, 125.0)];
+        let sol = solve(&jobs, 0.0, OptMethod::Auto).unwrap();
+        assert_eq!(sol.total_cost, 0.0);
+        assert_eq!(sol.reductions, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn empty_and_infeasible_errors() {
+        assert_eq!(
+            solve(&[], 10.0, OptMethod::Auto),
+            Err(MarketError::NoParticipants)
+        );
+        let c = QuadraticCost::new(1.0, 1.0);
+        let jobs = vec![OptJob::new(0, &c, 125.0)];
+        assert!(matches!(
+            solve(&jobs, 1000.0, OptMethod::Auto),
+            Err(MarketError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn water_filling_equalizes_marginals() {
+        // Two quadratic jobs: marginal 2αδ; equal marginals → δ1/δ2 = α2/α1.
+        let c1 = QuadraticCost::new(1.0, 10.0);
+        let c2 = QuadraticCost::new(3.0, 10.0);
+        let jobs = vec![OptJob::new(0, &c1, 125.0), OptJob::new(1, &c2, 125.0)];
+        let sol = solve(&jobs, 500.0, OptMethod::WaterFilling).unwrap();
+        let d1 = sol.reductions[0].1;
+        let d2 = sol.reductions[1].1;
+        assert!((d1 / d2 - 3.0).abs() < 1e-3, "d1={d1} d2={d2}");
+        assert!((sol.total_power - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn water_filling_beats_uniform_for_heterogeneous_costs() {
+        let c1 = QuadraticCost::new(1.0, 2.0);
+        let c2 = QuadraticCost::new(9.0, 2.0);
+        let jobs = vec![OptJob::new(0, &c1, 125.0), OptJob::new(1, &c2, 125.0)];
+        let target = 250.0; // needs total δ = 2.0
+        let sol = solve(&jobs, target, OptMethod::Auto).unwrap();
+        let uniform_cost = c1.cost(1.0) + c2.cost(1.0);
+        assert!(
+            sol.total_cost < uniform_cost,
+            "OPT {} should beat uniform {}",
+            sol.total_cost,
+            uniform_cost
+        );
+    }
+
+    #[test]
+    fn concave_greedy_prefers_cheapest_average_cost() {
+        let cheap = LogFitCost::new(0.1, 20.0, 1.0);
+        let dear = LogFitCost::new(2.0, 20.0, 1.0);
+        let jobs = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
+        let sol = solve(&jobs, 125.0, OptMethod::Auto).unwrap();
+        // The cheap job should be reduced fully; the expensive one untouched.
+        assert!((sol.reductions[0].1 - 1.0).abs() < 1e-9);
+        assert!(sol.reductions[1].1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_detects_concavity() {
+        let c = LogFitCost::new(1.0, 10.0, 1.0);
+        assert!(!is_convex(&c));
+        let q = QuadraticCost::new(1.0, 1.0);
+        assert!(is_convex(&q));
+        let l = LinearCost::new(2.0, 1.0);
+        assert!(is_convex(&l));
+    }
+
+    #[test]
+    fn linear_costs_fill_cheapest_first() {
+        let cheap = LinearCost::new(1.0, 1.0);
+        let dear = LinearCost::new(5.0, 1.0);
+        let jobs = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
+        let sol = solve(&jobs, 150.0, OptMethod::WaterFilling).unwrap();
+        assert!((sol.reductions[0].1 - 1.0).abs() < 1e-6);
+        assert!((sol.reductions[1].1 - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn debug_impl_is_nonempty() {
+        let c = LinearCost::new(1.0, 1.0);
+        let j = OptJob::new(3, &c, 125.0);
+        assert!(format!("{j:?}").contains("OptJob"));
+        assert_eq!(j.id(), 3);
+    }
+
+    proptest! {
+        /// OPT meets the target (within tolerance) and respects bounds, and
+        /// never costs more than the uniform-split allocation.
+        #[test]
+        fn opt_feasible_and_no_worse_than_uniform(
+            alphas in proptest::collection::vec(0.2f64..8.0, 2..12),
+            frac in 0.1f64..0.9,
+        ) {
+            let costs: Vec<QuadraticCost> =
+                alphas.iter().map(|&a| QuadraticCost::new(a, 1.0)).collect();
+            let jobs: Vec<OptJob<'_>> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+                .collect();
+            let attainable = 125.0 * jobs.len() as f64;
+            let target = frac * attainable;
+            let sol = solve(&jobs, target, OptMethod::Auto).unwrap();
+            prop_assert!(sol.total_power >= target * (1.0 - 1e-6));
+            for (i, (_, d)) in sol.reductions.iter().enumerate() {
+                prop_assert!(*d >= -1e-12 && *d <= costs[i].delta_max() + 1e-9);
+            }
+            // Uniform allocation with the same total power.
+            let uniform = target / attainable;
+            let uniform_cost: f64 = costs.iter().map(|c| {
+                use crate::cost::CostModel;
+                c.cost(uniform)
+            }).sum();
+            prop_assert!(sol.total_cost <= uniform_cost * (1.0 + 1e-6) + 1e-9,
+                "OPT {} worse than uniform {}", sol.total_cost, uniform_cost);
+        }
+    }
+}

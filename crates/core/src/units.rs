@@ -1,0 +1,232 @@
+//! Newtype wrappers for the physical quantities used throughout MPR.
+//!
+//! The market math itself operates on `f64` for ergonomics, but public
+//! aggregate results use these newtypes so that watts, cores, core-hours and
+//! prices cannot be confused ([C-NEWTYPE]).
+//!
+//! All four types are thin wrappers: construct them with `from`/`new`, read
+//! them back with [`get`](Watts::get), and add/subtract values of the same
+//! unit. Multiplying by a bare `f64` scales the quantity.
+//!
+//! ```
+//! use mpr_core::units::{Cores, Watts};
+//!
+//! let per_core = Watts::new(125.0);
+//! let reduction = Cores::new(4.0);
+//! let saved = per_core * reduction.get();
+//! assert_eq!(saved, Watts::new(500.0));
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw value in this unit.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the underlying value.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` if the value is finite (not NaN / infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two quantities of the same unit (dimensionless).
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    " W"
+);
+unit!(
+    /// A (possibly fractional) quantity of CPU/GPU cores. A core slowed to
+    /// 90 % of its nominal speed counts as 0.9 cores (Section III-A).
+    Cores,
+    " cores"
+);
+unit!(
+    /// Core-hours: availability of one HPC core for one hour — the currency
+    /// in which MPR rewards are paid (Section I).
+    CoreHours,
+    " core-hours"
+);
+unit!(
+    /// Market unit price `q`: reward per unit of resource reduction. The
+    /// paper uses cores both as the unit of cost and of reduction, making
+    /// the price dimensionless (Section IV-B, "Bidding references").
+    Price,
+    ""
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Watts::new(100.0);
+        let b = Watts::new(25.0);
+        assert_eq!(a + b, Watts::new(125.0));
+        assert_eq!(a - b, Watts::new(75.0));
+        assert_eq!(a * 2.0, Watts::new(200.0));
+        assert_eq!(a / 4.0, Watts::new(25.0));
+        assert_eq!(a / b, 4.0);
+        assert_eq!(-a, Watts::new(-100.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut w = Cores::new(1.0);
+        w += Cores::new(2.0);
+        assert_eq!(w, Cores::new(3.0));
+        w -= Cores::new(0.5);
+        assert_eq!(w, Cores::new(2.5));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: CoreHours = (1..=4).map(|i| CoreHours::new(f64::from(i))).sum();
+        assert_eq!(total, CoreHours::new(10.0));
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        assert_eq!(Watts::new(301.8).to_string(), "301.8 W");
+        assert_eq!(Cores::new(2.0).to_string(), "2 cores");
+        assert_eq!(Price::new(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn ordering_and_clamping() {
+        let lo = Price::new(0.1);
+        let hi = Price::new(0.9);
+        assert!(lo < hi);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    fn conversions() {
+        let w: Watts = 42.0.into();
+        let raw: f64 = w.into();
+        assert_eq!(raw, 42.0);
+        assert!(w.is_finite());
+        assert!(!Watts::new(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Watts::default(), Watts::ZERO);
+    }
+}

@@ -1,0 +1,258 @@
+//! A VCG (Vickrey–Clarke–Groves) procurement auction for power reduction —
+//! the mechanism-design alternative the paper contrasts MPR against
+//! (Section VI, "Mechanism design applications").
+//!
+//! In the VCG auction users *reveal their private cost functions* to the
+//! manager, who computes the cost-optimal allocation (OPT) and pays each
+//! contributing user its **pivot payment**: the externality it imposes on
+//! the rest of the system,
+//!
+//! ```text
+//! p_m = C*₋ₘ − (C* − c_m(δ*_m))
+//! ```
+//!
+//! where `C*` is the optimal total cost with everyone, and `C*₋ₘ` the
+//! optimal cost with user `m` removed. The auction is truthful (reporting
+//! the true cost function is a dominant strategy) and individually rational
+//! (payments cover costs) — but it requires users to disclose their cost
+//! functions, and it needs `M+1` OPT solves instead of MClr's single
+//! bisection. Supply-function bidding trades a little optimality (MPR-STAT)
+//! or a few interaction rounds (MPR-INT) for privacy and scalability; the
+//! `ablation_vcg` experiment quantifies that trade.
+
+use crate::error::MarketError;
+use crate::opt::{self, OptJob, OptMethod};
+use crate::participant::JobId;
+
+/// Outcome of a VCG procurement auction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcgOutcome {
+    /// Per-job `(id, reduction, payment)` in input order. Jobs with zero
+    /// reduction receive zero payment.
+    pub awards: Vec<VcgAward>,
+    /// Total cost of the chosen (optimal) allocation.
+    pub total_cost: f64,
+    /// Total payment disbursed by the manager.
+    pub total_payment: f64,
+}
+
+/// One job's allocation and payment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcgAward {
+    /// The job.
+    pub id: JobId,
+    /// Resource reduction assigned, cores.
+    pub reduction: f64,
+    /// VCG pivot payment, in reward units (core-hours per hour).
+    pub payment: f64,
+    /// The job's own cost at its assigned reduction.
+    pub cost: f64,
+}
+
+impl VcgOutcome {
+    /// The manager's overpayment relative to the social cost
+    /// (`total_payment − total_cost ≥ 0` — the price of truthfulness).
+    #[must_use]
+    pub fn information_rent(&self) -> f64 {
+        self.total_payment - self.total_cost
+    }
+}
+
+/// Runs the VCG auction for a power-reduction target over jobs with
+/// *revealed* cost models.
+///
+/// ```
+/// use mpr_core::opt::{OptJob, OptMethod};
+/// use mpr_core::{vcg, QuadraticCost};
+///
+/// # fn main() -> Result<(), mpr_core::MarketError> {
+/// let costs: Vec<QuadraticCost> =
+///     [1.0, 2.0, 4.0].iter().map(|&a| QuadraticCost::new(a, 1.0)).collect();
+/// let jobs: Vec<OptJob<'_>> = costs
+///     .iter()
+///     .enumerate()
+///     .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+///     .collect();
+/// let outcome = vcg::auction(&jobs, 200.0, OptMethod::Auto)?;
+/// // Individually rational: every pivot payment covers the user's cost.
+/// for award in &outcome.awards {
+///     assert!(award.payment >= award.cost - 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * Propagates [`MarketError::NoParticipants`] / [`MarketError::Infeasible`]
+///   from the underlying OPT solve.
+/// * Returns [`MarketError::Infeasible`] if removing any *contributing* job
+///   makes the target unreachable (a monopolist supplier has unbounded
+///   pivot payment).
+pub fn auction(
+    jobs: &[OptJob<'_>],
+    target_watts: f64,
+    method: OptMethod,
+) -> Result<VcgOutcome, MarketError> {
+    let full = opt::solve(jobs, target_watts, method)?;
+    let mut awards = Vec::with_capacity(jobs.len());
+    let mut total_payment = 0.0;
+    for (i, job) in jobs.iter().enumerate() {
+        let (id, reduction) = full.reductions[i];
+        if reduction <= 1e-12 {
+            awards.push(VcgAward {
+                id,
+                reduction: 0.0,
+                payment: 0.0,
+                cost: 0.0,
+            });
+            continue;
+        }
+        let own_cost = job.cost_at(reduction);
+        // Others' optimal cost when m does not exist.
+        let mut others: Vec<OptJob<'_>> = Vec::with_capacity(jobs.len() - 1);
+        others.extend(jobs.iter().enumerate().filter(|(k, _)| *k != i).map(|(_, j)| *j));
+        let without = opt::solve(&others, target_watts, method)?;
+        // Others' cost within the full optimum.
+        let others_cost_in_full = full.total_cost - own_cost;
+        let payment = (without.total_cost - others_cost_in_full).max(own_cost);
+        total_payment += payment;
+        awards.push(VcgAward {
+            id,
+            reduction,
+            payment,
+            cost: own_cost,
+        });
+    }
+    Ok(VcgOutcome {
+        awards,
+        total_cost: full.total_cost,
+        total_payment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, QuadraticCost};
+
+    fn jobs(costs: &[QuadraticCost]) -> Vec<OptJob<'_>> {
+        costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+            .collect()
+    }
+
+    #[test]
+    fn payments_cover_costs() {
+        let costs: Vec<QuadraticCost> = [1.0, 2.0, 4.0]
+            .iter()
+            .map(|&a| QuadraticCost::new(a, 1.0))
+            .collect();
+        let out = auction(&jobs(&costs), 200.0, OptMethod::Auto).unwrap();
+        for award in &out.awards {
+            assert!(
+                award.payment >= award.cost - 1e-9,
+                "individual rationality violated: pay {} < cost {}",
+                award.payment,
+                award.cost
+            );
+        }
+        assert!(out.information_rent() >= -1e-9);
+        assert!(out.total_payment >= out.total_cost);
+    }
+
+    #[test]
+    fn zero_reduction_gets_zero_payment() {
+        // One cheap job can cover the whole (small) target; the expensive
+        // one is idle and unpaid.
+        let cheap = QuadraticCost::new(0.01, 1.0);
+        let dear = QuadraticCost::new(100.0, 1.0);
+        let j = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
+        let out = auction(&j, 20.0, OptMethod::Auto).unwrap();
+        let dear_award = out.awards.iter().find(|a| a.id == 1).unwrap();
+        assert!(dear_award.reduction < 0.05);
+        if dear_award.reduction <= 1e-12 {
+            assert_eq!(dear_award.payment, 0.0);
+        }
+    }
+
+    #[test]
+    fn truthfulness_spot_check() {
+        // Under-reporting the cost cannot increase a user's utility
+        // (payment − true cost).
+        let truthful = QuadraticCost::new(2.0, 1.0);
+        let liar = QuadraticCost::new(1.0, 1.0); // claims to be cheaper
+        let other = QuadraticCost::new(2.0, 1.0);
+        let target = 150.0;
+
+        let honest = auction(
+            &[
+                OptJob::new(0, &truthful, 125.0),
+                OptJob::new(1, &other, 125.0),
+                OptJob::new(2, &other, 125.0),
+            ],
+            target,
+            OptMethod::Auto,
+        )
+        .unwrap();
+        let lying = auction(
+            &[
+                OptJob::new(0, &liar, 125.0),
+                OptJob::new(1, &other, 125.0),
+                OptJob::new(2, &other, 125.0),
+            ],
+            target,
+            OptMethod::Auto,
+        )
+        .unwrap();
+
+        let utility = |out: &VcgOutcome| {
+            let a = &out.awards[0];
+            // True utility uses the TRUE cost at the assigned reduction.
+            a.payment - truthful.cost(a.reduction)
+        };
+        assert!(
+            utility(&honest) >= utility(&lying) - 1e-6,
+            "misreporting must not pay: honest {} vs lying {}",
+            utility(&honest),
+            utility(&lying)
+        );
+    }
+
+    #[test]
+    fn monopolist_supplier_is_infeasible() {
+        // Removing the only big supplier makes the target unreachable.
+        let big = QuadraticCost::new(1.0, 10.0);
+        let small = QuadraticCost::new(1.0, 0.1);
+        let j = vec![OptJob::new(0, &big, 125.0), OptJob::new(1, &small, 125.0)];
+        // Target needs more than `small` alone can give.
+        let err = auction(&j, 500.0, OptMethod::Auto).unwrap_err();
+        assert!(matches!(err, MarketError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn empty_and_trivial_targets() {
+        assert!(matches!(
+            auction(&[], 10.0, OptMethod::Auto),
+            Err(MarketError::NoParticipants)
+        ));
+        let c = QuadraticCost::new(1.0, 1.0);
+        let j = vec![OptJob::new(0, &c, 125.0)];
+        let out = auction(&j, 0.0, OptMethod::Auto).unwrap();
+        assert_eq!(out.total_payment, 0.0);
+        assert_eq!(out.total_cost, 0.0);
+    }
+
+    #[test]
+    fn symmetric_jobs_pay_symmetrically() {
+        let costs: Vec<QuadraticCost> =
+            (0..4).map(|_| QuadraticCost::new(2.0, 1.0)).collect();
+        let out = auction(&jobs(&costs), 300.0, OptMethod::Auto).unwrap();
+        let p0 = out.awards[0].payment;
+        for a in &out.awards {
+            assert!((a.payment - p0).abs() < 1e-6, "payments {:?}", out.awards);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablation: supply-function bidding (MPR) against a VCG procurement
+//! auction (the related-work alternative, Section VI).
+//!
+//! VCG is truthful and cost-optimal but (i) forces users to reveal their
+//! private cost functions, (ii) needs `M+1` OPT solves, and (iii) pays an
+//! information rent above the social cost. MPR trades a sliver of
+//! optimality for privacy and a single bisection solve.
+
+use std::time::Instant;
+
+use mpr_apps::cpu_profiles;
+use mpr_core::bidding::StaticStrategy;
+use mpr_core::{
+    opt, vcg, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    Participant, ScaledCost, StaticMarket,
+};
+use mpr_experiments::{fmt, print_table};
+
+fn main() {
+    let profiles = cpu_profiles();
+    let w = 125.0;
+    let n = 64usize;
+    let costs: Vec<ScaledCost<_>> = (0..n)
+        .map(|i| {
+            let p = &profiles[i % profiles.len()];
+            ScaledCost::new(p.cost_model(1.0), f64::from(1u32 << (i % 5)))
+        })
+        .collect();
+    let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
+
+    let mut rows = Vec::new();
+    for frac in [0.2, 0.4, 0.6] {
+        let target = frac * attainable;
+
+        // VCG.
+        let jobs: Vec<opt::OptJob<'_>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| opt::OptJob::new(i as u64, c, w))
+            .collect();
+        let t0 = Instant::now();
+        let v = vcg::auction(&jobs, target, opt::OptMethod::Auto).expect("feasible");
+        let vcg_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        // MPR-STAT.
+        let market: StaticMarket = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                Participant::new(
+                    i as u64,
+                    StaticStrategy::Cooperative.supply_for(c).unwrap(),
+                    w,
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        let stat = market.clear(target).expect("feasible");
+        let stat_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let stat_cost: f64 = stat
+            .allocations()
+            .iter()
+            .map(|a| costs[a.id as usize].cost(a.reduction))
+            .sum();
+
+        // MPR-INT.
+        let agents: Vec<Box<dyn BiddingAgent>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), w)) as _)
+            .collect();
+        let mut imarket = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let int = imarket.clear(target).expect("feasible");
+        let int_cost: f64 = int
+            .clearing
+            .allocations()
+            .iter()
+            .map(|a| costs[a.id as usize].cost(a.reduction))
+            .sum();
+
+        rows.push(vec![
+            fmt(100.0 * frac, 0),
+            fmt(v.total_cost, 1),
+            fmt(v.total_payment, 1),
+            fmt(vcg_ms, 1),
+            fmt(stat_cost, 1),
+            fmt(stat.total_reward_rate(), 1),
+            fmt(stat_ms, 2),
+            fmt(int_cost, 1),
+            fmt(int.clearing.total_reward_rate(), 1),
+            int.clearing.iterations().to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Ablation: VCG auction vs MPR markets ({n} jobs)"),
+        &[
+            "target (%)",
+            "VCG cost",
+            "VCG pay",
+            "VCG ms",
+            "STAT cost",
+            "STAT pay",
+            "STAT ms",
+            "INT cost",
+            "INT pay",
+            "INT iters",
+        ],
+        &rows,
+    );
+    println!(
+        "\nVCG is cost-optimal and truthful but requires revealed cost functions and M+1 OPT solves;\n\
+         MPR-STAT clears in one bisection without revealing anything (Section VI)."
+    );
+}

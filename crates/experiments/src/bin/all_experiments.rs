@@ -1,0 +1,77 @@
+//! Runs every experiment binary in sequence (short spans) — a smoke pass
+//! over the full table/figure suite:
+//!
+//! ```text
+//! cargo run --release -p mpr-experiments --bin all_experiments -- --days 10
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let days = mpr_experiments::arg_days(10.0).to_string();
+    let with_days: &[&str] = &[
+        "table1",
+        "fig1b",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig_power_timeline",
+        "ablation_hysteresis",
+        "ext_demand_response",
+        "ext_carbon",
+        "ext_partitions",
+        "ext_scheduler",
+        "ext_phases",
+        "ext_alpha",
+        "ext_tco",
+    ];
+    let without: &[&str] = &[
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig7",
+        "fig10",
+        "fig16",
+        "fig17",
+        "ablation_supply",
+        "ablation_cost",
+        "ablation_damping",
+        "ablation_vcg",
+        "ablation_efficiency",
+        "ext_power_attack",
+        "ext_collusion",
+        "ext_battery_dr",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in with_days.iter().chain(without) {
+        println!("\n################ {name} ################");
+        let mut cmd = Command::new(bin_dir.join(name));
+        if with_days.contains(name) {
+            cmd.args(["--days", &days]);
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e} (build with --release first)");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

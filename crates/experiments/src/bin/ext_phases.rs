@@ -1,0 +1,48 @@
+//! Extension (paper Section I, limitations of proactive approaches): job
+//! power *phases*.
+//!
+//! Proactive power-aware scheduling must predict per-phase power; MPR's
+//! reactive loop just watches the meter. This sweep turns on per-job power
+//! oscillation and shows the reactive machinery absorbing it: more (shorter)
+//! emergencies, modest cost growth, no scheduler-side modeling anywhere.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run_with};
+use mpr_sim::{Algorithm, SimConfig};
+
+fn main() {
+    let days = arg_days(30.0);
+    let trace = gaia_trace(days);
+    println!("Gaia, {days} days, MPR-STAT at 15% oversubscription");
+
+    let mut rows = Vec::new();
+    for amplitude in [0.0, 0.1, 0.2, 0.3] {
+        let r = run_with(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_phases(amplitude),
+        );
+        rows.push(vec![
+            format!("±{}%", fmt(amplitude * 100.0, 0)),
+            fmt(r.overload_time_pct(), 2),
+            r.overload_events.to_string(),
+            fmt_thousands(r.reduction_core_hours),
+            fmt_thousands(r.cost_core_hours),
+            fmt(r.avg_runtime_increase_pct, 2),
+        ]);
+    }
+    print_table(
+        "Per-job power phases vs the reactive loop",
+        &[
+            "phase amplitude",
+            "overload time %",
+            "emergencies",
+            "reduction (c-h)",
+            "cost (c-h)",
+            "stretch %",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPhase noise multiplies emergencies but each stays small — the reactive\n\
+         market needs no phase prediction, unlike power-aware scheduling."
+    );
+}

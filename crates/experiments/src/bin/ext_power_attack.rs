@@ -1,0 +1,162 @@
+//! Extension (paper Section III-F, "Malicious users"): power attacks.
+//!
+//! A malicious user learns the system is overloaded from seeing the market
+//! invoked, and responds by triggering the power-intensive phase of its job
+//! to *intensify* the overload. The defense the paper describes: the
+//! manager "can quickly thwart unwanted power spikes by directly reducing
+//! the power of all users/jobs bypassing MPR".
+//!
+//! We emulate a prototype-scale cluster with four honest applications and
+//! one attacker, with and without the direct-capping defense.
+
+use mpr_core::bidding::StaticStrategy;
+use mpr_core::{Participant, StaticMarket, Watts};
+use mpr_experiments::{fmt, print_table};
+use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController};
+use mpr_proto::{prototype_apps, DvfsApp, FREQ_MAX_GHZ, FREQ_MIN_GHZ};
+
+/// Attacker: draws 60 W normally, 260 W while attacking (a power-virus
+/// phase trigger) — more than the honest apps can shed, so the market
+/// alone cannot restore the cap. Attacks whenever it observes an emergency.
+const ATTACK_IDLE_W: f64 = 60.0;
+const ATTACK_SPIKE_W: f64 = 260.0;
+const CAP_W: f64 = 430.0;
+const STATIC_W: f64 = 20.0;
+const DURATION_S: usize = 1800;
+
+struct Outcome {
+    max_power: f64,
+    secs_above_cap: usize,
+    emergencies: usize,
+    direct_caps: usize,
+}
+
+fn run(defended: bool) -> Outcome {
+    let apps: Vec<DvfsApp> = prototype_apps();
+    let supplies: Vec<_> = apps
+        .iter()
+        .map(|a| {
+            StaticStrategy::Cooperative
+                .supply_for(&a.cost_model())
+                .expect("valid bids")
+        })
+        .collect();
+    let mut controller = EmergencyController::new(EmergencyConfig {
+        capacity: Watts::new(CAP_W),
+        buffer_frac: 0.01,
+        min_overload_secs: 5.0,
+        cooldown_secs: 60.0,
+    });
+    let mut freqs = vec![FREQ_MAX_GHZ; apps.len()];
+    let mut attacking = false;
+    let mut direct_capped = false;
+    let mut escalations_in_emergency = 0usize;
+    let mut out = Outcome {
+        max_power: 0.0,
+        secs_above_cap: 0,
+        emergencies: 0,
+        direct_caps: 0,
+    };
+
+    for step in 0..DURATION_S {
+        let t = step as f64;
+        let honest: f64 = apps
+            .iter()
+            .zip(&freqs)
+            .map(|(a, &f)| a.dynamic_power_w(f))
+            .sum();
+        let attacker = if direct_capped {
+            // Direct power capping clamps the attacker's node too.
+            ATTACK_IDLE_W * 0.5
+        } else if attacking {
+            ATTACK_SPIKE_W
+        } else {
+            ATTACK_IDLE_W
+        };
+        let power = STATIC_W + honest + attacker;
+        out.max_power = out.max_power.max(power);
+        if power > CAP_W {
+            out.secs_above_cap += 1;
+        }
+
+        match controller.step(t, Watts::new(power)) {
+            EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. } => {
+                out.emergencies += 1;
+                escalations_in_emergency += 1;
+                // The attacker observes the market invocation and spikes.
+                attacking = true;
+                if defended && escalations_in_emergency >= 3 {
+                    // Repeated escalation: bypass the market, cap directly.
+                    direct_capped = true;
+                    out.direct_caps += 1;
+                    freqs.iter_mut().for_each(|f| *f = FREQ_MIN_GHZ);
+                    controller.record_delivered(Watts::new(
+                        apps.iter().map(|a| a.power_saving_w(FREQ_MIN_GHZ)).sum(),
+                    ));
+                    continue;
+                }
+                // Normal market path (attacker refuses to participate).
+                let target = controller.active_target().get();
+                let participants: Vec<Participant> = apps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| Participant::new(i as u64, supplies[i], a.watts_per_unit()))
+                    .collect();
+                let clearing = StaticMarket::new(participants).clear_best_effort(target);
+                let mut delivered = 0.0;
+                for alloc in clearing.allocations() {
+                    let i = alloc.id as usize;
+                    let f = apps[i].freq_for_reduction(alloc.reduction);
+                    freqs[i] = f;
+                    delivered += apps[i].power_saving_w(f);
+                }
+                controller.record_delivered(Watts::new(delivered));
+            }
+            EmergencyAction::Lift => {
+                freqs.iter_mut().for_each(|f| *f = FREQ_MAX_GHZ);
+                attacking = false;
+                direct_capped = false;
+                escalations_in_emergency = 0;
+            }
+            EmergencyAction::None => {}
+        }
+    }
+    out
+}
+
+fn main() {
+    let undefended = run(false);
+    let defended = run(true);
+    let rows = vec![
+        vec![
+            "market only".to_owned(),
+            fmt(undefended.max_power, 1),
+            undefended.secs_above_cap.to_string(),
+            undefended.emergencies.to_string(),
+            undefended.direct_caps.to_string(),
+        ],
+        vec![
+            "with direct capping".to_owned(),
+            fmt(defended.max_power, 1),
+            defended.secs_above_cap.to_string(),
+            defended.emergencies.to_string(),
+            defended.direct_caps.to_string(),
+        ],
+    ];
+    print_table(
+        &format!("Power-attack study (cap {CAP_W} W, 30-minute run, 1 attacker)"),
+        &[
+            "defense",
+            "max power (W)",
+            "secs above cap",
+            "market calls",
+            "direct caps",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe attacker spikes whenever it sees the market invoked; with the paper's\n\
+         direct-capping fallback the overload time collapses and the spike is clamped."
+    );
+    assert!(defended.secs_above_cap < undefended.secs_above_cap);
+}

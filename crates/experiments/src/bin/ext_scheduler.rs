@@ -1,0 +1,62 @@
+//! Extension: the scheduling substrate end-to-end.
+//!
+//! The paper's traces record *start* times produced by a real resource
+//! manager. Here we treat the generated Gaia stream as a *submission*
+//! stream, schedule it onto a core-constrained machine with FCFS and EASY
+//! backfilling, and run MPR on the resulting start-time trace — the full
+//! submit → queue → start → power → market pipeline.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run};
+use mpr_sched::{schedule, Policy, SubmittedJob};
+use mpr_sim::Algorithm;
+
+fn main() {
+    let days = arg_days(14.0);
+    let generated = gaia_trace(days);
+    // Interpret generated starts as submissions; estimates are 1.5x actual
+    // (users over-request, the usual pattern in archive logs).
+    let submissions: Vec<SubmittedJob> = generated
+        .jobs()
+        .iter()
+        .map(|j| SubmittedJob::new(j.id, j.start_secs, j.runtime_secs, 1.5 * j.runtime_secs, j.cores))
+        .collect();
+
+    // Schedule onto a constrained machine (75 % of the cores) so the
+    // submission stream actually queues — the regime schedulers exist for.
+    let machine_cores = (generated.total_cores() * 3) / 4;
+    let mut rows = Vec::new();
+    for (name, policy) in [("FCFS", Policy::Fcfs), ("EASY backfill", Policy::EasyBackfill)] {
+        let out = schedule(&submissions, machine_cores, policy);
+        let report = run(&out.trace, Algorithm::MprStat, 15.0);
+        rows.push(vec![
+            name.to_owned(),
+            fmt(out.stats.mean_wait_secs / 60.0, 1),
+            fmt(out.stats.max_wait_secs / 3600.0, 1),
+            out.stats.backfilled_jobs.to_string(),
+            fmt(100.0 * out.stats.utilization, 1),
+            fmt(report.overload_time_pct(), 2),
+            fmt_thousands(report.cost_core_hours),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Submission-stream pipeline: {} jobs scheduled onto {} cores, then MPR-STAT at 15%",
+            generated.len(),
+            machine_cores
+        ),
+        &[
+            "policy",
+            "mean wait (min)",
+            "max wait (h)",
+            "backfilled",
+            "utilization %",
+            "overload %",
+            "MPR cost (c-h)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nBackfilling raises utilization, which in turn feeds the oversubscribed\n\
+         power envelope — scheduling and power management compose cleanly."
+    );
+}

@@ -1,0 +1,136 @@
+//! Fig. 10: solution-time scalability of OPT, EQL, MPR-STAT and MPR-INT
+//! with a growing number of active jobs, plus MPR-INT's iteration count.
+//!
+//! MPR-INT's reported time includes the paper's 500 ms communication delay
+//! per bidding round (the computation itself is microseconds per round).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mpr_apps::{cpu_profiles, AppProfile, ProfileCost};
+use mpr_core::bidding::StaticStrategy;
+use mpr_core::{
+    eql, opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    Participant, ScaledCost, StaticMarket,
+};
+use mpr_experiments::{fmt, print_table};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct BenchJob {
+    cores: f64,
+    profile: Arc<AppProfile>,
+    cost: ScaledCost<ProfileCost>,
+    supply: mpr_core::SupplyFunction,
+}
+
+fn make_jobs(n: usize) -> Vec<BenchJob> {
+    let profiles = cpu_profiles();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    (0..n)
+        .map(|_| {
+            let p = Arc::clone(&profiles[rng.gen_range(0..profiles.len())]);
+            let cores = f64::from(2u32.pow(rng.gen_range(0..6)));
+            let cost = ScaledCost::new(p.cost_model(1.0), cores);
+            let supply = StaticStrategy::Cooperative
+                .supply_for(&cost)
+                .expect("valid cooperative bid");
+            BenchJob {
+                cores,
+                profile: p,
+                cost,
+                supply,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let sizes = [10usize, 100, 1000, 10_000, 30_000];
+    let comm_delay_secs = 0.5;
+    let mut rows = Vec::new();
+    let mut iter_rows = Vec::new();
+    for &n in &sizes {
+        let jobs = make_jobs(n);
+        let attainable: f64 = jobs
+            .iter()
+            .map(|j| j.cost.delta_max() * j.profile.unit_dynamic_power_w())
+            .sum();
+        let target = 0.3 * attainable;
+
+        // MPR-STAT: one market clearing.
+        let participants: Vec<Participant> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Participant::new(i as u64, j.supply, j.profile.unit_dynamic_power_w()))
+            .collect();
+        let market = StaticMarket::new(participants);
+        let t0 = Instant::now();
+        let clearing = market.clear(target).expect("feasible");
+        let stat_secs = t0.elapsed().as_secs_f64();
+        assert!(clearing.met_target());
+
+        // EQL: uniform fraction + bookkeeping.
+        let eql_jobs: Vec<eql::EqlJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| eql::EqlJob {
+                id: i as u64,
+                cores: j.cores,
+                delta_max: j.cost.delta_max(),
+                watts_per_unit: j.profile.unit_dynamic_power_w(),
+            })
+            .collect();
+        let t0 = Instant::now();
+        let _ = eql::reduce(&eql_jobs, target).expect("feasible");
+        let eql_secs = t0.elapsed().as_secs_f64();
+
+        // OPT: centralized separable NLP.
+        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
+            .collect();
+        let t0 = Instant::now();
+        let _ = opt::solve(&opt_jobs, target, opt::OptMethod::Auto).expect("feasible");
+        let opt_secs = t0.elapsed().as_secs_f64();
+
+        // MPR-INT: iterative exchange (+500 ms per round).
+        let agents: Vec<Box<dyn BiddingAgent>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                Box::new(NetGainAgent::new(
+                    i as u64,
+                    j.cost.clone(),
+                    j.profile.unit_dynamic_power_w(),
+                )) as Box<dyn BiddingAgent>
+            })
+            .collect();
+        let mut imarket = InteractiveMarket::new(agents, InteractiveConfig::default());
+        let t0 = Instant::now();
+        let outcome = imarket.clear(target).expect("feasible");
+        let int_compute = t0.elapsed().as_secs_f64();
+        let iters = outcome.clearing.iterations();
+        let int_secs = int_compute + comm_delay_secs * iters as f64;
+
+        rows.push(vec![
+            n.to_string(),
+            fmt(opt_secs * 1000.0, 2),
+            fmt(eql_secs * 1000.0, 3),
+            fmt(stat_secs * 1000.0, 3),
+            fmt(int_secs, 2),
+        ]);
+        iter_rows.push(vec![n.to_string(), iters.to_string()]);
+    }
+    print_table(
+        "Fig. 10(a): solution time (OPT/EQL/MPR-STAT in ms; MPR-INT in s incl. 500 ms/round comms)",
+        &["active jobs", "OPT (ms)", "EQL (ms)", "MPR-STAT (ms)", "MPR-INT (s)"],
+        &rows,
+    );
+    print_table(
+        "Fig. 10(b): MPR-INT iterations to clear",
+        &["active jobs", "iterations"],
+        &iter_rows,
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 11: user rewards and the HPC system's gain from MPR.
+//!
+//! (a) users always receive more reward than their performance-loss cost;
+//! (b) the manager gains orders of magnitude more core-hours than she pays.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run};
+use mpr_sim::Algorithm;
+
+fn main() {
+    let days = arg_days(90.0);
+    let trace = gaia_trace(days);
+    println!("Gaia, {days} days, {} jobs", trace.len());
+
+    let levels = [5.0, 10.0, 15.0, 20.0];
+    let mut reward_rows = Vec::new();
+    let mut gain_rows = Vec::new();
+    let mut ratio_rows = Vec::new();
+    for alg in [Algorithm::MprStat, Algorithm::MprInt] {
+        let reports: Vec<_> = levels.iter().map(|&pct| run(&trace, alg, pct)).collect();
+        reward_rows.push(
+            std::iter::once(alg.to_string())
+                .chain(reports.iter().map(|r| {
+                    r.reward_pct_of_cost()
+                        .map_or_else(|| "n/a".into(), |v| fmt(v, 0))
+                }))
+                .collect::<Vec<_>>(),
+        );
+        gain_rows.push(
+            std::iter::once(alg.to_string())
+                .chain(reports.iter().map(|r| {
+                    format!(
+                        "{} / {}",
+                        fmt_thousands(r.extra_capacity_core_hours),
+                        fmt_thousands(r.reward_core_hours)
+                    )
+                }))
+                .collect::<Vec<_>>(),
+        );
+        ratio_rows.push(
+            std::iter::once(alg.to_string())
+                .chain(reports.iter().map(|r| {
+                    r.gain_over_reward()
+                        .map_or_else(|| "n/a".into(), |v| format!("{}x", fmt(v, 0)))
+                }))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let headers = ["algorithm", "5%", "10%", "15%", "20%"];
+    print_table(
+        "Fig. 11(a): user reward as % of performance-loss cost (>100 means net benefit)",
+        &headers,
+        &reward_rows,
+    );
+    print_table(
+        "Fig. 11(b): HPC gain / reward payoff (core-hours)",
+        &headers,
+        &gain_rows,
+    );
+    print_table(
+        "Fig. 11(b) summary: HPC gain over reward payoff",
+        &headers,
+        &ratio_rows,
+    );
+}

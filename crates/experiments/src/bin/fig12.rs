@@ -1,0 +1,44 @@
+//! Fig. 12: impact of user participation on MPR at 15 % oversubscription —
+//! performance cost and reward payoff at 100/75/50 % participation.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run_with};
+use mpr_sim::{Algorithm, SimConfig};
+
+fn main() {
+    let days = arg_days(90.0);
+    let trace = gaia_trace(days);
+    println!("Gaia, {days} days, 15% oversubscription");
+
+    let participations = [1.0, 0.75, 0.5];
+    let mut cost_rows = Vec::new();
+    let mut reward_rows = Vec::new();
+    for alg in [Algorithm::MprStat, Algorithm::MprInt] {
+        let mut cr = vec![alg.to_string()];
+        let mut rr = vec![alg.to_string()];
+        for &p in &participations {
+            let r = run_with(
+                &trace,
+                SimConfig::new(alg, 15.0).with_participation(p),
+            );
+            cr.push(fmt_thousands(r.cost_core_hours));
+            rr.push(format!(
+                "{} ({}x gain)",
+                fmt_thousands(r.reward_core_hours),
+                r.gain_over_reward().map_or_else(|| "-".into(), |v| fmt(v, 0))
+            ));
+        }
+        cost_rows.push(cr);
+        reward_rows.push(rr);
+    }
+    let headers = ["algorithm", "100%", "75%", "50%"];
+    print_table(
+        "Fig. 12(a): performance cost vs participation (core-hours)",
+        &headers,
+        &cost_rows,
+    );
+    print_table(
+        "Fig. 12(b): reward payoff vs participation (core-hours, with gain ratio)",
+        &headers,
+        &reward_rows,
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig. 14: MPR under the PIK, RICC and Metacentrum workload traces —
+//! trace overviews and the cost-of-performance-loss comparison.
+//!
+//! The full archive spans (up to 3 years for PIK) are cut to a common
+//! window by default; pass `--days N` to lengthen.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, print_table, run};
+use mpr_sim::Algorithm;
+use mpr_workload::{ClusterSpec, TraceGenerator};
+
+fn main() {
+    let days = arg_days(60.0);
+    let specs = [
+        ClusterSpec::pik(),
+        ClusterSpec::ricc(),
+        ClusterSpec::metacentrum(),
+    ];
+    for spec in specs {
+        let trace = TraceGenerator::new(spec.with_span_days(days)).generate();
+        let series = trace.allocation_series(3600.0);
+        println!(
+            "\n{}: {} jobs over {days} days, {} cores, peak alloc {:.0}, mean util {:.2}",
+            trace.name(),
+            trace.len(),
+            trace.total_cores(),
+            series.peak(),
+            series.mean() / f64::from(trace.total_cores())
+        );
+        let levels = [5.0, 10.0, 15.0, 20.0];
+        let mut rows = Vec::new();
+        for alg in Algorithm::all() {
+            let mut row = vec![alg.to_string()];
+            for &pct in &levels {
+                let r = run(&trace, alg, pct);
+                row.push(fmt_thousands(r.cost_core_hours));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Fig. 14: cost of performance loss on {} (core-hours)",
+                trace.name()
+            ),
+            &["algorithm", "5%", "10%", "15%", "20%"],
+            &rows,
+        );
+        // Sanity line mirroring the paper's takeaway.
+        let opt = run(&trace, Algorithm::Opt, 15.0).cost_core_hours;
+        let int = run(&trace, Algorithm::MprInt, 15.0).cost_core_hours;
+        if opt > 0.0 {
+            println!(
+                "MPR-INT / OPT cost ratio at 15%: {}",
+                fmt(int / opt, 2)
+            );
+        }
+    }
+}

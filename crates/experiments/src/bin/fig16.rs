@@ -1,0 +1,48 @@
+//! Fig. 16: impact of CPU speed on dynamic power and execution time for
+//! the four prototype applications (1.0–2.4 GHz DVFS range).
+
+use mpr_experiments::{fmt, print_table};
+use mpr_proto::{prototype_apps, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
+
+fn main() {
+    let apps = prototype_apps();
+    let headers: Vec<String> = std::iter::once("freq (GHz)".to_owned())
+        .chain(apps.iter().map(|a| a.name().to_owned()))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut freqs = Vec::new();
+    let mut f = FREQ_MIN_GHZ;
+    while f <= FREQ_MAX_GHZ + 1e-9 {
+        freqs.push(f);
+        f += 2.0 * FREQ_STEP_GHZ;
+    }
+
+    let rows: Vec<Vec<String>> = freqs
+        .iter()
+        .map(|&f| {
+            let mut row = vec![fmt(f, 1)];
+            row.extend(apps.iter().map(|a| fmt(a.dynamic_power_w(f), 1)));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 16(a): dynamic power vs CPU speed (W, 10-core slice)",
+        &headers_ref,
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = freqs
+        .iter()
+        .map(|&f| {
+            let mut row = vec![fmt(f, 1)];
+            row.extend(apps.iter().map(|a| fmt(a.normalized_runtime(f), 2)));
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 16(b): execution time vs CPU speed (normalized to 2.4 GHz)",
+        &headers_ref,
+        &rows,
+    );
+}

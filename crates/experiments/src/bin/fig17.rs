@@ -1,0 +1,61 @@
+//! Fig. 17: demonstration of MPR on the (emulated) prototype cluster —
+//! 30-minute power timelines with and without MPR at a 400 W cap, and the
+//! per-application resource reductions.
+
+use mpr_experiments::{fmt, print_table};
+use mpr_proto::{Experiment, ExperimentConfig};
+
+fn main() {
+    let without = Experiment::new(ExperimentConfig {
+        with_mpr: false,
+        ..ExperimentConfig::default()
+    })
+    .run();
+    let with = Experiment::new(ExperimentConfig::default()).run();
+
+    // (a) Power timeline, one row per minute.
+    let rows: Vec<Vec<String>> = (0..30)
+        .map(|min| {
+            let idx = min * 60;
+            let w0 = without.samples[idx].power_watts;
+            let w1 = with.samples[idx].power_watts;
+            vec![min.to_string(), fmt(w0, 1), fmt(w1, 1)]
+        })
+        .collect();
+    print_table(
+        "Fig. 17(a): prototype power (W), cap = 400 W",
+        &["minute", "without MPR", "with MPR"],
+        &rows,
+    );
+    println!(
+        "mean power: without MPR {:.1} W, with MPR {:.1} W (reduction {:.1} W)",
+        without.mean_power_watts(),
+        with.mean_power_watts(),
+        without.mean_power_watts() - with.mean_power_watts()
+    );
+    println!(
+        "overload fraction: without {:.1}%, with {:.1}%; emergencies declared: {}",
+        100.0 * without.overload_fraction,
+        100.0 * with.overload_fraction,
+        with.emergencies
+    );
+
+    // (b) Per-application reductions.
+    let rows: Vec<Vec<String>> = with
+        .apps
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.clone(),
+                fmt(a.avg_reduction_cores, 2),
+                fmt(a.avg_freq_ghz, 2),
+                fmt(a.reward, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 17(b): per-application outcomes with MPR",
+        &["app", "avg reduction (cores)", "avg freq (GHz)", "reward"],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Fig. 1(b): utilization CDFs of the four real-world cluster workloads.
+
+use mpr_experiments::{arg_days, fmt, print_table};
+use mpr_workload::{utilization_cdf, ClusterSpec, TraceGenerator};
+
+fn main() {
+    // PIK's full 3-year span is cut to one year by default; override with
+    // --days to reproduce the full trace.
+    let override_days = std::env::args().any(|a| a == "--days");
+    let days = arg_days(0.0);
+    let specs = [
+        ClusterSpec::gaia(),
+        ClusterSpec::metacentrum(),
+        ClusterSpec::ricc(),
+        ClusterSpec::pik().with_span_days(365.0),
+    ];
+    let mut cdfs = Vec::new();
+    let mut names = Vec::new();
+    for spec in specs {
+        let spec = if override_days {
+            spec.with_span_days(days)
+        } else {
+            spec
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let series = trace.allocation_series(600.0);
+        names.push(trace.name().to_owned());
+        cdfs.push(utilization_cdf(
+            &series,
+            f64::from(trace.total_cores()),
+            20,
+        ));
+        let mix = mpr_workload::JobMix::of(trace.jobs(), trace.span_secs());
+        println!(
+            "{}: {} jobs, {} cores, mean utilization {:.2}, median width {:.0} cores, \
+             median runtime {:.1} h, {:.0} arrivals/day",
+            trace.name(),
+            trace.len(),
+            trace.total_cores(),
+            series.mean() / f64::from(trace.total_cores()),
+            mix.median_cores,
+            mix.median_runtime_hours,
+            mix.arrivals_per_day
+        );
+    }
+    let rows: Vec<Vec<String>> = (0..20)
+        .map(|i| {
+            let mut row = vec![fmt(cdfs[0][i].0, 2)];
+            for cdf in &cdfs {
+                row.push(fmt(cdf[i].1, 3));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 1(b): CDF of cluster utilization (fraction of time at or below u)",
+        &[
+            "u",
+            names[0].as_str(),
+            names[1].as_str(),
+            names[2].as_str(),
+            names[3].as_str(),
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: rarely-used top capacity — Gaia ~5%, Metacentrum ~20%, RICC ~55%, PIK ~65% (paper)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 2: MPR's supply function `δ(q) = [Δ − b/q]⁺` for different bids.
+
+use mpr_core::SupplyFunction;
+use mpr_experiments::{fmt, print_table};
+
+fn main() {
+    let delta_max = 0.7;
+    let bids = [0.05, 0.1, 0.2, 0.4];
+    let supplies: Vec<SupplyFunction> = bids
+        .iter()
+        .map(|&b| SupplyFunction::new(delta_max, b).expect("valid supply"))
+        .collect();
+
+    let rows: Vec<Vec<String>> = (1..=20)
+        .map(|i| {
+            let q = 0.1 * f64::from(i);
+            let mut row = vec![fmt(q, 1)];
+            for s in &supplies {
+                row.push(fmt(s.supply(q), 3));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 2: supply of resource reduction, Δ = {delta_max}"),
+        &["price q", "b=0.05", "b=0.10", "b=0.20", "b=0.40"],
+        &rows,
+    );
+    for s in &supplies {
+        println!(
+            "bid {:.2}: activation price {:.3} (supply positive above it)",
+            s.bid(),
+            s.activation_price().unwrap()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 3: XSBench performance, extra execution and cost of resource
+//! reduction (α = 1).
+
+use mpr_apps::profile_by_name;
+use mpr_core::CostModel;
+use mpr_experiments::{fmt, print_table};
+
+fn main() {
+    let xs = profile_by_name("XSBench").expect("catalog app");
+    let cost = xs.cost_model(1.0);
+
+    let rows: Vec<Vec<String>> = (0..=14)
+        .map(|i| {
+            let alloc = 0.3 + 0.05 * f64::from(i);
+            let reduction = 1.0 - alloc;
+            vec![
+                fmt(alloc, 2),
+                fmt(100.0 * xs.performance(alloc), 1),
+                fmt(reduction, 2),
+                fmt(xs.extra_execution(reduction), 3),
+                fmt(cost.cost(reduction), 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3: XSBench under resource reduction (per core, alpha = 1)",
+        &[
+            "allocation",
+            "performance %",
+            "reduction",
+            "extra execution",
+            "cost",
+        ],
+        &rows,
+    );
+    println!("\nΔ (max reduction) for XSBench = {:.2}", xs.delta_max());
+}

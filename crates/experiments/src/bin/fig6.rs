@@ -1,0 +1,36 @@
+//! Fig. 6: core allocation of the Gaia cluster over the trace.
+
+use mpr_experiments::{arg_days, fmt, gaia_trace, print_table};
+
+fn main() {
+    let days = arg_days(92.0);
+    let trace = gaia_trace(days);
+    let series = trace.allocation_series(3600.0);
+    let per_day = 24usize;
+    let rows: Vec<Vec<String>> = series
+        .values()
+        .chunks(per_day)
+        .enumerate()
+        .map(|(day, chunk)| {
+            let min = chunk.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = chunk.iter().copied().fold(0.0, f64::max);
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            vec![
+                format!("{}", day + 1),
+                fmt(min, 0),
+                fmt(mean, 0),
+                fmt(max, 0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig. 6: Gaia core allocation ({} jobs, {} cores, peak {:.0})",
+            trace.len(),
+            trace.total_cores(),
+            series.peak()
+        ),
+        &["day", "min cores", "mean cores", "max cores"],
+        &rows,
+    );
+}

@@ -1,0 +1,89 @@
+//! Fig. 7: performance models, extra execution, log-fit cost models and
+//! bidding references for the eight CPU benchmark applications.
+
+use mpr_apps::{cpu_profiles, fit};
+use mpr_core::CostModel;
+use mpr_experiments::{fmt, print_table};
+
+fn main() {
+    let profiles = cpu_profiles();
+
+    // (a) Performance at different allocations.
+    let allocs = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let headers: Vec<&str> = std::iter::once("allocation")
+        .chain(profiles.iter().map(|p| p.name()))
+        .collect();
+    let rows: Vec<Vec<String>> = allocs
+        .iter()
+        .map(|&a| {
+            let mut row = vec![fmt(a, 1)];
+            row.extend(
+                profiles
+                    .iter()
+                    .map(|p| fmt(100.0 * p.performance(a), 0)),
+            );
+            row
+        })
+        .collect();
+    print_table("Fig. 7(a): performance (% of nominal)", &headers, &rows);
+
+    // (b) Extra execution at different reductions.
+    let reductions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    let rows: Vec<Vec<String>> = reductions
+        .iter()
+        .map(|&r| {
+            let mut row = vec![fmt(r, 1)];
+            row.extend(profiles.iter().map(|p| fmt(p.extra_execution(r), 3)));
+            row
+        })
+        .collect();
+    let headers: Vec<&str> = std::iter::once("reduction")
+        .chain(profiles.iter().map(|p| p.name()))
+        .collect();
+    print_table("Fig. 7(b): extra execution", &headers, &rows);
+
+    // (c) Logarithmic cost fits: cost = a·log(b·x) − a.
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            let truth = p.cost_model(1.0);
+            let log_fit = fit::fit_log(&truth);
+            let (a, b) = log_fit.params();
+            vec![
+                p.name().to_owned(),
+                fmt(a, 3),
+                fmt(b, 2),
+                fmt(fit::fit_rmse(&truth, &log_fit), 3),
+                fmt(truth.cost(0.35), 3),
+                fmt(log_fit.cost(0.35), 3),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7(c): logarithmic cost fits (cost = a*log(b*x) - a)",
+        &["app", "a", "b", "rmse", "true C(0.35)", "fit C(0.35)"],
+        &rows,
+    );
+
+    // (d) Bidding references: price of unit reduction at each reduction.
+    let rows: Vec<Vec<String>> = reductions
+        .iter()
+        .map(|&r| {
+            let mut row = vec![fmt(r, 1)];
+            row.extend(
+                profiles
+                    .iter()
+                    .map(|p| fmt(p.cost_model(1.0).unit_cost(r), 3)),
+            );
+            row
+        })
+        .collect();
+    let headers: Vec<&str> = std::iter::once("reduction")
+        .chain(profiles.iter().map(|p| p.name()))
+        .collect();
+    print_table(
+        "Fig. 7(d): bidding references (break-even price per unit reduction)",
+        &headers,
+        &rows,
+    );
+}

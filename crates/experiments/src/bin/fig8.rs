@@ -1,0 +1,59 @@
+//! Fig. 8: impact of oversubscription on the Gaia system and the HPC jobs —
+//! time in overloaded state, overload hours, jobs affected and total
+//! resource reduction, for all four algorithms at 5–20 % oversubscription.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run};
+use mpr_sim::Algorithm;
+
+fn main() {
+    let days = arg_days(90.0);
+    let trace = gaia_trace(days);
+    println!(
+        "Gaia, {days} days, {} jobs, capacity {:.0} core-hours over the period",
+        trace.len(),
+        f64::from(trace.total_cores()) * days * 24.0
+    );
+
+    let levels = [5.0, 10.0, 15.0, 20.0];
+    let mut overload_pct = Vec::new();
+    let mut overload_hours = Vec::new();
+    let mut affected = Vec::new();
+    let mut reduction = Vec::new();
+    for alg in Algorithm::all() {
+        let mut r1 = vec![alg.to_string()];
+        let mut r2 = vec![alg.to_string()];
+        let mut r3 = vec![alg.to_string()];
+        let mut r4 = vec![alg.to_string()];
+        for &pct in &levels {
+            let r = run(&trace, alg, pct);
+            r1.push(fmt(r.overload_time_pct(), 2));
+            r2.push(fmt(
+                r.overload_slots as f64 * 60.0 / 3600.0,
+                1,
+            ));
+            r3.push(fmt(r.jobs_affected_pct(), 1));
+            r4.push(fmt_thousands(r.reduction_core_hours));
+        }
+        overload_pct.push(r1);
+        overload_hours.push(r2);
+        affected.push(r3);
+        reduction.push(r4);
+    }
+    let headers = ["algorithm", "5%", "10%", "15%", "20%"];
+    print_table(
+        "Fig. 8(a): % of time in overloaded state",
+        &headers,
+        &overload_pct,
+    );
+    print_table(
+        "Fig. 8(b): overload time (hours over the run)",
+        &headers,
+        &overload_hours,
+    );
+    print_table("Fig. 8(c): % of jobs affected", &headers, &affected);
+    print_table(
+        "Fig. 8(d): total resource reduction (core-hours)",
+        &headers,
+        &reduction,
+    );
+}

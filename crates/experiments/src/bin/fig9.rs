@@ -1,0 +1,73 @@
+//! Fig. 9: benchmark comparison over the Gaia trace — total performance
+//! cost, application-level runtime impact and the per-profile breakdown at
+//! 15 % oversubscription.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run};
+use mpr_sim::Algorithm;
+
+fn main() {
+    let days = arg_days(90.0);
+    let trace = gaia_trace(days);
+    println!("Gaia, {days} days, {} jobs", trace.len());
+
+    let levels = [5.0, 10.0, 15.0, 20.0];
+    let mut cost_rows = Vec::new();
+    let mut stretch_rows = Vec::new();
+    let mut at_15 = Vec::new();
+    for alg in Algorithm::all() {
+        let mut c = vec![alg.to_string()];
+        let mut s = vec![alg.to_string()];
+        for &pct in &levels {
+            let r = run(&trace, alg, pct);
+            c.push(fmt_thousands(r.cost_core_hours));
+            s.push(fmt(r.avg_runtime_increase_pct, 2));
+            if (pct - 15.0).abs() < 1e-9 {
+                at_15.push(r);
+            }
+        }
+        cost_rows.push(c);
+        stretch_rows.push(s);
+    }
+    let headers = ["algorithm", "5%", "10%", "15%", "20%"];
+    print_table(
+        "Fig. 9(a): total cost of performance loss (core-hours)",
+        &headers,
+        &cost_rows,
+    );
+    print_table(
+        "Fig. 9(b): average runtime increase of affected jobs (%)",
+        &headers,
+        &stretch_rows,
+    );
+
+    // (c) and (d): profile-wise reduction and cost at 15 %.
+    let names: Vec<String> = mpr_apps::cpu_profiles()
+        .iter()
+        .map(|p| p.name().to_owned())
+        .collect();
+    let mut red_rows = Vec::new();
+    let mut pcost_rows = Vec::new();
+    for r in &at_15 {
+        let mut rr = vec![r.algorithm.clone()];
+        let mut cr = vec![r.algorithm.clone()];
+        for n in &names {
+            let stats = r.per_profile.get(n).cloned().unwrap_or_default();
+            rr.push(fmt_thousands(stats.reduction_core_hours));
+            cr.push(fmt_thousands(stats.cost_core_hours));
+        }
+        red_rows.push(rr);
+        pcost_rows.push(cr);
+    }
+    let mut headers: Vec<&str> = vec!["algorithm"];
+    headers.extend(names.iter().map(String::as_str));
+    print_table(
+        "Fig. 9(c): profile-wise resource reduction at 15% (core-hours)",
+        &headers,
+        &red_rows,
+    );
+    print_table(
+        "Fig. 9(d): profile-wise cost at 15% (core-hours)",
+        &headers,
+        &pcost_rows,
+    );
+}

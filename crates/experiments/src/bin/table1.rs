@@ -1,0 +1,71 @@
+//! Table I: capacity-oversubscription analysis of the Gaia cluster.
+//!
+//! For each oversubscription level: the extra core-hours gained per month,
+//! the probability of overload, the overload hours per month, the
+//! overloaded capacity (core-hours that must be cut back) and the maximum
+//! payoff the manager could afford per core-hour of user cutback.
+
+use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table};
+use mpr_power::{Oversubscription, PowerModel};
+
+fn main() {
+    let days = arg_days(92.0);
+    let trace = gaia_trace(days);
+    let model = PowerModel::paper();
+    let slot_secs = 60.0;
+    let series = trace.allocation_series(slot_secs);
+    let per_core_w = model.static_w_per_core() + model.dynamic_w_per_core();
+    let peak_w = series.peak() * per_core_w;
+    let months = days / 30.0;
+    let hours_per_month = 730.0;
+
+    let mut rows = Vec::new();
+    for os in Oversubscription::table1_levels() {
+        let x = os.as_percent();
+        let capacity_w = os.capacity(mpr_core::Watts::new(peak_w)).get();
+        let extra_ch = os.extra_core_hours(f64::from(trace.total_cores()), hours_per_month);
+
+        let mut overload_slots = 0usize;
+        let mut overloaded_core_hours = 0.0f64;
+        for &alloc in series.values() {
+            let p = alloc * per_core_w;
+            if p > capacity_w {
+                overload_slots += 1;
+                overloaded_core_hours += (p - capacity_w) / per_core_w * slot_secs / 3600.0;
+            }
+        }
+        let prob = 100.0 * overload_slots as f64 / series.values().len() as f64;
+        let overload_hours = overload_slots as f64 * slot_secs / 3600.0 / months;
+        let overloaded_ch_month = overloaded_core_hours / months;
+        let payoff = if overloaded_ch_month > 0.0 {
+            extra_ch / overloaded_ch_month
+        } else {
+            f64::INFINITY
+        };
+        rows.push(vec![
+            format!("{x}%"),
+            fmt_thousands(extra_ch),
+            fmt(prob, 2),
+            fmt(overload_hours, 1),
+            fmt_thousands(overloaded_ch_month),
+            format!("{}x", fmt(payoff, 0)),
+        ]);
+    }
+    println!(
+        "Gaia, {days} days, peak power {:.1} kW, {} jobs",
+        peak_w / 1000.0,
+        trace.len()
+    );
+    print_table(
+        "Table I: capacity oversubscription in Gaia",
+        &[
+            "Oversubscription",
+            "Extra capacity (core-h/month)",
+            "P(overload) %",
+            "Overload time (h/month)",
+            "Overloaded capacity (core-h/month)",
+            "Max payoff",
+        ],
+        &rows,
+    );
+}

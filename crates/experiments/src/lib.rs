@@ -1,0 +1,150 @@
+//! # mpr-experiments — the table/figure regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (see
+//! `DESIGN.md` for the full index):
+//!
+//! ```text
+//! cargo run --release -p mpr-experiments --bin table1
+//! cargo run --release -p mpr-experiments --bin fig8 -- --days 90
+//! ...
+//! ```
+//!
+//! Most binaries accept `--days N` to shorten the simulated span (the
+//! defaults reproduce the paper's spans where practical) and print
+//! aligned-text tables with one row/series per paper data point.
+//!
+//! This library hosts the shared plumbing: trace construction, simulation
+//! dispatch and table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mpr_sim::{Algorithm, SimConfig, SimReport, Simulation};
+use mpr_workload::{ClusterSpec, Trace, TraceGenerator};
+
+/// Parses a `--days N` argument from the process args, with a default.
+#[must_use]
+pub fn arg_days(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--days")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The Gaia trace at the given span, with the canonical seed.
+#[must_use]
+pub fn gaia_trace(days: f64) -> Trace {
+    TraceGenerator::new(ClusterSpec::gaia().with_span_days(days)).generate()
+}
+
+/// Runs one simulation of `trace` under `algorithm` at an oversubscription
+/// level, with the paper-default configuration.
+#[must_use]
+pub fn run(trace: &Trace, algorithm: Algorithm, oversub_pct: f64) -> SimReport {
+    Simulation::new(trace, SimConfig::new(algorithm, oversub_pct)).run()
+}
+
+/// Runs one simulation with a custom configuration.
+#[must_use]
+pub fn run_with(trace: &Trace, config: SimConfig) -> SimReport {
+    Simulation::new(trace, config).run()
+}
+
+/// Prints an aligned text table with a title.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", line.join("  "));
+    println!("{}", "-".repeat(line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn fmt(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats a large count with thousands separators (e.g. `144,288`).
+#[must_use]
+pub fn fmt_thousands(x: f64) -> String {
+    let v = x.round() as i64;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if v < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_thousands(144_288.4), "144,288");
+        assert_eq!(fmt_thousands(1_000_000.0), "1,000,000");
+        assert_eq!(fmt_thousands(999.0), "999");
+        assert_eq!(fmt_thousands(-1234.0), "-1,234");
+        assert_eq!(fmt_thousands(0.0), "0");
+    }
+
+    #[test]
+    fn fmt_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(2.0, 0), "2");
+    }
+
+    #[test]
+    fn gaia_trace_short_span_is_fast_and_nonempty() {
+        let t = gaia_trace(1.0);
+        assert!(!t.is_empty());
+        assert_eq!(t.name(), "Gaia");
+    }
+
+    #[test]
+    fn run_helper_produces_report() {
+        let t = gaia_trace(1.0);
+        let r = run(&t, Algorithm::Opt, 10.0);
+        assert_eq!(r.algorithm, "OPT");
+        assert_eq!(r.oversubscription_pct, 10.0);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Carbon-emissions accounting over a power timeline.
+
+use crate::carbon::CarbonIntensitySignal;
+
+/// Integrates emissions from `(t, watts)` samples against a carbon signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonAccountant {
+    signal: CarbonIntensitySignal,
+}
+
+impl CarbonAccountant {
+    /// Creates an accountant for a grid signal.
+    #[must_use]
+    pub fn new(signal: CarbonIntensitySignal) -> Self {
+        Self { signal }
+    }
+
+    /// Total emissions in kgCO₂ of a power timeline sampled at fixed
+    /// `slot_secs` intervals starting at `t0_secs`.
+    #[must_use]
+    pub fn emissions_kg(&self, t0_secs: f64, slot_secs: f64, watts: &[f64]) -> f64 {
+        watts
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let t = t0_secs + i as f64 * slot_secs;
+                let kwh = w / 1000.0 * slot_secs / 3600.0;
+                kwh * self.signal.intensity(t) / 1000.0 // g → kg
+            })
+            .sum()
+    }
+
+    /// Emissions avoided by a reduction timeline (watts shed per slot).
+    /// Equivalent to [`emissions_kg`](Self::emissions_kg) of the shed
+    /// power — reductions during dirty hours avoid more.
+    #[must_use]
+    pub fn avoided_kg(&self, t0_secs: f64, slot_secs: f64, shed_watts: &[f64]) -> f64 {
+        self.emissions_kg(t0_secs, slot_secs, shed_watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_power_on_flat_grid() {
+        // A near-flat signal: tiny dip/peak.
+        let s = CarbonIntensitySignal::duck_curve(100.0, 0.0, 0.0);
+        let acc = CarbonAccountant::new(s);
+        // 1 kW for 10 hours at 100 g/kWh = 1 kg.
+        let watts = vec![1000.0; 10];
+        let kg = acc.emissions_kg(0.0, 3600.0, &watts);
+        assert!((kg - 1.0).abs() < 1e-9, "kg = {kg}");
+    }
+
+    #[test]
+    fn dirty_hour_reductions_avoid_more() {
+        let s = CarbonIntensitySignal::typical();
+        let acc = CarbonAccountant::new(s);
+        let shed = vec![10_000.0; 60]; // one hour of 10 kW shed, minute slots
+        let at_noon = acc.avoided_kg(12.0 * 3600.0, 60.0, &shed);
+        let at_evening = acc.avoided_kg(19.0 * 3600.0, 60.0, &shed);
+        assert!(at_evening > at_noon);
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let acc = CarbonAccountant::new(CarbonIntensitySignal::typical());
+        assert_eq!(acc.emissions_kg(0.0, 60.0, &[]), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Synthetic grid carbon-intensity signal.
+
+/// Seconds per day.
+const DAY: f64 = 86_400.0;
+
+/// A deterministic carbon-intensity signal in gCO₂/kWh shaped like a
+/// renewables-heavy grid's "duck curve": high overnight baseload carbon, a
+/// midday solar dip, and an evening ramp peak.
+///
+/// ```
+/// use mpr_grid::CarbonIntensitySignal;
+///
+/// let signal = CarbonIntensitySignal::duck_curve(400.0, 150.0, 120.0);
+/// let noon = signal.intensity(12.5 * 3600.0);
+/// let evening = signal.intensity(19.0 * 3600.0);
+/// assert!(noon < evening);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonIntensitySignal {
+    base: f64,
+    solar_dip: f64,
+    evening_peak: f64,
+}
+
+impl CarbonIntensitySignal {
+    /// Creates a duck-curve signal: `base` gCO₂/kWh of baseload carbon, a
+    /// midday reduction of up to `solar_dip`, and an evening increase of up
+    /// to `evening_peak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or the dip exceeds the base
+    /// (intensity must stay positive).
+    #[must_use]
+    pub fn duck_curve(base: f64, solar_dip: f64, evening_peak: f64) -> Self {
+        assert!(base > 0.0 && solar_dip >= 0.0 && evening_peak >= 0.0);
+        assert!(solar_dip < base, "solar dip must not exceed the base");
+        Self {
+            base,
+            solar_dip,
+            evening_peak,
+        }
+    }
+
+    /// A typical mixed grid: 420 base, 180 solar dip, 130 evening peak.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self::duck_curve(420.0, 180.0, 130.0)
+    }
+
+    /// Carbon intensity at `t_secs` from midnight of day 0, gCO₂/kWh.
+    #[must_use]
+    pub fn intensity(&self, t_secs: f64) -> f64 {
+        let hour = (t_secs.rem_euclid(DAY)) / 3600.0;
+        // Solar dip: bell centred on 12:30, ~6 h wide.
+        let solar = self.solar_dip * gaussian(hour, 12.5, 2.5);
+        // Evening ramp peak centred on 19:30, ~3 h wide.
+        let evening = self.evening_peak * gaussian(hour, 19.5, 1.5);
+        (self.base - solar + evening).max(1.0)
+    }
+
+    /// Mean intensity over one day (trapezoidal, minute resolution).
+    #[must_use]
+    pub fn daily_mean(&self) -> f64 {
+        let n = 1440;
+        (0..n).map(|i| self.intensity(f64::from(i) * 60.0)).sum::<f64>() / f64::from(n)
+    }
+
+    /// The threshold above which the grid is considered "dirty": the mean
+    /// plus half the distance to the daily peak.
+    #[must_use]
+    pub fn dirty_threshold(&self) -> f64 {
+        let mean = self.daily_mean();
+        let peak = (0..1440)
+            .map(|i| self.intensity(f64::from(i) * 60.0))
+            .fold(0.0f64, f64::max);
+        mean + 0.5 * (peak - mean)
+    }
+}
+
+fn gaussian(x: f64, mu: f64, sigma: f64) -> f64 {
+    (-(x - mu) * (x - mu) / (2.0 * sigma * sigma)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duck_shape() {
+        let s = CarbonIntensitySignal::typical();
+        let night = s.intensity(3.0 * 3600.0);
+        let noon = s.intensity(12.5 * 3600.0);
+        let evening = s.intensity(19.5 * 3600.0);
+        assert!(noon < night, "solar dip: noon {noon} < night {night}");
+        assert!(evening > night, "evening peak: {evening} > {night}");
+    }
+
+    #[test]
+    fn periodic_across_days() {
+        let s = CarbonIntensitySignal::typical();
+        let a = s.intensity(10.0 * 3600.0);
+        let b = s.intensity(10.0 * 3600.0 + 5.0 * DAY);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_between_mean_and_peak() {
+        let s = CarbonIntensitySignal::typical();
+        let mean = s.daily_mean();
+        let th = s.dirty_threshold();
+        assert!(th > mean);
+        assert!(th < 600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "solar dip")]
+    fn dip_larger_than_base_panics() {
+        let _ = CarbonIntensitySignal::duck_curve(100.0, 150.0, 0.0);
+    }
+
+    proptest! {
+        /// Intensity is always positive and bounded by base + peak.
+        #[test]
+        fn intensity_bounded(t in 0.0f64..(30.0 * DAY)) {
+            let s = CarbonIntensitySignal::typical();
+            let v = s.intensity(t);
+            prop_assert!(v >= 1.0);
+            prop_assert!(v <= 420.0 + 130.0 + 1e-9);
+        }
+    }
+}

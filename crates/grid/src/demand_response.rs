@@ -1,0 +1,196 @@
+//! Demand-response events and schedules.
+
+use mpr_core::Watts;
+
+/// One demand-response obligation: during `[start, start + duration)` the
+/// facility must shed `reduction` watts of grid load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrEvent {
+    /// Event start, seconds from simulation origin.
+    pub start_secs: f64,
+    /// Event duration, seconds.
+    pub duration_secs: f64,
+    /// Load reduction obligation, watts.
+    pub reduction: Watts,
+}
+
+impl DrEvent {
+    /// Whether the event is active at `t_secs`.
+    #[must_use]
+    pub fn active_at(&self, t_secs: f64) -> bool {
+        t_secs >= self.start_secs && t_secs < self.start_secs + self.duration_secs
+    }
+
+    /// Event end, seconds from origin.
+    #[must_use]
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.duration_secs
+    }
+}
+
+/// An ordered, non-overlapping schedule of demand-response events.
+///
+/// ```
+/// use mpr_core::Watts;
+/// use mpr_grid::DrSchedule;
+///
+/// // One 2-hour 5 kW call every weekday evening for two weeks.
+/// let s = DrSchedule::weekday_evenings(14.0, 2.0, Watts::new(5000.0));
+/// assert_eq!(s.events().len(), 10);
+/// let monday_evening = 18.5 * 3600.0;
+/// assert!(s.active_at(monday_evening).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrSchedule {
+    events: Vec<DrEvent>,
+}
+
+impl DrSchedule {
+    /// Builds a schedule, sorting events by start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two events overlap (a facility answers one DR call at a
+    /// time).
+    #[must_use]
+    pub fn new(mut events: Vec<DrEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.start_secs
+                .partial_cmp(&b.start_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for w in events.windows(2) {
+            assert!(
+                w[1].start_secs >= w[0].end_secs(),
+                "demand-response events must not overlap"
+            );
+        }
+        Self { events }
+    }
+
+    /// A typical utility program: one `duration_hours`-long event per
+    /// weekday at the evening peak (18:00), shedding `reduction` watts,
+    /// over `days` days.
+    #[must_use]
+    pub fn weekday_evenings(days: f64, duration_hours: f64, reduction: Watts) -> Self {
+        let mut events = Vec::new();
+        let mut day = 0.0;
+        while day < days {
+            // Days 5 and 6 of each week are the weekend (origin = Monday).
+            let weekday = (day as u64) % 7;
+            if weekday < 5 {
+                events.push(DrEvent {
+                    start_secs: day * 86_400.0 + 18.0 * 3600.0,
+                    duration_secs: duration_hours * 3600.0,
+                    reduction,
+                });
+            }
+            day += 1.0;
+        }
+        Self::new(events)
+    }
+
+    /// The events, ordered by start.
+    #[must_use]
+    pub fn events(&self) -> &[DrEvent] {
+        &self.events
+    }
+
+    /// The active event at `t_secs`, if any (binary search).
+    #[must_use]
+    pub fn active_at(&self, t_secs: f64) -> Option<&DrEvent> {
+        let idx = self
+            .events
+            .partition_point(|e| e.start_secs <= t_secs)
+            .checked_sub(1)?;
+        let e = &self.events[idx];
+        e.active_at(t_secs).then_some(e)
+    }
+
+    /// Total obligated watt-hours across the schedule.
+    #[must_use]
+    pub fn total_obligation_wh(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.reduction.get() * e.duration_secs / 3600.0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_window() {
+        let e = DrEvent {
+            start_secs: 100.0,
+            duration_secs: 50.0,
+            reduction: Watts::new(1000.0),
+        };
+        assert!(!e.active_at(99.9));
+        assert!(e.active_at(100.0));
+        assert!(e.active_at(149.9));
+        assert!(!e.active_at(150.0));
+        assert_eq!(e.end_secs(), 150.0);
+    }
+
+    #[test]
+    fn schedule_lookup() {
+        let s = DrSchedule::new(vec![
+            DrEvent {
+                start_secs: 200.0,
+                duration_secs: 100.0,
+                reduction: Watts::new(2.0),
+            },
+            DrEvent {
+                start_secs: 0.0,
+                duration_secs: 100.0,
+                reduction: Watts::new(1.0),
+            },
+        ]);
+        assert_eq!(s.active_at(50.0).unwrap().reduction, Watts::new(1.0));
+        assert!(s.active_at(150.0).is_none());
+        assert_eq!(s.active_at(250.0).unwrap().reduction, Watts::new(2.0));
+        assert!(s.active_at(-10.0).is_none());
+        assert_eq!(s.events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_events_panic() {
+        let _ = DrSchedule::new(vec![
+            DrEvent {
+                start_secs: 0.0,
+                duration_secs: 100.0,
+                reduction: Watts::new(1.0),
+            },
+            DrEvent {
+                start_secs: 50.0,
+                duration_secs: 100.0,
+                reduction: Watts::new(1.0),
+            },
+        ]);
+    }
+
+    #[test]
+    fn weekday_program_shape() {
+        let s = DrSchedule::weekday_evenings(14.0, 2.0, Watts::new(5000.0));
+        // Two weeks → 10 weekday events.
+        assert_eq!(s.events().len(), 10);
+        // 10 events × 2 h × 5 kW = 100 kWh.
+        assert!((s.total_obligation_wh() - 100_000.0).abs() < 1e-6);
+        // First event at Monday 18:00.
+        assert_eq!(s.events()[0].start_secs, 18.0 * 3600.0);
+        // No event on day 5 (Saturday).
+        let saturday_evening = 5.0 * 86_400.0 + 19.0 * 3600.0;
+        assert!(s.active_at(saturday_evening).is_none());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = DrSchedule::default();
+        assert!(s.active_at(0.0).is_none());
+        assert_eq!(s.total_obligation_wh(), 0.0);
+    }
+}

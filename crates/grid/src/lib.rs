@@ -1,0 +1,33 @@
+//! # mpr-grid — grid interaction for user-in-the-loop HPC power management
+//!
+//! The paper's fourth merit (Section I): "by empowering users to influence
+//! the HPC system's power consumption through the market mechanism … MPR's
+//! user-in-the-loop approach can go beyond handling power oversubscription.
+//! For instance, users can also assist in socially responsible HPC
+//! management, such as cutting carbon emissions by doing less work with
+//! 'dirty' power … and participating in demand response to improve the
+//! grid's stability."
+//!
+//! This crate implements that extension:
+//!
+//! * [`CarbonIntensitySignal`] — a synthetic grid carbon-intensity signal
+//!   (daily duck curve: solar midday dip, evening peak);
+//! * [`DrSchedule`] / [`DrEvent`] — demand-response obligations that
+//!   temporarily shrink the usable capacity;
+//! * capacity policies plugging into the simulator through
+//!   [`mpr_power::CapacityPolicy`]: [`DrCapacity`], [`CarbonCap`] and
+//!   [`CompositePolicy`];
+//! * [`CarbonAccountant`] — emissions bookkeeping over a power timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod carbon;
+pub mod demand_response;
+pub mod policy;
+
+pub use accounting::CarbonAccountant;
+pub use carbon::CarbonIntensitySignal;
+pub use demand_response::{DrEvent, DrSchedule};
+pub use policy::{CarbonCap, CompositePolicy, DrCapacity};

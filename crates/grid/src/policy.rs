@@ -1,0 +1,199 @@
+//! Grid-driven capacity policies for the simulator.
+
+use mpr_core::Watts;
+use mpr_power::CapacityPolicy;
+
+use crate::carbon::CarbonIntensitySignal;
+use crate::demand_response::DrSchedule;
+
+/// Shrinks the base capacity by the active demand-response obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrCapacity {
+    base: Watts,
+    schedule: DrSchedule,
+}
+
+impl DrCapacity {
+    /// Creates the policy from a base capacity and a DR schedule.
+    #[must_use]
+    pub fn new(base: Watts, schedule: DrSchedule) -> Self {
+        Self { base, schedule }
+    }
+
+    /// The DR schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &DrSchedule {
+        &self.schedule
+    }
+}
+
+impl CapacityPolicy for DrCapacity {
+    fn capacity_at(&self, t_secs: f64) -> Watts {
+        match self.schedule.active_at(t_secs) {
+            Some(e) => (self.base - e.reduction).max(Watts::ZERO),
+            None => self.base,
+        }
+    }
+}
+
+/// Derates the capacity whenever the grid's carbon intensity exceeds a
+/// threshold — "doing less work with dirty power".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarbonCap {
+    base: Watts,
+    signal: CarbonIntensitySignal,
+    threshold: f64,
+    derate_frac: f64,
+}
+
+impl CarbonCap {
+    /// Creates the policy: when `signal` exceeds `threshold` gCO₂/kWh the
+    /// capacity is reduced by `derate_frac` (e.g. `0.1` for 10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derate_frac` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(base: Watts, signal: CarbonIntensitySignal, threshold: f64, derate_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&derate_frac), "derate must be in [0,1]");
+        Self {
+            base,
+            signal,
+            threshold,
+            derate_frac,
+        }
+    }
+
+    /// Whether the grid is "dirty" at `t_secs`.
+    #[must_use]
+    pub fn is_dirty_at(&self, t_secs: f64) -> bool {
+        self.signal.intensity(t_secs) > self.threshold
+    }
+}
+
+impl CapacityPolicy for CarbonCap {
+    fn capacity_at(&self, t_secs: f64) -> Watts {
+        if self.is_dirty_at(t_secs) {
+            self.base * (1.0 - self.derate_frac)
+        } else {
+            self.base
+        }
+    }
+}
+
+/// The minimum of several policies: every constraint must be satisfied.
+pub struct CompositePolicy {
+    policies: Vec<Box<dyn CapacityPolicy>>,
+}
+
+impl CompositePolicy {
+    /// Combines policies; the effective capacity is their pointwise
+    /// minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty policy list.
+    #[must_use]
+    pub fn new(policies: Vec<Box<dyn CapacityPolicy>>) -> Self {
+        assert!(!policies.is_empty(), "composite needs at least one policy");
+        Self { policies }
+    }
+}
+
+impl CapacityPolicy for CompositePolicy {
+    fn capacity_at(&self, t_secs: f64) -> Watts {
+        self.policies
+            .iter()
+            .map(|p| p.capacity_at(t_secs))
+            .fold(Watts::new(f64::INFINITY), Watts::min)
+    }
+}
+
+impl std::fmt::Debug for CompositePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositePolicy")
+            .field("policies", &self.policies.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand_response::DrEvent;
+    use mpr_power::FixedCapacity;
+
+    fn schedule() -> DrSchedule {
+        DrSchedule::new(vec![DrEvent {
+            start_secs: 1000.0,
+            duration_secs: 500.0,
+            reduction: Watts::new(300.0),
+        }])
+    }
+
+    #[test]
+    fn dr_capacity_dips_during_event() {
+        let p = DrCapacity::new(Watts::new(1000.0), schedule());
+        assert_eq!(p.capacity_at(0.0), Watts::new(1000.0));
+        assert_eq!(p.capacity_at(1200.0), Watts::new(700.0));
+        assert_eq!(p.capacity_at(1500.0), Watts::new(1000.0));
+        assert_eq!(p.schedule().events().len(), 1);
+    }
+
+    #[test]
+    fn dr_capacity_never_negative() {
+        let s = DrSchedule::new(vec![DrEvent {
+            start_secs: 0.0,
+            duration_secs: 10.0,
+            reduction: Watts::new(5000.0),
+        }]);
+        let p = DrCapacity::new(Watts::new(1000.0), s);
+        assert_eq!(p.capacity_at(5.0), Watts::ZERO);
+    }
+
+    #[test]
+    fn carbon_cap_derates_dirty_hours() {
+        let signal = CarbonIntensitySignal::typical();
+        let p = CarbonCap::new(
+            Watts::new(1000.0),
+            signal,
+            signal.dirty_threshold(),
+            0.15,
+        );
+        // Evening peak is dirty, midday solar window is clean.
+        let evening = 19.5 * 3600.0;
+        let noon = 12.5 * 3600.0;
+        assert!(p.is_dirty_at(evening));
+        assert!(!p.is_dirty_at(noon));
+        assert_eq!(p.capacity_at(evening), Watts::new(850.0));
+        assert_eq!(p.capacity_at(noon), Watts::new(1000.0));
+    }
+
+    #[test]
+    fn composite_takes_the_minimum() {
+        let c = CompositePolicy::new(vec![
+            Box::new(FixedCapacity(Watts::new(900.0))),
+            Box::new(DrCapacity::new(Watts::new(1000.0), schedule())),
+        ]);
+        assert_eq!(c.capacity_at(0.0), Watts::new(900.0));
+        assert_eq!(c.capacity_at(1200.0), Watts::new(700.0));
+        assert!(format!("{c:?}").contains("CompositePolicy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_composite_panics() {
+        let _ = CompositePolicy::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "derate")]
+    fn bad_derate_panics() {
+        let _ = CarbonCap::new(
+            Watts::new(1.0),
+            CarbonIntensitySignal::typical(),
+            400.0,
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Circuit-breaker trip characteristics (Section I / Section II).
+//!
+//! The safety argument for *reactive* overload handling rests on protective
+//! breakers operating in their "long-delay" zone for moderate overloads:
+//! at the 10–25 % overloads an oversubscribed HPC system produces, breakers
+//! take tens of minutes to trip — plenty of time for MPR to clear a market
+//! and shed load. We model the standard inverse-time (I²t) characteristic.
+
+use mpr_core::Watts;
+
+/// An inverse-time trip curve: time-to-trip `t = k / ((L/L_r)² − 1)` for
+/// load `L` above the rated load `L_r`, infinite otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripCurve {
+    rated: Watts,
+    /// Scale constant `k` in seconds: the trip time at √2× rated load.
+    k_seconds: f64,
+}
+
+impl TripCurve {
+    /// Creates a trip curve for a breaker rated at `rated` watts with scale
+    /// constant `k_seconds`.
+    ///
+    /// A `k` of 600 s gives ~50 minutes at 110 % load and ~27 minutes at
+    /// 120 % — consistent with the "several tens of minutes" the paper
+    /// cites for long-delay zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rated` or `k_seconds` are not positive and finite.
+    #[must_use]
+    pub fn new(rated: Watts, k_seconds: f64) -> Self {
+        assert!(
+            rated.get().is_finite() && rated.get() > 0.0,
+            "rated load must be positive"
+        );
+        assert!(
+            k_seconds.is_finite() && k_seconds > 0.0,
+            "trip constant must be positive"
+        );
+        Self { rated, k_seconds }
+    }
+
+    /// The rated (continuous) load.
+    #[must_use]
+    pub fn rated(&self) -> Watts {
+        self.rated
+    }
+
+    /// Time in seconds a *constant* load would take to trip the breaker;
+    /// `None` if the load never trips it (at or below rated).
+    #[must_use]
+    pub fn time_to_trip(&self, load: Watts) -> Option<f64> {
+        let ratio = load / self.rated;
+        if ratio <= 1.0 {
+            return None;
+        }
+        Some(self.k_seconds / (ratio * ratio - 1.0))
+    }
+}
+
+/// Stateful thermal accumulator for time-varying loads.
+///
+/// Integrates `(L/L_r)² − 1` over time; the breaker trips when the
+/// accumulator reaches the curve's `k`. Under-rated operation discharges
+/// the accumulator at the same rate, modeling breaker cool-down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerState {
+    curve: TripCurve,
+    accumulated: f64,
+    tripped: bool,
+}
+
+impl BreakerState {
+    /// Creates a cold breaker with the given trip curve.
+    #[must_use]
+    pub fn new(curve: TripCurve) -> Self {
+        Self {
+            curve,
+            accumulated: 0.0,
+            tripped: false,
+        }
+    }
+
+    /// Advances the breaker by `dt_seconds` under `load`. Returns `true`
+    /// if the breaker is tripped after the step.
+    pub fn step(&mut self, load: Watts, dt_seconds: f64) -> bool {
+        if self.tripped {
+            return true;
+        }
+        let ratio = load / self.curve.rated;
+        let rate = ratio * ratio - 1.0;
+        self.accumulated = (self.accumulated + rate * dt_seconds).max(0.0);
+        if self.accumulated >= self.curve.k_seconds {
+            self.tripped = true;
+        }
+        self.tripped
+    }
+
+    /// Whether the breaker has tripped.
+    #[must_use]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Fraction of the thermal budget consumed, in `[0, 1]`.
+    #[must_use]
+    pub fn headroom_used(&self) -> f64 {
+        (self.accumulated / self.curve.k_seconds).min(1.0)
+    }
+
+    /// Manually resets a tripped breaker (an operator action).
+    pub fn reset(&mut self) {
+        self.accumulated = 0.0;
+        self.tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> TripCurve {
+        TripCurve::new(Watts::new(1000.0), 600.0)
+    }
+
+    #[test]
+    fn no_trip_at_or_below_rated() {
+        let c = curve();
+        assert_eq!(c.time_to_trip(Watts::new(1000.0)), None);
+        assert_eq!(c.time_to_trip(Watts::new(500.0)), None);
+        assert_eq!(c.rated(), Watts::new(1000.0));
+    }
+
+    #[test]
+    fn moderate_overloads_take_tens_of_minutes() {
+        let c = curve();
+        // 110 % load: 600 / (1.21 − 1) ≈ 2857 s ≈ 48 min.
+        let t110 = c.time_to_trip(Watts::new(1100.0)).unwrap();
+        assert!((t110 - 600.0 / 0.21).abs() < 1e-9);
+        assert!(t110 > 30.0 * 60.0);
+        // 120 % load ≈ 23 min — still in the long-delay zone.
+        let t120 = c.time_to_trip(Watts::new(1200.0)).unwrap();
+        assert!(t120 > 10.0 * 60.0 && t120 < 30.0 * 60.0);
+        // Heavy faults trip fast.
+        let t300 = c.time_to_trip(Watts::new(3000.0)).unwrap();
+        assert!(t300 < 100.0);
+    }
+
+    #[test]
+    fn accumulator_matches_constant_load_trip_time() {
+        let c = curve();
+        let load = Watts::new(1200.0);
+        let expected = c.time_to_trip(load).unwrap();
+        let mut b = BreakerState::new(c);
+        let dt = 1.0;
+        let mut t = 0.0;
+        while !b.step(load, dt) {
+            t += dt;
+            assert!(t < expected * 2.0, "breaker never tripped");
+        }
+        assert!((t - expected).abs() <= 2.0 * dt, "t={t} expected={expected}");
+        assert!(b.is_tripped());
+    }
+
+    #[test]
+    fn under_rated_operation_discharges() {
+        let mut b = BreakerState::new(curve());
+        b.step(Watts::new(1500.0), 100.0);
+        let used = b.headroom_used();
+        assert!(used > 0.0 && !b.is_tripped());
+        // Cool down at half load.
+        b.step(Watts::new(500.0), 1000.0);
+        assert!(b.headroom_used() < used);
+        assert_eq!(b.headroom_used(), 0.0);
+    }
+
+    #[test]
+    fn tripped_stays_tripped_until_reset() {
+        let mut b = BreakerState::new(curve());
+        assert!(b.step(Watts::new(10_000.0), 100.0));
+        assert!(b.step(Watts::new(0.0), 1e9), "stays tripped");
+        b.reset();
+        assert!(!b.is_tripped());
+        assert_eq!(b.headroom_used(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rated load")]
+    fn zero_rated_panics() {
+        let _ = TripCurve::new(Watts::new(0.0), 600.0);
+    }
+}

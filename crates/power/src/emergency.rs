@@ -1,0 +1,384 @@
+//! The power-emergency state machine (Section III-E).
+//!
+//! Detect → reduce → cool down → resume:
+//!
+//! 1. **Detecting**: real-time power monitoring flags `P(t) > C`; a minimum
+//!    overload duration filters transient spikes.
+//! 2. **Declaring**: the reduction target carries a 1 % buffer,
+//!    `ΔP = P(t) − 0.99·C`, to avoid immediate relapse (Section IV-A).
+//! 3. **Resuming**: after a cool-down (10 minutes in the paper's
+//!    simulations) the emergency lifts only when giving the capped
+//!    resources back cannot re-violate capacity:
+//!    `0.99·C − P(t) ≥ ΔP`.
+
+use mpr_core::Watts;
+
+/// Configuration of the emergency controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyConfig {
+    /// Infrastructure power capacity `C`.
+    pub capacity: Watts,
+    /// Reduction-target buffer fraction (paper: `0.01`, i.e. reduce to
+    /// 99 % of capacity).
+    pub buffer_frac: f64,
+    /// Minimum sustained overload before declaring an emergency, seconds
+    /// (paper suggests e.g. 10 s; the minute-resolution simulations use 0).
+    pub min_overload_secs: f64,
+    /// Cool-down before an emergency may lift, seconds (paper: 600).
+    pub cooldown_secs: f64,
+}
+
+impl EmergencyConfig {
+    /// The paper's settings for a given capacity: 1 % buffer, no spike
+    /// filter, 10-minute cool-down.
+    #[must_use]
+    pub fn paper(capacity: Watts) -> Self {
+        Self {
+            capacity,
+            buffer_frac: 0.01,
+            min_overload_secs: 0.0,
+            cooldown_secs: 600.0,
+        }
+    }
+
+    /// The power level reductions aim for: `(1 − buffer) · C`.
+    #[must_use]
+    pub fn buffered_capacity(&self) -> Watts {
+        self.capacity * (1.0 - self.buffer_frac)
+    }
+}
+
+/// Which phase the controller is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmergencyPhase {
+    /// Power within capacity (possibly with a pending spike filter).
+    Normal,
+    /// An emergency is active: reductions are in force, new job starts are
+    /// held (Section III-E, "Executing resource/power reduction").
+    Emergency,
+}
+
+/// What the HPC manager must do after a monitoring step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmergencyAction {
+    /// Nothing to do.
+    None,
+    /// Declare an emergency and invoke the market for `target` watts of
+    /// reduction.
+    Declare {
+        /// Power reduction required, `P(t) − (1−buffer)·C`.
+        target: Watts,
+    },
+    /// Already in an emergency but power exceeded capacity again (market
+    /// under-delivered or a new spike): reduce by an additional `target`.
+    Escalate {
+        /// Additional power reduction required.
+        target: Watts,
+    },
+    /// The emergency is over: restore resources and pay out rewards.
+    Lift,
+}
+
+/// The detect/reduce/resume controller.
+///
+/// Drive it with [`step`](Self::step) at every monitoring interval; it
+/// returns the [`EmergencyAction`] the manager must take.
+///
+/// ```
+/// use mpr_core::Watts;
+/// use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController};
+///
+/// let mut c = EmergencyController::new(EmergencyConfig::paper(Watts::new(1000.0)));
+/// assert_eq!(c.step(0.0, Watts::new(900.0)), EmergencyAction::None);
+/// // Power crosses capacity: declare, targeting 99 % of capacity.
+/// match c.step(60.0, Watts::new(1100.0)) {
+///     EmergencyAction::Declare { target } => {
+///         assert!((target.get() - (1100.0 - 990.0)).abs() < 1e-9);
+///     }
+///     other => panic!("expected Declare, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmergencyController {
+    config: EmergencyConfig,
+    phase: EmergencyPhase,
+    overload_since: Option<f64>,
+    emergency_started: Option<f64>,
+    /// Cumulative reduction currently imposed on the system.
+    active_target: Watts,
+}
+
+impl EmergencyController {
+    /// Creates a controller in the normal phase.
+    #[must_use]
+    pub fn new(config: EmergencyConfig) -> Self {
+        Self {
+            config,
+            phase: EmergencyPhase::Normal,
+            overload_since: None,
+            emergency_started: None,
+            active_target: Watts::ZERO,
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> EmergencyPhase {
+        self.phase
+    }
+
+    /// Reduction currently imposed (zero when normal).
+    #[must_use]
+    pub fn active_target(&self) -> Watts {
+        self.active_target
+    }
+
+    /// The controller's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EmergencyConfig {
+        &self.config
+    }
+
+    /// Updates the controller's capacity mid-run (demand-response events,
+    /// carbon caps — see [`crate::policy`]). The buffer fraction and timers
+    /// are unchanged; an in-force emergency keeps its declared target.
+    pub fn set_capacity(&mut self, capacity: Watts) {
+        self.config.capacity = capacity;
+    }
+
+    /// Records the reduction actually delivered by the market/capping
+    /// mechanism. The lift condition compares headroom against the
+    /// reduction *in force* — when a best-effort clearing under-delivers,
+    /// calling this keeps the controller from demanding headroom for watts
+    /// that were never shed.
+    pub fn record_delivered(&mut self, delivered: Watts) {
+        if self.phase == EmergencyPhase::Emergency {
+            self.active_target = delivered;
+        }
+    }
+
+    /// Advances the controller to time `now_secs` with measured power
+    /// `power` (the *post-reduction* system power). Returns the action the
+    /// manager must take.
+    pub fn step(&mut self, now_secs: f64, power: Watts) -> EmergencyAction {
+        let cap = self.config.capacity;
+        let buffered = self.config.buffered_capacity();
+        match self.phase {
+            EmergencyPhase::Normal => {
+                if power > cap {
+                    let since = *self.overload_since.get_or_insert(now_secs);
+                    if now_secs - since >= self.config.min_overload_secs {
+                        let target = power - buffered;
+                        self.phase = EmergencyPhase::Emergency;
+                        self.emergency_started = Some(now_secs);
+                        self.active_target = target;
+                        self.overload_since = None;
+                        return EmergencyAction::Declare { target };
+                    }
+                } else {
+                    self.overload_since = None;
+                }
+                EmergencyAction::None
+            }
+            EmergencyPhase::Emergency => {
+                if power > cap {
+                    // Under-delivery or a fresh spike: escalate.
+                    let extra = power - buffered;
+                    self.active_target += extra;
+                    self.emergency_started = Some(now_secs);
+                    return EmergencyAction::Escalate { target: extra };
+                }
+                let started = self.emergency_started.unwrap_or(now_secs);
+                let cooled = now_secs - started >= self.config.cooldown_secs;
+                if cooled && buffered - power >= self.active_target {
+                    self.phase = EmergencyPhase::Normal;
+                    self.emergency_started = None;
+                    self.active_target = Watts::ZERO;
+                    return EmergencyAction::Lift;
+                }
+                EmergencyAction::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> EmergencyController {
+        // Capacity 1000 W, buffer 1 % → buffered 990 W, cool-down 600 s.
+        EmergencyController::new(EmergencyConfig::paper(Watts::new(1000.0)))
+    }
+
+    #[test]
+    fn declares_on_overload_with_buffered_target() {
+        let mut c = controller();
+        assert_eq!(c.step(0.0, Watts::new(900.0)), EmergencyAction::None);
+        let action = c.step(60.0, Watts::new(1100.0));
+        match action {
+            EmergencyAction::Declare { target } => {
+                assert!((target.get() - (1100.0 - 990.0)).abs() < 1e-9);
+            }
+            other => panic!("expected Declare, got {other:?}"),
+        }
+        assert_eq!(c.phase(), EmergencyPhase::Emergency);
+        assert!((c.active_target().get() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spike_filter_delays_declaration() {
+        let mut c = EmergencyController::new(EmergencyConfig {
+            min_overload_secs: 10.0,
+            ..EmergencyConfig::paper(Watts::new(1000.0))
+        });
+        assert_eq!(c.step(0.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert_eq!(c.step(5.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert!(matches!(
+            c.step(10.0, Watts::new(1100.0)),
+            EmergencyAction::Declare { .. }
+        ));
+    }
+
+    #[test]
+    fn transient_spike_resets_filter() {
+        let mut c = EmergencyController::new(EmergencyConfig {
+            min_overload_secs: 10.0,
+            ..EmergencyConfig::paper(Watts::new(1000.0))
+        });
+        assert_eq!(c.step(0.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert_eq!(c.step(5.0, Watts::new(900.0)), EmergencyAction::None);
+        // Overload again: the 10 s clock restarts.
+        assert_eq!(c.step(6.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert_eq!(c.step(14.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert!(matches!(
+            c.step(16.0, Watts::new(1100.0)),
+            EmergencyAction::Declare { .. }
+        ));
+    }
+
+    #[test]
+    fn lift_requires_cooldown_and_headroom() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0)); // declare, target 110 W
+        // Power drops after reduction; before cool-down nothing happens.
+        assert_eq!(c.step(60.0, Watts::new(850.0)), EmergencyAction::None);
+        // After cool-down: headroom 990 − 850 = 140 ≥ 110 → lift.
+        assert_eq!(c.step(601.0, Watts::new(850.0)), EmergencyAction::Lift);
+        assert_eq!(c.phase(), EmergencyPhase::Normal);
+        assert_eq!(c.active_target(), Watts::ZERO);
+    }
+
+    #[test]
+    fn no_lift_without_headroom() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0));
+        // Headroom 990 − 950 = 40 < 110: giving back the reduction would
+        // re-violate capacity, so the emergency persists.
+        assert_eq!(c.step(700.0, Watts::new(950.0)), EmergencyAction::None);
+        assert_eq!(c.phase(), EmergencyPhase::Emergency);
+    }
+
+    #[test]
+    fn escalates_when_power_exceeds_capacity_during_emergency() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0));
+        let action = c.step(120.0, Watts::new(1050.0));
+        match action {
+            EmergencyAction::Escalate { target } => {
+                assert!((target.get() - (1050.0 - 990.0)).abs() < 1e-9);
+            }
+            other => panic!("expected Escalate, got {other:?}"),
+        }
+        // Cumulative target grew.
+        assert!((c.active_target().get() - (110.0 + 60.0)).abs() < 1e-9);
+        // Escalation resets the cool-down clock.
+        assert_eq!(c.step(400.0, Watts::new(800.0)), EmergencyAction::None);
+        assert_eq!(c.step(721.0, Watts::new(800.0)), EmergencyAction::Lift);
+    }
+
+    #[test]
+    fn recorded_delivery_governs_lift() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0)); // requested target 110 W
+        // The market could only shed 40 W.
+        c.record_delivered(Watts::new(40.0));
+        assert!((c.active_target().get() - 40.0).abs() < 1e-9);
+        // Headroom 990 − 940 = 50 ≥ 40 → lift after cool-down.
+        assert_eq!(c.step(601.0, Watts::new(940.0)), EmergencyAction::Lift);
+    }
+
+    #[test]
+    fn record_delivered_ignored_when_normal() {
+        let mut c = controller();
+        c.record_delivered(Watts::new(40.0));
+        assert_eq!(c.active_target(), Watts::ZERO);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under arbitrary power sequences the controller's actions are
+            /// consistent with its phase: Declare only fires from Normal,
+            /// Lift and Escalate only from Emergency, and the active target
+            /// is zero exactly when the controller is Normal.
+            #[test]
+            fn action_phase_consistency(
+                powers in proptest::collection::vec(0.0f64..2000.0, 1..200),
+            ) {
+                let mut c = controller();
+                let mut prev_phase = EmergencyPhase::Normal;
+                for (i, &p) in powers.iter().enumerate() {
+                    let action = c.step(i as f64 * 60.0, Watts::new(p));
+                    match action {
+                        EmergencyAction::Declare { target } => {
+                            prop_assert_eq!(prev_phase, EmergencyPhase::Normal);
+                            prop_assert_eq!(c.phase(), EmergencyPhase::Emergency);
+                            prop_assert!(target.get() > 0.0);
+                        }
+                        EmergencyAction::Escalate { target } => {
+                            prop_assert_eq!(prev_phase, EmergencyPhase::Emergency);
+                            prop_assert!(target.get() > 0.0);
+                        }
+                        EmergencyAction::Lift => {
+                            prop_assert_eq!(prev_phase, EmergencyPhase::Emergency);
+                            prop_assert_eq!(c.phase(), EmergencyPhase::Normal);
+                        }
+                        EmergencyAction::None => {}
+                    }
+                    match c.phase() {
+                        EmergencyPhase::Normal => {
+                            prop_assert_eq!(c.active_target(), Watts::ZERO);
+                        }
+                        EmergencyPhase::Emergency => {
+                            prop_assert!(c.active_target().get() > 0.0);
+                        }
+                    }
+                    prev_phase = c.phase();
+                }
+            }
+
+            /// Power at or below capacity never declares an emergency.
+            #[test]
+            fn no_false_declarations(
+                powers in proptest::collection::vec(0.0f64..1000.0, 1..100),
+            ) {
+                let mut c = controller();
+                for (i, &p) in powers.iter().enumerate() {
+                    let action = c.step(i as f64 * 60.0, Watts::new(p));
+                    prop_assert_eq!(action, EmergencyAction::None);
+                    prop_assert_eq!(c.phase(), EmergencyPhase::Normal);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = controller();
+        assert_eq!(c.config().capacity, Watts::new(1000.0));
+        assert!((c.config().buffered_capacity().get() - 990.0).abs() < 1e-9);
+    }
+}

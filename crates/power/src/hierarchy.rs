@@ -1,0 +1,360 @@
+//! The hierarchical power infrastructure of Fig. 1(a):
+//! ATS → UPS → cluster PDU → rack.
+//!
+//! Every level is subject to a capacity limit and can be oversubscribed;
+//! the paper focuses on UPS-level oversubscription (the UPS dominates the
+//! per-kilowatt capital cost) while assuming PDUs and racks have adequate
+//! capacity. This module models the tree generically: leaf loads are
+//! attached to racks, sums propagate upward, and any level can be queried
+//! for overload.
+
+use std::fmt;
+
+use mpr_core::Watts;
+
+/// The role of a node in the power tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKind {
+    /// Automatic transfer switch (utility/generator source selection).
+    Ats,
+    /// Uninterruptible power supply — the paper's oversubscription point.
+    Ups,
+    /// Cluster power distribution unit.
+    Pdu,
+    /// Server rack (leaf loads attach here).
+    Rack,
+}
+
+impl fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelKind::Ats => write!(f, "ATS"),
+            LevelKind::Ups => write!(f, "UPS"),
+            LevelKind::Pdu => write!(f, "PDU"),
+            LevelKind::Rack => write!(f, "rack"),
+        }
+    }
+}
+
+/// Errors from hierarchy construction and load attachment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HierarchyError {
+    /// Referenced a node id that does not exist.
+    UnknownNode(usize),
+    /// Attached a load to a non-rack node.
+    NotARack(usize),
+    /// Child/parent kinds violate the ATS → UPS → PDU → rack ordering.
+    InvalidNesting {
+        /// Parent node kind.
+        parent: LevelKind,
+        /// Child node kind.
+        child: LevelKind,
+    },
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            HierarchyError::NotARack(id) => write!(f, "node {id} is not a rack"),
+            HierarchyError::InvalidNesting { parent, child } => {
+                write!(f, "a {child} cannot feed from a {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: LevelKind,
+    capacity: Watts,
+    parent: Option<usize>,
+    load: Watts,
+}
+
+/// A report of one overloaded level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadedNode {
+    /// Node id within the hierarchy.
+    pub id: usize,
+    /// Node name.
+    pub name: String,
+    /// Node kind.
+    pub kind: LevelKind,
+    /// Aggregate load seen by the node.
+    pub load: Watts,
+    /// The node's capacity.
+    pub capacity: Watts,
+}
+
+/// A power-infrastructure tree with per-level capacities.
+///
+/// ```
+/// use mpr_core::Watts;
+/// use mpr_power::{LevelKind, PowerHierarchy};
+///
+/// # fn main() -> Result<(), mpr_power::HierarchyError> {
+/// let mut h = PowerHierarchy::new();
+/// let ats = h.add_root("ats", LevelKind::Ats, Watts::new(1_000_000.0));
+/// let ups = h.add_child("ups-1", LevelKind::Ups, Watts::new(250_000.0), ats)?;
+/// let pdu = h.add_child("pdu-1", LevelKind::Pdu, Watts::new(300_000.0), ups)?;
+/// let rack = h.add_child("rack-1", LevelKind::Rack, Watts::new(300_000.0), pdu)?;
+/// h.set_load(rack, Watts::new(260_000.0))?;
+/// // The UPS is the binding constraint: it is the only overloaded level.
+/// let over = h.overloaded();
+/// assert_eq!(over.len(), 1);
+/// assert_eq!(over[0].kind, LevelKind::Ups);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerHierarchy {
+    nodes: Vec<Node>,
+}
+
+impl PowerHierarchy {
+    /// Creates an empty hierarchy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a root node (typically the ATS) and returns its id.
+    pub fn add_root(&mut self, name: impl Into<String>, kind: LevelKind, capacity: Watts) -> usize {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            capacity,
+            parent: None,
+            load: Watts::ZERO,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a child node feeding from `parent`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError::UnknownNode`] for a bad parent id and
+    /// [`HierarchyError::InvalidNesting`] if the child's kind cannot feed
+    /// from the parent's kind.
+    pub fn add_child(
+        &mut self,
+        name: impl Into<String>,
+        kind: LevelKind,
+        capacity: Watts,
+        parent: usize,
+    ) -> Result<usize, HierarchyError> {
+        let Some(p) = self.nodes.get(parent) else {
+            return Err(HierarchyError::UnknownNode(parent));
+        };
+        let ok = matches!(
+            (p.kind, kind),
+            (LevelKind::Ats, LevelKind::Ups)
+                | (LevelKind::Ups, LevelKind::Pdu)
+                | (LevelKind::Pdu, LevelKind::Rack)
+        );
+        if !ok {
+            return Err(HierarchyError::InvalidNesting {
+                parent: p.kind,
+                child: kind,
+            });
+        }
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            capacity,
+            parent: Some(parent),
+            load: Watts::ZERO,
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Sets the leaf load of a rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError::UnknownNode`] or
+    /// [`HierarchyError::NotARack`].
+    pub fn set_load(&mut self, rack: usize, load: Watts) -> Result<(), HierarchyError> {
+        let Some(node) = self.nodes.get_mut(rack) else {
+            return Err(HierarchyError::UnknownNode(rack));
+        };
+        if node.kind != LevelKind::Rack {
+            return Err(HierarchyError::NotARack(rack));
+        }
+        node.load = load;
+        Ok(())
+    }
+
+    /// Aggregate load seen by a node: its own leaf load plus everything
+    /// below it.
+    #[must_use]
+    pub fn load_at(&self, id: usize) -> Watts {
+        let mut total = Watts::ZERO;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.kind == LevelKind::Rack && self.is_ancestor_or_self(id, i) {
+                total += n.load;
+            }
+        }
+        total
+    }
+
+    fn is_ancestor_or_self(&self, ancestor: usize, mut node: usize) -> bool {
+        loop {
+            if node == ancestor {
+                return true;
+            }
+            match self.nodes[node].parent {
+                Some(p) => node = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// All nodes whose aggregate load exceeds their capacity, ordered by id.
+    #[must_use]
+    pub fn overloaded(&self) -> Vec<OverloadedNode> {
+        (0..self.nodes.len())
+            .filter_map(|id| {
+                let load = self.load_at(id);
+                let n = &self.nodes[id];
+                (load > n.capacity).then(|| OverloadedNode {
+                    id,
+                    name: n.name.clone(),
+                    kind: n.kind,
+                    load,
+                    capacity: n.capacity,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of nodes in the hierarchy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the hierarchy has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Builds the paper's canonical single-UPS layout: one ATS feeding one
+    /// UPS of capacity `ups_capacity`, one PDU and one rack (both given
+    /// ample headroom, per Section II's assumption). Returns
+    /// `(hierarchy, ups_id, rack_id)`.
+    #[must_use]
+    pub fn single_ups(ups_capacity: Watts) -> (Self, usize, usize) {
+        let ample = ups_capacity * 10.0;
+        let mut h = Self::new();
+        let ats = h.add_root("ats", LevelKind::Ats, ample);
+        let ups = h
+            .add_child("ups", LevelKind::Ups, ups_capacity, ats)
+            .expect("ATS feeds UPS");
+        let pdu = h
+            .add_child("pdu", LevelKind::Pdu, ample, ups)
+            .expect("UPS feeds PDU");
+        let rack = h
+            .add_child("rack", LevelKind::Rack, ample, pdu)
+            .expect("PDU feeds rack");
+        (h, ups, rack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_ups_layout_detects_ups_overload() {
+        let (mut h, ups, rack) = PowerHierarchy::single_ups(Watts::new(1000.0));
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+        h.set_load(rack, Watts::new(1200.0)).unwrap();
+        let over = h.overloaded();
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].id, ups);
+        assert_eq!(over[0].kind, LevelKind::Ups);
+        assert_eq!(over[0].load, Watts::new(1200.0));
+    }
+
+    #[test]
+    fn loads_aggregate_across_subtrees() {
+        let mut h = PowerHierarchy::new();
+        let ats = h.add_root("ats", LevelKind::Ats, Watts::new(1e6));
+        let ups = h
+            .add_child("ups", LevelKind::Ups, Watts::new(5000.0), ats)
+            .unwrap();
+        let pdu1 = h
+            .add_child("pdu1", LevelKind::Pdu, Watts::new(3000.0), ups)
+            .unwrap();
+        let pdu2 = h
+            .add_child("pdu2", LevelKind::Pdu, Watts::new(3000.0), ups)
+            .unwrap();
+        let r1 = h
+            .add_child("r1", LevelKind::Rack, Watts::new(2000.0), pdu1)
+            .unwrap();
+        let r2 = h
+            .add_child("r2", LevelKind::Rack, Watts::new(2000.0), pdu2)
+            .unwrap();
+        h.set_load(r1, Watts::new(1500.0)).unwrap();
+        h.set_load(r2, Watts::new(1500.0)).unwrap();
+        assert_eq!(h.load_at(ups), Watts::new(3000.0));
+        assert_eq!(h.load_at(pdu1), Watts::new(1500.0));
+        assert_eq!(h.load_at(ats), Watts::new(3000.0));
+        assert!(h.overloaded().is_empty());
+        // Push one PDU over.
+        h.set_load(r1, Watts::new(4000.0)).unwrap();
+        let over = h.overloaded();
+        let kinds: Vec<LevelKind> = over.iter().map(|o| o.kind).collect();
+        assert!(kinds.contains(&LevelKind::Pdu));
+        assert!(kinds.contains(&LevelKind::Ups));
+        assert!(kinds.contains(&LevelKind::Rack));
+    }
+
+    #[test]
+    fn nesting_rules_enforced() {
+        let mut h = PowerHierarchy::new();
+        let ats = h.add_root("ats", LevelKind::Ats, Watts::new(1e6));
+        assert!(matches!(
+            h.add_child("bad", LevelKind::Rack, Watts::new(1.0), ats),
+            Err(HierarchyError::InvalidNesting { .. })
+        ));
+        assert!(matches!(
+            h.add_child("bad", LevelKind::Ups, Watts::new(1.0), 99),
+            Err(HierarchyError::UnknownNode(99))
+        ));
+    }
+
+    #[test]
+    fn load_attach_validation() {
+        let (mut h, ups, _rack) = PowerHierarchy::single_ups(Watts::new(1000.0));
+        assert_eq!(
+            h.set_load(ups, Watts::new(10.0)),
+            Err(HierarchyError::NotARack(ups))
+        );
+        assert_eq!(
+            h.set_load(77, Watts::new(10.0)),
+            Err(HierarchyError::UnknownNode(77))
+        );
+    }
+
+    #[test]
+    fn error_and_kind_display() {
+        assert_eq!(LevelKind::Ups.to_string(), "UPS");
+        let e = HierarchyError::InvalidNesting {
+            parent: LevelKind::Ats,
+            child: LevelKind::Rack,
+        };
+        assert!(e.to_string().contains("rack"));
+        assert!(!HierarchyError::UnknownNode(3).to_string().is_empty());
+        assert!(!HierarchyError::NotARack(3).to_string().is_empty());
+    }
+}

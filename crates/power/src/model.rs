@@ -1,0 +1,170 @@
+//! The job-attributed power model of Section IV-A.
+//!
+//! `Power = Power_static + Utilization · Power_dynamic`, applied per core:
+//! every *allocated* core draws its static power plus a dynamic share
+//! proportional to its current speed. Attributing server power to jobs by
+//! their core share is what lets MPR reason about jobs instead of servers
+//! (Section III-A).
+
+use mpr_core::Watts;
+
+/// Per-core power coefficients.
+///
+/// The paper's Gaia evaluation uses 25 W static + 125 W dynamic per core,
+/// giving the 2012-core peak allocation its 301.8 kW peak power.
+///
+/// ```
+/// use mpr_power::PowerModel;
+///
+/// let m = PowerModel::paper();
+/// // 2012 allocated cores at full speed → 301.8 kW (Section IV-A).
+/// assert!((m.power(2012.0, 1.0).get() - 301_800.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    static_w_per_core: f64,
+    dynamic_w_per_core: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model from per-core static and dynamic watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coefficient is negative or non-finite.
+    #[must_use]
+    pub fn new(static_w_per_core: f64, dynamic_w_per_core: f64) -> Self {
+        assert!(
+            static_w_per_core.is_finite() && static_w_per_core >= 0.0,
+            "static power must be finite and non-negative"
+        );
+        assert!(
+            dynamic_w_per_core.is_finite() && dynamic_w_per_core >= 0.0,
+            "dynamic power must be finite and non-negative"
+        );
+        Self {
+            static_w_per_core,
+            dynamic_w_per_core,
+        }
+    }
+
+    /// The paper's model: 25 W static + 125 W dynamic per core.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(25.0, 125.0)
+    }
+
+    /// Static watts per allocated core (uncore, DRAM and storage power are
+    /// folded in, per the paper).
+    #[must_use]
+    pub fn static_w_per_core(&self) -> f64 {
+        self.static_w_per_core
+    }
+
+    /// Dynamic watts per core at full speed.
+    #[must_use]
+    pub fn dynamic_w_per_core(&self) -> f64 {
+        self.dynamic_w_per_core
+    }
+
+    /// Power drawn by `cores` allocated cores running at `speed ∈ [0, 1]`.
+    #[must_use]
+    pub fn power(&self, cores: f64, speed: f64) -> Watts {
+        let s = speed.clamp(0.0, 1.0);
+        Watts::new(cores.max(0.0) * (self.static_w_per_core + s * self.dynamic_w_per_core))
+    }
+
+    /// Peak power of a system whose maximum core allocation is
+    /// `peak_cores` (all cores at full speed).
+    #[must_use]
+    pub fn peak_power(&self, peak_cores: f64) -> Watts {
+        self.power(peak_cores, 1.0)
+    }
+
+    /// Power saved by reducing `delta` cores worth of resource (speed
+    /// scaling sheds only dynamic power — cores stay allocated).
+    #[must_use]
+    pub fn reduction_power(&self, delta: f64) -> Watts {
+        Watts::new(delta.max(0.0) * self.dynamic_w_per_core)
+    }
+
+    /// The market's `watts_per_unit` conversion: dynamic watts per core of
+    /// reduction.
+    #[must_use]
+    pub fn watts_per_unit(&self) -> f64 {
+        self.dynamic_w_per_core
+    }
+}
+
+impl Default for PowerModel {
+    /// The paper's 25 W / 125 W model.
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_model_matches_gaia_peak() {
+        let m = PowerModel::paper();
+        assert_eq!(m.static_w_per_core(), 25.0);
+        assert_eq!(m.dynamic_w_per_core(), 125.0);
+        // Gaia: 2012 peak cores → 301.8 kW.
+        assert!((m.peak_power(2012.0).get() - 301_800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_scaling_sheds_only_dynamic_power() {
+        let m = PowerModel::paper();
+        let full = m.power(10.0, 1.0);
+        let half = m.power(10.0, 0.5);
+        assert!((full.get() - 1500.0).abs() < 1e-9);
+        assert!(((full - half).get() - 10.0 * 0.5 * 125.0).abs() < 1e-9);
+        // Static power stays even at speed 0.
+        assert!((m.power(10.0, 0.0).get() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_is_clamped() {
+        let m = PowerModel::paper();
+        assert_eq!(m.power(1.0, 2.0), m.power(1.0, 1.0));
+        assert_eq!(m.power(1.0, -1.0), m.power(1.0, 0.0));
+        assert_eq!(m.power(-5.0, 1.0).get(), 0.0);
+    }
+
+    #[test]
+    fn reduction_power_uses_dynamic_share() {
+        let m = PowerModel::paper();
+        assert!((m.reduction_power(4.0).get() - 500.0).abs() < 1e-9);
+        assert_eq!(m.reduction_power(-1.0).get(), 0.0);
+        assert_eq!(m.watts_per_unit(), 125.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "static power")]
+    fn negative_static_panics() {
+        let _ = PowerModel::new(-1.0, 125.0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(PowerModel::default(), PowerModel::paper());
+    }
+
+    proptest! {
+        /// Reducing a job's speed by δ/cores reduces its power by exactly
+        /// reduction_power(δ): the two APIs agree.
+        #[test]
+        fn reduction_consistency(cores in 1.0f64..512.0, frac in 0.0f64..1.0) {
+            let m = PowerModel::paper();
+            let delta = frac * cores;
+            let before = m.power(cores, 1.0);
+            let after = m.power(cores, 1.0 - frac);
+            prop_assert!(((before - after).get() - m.reduction_power(delta).get()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Oversubscription arithmetic (Sections II and IV-A).
+//!
+//! Oversubscribing by `x %` means permanently installing `x %` more compute
+//! than the infrastructure capacity supports. Equivalently, with the
+//! workload scaled up to the new compute, overloading occurs whenever power
+//! demand exceeds `100/(100+x)` of its peak.
+
+use mpr_core::Watts;
+
+/// An oversubscription level, e.g. 10 %, 15 %, 20 % (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Oversubscription {
+    percent: f64,
+}
+
+impl Oversubscription {
+    /// Creates a level from a percentage (e.g. `15.0` for 15 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite percentages.
+    #[must_use]
+    pub fn percent(percent: f64) -> Self {
+        assert!(
+            percent.is_finite() && percent >= 0.0,
+            "oversubscription percent must be finite and non-negative, got {percent}"
+        );
+        Self { percent }
+    }
+
+    /// The level as a percentage.
+    #[must_use]
+    pub fn as_percent(&self) -> f64 {
+        self.percent
+    }
+
+    /// Infrastructure capacity when the system's peak demand is
+    /// `peak_power`: `C = peak · 100/(100+x)` (Section IV-A).
+    #[must_use]
+    pub fn capacity(&self, peak_power: Watts) -> Watts {
+        peak_power * (100.0 / (100.0 + self.percent))
+    }
+
+    /// Extra compute capacity gained by oversubscribing: with `total_cores`
+    /// fitting the old capacity exactly, `x %` oversubscription adds
+    /// `total_cores · x/100` cores — `hours · that` core-hours over a
+    /// period (the "Extra Capacity" row of Table I).
+    #[must_use]
+    pub fn extra_core_hours(&self, total_cores: f64, hours: f64) -> f64 {
+        total_cores * (self.percent / 100.0) * hours
+    }
+
+    /// The levels evaluated in Table I.
+    #[must_use]
+    pub fn table1_levels() -> [Oversubscription; 4] {
+        [
+            Oversubscription::percent(10.0),
+            Oversubscription::percent(15.0),
+            Oversubscription::percent(20.0),
+            Oversubscription::percent(25.0),
+        ]
+    }
+
+    /// The levels evaluated in Figs. 8–15.
+    #[must_use]
+    pub fn eval_levels() -> [Oversubscription; 4] {
+        [
+            Oversubscription::percent(5.0),
+            Oversubscription::percent(10.0),
+            Oversubscription::percent(15.0),
+            Oversubscription::percent(20.0),
+        ]
+    }
+}
+
+impl std::fmt::Display for Oversubscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}%", self.percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_formula() {
+        let os = Oversubscription::percent(20.0);
+        let cap = os.capacity(Watts::new(301_800.0));
+        assert!((cap.get() - 301_800.0 * 100.0 / 120.0).abs() < 1e-6);
+        // 0 % oversubscription: capacity equals peak.
+        let none = Oversubscription::percent(0.0);
+        assert_eq!(none.capacity(Watts::new(1000.0)), Watts::new(1000.0));
+    }
+
+    #[test]
+    fn extra_core_hours_matches_table1_scale() {
+        // Gaia: 2004 cores, ~720 h/month, 10 % → ~144 K core-hours/month.
+        let os = Oversubscription::percent(10.0);
+        let extra = os.extra_core_hours(2004.0, 720.0);
+        assert!((extra - 144_288.0).abs() < 1.0, "extra = {extra}");
+    }
+
+    #[test]
+    fn level_sets() {
+        let t1: Vec<f64> = Oversubscription::table1_levels()
+            .iter()
+            .map(Oversubscription::as_percent)
+            .collect();
+        assert_eq!(t1, vec![10.0, 15.0, 20.0, 25.0]);
+        let ev: Vec<f64> = Oversubscription::eval_levels()
+            .iter()
+            .map(Oversubscription::as_percent)
+            .collect();
+        assert_eq!(ev, vec![5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Oversubscription::percent(15.0).to_string(), "15%");
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription percent")]
+    fn negative_percent_panics() {
+        let _ = Oversubscription::percent(-5.0);
+    }
+
+    #[test]
+    fn higher_level_means_lower_capacity() {
+        let peak = Watts::new(100_000.0);
+        let caps: Vec<f64> = Oversubscription::eval_levels()
+            .iter()
+            .map(|o| o.capacity(peak).get())
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Time-varying capacity policies.
+//!
+//! The paper's evaluation uses a fixed infrastructure capacity, but its
+//! user-in-the-loop design explicitly generalizes beyond oversubscription:
+//! "users can also assist in socially responsible HPC management, such as
+//! cutting carbon emissions … and participating in demand response"
+//! (Section I, merit ④). A [`CapacityPolicy`] abstracts *why* the usable
+//! capacity at time `t` is what it is — a fixed UPS rating, a grid
+//! demand-response obligation, or a carbon cap. The simulator consults the
+//! policy every slot; the `mpr-grid` crate provides the grid-driven
+//! implementations.
+
+use mpr_core::Watts;
+
+/// The usable power capacity as a function of time.
+pub trait CapacityPolicy: Send + Sync {
+    /// Capacity at `t_secs` from simulation origin.
+    fn capacity_at(&self, t_secs: f64) -> Watts;
+}
+
+/// The paper's baseline: a constant capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedCapacity(pub Watts);
+
+impl CapacityPolicy for FixedCapacity {
+    fn capacity_at(&self, _t_secs: f64) -> Watts {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emergency::{EmergencyAction, EmergencyConfig, EmergencyController};
+
+    #[test]
+    fn fixed_capacity_is_constant() {
+        let p = FixedCapacity(Watts::new(1000.0));
+        assert_eq!(p.capacity_at(0.0), Watts::new(1000.0));
+        assert_eq!(p.capacity_at(1e9), Watts::new(1000.0));
+    }
+
+    #[test]
+    fn lowering_capacity_mid_run_triggers_emergency() {
+        let mut c = EmergencyController::new(EmergencyConfig::paper(Watts::new(1000.0)));
+        assert_eq!(c.step(0.0, Watts::new(900.0)), EmergencyAction::None);
+        // A demand-response event shrinks the usable capacity to 800 W.
+        c.set_capacity(Watts::new(800.0));
+        match c.step(60.0, Watts::new(900.0)) {
+            EmergencyAction::Declare { target } => {
+                // Target: 900 − 0.99·800 = 108 W.
+                assert!((target.get() - (900.0 - 0.99 * 800.0)).abs() < 1e-9);
+            }
+            other => panic!("expected Declare, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_is_object_safe() {
+        let p: Box<dyn CapacityPolicy> = Box::new(FixedCapacity(Watts::new(5.0)));
+        assert_eq!(p.capacity_at(3.0), Watts::new(5.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Data-center thermal inertia (Section I / Section II).
+//!
+//! The second leg of the reactive-safety argument: "HPC data center
+//! cooling can also withstand these short-lived overloads due to thermal
+//! inertia", but "the cooling system cannot withstand overloads as long as
+//! UPSs" — which is why the manager mitigates promptly even though breakers
+//! would allow tens of minutes.
+//!
+//! We model the machine room as a lumped thermal capacitance: heat flows in
+//! from IT power, out through cooling sized for the rated load, and the
+//! room temperature integrates the difference.
+
+use mpr_core::Watts;
+
+/// Lumped-capacitance machine-room model.
+///
+/// `dT/dt = (P_IT − P_cooling) / C_th`, with cooling capacity equal to the
+/// rated IT load (a data center's CRAC plant is sized for its nameplate
+/// power, not its oversubscribed peak).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Cooling capacity, watts (heat removed at full fan/chiller output).
+    cooling_w: f64,
+    /// Thermal capacitance, joules per kelvin.
+    capacitance_j_per_k: f64,
+    /// Supply/setpoint temperature, °C.
+    setpoint_c: f64,
+    /// Temperature at which equipment must shut down, °C.
+    critical_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates a thermal model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cooling_w` and `capacitance_j_per_k` are positive and
+    /// `critical_c > setpoint_c`.
+    #[must_use]
+    pub fn new(cooling_w: f64, capacitance_j_per_k: f64, setpoint_c: f64, critical_c: f64) -> Self {
+        assert!(cooling_w > 0.0, "cooling capacity must be positive");
+        assert!(capacitance_j_per_k > 0.0, "capacitance must be positive");
+        assert!(critical_c > setpoint_c, "critical must exceed setpoint");
+        Self {
+            cooling_w,
+            capacitance_j_per_k,
+            setpoint_c,
+            critical_c,
+        }
+    }
+
+    /// A typical mid-size room per kW of cooling: ~15 kJ/K of air thermal
+    /// mass per kW (air turns over fast; fabric mass helps little on CRAC
+    /// timescales), 22 °C setpoint, 35 °C critical inlet. With these
+    /// constants the cooling margin binds *before* the breaker's long-delay
+    /// zone — the paper's reason the manager mitigates promptly.
+    #[must_use]
+    pub fn typical(cooling: Watts) -> Self {
+        Self::new(cooling.get(), 15.0 * cooling.get(), 22.0, 35.0)
+    }
+
+    /// The rated cooling capacity.
+    #[must_use]
+    pub fn cooling_w(&self) -> f64 {
+        self.cooling_w
+    }
+
+    /// Time in seconds a *constant* IT load takes to heat the room from
+    /// the setpoint to the critical temperature; `None` when the load is
+    /// within cooling capacity (never overheats).
+    #[must_use]
+    pub fn time_to_critical(&self, it_load: Watts) -> Option<f64> {
+        let excess = it_load.get() - self.cooling_w;
+        if excess <= 0.0 {
+            return None;
+        }
+        Some((self.critical_c - self.setpoint_c) * self.capacitance_j_per_k / excess)
+    }
+}
+
+/// Integrates room temperature over a varying load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoomState {
+    model: ThermalModel,
+    temperature_c: f64,
+}
+
+impl RoomState {
+    /// Creates a room at the cooling setpoint.
+    #[must_use]
+    pub fn new(model: ThermalModel) -> Self {
+        Self {
+            temperature_c: model.setpoint_c,
+            model,
+        }
+    }
+
+    /// Advances the room by `dt_seconds` under `it_load`. Cooling never
+    /// pulls the room below its setpoint. Returns `true` if the room is at
+    /// or above the critical temperature after the step.
+    pub fn step(&mut self, it_load: Watts, dt_seconds: f64) -> bool {
+        let excess = it_load.get() - self.model.cooling_w;
+        self.temperature_c = (self.temperature_c
+            + excess * dt_seconds / self.model.capacitance_j_per_k)
+            .max(self.model.setpoint_c);
+        self.temperature_c >= self.model.critical_c
+    }
+
+    /// Current room temperature, °C.
+    #[must_use]
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Fraction of the setpoint→critical margin consumed, in `[0, 1]`.
+    #[must_use]
+    pub fn margin_used(&self) -> f64 {
+        ((self.temperature_c - self.model.setpoint_c)
+            / (self.model.critical_c - self.model.setpoint_c))
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        // 100 kW cooling, typical capacitance.
+        ThermalModel::typical(Watts::new(100_000.0))
+    }
+
+    #[test]
+    fn within_capacity_never_overheats() {
+        let m = model();
+        assert_eq!(m.time_to_critical(Watts::new(100_000.0)), None);
+        assert_eq!(m.time_to_critical(Watts::new(50_000.0)), None);
+        assert_eq!(m.cooling_w(), 100_000.0);
+    }
+
+    #[test]
+    fn moderate_overload_gives_minutes_of_inertia() {
+        let m = model();
+        // 15 % thermal overload.
+        let t = m.time_to_critical(Watts::new(115_000.0)).unwrap();
+        assert!(
+            t > 10.0 * 60.0,
+            "thermal inertia should cover several minutes, got {t} s"
+        );
+        // Deeper overloads overheat sooner.
+        let t25 = m.time_to_critical(Watts::new(125_000.0)).unwrap();
+        assert!(t25 < t);
+    }
+
+    #[test]
+    fn room_integration_matches_closed_form() {
+        let m = model();
+        let load = Watts::new(120_000.0);
+        let expected = m.time_to_critical(load).unwrap();
+        let mut room = RoomState::new(m);
+        let mut t = 0.0;
+        while !room.step(load, 10.0) {
+            t += 10.0;
+            assert!(t < 2.0 * expected, "room never reached critical");
+        }
+        assert!((t - expected).abs() <= 20.0, "t={t} expected={expected}");
+        assert!(room.margin_used() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn cooling_recovers_but_not_below_setpoint() {
+        let m = model();
+        let mut room = RoomState::new(m);
+        room.step(Watts::new(130_000.0), 300.0);
+        let hot = room.temperature_c();
+        assert!(hot > 22.0);
+        room.step(Watts::new(50_000.0), 10_000.0);
+        assert_eq!(room.temperature_c(), 22.0);
+        assert_eq!(room.margin_used(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "critical must exceed setpoint")]
+    fn bad_temperatures_panic() {
+        let _ = ThermalModel::new(1000.0, 1000.0, 30.0, 25.0);
+    }
+
+    #[test]
+    fn breaker_outlasts_cooling_for_same_overload() {
+        // The paper's ordering: cooling is the tighter constraint, so the
+        // manager reacts promptly even though breakers would allow longer.
+        let cap = Watts::new(100_000.0);
+        let m = ThermalModel::typical(cap);
+        let b = crate::breaker::TripCurve::new(cap, 600.0);
+        let overload = Watts::new(112_000.0);
+        let t_room = m.time_to_critical(overload).unwrap();
+        let t_breaker = b.time_to_trip(overload).unwrap();
+        assert!(
+            t_room < t_breaker,
+            "cooling margin ({t_room:.0}s) should bind before the breaker ({t_breaker:.0}s)"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! UPS battery model (Section II).
+//!
+//! "The ATS feeds the UPS … which is responsible for supplying power while
+//! the generator warms up to takeover followed by a utility failure. The
+//! UPS typically needs to supply power for two to three minutes." Sustained
+//! overloaded operation also "will affect UPS's longevity" — one of the two
+//! physical reasons the manager mitigates overloads promptly.
+
+use mpr_core::Watts;
+
+/// A UPS battery: stored energy, a rated discharge power, and a state of
+/// charge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpsBattery {
+    capacity_j: f64,
+    rated: Watts,
+    charge_j: f64,
+    /// Cumulative joules discharged while above rated power — the
+    /// longevity-wear proxy.
+    overload_wear_j: f64,
+}
+
+impl UpsBattery {
+    /// Sizes a battery to bridge `bridge_secs` of generator warm-up at its
+    /// rated load — the paper's "two to three minutes" sizing rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rated power and bridge time are positive.
+    #[must_use]
+    pub fn sized_for_bridge(rated: Watts, bridge_secs: f64) -> Self {
+        assert!(rated.get() > 0.0, "rated power must be positive");
+        assert!(bridge_secs > 0.0, "bridge time must be positive");
+        let capacity = rated.get() * bridge_secs;
+        Self {
+            capacity_j: capacity,
+            rated,
+            charge_j: capacity,
+            overload_wear_j: 0.0,
+        }
+    }
+
+    /// Rated (continuous) discharge power.
+    #[must_use]
+    pub fn rated(&self) -> Watts {
+        self.rated
+    }
+
+    /// State of charge in `[0, 1]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.charge_j / self.capacity_j
+    }
+
+    /// Seconds of autonomy remaining at `load` (infinite at zero load).
+    #[must_use]
+    pub fn autonomy_secs(&self, load: Watts) -> f64 {
+        if load.get() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.charge_j / load.get()
+        }
+    }
+
+    /// Discharges into `load` for `dt_seconds` (a utility outage). Returns
+    /// `false` if the battery ran out before the interval ended.
+    pub fn discharge(&mut self, load: Watts, dt_seconds: f64) -> bool {
+        let need = load.get().max(0.0) * dt_seconds;
+        if load > self.rated {
+            self.overload_wear_j += (load - self.rated).get() * dt_seconds;
+        }
+        if need > self.charge_j {
+            self.charge_j = 0.0;
+            return false;
+        }
+        self.charge_j -= need;
+        true
+    }
+
+    /// Recharges from the utility at `power` for `dt_seconds`.
+    pub fn recharge(&mut self, power: Watts, dt_seconds: f64) {
+        self.charge_j = (self.charge_j + power.get().max(0.0) * dt_seconds).min(self.capacity_j);
+    }
+
+    /// Joules discharged above rated power — sustained overloads grow this
+    /// and shorten battery life (Section II).
+    #[must_use]
+    pub fn overload_wear_j(&self) -> f64 {
+        self.overload_wear_j
+    }
+
+    /// Whether the battery, from its current charge, can bridge a
+    /// generator warm-up of `warmup_secs` at `load`.
+    #[must_use]
+    pub fn can_bridge(&self, load: Watts, warmup_secs: f64) -> bool {
+        self.autonomy_secs(load) >= warmup_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn battery() -> UpsBattery {
+        // 100 kW rated, sized for a 3-minute bridge.
+        UpsBattery::sized_for_bridge(Watts::new(100_000.0), 180.0)
+    }
+
+    #[test]
+    fn sizing_gives_the_bridge_at_rated_load() {
+        let b = battery();
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!((b.autonomy_secs(b.rated()) - 180.0).abs() < 1e-9);
+        assert!(b.can_bridge(b.rated(), 180.0));
+        assert!(!b.can_bridge(b.rated(), 181.0));
+    }
+
+    #[test]
+    fn oversubscribed_load_shortens_the_bridge() {
+        let b = battery();
+        // 20 % oversubscribed load: autonomy drops to 150 s < 180 s warm-up.
+        let load = Watts::new(120_000.0);
+        assert!((b.autonomy_secs(load) - 150.0).abs() < 1e-9);
+        assert!(
+            !b.can_bridge(load, 180.0),
+            "an overloaded UPS cannot bridge the generator warm-up — \
+             another reason MPR must shed load promptly"
+        );
+    }
+
+    #[test]
+    fn discharge_and_recharge_cycle() {
+        let mut b = battery();
+        assert!(b.discharge(Watts::new(100_000.0), 60.0));
+        assert!((b.state_of_charge() - 2.0 / 3.0).abs() < 1e-9);
+        b.recharge(Watts::new(50_000.0), 60.0);
+        assert!((b.state_of_charge() - (2.0 / 3.0 + 1.0 / 6.0)).abs() < 1e-9);
+        // Recharge clamps at full.
+        b.recharge(Watts::new(1e9), 60.0);
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn running_flat_returns_false() {
+        let mut b = battery();
+        assert!(!b.discharge(Watts::new(100_000.0), 1000.0));
+        assert_eq!(b.state_of_charge(), 0.0);
+        assert_eq!(b.autonomy_secs(Watts::new(1.0)), 0.0);
+    }
+
+    #[test]
+    fn overload_wear_accumulates_only_above_rated() {
+        let mut b = battery();
+        b.discharge(Watts::new(90_000.0), 10.0);
+        assert_eq!(b.overload_wear_j(), 0.0);
+        b.discharge(Watts::new(120_000.0), 10.0);
+        assert!((b.overload_wear_j() - 200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_is_infinite_autonomy() {
+        let b = battery();
+        assert_eq!(b.autonomy_secs(Watts::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "rated power")]
+    fn zero_rated_panics() {
+        let _ = UpsBattery::sized_for_bridge(Watts::ZERO, 180.0);
+    }
+}

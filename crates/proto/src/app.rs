@@ -1,0 +1,269 @@
+//! DVFS application models: frequency → power and frequency → performance.
+
+use mpr_core::CostModel;
+
+/// Lowest CPU frequency the `acpi-cpufreq` driver exposes on the testbed.
+pub const FREQ_MIN_GHZ: f64 = 1.0;
+/// Nominal (maximum) CPU frequency.
+pub const FREQ_MAX_GHZ: f64 = 2.4;
+/// Discrete frequency step of the driver.
+pub const FREQ_STEP_GHZ: f64 = 0.1;
+
+/// One application running on a fixed 10-core slice of the prototype.
+///
+/// Power follows the classic DVFS law `P_dyn(f) = floor + span·(f/f_max)^e`
+/// (the exponent differs per app: memory-bound codes have flatter curves),
+/// and performance follows the CPU-boundness model
+/// `perf(f) = (1−m) + m·(f/f_max)` — an application with `m = 1` scales
+/// perfectly with frequency, one with `m = 0` not at all (Fig. 16(b)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsApp {
+    name: String,
+    cores: u32,
+    power_floor_w: f64,
+    power_span_w: f64,
+    power_exp: f64,
+    cpu_boundness: f64,
+}
+
+impl DvfsApp {
+    /// Creates an application model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_boundness` is outside `(0, 1]` or `cores` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        cores: u32,
+        power_floor_w: f64,
+        power_span_w: f64,
+        power_exp: f64,
+        cpu_boundness: f64,
+    ) -> Self {
+        assert!(cores > 0, "cores must be positive");
+        assert!(
+            cpu_boundness > 0.0 && cpu_boundness <= 1.0,
+            "cpu_boundness must be in (0, 1]"
+        );
+        Self {
+            name: name.into(),
+            cores,
+            power_floor_w,
+            power_span_w,
+            power_exp,
+            cpu_boundness,
+        }
+    }
+
+    /// Application name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cores the app occupies.
+    #[must_use]
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Dynamic power (watts, whole slice) at CPU frequency `f` GHz
+    /// (Fig. 16(a)).
+    #[must_use]
+    pub fn dynamic_power_w(&self, freq_ghz: f64) -> f64 {
+        let f = freq_ghz.clamp(FREQ_MIN_GHZ, FREQ_MAX_GHZ);
+        self.power_floor_w + self.power_span_w * (f / FREQ_MAX_GHZ).powf(self.power_exp)
+    }
+
+    /// Relative execution speed at frequency `f` (1.0 at nominal).
+    #[must_use]
+    pub fn performance(&self, freq_ghz: f64) -> f64 {
+        let f = freq_ghz.clamp(FREQ_MIN_GHZ, FREQ_MAX_GHZ);
+        (1.0 - self.cpu_boundness) + self.cpu_boundness * f / FREQ_MAX_GHZ
+    }
+
+    /// Execution time at frequency `f`, normalized to nominal frequency
+    /// (Fig. 16(b)).
+    #[must_use]
+    pub fn normalized_runtime(&self, freq_ghz: f64) -> f64 {
+        1.0 / self.performance(freq_ghz)
+    }
+
+    /// Resource allocation equivalent of running at `f`: `f / f_max` per
+    /// core (a core at 1.2 GHz of 2.4 GHz counts as half a core).
+    #[must_use]
+    pub fn allocation(&self, freq_ghz: f64) -> f64 {
+        freq_ghz.clamp(FREQ_MIN_GHZ, FREQ_MAX_GHZ) / FREQ_MAX_GHZ
+    }
+
+    /// Job-level maximum resource reduction: dropping from `f_max` to
+    /// `f_min` on every core.
+    #[must_use]
+    pub fn delta_max(&self) -> f64 {
+        f64::from(self.cores) * (1.0 - FREQ_MIN_GHZ / FREQ_MAX_GHZ)
+    }
+
+    /// The frequency (snapped down to the driver's 0.1 GHz grid) that
+    /// realizes a job-level reduction of `delta` cores.
+    #[must_use]
+    pub fn freq_for_reduction(&self, delta: f64) -> f64 {
+        let per_core = (delta / f64::from(self.cores)).clamp(0.0, 1.0);
+        let f = (1.0 - per_core) * FREQ_MAX_GHZ;
+        let snapped = (f / FREQ_STEP_GHZ + 1e-9).floor() * FREQ_STEP_GHZ;
+        snapped.clamp(FREQ_MIN_GHZ, FREQ_MAX_GHZ)
+    }
+
+    /// Power saved by running at `f` instead of nominal.
+    #[must_use]
+    pub fn power_saving_w(&self, freq_ghz: f64) -> f64 {
+        self.dynamic_power_w(FREQ_MAX_GHZ) - self.dynamic_power_w(freq_ghz)
+    }
+
+    /// Mean watts shed per core of resource reduction (secant slope across
+    /// the DVFS range) — the market's `watts_per_unit` conversion.
+    #[must_use]
+    pub fn watts_per_unit(&self) -> f64 {
+        self.power_saving_w(FREQ_MIN_GHZ) / self.delta_max()
+    }
+
+    /// The user's cost model for this app: extra execution per unit time of
+    /// capping, scaled to the job's cores (same construction as the
+    /// simulation, Section III-C).
+    #[must_use]
+    pub fn cost_model(&self) -> DvfsCost {
+        DvfsCost { app: self.clone() }
+    }
+}
+
+/// Extra-execution cost model derived from a [`DvfsApp`]'s performance
+/// curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsCost {
+    app: DvfsApp,
+}
+
+impl CostModel for DvfsCost {
+    fn cost(&self, delta: f64) -> f64 {
+        let per_core = (delta / f64::from(self.app.cores)).clamp(0.0, 1.0);
+        let freq = (1.0 - per_core) * FREQ_MAX_GHZ;
+        let perf = self.app.performance(freq.max(FREQ_MIN_GHZ)).max(1e-3);
+        f64::from(self.app.cores) * (1.0 - perf) / perf
+    }
+    fn delta_max(&self) -> f64 {
+        self.app.delta_max()
+    }
+}
+
+/// The four testbed applications of Section V-F, each on 10 cores, with
+/// curves shaped after Fig. 16: XSBench draws the most power but is
+/// comparatively memory-bound; miniMD is the most frequency-sensitive;
+/// HPCCG the least.
+#[must_use]
+pub fn prototype_apps() -> Vec<DvfsApp> {
+    vec![
+        DvfsApp::new("CoMD", 10, 30.0, 75.0, 2.2, 0.75),
+        DvfsApp::new("HPCCG", 10, 35.0, 60.0, 1.8, 0.55),
+        DvfsApp::new("miniMD", 10, 28.0, 85.0, 2.4, 0.85),
+        DvfsApp::new("XSBench", 10, 40.0, 80.0, 1.6, 0.65),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn four_apps_on_forty_cores() {
+        let apps = prototype_apps();
+        assert_eq!(apps.len(), 4);
+        let total: u32 = apps.iter().map(DvfsApp::cores).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        for app in prototype_apps() {
+            let mut prev = 0.0;
+            let mut f = FREQ_MIN_GHZ;
+            while f <= FREQ_MAX_GHZ + 1e-9 {
+                let p = app.dynamic_power_w(f);
+                assert!(p >= prev, "{}: power must rise with f", app.name());
+                prev = p;
+                f += FREQ_STEP_GHZ;
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_normalized_to_one_at_nominal() {
+        for app in prototype_apps() {
+            assert!((app.normalized_runtime(FREQ_MAX_GHZ) - 1.0).abs() < 1e-12);
+            assert!(app.normalized_runtime(FREQ_MIN_GHZ) > 1.0);
+        }
+    }
+
+    #[test]
+    fn apps_differ_in_speed_sensitivity() {
+        // Fig. 16(b): "the impact of CPU speed change is different for
+        // different applications".
+        let apps = prototype_apps();
+        let at_min: Vec<f64> = apps.iter().map(|a| a.normalized_runtime(1.0)).collect();
+        let minimd = apps.iter().position(|a| a.name() == "miniMD").unwrap();
+        let hpccg = apps.iter().position(|a| a.name() == "HPCCG").unwrap();
+        assert!(at_min[minimd] > at_min[hpccg]);
+    }
+
+    #[test]
+    fn freq_snaps_to_driver_grid() {
+        let app = &prototype_apps()[0];
+        let f = app.freq_for_reduction(2.5);
+        let steps = f / FREQ_STEP_GHZ;
+        assert!((steps - steps.round()).abs() < 1e-9, "f = {f}");
+        assert!((FREQ_MIN_GHZ..=FREQ_MAX_GHZ).contains(&f));
+        // Zero reduction → nominal frequency.
+        assert!((app.freq_for_reduction(0.0) - FREQ_MAX_GHZ).abs() < 1e-9);
+        // Max reduction → min frequency.
+        assert!((app.freq_for_reduction(app.delta_max()) - FREQ_MIN_GHZ).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_zero_at_no_reduction() {
+        for app in prototype_apps() {
+            let c = app.cost_model();
+            assert!(c.cost(0.0).abs() < 1e-12);
+            assert!(c.cost(c.delta_max()) > 0.0);
+            assert!((c.delta_max() - app.delta_max()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn watts_per_unit_positive_and_sane() {
+        for app in prototype_apps() {
+            let w = app.watts_per_unit();
+            assert!(w > 1.0 && w < 50.0, "{}: {w}", app.name());
+        }
+    }
+
+    proptest! {
+        /// Cost is non-decreasing in the reduction for every app.
+        #[test]
+        fn cost_monotone(idx in 0usize..4, d1 in 0.0f64..5.8, dd in 0.0f64..1.0) {
+            let app = &prototype_apps()[idx];
+            let c = app.cost_model();
+            prop_assert!(c.cost(d1 + dd) + 1e-9 >= c.cost(d1));
+        }
+
+        /// freq_for_reduction never yields more allocation than requested
+        /// (snapping rounds the frequency down, i.e. reduces at least δ).
+        #[test]
+        fn snapping_reduces_at_least_delta(idx in 0usize..4, frac in 0.0f64..1.0) {
+            let app = &prototype_apps()[idx];
+            let delta = frac * app.delta_max();
+            let f = app.freq_for_reduction(delta);
+            let achieved = f64::from(app.cores()) * (1.0 - app.allocation(f));
+            prop_assert!(achieved >= delta - 1e-9 || (f - FREQ_MIN_GHZ).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # mpr-proto — the emulated prototype cluster (Section V-F)
+//!
+//! The paper validates MPR on a physical testbed: two Dell PowerEdge
+//! servers, 40 Xeon cores, four applications (CoMD, HPCCG, miniMD,
+//! XSBench) on 10 cores each, CPU frequency driven through the
+//! `acpi-cpufreq` Linux driver from 1.0 to 2.4 GHz.
+//!
+//! Lacking the hardware, this crate emulates that testbed (see
+//! `DESIGN.md`, "Substitutions"): per-application frequency→power and
+//! frequency→slowdown curves shaped after Fig. 16, a 1-second control
+//! loop, a 400 W power cap and the full MPR pipeline (emergency
+//! detection → static market → DVFS actuation with discrete frequency
+//! steps). It regenerates:
+//!
+//! * **Fig. 16** — dynamic power and normalized execution time across the
+//!   DVFS range, per application ([`DvfsApp`] curves);
+//! * **Fig. 17** — the 30-minute with/without-MPR power timelines and the
+//!   per-application resource reductions ([`Experiment`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod experiment;
+
+pub use app::{prototype_apps, DvfsApp, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
+pub use experiment::{AppOutcome, Experiment, ExperimentConfig, ExperimentResult, Sample};

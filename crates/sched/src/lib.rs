@@ -1,0 +1,25 @@
+//! # mpr-sched — job-scheduling substrate
+//!
+//! The paper treats scheduling as an orthogonal concern: its simulator
+//! starts jobs at their trace-recorded times, and MPR explicitly frees the
+//! scheduler from power bookkeeping. This crate completes the workload
+//! substrate for users who start from *submission* streams instead of
+//! *start* streams: it schedules jobs onto a finite-core machine with the
+//! two canonical HPC policies,
+//!
+//! * [`Policy::Fcfs`] — strict first-come-first-served, and
+//! * [`Policy::EasyBackfill`] — FCFS with EASY backfilling: the queue head
+//!   gets a reservation, and later jobs may jump ahead iff (by their
+//!   runtime estimates) they cannot delay that reservation,
+//!
+//! producing a start-time [`Trace`](mpr_workload::Trace) that `mpr-sim` consumes plus
+//! [`QueueStats`] (waits, makespan, utilization). This also mirrors how the
+//! Parallel Workloads Archive logs were produced: their `wait` field is the
+//! output of exactly such a scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scheduler;
+
+pub use scheduler::{schedule, Policy, QueueStats, ScheduleOutcome, SubmittedJob};

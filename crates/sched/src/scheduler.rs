@@ -1,0 +1,477 @@
+//! Event-driven FCFS / EASY-backfill scheduling.
+
+use std::collections::VecDeque;
+
+use mpr_workload::{Job, Trace};
+
+/// A job as submitted by a user: actual runtime plus the user-supplied
+/// runtime estimate the scheduler plans with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmittedJob {
+    /// Job identifier.
+    pub id: u64,
+    /// Submission time, seconds from origin.
+    pub submit_secs: f64,
+    /// Actual runtime, seconds.
+    pub runtime_secs: f64,
+    /// User runtime estimate, seconds. Clamped up to the actual runtime
+    /// (schedulers kill jobs exceeding their estimate; we assume honest
+    /// upper bounds).
+    pub estimate_secs: f64,
+    /// Cores requested.
+    pub cores: u32,
+}
+
+impl SubmittedJob {
+    /// Creates a submitted job; the estimate is clamped to at least the
+    /// actual runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime is not positive or `cores` is zero.
+    #[must_use]
+    pub fn new(id: u64, submit_secs: f64, runtime_secs: f64, estimate_secs: f64, cores: u32) -> Self {
+        assert!(runtime_secs > 0.0, "runtime must be positive");
+        assert!(cores > 0, "cores must be positive");
+        Self {
+            id,
+            submit_secs,
+            runtime_secs,
+            estimate_secs: estimate_secs.max(runtime_secs),
+            cores,
+        }
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict first-come-first-served: the queue head blocks everyone.
+    Fcfs,
+    /// EASY backfilling: later jobs may start early iff they cannot delay
+    /// the queue head's reservation (per runtime estimates).
+    EasyBackfill,
+}
+
+/// Aggregate queueing statistics of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Mean wait (start − submit), seconds.
+    pub mean_wait_secs: f64,
+    /// Maximum wait, seconds.
+    pub max_wait_secs: f64,
+    /// Time from origin to the last completion, seconds.
+    pub makespan_secs: f64,
+    /// Core utilization over the makespan, in `[0, 1]`.
+    pub utilization: f64,
+    /// Jobs that started ahead of an earlier-submitted job.
+    pub backfilled_jobs: usize,
+}
+
+/// Result of scheduling a submission stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// The start-time trace (consumable by `mpr-sim`).
+    pub trace: Trace,
+    /// Queueing statistics.
+    pub stats: QueueStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    end_actual: f64,
+    end_estimate: f64,
+    cores: u32,
+}
+
+/// Schedules `jobs` onto a `total_cores` machine under `policy`.
+///
+/// ```
+/// use mpr_sched::{schedule, Policy, SubmittedJob};
+///
+/// // A wide job blocks the 10-core machine; the narrow short job behind it
+/// // backfills under EASY instead of waiting.
+/// let jobs = [
+///     SubmittedJob::new(1, 0.0, 100.0, 100.0, 8),
+///     SubmittedJob::new(2, 1.0, 100.0, 100.0, 10),
+///     SubmittedJob::new(3, 2.0, 50.0, 50.0, 2),
+/// ];
+/// let out = schedule(&jobs, 10, Policy::EasyBackfill);
+/// assert_eq!(out.stats.backfilled_jobs, 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `total_cores` is zero or any job requests more cores than the
+/// machine has.
+#[must_use]
+pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> ScheduleOutcome {
+    assert!(total_cores > 0, "total_cores must be positive");
+    for j in jobs {
+        assert!(
+            j.cores <= total_cores,
+            "job {} requests {} cores on a {}-core machine",
+            j.id,
+            j.cores,
+            total_cores
+        );
+    }
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .submit_secs
+            .partial_cmp(&jobs[b].submit_secs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut pending = order.into_iter().peekable();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut free = total_cores;
+    let mut now = 0.0f64;
+    let mut starts: Vec<f64> = vec![0.0; jobs.len()];
+    let mut started: Vec<bool> = vec![false; jobs.len()];
+    let mut backfilled = 0usize;
+    let mut makespan = 0.0f64;
+
+    loop {
+        // Retire completions at `now`.
+        running.retain(|r| {
+            if r.end_actual <= now + 1e-9 {
+                free += r.cores;
+                false
+            } else {
+                true
+            }
+        });
+        // Admit submissions at `now`.
+        while let Some(&idx) = pending.peek() {
+            if jobs[idx].submit_secs <= now + 1e-9 {
+                queue.push_back(idx);
+                pending.next();
+            } else {
+                break;
+            }
+        }
+
+        // Start jobs per policy.
+        let mut start_job = |idx: usize,
+                             free: &mut u32,
+                             running: &mut Vec<Running>,
+                             is_backfill: bool| {
+            let j = &jobs[idx];
+            *free -= j.cores;
+            running.push(Running {
+                end_actual: now + j.runtime_secs,
+                end_estimate: now + j.estimate_secs,
+                cores: j.cores,
+            });
+            starts[idx] = now;
+            started[idx] = true;
+            makespan = makespan.max(now + j.runtime_secs);
+            if is_backfill {
+                backfilled += 1;
+            }
+        };
+
+        // FCFS phase: start from the head while it fits.
+        while let Some(&head) = queue.front() {
+            if jobs[head].cores <= free {
+                start_job(head, &mut free, &mut running, false);
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // EASY backfill phase.
+        if policy == Policy::EasyBackfill {
+            if let Some(&head) = queue.front() {
+                // Recompute the head's reservation after each backfill.
+                'backfill: loop {
+                    let (shadow, spare) = reservation(&running, free, jobs[head].cores);
+                    let mut chosen = None;
+                    for (qpos, &cand) in queue.iter().enumerate().skip(1) {
+                        let c = &jobs[cand];
+                        let fits_now = c.cores <= free;
+                        let ends_by_shadow = now + c.estimate_secs <= shadow + 1e-9;
+                        let within_spare = c.cores <= spare;
+                        if fits_now && (ends_by_shadow || within_spare) {
+                            chosen = Some(qpos);
+                            break;
+                        }
+                    }
+                    match chosen {
+                        Some(qpos) => {
+                            let idx = queue.remove(qpos).expect("valid queue position");
+                            start_job(idx, &mut free, &mut running, true);
+                        }
+                        None => break 'backfill,
+                    }
+                }
+            }
+        }
+
+        // Advance time to the next event.
+        let next_submit = pending.peek().map(|&i| jobs[i].submit_secs);
+        let next_completion = running
+            .iter()
+            .map(|r| r.end_actual)
+            .fold(f64::INFINITY, f64::min);
+        let next = match (next_submit, next_completion.is_finite()) {
+            (Some(s), true) => s.min(next_completion),
+            (Some(s), false) => s,
+            (None, true) => next_completion,
+            (None, false) => break, // nothing left anywhere
+        };
+        debug_assert!(next >= now - 1e-9, "time must advance");
+        now = next;
+        if !queue.is_empty() && !next_completion.is_finite() && next_submit.is_none() {
+            unreachable!("queued jobs with nothing running and nothing arriving");
+        }
+    }
+    debug_assert!(started.iter().all(|&s| s), "every job must be scheduled");
+
+    // Build outputs.
+    let traced: Vec<Job> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| Job::new(j.id, starts[i], j.runtime_secs, j.cores))
+        .collect();
+    let waits: Vec<f64> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (starts[i] - j.submit_secs).max(0.0))
+        .collect();
+    let mean_wait_secs = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    let max_wait_secs = waits.iter().copied().fold(0.0, f64::max);
+    let used: f64 = jobs
+        .iter()
+        .map(|j| f64::from(j.cores) * j.runtime_secs)
+        .sum();
+    let utilization = if makespan > 0.0 {
+        used / (f64::from(total_cores) * makespan)
+    } else {
+        0.0
+    };
+    ScheduleOutcome {
+        trace: Trace::new("scheduled", total_cores, traced),
+        stats: QueueStats {
+            mean_wait_secs,
+            max_wait_secs,
+            makespan_secs: makespan,
+            utilization,
+            backfilled_jobs: backfilled,
+        },
+    }
+}
+
+/// Computes the queue head's reservation: the earliest (estimated) time
+/// `shadow` at which `head_cores` become free, and the `spare` cores left
+/// over at that moment that backfill jobs may hold past the shadow time.
+fn reservation(running: &[Running], free: u32, head_cores: u32) -> (f64, u32) {
+    if head_cores <= free {
+        return (0.0, free - head_cores);
+    }
+    let mut ends: Vec<(f64, u32)> = running.iter().map(|r| (r.end_estimate, r.cores)).collect();
+    ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut avail = free;
+    for (end, cores) in ends {
+        avail += cores;
+        if avail >= head_cores {
+            return (end, avail - head_cores);
+        }
+    }
+    // Unreachable for validated inputs (head fits on an empty machine).
+    (f64::INFINITY, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn job(id: u64, submit: f64, runtime: f64, cores: u32) -> SubmittedJob {
+        SubmittedJob::new(id, submit, runtime, runtime, cores)
+    }
+
+    fn start_of(outcome: &ScheduleOutcome, id: u64) -> f64 {
+        outcome
+            .trace
+            .jobs()
+            .iter()
+            .find(|j| j.id == id)
+            .expect("job scheduled")
+            .start_secs
+    }
+
+    #[test]
+    fn fcfs_runs_in_submit_order() {
+        // Machine of 10 cores; three 6-core jobs must serialize.
+        let jobs = vec![
+            job(1, 0.0, 100.0, 6),
+            job(2, 1.0, 100.0, 6),
+            job(3, 2.0, 100.0, 6),
+        ];
+        let out = schedule(&jobs, 10, Policy::Fcfs);
+        assert_eq!(start_of(&out, 1), 0.0);
+        assert_eq!(start_of(&out, 2), 100.0);
+        assert_eq!(start_of(&out, 3), 200.0);
+        assert_eq!(out.stats.backfilled_jobs, 0);
+        assert!((out.stats.makespan_secs - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_execution_when_cores_allow() {
+        let jobs = vec![job(1, 0.0, 100.0, 4), job(2, 0.0, 100.0, 4)];
+        let out = schedule(&jobs, 10, Policy::Fcfs);
+        assert_eq!(start_of(&out, 1), 0.0);
+        assert_eq!(start_of(&out, 2), 0.0);
+    }
+
+    #[test]
+    fn easy_backfills_short_narrow_jobs() {
+        // 10 cores. Job 1 takes 8 cores for 100 s. Job 2 (wide, 10 cores)
+        // must wait until t=100. Job 3 (2 cores, 50 s) fits in the hole and
+        // finishes before job 2's reservation — it backfills at t=0.
+        let jobs = vec![
+            job(1, 0.0, 100.0, 8),
+            job(2, 1.0, 100.0, 10),
+            job(3, 2.0, 50.0, 2),
+        ];
+        let fcfs = schedule(&jobs, 10, Policy::Fcfs);
+        let easy = schedule(&jobs, 10, Policy::EasyBackfill);
+        // FCFS: job 3 blocked behind job 2 until t=200.
+        assert_eq!(start_of(&fcfs, 3), 200.0);
+        // EASY: job 3 backfills immediately (at its submit time).
+        assert_eq!(start_of(&easy, 3), 2.0);
+        assert_eq!(easy.stats.backfilled_jobs, 1);
+        // The head's start is not delayed by the backfill.
+        assert_eq!(start_of(&easy, 2), start_of(&fcfs, 2));
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head() {
+        // A long narrow job may NOT backfill: it would hold cores past the
+        // head's reservation beyond the spare capacity.
+        let jobs = vec![
+            job(1, 0.0, 100.0, 8),
+            job(2, 1.0, 100.0, 10),
+            job(3, 2.0, 500.0, 2), // long: would end after shadow
+        ];
+        let easy = schedule(&jobs, 10, Policy::EasyBackfill);
+        // spare at shadow = 0 (head takes all 10 cores) and job 3 runs past
+        // the shadow → cannot backfill.
+        assert_eq!(start_of(&easy, 2), 100.0);
+        assert_eq!(start_of(&easy, 3), 200.0);
+        assert_eq!(easy.stats.backfilled_jobs, 0);
+    }
+
+    #[test]
+    fn spare_cores_allow_long_backfill() {
+        // Head needs 8 cores; at its shadow time 10 become free → spare 2.
+        // A 2-core long job can therefore backfill (it never blocks head).
+        let jobs = vec![
+            job(1, 0.0, 100.0, 10),
+            job(2, 1.0, 100.0, 8),
+            job(3, 2.0, 500.0, 2),
+        ];
+        let easy = schedule(&jobs, 10, Policy::EasyBackfill);
+        assert_eq!(start_of(&easy, 2), 100.0, "head on time");
+        assert_eq!(start_of(&easy, 3), 100.0, "spare-core backfill at shadow release");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let jobs = vec![job(1, 0.0, 100.0, 5), job(2, 0.0, 100.0, 5)];
+        let out = schedule(&jobs, 10, Policy::Fcfs);
+        assert_eq!(out.stats.mean_wait_secs, 0.0);
+        assert_eq!(out.stats.max_wait_secs, 0.0);
+        assert!((out.stats.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_clamped_to_runtime() {
+        let j = SubmittedJob::new(1, 0.0, 100.0, 10.0, 4);
+        assert_eq!(j.estimate_secs, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests")]
+    fn oversized_job_panics() {
+        let jobs = vec![job(1, 0.0, 10.0, 20)];
+        let _ = schedule(&jobs, 10, Policy::Fcfs);
+    }
+
+    fn random_jobs(n: usize, seed: u64) -> Vec<SubmittedJob> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let runtime = rng.gen_range(60.0..7200.0);
+                SubmittedJob::new(
+                    i as u64,
+                    rng.gen_range(0.0..36_000.0),
+                    runtime,
+                    runtime * rng.gen_range(1.0..3.0),
+                    rng.gen_range(1..=32),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backfill_improves_waits_on_random_workloads() {
+        let jobs = random_jobs(300, 7);
+        let fcfs = schedule(&jobs, 64, Policy::Fcfs);
+        let easy = schedule(&jobs, 64, Policy::EasyBackfill);
+        assert!(
+            easy.stats.mean_wait_secs <= fcfs.stats.mean_wait_secs,
+            "EASY {:.0}s must not exceed FCFS {:.0}s",
+            easy.stats.mean_wait_secs,
+            fcfs.stats.mean_wait_secs
+        );
+        assert!(easy.stats.backfilled_jobs > 0);
+        assert!(easy.stats.utilization >= fcfs.stats.utilization - 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Core capacity is never exceeded and every start is at or after
+        /// its submission, under both policies.
+        #[test]
+        fn capacity_and_causality(seed in 0u64..500, easy in proptest::bool::ANY) {
+            let jobs = random_jobs(60, seed);
+            let policy = if easy { Policy::EasyBackfill } else { Policy::Fcfs };
+            let out = schedule(&jobs, 48, policy);
+            // Causality.
+            for (s, j) in out.trace.jobs().iter().zip(0..) {
+                let _ = j;
+                let submitted = jobs.iter().find(|x| x.id == s.id).unwrap();
+                prop_assert!(s.start_secs >= submitted.submit_secs - 1e-6);
+            }
+            // Capacity: exact event sweep (ends processed before starts at
+            // equal timestamps).
+            let mut events: Vec<(f64, i64)> = Vec::new();
+            for s in out.trace.jobs() {
+                events.push((s.start_secs, i64::from(s.cores)));
+                events.push((s.end_secs(), -i64::from(s.cores)));
+            }
+            events.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            let mut alloc = 0i64;
+            for (_, d) in events {
+                alloc += d;
+                prop_assert!(alloc <= 48, "allocation {alloc} exceeds machine");
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Simulation configuration.
+
+use std::sync::Arc;
+
+use mpr_apps::AppProfile;
+use mpr_power::{CapacityPolicy, PowerModel};
+
+/// The overload-handling algorithm under evaluation (Section IV-A,
+/// "Benchmark algorithms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Centralized optimum: the manager knows every job's true cost model.
+    Opt,
+    /// Performance-oblivious uniform slowdown.
+    Eql,
+    /// MPR with static (submission-time, cooperative) bids.
+    MprStat,
+    /// MPR with iterative price/bid exchange.
+    MprInt,
+}
+
+impl Algorithm {
+    /// All four benchmark algorithms in the paper's plotting order.
+    #[must_use]
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::Opt,
+            Algorithm::Eql,
+            Algorithm::MprStat,
+            Algorithm::MprInt,
+        ]
+    }
+
+    /// Whether this algorithm runs a market (and hence pays rewards).
+    #[must_use]
+    pub fn is_market(&self) -> bool {
+        matches!(self, Algorithm::MprStat | Algorithm::MprInt)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Opt => write!(f, "OPT"),
+            Algorithm::Eql => write!(f, "EQL"),
+            Algorithm::MprStat => write!(f, "MPR-STAT"),
+            Algorithm::MprInt => write!(f, "MPR-INT"),
+        }
+    }
+}
+
+/// Error injected into the cost models users bid from (Fig. 13). The
+/// *true* cost accounting is always noise-free; noise only distorts bids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostNoise {
+    /// Users know their costs exactly.
+    None,
+    /// Zero-mean multiplicative error, factor uniform in `[1−m, 1+m]`.
+    Random {
+        /// Error magnitude `m` (paper studies up to 0.3).
+        magnitude: f64,
+    },
+    /// Systematic underestimation by the given fraction.
+    Underestimate {
+        /// Fraction by which users under-believe their costs.
+        fraction: f64,
+    },
+}
+
+/// Full simulation configuration.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Overload-handling algorithm.
+    pub algorithm: Algorithm,
+    /// Oversubscription level in percent (5/10/15/20 in Figs. 8–15).
+    pub oversubscription_pct: f64,
+    /// Slot length in seconds (paper: one-minute slots).
+    pub slot_secs: f64,
+    /// Per-core power model.
+    pub power_model: PowerModel,
+    /// Reduction-target buffer (paper: 0.01).
+    pub buffer_frac: f64,
+    /// Emergency cool-down in seconds (paper: 600).
+    pub cooldown_secs: f64,
+    /// Fraction of users participating in the market (Fig. 12). Non-market
+    /// algorithms ignore this.
+    pub participation: f64,
+    /// Users' perceived-cost coefficient `α` (Eqn. 6).
+    pub alpha: f64,
+    /// Heterogeneity of `α` across users: each job's coefficient is drawn
+    /// uniformly from `[alpha, alpha·(1+alpha_spread)]`. Zero (the paper's
+    /// setting) gives every user the same α; positive values model users
+    /// who value their performance differently (Section III-C).
+    pub alpha_spread: f64,
+    /// Error in the users' cost estimates (Fig. 13).
+    pub cost_noise: CostNoise,
+    /// Application profiles assigned uniformly at random to jobs.
+    pub profiles: Vec<Arc<AppProfile>>,
+    /// RNG seed for profile assignment, participation and noise.
+    pub seed: u64,
+    /// Maximum MPR-INT rounds before the manager's timeout fires.
+    pub int_max_iterations: usize,
+    /// Optional time-varying capacity (demand response, carbon caps — see
+    /// `mpr-grid`). `None` uses the fixed oversubscribed capacity.
+    pub capacity_policy: Option<Arc<dyn CapacityPolicy>>,
+    /// Record the per-slot power/capacity/price timeline in the report
+    /// (needed for timeline figures and carbon accounting).
+    pub record_timeline: bool,
+    /// Fixed capacity in watts, overriding the peak-derived
+    /// `peak·100/(100+x)` (used by partitioned simulations that share one
+    /// infrastructure budget across power domains).
+    pub capacity_watts_override: Option<f64>,
+    /// Amplitude of per-job power phases in `[0, 1)`: each job's dynamic
+    /// power oscillates by ±this fraction around nominal ("HPC jobs also go
+    /// through different phases that consume different amounts of power",
+    /// Section I). Zero disables phases (the paper's simulation setting).
+    pub phase_amplitude: f64,
+    /// Period of the per-job power phases, seconds.
+    pub phase_period_secs: f64,
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("algorithm", &self.algorithm)
+            .field("oversubscription_pct", &self.oversubscription_pct)
+            .field("slot_secs", &self.slot_secs)
+            .field("participation", &self.participation)
+            .field("alpha", &self.alpha)
+            .field("cost_noise", &self.cost_noise)
+            .field("profiles", &self.profiles.len())
+            .field("seed", &self.seed)
+            .field("capacity_policy", &self.capacity_policy.is_some())
+            .field("record_timeline", &self.record_timeline)
+            .finish()
+    }
+}
+
+impl SimConfig {
+    /// Canonical configuration for an algorithm at an oversubscription
+    /// level: 1-minute slots, paper power model, 1 % buffer, 10-minute
+    /// cool-down, full participation, `α = 1`, no cost noise, the 8 CPU
+    /// profiles.
+    #[must_use]
+    pub fn new(algorithm: Algorithm, oversubscription_pct: f64) -> Self {
+        Self {
+            algorithm,
+            oversubscription_pct,
+            slot_secs: 60.0,
+            power_model: PowerModel::paper(),
+            buffer_frac: 0.01,
+            cooldown_secs: 600.0,
+            participation: 1.0,
+            alpha: 1.0,
+            alpha_spread: 0.0,
+            cost_noise: CostNoise::None,
+            profiles: mpr_apps::cpu_profiles(),
+            seed: 0x6d70_7221,
+            int_max_iterations: 60,
+            capacity_policy: None,
+            record_timeline: false,
+            capacity_watts_override: None,
+            phase_amplitude: 0.0,
+            phase_period_secs: 1800.0,
+        }
+    }
+
+    /// Sets the α heterogeneity spread.
+    #[must_use]
+    pub fn with_alpha_spread(mut self, spread: f64) -> Self {
+        self.alpha_spread = spread.max(0.0);
+        self
+    }
+
+    /// Enables per-job power phases with the given amplitude.
+    #[must_use]
+    pub fn with_phases(mut self, amplitude: f64) -> Self {
+        self.phase_amplitude = amplitude.clamp(0.0, 0.99);
+        self
+    }
+
+    /// Installs a time-varying capacity policy (see `mpr-grid`).
+    #[must_use]
+    pub fn with_capacity_policy(mut self, policy: Arc<dyn CapacityPolicy>) -> Self {
+        self.capacity_policy = Some(policy);
+        self
+    }
+
+    /// Enables per-slot timeline recording in the report.
+    #[must_use]
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Replaces the profile pool (e.g. the GPU profiles for Fig. 15).
+    #[must_use]
+    pub fn with_profiles(mut self, profiles: Vec<Arc<AppProfile>>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Sets market participation (Fig. 12).
+    #[must_use]
+    pub fn with_participation(mut self, participation: f64) -> Self {
+        self.participation = participation.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the cost-estimate noise (Fig. 13).
+    #[must_use]
+    pub fn with_cost_noise(mut self, noise: CostNoise) -> Self {
+        self.cost_noise = noise;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Algorithm::Opt.to_string(), "OPT");
+        assert_eq!(Algorithm::Eql.to_string(), "EQL");
+        assert_eq!(Algorithm::MprStat.to_string(), "MPR-STAT");
+        assert_eq!(Algorithm::MprInt.to_string(), "MPR-INT");
+    }
+
+    #[test]
+    fn market_flag() {
+        assert!(Algorithm::MprStat.is_market());
+        assert!(Algorithm::MprInt.is_market());
+        assert!(!Algorithm::Opt.is_market());
+        assert!(!Algorithm::Eql.is_market());
+        assert_eq!(Algorithm::all().len(), 4);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::new(Algorithm::MprStat, 15.0)
+            .with_participation(1.5)
+            .with_seed(9)
+            .with_cost_noise(CostNoise::Random { magnitude: 0.3 })
+            .with_profiles(mpr_apps::gpu_profiles());
+        assert_eq!(c.participation, 1.0, "participation is clamped");
+        assert_eq!(c.seed, 9);
+        assert!(matches!(c.cost_noise, CostNoise::Random { .. }));
+        assert_eq!(c.profiles.len(), 6);
+        assert_eq!(c.oversubscription_pct, 15.0);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::new(Algorithm::Opt, 10.0);
+        assert_eq!(c.slot_secs, 60.0);
+        assert_eq!(c.buffer_frac, 0.01);
+        assert_eq!(c.cooldown_secs, 600.0);
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.profiles.len(), 8);
+    }
+}

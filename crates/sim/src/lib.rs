@@ -1,0 +1,44 @@
+//! # mpr-sim — trace-driven simulation of an oversubscribed HPC system
+//!
+//! Reproduces the paper's evaluation methodology (Section IV):
+//!
+//! * the simulation period is divided into one-minute slots;
+//! * a list of active jobs (from a workload trace) is updated every slot —
+//!   new jobs start unless a power emergency is in force, finished jobs
+//!   retire;
+//! * each job carries an application profile (uniformly randomly assigned)
+//!   that determines its performance under resource reduction and its
+//!   market bids;
+//! * per-slot power comes from the job-attributed power model; when it
+//!   exceeds the oversubscribed capacity, the configured overload-handling
+//!   algorithm (OPT, EQL, MPR-STAT or MPR-INT) decides every job's
+//!   reduction;
+//! * reductions slow job progress according to the profiles, stretching
+//!   runtimes; accounting tracks reductions, performance-loss cost, market
+//!   rewards and affected jobs.
+//!
+//! The output [`SimReport`] carries every metric the paper's Figs. 8–15
+//! plot.
+//!
+//! ```no_run
+//! use mpr_sim::{Algorithm, SimConfig, Simulation};
+//! use mpr_workload::{ClusterSpec, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(ClusterSpec::gaia()).generate();
+//! let config = SimConfig::new(Algorithm::MprStat, 15.0);
+//! let report = Simulation::new(&trace, config).run();
+//! println!("cost: {:.0} core-hours", report.cost_core_hours);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod partition;
+pub mod report;
+
+pub use config::{Algorithm, CostNoise, SimConfig};
+pub use engine::Simulation;
+pub use partition::{PartitionPolicy, PartitionedReport, PartitionedSimulation};
+pub use report::{EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline};

@@ -1,0 +1,245 @@
+//! Partitioned (multi-UPS) simulation — the Section III-A extension.
+//!
+//! Large HPC data centers split their power infrastructure into multiple
+//! parallel pieces, each with a dedicated UPS. The paper notes its model
+//! "can be seamlessly extended to these data centers by considering
+//! individual infrastructure capacity `C_i` and aggregate power consumption
+//! `P_i(t)` for the i-th parallel power infrastructure". This module does
+//! exactly that: jobs are assigned to partitions, each partition runs its
+//! own emergency controller and market over its own capacity, and the
+//! reports aggregate.
+//!
+//! Partitioning trades away statistical multiplexing: the same workload on
+//! more, smaller UPSes overloads more often at the same oversubscription
+//! level — the `ext_partitions` experiment quantifies it.
+
+use mpr_workload::Trace;
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::report::SimReport;
+
+/// How jobs are mapped to power partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Deterministic round-robin by job order — spreads load evenly.
+    RoundRobin,
+    /// Jobs sorted by width, dealt round-robin — balances core demand when
+    /// widths are heavy-tailed.
+    WidthBalanced,
+}
+
+/// A multi-UPS simulation: `partitions` independent power domains.
+pub struct PartitionedSimulation<'a> {
+    trace: &'a Trace,
+    config: SimConfig,
+    partitions: usize,
+    policy: PartitionPolicy,
+}
+
+/// Aggregated results of a partitioned run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedReport {
+    /// Per-partition reports, in partition order.
+    pub partitions: Vec<SimReport>,
+}
+
+impl PartitionedReport {
+    /// Total performance-loss cost across partitions, core-hours.
+    #[must_use]
+    pub fn cost_core_hours(&self) -> f64 {
+        self.partitions.iter().map(|r| r.cost_core_hours).sum()
+    }
+
+    /// Total reward paid across partitions, core-hours.
+    #[must_use]
+    pub fn reward_core_hours(&self) -> f64 {
+        self.partitions.iter().map(|r| r.reward_core_hours).sum()
+    }
+
+    /// Total resource reduction across partitions, core-hours.
+    #[must_use]
+    pub fn reduction_core_hours(&self) -> f64 {
+        self.partitions.iter().map(|r| r.reduction_core_hours).sum()
+    }
+
+    /// Total emergencies across partitions.
+    #[must_use]
+    pub fn overload_events(&self) -> usize {
+        self.partitions.iter().map(|r| r.overload_events).sum()
+    }
+
+    /// Slot-weighted mean overload-time percentage.
+    #[must_use]
+    pub fn overload_time_pct(&self) -> f64 {
+        let slots: usize = self.partitions.iter().map(|r| r.total_slots).sum();
+        if slots == 0 {
+            return 0.0;
+        }
+        let over: usize = self.partitions.iter().map(|r| r.overload_slots).sum();
+        100.0 * over as f64 / slots as f64
+    }
+}
+
+impl<'a> PartitionedSimulation<'a> {
+    /// Creates a partitioned simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    #[must_use]
+    pub fn new(
+        trace: &'a Trace,
+        config: SimConfig,
+        partitions: usize,
+        policy: PartitionPolicy,
+    ) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        Self {
+            trace,
+            config,
+            partitions,
+            policy,
+        }
+    }
+
+    /// Splits the trace into per-partition traces.
+    #[must_use]
+    pub fn split(&self) -> Vec<Trace> {
+        let jobs = self.trace.jobs();
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        if self.policy == PartitionPolicy::WidthBalanced {
+            order.sort_by(|&a, &b| jobs[b].cores.cmp(&jobs[a].cores));
+        }
+        let mut buckets: Vec<Vec<mpr_workload::Job>> = vec![Vec::new(); self.partitions];
+        for (i, &idx) in order.iter().enumerate() {
+            buckets[i % self.partitions].push(jobs[idx]);
+        }
+        let cores = (self.trace.total_cores() / self.partitions as u32).max(1);
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(k, jobs)| Trace::new(format!("{}-p{k}", self.trace.name()), cores, jobs))
+            .collect()
+    }
+
+    /// Runs every partition and aggregates.
+    ///
+    /// The facility's total capacity — the whole trace's oversubscribed
+    /// capacity — is divided equally among the partitions: `k` parallel
+    /// UPSes of `C/k` each, rather than `k` independently-sized domains.
+    #[must_use]
+    pub fn run(&self) -> PartitionedReport {
+        let total_capacity = self.config.capacity_watts_override.unwrap_or_else(|| {
+            let probe = Simulation::new(self.trace, self.config.clone());
+            mpr_power::Oversubscription::percent(self.config.oversubscription_pct)
+                .capacity(mpr_core::Watts::new(probe.reference_peak_watts()))
+                .get()
+        });
+        let per_partition = total_capacity / self.partitions as f64;
+        let partitions = self
+            .split()
+            .iter()
+            .enumerate()
+            .map(|(k, t)| {
+                let mut cfg = self.config.clone();
+                // Decorrelate per-partition profile assignment.
+                cfg.seed = cfg.seed.wrapping_add(k as u64);
+                cfg.capacity_watts_override = Some(per_partition);
+                Simulation::new(t, cfg).run()
+            })
+            .collect();
+        PartitionedReport { partitions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use mpr_workload::{ClusterSpec, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(ClusterSpec::gaia().with_span_days(5.0))
+            .with_seed(3)
+            .generate()
+    }
+
+    #[test]
+    fn split_preserves_all_jobs() {
+        let t = trace();
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::WidthBalanced] {
+            let sim =
+                PartitionedSimulation::new(&t, SimConfig::new(Algorithm::MprStat, 15.0), 4, policy);
+            let parts = sim.split();
+            assert_eq!(parts.len(), 4);
+            let total: usize = parts.iter().map(Trace::len).sum();
+            assert_eq!(total, t.len());
+            // Partitions are balanced to within a job.
+            let min = parts.iter().map(Trace::len).min().unwrap();
+            let max = parts.iter().map(Trace::len).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn width_balancing_evens_core_hours() {
+        let t = trace();
+        let core_hours_spread = |policy| {
+            let sim =
+                PartitionedSimulation::new(&t, SimConfig::new(Algorithm::MprStat, 15.0), 4, policy);
+            let parts = sim.split();
+            let chs: Vec<f64> = parts.iter().map(Trace::total_core_hours).collect();
+            let max = chs.iter().cloned().fold(0.0, f64::max);
+            let min = chs.iter().cloned().fold(f64::INFINITY, f64::min);
+            (max - min) / max
+        };
+        assert!(
+            core_hours_spread(PartitionPolicy::WidthBalanced)
+                <= core_hours_spread(PartitionPolicy::RoundRobin) + 0.05
+        );
+    }
+
+    #[test]
+    fn single_partition_matches_plain_simulation() {
+        let t = trace();
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0);
+        let plain = Simulation::new(&t, cfg.clone()).run();
+        let part = PartitionedSimulation::new(&t, cfg, 1, PartitionPolicy::RoundRobin).run();
+        assert_eq!(part.partitions.len(), 1);
+        // Same jobs, same capacity model → identical accounting.
+        assert_eq!(part.partitions[0].jobs_total, plain.jobs_total);
+        assert!((part.cost_core_hours() - plain.cost_core_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_partitions_less_multiplexing() {
+        let t = trace();
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0);
+        let one =
+            PartitionedSimulation::new(&t, cfg.clone(), 1, PartitionPolicy::RoundRobin).run();
+        let eight =
+            PartitionedSimulation::new(&t, cfg, 8, PartitionPolicy::RoundRobin).run();
+        // Smaller domains see burstier aggregate demand: overloads should
+        // not decrease (they typically grow noticeably).
+        assert!(
+            eight.overload_time_pct() >= 0.8 * one.overload_time_pct(),
+            "8 partitions {:.2}% vs 1 partition {:.2}%",
+            eight.overload_time_pct(),
+            one.overload_time_pct()
+        );
+        assert!(eight.overload_events() >= one.overload_events());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let t = trace();
+        let _ = PartitionedSimulation::new(
+            &t,
+            SimConfig::new(Algorithm::MprStat, 15.0),
+            0,
+            PartitionPolicy::RoundRobin,
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Simulation output: every metric the paper's evaluation plots.
+
+use std::collections::BTreeMap;
+
+/// Per-application-profile accounting (Figs. 9(c), 9(d), 15(c), 15(d)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileStats {
+    /// Total resource reduction attributed to jobs of this profile,
+    /// core-hours.
+    pub reduction_core_hours: f64,
+    /// Total performance-loss cost, core-hours.
+    pub cost_core_hours: f64,
+    /// Extra execution time accumulated, as a fraction of the profile's
+    /// jobs' nominal runtime (for per-app performance-loss plots).
+    pub runtime_stretch_pct: f64,
+    /// Number of completed jobs of this profile.
+    pub jobs: usize,
+}
+
+/// One emergency-lifecycle event, always recorded (unlike the heavyweight
+/// per-slot [`Timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmergencyEvent {
+    /// Event time, seconds from simulation origin.
+    pub t_secs: f64,
+    /// What happened.
+    pub kind: EmergencyEventKind,
+    /// Power-reduction target in force after the event, watts (zero on
+    /// lift).
+    pub target_watts: f64,
+    /// Clearing price in force after the event (zero for OPT/EQL and on
+    /// lift).
+    pub price: f64,
+}
+
+/// The kind of an [`EmergencyEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmergencyEventKind {
+    /// An emergency was declared and the market/algorithm ran.
+    Declare,
+    /// Power exceeded capacity during an emergency; reductions deepened.
+    Escalate,
+    /// Normal operation resumed; reductions restored.
+    Lift,
+}
+
+/// Per-slot time series recorded when `SimConfig::record_timeline` is set.
+///
+/// All vectors have one entry per simulated slot. `power_w` is the measured
+/// (post-reduction) power, `demand_w` what the active jobs would draw at
+/// full speed, `capacity_w` the (possibly policy-driven) capacity, and
+/// `price` the market clearing price in force.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Slot length in seconds.
+    pub slot_secs: f64,
+    /// Measured power per slot, watts.
+    pub power_w: Vec<f64>,
+    /// Full-speed demand per slot, watts.
+    pub demand_w: Vec<f64>,
+    /// Capacity per slot, watts.
+    pub capacity_w: Vec<f64>,
+    /// Total reduction in force per slot, watts.
+    pub reduction_w: Vec<f64>,
+    /// Clearing price in force per slot (0 outside emergencies).
+    pub price: Vec<f64>,
+}
+
+impl Timeline {
+    /// Serializes the timeline as CSV
+    /// (`minute,demand_w,power_w,capacity_w,reduction_w,price` per slot),
+    /// ready for external plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("minute,demand_w,power_w,capacity_w,reduction_w,price\n");
+        for i in 0..self.power_w.len() {
+            out.push_str(&format!(
+                "{:.2},{:.1},{:.1},{:.1},{:.1},{:.6}\n",
+                i as f64 * self.slot_secs / 60.0,
+                self.demand_w[i],
+                self.power_w[i],
+                self.capacity_w[i],
+                self.reduction_w[i],
+                self.price[i],
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Trace the run consumed.
+    pub trace_name: String,
+    /// Algorithm label (`"OPT"`, `"EQL"`, `"MPR-STAT"`, `"MPR-INT"`).
+    pub algorithm: String,
+    /// Oversubscription level in percent.
+    pub oversubscription_pct: f64,
+
+    /// Number of simulated slots.
+    pub total_slots: usize,
+    /// Slots during which measured power exceeded capacity.
+    pub overload_slots: usize,
+    /// Number of declared emergencies.
+    pub overload_events: usize,
+    /// Emergencies where even best-effort capping could not meet the
+    /// target (EQL on fragile apps, low participation).
+    pub unmet_emergencies: usize,
+
+    /// Jobs that started during the run.
+    pub jobs_total: usize,
+    /// Jobs that finished during the run.
+    pub jobs_completed: usize,
+    /// Jobs active during at least one overloaded slot.
+    pub jobs_affected: usize,
+    /// Jobs whose start was held back by an active emergency.
+    pub jobs_deferred: usize,
+
+    /// Total resource reduction, core-hours (Fig. 8(d)).
+    pub reduction_core_hours: f64,
+    /// Total performance-loss cost, core-hours (Fig. 9(a)).
+    pub cost_core_hours: f64,
+    /// Total market reward paid to users, core-hours (Fig. 11).
+    pub reward_core_hours: f64,
+    /// Mean runtime increase of affected completed jobs, percent
+    /// (Fig. 9(b)).
+    pub avg_runtime_increase_pct: f64,
+
+    /// Extra compute gained from oversubscription, core-hours (Fig. 11(b)).
+    pub extra_capacity_core_hours: f64,
+    /// Infrastructure capacity, watts.
+    pub capacity_watts: f64,
+    /// The trace's reference peak power, watts.
+    pub peak_watts: f64,
+
+    /// Total MPR-INT iterations across all market invocations (0 for other
+    /// algorithms).
+    pub int_iterations_total: usize,
+
+    /// Per-profile breakdown, keyed by application name.
+    pub per_profile: BTreeMap<String, ProfileStats>,
+
+    /// Per-slot series, present when timeline recording was enabled.
+    pub timeline: Option<Timeline>,
+
+    /// Every emergency declare/escalate/lift, in time order.
+    pub events: Vec<EmergencyEvent>,
+}
+
+impl SimReport {
+    /// Durations of completed emergencies (declare → lift), seconds.
+    #[must_use]
+    pub fn emergency_durations_secs(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut started: Option<f64> = None;
+        for e in &self.events {
+            match e.kind {
+                EmergencyEventKind::Declare => started = Some(e.t_secs),
+                EmergencyEventKind::Lift => {
+                    if let Some(s) = started.take() {
+                        out.push(e.t_secs - s);
+                    }
+                }
+                EmergencyEventKind::Escalate => {}
+            }
+        }
+        out
+    }
+}
+
+impl SimReport {
+    /// Fraction of time spent overloaded, in percent (Fig. 8(a)).
+    #[must_use]
+    pub fn overload_time_pct(&self) -> f64 {
+        if self.total_slots == 0 {
+            0.0
+        } else {
+            100.0 * self.overload_slots as f64 / self.total_slots as f64
+        }
+    }
+
+    /// Fraction of jobs affected by overloads, in percent (Fig. 8(c)).
+    #[must_use]
+    pub fn jobs_affected_pct(&self) -> f64 {
+        if self.jobs_total == 0 {
+            0.0
+        } else {
+            100.0 * self.jobs_affected as f64 / self.jobs_total as f64
+        }
+    }
+
+    /// Reward as a percentage of the performance-loss cost (Fig. 11(a)).
+    /// `None` when no cost was incurred.
+    #[must_use]
+    pub fn reward_pct_of_cost(&self) -> Option<f64> {
+        (self.cost_core_hours > 1e-9).then(|| 100.0 * self.reward_core_hours / self.cost_core_hours)
+    }
+
+    /// The HPC manager's gain ratio: extra capacity per core-hour of
+    /// reward paid (Fig. 11(b)). `None` when no reward was paid.
+    #[must_use]
+    pub fn gain_over_reward(&self) -> Option<f64> {
+        (self.reward_core_hours > 1e-9)
+            .then(|| self.extra_capacity_core_hours / self.reward_core_hours)
+    }
+
+    /// Mean MPR-INT iterations per market invocation (Fig. 10(b)).
+    #[must_use]
+    pub fn int_iterations_avg(&self) -> f64 {
+        if self.overload_events == 0 {
+            0.0
+        } else {
+            self.int_iterations_total as f64 / self.overload_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            trace_name: "t".into(),
+            algorithm: "MPR-STAT".into(),
+            oversubscription_pct: 15.0,
+            total_slots: 1000,
+            overload_slots: 50,
+            overload_events: 5,
+            unmet_emergencies: 0,
+            jobs_total: 200,
+            jobs_completed: 180,
+            jobs_affected: 40,
+            jobs_deferred: 3,
+            reduction_core_hours: 100.0,
+            cost_core_hours: 20.0,
+            reward_core_hours: 60.0,
+            avg_runtime_increase_pct: 0.5,
+            extra_capacity_core_hours: 30000.0,
+            capacity_watts: 262_434.0,
+            peak_watts: 301_800.0,
+            int_iterations_total: 0,
+            per_profile: BTreeMap::new(),
+            timeline: None,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_percentages() {
+        let r = report();
+        assert!((r.overload_time_pct() - 5.0).abs() < 1e-12);
+        assert!((r.jobs_affected_pct() - 20.0).abs() < 1e-12);
+        assert!((r.reward_pct_of_cost().unwrap() - 300.0).abs() < 1e-9);
+        assert!((r.gain_over_reward().unwrap() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let mut r = report();
+        r.total_slots = 0;
+        r.jobs_total = 0;
+        r.cost_core_hours = 0.0;
+        r.reward_core_hours = 0.0;
+        r.overload_events = 0;
+        assert_eq!(r.overload_time_pct(), 0.0);
+        assert_eq!(r.jobs_affected_pct(), 0.0);
+        assert_eq!(r.reward_pct_of_cost(), None);
+        assert_eq!(r.gain_over_reward(), None);
+        assert_eq!(r.int_iterations_avg(), 0.0);
+    }
+
+    #[test]
+    fn emergency_durations_pair_declare_with_lift() {
+        let mut r = report();
+        r.events = vec![
+            EmergencyEvent {
+                t_secs: 60.0,
+                kind: EmergencyEventKind::Declare,
+                target_watts: 100.0,
+                price: 0.4,
+            },
+            EmergencyEvent {
+                t_secs: 120.0,
+                kind: EmergencyEventKind::Escalate,
+                target_watts: 150.0,
+                price: 0.5,
+            },
+            EmergencyEvent {
+                t_secs: 900.0,
+                kind: EmergencyEventKind::Lift,
+                target_watts: 0.0,
+                price: 0.0,
+            },
+            // A dangling declare (run ended mid-emergency) contributes no
+            // duration.
+            EmergencyEvent {
+                t_secs: 1200.0,
+                kind: EmergencyEventKind::Declare,
+                target_watts: 80.0,
+                price: 0.3,
+            },
+        ];
+        assert_eq!(r.emergency_durations_secs(), vec![840.0]);
+    }
+
+    #[test]
+    fn timeline_csv_round_numbers() {
+        let tl = Timeline {
+            slot_secs: 60.0,
+            power_w: vec![100.0, 200.0],
+            demand_w: vec![150.0, 200.0],
+            capacity_w: vec![180.0, 180.0],
+            reduction_w: vec![50.0, 0.0],
+            price: vec![0.5, 0.0],
+        };
+        let csv = tl.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("minute,"));
+        assert_eq!(lines[1], "0.00,150.0,100.0,180.0,50.0,0.500000");
+        assert_eq!(lines[2], "1.00,200.0,200.0,180.0,0.0,0.000000");
+    }
+
+    #[test]
+    fn int_iteration_average() {
+        let mut r = report();
+        r.int_iterations_total = 40;
+        assert!((r.int_iterations_avg() - 8.0).abs() < 1e-12);
+    }
+}

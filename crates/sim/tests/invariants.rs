@@ -1,0 +1,92 @@
+//! Property-based invariants of the simulation engine over randomized
+//! small workloads.
+
+use proptest::prelude::*;
+
+use mpr_sim::{Algorithm, SimConfig, Simulation};
+use mpr_workload::{Job, Trace};
+
+/// A random compact trace: up to 40 jobs over two simulated hours.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (
+            0.0f64..7200.0,   // start
+            300.0f64..7200.0, // runtime
+            1u32..64,         // cores
+        ),
+        1..40,
+    )
+    .prop_map(|specs| {
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start, runtime, cores))| Job::new(i as u64 + 1, start, runtime, cores))
+            .collect();
+        Trace::new("prop", 512, jobs)
+    })
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Opt),
+        Just(Algorithm::Eql),
+        Just(Algorithm::MprStat),
+        Just(Algorithm::MprInt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job completes, accounting is non-negative and internally
+    /// consistent, for every algorithm and oversubscription level.
+    #[test]
+    fn engine_invariants(
+        trace in arb_trace(),
+        alg in arb_algorithm(),
+        pct in 0.0f64..25.0,
+        phases in 0.0f64..0.3,
+    ) {
+        let cfg = SimConfig::new(alg, pct).with_phases(phases);
+        let r = Simulation::new(&trace, cfg).run();
+        prop_assert_eq!(r.jobs_total, trace.len());
+        prop_assert_eq!(r.jobs_completed, r.jobs_total, "every job must finish");
+        prop_assert!(r.jobs_affected <= r.jobs_total);
+        prop_assert!(r.overload_slots <= r.total_slots);
+        prop_assert!(r.reduction_core_hours >= 0.0);
+        prop_assert!(r.cost_core_hours >= 0.0);
+        prop_assert!(r.reward_core_hours >= 0.0);
+        prop_assert!(r.avg_runtime_increase_pct >= 0.0);
+        // Per-profile sums reconcile with the totals.
+        let red: f64 = r.per_profile.values().map(|s| s.reduction_core_hours).sum();
+        prop_assert!((red - r.reduction_core_hours).abs() < 1e-6);
+        // Non-market algorithms never pay.
+        if !alg.is_market() {
+            prop_assert_eq!(r.reward_core_hours, 0.0);
+        }
+        // Without oversubscription there are no overloads at all.
+        if pct == 0.0 {
+            prop_assert_eq!(r.overload_events, 0);
+        }
+    }
+
+    /// The timeline, when recorded, reconciles with the scalar report.
+    #[test]
+    fn timeline_invariants(trace in arb_trace(), pct in 5.0f64..25.0) {
+        let cfg = SimConfig::new(Algorithm::MprStat, pct).with_timeline();
+        let r = Simulation::new(&trace, cfg).run();
+        let tl = r.timeline.as_ref().expect("timeline recorded");
+        prop_assert_eq!(tl.power_w.len(), r.total_slots);
+        let over = tl
+            .demand_w
+            .iter()
+            .zip(&tl.capacity_w)
+            .filter(|(d, c)| d > c)
+            .count();
+        prop_assert_eq!(over, r.overload_slots);
+        for ((p, d), red) in tl.power_w.iter().zip(&tl.demand_w).zip(&tl.reduction_w) {
+            prop_assert!((p + red - d).abs() < 1e-6);
+            prop_assert!(*red >= 0.0);
+        }
+    }
+}

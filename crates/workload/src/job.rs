@@ -1,0 +1,88 @@
+//! A single HPC job as the simulator sees it.
+
+/// One job of a workload trace.
+///
+/// Times are in seconds from the trace origin. `start_secs` is when the job
+/// begins executing (for SWF logs this is `submit + wait`); `runtime_secs`
+/// is its execution time at full speed — resource reduction during
+/// overloads stretches the actual completion beyond this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Job identifier, unique within its trace.
+    pub id: u64,
+    /// Start of execution, seconds from trace origin.
+    pub start_secs: f64,
+    /// Nominal (full-speed) runtime in seconds.
+    pub runtime_secs: f64,
+    /// Number of cores allocated.
+    pub cores: u32,
+}
+
+impl Job {
+    /// Creates a job, validating its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_secs` is negative/non-finite, `runtime_secs` is not
+    /// positive, or `cores` is zero.
+    #[must_use]
+    pub fn new(id: u64, start_secs: f64, runtime_secs: f64, cores: u32) -> Self {
+        assert!(
+            start_secs.is_finite() && start_secs >= 0.0,
+            "start_secs must be finite and non-negative"
+        );
+        assert!(
+            runtime_secs.is_finite() && runtime_secs > 0.0,
+            "runtime_secs must be positive"
+        );
+        assert!(cores > 0, "cores must be positive");
+        Self {
+            id,
+            start_secs,
+            runtime_secs,
+            cores,
+        }
+    }
+
+    /// Nominal end time (no resource reduction), seconds from origin.
+    #[must_use]
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.runtime_secs
+    }
+
+    /// Core-hours of work this job performs at full speed.
+    #[must_use]
+    pub fn core_hours(&self) -> f64 {
+        f64::from(self.cores) * self.runtime_secs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let j = Job::new(1, 100.0, 3600.0, 8);
+        assert_eq!(j.end_secs(), 3700.0);
+        assert!((j.core_hours() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime_secs")]
+    fn zero_runtime_panics() {
+        let _ = Job::new(1, 0.0, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn zero_cores_panics() {
+        let _ = Job::new(1, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start_secs")]
+    fn negative_start_panics() {
+        let _ = Job::new(1, -1.0, 1.0, 1);
+    }
+}

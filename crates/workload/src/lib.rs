@@ -1,0 +1,33 @@
+//! # mpr-workload — HPC workload traces for MPR
+//!
+//! The paper's evaluation is trace-driven: the Gaia cluster log (51,987
+//! jobs / 3 months) for the core results and the PIK, RICC and Metacentrum
+//! logs from the Parallel Workloads Archive for the cross-trace study
+//! (Section V-E). Those logs are distributed in the Standard Workload
+//! Format (SWF).
+//!
+//! This crate provides:
+//!
+//! * [`Job`] / [`Trace`] — the in-memory workload representation;
+//! * [`swf`] — a parser for real SWF logs (drop the archive files in and
+//!   load them directly);
+//! * [`generator`] — deterministic synthetic generators calibrated to each
+//!   cluster's published statistics (job count, span, peak cores,
+//!   utilization-CDF shape of Fig. 1(b)) for fully offline reproduction —
+//!   see `DESIGN.md`, "Substitutions";
+//! * [`stats`] — core-allocation time series and utilization CDFs
+//!   (Figs. 1(b), 6, 14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod job;
+pub mod stats;
+pub mod swf;
+pub mod trace;
+
+pub use generator::{ClusterSpec, TraceGenerator};
+pub use job::Job;
+pub use stats::{utilization_cdf, AllocationSeries, JobMix};
+pub use trace::Trace;

@@ -1,0 +1,296 @@
+//! Parser for the Standard Workload Format (SWF) used by the Parallel
+//! Workloads Archive.
+//!
+//! The paper's four traces (Gaia, PIK, RICC, Metacentrum) are all SWF logs.
+//! SWF is line-oriented: `;`-prefixed header comments followed by records of
+//! 18 whitespace-separated integer fields. We use fields 1 (job id),
+//! 2 (submit), 3 (wait), 4 (runtime) and 5 (allocated processors, falling
+//! back to field 8, requested processors). Jobs with unknown (-1 / 0)
+//! runtime or width are skipped, as is conventional.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::job::Job;
+use crate::trace::Trace;
+
+/// Errors raised while parsing an SWF log.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SwfError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// A record line had fewer than the 18 SWF fields.
+    ShortRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        fields: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based field index.
+        field: usize,
+    },
+    /// The log contained no usable jobs.
+    Empty,
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::Io(e) => write!(f, "i/o error reading swf log: {e}"),
+            SwfError::ShortRecord { line, fields } => {
+                write!(f, "line {line}: expected 18 swf fields, found {fields}")
+            }
+            SwfError::BadField { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+            SwfError::Empty => write!(f, "swf log contains no usable jobs"),
+        }
+    }
+}
+
+impl std::error::Error for SwfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SwfError {
+    fn from(e: std::io::Error) -> Self {
+        SwfError::Io(e)
+    }
+}
+
+/// Header metadata extracted from `;`-comments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfHeader {
+    /// `; MaxProcs:` if present.
+    pub max_procs: Option<u32>,
+    /// `; MaxNodes:` if present.
+    pub max_nodes: Option<u32>,
+    /// `; Computer:` if present.
+    pub computer: Option<String>,
+}
+
+/// Parses SWF text into a [`Trace`].
+///
+/// `name` labels the trace; `total_cores` overrides the header's
+/// `MaxProcs` when given (`None` falls back to the header, then to the
+/// observed maximum job width).
+///
+/// # Errors
+///
+/// Returns [`SwfError`] on malformed records or an empty log.
+pub fn parse_swf(text: &str, name: &str, total_cores: Option<u32>) -> Result<Trace, SwfError> {
+    let mut header = SwfHeader::default();
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            parse_header_line(comment, &mut header);
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfError::ShortRecord {
+                line: lineno + 1,
+                fields: fields.len(),
+            });
+        }
+        let num = |idx: usize| -> Result<f64, SwfError> {
+            fields[idx].parse::<f64>().map_err(|_| SwfError::BadField {
+                line: lineno + 1,
+                field: idx,
+            })
+        };
+        let id = num(0)? as u64;
+        let submit = num(1)?;
+        let wait = num(2)?.max(0.0);
+        let runtime = num(3)?;
+        let mut procs = num(4)?;
+        if procs <= 0.0 {
+            procs = num(7)?; // requested processors fallback
+        }
+        if runtime <= 0.0 || procs <= 0.0 || submit < 0.0 {
+            continue; // unknown/cancelled job
+        }
+        jobs.push(Job::new(id, submit + wait, runtime, procs as u32));
+    }
+    if jobs.is_empty() {
+        return Err(SwfError::Empty);
+    }
+    // Re-origin: the archive logs use absolute UNIX submit times.
+    let t0 = jobs
+        .iter()
+        .map(|j| j.start_secs)
+        .fold(f64::INFINITY, f64::min);
+    let jobs: Vec<Job> = jobs
+        .into_iter()
+        .map(|j| Job::new(j.id, j.start_secs - t0, j.runtime_secs, j.cores))
+        .collect();
+    let observed_peak = jobs.iter().map(|j| j.cores).max().unwrap_or(1);
+    let cores = total_cores
+        .or(header.max_procs)
+        .unwrap_or(observed_peak)
+        .max(1);
+    Ok(Trace::new(name, cores, jobs))
+}
+
+/// Loads and parses an SWF file from disk.
+///
+/// # Errors
+///
+/// Returns [`SwfError::Io`] on read failure, plus any parse error.
+pub fn load_swf(
+    path: impl AsRef<Path>,
+    name: &str,
+    total_cores: Option<u32>,
+) -> Result<Trace, SwfError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_swf(&text, name, total_cores)
+}
+
+/// Serializes a trace to SWF text (the inverse of [`parse_swf`]).
+///
+/// Start times are written as submit times with zero wait; unknown fields
+/// take the SWF convention of `-1`. Note SWF stores integer seconds, so
+/// sub-second timing is truncated.
+#[must_use]
+pub fn write_swf(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; Computer: {}\n", trace.name()));
+    out.push_str(&format!("; MaxProcs: {}\n", trace.total_cores()));
+    for j in trace.jobs() {
+        out.push_str(&format!(
+            "{} {} 0 {} {} -1 -1 {} {} -1 1 1 1 1 1 -1 -1 -1\n",
+            j.id,
+            j.start_secs as i64,
+            j.runtime_secs as i64,
+            j.cores,
+            j.cores,
+            j.runtime_secs as i64,
+        ));
+    }
+    out
+}
+
+fn parse_header_line(comment: &str, header: &mut SwfHeader) {
+    let comment = comment.trim();
+    if let Some(v) = comment.strip_prefix("MaxProcs:") {
+        header.max_procs = v.trim().parse().ok();
+    } else if let Some(v) = comment.strip_prefix("MaxNodes:") {
+        header.max_nodes = v.trim().parse().ok();
+    } else if let Some(v) = comment.strip_prefix("Computer:") {
+        header.computer = Some(v.trim().to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Computer: Test Cluster
+; MaxProcs: 64
+; MaxNodes: 8
+1 1000 10 3600 8 -1 -1 8 7200 -1 1 1 1 1 1 -1 -1 -1
+2 1060 0 1800 -1 -1 -1 16 3600 -1 1 2 1 2 1 -1 -1 -1
+3 1120 5 -1 4 -1 -1 4 3600 -1 0 3 1 3 1 -1 -1 -1
+4 1180 0 600 0 -1 -1 0 600 -1 1 4 1 4 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_records_and_header() {
+        let t = parse_swf(SAMPLE, "test", None).unwrap();
+        // Jobs 3 (runtime −1) and 4 (0 procs) are skipped.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_cores(), 64);
+        assert_eq!(t.name(), "test");
+        // Job 1 starts at submit+wait = 1010, re-originated to 0 (earliest).
+        let j1 = t.jobs().iter().find(|j| j.id == 1).unwrap();
+        assert_eq!(j1.start_secs, 0.0);
+        assert_eq!(j1.cores, 8);
+        assert_eq!(j1.runtime_secs, 3600.0);
+        // Job 2 uses requested procs (field 8 = 16) since allocated is −1.
+        let j2 = t.jobs().iter().find(|j| j.id == 2).unwrap();
+        assert_eq!(j2.cores, 16);
+        assert_eq!(j2.start_secs, 50.0);
+    }
+
+    #[test]
+    fn total_cores_override_wins() {
+        let t = parse_swf(SAMPLE, "test", Some(128)).unwrap();
+        assert_eq!(t.total_cores(), 128);
+    }
+
+    #[test]
+    fn falls_back_to_observed_peak_without_header() {
+        let log = "1 0 0 100 8 -1 -1 8 100 -1 1 1 1 1 1 -1 -1 -1\n";
+        let t = parse_swf(log, "x", None).unwrap();
+        assert_eq!(t.total_cores(), 8);
+    }
+
+    #[test]
+    fn short_record_is_an_error() {
+        let err = parse_swf("1 2 3\n", "x", None).unwrap_err();
+        assert!(matches!(
+            err,
+            SwfError::ShortRecord { line: 1, fields: 3 }
+        ));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_field_is_an_error() {
+        let log = "1 xyz 0 100 8 -1 -1 8 100 -1 1 1 1 1 1 -1 -1 -1\n";
+        let err = parse_swf(log, "x", None).unwrap_err();
+        assert!(matches!(err, SwfError::BadField { line: 1, field: 1 }));
+    }
+
+    #[test]
+    fn empty_log_is_an_error() {
+        assert!(matches!(
+            parse_swf("; nothing here\n", "x", None),
+            Err(SwfError::Empty)
+        ));
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        use crate::job::Job;
+        let original = Trace::new(
+            "rt",
+            64,
+            vec![Job::new(1, 0.0, 3600.0, 8), Job::new(2, 120.0, 60.0, 16)],
+        );
+        let text = write_swf(&original);
+        let parsed = parse_swf(&text, "rt", None).unwrap();
+        assert_eq!(parsed.total_cores(), 64);
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in original.jobs().iter().zip(parsed.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.cores, b.cores);
+            assert!((a.start_secs - b.start_secs).abs() < 1.0);
+            assert!((a.runtime_secs - b.runtime_secs).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn io_error_is_wrapped() {
+        let err = load_swf("/nonexistent/path/to.swf", "x", None).unwrap_err();
+        assert!(matches!(err, SwfError::Io(_)));
+        assert!(err.to_string().contains("i/o error"));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,259 @@
+//! A workload trace: an ordered collection of jobs plus cluster metadata.
+
+use crate::job::Job;
+use crate::stats::AllocationSeries;
+
+/// A cluster workload trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    name: String,
+    total_cores: u32,
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting jobs by start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, total_cores: u32, mut jobs: Vec<Job>) -> Self {
+        assert!(total_cores > 0, "total_cores must be positive");
+        jobs.sort_by(|a, b| {
+            a.start_secs
+                .partial_cmp(&b.start_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self {
+            name: name.into(),
+            total_cores,
+            jobs,
+        }
+    }
+
+    /// The cluster/trace name (e.g. `"Gaia"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores installed in the cluster.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+
+    /// The jobs, ordered by start time.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the trace has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Trace span in seconds: from origin to the last nominal job end.
+    #[must_use]
+    pub fn span_secs(&self) -> f64 {
+        self.jobs.iter().map(Job::end_secs).fold(0.0, f64::max)
+    }
+
+    /// Core-allocation time series at `slot_secs` resolution (Fig. 6).
+    #[must_use]
+    pub fn allocation_series(&self, slot_secs: f64) -> AllocationSeries {
+        AllocationSeries::from_jobs(&self.jobs, slot_secs, self.span_secs())
+    }
+
+    /// Peak simultaneous core allocation (at `slot_secs` resolution).
+    #[must_use]
+    pub fn peak_allocation(&self, slot_secs: f64) -> f64 {
+        self.allocation_series(slot_secs).peak()
+    }
+
+    /// Total core-hours of work in the trace.
+    #[must_use]
+    pub fn total_core_hours(&self) -> f64 {
+        self.jobs.iter().map(Job::core_hours).sum()
+    }
+
+    /// Keeps only jobs starting within the first `secs` seconds — used to
+    /// cut long traces down for bounded-time experiments.
+    #[must_use]
+    pub fn truncated(&self, secs: f64) -> Trace {
+        Trace::new(
+            self.name.clone(),
+            self.total_cores,
+            self.jobs
+                .iter()
+                .filter(|j| j.start_secs < secs)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Scales the workload up by `factor >= 1` the way the paper scales it
+    /// "proportional to the extra capacity" (Table I): every `1/(factor−1)`-th
+    /// job is duplicated (with a fresh id and a small start offset so the
+    /// copy does not collide with the original). `factor = 1` returns the
+    /// trace unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1` or is not finite.
+    #[must_use]
+    pub fn scaled_workload(&self, factor: f64) -> Trace {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "scale factor must be finite and >= 1, got {factor}"
+        );
+        let extra = factor - 1.0;
+        if extra <= 0.0 {
+            return self.clone();
+        }
+        let mut jobs = self.jobs.clone();
+        let max_id = self.jobs.iter().map(|j| j.id).max().unwrap_or(0);
+        let mut budget = 0.0f64;
+        for j in &self.jobs {
+            budget += extra;
+            if budget >= 1.0 - 1e-9 {
+                budget -= 1.0;
+                jobs.push(Job::new(
+                    max_id + j.id + 1,
+                    j.start_secs + 30.0,
+                    j.runtime_secs,
+                    j.cores,
+                ));
+            }
+        }
+        Trace::new(self.name.clone(), self.total_cores, jobs)
+    }
+
+    /// Merges another trace's jobs into this one (multi-tenant or
+    /// multi-partition composition). Job ids of `other` are shifted past
+    /// this trace's maximum; the installed cores are summed.
+    #[must_use]
+    pub fn merged(&self, other: &Trace) -> Trace {
+        let max_id = self.jobs.iter().map(|j| j.id).max().unwrap_or(0);
+        let mut jobs = self.jobs.clone();
+        jobs.extend(
+            other
+                .jobs
+                .iter()
+                .map(|j| Job::new(max_id + j.id + 1, j.start_secs, j.runtime_secs, j.cores)),
+        );
+        Trace::new(
+            format!("{}+{}", self.name, other.name),
+            self.total_cores + other.total_cores,
+            jobs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            "test",
+            100,
+            vec![
+                Job::new(2, 3600.0, 3600.0, 20),
+                Job::new(1, 0.0, 7200.0, 10),
+                Job::new(3, 7200.0, 3600.0, 30),
+            ],
+        )
+    }
+
+    #[test]
+    fn jobs_sorted_by_start() {
+        let t = trace();
+        let ids: Vec<u64> = t.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.name(), "test");
+        assert_eq!(t.total_cores(), 100);
+    }
+
+    #[test]
+    fn span_and_core_hours() {
+        let t = trace();
+        assert_eq!(t.span_secs(), 10_800.0);
+        // 10 * 2 + 20 * 1 + 30 * 1 = 70 core-hours.
+        assert!((t.total_core_hours() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_series_overlap() {
+        let t = trace();
+        let series = t.allocation_series(3600.0);
+        // Hour 0: job 1 only (10). Hour 1: jobs 1+2 (30). Hour 2: job 3 (30).
+        assert_eq!(series.values(), &[10.0, 30.0, 30.0]);
+        assert_eq!(t.peak_allocation(3600.0), 30.0);
+    }
+
+    #[test]
+    fn truncation_drops_late_jobs() {
+        let t = trace().truncated(3600.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.jobs()[0].id, 1);
+    }
+
+    #[test]
+    fn scaling_adds_the_expected_share_of_jobs() {
+        let jobs: Vec<Job> = (0..100)
+            .map(|i| Job::new(i + 1, f64::from(i as u32) * 60.0, 600.0, 4))
+            .collect();
+        let t = Trace::new("s", 100, jobs);
+        let scaled = t.scaled_workload(1.2);
+        assert_eq!(scaled.len(), 120, "20% more jobs");
+        // Work scales with the job count.
+        assert!((scaled.total_core_hours() / t.total_core_hours() - 1.2).abs() < 1e-9);
+        // Ids remain unique.
+        let mut ids: Vec<u64> = scaled.jobs().iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), scaled.len());
+        // factor = 1 is the identity.
+        assert_eq!(t.scaled_workload(1.0), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaling_below_one_panics() {
+        let t = Trace::new("s", 10, vec![Job::new(1, 0.0, 60.0, 1)]);
+        let _ = t.scaled_workload(0.5);
+    }
+
+    #[test]
+    fn merging_combines_jobs_and_cores() {
+        let a = Trace::new("a", 10, vec![Job::new(1, 0.0, 60.0, 2)]);
+        let b = Trace::new("b", 20, vec![Job::new(1, 30.0, 60.0, 4)]);
+        let m = a.merged(&b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total_cores(), 30);
+        assert_eq!(m.name(), "a+b");
+        let mut ids: Vec<u64> = m.jobs().iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2, "ids stay unique after merge");
+    }
+
+    #[test]
+    fn empty_trace_span_zero() {
+        let t = Trace::new("empty", 10, Vec::new());
+        assert_eq!(t.span_secs(), 0.0);
+        assert!(t.is_empty());
+    }
+}

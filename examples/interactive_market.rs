@@ -1,0 +1,60 @@
+//! MPR-INT walkthrough: watch the iterative price/bid exchange converge to
+//! its Nash equilibrium and compare the allocation against OPT.
+//!
+//! ```text
+//! cargo run -p mpr-examples --bin interactive_market
+//! ```
+
+use mpr_core::{
+    opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, QuadraticCost,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five users with quadratic costs of increasing steepness: user 0
+    // barely minds slowdowns, user 4 hates them.
+    let alphas = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let costs: Vec<QuadraticCost> = alphas.iter().map(|&a| QuadraticCost::new(a, 4.0)).collect();
+    let agents: Vec<Box<dyn BiddingAgent>> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+        .collect();
+
+    let target = 1200.0; // watts to shed
+    let mut market = InteractiveMarket::new(agents, InteractiveConfig::default());
+    let outcome = market.clear(target)?;
+
+    println!("price trajectory (manager → users → manager …):");
+    for (round, q) in outcome.price_trace.iter().enumerate() {
+        println!("  round {round:>2}: q = {q:.4}");
+    }
+    println!(
+        "converged = {}, final price {:.4}, {} iterations\n",
+        outcome.converged,
+        outcome.clearing.price(),
+        outcome.clearing.iterations()
+    );
+
+    let opt_jobs: Vec<opt::OptJob<'_>> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| opt::OptJob::new(i as u64, c, 125.0))
+        .collect();
+    let optimal = opt::solve(&opt_jobs, target, opt::OptMethod::Auto)?;
+
+    println!("allocation (cores shed): market equilibrium vs centralized OPT");
+    let mut market_cost = 0.0;
+    for (alloc, cost) in outcome.clearing.allocations().iter().zip(&costs) {
+        let opt_delta = optimal.reductions[alloc.id as usize].1;
+        market_cost += cost.cost(alloc.reduction);
+        println!(
+            "  user {} (α = {:>3.1}): market {:>5.3}, OPT {:>5.3}",
+            alloc.id, alphas[alloc.id as usize], alloc.reduction, opt_delta
+        );
+    }
+    println!(
+        "\ntotal cost: market {:.4} vs OPT {:.4} — the equilibrium is socially optimal",
+        market_cost, optimal.total_cost
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! A full oversubscribed-cluster scenario: the Gaia-like workload at 15 %
+//! oversubscription for a week, managed by each algorithm in turn.
+//!
+//! This is the workload the paper's intro motivates: an underutilized HPC
+//! system whose manager reclaims capacity by oversubscribing, then handles
+//! the resulting overloads reactively.
+//!
+//! ```text
+//! cargo run --release -p mpr-examples --bin oversubscribed_cluster
+//! ```
+
+use mpr_sim::{Algorithm, SimConfig, Simulation};
+use mpr_workload::{ClusterSpec, TraceGenerator};
+
+fn main() {
+    let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(7.0)).generate();
+    println!(
+        "Gaia-like week: {} jobs on {} cores, {:.0} total core-hours of work\n",
+        trace.len(),
+        trace.total_cores(),
+        trace.total_core_hours()
+    );
+
+    println!(
+        "{:>9} | {:>9} | {:>11} | {:>10} | {:>10} | {:>8}",
+        "algorithm", "overload%", "cost (c-h)", "reward", "stretch %", "affected"
+    );
+    for alg in Algorithm::all() {
+        let report = Simulation::new(&trace, SimConfig::new(alg, 15.0)).run();
+        println!(
+            "{:>9} | {:>9.2} | {:>11.1} | {:>10.1} | {:>10.2} | {:>7.1}%",
+            report.algorithm,
+            report.overload_time_pct(),
+            report.cost_core_hours,
+            report.reward_core_hours,
+            report.avg_runtime_increase_pct,
+            report.jobs_affected_pct()
+        );
+    }
+    println!(
+        "\nEQL (performance-oblivious) pays the highest cost; MPR-INT matches OPT\n\
+         while users keep a net profit — the paper's Fig. 9/11 story."
+    );
+}

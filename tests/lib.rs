@@ -1,0 +1,38 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use mpr_sim::{Algorithm, SimConfig, SimReport, Simulation};
+use mpr_workload::{ClusterSpec, Trace, TraceGenerator};
+
+/// A small Gaia-like trace used across the integration tests.
+#[must_use]
+pub fn test_trace(days: f64, seed: u64) -> Trace {
+    TraceGenerator::new(ClusterSpec::gaia().with_span_days(days))
+        .with_seed(seed)
+        .generate()
+}
+
+/// Runs a paper-default simulation.
+#[must_use]
+pub fn simulate(trace: &Trace, algorithm: Algorithm, oversub_pct: f64) -> SimReport {
+    Simulation::new(trace, SimConfig::new(algorithm, oversub_pct)).run()
+}
+
+/// Serializes a trace into SWF text — thin alias over the library writer,
+/// kept for the round-trip tests' readability.
+#[must_use]
+pub fn to_swf(trace: &Trace) -> String {
+    mpr_workload::swf::write_swf(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let t = test_trace(1.0, 1);
+        assert!(!t.is_empty());
+        let swf = to_swf(&t);
+        assert!(swf.lines().count() > t.len());
+    }
+}

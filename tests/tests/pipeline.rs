@@ -1,0 +1,146 @@
+//! End-to-end pipeline tests: SWF round-trips into the simulator,
+//! conservation/accounting invariants, and determinism across the stack.
+
+use mpr_sim::{Algorithm, CostNoise, SimConfig, Simulation};
+use mpr_tests::{simulate, test_trace, to_swf};
+use mpr_workload::swf;
+
+/// A generated trace survives an SWF round-trip and simulates identically.
+#[test]
+fn swf_roundtrip_preserves_simulation() {
+    let original = test_trace(2.0, 5);
+    let text = to_swf(&original);
+    let parsed = swf::parse_swf(&text, original.name(), Some(original.total_cores()))
+        .expect("round-trip parse");
+    assert_eq!(parsed.len(), original.len());
+    assert_eq!(parsed.total_cores(), original.total_cores());
+
+    let a = simulate(&original, Algorithm::MprStat, 15.0);
+    let b = simulate(&parsed, Algorithm::MprStat, 15.0);
+    // SWF stores integer seconds; job timing rounds down, so compare the
+    // aggregate outcomes loosely.
+    assert_eq!(a.jobs_total, b.jobs_total);
+    let rel = (a.cost_core_hours - b.cost_core_hours).abs() / a.cost_core_hours.max(1e-9);
+    assert!(rel < 0.05, "cost drifted {rel:.3} across the round-trip");
+}
+
+/// Accounting invariants that must hold for every algorithm.
+#[test]
+fn accounting_invariants() {
+    let trace = test_trace(5.0, 7);
+    for alg in Algorithm::all() {
+        let r = simulate(&trace, alg, 15.0);
+        assert_eq!(r.jobs_total, r.jobs_completed, "{alg:?}: all jobs finish");
+        assert!(r.jobs_affected <= r.jobs_total);
+        assert!(r.overload_slots <= r.total_slots);
+        assert!(r.reduction_core_hours >= 0.0);
+        assert!(r.cost_core_hours >= 0.0);
+        // Per-profile breakdowns sum to the totals.
+        let red: f64 = r.per_profile.values().map(|s| s.reduction_core_hours).sum();
+        let cost: f64 = r.per_profile.values().map(|s| s.cost_core_hours).sum();
+        assert!((red - r.reduction_core_hours).abs() < 1e-6);
+        assert!((cost - r.cost_core_hours).abs() < 1e-6);
+        // Non-market algorithms pay nothing.
+        if !alg.is_market() {
+            assert_eq!(r.reward_core_hours, 0.0);
+        }
+    }
+}
+
+/// The whole pipeline is deterministic: trace generation, profile
+/// assignment, markets and accounting.
+#[test]
+fn full_pipeline_determinism() {
+    let t1 = test_trace(3.0, 9);
+    let t2 = test_trace(3.0, 9);
+    assert_eq!(t1, t2);
+    let r1 = simulate(&t1, Algorithm::MprInt, 15.0);
+    let r2 = simulate(&t2, Algorithm::MprInt, 15.0);
+    assert_eq!(r1, r2);
+}
+
+/// Random cost-model noise leaves the realized cost essentially unchanged
+/// (Fig. 13(a)) and underestimation keeps users above water (Fig. 13(b)).
+#[test]
+fn noise_sensitivity_claims() {
+    let trace = test_trace(5.0, 7);
+    let clean = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0))
+        .run()
+        .cost_core_hours;
+    let noisy = Simulation::new(
+        &trace,
+        SimConfig::new(Algorithm::MprStat, 15.0)
+            .with_cost_noise(CostNoise::Random { magnitude: 0.3 }),
+    )
+    .run()
+    .cost_core_hours;
+    let rel = (noisy - clean).abs() / clean.max(1e-9);
+    assert!(rel < 0.35, "random noise moved cost by {rel:.2}");
+
+    let under = Simulation::new(
+        &trace,
+        SimConfig::new(Algorithm::MprStat, 15.0)
+            .with_cost_noise(CostNoise::Underestimate { fraction: 0.3 }),
+    )
+    .run();
+    let pct = under.reward_pct_of_cost().expect("cost incurred");
+    // Cooperative bidding guarantees reward ≥ perceived cost; with a 30 %
+    // underestimate that is ≥ 70 % of the *true* cost. (The paper reports a
+    // larger margin because its baseline reward/cost ratio is higher; see
+    // EXPERIMENTS.md, Fig. 13.)
+    assert!(
+        pct > 70.0,
+        "30% underestimation keeps reward above the 70% bound, got {pct:.0}%"
+    );
+}
+
+/// Lower participation shifts cost up and rewards up (Fig. 12).
+#[test]
+fn participation_scaling() {
+    let trace = test_trace(7.0, 7);
+    let at = |p: f64| {
+        Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_participation(p),
+        )
+        .run()
+    };
+    let full = at(1.0);
+    let half = at(0.5);
+    // Fewer participants each shoulder more reduction: the per-participant
+    // burden rises, and the manager pays a higher clearing price.
+    assert!(half.cost_core_hours > 0.6 * full.cost_core_hours);
+    assert!(
+        half.reward_core_hours > 0.6 * full.reward_core_hours,
+        "reward should not collapse: {} vs {}",
+        half.reward_core_hours,
+        full.reward_core_hours
+    );
+    // Still two orders of magnitude gain at 50% participation (paper).
+    if let Some(ratio) = half.gain_over_reward() {
+        assert!(ratio > 5.0, "gain ratio {ratio:.1}");
+    }
+}
+
+/// The emergency machinery across crates: demand above UPS capacity
+/// triggers the market, the breaker never trips, power returns to normal.
+#[test]
+fn emergency_lifecycle_with_breaker() {
+    use mpr_core::Watts;
+    use mpr_power::{BreakerState, TripCurve};
+
+    let trace = test_trace(5.0, 7);
+    let sim = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0));
+    let capacity = mpr_power::Oversubscription::percent(15.0)
+        .capacity(Watts::new(sim.reference_peak_watts()));
+    // A breaker rated at capacity with the paper's long-delay behaviour
+    // would need ~10 sustained minutes of >20 % overload to trip; the
+    // reactive loop reduces within a minute.
+    let mut breaker = BreakerState::new(TripCurve::new(capacity, 600.0));
+    let report = sim.run();
+    assert!(report.overload_events > 0);
+    // Overloads are bounded: the worst sustained overload the simulator
+    // allows before reduction is one slot at the demand peak.
+    let worst = Watts::new(report.peak_watts);
+    assert!(!breaker.step(worst, 60.0), "one slot must not trip");
+}
