@@ -47,6 +47,14 @@ pub struct SimulateArgs {
     pub seed: u64,
     /// Market participation fraction.
     pub participation: f64,
+    /// Fraction of bidders that stop responding during MPR-INT clearings.
+    pub fault_unresponsive: f64,
+    /// Fraction of bidders that crash permanently during MPR-INT clearings.
+    pub fault_crash: f64,
+    /// Fraction of bidders that replay stale bids during MPR-INT clearings.
+    pub fault_stale: f64,
+    /// Fraction of bidders that bid adversarially during MPR-INT clearings.
+    pub fault_byzantine: f64,
     /// Emit CSV instead of a human-readable summary.
     pub csv: bool,
 }
@@ -92,6 +100,8 @@ mpr — market-based power reduction for oversubscribed HPC systems
 USAGE:
     mpr simulate  [--trace gaia|pik|ricc|metacentrum] [--alg opt|eql|mpr-stat|mpr-int]
                   [--oversub PCT] [--days N] [--seed N] [--participation F] [--csv]
+                  [--fault-unresponsive F] [--fault-crash F]
+                  [--fault-stale F] [--fault-byzantine F]   (MPR-INT fault injection)
     mpr market    [--jobs N] [--target-watts W] [--interactive]
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
@@ -150,6 +160,15 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, UsageError>
         .map_err(|_| UsageError(format!("{flag}: `{v}` is not a valid number")))
 }
 
+fn parse_fraction(flag: &str, v: &str) -> Result<f64, UsageError> {
+    let f: f64 = parse_num(flag, v)?;
+    if (0.0..=1.0).contains(&f) {
+        Ok(f)
+    } else {
+        Err(UsageError(format!("{flag}: `{v}` is not in 0..=1")))
+    }
+}
+
 fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
     let mut out = SimulateArgs {
         trace: "gaia".into(),
@@ -158,6 +177,10 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         days: 30.0,
         seed: 0x4d50_5221,
         participation: 1.0,
+        fault_unresponsive: 0.0,
+        fault_crash: 0.0,
+        fault_stale: 0.0,
+        fault_byzantine: 0.0,
         csv: false,
     };
     let mut it = rest.iter();
@@ -186,6 +209,14 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
             "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
             "--participation" => {
                 out.participation = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--fault-unresponsive" => {
+                out.fault_unresponsive = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--fault-crash" => out.fault_crash = parse_fraction(flag, take_value(flag, &mut it)?)?,
+            "--fault-stale" => out.fault_stale = parse_fraction(flag, take_value(flag, &mut it)?)?,
+            "--fault-byzantine" => {
+                out.fault_byzantine = parse_fraction(flag, take_value(flag, &mut it)?)?;
             }
             "--csv" => out.csv = true,
             other => return Err(UsageError(format!("unknown flag `{other}`"))),
@@ -274,6 +305,8 @@ mod tests {
         assert_eq!(a.trace, "gaia");
         assert_eq!(a.algorithm, Algorithm::MprStat);
         assert_eq!(a.oversub_pct, 15.0);
+        assert_eq!(a.fault_unresponsive, 0.0);
+        assert_eq!(a.fault_crash, 0.0);
         assert!(!a.csv);
     }
 
@@ -295,12 +328,29 @@ mod tests {
     }
 
     #[test]
+    fn simulate_fault_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --alg mpr-int --fault-unresponsive 0.3 --fault-crash 0.1 \
+             --fault-stale 0.05 --fault-byzantine 0.02",
+        ))
+        .unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.fault_unresponsive, 0.3);
+        assert_eq!(a.fault_crash, 0.1);
+        assert_eq!(a.fault_stale, 0.05);
+        assert_eq!(a.fault_byzantine, 0.02);
+    }
+
+    #[test]
     fn simulate_rejects_bad_values() {
         assert!(parse(&argv("simulate --alg magic")).is_err());
         assert!(parse(&argv("simulate --trace nowhere")).is_err());
         assert!(parse(&argv("simulate --days soon")).is_err());
         assert!(parse(&argv("simulate --oversub")).is_err());
         assert!(parse(&argv("simulate --frobnicate")).is_err());
+        assert!(parse(&argv("simulate --fault-crash 1.5")).is_err());
+        assert!(parse(&argv("simulate --fault-unresponsive -0.1")).is_err());
     }
 
     #[test]

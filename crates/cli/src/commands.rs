@@ -8,7 +8,7 @@ use mpr_core::{
     ScaledCost, StaticMarket,
 };
 use mpr_proto::{Experiment, ExperimentConfig};
-use mpr_sim::{SimConfig, Simulation};
+use mpr_sim::{FaultPlan, SimConfig, Simulation};
 use mpr_workload::TraceGenerator;
 
 use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
@@ -22,20 +22,30 @@ use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
 pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
     let spec = spec_by_name(&args.trace)?.with_span_days(args.days);
     let trace = TraceGenerator::new(spec).with_seed(args.seed).generate();
-    let config = SimConfig::new(args.algorithm, args.oversub_pct)
+    let plan = FaultPlan {
+        unresponsive_frac: args.fault_unresponsive,
+        crash_frac: args.fault_crash,
+        stale_frac: args.fault_stale,
+        byzantine_frac: args.fault_byzantine,
+        ..FaultPlan::default()
+    };
+    let mut config = SimConfig::new(args.algorithm, args.oversub_pct)
         .with_participation(args.participation)
         .with_seed(args.seed);
+    if plan.is_active() {
+        config = config.with_faults(plan);
+    }
     let r = Simulation::new(&trace, config).run();
     if args.csv {
         writeln!(
             out,
             "trace,algorithm,oversub_pct,days,jobs,overload_pct,overload_events,\
              reduction_core_hours,cost_core_hours,reward_core_hours,avg_runtime_increase_pct,\
-             jobs_affected_pct"
+             jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_w"
         )?;
         writeln!(
             out,
-            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3}",
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3}",
             r.trace_name,
             r.algorithm,
             r.oversubscription_pct,
@@ -48,6 +58,12 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn 
             r.reward_core_hours,
             r.avg_runtime_increase_pct,
             r.jobs_affected_pct(),
+            r.degradation.rounds_retried,
+            r.degradation.participants_quarantined,
+            r.degradation
+                .deepest_chain_level
+                .map_or_else(|| "none".to_owned(), |l| l.to_string()),
+            r.degradation.residual_overload_watts,
         )?;
     } else {
         writeln!(
@@ -85,6 +101,22 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn 
             r.avg_runtime_increase_pct,
             r.jobs_affected_pct()
         )?;
+        if plan.is_active() || r.degradation.any_degradation() {
+            let d = &r.degradation;
+            writeln!(
+                out,
+                "  degradation:         {} rounds retried, {} quarantined, \
+                 {} static fallbacks, {} EQL cappings, deepest level {}, \
+                 residual overload {:.1} W",
+                d.rounds_retried,
+                d.participants_quarantined,
+                d.static_fallbacks,
+                d.eql_cappings,
+                d.deepest_chain_level
+                    .map_or_else(|| "none".to_owned(), |l| l.to_string()),
+                d.residual_overload_watts,
+            )?;
+        }
     }
     Ok(())
 }
@@ -331,6 +363,21 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("performance cost"));
         assert!(text.contains("Gaia"));
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_degradation() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --days 1 --oversub 15 --alg mpr-int \
+             --fault-unresponsive 0.3 --fault-crash 0.1",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("degradation:"));
     }
 
     #[test]

@@ -39,6 +39,31 @@ pub enum MarketError {
     /// A numeric routine (bisection, golden-section search) was given an
     /// invalid bracket or produced a non-finite value.
     Numeric(&'static str),
+    /// A bidding agent failed to answer a price announcement before the
+    /// round deadline (even after the market's bounded retries).
+    AgentTimeout {
+        /// The job whose agent missed the deadline.
+        job: u64,
+        /// The 1-based market round in which the deadline expired.
+        round: usize,
+    },
+    /// A bidding agent failed permanently mid-negotiation and will never
+    /// answer again.
+    AgentCrashed {
+        /// The job whose agent crashed.
+        job: u64,
+        /// The 1-based market round in which the crash was observed.
+        round: usize,
+    },
+    /// The interactive price trajectory oscillated or diverged: the
+    /// convergence watchdog observed a full window of rounds with no
+    /// contraction in the relative price change.
+    Diverged {
+        /// Rounds executed before divergence was declared.
+        rounds: usize,
+        /// Price reached when divergence was declared.
+        last_price: f64,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -69,6 +94,16 @@ impl fmt::Display for MarketError {
                 "interactive market did not converge after {iterations} iterations (last price {last_price})"
             ),
             MarketError::Numeric(what) => write!(f, "numeric failure: {what}"),
+            MarketError::AgentTimeout { job, round } => {
+                write!(f, "agent for job {job} timed out in round {round}")
+            }
+            MarketError::AgentCrashed { job, round } => {
+                write!(f, "agent for job {job} crashed in round {round}")
+            }
+            MarketError::Diverged { rounds, last_price } => write!(
+                f,
+                "interactive market price diverged after {rounds} rounds (last price {last_price})"
+            ),
         }
     }
 }

@@ -73,6 +73,10 @@ pub mod prelude {
     pub use crate::bidding::{best_response, cooperative_bid, net_gain, StaticStrategy};
     pub use crate::cost::{CostModel, LinearCost, PowerLawCost, QuadraticCost, ScaledCost};
     pub use crate::error::MarketError;
+    pub use crate::market::faults::{
+        ByzantineAgent, ChainLevel, CrashAgent, ResilientConfig, ResilientInteractiveMarket,
+        ResilientOutcome, StaleAgent, UnresponsiveAgent,
+    };
     pub use crate::market::interactive::{
         BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
     };
@@ -85,6 +89,10 @@ pub mod prelude {
 
 pub use cost::{CostModel, LinearCost, LogFitCost, PowerLawCost, QuadraticCost, ScaledCost};
 pub use error::MarketError;
+pub use market::faults::{
+    ByzantineAgent, ChainLevel, ConvergenceWatchdog, CrashAgent, FaultRng, Quarantine,
+    ResilientConfig, ResilientInteractiveMarket, ResilientOutcome, StaleAgent, UnresponsiveAgent,
+};
 pub use market::interactive::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent};
 pub use market::static_market::StaticMarket;
 pub use market::{Allocation, Clearing};

@@ -1,0 +1,1090 @@
+//! Fault injection and graceful degradation for the interactive market.
+//!
+//! MPR-INT (Section III-B) assumes every user agent answers every price
+//! announcement, yet overloads are time-critical: a stalled or misbehaving
+//! bidder must never leave `P(t) > C` standing (Section III-E). This module
+//! provides both halves of the robustness story:
+//!
+//! * **Fault injection** — composable adapters wrapping any
+//!   [`BiddingAgent`]: [`UnresponsiveAgent`] (misses round deadlines),
+//!   [`StaleAgent`] (replays an old bid), [`CrashAgent`] (fails permanently
+//!   mid-negotiation) and [`ByzantineAgent`] (over/under-bids by a factor,
+//!   optionally oscillating). All are deterministic given their seeds, so
+//!   simulations reproduce bit-for-bit.
+//! * **Graceful degradation** — [`ResilientInteractiveMarket`], an
+//!   MPR-INT driver that bounds each round with a retry budget (the
+//!   synchronous stand-in for a response deadline with backoff), quarantines
+//!   defaulting participants and re-clears MClr over the survivors, detects
+//!   price oscillation with a convergence watchdog, and walks an explicit
+//!   degradation chain:
+//!
+//!   1. **MPR-INT** over the responsive agents;
+//!   2. **MPR-STAT** over *all* agents, pricing quarantined jobs at their
+//!      last-known or registered cooperative bid (bid 0 — manager-side
+//!      forced capping — when neither exists);
+//!   3. **EQL**-style uniform capping, the terminal guarantee: every job is
+//!      reduced by the same fraction of its `Δ`, so any physically
+//!      attainable reduction target `P(t) − 0.99·C` is met exactly.
+
+use crate::error::MarketError;
+use crate::market::interactive::{BiddingAgent, InteractiveConfig};
+use crate::market::{Allocation, Clearing};
+use crate::mclr;
+use crate::participant::{JobId, Participant};
+use crate::supply::SupplyFunction;
+
+// ---------------------------------------------------------------------------
+// Deterministic seeding
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: a tiny, dependency-free deterministic generator used to seed
+/// fault behaviour. Not cryptographic; statistical quality is ample for
+/// picking fault phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Faulty-agent adapters
+// ---------------------------------------------------------------------------
+
+/// An agent that stops answering after a number of successful rounds: every
+/// later [`respond`](BiddingAgent::respond) returns
+/// [`MarketError::AgentTimeout`], modelling a user whose client misses the
+/// round deadline indefinitely (network partition, dead session).
+///
+/// `healthy_rounds = 0` makes the agent unresponsive from the first
+/// announcement.
+#[derive(Debug)]
+pub struct UnresponsiveAgent<A> {
+    inner: A,
+    healthy_rounds: usize,
+    round: usize,
+}
+
+impl<A: BiddingAgent> UnresponsiveAgent<A> {
+    /// Wraps `inner`, answering the first `healthy_rounds` announcements
+    /// normally and timing out forever after.
+    #[must_use]
+    pub fn new(inner: A, healthy_rounds: usize) -> Self {
+        Self {
+            inner,
+            healthy_rounds,
+            round: 0,
+        }
+    }
+}
+
+impl<A: BiddingAgent> BiddingAgent for UnresponsiveAgent<A> {
+    fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+    fn watts_per_unit(&self) -> f64 {
+        self.inner.watts_per_unit()
+    }
+    fn delta_max(&self) -> f64 {
+        self.inner.delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        self.round += 1;
+        if self.round > self.healthy_rounds {
+            return Err(MarketError::AgentTimeout {
+                job: self.inner.job_id(),
+                round: self.round,
+            });
+        }
+        self.inner.respond(price)
+    }
+}
+
+/// An agent whose state froze: after `fresh_rounds` live answers it replays
+/// its most recent bid forever, regardless of the announced price (stuck
+/// client-side cache, wedged event loop that still ACKs).
+///
+/// Staleness is not an error — the market sees a syntactically valid bid —
+/// which is precisely why it needs the convergence watchdog rather than the
+/// retry path.
+#[derive(Debug)]
+pub struct StaleAgent<A> {
+    inner: A,
+    fresh_rounds: usize,
+    round: usize,
+    last_bid: Option<f64>,
+}
+
+impl<A: BiddingAgent> StaleAgent<A> {
+    /// Wraps `inner`, answering live for `fresh_rounds` rounds and replaying
+    /// the last live bid afterwards. With `fresh_rounds = 0` the agent
+    /// replays an initial zero bid (it never computed anything).
+    #[must_use]
+    pub fn new(inner: A, fresh_rounds: usize) -> Self {
+        Self {
+            inner,
+            fresh_rounds,
+            round: 0,
+            last_bid: None,
+        }
+    }
+}
+
+impl<A: BiddingAgent> BiddingAgent for StaleAgent<A> {
+    fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+    fn watts_per_unit(&self) -> f64 {
+        self.inner.watts_per_unit()
+    }
+    fn delta_max(&self) -> f64 {
+        self.inner.delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        self.round += 1;
+        if self.round <= self.fresh_rounds {
+            let bid = self.inner.respond(price)?;
+            self.last_bid = Some(bid);
+            return Ok(bid);
+        }
+        Ok(self.last_bid.unwrap_or(0.0))
+    }
+}
+
+/// An agent that fails permanently after a number of rounds: every
+/// [`respond`](BiddingAgent::respond) from then on returns
+/// [`MarketError::AgentCrashed`]. Unlike [`UnresponsiveAgent`] the error is
+/// terminal by contract — retrying is futile — so resilient drivers
+/// quarantine the job without spending the retry budget.
+#[derive(Debug)]
+pub struct CrashAgent<A> {
+    inner: A,
+    healthy_rounds: usize,
+    round: usize,
+}
+
+impl<A: BiddingAgent> CrashAgent<A> {
+    /// Wraps `inner`, crashing permanently after `healthy_rounds` rounds.
+    #[must_use]
+    pub fn new(inner: A, healthy_rounds: usize) -> Self {
+        Self {
+            inner,
+            healthy_rounds,
+            round: 0,
+        }
+    }
+}
+
+impl<A: BiddingAgent> BiddingAgent for CrashAgent<A> {
+    fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+    fn watts_per_unit(&self) -> f64 {
+        self.inner.watts_per_unit()
+    }
+    fn delta_max(&self) -> f64 {
+        self.inner.delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        self.round += 1;
+        if self.round > self.healthy_rounds {
+            return Err(MarketError::AgentCrashed {
+                job: self.inner.job_id(),
+                round: self.round,
+            });
+        }
+        self.inner.respond(price)
+    }
+}
+
+/// A non-rational agent that distorts its true best response by a factor,
+/// either constantly or alternating over/under each round (the oscillating
+/// variant destabilizes the price exchange and is the canonical watchdog
+/// trigger). The starting phase of the oscillation is drawn from the seed,
+/// so fleets of byzantine agents do not bid in lockstep.
+#[derive(Debug)]
+pub struct ByzantineAgent<A> {
+    inner: A,
+    factor: f64,
+    oscillate: bool,
+    over: bool,
+}
+
+impl<A: BiddingAgent> ByzantineAgent<A> {
+    /// Wraps `inner`, multiplying every bid by `factor` (must be positive
+    /// and finite; values are clamped into `[1e-6, 1e6]`).
+    ///
+    /// With `oscillate = true` the agent alternates between `factor` and
+    /// `1/factor` each round; the seed picks which comes first.
+    #[must_use]
+    pub fn new(inner: A, factor: f64, oscillate: bool, seed: u64) -> Self {
+        let factor = if factor.is_finite() && factor > 0.0 {
+            factor.clamp(1e-6, 1e6)
+        } else {
+            1.0
+        };
+        let over = FaultRng::new(seed).next_u64() & 1 == 0;
+        Self {
+            inner,
+            factor,
+            oscillate,
+            over,
+        }
+    }
+}
+
+impl<A: BiddingAgent> BiddingAgent for ByzantineAgent<A> {
+    fn job_id(&self) -> JobId {
+        self.inner.job_id()
+    }
+    fn watts_per_unit(&self) -> f64 {
+        self.inner.watts_per_unit()
+    }
+    fn delta_max(&self) -> f64 {
+        self.inner.delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        let honest = self.inner.respond(price)?;
+        let f = if self.over {
+            self.factor
+        } else {
+            1.0 / self.factor
+        };
+        if self.oscillate {
+            self.over = !self.over;
+        }
+        Ok(honest * f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergence watchdog
+// ---------------------------------------------------------------------------
+
+/// Sliding-window divergence detector over the relative price change per
+/// round.
+///
+/// Divergence is declared when a full window of rounds all moved by at
+/// least `min_change` *and* the oscillation is not contracting (the mean
+/// change over the newer half of the window is at least 80 % of the older
+/// half's). A healthy exchange contracts geometrically, so its window never
+/// satisfies both conditions; a byzantine-driven oscillation holds its
+/// amplitude and trips the watchdog within one window of rounds.
+#[derive(Debug, Clone)]
+pub struct ConvergenceWatchdog {
+    window: Vec<f64>,
+    capacity: usize,
+    min_change: f64,
+}
+
+impl ConvergenceWatchdog {
+    /// Creates a watchdog over the last `window` rounds, ignoring relative
+    /// changes below `min_change` (those count as converging).
+    #[must_use]
+    pub fn new(window: usize, min_change: f64) -> Self {
+        Self {
+            window: Vec::with_capacity(window.max(2)),
+            capacity: window.max(2),
+            min_change: min_change.max(0.0),
+        }
+    }
+
+    /// Records one round's relative price change; returns `true` when the
+    /// trajectory is diverging.
+    pub fn observe(&mut self, rel_change: f64) -> bool {
+        if self.window.len() == self.capacity {
+            self.window.remove(0);
+        }
+        self.window.push(rel_change.abs());
+        if self.window.len() < self.capacity {
+            return false;
+        }
+        if self.window.iter().any(|&c| c < self.min_change) {
+            return false;
+        }
+        let half = self.capacity / 2;
+        let older: f64 = self.window[..half].iter().sum::<f64>() / half as f64;
+        let newer: f64 =
+            self.window[half..].iter().sum::<f64>() / (self.capacity - half) as f64;
+        newer >= 0.8 * older
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The resilient market
+// ---------------------------------------------------------------------------
+
+/// How far down the degradation chain a clearing had to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChainLevel {
+    /// The interactive exchange converged over the responsive agents and
+    /// met the target — the clean case.
+    Interactive,
+    /// Interactive failed (quarantine losses, divergence, or an unmet
+    /// target); one static MClr solve over last-known/cooperative bids met
+    /// the target.
+    StaticFallback,
+    /// Even the static solve under-delivered; uniform forced capping was
+    /// applied. Meets any physically attainable target exactly.
+    EqlCapping,
+}
+
+impl std::fmt::Display for ChainLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainLevel::Interactive => write!(f, "MPR-INT"),
+            ChainLevel::StaticFallback => write!(f, "MPR-STAT"),
+            ChainLevel::EqlCapping => write!(f, "EQL"),
+        }
+    }
+}
+
+/// Why a participant was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quarantine {
+    /// The quarantined job.
+    pub id: JobId,
+    /// The 1-based round in which the participant defaulted.
+    pub round: usize,
+    /// The error that exhausted the retry budget.
+    pub error: MarketError,
+}
+
+/// Tuning knobs for [`ResilientInteractiveMarket`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientConfig {
+    /// The underlying interactive-market configuration.
+    pub interactive: InteractiveConfig,
+    /// Retries granted per agent per round before quarantine. Each retry
+    /// models one deadline extension with backoff; crashes
+    /// ([`MarketError::AgentCrashed`]) skip the budget — they are terminal
+    /// by contract.
+    pub max_retries: usize,
+    /// Watchdog window length in rounds.
+    pub watchdog_window: usize,
+    /// Relative price change below which a round counts as converging for
+    /// the watchdog (distinct from — and much larger than — the clearing
+    /// `tolerance`).
+    pub divergence_min_change: f64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        Self {
+            interactive: InteractiveConfig::default(),
+            max_retries: 2,
+            watchdog_window: 8,
+            divergence_min_change: 0.05,
+        }
+    }
+}
+
+/// Outcome of a resilient clearing: the final [`Clearing`] plus the full
+/// degradation diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOutcome {
+    /// The final clearing (price, allocations). Quarantined jobs appear
+    /// with the reduction imposed by whichever chain level produced the
+    /// clearing (zero at [`ChainLevel::Interactive`]).
+    pub clearing: Clearing,
+    /// The chain level that produced the clearing.
+    pub chain_level: ChainLevel,
+    /// Whether the interactive phase converged within tolerance.
+    pub converged: bool,
+    /// Whether the watchdog aborted the interactive phase.
+    pub diverged: bool,
+    /// Participants quarantined during the interactive phase, in
+    /// quarantine order.
+    pub quarantined: Vec<Quarantine>,
+    /// Total retry attempts spent across all rounds and agents.
+    pub retries: usize,
+    /// Target watts left uncovered after the final chain level (positive
+    /// only when the target exceeds the system's physical capability).
+    pub residual_watts: f64,
+    /// Price trajectory of the interactive phase, including the initial
+    /// announcement.
+    pub price_trace: Vec<f64>,
+}
+
+impl ResilientOutcome {
+    /// `true` when the clearing had to leave the clean interactive level.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.chain_level > ChainLevel::Interactive
+    }
+
+    /// Ids of the quarantined jobs.
+    #[must_use]
+    pub fn quarantined_ids(&self) -> Vec<JobId> {
+        self.quarantined.iter().map(|q| q.id).collect()
+    }
+}
+
+struct AgentSlot {
+    agent: Box<dyn BiddingAgent>,
+    /// Registered submission-time (cooperative) bid, used at the static
+    /// fallback level when no live bid was ever observed.
+    fallback_bid: Option<f64>,
+    /// Most recent valid bid observed from the live exchange.
+    last_bid: Option<f64>,
+    quarantined: bool,
+}
+
+/// An MPR-INT driver that survives unresponsive, crashing, stale and
+/// byzantine participants.
+///
+/// See the [module docs](self) for the degradation chain. The happy path is
+/// behaviourally identical to [`InteractiveMarket`]
+/// (`crate::market::interactive::InteractiveMarket`): same damped price
+/// exchange, same convergence rule, one extra watchdog that never fires on
+/// a contracting trajectory.
+pub struct ResilientInteractiveMarket {
+    slots: Vec<AgentSlot>,
+    config: ResilientConfig,
+}
+
+impl std::fmt::Debug for ResilientInteractiveMarket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientInteractiveMarket")
+            .field("agents", &self.slots.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ResilientInteractiveMarket {
+    /// Creates an empty resilient market.
+    #[must_use]
+    pub fn new(config: ResilientConfig) -> Self {
+        Self {
+            slots: Vec::new(),
+            config,
+        }
+    }
+
+    /// Creates a resilient market over agents with no registered static
+    /// bids (quarantined jobs then fall back to their last live bid, or to
+    /// forced capping).
+    #[must_use]
+    pub fn from_agents(agents: Vec<Box<dyn BiddingAgent>>, config: ResilientConfig) -> Self {
+        let mut m = Self::new(config);
+        for a in agents {
+            m.register(a, None);
+        }
+        m
+    }
+
+    /// Registers an agent together with its submission-time cooperative
+    /// bid, the preferred price source should the agent default before ever
+    /// bidding live.
+    pub fn register(&mut self, agent: Box<dyn BiddingAgent>, fallback_bid: Option<f64>) {
+        self.slots.push(AgentSlot {
+            agent,
+            fallback_bid: fallback_bid.filter(|b| b.is_finite() && *b >= 0.0),
+            last_bid: None,
+            quarantined: false,
+        });
+    }
+
+    /// Number of registered agents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no agents are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Clears the market for a power-reduction target, walking the
+    /// degradation chain as far as needed.
+    ///
+    /// Unlike the plain interactive market this never fails on agent
+    /// faults, divergence, or infeasible targets: an unattainable target is
+    /// answered with every job capped at `Δ` and the shortfall reported in
+    /// [`ResilientOutcome::residual_watts`].
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::NoParticipants`] on an empty market with a positive
+    /// target — the one failure no fallback can absorb.
+    pub fn clear(&mut self, target_watts: f64) -> Result<ResilientOutcome, MarketError> {
+        if target_watts <= 0.0 {
+            return Ok(ResilientOutcome {
+                clearing: Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 0),
+                chain_level: ChainLevel::Interactive,
+                converged: true,
+                diverged: false,
+                quarantined: Vec::new(),
+                retries: 0,
+                residual_watts: 0.0,
+                price_trace: vec![0.0],
+            });
+        }
+        if self.slots.is_empty() {
+            return Err(MarketError::NoParticipants);
+        }
+
+        let cfg = self.config;
+        let icfg = cfg.interactive;
+        let mut price = icfg.initial_price.max(1e-9);
+        let mut trace = vec![price];
+        let mut watchdog = ConvergenceWatchdog::new(cfg.watchdog_window, cfg.divergence_min_change);
+        let mut quarantined: Vec<Quarantine> = Vec::new();
+        let mut retries = 0usize;
+        let mut converged = false;
+        let mut diverged = false;
+        let mut rounds = 0usize;
+
+        // --- Level 0: the interactive exchange over responsive agents. ---
+        'rounds: for round in 1..=icfg.max_iterations {
+            rounds = round;
+            for slot in self.slots.iter_mut().filter(|s| !s.quarantined) {
+                let mut attempts = 0usize;
+                loop {
+                    match slot.agent.respond(price) {
+                        Ok(bid) if bid.is_finite() => {
+                            slot.last_bid = Some(bid.max(0.0));
+                            break;
+                        }
+                        Ok(garbage) => {
+                            // A non-finite bid is a fault, not a price
+                            // signal; it shares the timeout/retry path.
+                            attempts += 1;
+                            if attempts > cfg.max_retries {
+                                slot.quarantined = true;
+                                quarantined.push(Quarantine {
+                                    id: slot.agent.job_id(),
+                                    round,
+                                    error: MarketError::InvalidParameter {
+                                        name: "bid",
+                                        value: garbage,
+                                        constraint: "agent returned a non-finite bid",
+                                    },
+                                });
+                                break;
+                            }
+                            retries += 1;
+                        }
+                        Err(err @ MarketError::AgentCrashed { .. }) => {
+                            // Terminal by contract: skip the retry budget.
+                            slot.quarantined = true;
+                            quarantined.push(Quarantine {
+                                id: slot.agent.job_id(),
+                                round,
+                                error: err,
+                            });
+                            break;
+                        }
+                        Err(err) => {
+                            attempts += 1;
+                            if attempts > cfg.max_retries {
+                                slot.quarantined = true;
+                                quarantined.push(Quarantine {
+                                    id: slot.agent.job_id(),
+                                    round,
+                                    error: err,
+                                });
+                                break;
+                            }
+                            retries += 1;
+                        }
+                    }
+                }
+            }
+
+            let participants = self.survivor_participants();
+            if participants.is_empty() {
+                break 'rounds;
+            }
+            let sol = mclr::clear_best_effort(&participants, target_watts);
+            let next = (1.0 - icfg.damping) * price + icfg.damping * sol.price;
+            let rel_change = (next - price).abs() / price.abs().max(1e-9);
+            price = next;
+            trace.push(price);
+            if rel_change <= icfg.tolerance {
+                converged = true;
+                break 'rounds;
+            }
+            if watchdog.observe(rel_change) {
+                diverged = true;
+                break 'rounds;
+            }
+        }
+
+        // Final interactive solve: replace the damped announcement with the
+        // price that actually clears the surviving supplies.
+        if converged && !diverged {
+            let participants = self.survivor_participants();
+            if !participants.is_empty() {
+                let sol = mclr::clear_best_effort(&participants, target_watts);
+                let clearing = self.allocate_from_bids(sol.price, target_watts, rounds, false);
+                if clearing.met_target() {
+                    return Ok(ResilientOutcome {
+                        clearing,
+                        chain_level: ChainLevel::Interactive,
+                        converged,
+                        diverged,
+                        quarantined,
+                        retries,
+                        residual_watts: 0.0,
+                        price_trace: trace,
+                    });
+                }
+            }
+        }
+
+        // --- Level 1: one static MClr solve over every job's last-known or
+        // cooperative bid. ---
+        let all = self.all_participants();
+        let sol = mclr::clear_best_effort(&all, target_watts);
+        let clearing = self.allocate_from_bids(sol.price, target_watts, rounds, true);
+        if clearing.met_target() {
+            return Ok(ResilientOutcome {
+                clearing,
+                chain_level: ChainLevel::StaticFallback,
+                converged,
+                diverged,
+                quarantined,
+                retries,
+                residual_watts: 0.0,
+                price_trace: trace,
+            });
+        }
+
+        // --- Level 2: uniform forced capping — the terminal guarantee. ---
+        let attainable: f64 = self
+            .slots
+            .iter()
+            .map(|s| s.agent.delta_max() * s.agent.watts_per_unit())
+            .sum();
+        let fraction = if attainable > 0.0 {
+            (target_watts / attainable).min(1.0)
+        } else {
+            0.0
+        };
+        let allocations: Vec<Allocation> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let reduction = fraction * s.agent.delta_max();
+                Allocation {
+                    id: s.agent.job_id(),
+                    reduction,
+                    power_reduction: reduction * s.agent.watts_per_unit(),
+                    price: 0.0,
+                }
+            })
+            .collect();
+        let delivered: f64 = allocations.iter().map(|a| a.power_reduction).sum();
+        Ok(ResilientOutcome {
+            clearing: Clearing::new(0.0, target_watts, allocations, rounds),
+            chain_level: ChainLevel::EqlCapping,
+            converged,
+            diverged,
+            quarantined,
+            retries,
+            residual_watts: (target_watts - delivered).max(0.0),
+            price_trace: trace,
+        })
+    }
+
+    /// Participants for the surviving (non-quarantined) agents with a live
+    /// bid.
+    fn survivor_participants(&self) -> Vec<Participant> {
+        self.slots
+            .iter()
+            .filter(|s| !s.quarantined)
+            .filter_map(|s| {
+                let bid = s.last_bid?;
+                let supply = SupplyFunction::new(s.agent.delta_max(), bid).ok()?;
+                Some(Participant::new(
+                    s.agent.job_id(),
+                    supply,
+                    s.agent.watts_per_unit(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Participants for *every* agent: last live bid, else the registered
+    /// cooperative bid, else bid 0 (manager-side forced capping — the
+    /// scheduler enforces reductions, so a silent job still supplies).
+    fn all_participants(&self) -> Vec<Participant> {
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let bid = s.last_bid.or(s.fallback_bid).unwrap_or(0.0);
+                let supply = SupplyFunction::new(s.agent.delta_max(), bid)
+                    .or_else(|_| SupplyFunction::new(s.agent.delta_max(), 0.0))
+                    .ok()?;
+                Some(Participant::new(
+                    s.agent.job_id(),
+                    supply,
+                    s.agent.watts_per_unit(),
+                ))
+            })
+            .collect()
+    }
+
+    /// Builds a clearing at `price` from each job's effective bid.
+    /// `include_quarantined` selects between the interactive view (silent
+    /// jobs supply nothing) and the fallback view (every job supplies from
+    /// its last-known/cooperative/zero bid).
+    fn allocate_from_bids(
+        &self,
+        price: f64,
+        target_watts: f64,
+        iterations: usize,
+        include_quarantined: bool,
+    ) -> Clearing {
+        let allocations: Vec<Allocation> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let bid = if s.quarantined && !include_quarantined {
+                    None
+                } else if include_quarantined {
+                    Some(s.last_bid.or(s.fallback_bid).unwrap_or(0.0))
+                } else {
+                    s.last_bid
+                };
+                let reduction = bid
+                    .and_then(|b| SupplyFunction::new(s.agent.delta_max(), b).ok())
+                    .map_or(0.0, |supply| supply.supply(price));
+                Allocation {
+                    id: s.agent.job_id(),
+                    reduction,
+                    power_reduction: reduction * s.agent.watts_per_unit(),
+                    price,
+                }
+            })
+            .collect();
+        Clearing::new(price, target_watts, allocations, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidding::cooperative_bid;
+    use crate::cost::QuadraticCost;
+    use crate::market::interactive::NetGainAgent;
+
+    const WPU: f64 = 125.0;
+
+    fn rational(id: JobId, alpha: f64) -> NetGainAgent<QuadraticCost> {
+        NetGainAgent::new(id, QuadraticCost::new(alpha, 1.0), WPU)
+    }
+
+    fn resilient_over(agents: Vec<Box<dyn BiddingAgent>>) -> ResilientInteractiveMarket {
+        ResilientInteractiveMarket::from_agents(agents, ResilientConfig::default())
+    }
+
+    #[test]
+    fn fault_rng_is_deterministic_and_uniformish() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let xs: Vec<f64> = (0..100).map(|_| a.next_f64()).collect();
+        let ys: Vec<f64> = (0..100).map(|_| b.next_f64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn healthy_agents_clear_at_interactive_level() {
+        let agents: Vec<Box<dyn BiddingAgent>> = (0..4)
+            .map(|i| Box::new(rational(i, 1.0 + i as f64)) as _)
+            .collect();
+        let mut m = resilient_over(agents);
+        let out = m.clear(200.0).unwrap();
+        assert_eq!(out.chain_level, ChainLevel::Interactive);
+        assert!(out.converged && !out.diverged);
+        assert!(out.quarantined.is_empty());
+        assert!(!out.is_degraded());
+        assert_eq!(out.retries, 0);
+        assert!(out.clearing.met_target());
+        assert_eq!(out.clearing.allocations().len(), 4);
+    }
+
+    #[test]
+    fn zero_target_and_empty_market_edge_cases() {
+        let mut m = resilient_over(vec![Box::new(rational(0, 1.0))]);
+        let out = m.clear(0.0).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.clearing.price(), 0.0);
+
+        let mut empty = ResilientInteractiveMarket::new(ResilientConfig::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.clear(10.0).unwrap_err(), MarketError::NoParticipants);
+    }
+
+    #[test]
+    fn unresponsive_agents_are_quarantined_with_timeout_errors() {
+        let mut agents: Vec<Box<dyn BiddingAgent>> = (0..6)
+            .map(|i| Box::new(rational(i, 1.0 + i as f64)) as _)
+            .collect();
+        agents.push(Box::new(UnresponsiveAgent::new(rational(6, 1.0), 0)));
+        let mut m = resilient_over(agents);
+        // Target within the survivors' capability.
+        let out = m.clear(300.0).unwrap();
+        assert_eq!(out.quarantined_ids(), vec![6]);
+        assert!(matches!(
+            out.quarantined[0].error,
+            MarketError::AgentTimeout { job: 6, .. }
+        ));
+        // Two retries were burned before quarantine.
+        assert_eq!(out.retries, 2);
+        assert!(out.clearing.met_target());
+        assert_eq!(out.chain_level, ChainLevel::Interactive);
+        // The quarantined job contributes nothing at the interactive level.
+        let q = out
+            .clearing
+            .allocations()
+            .iter()
+            .find(|a| a.id == 6)
+            .unwrap();
+        assert_eq!(q.reduction, 0.0);
+    }
+
+    #[test]
+    fn crashes_skip_the_retry_budget() {
+        let mut agents: Vec<Box<dyn BiddingAgent>> =
+            vec![Box::new(rational(0, 1.0)), Box::new(rational(1, 2.0))];
+        agents.push(Box::new(CrashAgent::new(rational(2, 1.0), 1)));
+        let mut m = resilient_over(agents);
+        let out = m.clear(150.0).unwrap();
+        assert_eq!(out.quarantined_ids(), vec![2]);
+        assert!(matches!(
+            out.quarantined[0].error,
+            MarketError::AgentCrashed { job: 2, round: 2 }
+        ));
+        assert_eq!(out.retries, 0, "crashes must not burn retries");
+        assert!(out.clearing.met_target());
+    }
+
+    #[test]
+    fn fallback_recovers_capacity_of_quarantined_jobs() {
+        // Two rational jobs can deliver at most 2 Δ · 125 W = 250 W; the
+        // target of 420 W is only attainable with the two silent jobs'
+        // capacity, priced at their registered cooperative bids.
+        let coop = cooperative_bid(&QuadraticCost::new(1.0, 1.0)).unwrap();
+        let mut m = ResilientInteractiveMarket::new(ResilientConfig::default());
+        m.register(Box::new(rational(0, 1.0)), Some(coop));
+        m.register(Box::new(rational(1, 2.0)), Some(coop));
+        m.register(
+            Box::new(UnresponsiveAgent::new(rational(2, 1.0), 0)),
+            Some(coop),
+        );
+        m.register(
+            Box::new(UnresponsiveAgent::new(rational(3, 1.0), 0)),
+            Some(coop),
+        );
+        let out = m.clear(420.0).unwrap();
+        assert_eq!(out.quarantined_ids(), vec![2, 3]);
+        assert!(out.is_degraded());
+        assert_eq!(out.chain_level, ChainLevel::StaticFallback);
+        assert!(out.clearing.met_target(), "chain must meet the target");
+        assert_eq!(out.residual_watts, 0.0);
+        // Quarantined jobs now carry nonzero reductions.
+        for id in [2u64, 3] {
+            let a = out
+                .clearing
+                .allocations()
+                .iter()
+                .find(|a| a.id == id)
+                .unwrap();
+            assert!(a.reduction > 0.0, "job {id} must supply in the fallback");
+        }
+    }
+
+    #[test]
+    fn oscillating_byzantine_triggers_watchdog_and_falls_back() {
+        let cfg = ResilientConfig {
+            interactive: InteractiveConfig {
+                max_iterations: 100,
+                ..InteractiveConfig::default()
+            },
+            ..ResilientConfig::default()
+        };
+        let mut m = ResilientInteractiveMarket::new(cfg);
+        m.register(Box::new(rational(0, 1.0)), None);
+        m.register(Box::new(rational(1, 2.0)), None);
+        // A large byzantine participant oscillating 8x over/under swings
+        // the clearing price every round.
+        let big = NetGainAgent::new(2, QuadraticCost::new(0.5, 8.0), WPU);
+        m.register(Box::new(ByzantineAgent::new(big, 8.0, true, 7)), None);
+        let out = m.clear(800.0).unwrap();
+        assert!(out.diverged, "watchdog must detect the oscillation");
+        assert!(!out.converged);
+        assert!(
+            out.clearing.iterations() < 100,
+            "must abort well before max_iterations, used {}",
+            out.clearing.iterations()
+        );
+        assert!(out.is_degraded());
+        assert!(
+            out.clearing.met_target() || out.residual_watts == 0.0,
+            "fallback must still meet the target"
+        );
+    }
+
+    #[test]
+    fn stale_agent_does_not_prevent_clearing() {
+        let mut agents: Vec<Box<dyn BiddingAgent>> =
+            vec![Box::new(rational(0, 1.0)), Box::new(rational(1, 2.0))];
+        agents.push(Box::new(StaleAgent::new(rational(2, 1.5), 1)));
+        let mut m = resilient_over(agents);
+        let out = m.clear(250.0).unwrap();
+        // Staleness is silent: nobody is quarantined and the exchange still
+        // settles (the stale bid is just a constant supply).
+        assert!(out.quarantined.is_empty());
+        assert!(out.clearing.met_target());
+    }
+
+    #[test]
+    fn never_bidding_stale_agent_supplies_at_zero_bid() {
+        let mut stale = StaleAgent::new(rational(0, 1.0), 0);
+        assert_eq!(stale.respond(0.5).unwrap(), 0.0);
+        assert_eq!(stale.respond(2.0).unwrap(), 0.0);
+        assert_eq!(stale.job_id(), 0);
+        assert_eq!(stale.delta_max(), 1.0);
+        assert_eq!(stale.watts_per_unit(), WPU);
+    }
+
+    #[test]
+    fn byzantine_constant_factor_biases_bids() {
+        let mut honest = rational(0, 1.0);
+        let mut byz = ByzantineAgent::new(rational(0, 1.0), 4.0, false, 3);
+        let h = honest.respond(0.8).unwrap();
+        let b = byz.respond(0.8).unwrap();
+        assert!(
+            (b - 4.0 * h).abs() < 1e-12 || (b - h / 4.0).abs() < 1e-12,
+            "byzantine bid {b} must be 4x off the honest {h}"
+        );
+        // Constant variant keeps the same factor across rounds.
+        let b2 = byz.respond(0.8).unwrap();
+        assert!((b2 - b).abs() < 1e-12);
+        // Degenerate factors are sanitized.
+        let mut id_byz = ByzantineAgent::new(rational(1, 1.0), f64::NAN, false, 3);
+        let mut honest2 = rational(1, 1.0);
+        assert_eq!(
+            id_byz.respond(0.8).unwrap(),
+            honest2.respond(0.8).unwrap()
+        );
+    }
+
+    #[test]
+    fn terminal_eql_capping_meets_barely_attainable_targets() {
+        // Every agent silent with no fallback bids: the static level clears
+        // at the price ceiling (bid 0 → full supply), but a target inside
+        // the last 0.1 % of attainable power can still fall short there —
+        // the EQL level must close it exactly.
+        let mut m = ResilientInteractiveMarket::new(ResilientConfig::default());
+        for i in 0..4u64 {
+            m.register(
+                Box::new(UnresponsiveAgent::new(rational(i, 1.0), 0)),
+                Some(0.3),
+            );
+        }
+        // Attainable: 4 jobs · Δ=1 · 125 W = 500 W. Ask for all of it.
+        let out = m.clear(500.0).unwrap();
+        assert_eq!(out.quarantined.len(), 4);
+        assert!(out.is_degraded());
+        assert!(
+            out.clearing.total_power_reduction() >= 500.0 * (1.0 - 1e-6),
+            "terminal level must deliver the attainable maximum, got {}",
+            out.clearing.total_power_reduction()
+        );
+        assert!(out.residual_watts <= 1e-6);
+    }
+
+    #[test]
+    fn infeasible_target_caps_everything_and_reports_residual() {
+        let mut m = resilient_over(vec![
+            Box::new(rational(0, 1.0)) as Box<dyn BiddingAgent>,
+            Box::new(rational(1, 1.0)),
+        ]);
+        // Attainable 250 W; ask for 1000 W.
+        let out = m.clear(1000.0).unwrap();
+        assert_eq!(out.chain_level, ChainLevel::EqlCapping);
+        assert!((out.clearing.total_power_reduction() - 250.0).abs() < 1e-6);
+        assert!((out.residual_watts - 750.0).abs() < 1e-6);
+        // Forced capping pays nothing.
+        assert_eq!(out.clearing.price(), 0.0);
+    }
+
+    #[test]
+    fn watchdog_ignores_contracting_trajectories() {
+        let mut w = ConvergenceWatchdog::new(6, 0.01);
+        // Geometric contraction: never diverges.
+        let mut change = 0.5;
+        for _ in 0..30 {
+            assert!(!w.observe(change));
+            change *= 0.7;
+        }
+        // Sustained oscillation: diverges once the window fills.
+        let mut w = ConvergenceWatchdog::new(6, 0.01);
+        let mut fired = false;
+        for _ in 0..6 {
+            fired = w.observe(0.4);
+        }
+        assert!(fired, "constant-amplitude oscillation must trip the watchdog");
+    }
+
+    #[test]
+    fn chain_level_ordering_and_display() {
+        assert!(ChainLevel::Interactive < ChainLevel::StaticFallback);
+        assert!(ChainLevel::StaticFallback < ChainLevel::EqlCapping);
+        assert_eq!(ChainLevel::Interactive.to_string(), "MPR-INT");
+        assert_eq!(ChainLevel::StaticFallback.to_string(), "MPR-STAT");
+        assert_eq!(ChainLevel::EqlCapping.to_string(), "EQL");
+    }
+
+    #[test]
+    fn unresponsive_after_some_rounds_uses_last_known_bid_in_fallback() {
+        // The agent answers round 1 then goes silent: its round-1 bid is
+        // the last-known bid the static fallback prices it at.
+        let coop = cooperative_bid(&QuadraticCost::new(1.0, 1.0)).unwrap();
+        let mut m = ResilientInteractiveMarket::new(ResilientConfig::default());
+        m.register(Box::new(rational(0, 1.0)), Some(coop));
+        m.register(
+            Box::new(UnresponsiveAgent::new(rational(1, 1.0), 1)),
+            Some(coop),
+        );
+        // 240 W needs both jobs (each caps at 125 W).
+        let out = m.clear(240.0).unwrap();
+        assert_eq!(out.quarantined_ids(), vec![1]);
+        assert!(out.clearing.met_target());
+        let a = out
+            .clearing
+            .allocations()
+            .iter()
+            .find(|a| a.id == 1)
+            .unwrap();
+        assert!(a.reduction > 0.0);
+    }
+}

@@ -39,6 +39,21 @@ pub trait BiddingAgent: Send {
     fn respond(&mut self, price: f64) -> Result<f64, MarketError>;
 }
 
+impl<T: BiddingAgent + ?Sized> BiddingAgent for Box<T> {
+    fn job_id(&self) -> JobId {
+        (**self).job_id()
+    }
+    fn watts_per_unit(&self) -> f64 {
+        (**self).watts_per_unit()
+    }
+    fn delta_max(&self) -> f64 {
+        (**self).delta_max()
+    }
+    fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
+        (**self).respond(price)
+    }
+}
+
 /// The rational agent: best-responds by maximizing the net gain
 /// `G = q·δ(q) − C(δ(q))` of Eqn. (7) at every announced price.
 #[derive(Debug, Clone)]

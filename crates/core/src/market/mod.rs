@@ -4,7 +4,11 @@
 //!   submission, one bisection solve per overload. Maximum agility.
 //! * [`interactive::InteractiveMarket`] — **MPR-INT**: iterative price/bid
 //!   exchange converging to the socially optimal allocation.
+//! * [`faults::ResilientInteractiveMarket`] — MPR-INT hardened against
+//!   unresponsive/crashing/stale/byzantine agents, with an explicit
+//!   MPR-INT → MPR-STAT → EQL degradation chain.
 
+pub mod faults;
 pub mod interactive;
 pub mod static_market;
 

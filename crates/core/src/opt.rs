@@ -134,6 +134,22 @@ pub fn solve(
     if jobs.is_empty() {
         return Err(MarketError::NoParticipants);
     }
+    for j in jobs {
+        if !j.cost.delta_max().is_finite() {
+            return Err(MarketError::InvalidParameter {
+                name: "delta_max",
+                value: j.cost.delta_max(),
+                constraint: "cost model delta_max must be finite",
+            });
+        }
+        if !j.watts_per_unit.is_finite() || j.watts_per_unit < 0.0 {
+            return Err(MarketError::InvalidParameter {
+                name: "watts_per_unit",
+                value: j.watts_per_unit,
+                constraint: "must be finite and non-negative",
+            });
+        }
+    }
     let attainable: f64 = jobs
         .iter()
         .map(|j| j.cost.delta_max() * j.watts_per_unit)
@@ -231,12 +247,20 @@ fn water_filling(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, 
     let mut excess = total - target_watts;
     if excess > 0.0 {
         // Shrink jobs with the highest marginal cost first (they benefit most).
+        let marginals: Vec<f64> = reductions
+            .iter()
+            .zip(jobs)
+            .map(|((_, d), j)| j.cost.marginal(*d))
+            .collect();
+        if let Some(&bad) = marginals.iter().find(|m| !m.is_finite()) {
+            return Err(MarketError::InvalidParameter {
+                name: "marginal",
+                value: bad,
+                constraint: "cost model produced a non-finite marginal cost",
+            });
+        }
         let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ma = jobs[a].cost.marginal(reductions[a].1);
-            let mb = jobs[b].cost.marginal(reductions[b].1);
-            mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| marginals[b].total_cmp(&marginals[a]));
         for idx in order {
             if excess <= 0.0 {
                 break;
@@ -257,16 +281,25 @@ fn concave_greedy(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution,
     let mut order: Vec<usize> = (0..jobs.len())
         .filter(|&i| jobs[i].cost.delta_max() > 0.0)
         .collect();
-    let key = |i: usize| -> f64 {
-        let j = &jobs[i];
-        let dm = j.cost.delta_max();
-        j.cost.cost(dm) / (dm * j.watts_per_unit)
-    };
-    order.sort_by(|&a, &b| {
-        key(a)
-            .partial_cmp(&key(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let keys: Vec<f64> = jobs
+        .iter()
+        .map(|j| {
+            let dm = j.cost.delta_max();
+            if dm > 0.0 {
+                j.cost.cost(dm) / (dm * j.watts_per_unit)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    if let Some(&i) = order.iter().find(|&&i| !keys[i].is_finite()) {
+        return Err(MarketError::InvalidParameter {
+            name: "cost",
+            value: keys[i],
+            constraint: "cost model produced a non-finite average cost per watt",
+        });
+    }
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
 
     let mut reductions: Vec<(JobId, f64)> = jobs.iter().map(|j| (j.id, 0.0)).collect();
     let mut remaining = target_watts;
@@ -388,6 +421,63 @@ mod tests {
         let sol = solve(&jobs, 150.0, OptMethod::WaterFilling).unwrap();
         assert!((sol.reductions[0].1 - 1.0).abs() < 1e-6);
         assert!((sol.reductions[1].1 - 0.2).abs() < 1e-3);
+    }
+
+    /// A pathological cost model whose cost (and hence marginal) is NaN:
+    /// before input validation this silently mis-sorted the greedy/trim
+    /// orders instead of failing.
+    struct NanCost {
+        delta_max: f64,
+    }
+
+    impl crate::cost::CostModel for NanCost {
+        fn cost(&self, _delta: f64) -> f64 {
+            f64::NAN
+        }
+        fn delta_max(&self) -> f64 {
+            self.delta_max
+        }
+        fn marginal(&self, _delta: f64) -> f64 {
+            f64::NAN
+        }
+    }
+
+    #[test]
+    fn nan_costs_are_rejected_not_missorted() {
+        let bad = NanCost { delta_max: 4.0 };
+        let good = QuadraticCost::new(1.0, 4.0);
+        let jobs = vec![OptJob::new(0, &bad, 125.0), OptJob::new(1, &good, 125.0)];
+        // Concave greedy path: NaN average cost per watt must be a typed error.
+        let err = solve(&jobs, 100.0, OptMethod::ConcaveGreedy).unwrap_err();
+        assert!(
+            matches!(err, MarketError::InvalidParameter { name: "cost", .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_job_parameters_are_rejected() {
+        let inf = NanCost {
+            delta_max: f64::INFINITY,
+        };
+        let jobs = vec![OptJob::new(0, &inf, 125.0)];
+        assert!(matches!(
+            solve(&jobs, 10.0, OptMethod::Auto).unwrap_err(),
+            MarketError::InvalidParameter {
+                name: "delta_max",
+                ..
+            }
+        ));
+
+        let good = QuadraticCost::new(1.0, 4.0);
+        let jobs = vec![OptJob::new(0, &good, f64::NAN)];
+        assert!(matches!(
+            solve(&jobs, 10.0, OptMethod::Auto).unwrap_err(),
+            MarketError::InvalidParameter {
+                name: "watts_per_unit",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -56,6 +56,21 @@ pub enum EmergencyPhase {
     /// An emergency is active: reductions are in force, new job starts are
     /// held (Section III-E, "Executing resource/power reduction").
     Emergency,
+    /// An emergency is active but the clean interactive market could not
+    /// clear it: reductions in force came from a fallback level of the
+    /// degradation chain (MPR-STAT over last-known bids, or uniform EQL
+    /// capping). Operationally identical to [`Emergency`](Self::Emergency)
+    /// — the distinction lets reports separate clean clearings from
+    /// degraded ones.
+    Degraded,
+}
+
+impl EmergencyPhase {
+    /// `true` while reductions are in force (either emergency flavour).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        matches!(self, EmergencyPhase::Emergency | EmergencyPhase::Degraded)
+    }
 }
 
 /// What the HPC manager must do after a monitoring step.
@@ -152,8 +167,18 @@ impl EmergencyController {
     /// calling this keeps the controller from demanding headroom for watts
     /// that were never shed.
     pub fn record_delivered(&mut self, delivered: Watts) {
-        if self.phase == EmergencyPhase::Emergency {
+        if self.phase.is_active() {
             self.active_target = delivered;
+        }
+    }
+
+    /// Marks the in-force emergency as degraded: the reduction in force
+    /// came from a fallback level of the market's degradation chain rather
+    /// than a clean interactive clearing. No-op when the controller is
+    /// normal. The mark clears when the emergency lifts.
+    pub fn mark_degraded(&mut self) {
+        if self.phase == EmergencyPhase::Emergency {
+            self.phase = EmergencyPhase::Degraded;
         }
     }
 
@@ -180,7 +205,7 @@ impl EmergencyController {
                 }
                 EmergencyAction::None
             }
-            EmergencyPhase::Emergency => {
+            EmergencyPhase::Emergency | EmergencyPhase::Degraded => {
                 if power > cap {
                     // Under-delivery or a fresh spike: escalate.
                     let extra = power - buffered;
@@ -309,6 +334,87 @@ mod tests {
     }
 
     #[test]
+    fn transient_spike_shorter_than_filter_never_declares() {
+        let mut c = EmergencyController::new(EmergencyConfig {
+            min_overload_secs: 10.0,
+            ..EmergencyConfig::paper(Watts::new(1000.0))
+        });
+        // A 5 s spike, shorter than the 10 s filter, then power recovers.
+        assert_eq!(c.step(0.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert_eq!(c.step(5.0, Watts::new(1100.0)), EmergencyAction::None);
+        assert_eq!(c.step(8.0, Watts::new(900.0)), EmergencyAction::None);
+        assert_eq!(c.phase(), EmergencyPhase::Normal);
+        // Long after the spike, normal power must not retroactively declare.
+        assert_eq!(c.step(100.0, Watts::new(950.0)), EmergencyAction::None);
+        assert_eq!(c.phase(), EmergencyPhase::Normal);
+        assert_eq!(c.active_target(), Watts::ZERO);
+    }
+
+    #[test]
+    fn overload_right_after_lift_redeclares() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0)); // declare, target 110 W
+        assert_eq!(c.step(601.0, Watts::new(850.0)), EmergencyAction::Lift);
+        // The very next sample overloads again: the controller must
+        // re-declare a fresh emergency, not sit on the lifted state.
+        match c.step(661.0, Watts::new(1200.0)) {
+            EmergencyAction::Declare { target } => {
+                assert!((target.get() - (1200.0 - 990.0)).abs() < 1e-9);
+            }
+            other => panic!("expected re-declare, got {other:?}"),
+        }
+        assert!(c.phase().is_active());
+    }
+
+    #[test]
+    fn overload_persisting_through_cooldown_escalates_not_lifts() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0)); // declare
+        // Past the cool-down but power is above capacity again: must
+        // escalate, never lift.
+        match c.step(700.0, Watts::new(1050.0)) {
+            EmergencyAction::Escalate { target } => {
+                assert!((target.get() - (1050.0 - 990.0)).abs() < 1e-9);
+            }
+            other => panic!("expected Escalate, got {other:?}"),
+        }
+        assert!(c.phase().is_active());
+        // Escalation restarted the cool-down: an in-capacity sample right
+        // after must not lift yet even with plenty of headroom.
+        assert_eq!(c.step(701.0, Watts::new(500.0)), EmergencyAction::None);
+    }
+
+    #[test]
+    fn degraded_phase_lifecycle() {
+        let mut c = controller();
+        // mark_degraded before any emergency is a no-op.
+        c.mark_degraded();
+        assert_eq!(c.phase(), EmergencyPhase::Normal);
+        assert!(!c.phase().is_active());
+
+        c.step(0.0, Watts::new(1100.0));
+        c.mark_degraded();
+        assert_eq!(c.phase(), EmergencyPhase::Degraded);
+        assert!(c.phase().is_active());
+
+        // Degraded behaves like an emergency: escalates on a fresh
+        // overload and stays degraded.
+        assert!(matches!(
+            c.step(60.0, Watts::new(1020.0)),
+            EmergencyAction::Escalate { .. }
+        ));
+        assert_eq!(c.phase(), EmergencyPhase::Degraded);
+
+        // record_delivered still applies while degraded.
+        c.record_delivered(Watts::new(30.0));
+        assert!((c.active_target().get() - 30.0).abs() < 1e-9);
+
+        // Lift clears the degraded mark.
+        assert_eq!(c.step(661.0, Watts::new(850.0)), EmergencyAction::Lift);
+        assert_eq!(c.phase(), EmergencyPhase::Normal);
+    }
+
+    #[test]
     fn record_delivered_ignored_when_normal() {
         let mut c = controller();
         c.record_delivered(Watts::new(40.0));
@@ -339,11 +445,11 @@ mod tests {
                             prop_assert!(target.get() > 0.0);
                         }
                         EmergencyAction::Escalate { target } => {
-                            prop_assert_eq!(prev_phase, EmergencyPhase::Emergency);
+                            prop_assert!(prev_phase.is_active());
                             prop_assert!(target.get() > 0.0);
                         }
                         EmergencyAction::Lift => {
-                            prop_assert_eq!(prev_phase, EmergencyPhase::Emergency);
+                            prop_assert!(prev_phase.is_active());
                             prop_assert_eq!(c.phase(), EmergencyPhase::Normal);
                         }
                         EmergencyAction::None => {}
@@ -352,7 +458,7 @@ mod tests {
                         EmergencyPhase::Normal => {
                             prop_assert_eq!(c.active_target(), Watts::ZERO);
                         }
-                        EmergencyPhase::Emergency => {
+                        EmergencyPhase::Emergency | EmergencyPhase::Degraded => {
                             prop_assert!(c.active_target().get() > 0.0);
                         }
                     }

@@ -67,6 +67,72 @@ pub enum CostNoise {
     },
 }
 
+/// Fault mix injected into the market agents of each overload event.
+///
+/// Fractions select how many participating agents are wrapped in the
+/// corresponding faulty adapter (`mpr_core::market::faults`), drawn
+/// deterministically per overload event from the simulation seed. Only
+/// MPR-INT consults the plan — the other algorithms have no per-event agent
+/// interaction to disrupt — and a plan with all-zero rates is equivalent to
+/// no plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of participating agents that stop answering price
+    /// announcements (quarantined after the retry budget).
+    pub unresponsive_frac: f64,
+    /// Fraction of agents that crash permanently after their first answer.
+    pub crash_frac: f64,
+    /// Fraction of agents that freeze and replay their first bid.
+    pub stale_frac: f64,
+    /// Fraction of agents that over/under-bid byzantinely.
+    pub byzantine_frac: f64,
+    /// Over/under-bidding factor for byzantine agents (oscillating).
+    pub byzantine_factor: f64,
+    /// Per-agent per-round retry budget before quarantine.
+    pub max_retries: usize,
+    /// Convergence-watchdog window, rounds.
+    pub watchdog_window: usize,
+    /// Relative price change under which a round counts as converging.
+    pub divergence_min_change: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            unresponsive_frac: 0.0,
+            crash_frac: 0.0,
+            stale_frac: 0.0,
+            byzantine_frac: 0.0,
+            byzantine_factor: 4.0,
+            max_retries: 2,
+            watchdog_window: 8,
+            divergence_min_change: 0.05,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting the given fractions of unresponsive and crashing
+    /// agents (the robustness experiment's canonical mix).
+    #[must_use]
+    pub fn unresponsive_and_crash(unresponsive_frac: f64, crash_frac: f64) -> Self {
+        Self {
+            unresponsive_frac: unresponsive_frac.clamp(0.0, 1.0),
+            crash_frac: crash_frac.clamp(0.0, 1.0),
+            ..Self::default()
+        }
+    }
+
+    /// `true` when at least one fault rate is positive.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.unresponsive_frac > 0.0
+            || self.crash_frac > 0.0
+            || self.stale_frac > 0.0
+            || self.byzantine_frac > 0.0
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -117,6 +183,10 @@ pub struct SimConfig {
     pub phase_amplitude: f64,
     /// Period of the per-job power phases, seconds.
     pub phase_period_secs: f64,
+    /// Faults injected into market agents per overload event (`None`
+    /// disables injection). MPR-INT runs its resilient degradation chain
+    /// when a plan is active.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -132,6 +202,7 @@ impl std::fmt::Debug for SimConfig {
             .field("seed", &self.seed)
             .field("capacity_policy", &self.capacity_policy.is_some())
             .field("record_timeline", &self.record_timeline)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -162,6 +233,7 @@ impl SimConfig {
             capacity_watts_override: None,
             phase_amplitude: 0.0,
             phase_period_secs: 1800.0,
+            fault_plan: None,
         }
     }
 
@@ -220,6 +292,13 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Installs a fault-injection plan (see [`FaultPlan`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +334,22 @@ mod tests {
         assert!(matches!(c.cost_noise, CostNoise::Random { .. }));
         assert_eq!(c.profiles.len(), 6);
         assert_eq!(c.oversubscription_pct, 15.0);
+    }
+
+    #[test]
+    fn fault_plan_builder() {
+        assert!(!FaultPlan::default().is_active());
+        let plan = FaultPlan::unresponsive_and_crash(0.3, 0.1);
+        assert!(plan.is_active());
+        assert_eq!(plan.unresponsive_frac, 0.3);
+        assert_eq!(plan.crash_frac, 0.1);
+        // Fractions are clamped into [0, 1].
+        let clamped = FaultPlan::unresponsive_and_crash(1.5, -0.2);
+        assert_eq!(clamped.unresponsive_frac, 1.0);
+        assert_eq!(clamped.crash_frac, 0.0);
+        let c = SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan);
+        assert_eq!(c.fault_plan, Some(plan));
+        assert!(SimConfig::new(Algorithm::MprInt, 15.0).fault_plan.is_none());
     }
 
     #[test]

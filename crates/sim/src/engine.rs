@@ -7,18 +7,18 @@ use mpr_apps::{AppProfile, NoisyCost, ProfileCost};
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::market::interactive::InteractiveOutcome;
 use mpr_core::{
-    eql, opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, MarketError,
-    NetGainAgent, Participant, ScaledCost, StaticMarket, SupplyFunction, Watts,
+    eql, opt, BiddingAgent, ByzantineAgent, ChainLevel, CostModel, CrashAgent, InteractiveConfig,
+    InteractiveMarket, MarketError, NetGainAgent, Participant, ResilientConfig,
+    ResilientInteractiveMarket, ScaledCost, StaleAgent, StaticMarket, SupplyFunction,
+    UnresponsiveAgent, Watts,
 };
-use mpr_power::{
-    EmergencyAction, EmergencyConfig, EmergencyController, EmergencyPhase, Oversubscription,
-};
+use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController, Oversubscription};
 use mpr_workload::Trace;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::config::{Algorithm, CostNoise, SimConfig};
-use crate::report::{EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport};
+use crate::config::{Algorithm, CostNoise, FaultPlan, SimConfig};
+use crate::report::{DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport};
 
 /// A job currently executing in the simulated system.
 struct ActiveJob {
@@ -39,8 +39,11 @@ struct ActiveJob {
     perceived: ScaledCost<NoisyCost<ProfileCost>>,
     /// Ground-truth cost model for accounting, job-scaled.
     true_cost: ScaledCost<ProfileCost>,
-    /// Pre-computed cooperative supply for MPR-STAT.
-    static_supply: SupplyFunction,
+    /// Pre-computed cooperative supply for MPR-STAT. `None` when no valid
+    /// submission-time bid could be constructed (pathological cost model):
+    /// the job then joins markets only through forced capping, and the run
+    /// counts it in [`DegradationStats::bid_failures`] instead of aborting.
+    static_supply: Option<SupplyFunction>,
     /// Phase offset for the per-job power oscillation, seconds.
     phase_offset: f64,
     affected: bool,
@@ -72,6 +75,8 @@ struct Accounting {
     cost_ch: f64,
     reward_ch: f64,
     int_iterations: usize,
+    degradation: DegradationStats,
+    fault_events: usize,
     stretch_sum_pct: f64,
     stretch_count: usize,
     per_profile: BTreeMap<String, ProfileStats>,
@@ -189,7 +194,7 @@ impl<'a> Simulation<'a> {
                 .as_ref()
                 .map_or(capacity_w, |p| p.capacity_at(t).get().min(capacity_w));
             controller.set_capacity(Watts::new(capacity_now));
-            let in_emergency = controller.phase() == EmergencyPhase::Emergency;
+            let in_emergency = controller.phase().is_active();
 
             // 1. Arrivals. New starts are held during an emergency
             //    (Section III-E, "Executing resource/power reduction").
@@ -198,7 +203,11 @@ impl<'a> Simulation<'a> {
                     deferred.push_back(next_job);
                     acc.jobs_deferred += 1;
                 } else {
-                    active.push(self.start_job(next_job, &profiles[next_job], t, &mut rng));
+                    let job = self.start_job(next_job, &profiles[next_job], t, &mut rng);
+                    if job.static_supply.is_none() {
+                        acc.degradation.bid_failures += 1;
+                    }
+                    active.push(job);
                     acc.jobs_started += 1;
                 }
                 next_job += 1;
@@ -217,7 +226,11 @@ impl<'a> Simulation<'a> {
                     let job_w =
                         f64::from(jobs[idx].cores) * (static_w + p.unit_dynamic_power_w());
                     if job_w <= budget || active.is_empty() {
-                        active.push(self.start_job(idx, p, t, &mut rng));
+                        let job = self.start_job(idx, p, t, &mut rng);
+                        if job.static_supply.is_none() {
+                            acc.degradation.bid_failures += 1;
+                        }
+                        active.push(job);
                         acc.jobs_started += 1;
                         budget -= job_w;
                         deferred.pop_front();
@@ -242,12 +255,16 @@ impl<'a> Simulation<'a> {
             let power_w: f64 = active.iter().map(|j| j.power_w(static_w, phase_of(j))).sum();
             match controller.step(t, Watts::new(power_w)) {
                 action @ (EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. }) => {
-                    if matches!(controller.phase(), EmergencyPhase::Emergency) {
+                    if controller.phase().is_active() {
                         acc.overload_events += 1;
                     }
                     let target = controller.active_target().get();
-                    let delivered = self.apply_algorithm(&mut active, target, &mut acc);
+                    let (delivered, degraded) =
+                        self.apply_algorithm(&mut active, target, &mut acc);
                     controller.record_delivered(Watts::new(delivered));
+                    if degraded {
+                        controller.mark_degraded();
+                    }
                     if delivered < target * (1.0 - 1e-6) {
                         acc.unmet_emergencies += 1;
                     }
@@ -380,11 +397,14 @@ impl<'a> Simulation<'a> {
         };
         let perceived = ScaledCost::new(noisy, cores);
         let true_cost = ScaledCost::new(base, cores);
+        // A failed cooperative bid falls back to a zero-bid (always-supply)
+        // function; if even that is unconstructible the job carries no
+        // static supply at all — recorded as a bid failure by the caller,
+        // never a panic mid-run.
         let static_supply = StaticStrategy::Cooperative
             .supply_for(&perceived)
-            .unwrap_or_else(|_| {
-                SupplyFunction::new(perceived.delta_max(), 0.0).expect("valid fallback supply")
-            });
+            .ok()
+            .or_else(|| SupplyFunction::new(perceived.delta_max(), 0.0).ok());
         let participates = rng.gen_bool(cfg.participation.clamp(0.0, 1.0));
         ActiveJob {
             idx,
@@ -405,27 +425,30 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs the configured algorithm for a cumulative reduction target and
-    /// applies the resulting (absolute) reductions. Returns delivered watts.
+    /// applies the resulting (absolute) reductions. Returns delivered watts
+    /// and whether the clearing was degraded (produced by a fallback level
+    /// of the resilient market's chain rather than a clean clearing).
     fn apply_algorithm(
         &self,
         active: &mut [ActiveJob],
         target_w: f64,
         acc: &mut Accounting,
-    ) -> f64 {
+    ) -> (f64, bool) {
         if active.is_empty() || target_w <= 0.0 {
-            return 0.0;
+            return (0.0, false);
         }
         match self.config.algorithm {
             Algorithm::MprStat => {
                 let participants: Vec<Participant> = active
                     .iter()
                     .filter(|j| j.participates)
-                    .map(|j| {
-                        Participant::new(
+                    .filter_map(|j| {
+                        let supply = j.static_supply?;
+                        Some(Participant::new(
                             j.idx as u64,
-                            j.static_supply,
+                            supply,
                             j.profile.unit_dynamic_power_w(),
-                        )
+                        ))
                     })
                     .collect();
                 let market = StaticMarket::new(participants);
@@ -443,9 +466,12 @@ impl<'a> Simulation<'a> {
                     j.price = price;
                     delivered += delta * j.profile.unit_dynamic_power_w();
                 }
-                delivered
+                (delivered, false)
             }
             Algorithm::MprInt => {
+                if let Some(plan) = self.config.fault_plan.filter(FaultPlan::is_active) {
+                    return self.apply_resilient_int(active, target_w, acc, plan);
+                }
                 let agents: Vec<Box<dyn BiddingAgent>> = active
                     .iter()
                     .filter(|j| j.participates)
@@ -480,7 +506,7 @@ impl<'a> Simulation<'a> {
                             j.price = price;
                             delivered += delta * j.profile.unit_dynamic_power_w();
                         }
-                        delivered
+                        (delivered, false)
                     }
                     Err(MarketError::Infeasible { .. }) => {
                         // Every participant caps at Δ; pay its break-even price.
@@ -493,9 +519,9 @@ impl<'a> Simulation<'a> {
                                 delivered += delta * j.profile.unit_dynamic_power_w();
                             }
                         }
-                        delivered
+                        (delivered, false)
                     }
-                    Err(_) => 0.0,
+                    Err(_) => (0.0, false),
                 }
             }
             Algorithm::Opt => {
@@ -518,7 +544,7 @@ impl<'a> Simulation<'a> {
                             j.reduction = delta;
                             delivered += delta * j.profile.unit_dynamic_power_w();
                         }
-                        delivered
+                        (delivered, false)
                     }
                     Err(_) => {
                         let mut delivered = 0.0;
@@ -527,7 +553,7 @@ impl<'a> Simulation<'a> {
                             j.reduction = delta;
                             delivered += delta * j.profile.unit_dynamic_power_w();
                         }
-                        delivered
+                        (delivered, false)
                     }
                 }
             }
@@ -553,7 +579,7 @@ impl<'a> Simulation<'a> {
                             j.reduction = delta;
                             delivered += delta * j.profile.unit_dynamic_power_w();
                         }
-                        delivered
+                        (delivered, false)
                     }
                     Err(_) => {
                         // Even stopping every core is not enough: do that.
@@ -562,10 +588,102 @@ impl<'a> Simulation<'a> {
                             j.reduction = j.cores;
                             delivered += j.cores * j.profile.unit_dynamic_power_w();
                         }
-                        delivered
+                        (delivered, false)
                     }
                 }
             }
+        }
+    }
+
+    /// MPR-INT under fault injection: wraps each participating agent in its
+    /// planned faulty adapter and clears through the resilient market's
+    /// MPR-INT → MPR-STAT → EQL degradation chain, recording the
+    /// degradation diagnostics into the accounting.
+    fn apply_resilient_int(
+        &self,
+        active: &mut [ActiveJob],
+        target_w: f64,
+        acc: &mut Accounting,
+        plan: FaultPlan,
+    ) -> (f64, bool) {
+        let cfg = &self.config;
+        // One deterministic stream per overload event: fault assignment
+        // depends only on (seed, event ordinal), never on wall progress.
+        acc.fault_events += 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            cfg.seed ^ (acc.fault_events as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut market = ResilientInteractiveMarket::new(ResilientConfig {
+            interactive: InteractiveConfig {
+                max_iterations: cfg.int_max_iterations,
+                ..InteractiveConfig::default()
+            },
+            max_retries: plan.max_retries,
+            watchdog_window: plan.watchdog_window,
+            divergence_min_change: plan.divergence_min_change,
+        });
+        for j in active.iter().filter(|j| j.participates) {
+            let inner = NetGainAgent::new(
+                j.idx as u64,
+                j.perceived.clone(),
+                j.profile.unit_dynamic_power_w(),
+            );
+            let u: f64 = rng.gen();
+            let unresp_end = plan.unresponsive_frac;
+            let crash_end = unresp_end + plan.crash_frac;
+            let stale_end = crash_end + plan.stale_frac;
+            let byz_end = stale_end + plan.byzantine_frac;
+            let agent: Box<dyn BiddingAgent> = if u < unresp_end {
+                Box::new(UnresponsiveAgent::new(inner, 0))
+            } else if u < crash_end {
+                Box::new(CrashAgent::new(inner, 1))
+            } else if u < stale_end {
+                Box::new(StaleAgent::new(inner, 1))
+            } else if u < byz_end {
+                Box::new(ByzantineAgent::new(
+                    inner,
+                    plan.byzantine_factor,
+                    true,
+                    rng.gen(),
+                ))
+            } else {
+                Box::new(inner)
+            };
+            market.register(agent, j.static_supply.map(|s| s.bid()));
+        }
+        match market.clear(target_w) {
+            Ok(outcome) => {
+                acc.int_iterations += outcome.clearing.iterations();
+                acc.degradation.rounds_retried += outcome.retries;
+                acc.degradation.participants_quarantined += outcome.quarantined.len();
+                acc.degradation.residual_overload_watts += outcome.residual_watts;
+                if outcome.diverged {
+                    acc.degradation.diverged_clearings += 1;
+                }
+                match outcome.chain_level {
+                    ChainLevel::Interactive => {}
+                    ChainLevel::StaticFallback => acc.degradation.static_fallbacks += 1,
+                    ChainLevel::EqlCapping => acc.degradation.eql_cappings += 1,
+                }
+                acc.degradation.observe_chain_level(outcome.chain_level);
+                let price = outcome.clearing.price();
+                let by_id: BTreeMap<u64, f64> = outcome
+                    .clearing
+                    .allocations()
+                    .iter()
+                    .map(|a| (a.id, a.reduction))
+                    .collect();
+                let mut delivered = 0.0;
+                for j in active.iter_mut() {
+                    let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
+                    j.reduction = delta;
+                    j.price = price;
+                    delivered += delta * j.profile.unit_dynamic_power_w();
+                }
+                (delivered, outcome.is_degraded())
+            }
+            // Only possible failure: an overload with zero participants.
+            Err(_) => (0.0, false),
         }
     }
 
@@ -615,6 +733,7 @@ impl<'a> Simulation<'a> {
             capacity_watts: capacity_w,
             peak_watts: peak_w,
             int_iterations_total: acc.int_iterations,
+            degradation: acc.degradation,
             per_profile: acc.per_profile,
             timeline,
             events,
@@ -914,6 +1033,59 @@ mod tests {
             baseline.overload_slots
         );
         assert!(r.reduction_core_hours > baseline.reduction_core_hours);
+    }
+
+    #[test]
+    fn fault_injection_quarantines_and_still_clears() {
+        let trace = small_trace();
+        let plan = crate::config::FaultPlan::unresponsive_and_crash(0.3, 0.1);
+        let r = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan),
+        )
+        .run();
+        assert!(r.overload_events > 0, "need overloads to inject faults into");
+        assert!(
+            r.degradation.participants_quarantined > 0,
+            "30%+10% fault rates must quarantine someone"
+        );
+        assert!(
+            r.degradation.deepest_chain_level.is_some(),
+            "chain level must be recorded"
+        );
+        // The degradation chain delivers min(target, attainable) at every
+        // event, so no emergency goes unmet and no residual accumulates.
+        assert_eq!(r.unmet_emergencies, 0, "chain must meet every target");
+        assert_eq!(r.degradation.residual_overload_watts, 0.0);
+        // The run itself stays healthy.
+        assert_eq!(r.jobs_completed, r.jobs_total);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let trace = small_trace();
+        let plan = crate::config::FaultPlan::unresponsive_and_crash(0.3, 0.1);
+        let cfg = SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan);
+        let a = Simulation::new(&trace, cfg.clone()).run();
+        let b = Simulation::new(&trace, cfg).run();
+        assert_eq!(a, b, "seeded fault injection must reproduce bit-for-bit");
+    }
+
+    #[test]
+    fn clean_runs_report_no_degradation() {
+        let trace = small_trace();
+        let r = Simulation::new(&trace, SimConfig::new(Algorithm::MprInt, 15.0)).run();
+        assert!(!r.degradation.any_degradation());
+        assert_eq!(r.degradation.deepest_chain_level, None);
+        assert_eq!(r.degradation.bid_failures, 0);
+        // An all-zero plan is equivalent to no plan.
+        let z = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0)
+                .with_faults(crate::config::FaultPlan::default()),
+        )
+        .run();
+        assert_eq!(z, r);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod engine;
 pub mod partition;
 pub mod report;
 
-pub use config::{Algorithm, CostNoise, SimConfig};
+pub use config::{Algorithm, CostNoise, FaultPlan, SimConfig};
 pub use engine::Simulation;
 pub use partition::{PartitionPolicy, PartitionedReport, PartitionedSimulation};
-pub use report::{EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline};
+pub use report::{
+    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline,
+};

@@ -2,6 +2,56 @@
 
 use std::collections::BTreeMap;
 
+use mpr_core::ChainLevel;
+
+/// Degradation accounting across all market clearings of a run: what the
+/// graceful-degradation chain had to do when agents misbehaved. All-zero
+/// (and `deepest_chain_level == None`) for runs without fault injection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationStats {
+    /// Retry attempts spent re-polling slow agents across all rounds.
+    pub rounds_retried: usize,
+    /// Participants quarantined (summed over overload events; the same job
+    /// counts once per event it defaulted in).
+    pub participants_quarantined: usize,
+    /// Clearings that fell back to the static (MPR-STAT) level.
+    pub static_fallbacks: usize,
+    /// Clearings that reached the terminal uniform-capping (EQL) level.
+    pub eql_cappings: usize,
+    /// Clearings aborted by the convergence watchdog.
+    pub diverged_clearings: usize,
+    /// Deepest chain level any clearing reached (`None` when no market
+    /// clearing ran with fault injection).
+    pub deepest_chain_level: Option<ChainLevel>,
+    /// Total target watts the chain could not cover (positive only for
+    /// physically unattainable targets), summed over events.
+    pub residual_overload_watts: f64,
+    /// Jobs whose cooperative submission-time bid could not be constructed
+    /// (they join markets only through forced capping).
+    pub bid_failures: usize,
+}
+
+impl DegradationStats {
+    /// `true` when any clearing left the clean interactive level or any
+    /// participant was quarantined.
+    #[must_use]
+    pub fn any_degradation(&self) -> bool {
+        self.participants_quarantined > 0
+            || self.static_fallbacks > 0
+            || self.eql_cappings > 0
+            || self.diverged_clearings > 0
+            || self.residual_overload_watts > 0.0
+    }
+
+    /// Folds one clearing's chain level into the deepest-level watermark.
+    pub fn observe_chain_level(&mut self, level: ChainLevel) {
+        self.deepest_chain_level = Some(match self.deepest_chain_level {
+            Some(prev) if prev >= level => prev,
+            _ => level,
+        });
+    }
+}
+
 /// Per-application-profile accounting (Figs. 9(c), 9(d), 15(c), 15(d)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileStats {
@@ -138,6 +188,10 @@ pub struct SimReport {
     /// algorithms).
     pub int_iterations_total: usize,
 
+    /// Degradation accounting: retries, quarantines, chain levels and
+    /// residual overload across the run's market clearings.
+    pub degradation: DegradationStats,
+
     /// Per-profile breakdown, keyed by application name.
     pub per_profile: BTreeMap<String, ProfileStats>,
 
@@ -241,6 +295,7 @@ mod tests {
             capacity_watts: 262_434.0,
             peak_watts: 301_800.0,
             int_iterations_total: 0,
+            degradation: DegradationStats::default(),
             per_profile: BTreeMap::new(),
             timeline: None,
             events: Vec::new(),
@@ -328,5 +383,27 @@ mod tests {
         let mut r = report();
         r.int_iterations_total = 40;
         assert!((r.int_iterations_avg() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_stats_watermark_and_flags() {
+        let mut d = DegradationStats::default();
+        assert!(!d.any_degradation());
+        assert_eq!(d.deepest_chain_level, None);
+
+        d.observe_chain_level(ChainLevel::Interactive);
+        assert_eq!(d.deepest_chain_level, Some(ChainLevel::Interactive));
+        // Clean interactive clearings alone are not degradation.
+        assert!(!d.any_degradation());
+
+        d.observe_chain_level(ChainLevel::EqlCapping);
+        assert_eq!(d.deepest_chain_level, Some(ChainLevel::EqlCapping));
+        // The watermark never recedes.
+        d.observe_chain_level(ChainLevel::StaticFallback);
+        assert_eq!(d.deepest_chain_level, Some(ChainLevel::EqlCapping));
+
+        d.participants_quarantined = 2;
+        d.static_fallbacks = 1;
+        assert!(d.any_degradation());
     }
 }
