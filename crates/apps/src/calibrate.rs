@@ -73,7 +73,7 @@ pub fn isotonic(ys: &[f64], weights: &[f64]) -> Vec<f64> {
     }
     let mut out = Vec::with_capacity(ys.len());
     for (mean, _, count) in blocks {
-        out.extend(std::iter::repeat(mean).take(count));
+        out.extend(std::iter::repeat_n(mean, count));
     }
     out
 }
@@ -112,10 +112,7 @@ pub fn profile_from_samples(
         return Err(CalibrationError::TooFewLevels);
     }
     let allocs: Vec<f64> = bins.values().map(|(a, _, _)| *a).collect();
-    let means: Vec<f64> = bins
-        .values()
-        .map(|(_, sum, n)| sum / *n as f64)
-        .collect();
+    let means: Vec<f64> = bins.values().map(|(_, sum, n)| sum / *n as f64).collect();
     let weights: Vec<f64> = bins.values().map(|(_, _, n)| *n as f64).collect();
     if allocs.last().copied().unwrap_or(0.0) < 0.999 {
         return Err(CalibrationError::MissingFullAllocation);
@@ -210,13 +207,8 @@ mod tests {
             CalibrationError::TooFewLevels
         );
         assert_eq!(
-            profile_from_samples(
-                "x",
-                DeviceKind::Cpu,
-                &[(0.3, 30.0), (0.6, 60.0)],
-                125.0
-            )
-            .unwrap_err(),
+            profile_from_samples("x", DeviceKind::Cpu, &[(0.3, 30.0), (0.6, 60.0)], 125.0)
+                .unwrap_err(),
             CalibrationError::MissingFullAllocation
         );
         // Non-finite and negative samples are ignored, not fatal.

@@ -159,7 +159,7 @@ mod tests {
         for i in 0..=100 {
             let x = f64::from(i) / 100.0;
             let y = c.eval(x);
-            assert!(y <= 1.0 + 1e-9 && y >= -1e-9, "overshoot {y} at {x}");
+            assert!((-1e-9..=1.0 + 1e-9).contains(&y), "overshoot {y} at {x}");
         }
     }
 

@@ -39,8 +39,7 @@ pub mod reference;
 
 pub use calibrate::{isotonic, profile_from_samples, CalibrationError};
 pub use catalog::{
-    cpu_profiles, cpu_profiles_smooth, gpu_profiles, profile_by_name, CPU_APP_NAMES,
-    GPU_APP_NAMES,
+    cpu_profiles, cpu_profiles_smooth, gpu_profiles, profile_by_name, CPU_APP_NAMES, GPU_APP_NAMES,
 };
 pub use interp::MonotoneCubic;
 pub use noise::NoisyCost;

@@ -297,7 +297,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_curves() {
         let mk = |pts: Vec<(f64, f64)>| AppProfile::new("t", DeviceKind::Cpu, pts, 125.0);
-        assert_eq!(mk(vec![(1.0, 1.0)]).unwrap_err(), ProfileError::TooFewPoints);
+        assert_eq!(
+            mk(vec![(1.0, 1.0)]).unwrap_err(),
+            ProfileError::TooFewPoints
+        );
         assert_eq!(
             mk(vec![(0.5, 0.5), (0.5, 1.0)]).unwrap_err(),
             ProfileError::UnsortedAllocations

@@ -66,13 +66,18 @@ mod tests {
             assert!(w[1].reduction > w[0].reduction);
         }
         // For C = 2δ², unit cost = 2δ: at δ = 0.5 price = 1.0.
-        let mid = pts.iter().find(|p| (p.reduction - 0.5).abs() < 1e-9).unwrap();
+        let mid = pts
+            .iter()
+            .find(|p| (p.reduction - 0.5).abs() < 1e-9)
+            .unwrap();
         assert!((mid.price - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn sensitive_apps_have_higher_references() {
-        let s = catalog::profile_by_name("SimpleMOC").unwrap().cost_model(1.0);
+        let s = catalog::profile_by_name("SimpleMOC")
+            .unwrap()
+            .cost_model(1.0);
         let r = catalog::profile_by_name("RSBench").unwrap().cost_model(1.0);
         let ps = bidding_reference(&s, 16);
         let pr = bidding_reference(&r, 16);

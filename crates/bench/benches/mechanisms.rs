@@ -20,7 +20,13 @@ fn bench_vcg(c: &mut Criterion) {
             .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| vcg::auction(std::hint::black_box(&opt_jobs), target, opt::OptMethod::Auto));
+            b.iter(|| {
+                vcg::auction(
+                    std::hint::black_box(&opt_jobs),
+                    target,
+                    opt::OptMethod::Auto,
+                )
+            });
         });
     }
     group.finish();

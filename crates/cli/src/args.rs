@@ -55,6 +55,18 @@ pub struct SimulateArgs {
     pub fault_stale: f64,
     /// Fraction of bidders that bid adversarially during MPR-INT clearings.
     pub fault_byzantine: f64,
+    /// Gaussian sensor noise as a fraction of the true reading (σ/P).
+    pub sensor_noise: f64,
+    /// Probability that a sensor poll returns no reading.
+    pub sensor_dropout: f64,
+    /// Sensor reporting delay in polls (stale readings).
+    pub sensor_stale: usize,
+    /// Checkpoint cadence in slots (0 disables checkpointing).
+    pub checkpoint_every: usize,
+    /// Checkpoint file path (required when `checkpoint_every > 0`).
+    pub checkpoint_path: Option<String>,
+    /// Resume the run from this checkpoint file instead of starting fresh.
+    pub resume_from: Option<String>,
     /// Emit CSV instead of a human-readable summary.
     pub csv: bool,
 }
@@ -102,6 +114,10 @@ USAGE:
                   [--oversub PCT] [--days N] [--seed N] [--participation F] [--csv]
                   [--fault-unresponsive F] [--fault-crash F]
                   [--fault-stale F] [--fault-byzantine F]   (MPR-INT fault injection)
+                  [--sensor-noise F] [--sensor-dropout F]
+                  [--sensor-stale POLLS]                    (telemetry fault injection)
+                  [--checkpoint-every SLOTS --checkpoint-path FILE]
+                  [--resume-from FILE]                      (crash-safe checkpointing)
     mpr market    [--jobs N] [--target-watts W] [--interactive]
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
@@ -181,6 +197,12 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         fault_crash: 0.0,
         fault_stale: 0.0,
         fault_byzantine: 0.0,
+        sensor_noise: 0.0,
+        sensor_dropout: 0.0,
+        sensor_stale: 0,
+        checkpoint_every: 0,
+        checkpoint_path: None,
+        resume_from: None,
         csv: false,
     };
     let mut it = rest.iter();
@@ -218,9 +240,33 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
             "--fault-byzantine" => {
                 out.fault_byzantine = parse_fraction(flag, take_value(flag, &mut it)?)?;
             }
+            "--sensor-noise" => {
+                out.sensor_noise = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--sensor-dropout" => {
+                out.sensor_dropout = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--sensor-stale" => out.sensor_stale = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--checkpoint-every" => {
+                out.checkpoint_every = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--checkpoint-path" => {
+                out.checkpoint_path = Some(take_value(flag, &mut it)?.to_owned());
+            }
+            "--resume-from" => out.resume_from = Some(take_value(flag, &mut it)?.to_owned()),
             "--csv" => out.csv = true,
             other => return Err(UsageError(format!("unknown flag `{other}`"))),
         }
+    }
+    if out.checkpoint_every > 0 && out.checkpoint_path.is_none() {
+        return Err(UsageError(
+            "--checkpoint-every needs --checkpoint-path FILE".into(),
+        ));
+    }
+    if out.checkpoint_every == 0 && out.checkpoint_path.is_some() {
+        return Err(UsageError(
+            "--checkpoint-path needs --checkpoint-every SLOTS".into(),
+        ));
     }
     Ok(out)
 }
@@ -340,6 +386,38 @@ mod tests {
         assert_eq!(a.fault_crash, 0.1);
         assert_eq!(a.fault_stale, 0.05);
         assert_eq!(a.fault_byzantine, 0.02);
+    }
+
+    #[test]
+    fn simulate_telemetry_and_checkpoint_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --sensor-noise 0.02 --sensor-dropout 0.3 --sensor-stale 2 \
+             --checkpoint-every 500 --checkpoint-path run.ckpt",
+        ))
+        .unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.sensor_noise, 0.02);
+        assert_eq!(a.sensor_dropout, 0.3);
+        assert_eq!(a.sensor_stale, 2);
+        assert_eq!(a.checkpoint_every, 500);
+        assert_eq!(a.checkpoint_path.as_deref(), Some("run.ckpt"));
+        assert_eq!(a.resume_from, None);
+
+        let Command::Simulate(b) = parse(&argv("simulate --resume-from run.ckpt")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(b.resume_from.as_deref(), Some("run.ckpt"));
+    }
+
+    #[test]
+    fn simulate_rejects_inconsistent_checkpoint_flags() {
+        assert!(parse(&argv("simulate --checkpoint-every 500")).is_err());
+        assert!(parse(&argv("simulate --checkpoint-path run.ckpt")).is_err());
+        assert!(parse(&argv("simulate --sensor-noise 1.5")).is_err());
+        assert!(parse(&argv("simulate --sensor-dropout -0.1")).is_err());
+        assert!(parse(&argv("simulate --sensor-stale often")).is_err());
+        assert!(parse(&argv("simulate --resume-from")).is_err());
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Command implementations for the `mpr` CLI.
 
 use std::io::Write;
+use std::path::Path;
 
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
     BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, Participant,
     ScaledCost, StaticMarket,
 };
+use mpr_power::telemetry::SensorFaultConfig;
 use mpr_proto::{Experiment, ExperimentConfig};
-use mpr_sim::{FaultPlan, SimConfig, Simulation};
+use mpr_sim::{CheckpointPlan, FaultPlan, SimConfig, Simulation, TelemetryConfig};
 use mpr_workload::TraceGenerator;
 
 use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
@@ -19,7 +21,10 @@ use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
 ///
 /// Returns [`crate::args::UsageError`] for unknown traces; I/O errors are propagated as
 /// boxed errors.
-pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+pub fn simulate(
+    args: &SimulateArgs,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     let spec = spec_by_name(&args.trace)?.with_span_days(args.days);
     let trace = TraceGenerator::new(spec).with_seed(args.seed).generate();
     let plan = FaultPlan {
@@ -35,17 +40,43 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn 
     if plan.is_active() {
         config = config.with_faults(plan);
     }
-    let r = Simulation::new(&trace, config).run();
+    let sensor = SensorFaultConfig {
+        noise_sigma_frac: args.sensor_noise,
+        dropout_prob: args.sensor_dropout,
+        delay_polls: args.sensor_stale,
+        ..SensorFaultConfig::default()
+    };
+    if sensor.is_active() {
+        config = config.with_telemetry(TelemetryConfig::with_faults(sensor));
+    }
+    let sim = Simulation::new(&trace, config);
+    let ckpt_plan = args
+        .checkpoint_path
+        .as_ref()
+        .map(|p| CheckpointPlan::every(p, args.checkpoint_every));
+    let r = match (&args.resume_from, &ckpt_plan) {
+        (Some(from), Some(ckpt_plan)) => sim
+            .resume_with_checkpoints(Path::new(from), ckpt_plan)?
+            .into_report()
+            .expect("no kill point configured"),
+        (Some(from), None) => sim.resume(Path::new(from))?,
+        (None, Some(ckpt_plan)) => sim
+            .run_with_checkpoints(ckpt_plan)?
+            .into_report()
+            .expect("no kill point configured"),
+        (None, None) => sim.run(),
+    };
     if args.csv {
         writeln!(
             out,
             "trace,algorithm,oversub_pct,days,jobs,overload_pct,overload_events,\
              reduction_core_hours,cost_core_hours,reward_core_hours,avg_runtime_increase_pct,\
-             jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_w"
+             jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_w,\
+             sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls"
         )?;
         writeln!(
             out,
-            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3}",
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{}",
             r.trace_name,
             r.algorithm,
             r.oversubscription_pct,
@@ -64,6 +95,9 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn 
                 .deepest_chain_level
                 .map_or_else(|| "none".to_owned(), |l| l.to_string()),
             r.degradation.residual_overload_watts,
+            r.telemetry.map_or(0, |h| h.samples_missed),
+            r.telemetry.map_or(0, |h| h.outliers_rejected),
+            r.telemetry.map_or(0, |h| h.stale_polls),
         )?;
     } else {
         writeln!(
@@ -115,6 +149,14 @@ pub fn simulate(args: &SimulateArgs, out: &mut dyn Write) -> Result<(), Box<dyn 
                 d.deepest_chain_level
                     .map_or_else(|| "none".to_owned(), |l| l.to_string()),
                 d.residual_overload_watts,
+            )?;
+        }
+        if let Some(h) = r.telemetry {
+            writeln!(
+                out,
+                "  telemetry:           {} samples delivered, {} missed, \
+                 {} outliers rejected, {} stale polls",
+                h.samples_delivered, h.samples_missed, h.outliers_rejected, h.stale_polls,
             )?;
         }
     }
@@ -231,9 +273,17 @@ pub fn calibrate(
         &samples,
         125.0,
     )?);
-    writeln!(out, "calibrated profile ({} levels):", profile.points().len())?;
+    writeln!(
+        out,
+        "calibrated profile ({} levels):",
+        profile.points().len()
+    )?;
     for &(alloc, perf) in profile.points() {
-        writeln!(out, "  allocation {alloc:.3} -> performance {:.1}%", 100.0 * perf)?;
+        writeln!(
+            out,
+            "  allocation {alloc:.3} -> performance {:.1}%",
+            100.0 * perf
+        )?;
     }
     let cost = profile.cost_model(1.0);
     let supply = StaticStrategy::Cooperative.supply_for(&cost)?;
@@ -331,7 +381,7 @@ pub fn prototype(with_mpr: bool, out: &mut dyn Write) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{Command, parse};
+    use crate::args::{parse, Command};
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -339,8 +389,7 @@ mod tests {
 
     #[test]
     fn simulate_csv_has_header_and_row() {
-        let Command::Simulate(a) =
-            parse(&argv("simulate --days 1 --oversub 10 --csv")).unwrap()
+        let Command::Simulate(a) = parse(&argv("simulate --days 1 --oversub 10 --csv")).unwrap()
         else {
             panic!()
         };
@@ -378,6 +427,69 @@ mod tests {
         simulate(&a, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("degradation:"));
+    }
+
+    #[test]
+    fn simulate_with_sensor_faults_reports_telemetry() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --days 1 --oversub 15 --sensor-noise 0.02 --sensor-dropout 0.3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("telemetry:"),
+            "missing telemetry line: {text}"
+        );
+    }
+
+    #[test]
+    fn simulate_checkpoint_then_resume_matches_plain_run() {
+        let path = std::env::temp_dir().join(format!("mpr_cli_{}.ckpt", std::process::id()));
+        let ckpt = path.to_str().unwrap();
+
+        let Command::Simulate(plain) = parse(&argv("simulate --days 1 --oversub 15")).unwrap()
+        else {
+            panic!()
+        };
+        let mut plain_buf = Vec::new();
+        simulate(&plain, &mut plain_buf).unwrap();
+
+        // A checkpointed run leaves a resumable file behind...
+        let Command::Simulate(a) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --checkpoint-every 300 --checkpoint-path {ckpt}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        assert_eq!(buf, plain_buf, "checkpointing must not perturb the run");
+        assert!(path.exists(), "checkpoint file must be written");
+
+        // ...and resuming from it reproduces the uninterrupted output.
+        let Command::Simulate(res) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --resume-from {ckpt}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut resumed = Vec::new();
+        simulate(&res, &mut resumed).unwrap();
+        assert_eq!(resumed, plain_buf, "resume must reproduce the full run");
+
+        // Resuming under a different config is refused, not silently wrong.
+        let Command::Simulate(bad) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 20 --resume-from {ckpt}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(simulate(&bad, &mut Vec::new()).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn evaluate<C: CostModel>(
     true_costs: &[C],
     watts_per_unit: &[f64],
 ) -> Result<Welfare, MarketError> {
-    if true_costs.len() != clearing.allocations().len()
-        || watts_per_unit.len() != true_costs.len()
+    if true_costs.len() != clearing.allocations().len() || watts_per_unit.len() != true_costs.len()
     {
         return Err(MarketError::InvalidParameter {
             name: "true_costs",

@@ -322,8 +322,7 @@ impl ConvergenceWatchdog {
         }
         let half = self.capacity / 2;
         let older: f64 = self.window[..half].iter().sum::<f64>() / half as f64;
-        let newer: f64 =
-            self.window[half..].iter().sum::<f64>() / (self.capacity - half) as f64;
+        let newer: f64 = self.window[half..].iter().sum::<f64>() / (self.capacity - half) as f64;
         newer >= 0.8 * older
     }
 }
@@ -991,10 +990,7 @@ mod tests {
         // Degenerate factors are sanitized.
         let mut id_byz = ByzantineAgent::new(rational(1, 1.0), f64::NAN, false, 3);
         let mut honest2 = rational(1, 1.0);
-        assert_eq!(
-            id_byz.respond(0.8).unwrap(),
-            honest2.respond(0.8).unwrap()
-        );
+        assert_eq!(id_byz.respond(0.8).unwrap(), honest2.respond(0.8).unwrap());
     }
 
     #[test]
@@ -1052,7 +1048,10 @@ mod tests {
         for _ in 0..6 {
             fired = w.observe(0.4);
         }
-        assert!(fired, "constant-amplitude oscillation must trip the watchdog");
+        assert!(
+            fired,
+            "constant-amplitude oscillation must trip the watchdog"
+        );
     }
 
     #[test]

@@ -290,10 +290,8 @@ mod tests {
 
     #[test]
     fn converges_on_quadratic_costs() {
-        let mut m = InteractiveMarket::new(
-            quad_agents(&[1.0, 2.0, 4.0]),
-            InteractiveConfig::default(),
-        );
+        let mut m =
+            InteractiveMarket::new(quad_agents(&[1.0, 2.0, 4.0]), InteractiveConfig::default());
         let out = m.clear(150.0).unwrap();
         assert!(out.converged, "price trace: {:?}", out.price_trace);
         assert!(out.clearing.met_target());

@@ -225,7 +225,9 @@ impl ClearingIndex {
         let k = lo + 1;
         let (a, b) = (self.prefix_a[k], self.prefix_b[k]);
         let price = if a > target_watts {
-            (b / (a - target_watts)).max(self.activations[lo]).max(PRICE_EPS)
+            (b / (a - target_watts))
+                .max(self.activations[lo])
+                .max(PRICE_EPS)
         } else if b == 0.0 {
             // Zero-bid segment: full supply at any price past activation.
             self.activations[lo].max(PRICE_EPS)
@@ -537,6 +539,90 @@ mod tests {
             let below = aggregate_power(&ps, sol.price * (1.0 - 1e-6));
             prop_assert!(below <= target * (1.0 + 1e-6),
                 "price not minimal: below={below} target={target}");
+        }
+
+        /// Feasible targets are met from above but not overshot: the
+        /// aggregate supply is continuous in the price, so bisection lands
+        /// within a tight band around the target.
+        #[test]
+        fn cleared_power_meets_target_within_tolerance(
+            bids in proptest::collection::vec((0.01f64..2.0, 0.01f64..1.0), 1..30),
+            frac in 0.05f64..0.95,
+        ) {
+            let ps: Vec<Participant> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
+                .collect();
+            let target = frac * attainable_power(&ps);
+            prop_assume!(target > 0.0);
+            let sol = solve(&ps, target).unwrap();
+            prop_assert!(
+                sol.power >= target * (1.0 - 1e-6),
+                "under-delivered: {} < {target}", sol.power
+            );
+            prop_assert!(
+                sol.power <= target * 1.01 + 1e-3,
+                "overshot the minimal clearing: {} vs {target}", sol.power
+            );
+        }
+
+        /// The clearing price and the cleared power are monotone in the
+        /// target: shedding more watts can never get cheaper.
+        #[test]
+        fn clearing_is_monotone_in_target(
+            bids in proptest::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..30),
+            frac_lo in 0.05f64..0.95,
+            frac_hi in 0.05f64..0.95,
+        ) {
+            let ps: Vec<Participant> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
+                .collect();
+            let attainable = attainable_power(&ps);
+            let (lo, hi) = if frac_lo <= frac_hi {
+                (frac_lo, frac_hi)
+            } else {
+                (frac_hi, frac_lo)
+            };
+            let (t_lo, t_hi) = (lo * attainable, hi * attainable);
+            prop_assume!(t_lo > 0.0);
+            let a = solve(&ps, t_lo).unwrap();
+            let b = solve(&ps, t_hi).unwrap();
+            prop_assert!(
+                a.price <= b.price * (1.0 + 1e-9) + 1e-9,
+                "price not monotone: {} @ {t_lo} vs {} @ {t_hi}", a.price, b.price
+            );
+            prop_assert!(
+                a.power <= b.power + 1e-6,
+                "power not monotone: {} vs {}", a.power, b.power
+            );
+        }
+
+        /// Best-effort clearing never pays above the price ceiling and,
+        /// for infeasible targets, extracts (essentially) every Δ.
+        #[test]
+        fn best_effort_is_bounded_by_the_ceiling(
+            bids in proptest::collection::vec((0.01f64..2.0, 0.0f64..1.0), 1..30),
+        ) {
+            let ps: Vec<Participant> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
+                .collect();
+            let attainable = attainable_power(&ps);
+            let max_activation = ps
+                .iter()
+                .filter_map(|p| p.supply.activation_price())
+                .fold(0.0f64, f64::max);
+            let ceiling = (1000.0 * max_activation).max(1.0);
+            let sol = clear_best_effort(&ps, attainable * 2.0);
+            prop_assert!(sol.price <= ceiling * (1.0 + 1e-12));
+            prop_assert!(
+                sol.power >= attainable * (1.0 - 2e-3),
+                "ceiling must extract ~all supply: {} of {attainable}", sol.power
+            );
         }
     }
 }

@@ -111,7 +111,12 @@ pub fn auction(
         let own_cost = job.cost_at(reduction);
         // Others' optimal cost when m does not exist.
         let mut others: Vec<OptJob<'_>> = Vec::with_capacity(jobs.len() - 1);
-        others.extend(jobs.iter().enumerate().filter(|(k, _)| *k != i).map(|(_, j)| *j));
+        others.extend(
+            jobs.iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i)
+                .map(|(_, j)| *j),
+        );
         let without = opt::solve(&others, target_watts, method)?;
         // Others' cost within the full optimum.
         let others_cost_in_full = full.total_cost - own_cost;
@@ -247,8 +252,7 @@ mod tests {
 
     #[test]
     fn symmetric_jobs_pay_symmetrically() {
-        let costs: Vec<QuadraticCost> =
-            (0..4).map(|_| QuadraticCost::new(2.0, 1.0)).collect();
+        let costs: Vec<QuadraticCost> = (0..4).map(|_| QuadraticCost::new(2.0, 1.0)).collect();
         let out = auction(&jobs(&costs), 300.0, OptMethod::Auto).unwrap();
         let p0 = out.awards[0].payment;
         for a in &out.awards {

@@ -5,9 +5,7 @@
 //! ill-conditioned (e.g. near-concave) cost models.
 
 use mpr_apps::cpu_profiles;
-use mpr_core::{
-    BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost,
-};
+use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {

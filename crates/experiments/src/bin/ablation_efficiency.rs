@@ -33,10 +33,7 @@ fn main() {
             let costs: Vec<ScaledCost<_>> = (0..n)
                 .map(|_| {
                     let p = &profiles[rng.gen_range(0..profiles.len())];
-                    ScaledCost::new(
-                        p.cost_model(1.0),
-                        f64::from(2u32.pow(rng.gen_range(0..6))),
-                    )
+                    ScaledCost::new(p.cost_model(1.0), f64::from(2u32.pow(rng.gen_range(0..6))))
                 })
                 .collect();
             let w: Vec<f64> = vec![125.0; costs.len()];

@@ -29,6 +29,7 @@ fn main() {
         "ext_phases",
         "ext_alpha",
         "ext_tco",
+        "ext_telemetry",
     ];
     let without: &[&str] = &[
         "fig2",

@@ -87,11 +87,17 @@ fn main() {
         ("market only", None),
         (
             "3-min bridge bank",
-            Some(UpsBattery::sized_for_bridge(Watts::new(OBLIGATION_W), 180.0)),
+            Some(UpsBattery::sized_for_bridge(
+                Watts::new(OBLIGATION_W),
+                180.0,
+            )),
         ),
         (
             "30-min storage bank",
-            Some(UpsBattery::sized_for_bridge(Watts::new(OBLIGATION_W), 1800.0)),
+            Some(UpsBattery::sized_for_bridge(
+                Watts::new(OBLIGATION_W),
+                1800.0,
+            )),
         ),
     ] {
         let d = serve_event(battery);

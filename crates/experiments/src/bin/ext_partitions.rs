@@ -12,9 +12,7 @@ use mpr_sim::{Algorithm, PartitionPolicy, PartitionedSimulation, SimConfig};
 fn main() {
     let days = arg_days(30.0);
     let trace = gaia_trace(days);
-    println!(
-        "Gaia, {days} days, MPR-STAT at 15% oversubscription, width-balanced partitioning"
-    );
+    println!("Gaia, {days} days, MPR-STAT at 15% oversubscription, width-balanced partitioning");
 
     let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8] {

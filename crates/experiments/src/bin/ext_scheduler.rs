@@ -18,14 +18,25 @@ fn main() {
     let submissions: Vec<SubmittedJob> = generated
         .jobs()
         .iter()
-        .map(|j| SubmittedJob::new(j.id, j.start_secs, j.runtime_secs, 1.5 * j.runtime_secs, j.cores))
+        .map(|j| {
+            SubmittedJob::new(
+                j.id,
+                j.start_secs,
+                j.runtime_secs,
+                1.5 * j.runtime_secs,
+                j.cores,
+            )
+        })
         .collect();
 
     // Schedule onto a constrained machine (75 % of the cores) so the
     // submission stream actually queues — the regime schedulers exist for.
     let machine_cores = (generated.total_cores() * 3) / 4;
     let mut rows = Vec::new();
-    for (name, policy) in [("FCFS", Policy::Fcfs), ("EASY backfill", Policy::EasyBackfill)] {
+    for (name, policy) in [
+        ("FCFS", Policy::Fcfs),
+        ("EASY backfill", Policy::EasyBackfill),
+    ] {
         let out = schedule(&submissions, machine_cores, policy);
         let report = run(&out.trace, Algorithm::MprStat, 15.0);
         rows.push(vec![

@@ -125,7 +125,13 @@ fn main() {
     }
     print_table(
         "Fig. 10(a): solution time (OPT/EQL/MPR-STAT in ms; MPR-INT in s incl. 500 ms/round comms)",
-        &["active jobs", "OPT (ms)", "EQL (ms)", "MPR-STAT (ms)", "MPR-INT (s)"],
+        &[
+            "active jobs",
+            "OPT (ms)",
+            "EQL (ms)",
+            "MPR-STAT (ms)",
+            "MPR-INT (s)",
+        ],
         &rows,
     );
     print_table(

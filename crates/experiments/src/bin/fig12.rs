@@ -16,15 +16,13 @@ fn main() {
         let mut cr = vec![alg.to_string()];
         let mut rr = vec![alg.to_string()];
         for &p in &participations {
-            let r = run_with(
-                &trace,
-                SimConfig::new(alg, 15.0).with_participation(p),
-            );
+            let r = run_with(&trace, SimConfig::new(alg, 15.0).with_participation(p));
             cr.push(fmt_thousands(r.cost_core_hours));
             rr.push(format!(
                 "{} ({}x gain)",
                 fmt_thousands(r.reward_core_hours),
-                r.gain_over_reward().map_or_else(|| "-".into(), |v| fmt(v, 0))
+                r.gain_over_reward()
+                    .map_or_else(|| "-".into(), |v| fmt(v, 0))
             ));
         }
         cost_rows.push(cr);

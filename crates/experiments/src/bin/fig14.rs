@@ -48,10 +48,7 @@ fn main() {
         let opt = run(&trace, Algorithm::Opt, 15.0).cost_core_hours;
         let int = run(&trace, Algorithm::MprInt, 15.0).cost_core_hours;
         if opt > 0.0 {
-            println!(
-                "MPR-INT / OPT cost ratio at 15%: {}",
-                fmt(int / opt, 2)
-            );
+            println!("MPR-INT / OPT cost ratio at 15%: {}", fmt(int / opt, 2));
         }
     }
 }

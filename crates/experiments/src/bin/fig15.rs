@@ -18,11 +18,7 @@ fn main() {
         .iter()
         .map(|&a| {
             let mut row = vec![fmt(a, 1)];
-            row.extend(
-                profiles
-                    .iter()
-                    .map(|p| fmt(100.0 * p.performance(a), 0)),
-            );
+            row.extend(profiles.iter().map(|p| fmt(100.0 * p.performance(a), 0)));
             row
         })
         .collect();

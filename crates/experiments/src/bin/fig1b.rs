@@ -25,11 +25,7 @@ fn main() {
         let trace = TraceGenerator::new(spec).generate();
         let series = trace.allocation_series(600.0);
         names.push(trace.name().to_owned());
-        cdfs.push(utilization_cdf(
-            &series,
-            f64::from(trace.total_cores()),
-            20,
-        ));
+        cdfs.push(utilization_cdf(&series, f64::from(trace.total_cores()), 20));
         let mix = mpr_workload::JobMix::of(trace.jobs(), trace.span_secs());
         println!(
             "{}: {} jobs, {} cores, mean utilization {:.2}, median width {:.0} cores, \

@@ -67,7 +67,12 @@ fn main() {
         .iter()
         .map(|&q| {
             let r = best_response(&cost, q).unwrap();
-            vec![fmt(q, 2), fmt(r.delta, 3), fmt(r.bid, 4), fmt(r.net_gain, 4)]
+            vec![
+                fmt(q, 2),
+                fmt(r.delta, 3),
+                fmt(r.bid, 4),
+                fmt(r.net_gain, 4),
+            ]
         })
         .collect();
     print_table(

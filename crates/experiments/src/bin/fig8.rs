@@ -27,10 +27,7 @@ fn main() {
         for &pct in &levels {
             let r = run(&trace, alg, pct);
             r1.push(fmt(r.overload_time_pct(), 2));
-            r2.push(fmt(
-                r.overload_slots as f64 * 60.0 / 3600.0,
-                1,
-            ));
+            r2.push(fmt(r.overload_slots as f64 * 60.0 / 3600.0, 1));
             r3.push(fmt(r.jobs_affected_pct(), 1));
             r4.push(fmt_thousands(r.reduction_core_hours));
         }

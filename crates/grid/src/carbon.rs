@@ -63,7 +63,10 @@ impl CarbonIntensitySignal {
     #[must_use]
     pub fn daily_mean(&self) -> f64 {
         let n = 1440;
-        (0..n).map(|i| self.intensity(f64::from(i) * 60.0)).sum::<f64>() / f64::from(n)
+        (0..n)
+            .map(|i| self.intensity(f64::from(i) * 60.0))
+            .sum::<f64>()
+            / f64::from(n)
     }
 
     /// The threshold above which the grid is considered "dirty": the mean

@@ -54,8 +54,16 @@ impl CarbonCap {
     ///
     /// Panics if `derate_frac` is outside `[0, 1]`.
     #[must_use]
-    pub fn new(base: Watts, signal: CarbonIntensitySignal, threshold: f64, derate_frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&derate_frac), "derate must be in [0,1]");
+    pub fn new(
+        base: Watts,
+        signal: CarbonIntensitySignal,
+        threshold: f64,
+        derate_frac: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&derate_frac),
+            "derate must be in [0,1]"
+        );
         Self {
             base,
             signal,
@@ -154,12 +162,7 @@ mod tests {
     #[test]
     fn carbon_cap_derates_dirty_hours() {
         let signal = CarbonIntensitySignal::typical();
-        let p = CarbonCap::new(
-            Watts::new(1000.0),
-            signal,
-            signal.dirty_threshold(),
-            0.15,
-        );
+        let p = CarbonCap::new(Watts::new(1000.0), signal, signal.dirty_threshold(), 0.15);
         // Evening peak is dirty, midday solar window is clean.
         let evening = 19.5 * 3600.0;
         let noon = 12.5 * 3600.0;

@@ -159,7 +159,10 @@ mod tests {
             t += dt;
             assert!(t < expected * 2.0, "breaker never tripped");
         }
-        assert!((t - expected).abs() <= 2.0 * dt, "t={t} expected={expected}");
+        assert!(
+            (t - expected).abs() <= 2.0 * dt,
+            "t={t} expected={expected}"
+        );
         assert!(b.is_tripped());
     }
 

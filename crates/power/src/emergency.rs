@@ -123,6 +123,23 @@ pub struct EmergencyController {
     active_target: Watts,
 }
 
+/// A full snapshot of an [`EmergencyController`]: everything needed to
+/// recreate the controller mid-emergency, bit-for-bit, after a crash
+/// (see `mpr-sim`'s checkpoint subsystem).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerState {
+    /// Controller configuration (including any mid-run capacity updates).
+    pub config: EmergencyConfig,
+    /// Current phase.
+    pub phase: EmergencyPhase,
+    /// When the pending (pre-declaration) overload began, if any.
+    pub overload_since: Option<f64>,
+    /// When the in-force emergency was declared or last escalated.
+    pub emergency_started: Option<f64>,
+    /// Cumulative reduction currently imposed, watts.
+    pub active_target: Watts,
+}
+
 impl EmergencyController {
     /// Creates a controller in the normal phase.
     #[must_use]
@@ -152,6 +169,31 @@ impl EmergencyController {
     #[must_use]
     pub fn config(&self) -> &EmergencyConfig {
         &self.config
+    }
+
+    /// Snapshots the controller's full state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> ControllerState {
+        ControllerState {
+            config: self.config,
+            phase: self.phase,
+            overload_since: self.overload_since,
+            emergency_started: self.emergency_started,
+            active_target: self.active_target,
+        }
+    }
+
+    /// Recreates a controller from a snapshot taken with
+    /// [`state`](Self::state).
+    #[must_use]
+    pub fn from_state(state: ControllerState) -> Self {
+        Self {
+            config: state.config,
+            phase: state.phase,
+            overload_since: state.overload_since,
+            emergency_started: state.emergency_started,
+            active_target: state.active_target,
+        }
     }
 
     /// Updates the controller's capacity mid-run (demand-response events,
@@ -286,7 +328,7 @@ mod tests {
     fn lift_requires_cooldown_and_headroom() {
         let mut c = controller();
         c.step(0.0, Watts::new(1100.0)); // declare, target 110 W
-        // Power drops after reduction; before cool-down nothing happens.
+                                         // Power drops after reduction; before cool-down nothing happens.
         assert_eq!(c.step(60.0, Watts::new(850.0)), EmergencyAction::None);
         // After cool-down: headroom 990 − 850 = 140 ≥ 110 → lift.
         assert_eq!(c.step(601.0, Watts::new(850.0)), EmergencyAction::Lift);
@@ -326,7 +368,7 @@ mod tests {
     fn recorded_delivery_governs_lift() {
         let mut c = controller();
         c.step(0.0, Watts::new(1100.0)); // requested target 110 W
-        // The market could only shed 40 W.
+                                         // The market could only shed 40 W.
         c.record_delivered(Watts::new(40.0));
         assert!((c.active_target().get() - 40.0).abs() < 1e-9);
         // Headroom 990 − 940 = 50 ≥ 40 → lift after cool-down.
@@ -370,8 +412,8 @@ mod tests {
     fn overload_persisting_through_cooldown_escalates_not_lifts() {
         let mut c = controller();
         c.step(0.0, Watts::new(1100.0)); // declare
-        // Past the cool-down but power is above capacity again: must
-        // escalate, never lift.
+                                         // Past the cool-down but power is above capacity again: must
+                                         // escalate, never lift.
         match c.step(700.0, Watts::new(1050.0)) {
             EmergencyAction::Escalate { target } => {
                 assert!((target.get() - (1050.0 - 990.0)).abs() < 1e-9);
@@ -419,6 +461,28 @@ mod tests {
         let mut c = controller();
         c.record_delivered(Watts::new(40.0));
         assert_eq!(c.active_target(), Watts::ZERO);
+    }
+
+    #[test]
+    fn state_round_trips_mid_emergency() {
+        let mut c = controller();
+        c.step(0.0, Watts::new(1100.0)); // declare
+        c.step(120.0, Watts::new(1050.0)); // escalate
+        c.mark_degraded();
+        let snapshot = c.state();
+        let mut restored = EmergencyController::from_state(snapshot);
+        assert_eq!(restored, c);
+        // Both controllers must evolve identically from here on.
+        for (i, p) in [800.0, 850.0, 800.0, 700.0, 650.0].iter().enumerate() {
+            let t = 180.0 + i as f64 * 300.0;
+            assert_eq!(
+                c.step(t, Watts::new(*p)),
+                restored.step(t, Watts::new(*p)),
+                "divergence at t={t}"
+            );
+        }
+        assert_eq!(restored.phase(), c.phase());
+        assert_eq!(restored.active_target(), c.active_target());
     }
 
     mod properties {

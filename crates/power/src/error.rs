@@ -1,0 +1,54 @@
+//! Typed validation errors for the power substrate.
+
+use std::fmt;
+
+/// A rejected numeric parameter: the offending value plus the constraint
+/// it violated. Mirrors `mpr_core::MarketError::InvalidParameter` so
+/// callers handle both sides of the stack uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A constructor argument was out of range.
+    InvalidParameter {
+        /// Human-readable parameter name (e.g. `"oversubscription percent"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The constraint the value violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid {name}: {value} ({constraint})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter_and_constraint() {
+        let e = PowerError::InvalidParameter {
+            name: "static power",
+            value: -1.0,
+            constraint: "must be finite and non-negative",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("static power"));
+        assert!(msg.contains("-1"));
+        assert!(msg.contains("finite and non-negative"));
+    }
+}

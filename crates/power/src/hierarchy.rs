@@ -73,7 +73,13 @@ struct Node {
     kind: LevelKind,
     capacity: Watts,
     parent: Option<usize>,
+    /// Leaf load attached directly to this node (racks only).
     load: Watts,
+    /// Cached aggregate: this node's leaf load plus everything below it.
+    /// Maintained eagerly by [`PowerHierarchy::set_load`], which walks the
+    /// ancestor chain — so queries at *every* level are O(1) and a single
+    /// rack update is O(depth) instead of recomputing the whole tree.
+    aggregate: Watts,
 }
 
 /// A report of one overloaded level.
@@ -131,6 +137,7 @@ impl PowerHierarchy {
             capacity,
             parent: None,
             load: Watts::ZERO,
+            aggregate: Watts::ZERO,
         });
         self.nodes.len() - 1
     }
@@ -170,11 +177,14 @@ impl PowerHierarchy {
             capacity,
             parent: Some(parent),
             load: Watts::ZERO,
+            aggregate: Watts::ZERO,
         });
         Ok(self.nodes.len() - 1)
     }
 
-    /// Sets the leaf load of a rack.
+    /// Sets the leaf load of a rack and propagates the change up through
+    /// *all* ancestor levels (PDU, UPS, ATS), so every level's aggregate is
+    /// current the moment this returns.
     ///
     /// # Errors
     ///
@@ -187,49 +197,39 @@ impl PowerHierarchy {
         if node.kind != LevelKind::Rack {
             return Err(HierarchyError::NotARack(rack));
         }
+        let delta = load.get() - node.load.get();
         node.load = load;
+        let mut cursor = Some(rack);
+        while let Some(id) = cursor {
+            let n = &mut self.nodes[id];
+            n.aggregate = Watts::new(n.aggregate.get() + delta);
+            cursor = n.parent;
+        }
         Ok(())
     }
 
     /// Aggregate load seen by a node: its own leaf load plus everything
-    /// below it.
+    /// below it. O(1) — aggregates are maintained on every `set_load`.
     #[must_use]
     pub fn load_at(&self, id: usize) -> Watts {
-        let mut total = Watts::ZERO;
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.kind == LevelKind::Rack && self.is_ancestor_or_self(id, i) {
-                total += n.load;
-            }
-        }
-        total
-    }
-
-    fn is_ancestor_or_self(&self, ancestor: usize, mut node: usize) -> bool {
-        loop {
-            if node == ancestor {
-                return true;
-            }
-            match self.nodes[node].parent {
-                Some(p) => node = p,
-                None => return false,
-            }
-        }
+        self.nodes.get(id).map_or(Watts::ZERO, |n| n.aggregate)
     }
 
     /// All nodes whose aggregate load exceeds their capacity, ordered by id.
+    /// Simultaneous overloads at nested levels (e.g. a rack *and* its UPS)
+    /// are all reported.
     #[must_use]
     pub fn overloaded(&self) -> Vec<OverloadedNode> {
-        (0..self.nodes.len())
-            .filter_map(|id| {
-                let load = self.load_at(id);
-                let n = &self.nodes[id];
-                (load > n.capacity).then(|| OverloadedNode {
-                    id,
-                    name: n.name.clone(),
-                    kind: n.kind,
-                    load,
-                    capacity: n.capacity,
-                })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.aggregate > n.capacity)
+            .map(|(id, n)| OverloadedNode {
+                id,
+                name: n.name.clone(),
+                kind: n.kind,
+                load: n.aggregate,
+                capacity: n.capacity,
             })
             .collect()
     }
@@ -317,6 +317,69 @@ mod tests {
         assert!(kinds.contains(&LevelKind::Pdu));
         assert!(kinds.contains(&LevelKind::Ups));
         assert!(kinds.contains(&LevelKind::Rack));
+    }
+
+    #[test]
+    fn nested_rack_and_ups_simultaneous_overloads() {
+        // A rack whose own capacity binds *and* a UPS two levels up whose
+        // aggregate binds: both must be reported at once, with correct
+        // per-level aggregates.
+        let mut h = PowerHierarchy::new();
+        let ats = h.add_root("ats", LevelKind::Ats, Watts::new(1e6));
+        let ups = h
+            .add_child("ups", LevelKind::Ups, Watts::new(4000.0), ats)
+            .unwrap();
+        let pdu1 = h
+            .add_child("pdu1", LevelKind::Pdu, Watts::new(10_000.0), ups)
+            .unwrap();
+        let pdu2 = h
+            .add_child("pdu2", LevelKind::Pdu, Watts::new(10_000.0), ups)
+            .unwrap();
+        let r1 = h
+            .add_child("r1", LevelKind::Rack, Watts::new(2000.0), pdu1)
+            .unwrap();
+        let r2 = h
+            .add_child("r2", LevelKind::Rack, Watts::new(5000.0), pdu2)
+            .unwrap();
+        h.set_load(r1, Watts::new(2500.0)).unwrap(); // rack overloaded
+        h.set_load(r2, Watts::new(2000.0)).unwrap(); // within rack capacity
+        let over = h.overloaded();
+        let ids: Vec<usize> = over.iter().map(|o| o.id).collect();
+        assert_eq!(
+            ids,
+            vec![ups, r1],
+            "UPS (4500 > 4000) and rack r1 (2500 > 2000)"
+        );
+        let ups_over = &over[0];
+        assert_eq!(ups_over.kind, LevelKind::Ups);
+        assert_eq!(ups_over.load, Watts::new(4500.0));
+        let rack_over = &over[1];
+        assert_eq!(rack_over.kind, LevelKind::Rack);
+        assert_eq!(rack_over.load, Watts::new(2500.0));
+        // The PDUs in between have headroom and are not reported.
+        assert_eq!(h.load_at(pdu1), Watts::new(2500.0));
+        assert_eq!(h.load_at(pdu2), Watts::new(2000.0));
+        assert_eq!(h.load_at(ats), Watts::new(4500.0));
+    }
+
+    #[test]
+    fn repeated_set_load_keeps_ancestor_aggregates_exact() {
+        // Updates replace (not accumulate) the rack's load; every ancestor
+        // level must track the delta exactly through many updates.
+        let (mut h, ups, rack) = PowerHierarchy::single_ups(Watts::new(1000.0));
+        for w in [500.0, 1200.0, 0.0, 800.0, 800.0, 350.0] {
+            h.set_load(rack, Watts::new(w)).unwrap();
+            assert_eq!(h.load_at(rack), Watts::new(w));
+            assert_eq!(h.load_at(ups), Watts::new(w));
+            assert_eq!(h.load_at(0), Watts::new(w), "root tracks every update");
+        }
+        assert!(h.overloaded().is_empty());
+    }
+
+    #[test]
+    fn load_at_unknown_node_is_zero() {
+        let (h, _, _) = PowerHierarchy::single_ups(Watts::new(1000.0));
+        assert_eq!(h.load_at(99), Watts::ZERO);
     }
 
     #[test]

@@ -16,25 +16,38 @@
 //!   of minutes to trip a breaker (Section I);
 //! * [`EmergencyController`] — the detect / reduce / cool-down / resume
 //!   state machine of Section III-E, with the paper's 1 % reduction buffer
-//!   and 10-minute cool-down.
+//!   and 10-minute cool-down;
+//! * [`telemetry`] — sensor-fault-tolerant power measurement: seeded
+//!   fault adapters (noise, dropout, stuck, delay, spikes) over true
+//!   power, and the [`RobustEstimator`] whose conservative upper bound —
+//!   not raw power — should drive the emergency controller.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod breaker;
 pub mod emergency;
+pub mod error;
 pub mod hierarchy;
 pub mod model;
 pub mod oversubscription;
 pub mod policy;
+pub mod telemetry;
 pub mod thermal;
 pub mod ups;
 
 pub use breaker::{BreakerState, TripCurve};
-pub use emergency::{EmergencyAction, EmergencyConfig, EmergencyController, EmergencyPhase};
+pub use emergency::{
+    ControllerState, EmergencyAction, EmergencyConfig, EmergencyController, EmergencyPhase,
+};
+pub use error::PowerError;
 pub use hierarchy::{HierarchyError, LevelKind, PowerHierarchy};
 pub use model::PowerModel;
 pub use oversubscription::Oversubscription;
 pub use policy::{CapacityPolicy, FixedCapacity};
+pub use telemetry::{
+    EstimatorConfig, FaultySensor, PowerEstimate, PowerSensor, RobustEstimator, SensorFaultConfig,
+    SensorReading, TelemetryHealth, TrueSensor,
+};
 pub use thermal::{RoomState, ThermalModel};
 pub use ups::UpsBattery;

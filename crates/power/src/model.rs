@@ -8,6 +8,8 @@
 
 use mpr_core::Watts;
 
+use crate::error::PowerError;
+
 /// Per-core power coefficients.
 ///
 /// The paper's Gaia evaluation uses 25 W static + 125 W dynamic per core,
@@ -31,21 +33,42 @@ impl PowerModel {
     ///
     /// # Panics
     ///
-    /// Panics if either coefficient is negative or non-finite.
+    /// Panics if either coefficient is negative or non-finite; use
+    /// [`try_new`](Self::try_new) to validate untrusted input.
     #[must_use]
     pub fn new(static_w_per_core: f64, dynamic_w_per_core: f64) -> Self {
-        assert!(
-            static_w_per_core.is_finite() && static_w_per_core >= 0.0,
-            "static power must be finite and non-negative"
-        );
-        assert!(
-            dynamic_w_per_core.is_finite() && dynamic_w_per_core >= 0.0,
-            "dynamic power must be finite and non-negative"
-        );
-        Self {
+        match Self::try_new(static_w_per_core, dynamic_w_per_core) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a power model, rejecting negative or non-finite
+    /// coefficients with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] naming the offending
+    /// coefficient.
+    pub fn try_new(static_w_per_core: f64, dynamic_w_per_core: f64) -> Result<Self, PowerError> {
+        if !(static_w_per_core.is_finite() && static_w_per_core >= 0.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "static power",
+                value: static_w_per_core,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        if !(dynamic_w_per_core.is_finite() && dynamic_w_per_core >= 0.0) {
+            return Err(PowerError::InvalidParameter {
+                name: "dynamic power",
+                value: dynamic_w_per_core,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        Ok(Self {
             static_w_per_core,
             dynamic_w_per_core,
-        }
+        })
     }
 
     /// The paper's model: 25 W static + 125 W dynamic per core.
@@ -148,6 +171,26 @@ mod tests {
     #[should_panic(expected = "static power")]
     fn negative_static_panics() {
         let _ = PowerModel::new(-1.0, 125.0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::error::PowerError;
+        assert_eq!(
+            PowerModel::try_new(25.0, 125.0).unwrap(),
+            PowerModel::paper()
+        );
+        match PowerModel::try_new(f64::NAN, 125.0) {
+            Err(PowerError::InvalidParameter { name, .. }) => assert_eq!(name, "static power"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+        match PowerModel::try_new(25.0, -0.5) {
+            Err(PowerError::InvalidParameter { name, value, .. }) => {
+                assert_eq!(name, "dynamic power");
+                assert_eq!(value, -0.5);
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use mpr_core::Watts;
 
+use crate::error::PowerError;
+
 /// An oversubscription level, e.g. 10 %, 15 %, 20 % (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Oversubscription {
@@ -18,14 +20,33 @@ impl Oversubscription {
     ///
     /// # Panics
     ///
-    /// Panics on negative or non-finite percentages.
+    /// Panics on negative or non-finite percentages; use
+    /// [`try_percent`](Self::try_percent) to validate untrusted input.
     #[must_use]
     pub fn percent(percent: f64) -> Self {
-        assert!(
-            percent.is_finite() && percent >= 0.0,
-            "oversubscription percent must be finite and non-negative, got {percent}"
-        );
-        Self { percent }
+        match Self::try_percent(percent) {
+            Ok(os) => os,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a level from a percentage, rejecting negative or non-finite
+    /// values with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] when `percent` is negative
+    /// or non-finite.
+    pub fn try_percent(percent: f64) -> Result<Self, PowerError> {
+        if percent.is_finite() && percent >= 0.0 {
+            Ok(Self { percent })
+        } else {
+            Err(PowerError::InvalidParameter {
+                name: "oversubscription percent",
+                value: percent,
+                constraint: "must be finite and non-negative",
+            })
+        }
     }
 
     /// The level as a percentage.
@@ -124,6 +145,23 @@ mod tests {
     #[should_panic(expected = "oversubscription percent")]
     fn negative_percent_panics() {
         let _ = Oversubscription::percent(-5.0);
+    }
+
+    #[test]
+    fn try_percent_returns_typed_errors() {
+        use crate::error::PowerError;
+        assert_eq!(
+            Oversubscription::try_percent(15.0).unwrap().as_percent(),
+            15.0
+        );
+        for bad in [-5.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match Oversubscription::try_percent(bad) {
+                Err(PowerError::InvalidParameter { name, .. }) => {
+                    assert_eq!(name, "oversubscription percent");
+                }
+                other => panic!("expected InvalidParameter for {bad}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -152,9 +152,8 @@ impl Experiment {
             // Measured power: static + per-app dynamic with phase noise.
             let mut power = STATIC_POWER_W;
             for (i, app) in self.apps.iter().enumerate() {
-                let wobble = 1.0
-                    + 0.02 * (t / 90.0 + i as f64).sin()
-                    + 0.01 * rng.gen_range(-1.0..1.0);
+                let wobble =
+                    1.0 + 0.02 * (t / 90.0 + i as f64).sin() + 0.01 * rng.gen_range(-1.0..1.0);
                 power += app.dynamic_power_w(freqs[i]) * wobble;
             }
             samples.push(Sample {

@@ -30,7 +30,13 @@ impl SubmittedJob {
     ///
     /// Panics if the runtime is not positive or `cores` is zero.
     #[must_use]
-    pub fn new(id: u64, submit_secs: f64, runtime_secs: f64, estimate_secs: f64, cores: u32) -> Self {
+    pub fn new(
+        id: u64,
+        submit_secs: f64,
+        runtime_secs: f64,
+        estimate_secs: f64,
+        cores: u32,
+    ) -> Self {
         assert!(runtime_secs > 0.0, "runtime must be positive");
         assert!(cores > 0, "cores must be positive");
         Self {
@@ -155,24 +161,22 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
         }
 
         // Start jobs per policy.
-        let mut start_job = |idx: usize,
-                             free: &mut u32,
-                             running: &mut Vec<Running>,
-                             is_backfill: bool| {
-            let j = &jobs[idx];
-            *free -= j.cores;
-            running.push(Running {
-                end_actual: now + j.runtime_secs,
-                end_estimate: now + j.estimate_secs,
-                cores: j.cores,
-            });
-            starts[idx] = now;
-            started[idx] = true;
-            makespan = makespan.max(now + j.runtime_secs);
-            if is_backfill {
-                backfilled += 1;
-            }
-        };
+        let mut start_job =
+            |idx: usize, free: &mut u32, running: &mut Vec<Running>, is_backfill: bool| {
+                let j = &jobs[idx];
+                *free -= j.cores;
+                running.push(Running {
+                    end_actual: now + j.runtime_secs,
+                    end_estimate: now + j.estimate_secs,
+                    cores: j.cores,
+                });
+                starts[idx] = now;
+                started[idx] = true;
+                makespan = makespan.max(now + j.runtime_secs);
+                if is_backfill {
+                    backfilled += 1;
+                }
+            };
 
         // FCFS phase: start from the head while it fits.
         while let Some(&head) = queue.front() {
@@ -382,7 +386,11 @@ mod tests {
         ];
         let easy = schedule(&jobs, 10, Policy::EasyBackfill);
         assert_eq!(start_of(&easy, 2), 100.0, "head on time");
-        assert_eq!(start_of(&easy, 3), 100.0, "spare-core backfill at shadow release");
+        assert_eq!(
+            start_of(&easy, 3),
+            100.0,
+            "spare-core backfill at shadow release"
+        );
     }
 
     #[test]

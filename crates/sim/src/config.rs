@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use mpr_apps::AppProfile;
+use mpr_power::telemetry::{EstimatorConfig, SensorFaultConfig};
 use mpr_power::{CapacityPolicy, PowerModel};
 
 /// The overload-handling algorithm under evaluation (Section IV-A,
@@ -133,6 +134,34 @@ impl FaultPlan {
     }
 }
 
+/// Telemetry pipeline configuration: a sensor fault mix layered over the
+/// true power, and the robust estimator that digests the faulty feed.
+///
+/// When installed, the emergency controller is driven by the estimator's
+/// conservative **upper bound** instead of true power — the simulation
+/// then studies the reactive loop under realistic measurement error. The
+/// sensor's fault processes are seeded from the simulation seed, so runs
+/// reproduce bit-for-bit. `None` (the default) keeps the paper's ideal
+/// measurement assumption and the engine's historical behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetryConfig {
+    /// The sensor fault mix (noise, dropout, stuck, delay, spikes).
+    pub sensor: SensorFaultConfig,
+    /// Robust-estimator tuning (window, EWMA, outlier gate, margins).
+    pub estimator: EstimatorConfig,
+}
+
+impl TelemetryConfig {
+    /// A pipeline with the given fault mix and default estimator tuning.
+    #[must_use]
+    pub fn with_faults(sensor: SensorFaultConfig) -> Self {
+        Self {
+            sensor,
+            ..Self::default()
+        }
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -187,6 +216,9 @@ pub struct SimConfig {
     /// disables injection). MPR-INT runs its resilient degradation chain
     /// when a plan is active.
     pub fault_plan: Option<FaultPlan>,
+    /// Sensor-fault telemetry pipeline (`None` reads true power directly,
+    /// the paper's idealized setting).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -203,6 +235,7 @@ impl std::fmt::Debug for SimConfig {
             .field("capacity_policy", &self.capacity_policy.is_some())
             .field("record_timeline", &self.record_timeline)
             .field("fault_plan", &self.fault_plan)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -234,6 +267,7 @@ impl SimConfig {
             phase_amplitude: 0.0,
             phase_period_secs: 1800.0,
             fault_plan: None,
+            telemetry: None,
         }
     }
 
@@ -299,6 +333,13 @@ impl SimConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Installs a sensor-fault telemetry pipeline (see [`TelemetryConfig`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +391,21 @@ mod tests {
         let c = SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan);
         assert_eq!(c.fault_plan, Some(plan));
         assert!(SimConfig::new(Algorithm::MprInt, 15.0).fault_plan.is_none());
+    }
+
+    #[test]
+    fn telemetry_builder() {
+        assert!(SimConfig::new(Algorithm::MprStat, 15.0).telemetry.is_none());
+        let sensor = SensorFaultConfig {
+            noise_sigma_frac: 0.05,
+            dropout_prob: 0.2,
+            ..SensorFaultConfig::default()
+        };
+        let c = SimConfig::new(Algorithm::MprStat, 15.0)
+            .with_telemetry(TelemetryConfig::with_faults(sensor));
+        let tel = c.telemetry.expect("telemetry installed");
+        assert_eq!(tel.sensor, sensor);
+        assert_eq!(tel.estimator, EstimatorConfig::default());
     }
 
     #[test]

@@ -1,6 +1,17 @@
 //! The slot-driven simulation engine (Section IV-A, "Job simulation").
+//!
+//! The run loop is factored into an explicit [`EngineState`] advanced one
+//! slot at a time, so the engine supports three execution modes over the
+//! same per-slot code path: a plain [`run`](Simulation::run), a
+//! checkpointed run
+//! ([`run_with_checkpoints`](Simulation::run_with_checkpoints)) that
+//! atomically persists the full state on a cadence (and can simulate a
+//! crash at an injected kill point), and a
+//! [`resume`](Simulation::resume) that restores a checkpoint and
+//! continues to a `SimReport` bit-identical to the uninterrupted run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
 use std::sync::Arc;
 
 use mpr_apps::{AppProfile, NoisyCost, ProfileCost};
@@ -12,41 +23,55 @@ use mpr_core::{
     ResilientInteractiveMarket, ScaledCost, StaleAgent, StaticMarket, SupplyFunction,
     UnresponsiveAgent, Watts,
 };
+use mpr_power::telemetry::{FaultySensor, PowerSensor, RobustEstimator};
 use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController, Oversubscription};
 use mpr_workload::Trace;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::checkpoint::{self, CheckpointError, CheckpointPlan, RunOutcome};
 use crate::config::{Algorithm, CostNoise, FaultPlan, SimConfig};
-use crate::report::{DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport};
+use crate::report::{
+    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport,
+};
+
+/// Stream separator for the sensor fault RNG, so telemetry faults never
+/// share draws with profile assignment or the job stream.
+const SENSOR_SEED_XOR: u64 = 0x7e1e_6e74_0bad_5eed;
 
 /// A job currently executing in the simulated system.
-struct ActiveJob {
+pub(crate) struct ActiveJob {
     /// Index into the trace's job list (doubles as market id).
-    idx: usize,
-    cores: f64,
-    profile: Arc<AppProfile>,
+    pub(crate) idx: usize,
+    pub(crate) cores: f64,
+    pub(crate) profile: Arc<AppProfile>,
     /// Remaining work in full-speed seconds.
-    remaining_secs: f64,
-    nominal_secs: f64,
-    exec_started_secs: f64,
+    pub(crate) remaining_secs: f64,
+    pub(crate) nominal_secs: f64,
+    pub(crate) exec_started_secs: f64,
     /// Current job-level resource reduction, cores.
-    reduction: f64,
+    pub(crate) reduction: f64,
     /// Reward price attached to the current reduction (market algorithms).
-    price: f64,
-    participates: bool,
+    pub(crate) price: f64,
+    pub(crate) participates: bool,
+    /// The job's drawn cost coefficient. Stored so a checkpoint can
+    /// rebuild the cost-model stack without consuming RNG.
+    pub(crate) alpha: f64,
+    /// The job's drawn cost-perception factor (see `NoisyCost`). Stored
+    /// for the same reason as `alpha`.
+    pub(crate) noise_factor: f64,
     /// The cost model the user bids from (possibly noisy), job-scaled.
-    perceived: ScaledCost<NoisyCost<ProfileCost>>,
+    pub(crate) perceived: ScaledCost<NoisyCost<ProfileCost>>,
     /// Ground-truth cost model for accounting, job-scaled.
-    true_cost: ScaledCost<ProfileCost>,
+    pub(crate) true_cost: ScaledCost<ProfileCost>,
     /// Pre-computed cooperative supply for MPR-STAT. `None` when no valid
     /// submission-time bid could be constructed (pathological cost model):
     /// the job then joins markets only through forced capping, and the run
     /// counts it in [`DegradationStats::bid_failures`] instead of aborting.
-    static_supply: Option<SupplyFunction>,
+    pub(crate) static_supply: Option<SupplyFunction>,
     /// Phase offset for the per-job power oscillation, seconds.
-    phase_offset: f64,
-    affected: bool,
+    pub(crate) phase_offset: f64,
+    pub(crate) affected: bool,
 }
 
 impl ActiveJob {
@@ -63,30 +88,71 @@ impl ActiveJob {
 
 /// Accumulators shared by the run loop.
 #[derive(Default)]
-struct Accounting {
-    overload_slots: usize,
-    overload_events: usize,
-    unmet_emergencies: usize,
-    jobs_started: usize,
-    jobs_completed: usize,
-    jobs_affected: usize,
-    jobs_deferred: usize,
-    reduction_ch: f64,
-    cost_ch: f64,
-    reward_ch: f64,
-    int_iterations: usize,
-    degradation: DegradationStats,
-    fault_events: usize,
-    stretch_sum_pct: f64,
-    stretch_count: usize,
-    per_profile: BTreeMap<String, ProfileStats>,
-    per_profile_stretch: BTreeMap<String, (f64, usize)>,
+pub(crate) struct Accounting {
+    pub(crate) overload_slots: usize,
+    pub(crate) overload_events: usize,
+    pub(crate) unmet_emergencies: usize,
+    pub(crate) jobs_started: usize,
+    pub(crate) jobs_completed: usize,
+    pub(crate) jobs_affected: usize,
+    pub(crate) jobs_deferred: usize,
+    pub(crate) reduction_ch: f64,
+    pub(crate) cost_ch: f64,
+    pub(crate) reward_ch: f64,
+    pub(crate) int_iterations: usize,
+    pub(crate) degradation: DegradationStats,
+    pub(crate) fault_events: usize,
+    pub(crate) stretch_sum_pct: f64,
+    pub(crate) stretch_count: usize,
+    pub(crate) per_profile: BTreeMap<String, ProfileStats>,
+    pub(crate) per_profile_stretch: BTreeMap<String, (f64, usize)>,
+}
+
+/// Immutable per-run context derived from the trace and configuration.
+pub(crate) struct RunSetup {
+    pub(crate) slot: f64,
+    pub(crate) slot_h: f64,
+    pub(crate) static_w: f64,
+    pub(crate) peak_w: f64,
+    pub(crate) capacity_w: f64,
+    pub(crate) profiles: Vec<Arc<AppProfile>>,
+    pub(crate) horizon_slots: usize,
+}
+
+/// The telemetry pipeline state: the (possibly faulty) sensor and the
+/// robust estimator digesting its feed.
+pub(crate) struct TelemetryState {
+    pub(crate) sensor: FaultySensor,
+    pub(crate) estimator: RobustEstimator,
+}
+
+/// Everything that changes while the engine runs — the exact contents of a
+/// checkpoint. Restoring these fields (plus the deterministic
+/// [`RunSetup`]) reproduces the uninterrupted run bit-for-bit.
+pub(crate) struct EngineState {
+    /// Next slot to simulate.
+    pub(crate) step: usize,
+    /// Slots simulated so far.
+    pub(crate) total_slots: usize,
+    /// Next trace job not yet admitted.
+    pub(crate) next_job: usize,
+    /// Set when the workload is drained.
+    pub(crate) finished: bool,
+    /// The job-stream RNG (alpha, noise, participation, phase draws).
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) controller: EmergencyController,
+    pub(crate) active: Vec<ActiveJob>,
+    pub(crate) deferred: VecDeque<usize>,
+    pub(crate) acc: Accounting,
+    pub(crate) timeline: Option<crate::report::Timeline>,
+    pub(crate) events: Vec<EmergencyEvent>,
+    pub(crate) telemetry: Option<TelemetryState>,
 }
 
 /// A configured simulation over one trace.
 pub struct Simulation<'a> {
-    trace: &'a Trace,
-    config: SimConfig,
+    pub(crate) trace: &'a Trace,
+    pub(crate) config: SimConfig,
 }
 
 impl<'a> Simulation<'a> {
@@ -147,231 +213,355 @@ impl<'a> Simulation<'a> {
             .collect()
     }
 
-    /// Runs the simulation to completion and returns the report.
-    #[must_use]
-    #[allow(clippy::too_many_lines)]
-    pub fn run(&self) -> SimReport {
+    /// Builds the immutable per-run context.
+    pub(crate) fn setup(&self) -> RunSetup {
         let cfg = &self.config;
         let slot = cfg.slot_secs;
-        let slot_h = slot / 3600.0;
-        let static_w = cfg.power_model.static_w_per_core();
-
         let peak_w = self.reference_peak_watts();
         let capacity_w = cfg.capacity_watts_override.unwrap_or_else(|| {
             Oversubscription::percent(cfg.oversubscription_pct)
                 .capacity(Watts::new(peak_w))
                 .get()
         });
-        let mut controller = EmergencyController::new(EmergencyConfig {
-            capacity: Watts::new(capacity_w),
-            buffer_frac: cfg.buffer_frac,
-            min_overload_secs: 0.0,
-            cooldown_secs: cfg.cooldown_secs,
-        });
+        RunSetup {
+            slot,
+            slot_h: slot / 3600.0,
+            static_w: cfg.power_model.static_w_per_core(),
+            peak_w,
+            capacity_w,
+            profiles: self.assign_profiles(),
+            horizon_slots: ((self.trace.span_secs() / slot).ceil() as usize).saturating_mul(2)
+                + 1440,
+        }
+    }
 
-        let profiles = self.assign_profiles();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut acc = Accounting::default();
-        let mut active: Vec<ActiveJob> = Vec::new();
-        let mut deferred: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        let mut next_job = 0usize;
+    /// The engine state at slot zero.
+    pub(crate) fn initial_state(&self, setup: &RunSetup) -> EngineState {
+        let cfg = &self.config;
+        EngineState {
+            step: 0,
+            total_slots: 0,
+            next_job: 0,
+            finished: false,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            controller: EmergencyController::new(EmergencyConfig {
+                capacity: Watts::new(setup.capacity_w),
+                buffer_frac: cfg.buffer_frac,
+                min_overload_secs: 0.0,
+                cooldown_secs: cfg.cooldown_secs,
+            }),
+            active: Vec::new(),
+            deferred: VecDeque::new(),
+            acc: Accounting::default(),
+            timeline: cfg.record_timeline.then(|| crate::report::Timeline {
+                slot_secs: setup.slot,
+                ..crate::report::Timeline::default()
+            }),
+            events: Vec::new(),
+            telemetry: cfg.telemetry.map(|tc| TelemetryState {
+                sensor: FaultySensor::new(tc.sensor, cfg.seed ^ SENSOR_SEED_XOR),
+                estimator: RobustEstimator::new(tc.estimator),
+            }),
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    #[must_use]
+    pub fn run(&self) -> SimReport {
+        let setup = self.setup();
+        let mut state = self.initial_state(&setup);
+        while !state.finished && state.step < setup.horizon_slots {
+            self.step_slot(&setup, &mut state);
+        }
+        self.finish_report(&setup, state)
+    }
+
+    /// Runs the simulation, atomically writing a checkpoint of the full
+    /// engine state every `plan.every_slots` slots. When
+    /// `plan.kill_at_slot` is set the run aborts *before* simulating that
+    /// slot — state is dropped on the floor exactly as a crash would —
+    /// and returns [`RunOutcome::Killed`]; [`resume`](Self::resume) picks
+    /// the run back up from the last checkpoint on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when a checkpoint cannot be written.
+    pub fn run_with_checkpoints(
+        &self,
+        plan: &CheckpointPlan,
+    ) -> Result<RunOutcome, CheckpointError> {
+        let setup = self.setup();
+        let state = self.initial_state(&setup);
+        self.drive(&setup, state, plan)
+    }
+
+    /// Restores the engine from a checkpoint file and drives the run to
+    /// completion, producing a report bit-identical to the uninterrupted
+    /// run. The simulation must be configured identically to the one that
+    /// wrote the checkpoint (enforced by a config/trace fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the file is missing, corrupt, from
+    /// an unsupported format version, or fingerprint-mismatched.
+    pub fn resume(&self, path: &Path) -> Result<SimReport, CheckpointError> {
+        let plan = CheckpointPlan::resume_only();
+        match self.resume_with_checkpoints(path, &plan)? {
+            RunOutcome::Completed(report) => Ok(report),
+            RunOutcome::Killed { .. } => unreachable!("resume_only plan has no kill point"),
+        }
+    }
+
+    /// Like [`resume`](Self::resume), but keeps honoring a checkpoint
+    /// cadence (and kill point) while the resumed run proceeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on restore or checkpoint-write failure.
+    pub fn resume_with_checkpoints(
+        &self,
+        path: &Path,
+        plan: &CheckpointPlan,
+    ) -> Result<RunOutcome, CheckpointError> {
+        let setup = self.setup();
+        let state = checkpoint::read_checkpoint(path, self, &setup)?;
+        self.drive(&setup, state, plan)
+    }
+
+    fn drive(
+        &self,
+        setup: &RunSetup,
+        mut state: EngineState,
+        plan: &CheckpointPlan,
+    ) -> Result<RunOutcome, CheckpointError> {
+        while !state.finished && state.step < setup.horizon_slots {
+            if plan.every_slots > 0 && state.step > 0 && state.step.is_multiple_of(plan.every_slots)
+            {
+                checkpoint::write_checkpoint(&plan.path, self, &state)?;
+            }
+            if plan.kill_at_slot == Some(state.step) {
+                return Ok(RunOutcome::Killed {
+                    at_slot: state.step,
+                    checkpoint: plan.path.clone(),
+                });
+            }
+            self.step_slot(setup, &mut state);
+        }
+        Ok(RunOutcome::Completed(self.finish_report(setup, state)))
+    }
+
+    /// Simulates one slot: admissions, power measurement and the emergency
+    /// controller, overload accounting, job progress.
+    #[allow(clippy::too_many_lines)]
+    fn step_slot(&self, setup: &RunSetup, state: &mut EngineState) {
+        let cfg = &self.config;
+        let slot = setup.slot;
+        let static_w = setup.static_w;
         let jobs = self.trace.jobs();
-        let horizon_slots =
-            ((self.trace.span_secs() / slot).ceil() as usize).saturating_mul(2) + 1440;
-        let mut total_slots = 0usize;
-        let mut timeline = cfg.record_timeline.then(|| crate::report::Timeline {
-            slot_secs: slot,
-            ..crate::report::Timeline::default()
+        let t = state.step as f64 * slot;
+
+        // Time-varying capacity: the policy (demand response, carbon
+        // caps) can only tighten the oversubscribed baseline.
+        let capacity_now = cfg.capacity_policy.as_ref().map_or(setup.capacity_w, |p| {
+            p.capacity_at(t).get().min(setup.capacity_w)
         });
-        let mut events: Vec<EmergencyEvent> = Vec::new();
+        state.controller.set_capacity(Watts::new(capacity_now));
+        let in_emergency = state.controller.phase().is_active();
 
-        for step in 0..horizon_slots {
-            let t = step as f64 * slot;
-            // Time-varying capacity: the policy (demand response, carbon
-            // caps) can only tighten the oversubscribed baseline.
-            let capacity_now = cfg
-                .capacity_policy
-                .as_ref()
-                .map_or(capacity_w, |p| p.capacity_at(t).get().min(capacity_w));
-            controller.set_capacity(Watts::new(capacity_now));
-            let in_emergency = controller.phase().is_active();
-
-            // 1. Arrivals. New starts are held during an emergency
-            //    (Section III-E, "Executing resource/power reduction").
-            while next_job < jobs.len() && jobs[next_job].start_secs <= t {
-                if in_emergency {
-                    deferred.push_back(next_job);
-                    acc.jobs_deferred += 1;
-                } else {
-                    let job = self.start_job(next_job, &profiles[next_job], t, &mut rng);
+        // 1. Arrivals. New starts are held during an emergency
+        //    (Section III-E, "Executing resource/power reduction").
+        while state.next_job < jobs.len() && jobs[state.next_job].start_secs <= t {
+            if in_emergency {
+                state.deferred.push_back(state.next_job);
+                state.acc.jobs_deferred += 1;
+            } else {
+                let job = self.start_job(
+                    state.next_job,
+                    &setup.profiles[state.next_job],
+                    t,
+                    &mut state.rng,
+                );
+                if job.static_supply.is_none() {
+                    state.acc.degradation.bid_failures += 1;
+                }
+                state.active.push(job);
+                state.acc.jobs_started += 1;
+            }
+            state.next_job += 1;
+        }
+        // Drain the deferred backlog at a bounded rate: releasing the
+        // whole queue at once after a lift would dump its demand into a
+        // single slot (thundering herd), while real resource managers
+        // dispatch queued work at a finite pace. Up to 10 % of capacity
+        // worth of queued jobs start per slot; the reactive loop absorbs
+        // any overload this produces.
+        if !in_emergency && !state.deferred.is_empty() {
+            let mut budget = 0.10 * capacity_now;
+            // Nominal (phase-free) estimates are good enough here.
+            while let Some(&idx) = state.deferred.front() {
+                let p = &setup.profiles[idx];
+                let job_w = f64::from(jobs[idx].cores) * (static_w + p.unit_dynamic_power_w());
+                if job_w <= budget || state.active.is_empty() {
+                    let job = self.start_job(idx, p, t, &mut state.rng);
                     if job.static_supply.is_none() {
-                        acc.degradation.bid_failures += 1;
+                        state.acc.degradation.bid_failures += 1;
                     }
-                    active.push(job);
-                    acc.jobs_started += 1;
-                }
-                next_job += 1;
-            }
-            // Drain the deferred backlog at a bounded rate: releasing the
-            // whole queue at once after a lift would dump its demand into a
-            // single slot (thundering herd), while real resource managers
-            // dispatch queued work at a finite pace. Up to 10 % of capacity
-            // worth of queued jobs start per slot; the reactive loop absorbs
-            // any overload this produces.
-            if !in_emergency && !deferred.is_empty() {
-                let mut budget = 0.10 * capacity_now;
-                // Nominal (phase-free) estimates are good enough here.
-                while let Some(&idx) = deferred.front() {
-                    let p = &profiles[idx];
-                    let job_w =
-                        f64::from(jobs[idx].cores) * (static_w + p.unit_dynamic_power_w());
-                    if job_w <= budget || active.is_empty() {
-                        let job = self.start_job(idx, p, t, &mut rng);
-                        if job.static_supply.is_none() {
-                            acc.degradation.bid_failures += 1;
-                        }
-                        active.push(job);
-                        acc.jobs_started += 1;
-                        budget -= job_w;
-                        deferred.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-            }
-
-            // 2. Measure power and drive the emergency controller. Per-job
-            //    phases modulate the dynamic draw around nominal.
-            let phase_of = |j: &ActiveJob| -> f64 {
-                if cfg.phase_amplitude <= 0.0 {
-                    1.0
+                    state.active.push(job);
+                    state.acc.jobs_started += 1;
+                    budget -= job_w;
+                    state.deferred.pop_front();
                 } else {
-                    1.0 + cfg.phase_amplitude
-                        * (std::f64::consts::TAU * (t + j.phase_offset)
-                            / cfg.phase_period_secs)
-                            .sin()
+                    break;
                 }
-            };
-            let power_w: f64 = active.iter().map(|j| j.power_w(static_w, phase_of(j))).sum();
-            match controller.step(t, Watts::new(power_w)) {
-                action @ (EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. }) => {
-                    if controller.phase().is_active() {
-                        acc.overload_events += 1;
-                    }
-                    let target = controller.active_target().get();
-                    let (delivered, degraded) =
-                        self.apply_algorithm(&mut active, target, &mut acc);
-                    controller.record_delivered(Watts::new(delivered));
-                    if degraded {
-                        controller.mark_degraded();
-                    }
-                    if delivered < target * (1.0 - 1e-6) {
-                        acc.unmet_emergencies += 1;
-                    }
-                    events.push(EmergencyEvent {
-                        t_secs: t,
-                        kind: if matches!(action, EmergencyAction::Declare { .. }) {
-                            EmergencyEventKind::Declare
-                        } else {
-                            EmergencyEventKind::Escalate
-                        },
-                        target_watts: target,
-                        price: active.iter().map(|j| j.price).fold(0.0, f64::max),
-                    });
-                }
-                EmergencyAction::Lift => {
-                    // Restore speeds; the deferred backlog drains gradually
-                    // from the next slot on (see the admission loop above).
-                    for j in &mut active {
-                        j.reduction = 0.0;
-                        j.price = 0.0;
-                    }
-                    events.push(EmergencyEvent {
-                        t_secs: t,
-                        kind: EmergencyEventKind::Lift,
-                        target_watts: 0.0,
-                        price: 0.0,
-                    });
-                }
-                EmergencyAction::None => {}
-            }
-
-            // 3. Overload accounting. The "overloaded state" of Table I and
-            //    Fig. 8 is demand-based: the power the active jobs would
-            //    draw at full speed, regardless of in-force reductions.
-            let reduction_w: f64 = active
-                .iter()
-                .map(|j| j.reduction * j.profile.unit_dynamic_power_w() * phase_of(j))
-                .sum();
-            let demand_w = power_w + reduction_w;
-            if demand_w > capacity_now {
-                acc.overload_slots += 1;
-                for j in &mut active {
-                    j.affected = true;
-                }
-            }
-            if let Some(tl) = timeline.as_mut() {
-                tl.power_w.push(power_w);
-                tl.demand_w.push(demand_w);
-                tl.capacity_w.push(capacity_now);
-                tl.reduction_w.push(reduction_w);
-                tl.price
-                    .push(active.iter().map(|j| j.price).fold(0.0, f64::max));
-            }
-
-            // 4. Progress and accounting.
-            let mut i = 0;
-            while i < active.len() {
-                let job = &mut active[i];
-                let r = job.per_core_reduction();
-                let perf = job.profile.performance(1.0 - r);
-                job.remaining_secs -= perf * slot;
-                if job.reduction > 0.0 {
-                    // True cost at the current reduction (includes the
-                    // job's own α).
-                    let cost_rate = job.true_cost.cost(job.reduction);
-                    acc.reduction_ch += job.reduction * slot_h;
-                    acc.cost_ch += cost_rate * slot_h;
-                    let stats = acc
-                        .per_profile
-                        .entry(job.profile.name().to_owned())
-                        .or_default();
-                    stats.reduction_core_hours += job.reduction * slot_h;
-                    stats.cost_core_hours += cost_rate * slot_h;
-                    if cfg.algorithm.is_market() {
-                        acc.reward_ch += job.price * job.reduction * slot_h;
-                    }
-                }
-                if job.remaining_secs <= 0.0 {
-                    // Fractional completion inside the slot.
-                    let overshoot = (-job.remaining_secs / perf.max(1e-9)).min(slot);
-                    let exec_time = t + slot - overshoot - job.exec_started_secs;
-                    let stretch_pct = 100.0 * (exec_time - job.nominal_secs) / job.nominal_secs;
-                    acc.jobs_completed += 1;
-                    let entry = acc
-                        .per_profile_stretch
-                        .entry(job.profile.name().to_owned())
-                        .or_insert((0.0, 0));
-                    entry.0 += stretch_pct.max(0.0);
-                    entry.1 += 1;
-                    if job.affected {
-                        acc.jobs_affected += 1;
-                        acc.stretch_sum_pct += stretch_pct.max(0.0);
-                        acc.stretch_count += 1;
-                    }
-                    active.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-
-            total_slots = step + 1;
-            if next_job >= jobs.len() && active.is_empty() && deferred.is_empty() {
-                break;
             }
         }
 
-        self.finish_report(acc, total_slots, capacity_w, peak_w, timeline, events)
+        // 2. Measure power and drive the emergency controller. Per-job
+        //    phases modulate the dynamic draw around nominal. When a
+        //    telemetry pipeline is configured, the controller sees the
+        //    robust estimator's conservative upper bound instead of the
+        //    true power — never the raw (noisy, lossy) sensor feed.
+        let phase_of = |j: &ActiveJob| -> f64 {
+            if cfg.phase_amplitude <= 0.0 {
+                1.0
+            } else {
+                1.0 + cfg.phase_amplitude
+                    * (std::f64::consts::TAU * (t + j.phase_offset) / cfg.phase_period_secs).sin()
+            }
+        };
+        let power_w: f64 = state
+            .active
+            .iter()
+            .map(|j| j.power_w(static_w, phase_of(j)))
+            .sum();
+        let measured_w = match state.telemetry.as_mut() {
+            Some(tel) => {
+                let reading = tel.sensor.sample(t, Watts::new(power_w));
+                tel.estimator.observe(t, reading).upper_bound.get()
+            }
+            None => power_w,
+        };
+        match state.controller.step(t, Watts::new(measured_w)) {
+            action @ (EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. }) => {
+                if state.controller.phase().is_active() {
+                    state.acc.overload_events += 1;
+                }
+                let target = state.controller.active_target().get();
+                let (delivered, degraded) =
+                    self.apply_algorithm(&mut state.active, target, &mut state.acc);
+                state.controller.record_delivered(Watts::new(delivered));
+                if degraded {
+                    state.controller.mark_degraded();
+                }
+                if delivered < target * (1.0 - 1e-6) {
+                    state.acc.unmet_emergencies += 1;
+                }
+                let max_price = state.active.iter().map(|j| j.price).fold(0.0, f64::max);
+                state.events.push(EmergencyEvent {
+                    t_secs: t,
+                    kind: if matches!(action, EmergencyAction::Declare { .. }) {
+                        EmergencyEventKind::Declare
+                    } else {
+                        EmergencyEventKind::Escalate
+                    },
+                    target_watts: target,
+                    price: max_price,
+                });
+            }
+            EmergencyAction::Lift => {
+                // Restore speeds; the deferred backlog drains gradually
+                // from the next slot on (see the admission loop above).
+                for j in &mut state.active {
+                    j.reduction = 0.0;
+                    j.price = 0.0;
+                }
+                state.events.push(EmergencyEvent {
+                    t_secs: t,
+                    kind: EmergencyEventKind::Lift,
+                    target_watts: 0.0,
+                    price: 0.0,
+                });
+            }
+            EmergencyAction::None => {}
+        }
+
+        // 3. Overload accounting. The "overloaded state" of Table I and
+        //    Fig. 8 is demand-based: the power the active jobs would
+        //    draw at full speed, regardless of in-force reductions.
+        let reduction_w: f64 = state
+            .active
+            .iter()
+            .map(|j| j.reduction * j.profile.unit_dynamic_power_w() * phase_of(j))
+            .sum();
+        let demand_w = power_w + reduction_w;
+        if demand_w > capacity_now {
+            state.acc.overload_slots += 1;
+            for j in &mut state.active {
+                j.affected = true;
+            }
+        }
+        let max_price = state.active.iter().map(|j| j.price).fold(0.0, f64::max);
+        if let Some(tl) = state.timeline.as_mut() {
+            tl.power_w.push(power_w);
+            tl.demand_w.push(demand_w);
+            tl.capacity_w.push(capacity_now);
+            tl.reduction_w.push(reduction_w);
+            tl.price.push(max_price);
+        }
+
+        // 4. Progress and accounting.
+        let mut i = 0;
+        while i < state.active.len() {
+            let job = &mut state.active[i];
+            let r = job.per_core_reduction();
+            let perf = job.profile.performance(1.0 - r);
+            job.remaining_secs -= perf * slot;
+            if job.reduction > 0.0 {
+                // True cost at the current reduction (includes the
+                // job's own α).
+                let cost_rate = job.true_cost.cost(job.reduction);
+                state.acc.reduction_ch += job.reduction * setup.slot_h;
+                state.acc.cost_ch += cost_rate * setup.slot_h;
+                let stats = state
+                    .acc
+                    .per_profile
+                    .entry(job.profile.name().to_owned())
+                    .or_default();
+                stats.reduction_core_hours += job.reduction * setup.slot_h;
+                stats.cost_core_hours += cost_rate * setup.slot_h;
+                if cfg.algorithm.is_market() {
+                    state.acc.reward_ch += job.price * job.reduction * setup.slot_h;
+                }
+            }
+            if job.remaining_secs <= 0.0 {
+                // Fractional completion inside the slot.
+                let overshoot = (-job.remaining_secs / perf.max(1e-9)).min(slot);
+                let exec_time = t + slot - overshoot - job.exec_started_secs;
+                let stretch_pct = 100.0 * (exec_time - job.nominal_secs) / job.nominal_secs;
+                state.acc.jobs_completed += 1;
+                let entry = state
+                    .acc
+                    .per_profile_stretch
+                    .entry(job.profile.name().to_owned())
+                    .or_insert((0.0, 0));
+                entry.0 += stretch_pct.max(0.0);
+                entry.1 += 1;
+                if job.affected {
+                    state.acc.jobs_affected += 1;
+                    state.acc.stretch_sum_pct += stretch_pct.max(0.0);
+                    state.acc.stretch_count += 1;
+                }
+                state.active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        state.total_slots = state.step + 1;
+        if state.next_job >= jobs.len() && state.active.is_empty() && state.deferred.is_empty() {
+            state.finished = true;
+        }
+        state.step += 1;
     }
 
     fn start_job(
@@ -382,19 +572,42 @@ impl<'a> Simulation<'a> {
         rng: &mut ChaCha8Rng,
     ) -> ActiveJob {
         let cfg = &self.config;
-        let job = &self.trace.jobs()[idx];
-        let cores = f64::from(job.cores);
         let alpha = if cfg.alpha_spread > 0.0 {
             cfg.alpha * rng.gen_range(1.0..=1.0 + cfg.alpha_spread)
         } else {
             cfg.alpha
         };
+        // Draw the perception factor exactly as the noise constructors do,
+        // then keep the scalar: a checkpoint restore rebuilds the stack
+        // from (alpha, noise_factor) without touching the RNG.
         let base = profile.cost_model(alpha);
         let noisy = match cfg.cost_noise {
-            CostNoise::None => NoisyCost::new(base.clone(), 1.0),
-            CostNoise::Random { magnitude } => NoisyCost::random_error(base.clone(), magnitude, rng),
-            CostNoise::Underestimate { fraction } => NoisyCost::underestimate(base.clone(), fraction),
+            CostNoise::None => NoisyCost::new(base, 1.0),
+            CostNoise::Random { magnitude } => NoisyCost::random_error(base, magnitude, rng),
+            CostNoise::Underestimate { fraction } => NoisyCost::underestimate(base, fraction),
         };
+        let noise_factor = noisy.factor();
+        let mut job = self.rebuild_job(idx, profile, alpha, noise_factor);
+        job.exec_started_secs = now;
+        job.participates = rng.gen_bool(cfg.participation.clamp(0.0, 1.0));
+        job.phase_offset = rng.gen_range(0.0..self.config.phase_period_secs.max(1.0));
+        job
+    }
+
+    /// Constructs an [`ActiveJob`] from its drawn scalars, consuming no
+    /// RNG. Fresh starts overwrite the dynamic fields immediately;
+    /// checkpoint restore overwrites them from the snapshot.
+    pub(crate) fn rebuild_job(
+        &self,
+        idx: usize,
+        profile: &Arc<AppProfile>,
+        alpha: f64,
+        noise_factor: f64,
+    ) -> ActiveJob {
+        let job = &self.trace.jobs()[idx];
+        let cores = f64::from(job.cores);
+        let base = profile.cost_model(alpha);
+        let noisy = NoisyCost::new(base.clone(), noise_factor);
         let perceived = ScaledCost::new(noisy, cores);
         let true_cost = ScaledCost::new(base, cores);
         // A failed cooperative bid falls back to a zero-bid (always-supply)
@@ -405,21 +618,22 @@ impl<'a> Simulation<'a> {
             .supply_for(&perceived)
             .ok()
             .or_else(|| SupplyFunction::new(perceived.delta_max(), 0.0).ok());
-        let participates = rng.gen_bool(cfg.participation.clamp(0.0, 1.0));
         ActiveJob {
             idx,
             cores,
             profile: Arc::clone(profile),
             remaining_secs: job.runtime_secs,
             nominal_secs: job.runtime_secs,
-            exec_started_secs: now,
+            exec_started_secs: 0.0,
             reduction: 0.0,
             price: 0.0,
-            participates,
+            participates: false,
+            alpha,
+            noise_factor,
             perceived,
             true_cost,
             static_supply,
-            phase_offset: rng.gen_range(0.0..self.config.phase_period_secs.max(1.0)),
+            phase_offset: 0.0,
             affected: false,
         }
     }
@@ -687,27 +901,22 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn finish_report(
-        &self,
-        mut acc: Accounting,
-        total_slots: usize,
-        capacity_w: f64,
-        peak_w: f64,
-        timeline: Option<crate::report::Timeline>,
-        events: Vec<EmergencyEvent>,
-    ) -> SimReport {
+    fn finish_report(&self, setup: &RunSetup, state: EngineState) -> SimReport {
+        let EngineState {
+            total_slots,
+            mut acc,
+            timeline,
+            events,
+            telemetry,
+            ..
+        } = state;
         let hours = total_slots as f64 * self.config.slot_secs / 3600.0;
         let x = self.config.oversubscription_pct;
-        let extra_capacity =
-            f64::from(self.trace.total_cores()) * (x / (100.0 + x)) * hours;
+        let extra_capacity = f64::from(self.trace.total_cores()) * (x / (100.0 + x)) * hours;
         for (name, (sum, count)) in &acc.per_profile_stretch {
             let stats = acc.per_profile.entry(name.clone()).or_default();
             stats.jobs = *count;
-            stats.runtime_stretch_pct = if *count > 0 {
-                sum / *count as f64
-            } else {
-                0.0
-            };
+            stats.runtime_stretch_pct = if *count > 0 { sum / *count as f64 } else { 0.0 };
         }
         SimReport {
             trace_name: self.trace.name().to_owned(),
@@ -730,13 +939,14 @@ impl<'a> Simulation<'a> {
                 0.0
             },
             extra_capacity_core_hours: extra_capacity,
-            capacity_watts: capacity_w,
-            peak_watts: peak_w,
+            capacity_watts: setup.capacity_w,
+            peak_watts: setup.peak_w,
             int_iterations_total: acc.int_iterations,
             degradation: acc.degradation,
             per_profile: acc.per_profile,
             timeline,
             events,
+            telemetry: telemetry.map(|tel| tel.estimator.health),
         }
     }
 }
@@ -744,6 +954,8 @@ impl<'a> Simulation<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TelemetryConfig;
+    use mpr_power::telemetry::{EstimatorConfig, SensorFaultConfig};
     use mpr_workload::{ClusterSpec, Job, TraceGenerator};
 
     fn small_trace() -> Trace {
@@ -798,7 +1010,10 @@ mod tests {
         let stat = cost(Algorithm::MprStat);
         let int = cost(Algorithm::MprInt);
         assert!(eql > opt, "EQL {eql:.1} must cost more than OPT {opt:.1}");
-        assert!(eql > int, "EQL {eql:.1} must cost more than MPR-INT {int:.1}");
+        assert!(
+            eql > int,
+            "EQL {eql:.1} must cost more than MPR-INT {int:.1}"
+        );
         // MPR-INT tracks OPT closely (within 2x here; near-equal at scale).
         assert!(
             int <= opt * 2.0 + 1.0,
@@ -1044,7 +1259,10 @@ mod tests {
             SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan),
         )
         .run();
-        assert!(r.overload_events > 0, "need overloads to inject faults into");
+        assert!(
+            r.overload_events > 0,
+            "need overloads to inject faults into"
+        );
         assert!(
             r.degradation.participants_quarantined > 0,
             "30%+10% fault rates must quarantine someone"
@@ -1095,5 +1313,71 @@ mod tests {
         let mut cfg = SimConfig::new(Algorithm::Opt, 10.0);
         cfg.profiles.clear();
         let _ = Simulation::new(&trace, cfg);
+    }
+
+    #[test]
+    fn runs_without_telemetry_report_no_health() {
+        let trace = small_trace();
+        let r = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0)).run();
+        assert_eq!(r.telemetry, None);
+    }
+
+    #[test]
+    fn ideal_telemetry_with_passthrough_estimator_matches_direct_measurement() {
+        // An ideal sensor through a pass-through estimator feeds the
+        // controller the exact same floats as no telemetry at all: the
+        // reports must be identical except for the health counters.
+        let trace = small_trace();
+        let direct = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0)).run();
+        let mut piped = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_telemetry(TelemetryConfig {
+                sensor: SensorFaultConfig::default(),
+                estimator: EstimatorConfig::passthrough(),
+            }),
+        )
+        .run();
+        let health = piped.telemetry.take().expect("telemetry health recorded");
+        assert_eq!(health.samples_missed, 0);
+        assert_eq!(health.outliers_rejected, 0);
+        assert_eq!(health.samples_delivered, piped.total_slots);
+        assert_eq!(piped, direct);
+    }
+
+    #[test]
+    fn telemetry_faults_are_deterministic() {
+        let trace = small_trace();
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0).with_telemetry(
+            TelemetryConfig::with_faults(SensorFaultConfig {
+                noise_sigma_frac: 0.02,
+                dropout_prob: 0.2,
+                ..SensorFaultConfig::default()
+            }),
+        );
+        let a = Simulation::new(&trace, cfg.clone()).run();
+        let b = Simulation::new(&trace, cfg).run();
+        assert_eq!(a, b, "seeded sensor faults must reproduce bit-for-bit");
+        let health = a.telemetry.expect("health recorded");
+        assert!(health.samples_missed > 0, "20% dropout must lose samples");
+    }
+
+    #[test]
+    fn noisy_telemetry_still_controls_overloads() {
+        let trace = small_trace();
+        let r = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_telemetry(TelemetryConfig::with_faults(
+                SensorFaultConfig {
+                    noise_sigma_frac: 0.03,
+                    dropout_prob: 0.3,
+                    ..SensorFaultConfig::default()
+                },
+            )),
+        )
+        .run();
+        // The reactive loop still functions end to end on estimated power.
+        assert!(r.overload_events > 0);
+        assert!(r.reduction_core_hours > 0.0);
+        assert_eq!(r.jobs_completed, r.jobs_total);
     }
 }

@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod partition;
 pub mod report;
 
-pub use config::{Algorithm, CostNoise, FaultPlan, SimConfig};
+pub use checkpoint::{CheckpointError, CheckpointPlan, RunOutcome};
+pub use config::{Algorithm, CostNoise, FaultPlan, SimConfig, TelemetryConfig};
 pub use engine::Simulation;
 pub use partition::{PartitionPolicy, PartitionedReport, PartitionedSimulation};
 pub use report::{

@@ -216,10 +216,8 @@ mod tests {
     fn more_partitions_less_multiplexing() {
         let t = trace();
         let cfg = SimConfig::new(Algorithm::MprStat, 15.0);
-        let one =
-            PartitionedSimulation::new(&t, cfg.clone(), 1, PartitionPolicy::RoundRobin).run();
-        let eight =
-            PartitionedSimulation::new(&t, cfg, 8, PartitionPolicy::RoundRobin).run();
+        let one = PartitionedSimulation::new(&t, cfg.clone(), 1, PartitionPolicy::RoundRobin).run();
+        let eight = PartitionedSimulation::new(&t, cfg, 8, PartitionPolicy::RoundRobin).run();
         // Smaller domains see burstier aggregate demand: overloads should
         // not decrease (they typically grow noticeably).
         assert!(

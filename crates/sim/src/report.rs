@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use mpr_core::ChainLevel;
+use mpr_power::telemetry::TelemetryHealth;
 
 /// Degradation accounting across all market clearings of a run: what the
 /// graceful-degradation chain had to do when agents misbehaved. All-zero
@@ -200,6 +201,10 @@ pub struct SimReport {
 
     /// Every emergency declare/escalate/lift, in time order.
     pub events: Vec<EmergencyEvent>,
+
+    /// Telemetry-pipeline health counters, present when the run measured
+    /// power through a sensor/estimator pipeline (`SimConfig::telemetry`).
+    pub telemetry: Option<TelemetryHealth>,
 }
 
 impl SimReport {
@@ -299,6 +304,7 @@ mod tests {
             per_profile: BTreeMap::new(),
             timeline: None,
             events: Vec::new(),
+            telemetry: None,
         }
     }
 

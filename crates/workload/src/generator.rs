@@ -179,7 +179,10 @@ impl TraceGenerator {
     /// Creates a generator with the default seed.
     #[must_use]
     pub fn new(spec: ClusterSpec) -> Self {
-        Self { spec, seed: 0x4d50_5221 }
+        Self {
+            spec,
+            seed: 0x4d50_5221,
+        }
     }
 
     /// Sets the RNG seed; the same seed always yields the same trace.
@@ -227,8 +230,7 @@ impl TraceGenerator {
             ou += -ou * (STEP_SECS / tau) + drive * normal(&mut rng);
             let diurnal =
                 spec.diurnal_amp * (std::f64::consts::TAU * t / SECS_PER_DAY + phase).sin();
-            let weekly =
-                spec.weekly_amp * (std::f64::consts::TAU * t / (7.0 * SECS_PER_DAY)).sin();
+            let weekly = spec.weekly_amp * (std::f64::consts::TAU * t / (7.0 * SECS_PER_DAY)).sin();
             let target = (spec.mean_util + diurnal + weekly + ou).clamp(0.02, 1.0) * total;
 
             // Retire finished jobs.
@@ -365,8 +367,10 @@ mod tests {
         let meta = mean_util(ClusterSpec::metacentrum());
         let ricc = mean_util(ClusterSpec::ricc());
         let pik = mean_util(ClusterSpec::pik());
-        assert!(gaia > meta && meta > ricc && ricc > pik,
-            "expected gaia > metacentrum > ricc > pik, got {gaia:.2} {meta:.2} {ricc:.2} {pik:.2}");
+        assert!(
+            gaia > meta && meta > ricc && ricc > pik,
+            "expected gaia > metacentrum > ricc > pik, got {gaia:.2} {meta:.2} {ricc:.2} {pik:.2}"
+        );
     }
 
     #[test]

@@ -243,10 +243,7 @@ mod tests {
     #[test]
     fn short_record_is_an_error() {
         let err = parse_swf("1 2 3\n", "x", None).unwrap_err();
-        assert!(matches!(
-            err,
-            SwfError::ShortRecord { line: 1, fields: 3 }
-        ));
+        assert!(matches!(err, SwfError::ShortRecord { line: 1, fields: 3 }));
         assert!(err.to_string().contains("line 1"));
     }
 

@@ -7,9 +7,7 @@
 //! ```
 
 use mpr_core::Watts;
-use mpr_power::{
-    BreakerState, EmergencyAction, EmergencyConfig, EmergencyController, TripCurve,
-};
+use mpr_power::{BreakerState, EmergencyAction, EmergencyConfig, EmergencyController, TripCurve};
 
 fn main() {
     let capacity = Watts::new(100_000.0);
@@ -22,9 +20,9 @@ fn main() {
     // Demand: ramp from 90 kW up over capacity, hold, then fall away.
     let demand = |t: f64| -> f64 {
         match t {
-            t if t < 600.0 => 90_000.0 + 25.0 * t,        // ramp to 105 kW
-            t if t < 2400.0 => 105_000.0,                 // hold overloaded
-            _ => 105_000.0 - 10.0 * (t - 2400.0),         // decay
+            t if t < 600.0 => 90_000.0 + 25.0 * t, // ramp to 105 kW
+            t if t < 2400.0 => 105_000.0,          // hold overloaded
+            _ => 105_000.0 - 10.0 * (t - 2400.0),  // decay
         }
     };
 

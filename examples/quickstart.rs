@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clearing.total_power_reduction()
     );
     for (alloc, cost) in clearing.allocations().iter().zip(&costs) {
-        let gain = net_gain(cost, &market.participants()[alloc.id as usize].supply, clearing.price());
+        let gain = net_gain(
+            cost,
+            &market.participants()[alloc.id as usize].supply,
+            clearing.price(),
+        );
         println!(
             "  {:>10}: sheds {:>5.2} cores, reward {:>6.3}/h, cost {:>6.3}/h, net gain {:>6.3}/h",
             apps[alloc.id as usize],

@@ -92,7 +92,15 @@ fn scheduler_to_simulation_pipeline() {
     let submissions: Vec<SubmittedJob> = generated
         .jobs()
         .iter()
-        .map(|j| SubmittedJob::new(j.id, j.start_secs, j.runtime_secs, 1.3 * j.runtime_secs, j.cores))
+        .map(|j| {
+            SubmittedJob::new(
+                j.id,
+                j.start_secs,
+                j.runtime_secs,
+                1.3 * j.runtime_secs,
+                j.cores,
+            )
+        })
         .collect();
     let machine = generated.total_cores() * 3 / 4;
     let out = schedule(&submissions, machine, Policy::EasyBackfill);

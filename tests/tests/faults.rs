@@ -54,7 +54,10 @@ fn chain_meets_target_with_30pct_unresponsive_10pct_crashing() {
     let quarantined = outcome.quarantined_ids();
     assert_eq!(quarantined.len(), 8, "quarantined: {quarantined:?}");
     for id in 0..=7u64 {
-        assert!(quarantined.contains(&id), "agent {id} should be quarantined");
+        assert!(
+            quarantined.contains(&id),
+            "agent {id} should be quarantined"
+        );
     }
     // The report names the level that produced the final clearing.
     assert!(outcome.chain_level >= ChainLevel::Interactive);

@@ -15,9 +15,18 @@ fn cost_ordering_matches_paper() {
     let stat = cost(Algorithm::MprStat);
     let int = cost(Algorithm::MprInt);
     assert!(opt > 0.0, "the scenario must produce overloads");
-    assert!(eql > 1.3 * opt, "EQL ({eql:.0}) must be far above OPT ({opt:.0})");
-    assert!(int <= 1.15 * opt, "MPR-INT ({int:.0}) must track OPT ({opt:.0})");
-    assert!(stat >= 0.99 * opt, "nothing beats OPT; MPR-STAT = {stat:.0}");
+    assert!(
+        eql > 1.3 * opt,
+        "EQL ({eql:.0}) must be far above OPT ({opt:.0})"
+    );
+    assert!(
+        int <= 1.15 * opt,
+        "MPR-INT ({int:.0}) must track OPT ({opt:.0})"
+    );
+    assert!(
+        stat >= 0.99 * opt,
+        "nothing beats OPT; MPR-STAT = {stat:.0}"
+    );
     assert!(stat < eql, "MPR-STAT must beat oblivious EQL");
 }
 
@@ -91,13 +100,8 @@ fn eql_breaks_on_fragile_gpu_apps() {
     use mpr_sim::{SimConfig, Simulation};
     let trace = test_trace(7.0, 11);
     let gpu = mpr_apps::gpu_profiles();
-    let run = |alg| {
-        Simulation::new(
-            &trace,
-            SimConfig::new(alg, 20.0).with_profiles(gpu.clone()),
-        )
-        .run()
-    };
+    let run =
+        |alg| Simulation::new(&trace, SimConfig::new(alg, 20.0).with_profiles(gpu.clone())).run();
     let eql = run(Algorithm::Eql);
     assert!(
         eql.unmet_emergencies > 0,
@@ -144,9 +148,7 @@ fn static_market_clears_30k_jobs_subsecond() {
 /// Fig. 10(b): MPR-INT's iteration count stays flat as jobs scale 10× twice.
 #[test]
 fn interactive_iterations_flat_in_scale() {
-    use mpr_core::{
-        BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost,
-    };
+    use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost};
     let profiles = mpr_apps::cpu_profiles();
     let mut iters = Vec::new();
     for n in [10usize, 100, 1000] {
@@ -160,7 +162,10 @@ fn interactive_iterations_flat_in_scale() {
                 )) as _
             })
             .collect();
-        let attainable: f64 = agents.iter().map(|a| a.delta_max() * a.watts_per_unit()).sum();
+        let attainable: f64 = agents
+            .iter()
+            .map(|a| a.delta_max() * a.watts_per_unit())
+            .sum();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
         let out = m.clear(0.3 * attainable).unwrap();
         assert!(out.converged);
