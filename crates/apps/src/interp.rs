@@ -57,7 +57,7 @@ impl MonotoneCubic {
         // Fritsch–Carlson limiter: clamp tangents so no interval
         // overshoots.
         for i in 0..n - 1 {
-            if d[i] == 0.0 {
+            if d[i].abs() <= f64::EPSILON {
                 m[i] = 0.0;
                 m[i + 1] = 0.0;
                 continue;
@@ -90,10 +90,7 @@ impl MonotoneCubic {
             return self.ys[n - 1] + self.tangents[n - 1] * (x - self.xs[n - 1]);
         }
         // Find the containing interval.
-        let i = match self
-            .xs
-            .binary_search_by(|v| v.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
-        {
+        let i = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => return self.ys[i],
             Err(i) => i - 1,
         };
@@ -178,7 +175,7 @@ mod tests {
             x1 in 0.0f64..1.0,
             dx in 0.0f64..0.5,
         ) {
-            ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ys.sort_by(f64::total_cmp);
             let n = ys.len();
             let points: Vec<(f64, f64)> = ys
                 .iter()

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpr_core::bidding::{best_response, cooperative_bid};
-use mpr_core::ScaledCost;
+use mpr_core::{Price, ScaledCost};
 
 fn bench_bidding(c: &mut Criterion) {
     let profile = mpr_apps::profile_by_name("XSBench").expect("catalog app");
@@ -14,7 +14,7 @@ fn bench_bidding(c: &mut Criterion) {
         b.iter(|| cooperative_bid(std::hint::black_box(&cost)).unwrap());
     });
     c.bench_function("best_response", |b| {
-        b.iter(|| best_response(std::hint::black_box(&cost), 0.7).unwrap());
+        b.iter(|| best_response(std::hint::black_box(&cost), Price::new(0.7)).unwrap());
     });
 }
 

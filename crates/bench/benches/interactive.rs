@@ -3,14 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpr_bench::{attainable_watts, make_jobs};
-use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent};
+use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, Watts};
 
 fn bench_interactive(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpr_int_clear");
     group.sample_size(10);
     for &n in &[10usize, 100, 1_000, 10_000] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let agents: Vec<Box<dyn BiddingAgent>> = jobs
@@ -20,7 +20,7 @@ fn bench_interactive(c: &mut Criterion) {
                         Box::new(NetGainAgent::new(
                             i as u64,
                             j.cost.clone(),
-                            j.profile.unit_dynamic_power_w(),
+                            Watts::new(j.profile.unit_dynamic_power_w()),
                         )) as Box<dyn BiddingAgent>
                     })
                     .collect();

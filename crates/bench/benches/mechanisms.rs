@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpr_bench::{attainable_watts, make_jobs};
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::{analysis, opt, vcg, Participant, StaticMarket};
+use mpr_core::{analysis, opt, vcg, Participant, StaticMarket, Watts};
 use mpr_sched::{schedule, Policy, SubmittedJob};
 use rand::{Rng, SeedableRng};
 
@@ -13,11 +13,17 @@ fn bench_vcg(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[16usize, 64, 128] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         let opt_jobs: Vec<opt::OptJob<'_>> = jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
+            .map(|(i, j)| {
+                opt::OptJob::new(
+                    i as u64,
+                    &j.cost,
+                    Watts::new(j.profile.unit_dynamic_power_w()),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -34,7 +40,7 @@ fn bench_vcg(c: &mut Criterion) {
 
 fn bench_welfare(c: &mut Criterion) {
     let jobs = make_jobs(1000);
-    let target = 0.3 * attainable_watts(&jobs);
+    let target = Watts::new(0.3 * attainable_watts(&jobs));
     let market: StaticMarket = jobs
         .iter()
         .enumerate()
@@ -42,7 +48,7 @@ fn bench_welfare(c: &mut Criterion) {
             Participant::new(
                 i as u64,
                 StaticStrategy::Cooperative.supply_for(&j.cost).unwrap(),
-                j.profile.unit_dynamic_power_w(),
+                Watts::new(j.profile.unit_dynamic_power_w()),
             )
         })
         .collect();

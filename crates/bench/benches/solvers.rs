@@ -3,13 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpr_bench::{attainable_watts, make_jobs};
-use mpr_core::{eql, opt, CostModel, StaticMarket};
+use mpr_core::{eql, opt, CostModel, StaticMarket, Watts};
 
 fn bench_static_market(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpr_stat_clear");
     for &n in &[100usize, 1_000, 10_000, 30_000] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         let market: StaticMarket = jobs
             .iter()
             .enumerate()
@@ -27,7 +27,7 @@ fn bench_clearing_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("clearing_index");
     for &n in &[1_000usize, 30_000] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         let participants: Vec<_> = jobs
             .iter()
             .enumerate()
@@ -53,11 +53,17 @@ fn bench_opt(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 1_000, 10_000] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         let opt_jobs: Vec<opt::OptJob<'_>> = jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
+            .map(|(i, j)| {
+                opt::OptJob::new(
+                    i as u64,
+                    &j.cost,
+                    Watts::new(j.profile.unit_dynamic_power_w()),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -77,7 +83,7 @@ fn bench_eql(c: &mut Criterion) {
     let mut group = c.benchmark_group("eql_reduce");
     for &n in &[100usize, 1_000, 10_000, 30_000] {
         let jobs = make_jobs(n);
-        let target = 0.3 * attainable_watts(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
         let eql_jobs: Vec<eql::EqlJob> = jobs
             .iter()
             .enumerate()

@@ -24,7 +24,11 @@ impl BenchJob {
     /// The market participant for this job.
     #[must_use]
     pub fn participant(&self, id: u64) -> Participant {
-        Participant::new(id, self.supply, self.profile.unit_dynamic_power_w())
+        Participant::new(
+            id,
+            self.supply,
+            mpr_core::Watts::new(self.profile.unit_dynamic_power_w()),
+        )
     }
 }
 

@@ -5,8 +5,8 @@ use std::path::Path;
 
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, Participant,
-    ScaledCost, StaticMarket,
+    BiddingAgent, CoreHours, Cores, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    Participant, ScaledCost, StaticMarket, Watts,
 };
 use mpr_power::telemetry::SensorFaultConfig;
 use mpr_proto::{Experiment, ExperimentConfig};
@@ -67,11 +67,15 @@ pub fn simulate(
         (None, None) => sim.run(),
     };
     if args.csv {
+        // Column unit tokens come from the unit newtypes, not hand-written
+        // strings: `_w` from `Watts::SUFFIX`, `_ch` from `CoreHours::SUFFIX`.
+        let w = Watts::SUFFIX.trim().to_ascii_lowercase();
+        let ch = CoreHours::SUFFIX.trim().to_ascii_lowercase();
         writeln!(
             out,
             "trace,algorithm,oversub_pct,days,jobs,overload_pct,overload_events,\
-             reduction_core_hours,cost_core_hours,reward_core_hours,avg_runtime_increase_pct,\
-             jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_w,\
+             reduction_{ch},cost_{ch},reward_{ch},avg_runtime_increase_pct,\
+             jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_{w},\
              sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls"
         )?;
         writeln!(
@@ -114,18 +118,18 @@ pub fn simulate(
         )?;
         writeln!(
             out,
-            "  resource reduction:  {:.1} core-hours",
-            r.reduction_core_hours
+            "  resource reduction:  {:.1}",
+            CoreHours::new(r.reduction_core_hours)
         )?;
         writeln!(
             out,
-            "  performance cost:    {:.1} core-hours",
-            r.cost_core_hours
+            "  performance cost:    {:.1}",
+            CoreHours::new(r.cost_core_hours)
         )?;
         writeln!(
             out,
-            "  rewards paid:        {:.1} core-hours{}",
-            r.reward_core_hours,
+            "  rewards paid:        {:.1}{}",
+            CoreHours::new(r.reward_core_hours),
             r.reward_pct_of_cost()
                 .map_or_else(String::new, |p| format!(" ({p:.0}% of cost)"))
         )?;
@@ -141,14 +145,14 @@ pub fn simulate(
                 out,
                 "  degradation:         {} rounds retried, {} quarantined, \
                  {} static fallbacks, {} EQL cappings, deepest level {}, \
-                 residual overload {:.1} W",
+                 residual overload {:.1}",
                 d.rounds_retried,
                 d.participants_quarantined,
                 d.static_fallbacks,
                 d.eql_cappings,
                 d.deepest_chain_level
                     .map_or_else(|| "none".to_owned(), |l| l.to_string()),
-                d.residual_overload_watts,
+                Watts::new(d.residual_overload_watts),
             )?;
         }
         if let Some(h) = r.telemetry {
@@ -177,17 +181,19 @@ pub fn market(args: &MarketArgs, out: &mut dyn Write) -> Result<(), Box<dyn std:
     let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
     writeln!(
         out,
-        "{} jobs, attainable reduction {:.0} W, target {:.0} W",
-        args.jobs, attainable, args.target_watts
+        "{} jobs, attainable reduction {:.0}, target {:.0}",
+        args.jobs,
+        Watts::new(attainable),
+        Watts::new(args.target_watts)
     )?;
     if args.interactive {
         let agents: Vec<Box<dyn BiddingAgent>> = costs
             .iter()
             .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), w)) as _)
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(w))) as _)
             .collect();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let o = m.clear(args.target_watts)?;
+        let o = m.clear(Watts::new(args.target_watts))?;
         writeln!(
             out,
             "MPR-INT cleared at q' = {:.4} after {} iterations (converged: {})",
@@ -197,9 +203,10 @@ pub fn market(args: &MarketArgs, out: &mut dyn Write) -> Result<(), Box<dyn std:
         )?;
         writeln!(
             out,
-            "total reduction {:.2} cores, payoff {:.2} core-hours/h",
-            o.clearing.total_reduction(),
-            o.clearing.total_reward_rate()
+            "total reduction {:.2}, payoff {:.2}{}/h",
+            Cores::new(o.clearing.total_reduction()),
+            o.clearing.total_reward_rate(),
+            CoreHours::SUFFIX
         )?;
     } else {
         let m: StaticMarket = costs
@@ -211,17 +218,18 @@ pub fn market(args: &MarketArgs, out: &mut dyn Write) -> Result<(), Box<dyn std:
                     StaticStrategy::Cooperative
                         .supply_for(c)
                         .expect("catalog costs are valid"),
-                    w,
+                    Watts::new(w),
                 )
             })
             .collect();
-        let clearing = m.clear(args.target_watts)?;
+        let clearing = m.clear(Watts::new(args.target_watts))?;
         writeln!(out, "MPR-STAT cleared at q' = {:.4}", clearing.price())?;
         writeln!(
             out,
-            "total reduction {:.2} cores, payoff {:.2} core-hours/h",
-            clearing.total_reduction(),
-            clearing.total_reward_rate()
+            "total reduction {:.2}, payoff {:.2}{}/h",
+            Cores::new(clearing.total_reduction()),
+            clearing.total_reward_rate(),
+            CoreHours::SUFFIX
         )?;
     }
     Ok(())

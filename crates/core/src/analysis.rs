@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::error::MarketError;
 use crate::market::Clearing;
 use crate::opt::{self, OptJob, OptMethod};
+use crate::units::Watts;
 
 /// Welfare decomposition of one clearing against the true cost models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,12 +71,12 @@ pub fn evaluate<C: CostModel>(
         .sum();
     let payment = clearing.total_reward_rate();
     let delivered = clearing.total_power_reduction();
-    let optimal_cost = if delivered > 1e-12 {
+    let optimal_cost = if delivered.get() > 1e-12 {
         let jobs: Vec<OptJob<'_>> = true_costs
             .iter()
             .zip(watts_per_unit)
             .enumerate()
-            .map(|(i, (c, &w))| OptJob::new(i as u64, c, w))
+            .map(|(i, (c, &w))| OptJob::new(i as u64, c, Watts::new(w)))
             .collect();
         opt::solve(&jobs, delivered, OptMethod::Auto)?.total_cost
     } else {
@@ -111,10 +112,10 @@ mod tests {
         let agents: Vec<Box<dyn crate::market::interactive::BiddingAgent>> = cs
             .iter()
             .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, Watts::new(125.0))) as _)
             .collect();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let out = m.clear(250.0).unwrap();
+        let out = m.clear(Watts::new(250.0)).unwrap();
         let w = vec![125.0; cs.len()];
         let welfare = evaluate(&out.clearing, &cs, &w).unwrap();
         let eff = welfare.efficiency().unwrap();
@@ -132,11 +133,11 @@ mod tests {
                 Participant::new(
                     i as u64,
                     StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                    125.0,
+                    Watts::new(125.0),
                 )
             })
             .collect();
-        let clearing = market.clear(250.0).unwrap();
+        let clearing = market.clear(Watts::new(250.0)).unwrap();
         let w = vec![125.0; cs.len()];
         let welfare = evaluate(&clearing, &cs, &w).unwrap();
         let eff = welfare.efficiency().unwrap();
@@ -155,18 +156,18 @@ mod tests {
                 Participant::new(
                     i as u64,
                     StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                    125.0,
+                    Watts::new(125.0),
                 )
             })
             .collect();
-        let clearing = market.clear(100.0).unwrap();
+        let clearing = market.clear(Watts::new(100.0)).unwrap();
         let err = evaluate(&clearing, &cs[..2], &[125.0, 125.0]).unwrap_err();
         assert!(matches!(err, MarketError::InvalidParameter { .. }));
     }
 
     #[test]
     fn empty_clearing_has_no_efficiency() {
-        let clearing = Clearing::new(0.0, 0.0, Vec::new(), 1);
+        let clearing = Clearing::new(crate::units::Price::ZERO, Watts::ZERO, Vec::new(), 1);
         let welfare = evaluate::<QuadraticCost>(&clearing, &[], &[]).unwrap();
         assert_eq!(welfare.efficiency(), None);
         assert_eq!(welfare.user_surplus, 0.0);

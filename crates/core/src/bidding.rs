@@ -13,6 +13,7 @@ use crate::cost::CostModel;
 use crate::error::MarketError;
 use crate::numeric;
 use crate::supply::SupplyFunction;
+use crate::units::Price;
 
 /// Grid density for the bid/response searches. 512 samples over `[0, Δ]`
 /// keeps strategy computation O(microseconds) — the "lightweight
@@ -145,11 +146,11 @@ pub struct BestResponse {
 ///
 /// ```
 /// use mpr_core::bidding::best_response;
-/// use mpr_core::QuadraticCost;
+/// use mpr_core::{Price, QuadraticCost};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// // G = qδ − 2δ² peaks at δ* = q/4.
-/// let r = best_response(&QuadraticCost::new(2.0, 1.0), 1.0)?;
+/// let r = best_response(&QuadraticCost::new(2.0, 1.0), Price::new(1.0))?;
 /// assert!((r.delta - 0.25).abs() < 1e-6);
 /// # Ok(())
 /// # }
@@ -161,12 +162,13 @@ pub struct BestResponse {
 /// price, or when the cost model's `delta_max` is not positive.
 pub fn best_response<C: CostModel + ?Sized>(
     cost: &C,
-    price: f64,
+    price: Price,
 ) -> Result<BestResponse, MarketError> {
-    if !price.is_finite() || price < 0.0 {
+    let q = price.get();
+    if !q.is_finite() || q < 0.0 {
         return Err(MarketError::InvalidParameter {
             name: "price",
-            value: price,
+            value: q,
             constraint: "must be finite and >= 0",
         });
     }
@@ -178,14 +180,14 @@ pub fn best_response<C: CostModel + ?Sized>(
             constraint: "cost model must allow a positive reduction",
         });
     }
-    let (delta, net_gain) = numeric::maximize(0.0, delta_max, GRID, |d| price * d - cost.cost(d))?;
+    let (delta, net_gain) = numeric::maximize(0.0, delta_max, GRID, |d| q * d - cost.cost(d))?;
     // Never supply at a loss: δ = 0 always achieves G = 0.
     let (delta, net_gain) = if net_gain < 0.0 {
         (0.0, 0.0)
     } else {
         (delta, net_gain)
     };
-    let bid = (price * (delta_max - delta)).max(0.0);
+    let bid = (q * (delta_max - delta)).max(0.0);
     Ok(BestResponse {
         delta,
         bid,
@@ -196,9 +198,9 @@ pub fn best_response<C: CostModel + ?Sized>(
 /// Net market gain (Eqn. 7) of a user holding `supply` when the market
 /// clears at `price`: payoff `q'·δ(q')` minus the cost `C(δ(q'))`.
 #[must_use]
-pub fn net_gain<C: CostModel + ?Sized>(cost: &C, supply: &SupplyFunction, price: f64) -> f64 {
+pub fn net_gain<C: CostModel + ?Sized>(cost: &C, supply: &SupplyFunction, price: Price) -> f64 {
     let delta = supply.supply(price);
-    price * delta - cost.cost(delta)
+    price.get() * delta - cost.cost(delta)
 }
 
 #[cfg(test)]
@@ -229,7 +231,7 @@ mod tests {
         let supply = StaticStrategy::Cooperative.supply_for(&cost).unwrap();
         for i in 1..200 {
             let q = 0.05 * f64::from(i);
-            let g = net_gain(&cost, &supply, q);
+            let g = net_gain(&cost, &supply, Price::new(q));
             assert!(g >= -1e-9, "negative gain {g} at price {q}");
         }
     }
@@ -240,7 +242,8 @@ mod tests {
         let supply = StaticStrategy::Deficient { factor: 0.2 }
             .supply_for(&cost)
             .unwrap();
-        let lost = (1..200).any(|i| net_gain(&cost, &supply, 0.02 * f64::from(i)) < -1e-9);
+        let lost =
+            (1..200).any(|i| net_gain(&cost, &supply, Price::new(0.02 * f64::from(i))) < -1e-9);
         assert!(lost, "a strongly deficient bid should lose at some price");
     }
 
@@ -252,7 +255,7 @@ mod tests {
             .supply_for(&cost)
             .unwrap();
         for i in 1..50 {
-            let q = 0.1 * f64::from(i);
+            let q = Price::new(0.1 * f64::from(i));
             assert!(cons.supply(q) <= coop.supply(q) + 1e-12);
         }
     }
@@ -275,7 +278,7 @@ mod tests {
     fn best_response_quadratic_closed_form() {
         // G = qδ − αδ²; δ* = q/(2α) when interior.
         let cost = QuadraticCost::new(2.0, 1.0);
-        let r = best_response(&cost, 1.0).unwrap();
+        let r = best_response(&cost, Price::new(1.0)).unwrap();
         assert!((r.delta - 0.25).abs() < 1e-6, "delta = {}", r.delta);
         assert!((r.net_gain - (1.0 * 0.25 - 2.0 * 0.0625)).abs() < 1e-9);
         assert!((r.bid - 1.0 * (1.0 - 0.25)).abs() < 1e-6);
@@ -284,7 +287,7 @@ mod tests {
     #[test]
     fn best_response_saturates_at_delta_max() {
         let cost = QuadraticCost::new(0.1, 0.5);
-        let r = best_response(&cost, 10.0).unwrap();
+        let r = best_response(&cost, Price::new(10.0)).unwrap();
         assert!((r.delta - 0.5).abs() < 1e-9);
         assert!(r.bid.abs() < 1e-6);
     }
@@ -292,7 +295,7 @@ mod tests {
     #[test]
     fn best_response_zero_price_supplies_nothing() {
         let cost = QuadraticCost::new(1.0, 1.0);
-        let r = best_response(&cost, 0.0).unwrap();
+        let r = best_response(&cost, Price::ZERO).unwrap();
         assert_eq!(r.delta, 0.0);
         assert_eq!(r.net_gain, 0.0);
     }
@@ -300,8 +303,8 @@ mod tests {
     #[test]
     fn best_response_rejects_bad_price() {
         let cost = QuadraticCost::new(1.0, 1.0);
-        assert!(best_response(&cost, f64::NAN).is_err());
-        assert!(best_response(&cost, -1.0).is_err());
+        assert!(best_response(&cost, Price::new(f64::NAN)).is_err());
+        assert!(best_response(&cost, Price::new(-1.0)).is_err());
     }
 
     #[test]
@@ -321,13 +324,14 @@ mod tests {
             price in 0.0f64..20.0,
         ) {
             let cost = PowerLawCost::new(alpha, exponent, delta_max);
-            let r = best_response(&cost, price).unwrap();
+            let r = best_response(&cost, Price::new(price)).unwrap();
             prop_assert!(r.net_gain >= -1e-9);
             prop_assert!(r.delta >= 0.0 && r.delta <= delta_max + 1e-9);
             if price > 0.0 {
                 let s = SupplyFunction::new(delta_max, r.bid).unwrap();
-                prop_assert!((s.supply(price) - r.delta).abs() < 1e-6,
-                    "supply({price}) = {} but delta = {}", s.supply(price), r.delta);
+                let at = s.supply(Price::new(price));
+                prop_assert!((at - r.delta).abs() < 1e-6,
+                    "supply({price}) = {at} but delta = {}", r.delta);
             }
         }
 
@@ -342,7 +346,7 @@ mod tests {
         ) {
             let cost = PowerLawCost::new(alpha, exponent, delta_max);
             let supply = StaticStrategy::Cooperative.supply_for(&cost).unwrap();
-            prop_assert!(net_gain(&cost, &supply, price) >= -1e-6);
+            prop_assert!(net_gain(&cost, &supply, Price::new(price)) >= -1e-6);
         }
     }
 }

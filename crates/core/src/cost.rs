@@ -201,7 +201,7 @@ impl CostModel for PowerLawCost {
     }
     fn marginal(&self, delta: f64) -> f64 {
         let d = delta.max(0.0);
-        if d == 0.0 && self.exponent < 1.0 {
+        if d <= 0.0 && self.exponent < 1.0 {
             return f64::INFINITY;
         }
         self.coeff * self.exponent * d.powf(self.exponent - 1.0)

@@ -9,6 +9,7 @@
 
 use crate::error::MarketError;
 use crate::participant::JobId;
+use crate::units::Watts;
 
 /// One job as seen by EQL: just its size. No cost model, no bids — EQL is
 /// deliberately oblivious.
@@ -59,13 +60,14 @@ impl EqlOutcome {
 ///
 /// ```
 /// use mpr_core::eql::{reduce, EqlJob};
+/// use mpr_core::Watts;
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// let jobs = [
 ///     EqlJob { id: 0, cores: 10.0, delta_max: 7.0, watts_per_unit: 125.0 },
 ///     EqlJob { id: 1, cores: 30.0, delta_max: 21.0, watts_per_unit: 125.0 },
 /// ];
-/// let out = reduce(&jobs, 1000.0)?;
+/// let out = reduce(&jobs, Watts::new(1000.0))?;
 /// assert!((out.fraction - 0.2).abs() < 1e-12); // everyone slows by 20 %
 /// # Ok(())
 /// # }
@@ -77,7 +79,8 @@ impl EqlOutcome {
 ///   target.
 /// * [`MarketError::Infeasible`] when even `f = 1` (all cores stopped)
 ///   cannot reach the target.
-pub fn reduce(jobs: &[EqlJob], target_watts: f64) -> Result<EqlOutcome, MarketError> {
+pub fn reduce(jobs: &[EqlJob], target: Watts) -> Result<EqlOutcome, MarketError> {
+    let target_watts = target.get();
     if target_watts <= 0.0 {
         return Ok(EqlOutcome {
             fraction: 0.0,
@@ -138,7 +141,7 @@ mod tests {
     #[test]
     fn uniform_fraction_reaches_target() {
         let jobs = vec![job(0, 10.0, 7.0), job(1, 30.0, 21.0)];
-        let out = reduce(&jobs, 1000.0).unwrap();
+        let out = reduce(&jobs, Watts::new(1000.0)).unwrap();
         // f = 1000 / (40 * 125) = 0.2
         assert!((out.fraction - 0.2).abs() < 1e-12);
         assert!((out.reductions[0].1 - 2.0).abs() < 1e-12);
@@ -151,7 +154,7 @@ mod tests {
     fn violations_reported_for_sensitive_jobs() {
         // Job 1 tolerates only 10 % reduction; a 40 % uniform cut violates it.
         let jobs = vec![job(0, 10.0, 9.0), job(1, 10.0, 1.0)];
-        let out = reduce(&jobs, 1000.0).unwrap();
+        let out = reduce(&jobs, Watts::new(1000.0)).unwrap();
         assert!((out.fraction - 0.4).abs() < 1e-12);
         assert_eq!(out.violations, vec![1]);
         assert!(!out.is_feasible());
@@ -160,17 +163,20 @@ mod tests {
     #[test]
     fn zero_target_no_reduction() {
         let jobs = vec![job(0, 4.0, 2.0)];
-        let out = reduce(&jobs, 0.0).unwrap();
+        let out = reduce(&jobs, Watts::ZERO).unwrap();
         assert_eq!(out.fraction, 0.0);
         assert!(out.is_feasible());
     }
 
     #[test]
     fn empty_and_overlarge_targets_err() {
-        assert_eq!(reduce(&[], 10.0), Err(MarketError::NoParticipants));
+        assert_eq!(
+            reduce(&[], Watts::new(10.0)),
+            Err(MarketError::NoParticipants)
+        );
         let jobs = vec![job(0, 1.0, 0.7)];
         assert!(matches!(
-            reduce(&jobs, 1e6),
+            reduce(&jobs, Watts::new(1e6)),
             Err(MarketError::Infeasible { .. })
         ));
     }
@@ -190,7 +196,7 @@ mod tests {
                 .collect();
             let capacity: f64 = jobs.iter().map(|j| j.cores * 125.0).sum();
             let target = frac * capacity;
-            let out = reduce(&jobs, target).unwrap();
+            let out = reduce(&jobs, Watts::new(target)).unwrap();
             prop_assert!(out.fraction >= 0.0 && out.fraction <= 1.0);
             for ((_, d), j) in out.reductions.iter().zip(&jobs) {
                 prop_assert!((d / j.cores - out.fraction).abs() < 1e-9);

@@ -32,16 +32,16 @@
 //! Clear a static market over three jobs that must jointly shed 500 W:
 //!
 //! ```
-//! use mpr_core::{Participant, StaticMarket, SupplyFunction};
+//! use mpr_core::{Participant, StaticMarket, SupplyFunction, Watts};
 //!
 //! # fn main() -> Result<(), mpr_core::MarketError> {
 //! let market = StaticMarket::new(vec![
-//!     Participant::new(0, SupplyFunction::new(4.0, 0.8)?, 125.0),
-//!     Participant::new(1, SupplyFunction::new(8.0, 0.4)?, 125.0),
-//!     Participant::new(2, SupplyFunction::new(2.0, 2.0)?, 125.0),
+//!     Participant::new(0, SupplyFunction::new(4.0, 0.8)?, Watts::new(125.0)),
+//!     Participant::new(1, SupplyFunction::new(8.0, 0.4)?, Watts::new(125.0)),
+//!     Participant::new(2, SupplyFunction::new(2.0, 2.0)?, Watts::new(125.0)),
 //! ]);
-//! let clearing = market.clear(500.0)?;
-//! assert!(clearing.total_power_reduction() >= 500.0 * 0.999);
+//! let clearing = market.clear(Watts::new(500.0))?;
+//! assert!(clearing.total_power_reduction() >= Watts::new(500.0 * 0.999));
 //! for a in clearing.allocations() {
 //!     println!("job {} sheds {:.3} cores, reward {:.3} core-hours/h",
 //!              a.id, a.reduction, a.reward_rate());

@@ -32,6 +32,7 @@ use crate::market::{Allocation, Clearing};
 use crate::mclr;
 use crate::participant::{JobId, Participant};
 use crate::supply::SupplyFunction;
+use crate::units::{Price, Watts};
 
 // ---------------------------------------------------------------------------
 // Deterministic seeding
@@ -321,8 +322,9 @@ impl ConvergenceWatchdog {
             return false;
         }
         let half = self.capacity / 2;
-        let older: f64 = self.window[..half].iter().sum::<f64>() / half as f64;
-        let newer: f64 = self.window[half..].iter().sum::<f64>() / (self.capacity - half) as f64;
+        let (old_half, new_half) = self.window.split_at(half);
+        let older: f64 = old_half.iter().sum::<f64>() / half as f64;
+        let newer: f64 = new_half.iter().sum::<f64>() / (self.capacity - half) as f64;
         newer >= 0.8 * older
     }
 }
@@ -527,10 +529,12 @@ impl ResilientInteractiveMarket {
     ///
     /// [`MarketError::NoParticipants`] on an empty market with a positive
     /// target — the one failure no fallback can absorb.
-    pub fn clear(&mut self, target_watts: f64) -> Result<ResilientOutcome, MarketError> {
+    pub fn clear(&mut self, target: Watts) -> Result<ResilientOutcome, MarketError> {
+        let target_watts = target.get();
         if target_watts <= 0.0 {
+            let clamped = Watts::new(target_watts.max(0.0));
             return Ok(ResilientOutcome {
-                clearing: Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 0),
+                clearing: Clearing::new(Price::ZERO, clamped, Vec::new(), 0),
                 chain_level: ChainLevel::Interactive,
                 converged: true,
                 diverged: false,
@@ -616,8 +620,8 @@ impl ResilientInteractiveMarket {
             if participants.is_empty() {
                 break 'rounds;
             }
-            let sol = mclr::clear_best_effort(&participants, target_watts);
-            let next = (1.0 - icfg.damping) * price + icfg.damping * sol.price;
+            let sol = mclr::clear_best_effort(&participants, target);
+            let next = (1.0 - icfg.damping) * price + icfg.damping * sol.price.get();
             let rel_change = (next - price).abs() / price.abs().max(1e-9);
             price = next;
             trace.push(price);
@@ -636,8 +640,8 @@ impl ResilientInteractiveMarket {
         if converged && !diverged {
             let participants = self.survivor_participants();
             if !participants.is_empty() {
-                let sol = mclr::clear_best_effort(&participants, target_watts);
-                let clearing = self.allocate_from_bids(sol.price, target_watts, rounds, false);
+                let sol = mclr::clear_best_effort(&participants, target);
+                let clearing = self.allocate_from_bids(sol.price, target, rounds, false);
                 if clearing.met_target() {
                     return Ok(ResilientOutcome {
                         clearing,
@@ -656,8 +660,8 @@ impl ResilientInteractiveMarket {
         // --- Level 1: one static MClr solve over every job's last-known or
         // cooperative bid. ---
         let all = self.all_participants();
-        let sol = mclr::clear_best_effort(&all, target_watts);
-        let clearing = self.allocate_from_bids(sol.price, target_watts, rounds, true);
+        let sol = mclr::clear_best_effort(&all, target);
+        let clearing = self.allocate_from_bids(sol.price, target, rounds, true);
         if clearing.met_target() {
             return Ok(ResilientOutcome {
                 clearing,
@@ -697,7 +701,7 @@ impl ResilientInteractiveMarket {
             .collect();
         let delivered: f64 = allocations.iter().map(|a| a.power_reduction).sum();
         Ok(ResilientOutcome {
-            clearing: Clearing::new(0.0, target_watts, allocations, rounds),
+            clearing: Clearing::new(Price::ZERO, target, allocations, rounds),
             chain_level: ChainLevel::EqlCapping,
             converged,
             diverged,
@@ -720,7 +724,7 @@ impl ResilientInteractiveMarket {
                 Some(Participant::new(
                     s.agent.job_id(),
                     supply,
-                    s.agent.watts_per_unit(),
+                    Watts::new(s.agent.watts_per_unit()),
                 ))
             })
             .collect()
@@ -740,7 +744,7 @@ impl ResilientInteractiveMarket {
                 Some(Participant::new(
                     s.agent.job_id(),
                     supply,
-                    s.agent.watts_per_unit(),
+                    Watts::new(s.agent.watts_per_unit()),
                 ))
             })
             .collect()
@@ -752,8 +756,8 @@ impl ResilientInteractiveMarket {
     /// its last-known/cooperative/zero bid).
     fn allocate_from_bids(
         &self,
-        price: f64,
-        target_watts: f64,
+        price: Price,
+        target: Watts,
         iterations: usize,
         include_quarantined: bool,
     ) -> Clearing {
@@ -775,11 +779,11 @@ impl ResilientInteractiveMarket {
                     id: s.agent.job_id(),
                     reduction,
                     power_reduction: reduction * s.agent.watts_per_unit(),
-                    price,
+                    price: price.get(),
                 }
             })
             .collect();
-        Clearing::new(price, target_watts, allocations, iterations)
+        Clearing::new(price, target, allocations, iterations)
     }
 }
 
@@ -793,7 +797,7 @@ mod tests {
     const WPU: f64 = 125.0;
 
     fn rational(id: JobId, alpha: f64) -> NetGainAgent<QuadraticCost> {
-        NetGainAgent::new(id, QuadraticCost::new(alpha, 1.0), WPU)
+        NetGainAgent::new(id, QuadraticCost::new(alpha, 1.0), Watts::new(WPU))
     }
 
     fn resilient_over(agents: Vec<Box<dyn BiddingAgent>>) -> ResilientInteractiveMarket {
@@ -818,7 +822,7 @@ mod tests {
             .map(|i| Box::new(rational(i, 1.0 + i as f64)) as _)
             .collect();
         let mut m = resilient_over(agents);
-        let out = m.clear(200.0).unwrap();
+        let out = m.clear(Watts::new(200.0)).unwrap();
         assert_eq!(out.chain_level, ChainLevel::Interactive);
         assert!(out.converged && !out.diverged);
         assert!(out.quarantined.is_empty());
@@ -831,14 +835,17 @@ mod tests {
     #[test]
     fn zero_target_and_empty_market_edge_cases() {
         let mut m = resilient_over(vec![Box::new(rational(0, 1.0))]);
-        let out = m.clear(0.0).unwrap();
+        let out = m.clear(Watts::ZERO).unwrap();
         assert!(out.converged);
-        assert_eq!(out.clearing.price(), 0.0);
+        assert_eq!(out.clearing.price(), Price::ZERO);
 
         let mut empty = ResilientInteractiveMarket::new(ResilientConfig::default());
         assert!(empty.is_empty());
         assert_eq!(empty.len(), 0);
-        assert_eq!(empty.clear(10.0).unwrap_err(), MarketError::NoParticipants);
+        assert_eq!(
+            empty.clear(Watts::new(10.0)).unwrap_err(),
+            MarketError::NoParticipants
+        );
     }
 
     #[test]
@@ -849,7 +856,7 @@ mod tests {
         agents.push(Box::new(UnresponsiveAgent::new(rational(6, 1.0), 0)));
         let mut m = resilient_over(agents);
         // Target within the survivors' capability.
-        let out = m.clear(300.0).unwrap();
+        let out = m.clear(Watts::new(300.0)).unwrap();
         assert_eq!(out.quarantined_ids(), vec![6]);
         assert!(matches!(
             out.quarantined[0].error,
@@ -875,7 +882,7 @@ mod tests {
             vec![Box::new(rational(0, 1.0)), Box::new(rational(1, 2.0))];
         agents.push(Box::new(CrashAgent::new(rational(2, 1.0), 1)));
         let mut m = resilient_over(agents);
-        let out = m.clear(150.0).unwrap();
+        let out = m.clear(Watts::new(150.0)).unwrap();
         assert_eq!(out.quarantined_ids(), vec![2]);
         assert!(matches!(
             out.quarantined[0].error,
@@ -902,7 +909,7 @@ mod tests {
             Box::new(UnresponsiveAgent::new(rational(3, 1.0), 0)),
             Some(coop),
         );
-        let out = m.clear(420.0).unwrap();
+        let out = m.clear(Watts::new(420.0)).unwrap();
         assert_eq!(out.quarantined_ids(), vec![2, 3]);
         assert!(out.is_degraded());
         assert_eq!(out.chain_level, ChainLevel::StaticFallback);
@@ -934,9 +941,9 @@ mod tests {
         m.register(Box::new(rational(1, 2.0)), None);
         // A large byzantine participant oscillating 8x over/under swings
         // the clearing price every round.
-        let big = NetGainAgent::new(2, QuadraticCost::new(0.5, 8.0), WPU);
+        let big = NetGainAgent::new(2, QuadraticCost::new(0.5, 8.0), Watts::new(WPU));
         m.register(Box::new(ByzantineAgent::new(big, 8.0, true, 7)), None);
-        let out = m.clear(800.0).unwrap();
+        let out = m.clear(Watts::new(800.0)).unwrap();
         assert!(out.diverged, "watchdog must detect the oscillation");
         assert!(!out.converged);
         assert!(
@@ -957,7 +964,7 @@ mod tests {
             vec![Box::new(rational(0, 1.0)), Box::new(rational(1, 2.0))];
         agents.push(Box::new(StaleAgent::new(rational(2, 1.5), 1)));
         let mut m = resilient_over(agents);
-        let out = m.clear(250.0).unwrap();
+        let out = m.clear(Watts::new(250.0)).unwrap();
         // Staleness is silent: nobody is quarantined and the exchange still
         // settles (the stale bid is just a constant supply).
         assert!(out.quarantined.is_empty());
@@ -1007,11 +1014,11 @@ mod tests {
             );
         }
         // Attainable: 4 jobs · Δ=1 · 125 W = 500 W. Ask for all of it.
-        let out = m.clear(500.0).unwrap();
+        let out = m.clear(Watts::new(500.0)).unwrap();
         assert_eq!(out.quarantined.len(), 4);
         assert!(out.is_degraded());
         assert!(
-            out.clearing.total_power_reduction() >= 500.0 * (1.0 - 1e-6),
+            out.clearing.total_power_reduction().get() >= 500.0 * (1.0 - 1e-6),
             "terminal level must deliver the attainable maximum, got {}",
             out.clearing.total_power_reduction()
         );
@@ -1025,12 +1032,12 @@ mod tests {
             Box::new(rational(1, 1.0)),
         ]);
         // Attainable 250 W; ask for 1000 W.
-        let out = m.clear(1000.0).unwrap();
+        let out = m.clear(Watts::new(1000.0)).unwrap();
         assert_eq!(out.chain_level, ChainLevel::EqlCapping);
-        assert!((out.clearing.total_power_reduction() - 250.0).abs() < 1e-6);
+        assert!((out.clearing.total_power_reduction().get() - 250.0).abs() < 1e-6);
         assert!((out.residual_watts - 750.0).abs() < 1e-6);
         // Forced capping pays nothing.
-        assert_eq!(out.clearing.price(), 0.0);
+        assert_eq!(out.clearing.price(), Price::ZERO);
     }
 
     #[test]
@@ -1075,7 +1082,7 @@ mod tests {
             Some(coop),
         );
         // 240 W needs both jobs (each caps at 125 W).
-        let out = m.clear(240.0).unwrap();
+        let out = m.clear(Watts::new(240.0)).unwrap();
         assert_eq!(out.quarantined_ids(), vec![1]);
         assert!(out.clearing.met_target());
         let a = out

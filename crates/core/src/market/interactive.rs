@@ -13,6 +13,7 @@ use crate::market::{Allocation, Clearing};
 use crate::mclr;
 use crate::participant::{JobId, Participant};
 use crate::supply::SupplyFunction;
+use crate::units::{Price, Watts};
 
 /// A user-side software agent that answers price announcements with bids.
 ///
@@ -67,11 +68,11 @@ impl<C: CostModel> NetGainAgent<C> {
     /// Creates a rational agent for job `id` with the user's private cost
     /// model.
     #[must_use]
-    pub fn new(id: JobId, cost: C, watts_per_unit: f64) -> Self {
+    pub fn new(id: JobId, cost: C, watts_per_unit: Watts) -> Self {
         Self {
             id,
             cost,
-            watts_per_unit,
+            watts_per_unit: watts_per_unit.get(),
         }
     }
 
@@ -93,7 +94,7 @@ impl<C: CostModel + Send> BiddingAgent for NetGainAgent<C> {
         self.cost.delta_max()
     }
     fn respond(&mut self, price: f64) -> Result<f64, MarketError> {
-        Ok(bidding::best_response(&self.cost, price)?.bid)
+        Ok(bidding::best_response(&self.cost, Price::new(price))?.bid)
     }
 }
 
@@ -183,10 +184,12 @@ impl InteractiveMarket {
     /// * [`MarketError::Infeasible`] when `Σ Δ_m · watts_per_unit` cannot
     ///   cover the target (feasibility does not depend on the bids).
     /// * Any error raised by an agent's [`BiddingAgent::respond`].
-    pub fn clear(&mut self, target_watts: f64) -> Result<InteractiveOutcome, MarketError> {
+    pub fn clear(&mut self, target: Watts) -> Result<InteractiveOutcome, MarketError> {
+        let target_watts = target.get();
         if target_watts <= 0.0 {
+            let clamped = Watts::new(target_watts.max(0.0));
             return Ok(InteractiveOutcome {
-                clearing: Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 0),
+                clearing: Clearing::new(Price::ZERO, clamped, Vec::new(), 0),
                 converged: true,
                 price_trace: vec![0.0],
             });
@@ -229,11 +232,11 @@ impl InteractiveMarket {
                 participants.push(Participant::new(
                     agent.job_id(),
                     SupplyFunction::new(agent.delta_max(), bid.max(0.0))?,
-                    agent.watts_per_unit(),
+                    Watts::new(agent.watts_per_unit()),
                 ));
             }
-            let sol = mclr::clear_best_effort(&participants, target_watts);
-            let next = (1.0 - self.config.damping) * price + self.config.damping * sol.price;
+            let sol = mclr::clear_best_effort(&participants, target);
+            let next = (1.0 - self.config.damping) * price + self.config.damping * sol.price.get();
             let rel_change = (next - price).abs() / price.abs().max(1e-9);
             price = next;
             trace.push(price);
@@ -246,22 +249,22 @@ impl InteractiveMarket {
         // Final clearing with the last bids: one more MClr solve guarantees
         // the damped/announced price is replaced by one that actually meets
         // the target with these supplies.
-        let final_sol = mclr::clear_best_effort(&participants, target_watts);
-        price = final_sol.price;
+        let final_sol = mclr::clear_best_effort(&participants, target);
+        let clearing_price = final_sol.price;
         let allocations: Vec<Allocation> = participants
             .iter()
             .map(|p| {
-                let reduction = p.supply.supply(price);
+                let reduction = p.supply.supply(clearing_price);
                 Allocation {
                     id: p.id,
                     reduction,
                     power_reduction: reduction * p.watts_per_unit,
-                    price,
+                    price: clearing_price.get(),
                 }
             })
             .collect();
         Ok(InteractiveOutcome {
-            clearing: Clearing::new(price, target_watts, allocations, iterations),
+            clearing: Clearing::new(clearing_price, target, allocations, iterations),
             converged,
             price_trace: trace,
         })
@@ -282,7 +285,7 @@ mod tests {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     QuadraticCost::new(a, 1.0),
-                    125.0,
+                    Watts::new(125.0),
                 )) as Box<dyn BiddingAgent>
             })
             .collect()
@@ -292,7 +295,7 @@ mod tests {
     fn converges_on_quadratic_costs() {
         let mut m =
             InteractiveMarket::new(quad_agents(&[1.0, 2.0, 4.0]), InteractiveConfig::default());
-        let out = m.clear(150.0).unwrap();
+        let out = m.clear(Watts::new(150.0)).unwrap();
         assert!(out.converged, "price trace: {:?}", out.price_trace);
         assert!(out.clearing.met_target());
         // More sensitive (higher α) jobs reduce less.
@@ -312,17 +315,17 @@ mod tests {
         let agents: Vec<Box<dyn BiddingAgent>> = costs
             .iter()
             .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, Watts::new(125.0))) as _)
             .collect();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let out = m.clear(250.0).unwrap();
+        let out = m.clear(Watts::new(250.0)).unwrap();
 
         let jobs: Vec<opt::OptJob<'_>> = costs
             .iter()
             .enumerate()
-            .map(|(i, c)| opt::OptJob::new(i as u64, c, 125.0))
+            .map(|(i, c)| opt::OptJob::new(i as u64, c, Watts::new(125.0)))
             .collect();
-        let optimal = opt::solve(&jobs, 250.0, opt::OptMethod::Auto).unwrap();
+        let optimal = opt::solve(&jobs, Watts::new(250.0), opt::OptMethod::Auto).unwrap();
 
         let int_cost: f64 = out
             .clearing
@@ -344,15 +347,18 @@ mod tests {
     #[test]
     fn zero_target_clears_immediately() {
         let mut m = InteractiveMarket::new(quad_agents(&[1.0]), InteractiveConfig::default());
-        let out = m.clear(0.0).unwrap();
+        let out = m.clear(Watts::ZERO).unwrap();
         assert!(out.converged);
-        assert_eq!(out.clearing.price(), 0.0);
+        assert_eq!(out.clearing.price(), Price::ZERO);
     }
 
     #[test]
     fn empty_market_errs() {
         let mut m = InteractiveMarket::new(Vec::new(), InteractiveConfig::default());
-        assert_eq!(m.clear(10.0).unwrap_err(), MarketError::NoParticipants);
+        assert_eq!(
+            m.clear(Watts::new(10.0)).unwrap_err(),
+            MarketError::NoParticipants
+        );
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
     }
@@ -361,7 +367,7 @@ mod tests {
     fn infeasible_target_errs() {
         let mut m = InteractiveMarket::new(quad_agents(&[1.0]), InteractiveConfig::default());
         // One job, Δ = 1, 125 W/unit → attainable 125 W.
-        let err = m.clear(1000.0).unwrap_err();
+        let err = m.clear(Watts::new(1000.0)).unwrap_err();
         assert!(matches!(err, MarketError::Infeasible { .. }));
     }
 
@@ -375,10 +381,10 @@ mod tests {
                 ..InteractiveConfig::default()
             },
         );
-        let out = m.clear(100.0).unwrap();
+        let out = m.clear(Watts::new(100.0)).unwrap();
         assert!(!out.converged);
         assert_eq!(out.clearing.iterations(), 2);
-        assert!(out.clearing.price() > 0.0);
+        assert!(out.clearing.price() > Price::ZERO);
     }
 
     #[test]
@@ -390,7 +396,7 @@ mod tests {
                 ..InteractiveConfig::default()
             },
         );
-        let out = m.clear(150.0).unwrap();
+        let out = m.clear(Watts::new(150.0)).unwrap();
         assert!(out.converged);
         assert!(out.clearing.met_target());
     }
@@ -403,7 +409,7 @@ mod tests {
             let alphas: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
             let mut m = InteractiveMarket::new(quad_agents(&alphas), InteractiveConfig::default());
             let attainable = 125.0 * n as f64;
-            let out = m.clear(0.3 * attainable).unwrap();
+            let out = m.clear(Watts::new(0.3 * attainable)).unwrap();
             assert!(out.converged);
             iters.push(out.clearing.iterations());
         }
@@ -445,12 +451,12 @@ mod tests {
     fn agent_failure_aborts_the_round_with_an_error() {
         let mut agents = quad_agents(&[1.0, 2.0]);
         agents.push(Box::new(FlakyAgent {
-            inner: NetGainAgent::new(99, QuadraticCost::new(3.0, 1.0), 125.0),
+            inner: NetGainAgent::new(99, QuadraticCost::new(3.0, 1.0), Watts::new(125.0)),
             rounds_before_failure: 2,
             round: 0,
         }));
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let err = m.clear(200.0).unwrap_err();
+        let err = m.clear(Watts::new(200.0)).unwrap_err();
         assert_eq!(err, MarketError::Numeric("agent lost connectivity"));
     }
 
@@ -478,7 +484,7 @@ mod tests {
         let mut agents = quad_agents(&[1.0]);
         agents.push(Box::new(GarbageAgent));
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let err = m.clear(150.0).unwrap_err();
+        let err = m.clear(Watts::new(150.0)).unwrap_err();
         assert!(matches!(err, MarketError::InvalidParameter { .. }));
     }
 
@@ -489,12 +495,12 @@ mod tests {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     PowerLawCost::new(1.0 + i as f64, 2.2, 0.7),
-                    125.0,
+                    Watts::new(125.0),
                 )) as _
             })
             .collect();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let out = m.clear(200.0).unwrap();
+        let out = m.clear(Watts::new(200.0)).unwrap();
         assert!(out.clearing.met_target());
     }
 }

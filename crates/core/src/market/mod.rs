@@ -13,6 +13,7 @@ pub mod interactive;
 pub mod static_market;
 
 use crate::participant::JobId;
+use crate::units::{Price, Watts};
 
 /// The resource reduction assigned to one job by a market clearing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,37 +41,37 @@ impl Allocation {
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Clearing {
-    price: f64,
-    target_watts: f64,
+    price: Price,
+    target: Watts,
     allocations: Vec<Allocation>,
     iterations: usize,
 }
 
 impl Clearing {
     pub(crate) fn new(
-        price: f64,
-        target_watts: f64,
+        price: Price,
+        target: Watts,
         allocations: Vec<Allocation>,
         iterations: usize,
     ) -> Self {
         Self {
             price,
-            target_watts,
+            target,
             allocations,
             iterations,
         }
     }
 
-    /// The market clearing price `q'`.
+    /// The market clearing price `q'`, in core-hours per watt.
     #[must_use]
-    pub fn price(&self) -> f64 {
+    pub fn price(&self) -> Price {
         self.price
     }
 
-    /// The power-reduction target this clearing was solved for, in watts.
+    /// The power-reduction target this clearing was solved for.
     #[must_use]
-    pub fn target_watts(&self) -> f64 {
-        self.target_watts
+    pub fn target_watts(&self) -> Watts {
+        self.target
     }
 
     /// Per-job reductions. Jobs supplying zero still appear with
@@ -92,10 +93,13 @@ impl Clearing {
         self.allocations.iter().map(|a| a.reduction).sum()
     }
 
-    /// Total power reduction across all jobs, in watts.
+    /// Total power reduction across all jobs.
     #[must_use]
-    pub fn total_power_reduction(&self) -> f64 {
-        self.allocations.iter().map(|a| a.power_reduction).sum()
+    pub fn total_power_reduction(&self) -> Watts {
+        self.allocations
+            .iter()
+            .map(|a| Watts::new(a.power_reduction))
+            .sum()
     }
 
     /// Total reward payoff rate `Σ q'·δ_m`, in core-hours per hour.
@@ -108,7 +112,7 @@ impl Clearing {
     /// numerical tolerance).
     #[must_use]
     pub fn met_target(&self) -> bool {
-        self.total_power_reduction() >= self.target_watts * (1.0 - 1e-6)
+        self.total_power_reduction().get() >= self.target.get() * (1.0 - 1e-6)
     }
 }
 
@@ -119,8 +123,8 @@ mod tests {
     #[test]
     fn clearing_aggregates() {
         let c = Clearing::new(
-            0.5,
-            250.0,
+            Price::new(0.5),
+            Watts::new(250.0),
             vec![
                 Allocation {
                     id: 0,
@@ -137,20 +141,20 @@ mod tests {
             ],
             1,
         );
-        assert_eq!(c.price(), 0.5);
+        assert_eq!(c.price(), Price::new(0.5));
         assert_eq!(c.total_reduction(), 2.0);
-        assert_eq!(c.total_power_reduction(), 250.0);
+        assert_eq!(c.total_power_reduction(), Watts::new(250.0));
         assert_eq!(c.total_reward_rate(), 1.0);
         assert!(c.met_target());
         assert_eq!(c.iterations(), 1);
-        assert_eq!(c.target_watts(), 250.0);
+        assert_eq!(c.target_watts(), Watts::new(250.0));
     }
 
     #[test]
     fn unmet_target_detected() {
         let c = Clearing::new(
-            0.5,
-            1000.0,
+            Price::new(0.5),
+            Watts::new(1000.0),
             vec![Allocation {
                 id: 0,
                 reduction: 1.0,

@@ -11,18 +11,19 @@ use crate::error::MarketError;
 use crate::market::{Allocation, Clearing};
 use crate::mclr;
 use crate::participant::Participant;
+use crate::units::{Price, Watts};
 
 /// The static MPR market over a set of active jobs.
 ///
 /// ```
-/// use mpr_core::{Participant, StaticMarket, SupplyFunction};
+/// use mpr_core::{Participant, StaticMarket, SupplyFunction, Watts};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// let market = StaticMarket::new(vec![
-///     Participant::new(0, SupplyFunction::new(1.0, 0.2)?, 125.0),
-///     Participant::new(1, SupplyFunction::new(1.0, 0.8)?, 125.0),
+///     Participant::new(0, SupplyFunction::new(1.0, 0.2)?, Watts::new(125.0)),
+///     Participant::new(1, SupplyFunction::new(1.0, 0.8)?, Watts::new(125.0)),
 /// ]);
-/// let clearing = market.clear(100.0)?;
+/// let clearing = market.clear(Watts::new(100.0))?;
 /// // The cheaper supplier (lower bid) reduces more.
 /// let a = clearing.allocations();
 /// assert!(a[0].reduction > a[1].reduction);
@@ -65,24 +66,25 @@ impl StaticMarket {
     ///
     /// Propagates [`MarketError::NoParticipants`] and
     /// [`MarketError::Infeasible`] from the MClr solve.
-    pub fn clear(&self, target_watts: f64) -> Result<Clearing, MarketError> {
-        let sol = mclr::solve(&self.participants, target_watts)?;
-        Ok(self.allocate(sol, target_watts))
+    pub fn clear(&self, target: Watts) -> Result<Clearing, MarketError> {
+        let sol = mclr::solve(&self.participants, target)?;
+        Ok(self.allocate(sol, target))
     }
 
     /// Best-effort clearing: on an infeasible target every job is capped at
     /// its maximum reduction instead of failing (the manager then falls back
     /// to direct capping for the remainder).
     #[must_use]
-    pub fn clear_best_effort(&self, target_watts: f64) -> Clearing {
-        if self.participants.is_empty() || target_watts <= 0.0 {
-            return Clearing::new(0.0, target_watts.max(0.0), Vec::new(), 1);
+    pub fn clear_best_effort(&self, target: Watts) -> Clearing {
+        if self.participants.is_empty() || target.get() <= 0.0 {
+            let clamped = Watts::new(target.get().max(0.0));
+            return Clearing::new(Price::ZERO, clamped, Vec::new(), 1);
         }
-        let sol = mclr::clear_best_effort(&self.participants, target_watts);
-        self.allocate(sol, target_watts)
+        let sol = mclr::clear_best_effort(&self.participants, target);
+        self.allocate(sol, target)
     }
 
-    fn allocate(&self, sol: mclr::MclrSolution, target_watts: f64) -> Clearing {
+    fn allocate(&self, sol: mclr::MclrSolution, target: Watts) -> Clearing {
         let allocations = self
             .participants
             .iter()
@@ -92,11 +94,12 @@ impl StaticMarket {
                     id: p.id,
                     reduction,
                     power_reduction: reduction * p.watts_per_unit,
-                    price: sol.price,
+                    price: sol.price.get(),
                 }
             })
             .collect();
-        Clearing::new(sol.price, target_watts.max(0.0), allocations, 1)
+        let clamped = Watts::new(target.get().max(0.0));
+        Clearing::new(sol.price, clamped, allocations, 1)
     }
 }
 
@@ -119,15 +122,19 @@ mod tests {
     use proptest::prelude::*;
 
     fn job(id: u64, delta: f64, bid: f64) -> Participant {
-        Participant::new(id, SupplyFunction::new(delta, bid).unwrap(), 125.0)
+        Participant::new(
+            id,
+            SupplyFunction::new(delta, bid).unwrap(),
+            Watts::new(125.0),
+        )
     }
 
     #[test]
     fn clearing_meets_target() {
         let m = StaticMarket::new(vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5), job(2, 0.5, 0.1)]);
-        let c = m.clear(200.0).unwrap();
+        let c = m.clear(Watts::new(200.0)).unwrap();
         assert!(c.met_target());
-        assert!(c.total_power_reduction() >= 200.0 * (1.0 - 1e-9));
+        assert!(c.total_power_reduction().get() >= 200.0 * (1.0 - 1e-9));
         assert_eq!(c.allocations().len(), 3);
         assert_eq!(c.iterations(), 1);
     }
@@ -135,7 +142,7 @@ mod tests {
     #[test]
     fn lower_bids_reduce_more() {
         let m = StaticMarket::new(vec![job(0, 1.0, 0.1), job(1, 1.0, 0.4)]);
-        let c = m.clear(100.0).unwrap();
+        let c = m.clear(Watts::new(100.0)).unwrap();
         let a = c.allocations();
         assert!(a[0].reduction > a[1].reduction);
     }
@@ -155,17 +162,17 @@ mod tests {
     #[test]
     fn best_effort_on_infeasible_target() {
         let m = StaticMarket::new(vec![job(0, 1.0, 0.2)]);
-        let c = m.clear_best_effort(1e6);
+        let c = m.clear_best_effort(Watts::new(1e6));
         assert!(!c.met_target());
         // The price ceiling extracts Δ to within 0.1 %, at a bounded price.
-        assert!(c.total_power_reduction() >= 125.0 * (1.0 - 2e-3));
-        assert!(c.price() <= 1000.0 * 0.2 + 1e-9);
+        assert!(c.total_power_reduction().get() >= 125.0 * (1.0 - 2e-3));
+        assert!(c.price().get() <= 1000.0 * 0.2 + 1e-9);
     }
 
     #[test]
     fn best_effort_empty_market() {
         let m = StaticMarket::default();
-        let c = m.clear_best_effort(100.0);
+        let c = m.clear_best_effort(Watts::new(100.0));
         assert_eq!(c.total_reduction(), 0.0);
         assert!(!c.met_target());
     }
@@ -173,8 +180,8 @@ mod tests {
     #[test]
     fn zero_target_is_free() {
         let m = StaticMarket::new(vec![job(0, 1.0, 0.2)]);
-        let c = m.clear(0.0).unwrap();
-        assert_eq!(c.price(), 0.0);
+        let c = m.clear(Watts::ZERO).unwrap();
+        assert_eq!(c.price(), Price::ZERO);
         assert_eq!(c.total_reduction(), 0.0);
         assert!(c.met_target());
     }
@@ -201,13 +208,13 @@ mod tests {
                 .enumerate()
                 .map(|(i, (d, b))| job(i as u64, *d, *b))
                 .collect();
-            let attainable: f64 = ps.iter().map(Participant::max_power).sum();
+            let attainable: Watts = ps.iter().map(Participant::max_power).sum();
             let m = StaticMarket::new(ps.clone());
-            let c = m.clear(frac * attainable).unwrap();
+            let c = m.clear(attainable * frac).unwrap();
             for (a, p) in c.allocations().iter().zip(&ps) {
                 prop_assert!(a.reduction >= 0.0);
                 prop_assert!(a.reduction <= p.supply.delta_max() + 1e-9);
-                prop_assert!((a.reward_rate() - c.price() * a.reduction).abs() < 1e-9);
+                prop_assert!((a.reward_rate() - c.price().get() * a.reduction).abs() < 1e-9);
             }
         }
     }

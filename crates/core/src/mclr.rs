@@ -9,6 +9,7 @@
 use crate::error::MarketError;
 use crate::numeric;
 use crate::participant::Participant;
+use crate::units::{Price, Watts};
 
 /// Absolute floor for the clearing-price search bracket.
 const PRICE_EPS: f64 = 1e-12;
@@ -17,37 +18,44 @@ const PRICE_EPS: f64 = 1e-12;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MclrSolution {
     /// The market clearing price `q'`.
-    pub price: f64,
-    /// Aggregate power reduction supplied at `q'`, in watts.
-    pub power: f64,
+    pub price: Price,
+    /// Aggregate power reduction supplied at `q'`.
+    pub power: Watts,
 }
 
-/// Aggregate power reduction supplied by `participants` at `price`, in watts.
+impl MclrSolution {
+    const ZERO: Self = Self {
+        price: Price::ZERO,
+        power: Watts::ZERO,
+    };
+}
+
+/// Aggregate power reduction supplied by `participants` at `price`.
 #[must_use]
-pub fn aggregate_power(participants: &[Participant], price: f64) -> f64 {
+pub fn aggregate_power(participants: &[Participant], price: Price) -> Watts {
     participants.iter().map(|p| p.power_at(price)).sum()
 }
 
 /// Maximum aggregate power reduction attainable (every job at its `Δ`).
 #[must_use]
-pub fn attainable_power(participants: &[Participant]) -> f64 {
+pub fn attainable_power(participants: &[Participant]) -> Watts {
     participants.iter().map(Participant::max_power).sum()
 }
 
 /// Solves MClr: the minimum price `q'` such that the aggregate supplied
-/// power reduction is at least `target_watts`.
+/// power reduction is at least `target`.
 ///
 /// A non-positive target clears trivially at price 0 with no reductions.
 ///
 /// ```
 /// use mpr_core::mclr;
-/// use mpr_core::{Participant, SupplyFunction};
+/// use mpr_core::{Participant, SupplyFunction, Watts};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// // δ(q) = 1 − 0.5/q at 125 W per unit: 62.5 W requires δ = 0.5 → q' = 1.
-/// let ps = [Participant::new(0, SupplyFunction::new(1.0, 0.5)?, 125.0)];
-/// let sol = mclr::solve(&ps, 62.5)?;
-/// assert!((sol.price - 1.0).abs() < 1e-6);
+/// let ps = [Participant::new(0, SupplyFunction::new(1.0, 0.5)?, Watts::new(125.0))];
+/// let sol = mclr::solve(&ps, Watts::new(62.5))?;
+/// assert!((sol.price.get() - 1.0).abs() < 1e-6);
 /// # Ok(())
 /// # }
 /// ```
@@ -59,12 +67,9 @@ pub fn attainable_power(participants: &[Participant]) -> f64 {
 /// * [`MarketError::Infeasible`] if even the maximal supplies fall short of
 ///   the target; callers that prefer best-effort capping should catch this
 ///   and use [`clear_best_effort`].
-pub fn solve(participants: &[Participant], target_watts: f64) -> Result<MclrSolution, MarketError> {
-    if target_watts <= 0.0 {
-        return Ok(MclrSolution {
-            price: 0.0,
-            power: 0.0,
-        });
+pub fn solve(participants: &[Participant], target: Watts) -> Result<MclrSolution, MarketError> {
+    if target <= Watts::ZERO {
+        return Ok(MclrSolution::ZERO);
     }
     if participants.is_empty() {
         return Err(MarketError::NoParticipants);
@@ -72,10 +77,10 @@ pub fn solve(participants: &[Participant], target_watts: f64) -> Result<MclrSolu
     let attainable = attainable_power(participants);
     // Tolerance: supplies only reach Δ in the limit q → ∞, so accept targets
     // within a hair of the attainable maximum and clear them at a large price.
-    if attainable < target_watts * (1.0 - 1e-9) {
+    if attainable < target * (1.0 - 1e-9) {
         return Err(MarketError::Infeasible {
-            target_watts,
-            attainable_watts: attainable,
+            target_watts: target.get(),
+            attainable_watts: attainable.get(),
         });
     }
 
@@ -83,29 +88,29 @@ pub fn solve(participants: &[Participant], target_watts: f64) -> Result<MclrSolu
     let mut hi = participants
         .iter()
         .filter_map(|p| p.supply.activation_price())
-        .fold(PRICE_EPS, f64::max)
+        .fold(PRICE_EPS, |m, a| m.max(a.get()))
         .max(PRICE_EPS)
         * 2.0;
     let mut doubles = 0;
-    while aggregate_power(participants, hi) < target_watts {
+    while aggregate_power(participants, Price::new(hi)) < target {
         hi *= 2.0;
         doubles += 1;
         if doubles > 2000 {
             // Target equals the attainable supremum: every participant must
             // deliver (numerically) all of Δ.
             return Ok(MclrSolution {
-                price: hi,
-                power: aggregate_power(participants, hi),
+                price: Price::new(hi),
+                power: aggregate_power(participants, Price::new(hi)),
             });
         }
     }
 
-    let price = numeric::bisect_threshold(PRICE_EPS, hi, target_watts, 1e-12, |q| {
-        aggregate_power(participants, q)
+    let q = numeric::bisect_threshold(PRICE_EPS, hi, target.get(), 1e-12, |q| {
+        aggregate_power(participants, Price::new(q)).get()
     })?;
     Ok(MclrSolution {
-        price,
-        power: aggregate_power(participants, price),
+        price: Price::new(q),
+        power: aggregate_power(participants, Price::new(q)),
     })
 }
 
@@ -140,21 +145,33 @@ impl ClearingIndex {
     /// Builds the index over a set of participants.
     #[must_use]
     pub fn new(participants: &[Participant]) -> Self {
-        let mut order: Vec<usize> = (0..participants.len()).collect();
-        let activation = |p: &Participant| p.supply.activation_price().unwrap_or(f64::INFINITY);
-        order.sort_by(|&a, &b| {
-            activation(&participants[a])
-                .partial_cmp(&activation(&participants[b]))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut activations = Vec::with_capacity(order.len());
-        let mut prefix_a = vec![0.0f64];
-        let mut prefix_b = vec![0.0f64];
-        for &i in &order {
-            let p = &participants[i];
-            activations.push(activation(p));
-            prefix_a.push(prefix_a.last().unwrap() + p.watts_per_unit * p.supply.delta_max());
-            prefix_b.push(prefix_b.last().unwrap() + p.watts_per_unit * p.supply.bid());
+        // Sort (activation, participant) pairs directly — no index
+        // round-trip, no NaN-hostile comparator (`new` validated the bids,
+        // and a missing activation maps to +∞ which `total_cmp` orders
+        // last).
+        let mut entries: Vec<(f64, &Participant)> = participants
+            .iter()
+            .map(|p| {
+                let act = p
+                    .supply
+                    .activation_price()
+                    .map_or(f64::INFINITY, Price::get);
+                (act, p)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut activations = Vec::with_capacity(entries.len());
+        let mut prefix_a = Vec::with_capacity(entries.len() + 1);
+        let mut prefix_b = Vec::with_capacity(entries.len() + 1);
+        let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+        prefix_a.push(sum_a);
+        prefix_b.push(sum_b);
+        for (act, p) in entries {
+            activations.push(act);
+            sum_a += p.watts_per_unit * p.supply.delta_max();
+            sum_b += p.watts_per_unit * p.supply.bid();
+            prefix_a.push(sum_a);
+            prefix_b.push(sum_b);
         }
         Self {
             activations,
@@ -163,35 +180,36 @@ impl ClearingIndex {
         }
     }
 
-    /// Aggregate power reduction at price `q`, in watts (closed form).
+    /// Aggregate power reduction at price `q` (closed form).
     #[must_use]
-    pub fn power_at(&self, q: f64) -> f64 {
+    pub fn power_at(&self, price: Price) -> Watts {
+        let q = price.get();
         if q <= 0.0 {
-            return 0.0;
+            return Watts::ZERO;
         }
         // Number of participants with activation price <= q.
         let k = self.activations.partition_point(|&a| a <= q);
-        (self.prefix_a[k] - self.prefix_b[k] / q).max(0.0)
+        let a = self.prefix_a.get(k).copied().unwrap_or(0.0);
+        let b = self.prefix_b.get(k).copied().unwrap_or(0.0);
+        Watts::new((a - b / q).max(0.0))
     }
 
-    /// Solves MClr exactly: the minimal price meeting `target_watts`.
+    /// Solves MClr exactly: the minimal price meeting `target`.
     ///
     /// # Errors
     ///
     /// Mirrors [`solve`]: [`MarketError::NoParticipants`] and
     /// [`MarketError::Infeasible`].
-    pub fn clear(&self, target_watts: f64) -> Result<MclrSolution, MarketError> {
-        if target_watts <= 0.0 {
-            return Ok(MclrSolution {
-                price: 0.0,
-                power: 0.0,
-            });
+    pub fn clear(&self, target: Watts) -> Result<MclrSolution, MarketError> {
+        if target <= Watts::ZERO {
+            return Ok(MclrSolution::ZERO);
         }
         let n = self.activations.len();
         if n == 0 {
             return Err(MarketError::NoParticipants);
         }
-        let attainable = self.prefix_a[n];
+        let target_watts = target.get();
+        let attainable = self.prefix_a.get(n).copied().unwrap_or(0.0);
         if attainable < target_watts * (1.0 - 1e-9) {
             return Err(MarketError::Infeasible {
                 target_watts,
@@ -203,12 +221,14 @@ impl ClearingIndex {
         // activations[k]) with k participants active; the final segment is
         // unbounded above.
         let segment_end_power = |k: usize| -> f64 {
-            if k >= n {
-                f64::INFINITY
-            } else {
-                // Just below activations[k], k participants are active.
-                let q = self.activations[k];
-                self.prefix_a[k] - self.prefix_b[k] / q
+            // Just below activations[k], k participants are active.
+            match self.activations.get(k) {
+                None => f64::INFINITY,
+                Some(&q) => {
+                    let a = self.prefix_a.get(k).copied().unwrap_or(0.0);
+                    let b = self.prefix_b.get(k).copied().unwrap_or(0.0);
+                    a - b / q
+                }
             }
         };
         let (mut lo, mut hi) = (0usize, n);
@@ -223,19 +243,21 @@ impl ClearingIndex {
         // Within segment `lo` (participants 0..=lo active): solve
         // A − B/q = target → q = B / (A − target).
         let k = lo + 1;
-        let (a, b) = (self.prefix_a[k], self.prefix_b[k]);
+        let a = self.prefix_a.get(k).copied().unwrap_or(0.0);
+        let b = self.prefix_b.get(k).copied().unwrap_or(0.0);
+        let activation_lo = self.activations.get(lo).copied().unwrap_or(0.0);
         let price = if a > target_watts {
-            (b / (a - target_watts))
-                .max(self.activations[lo])
-                .max(PRICE_EPS)
-        } else if b == 0.0 {
-            // Zero-bid segment: full supply at any price past activation.
-            self.activations[lo].max(PRICE_EPS)
+            (b / (a - target_watts)).max(activation_lo).max(PRICE_EPS)
+        } else if b <= 0.0 {
+            // Zero-bid segment (prefix sums are non-negative): full supply
+            // at any price past activation.
+            activation_lo.max(PRICE_EPS)
         } else {
             // Target only attainable in the limit within this (final)
             // segment: fall back to a large price.
-            (b / (a * 1e-9).max(f64::MIN_POSITIVE)).max(self.activations[lo])
+            (b / (a * 1e-9).max(f64::MIN_POSITIVE)).max(activation_lo)
         };
+        let price = Price::new(price);
         Ok(MclrSolution {
             price,
             power: self.power_at(price),
@@ -253,17 +275,15 @@ impl ClearingIndex {
 /// Same contract as [`solve`].
 pub fn solve_supplies<S: crate::supply::Supply>(
     items: &[(S, f64)],
-    target_watts: f64,
+    target: Watts,
 ) -> Result<MclrSolution, MarketError> {
-    if target_watts <= 0.0 {
-        return Ok(MclrSolution {
-            price: 0.0,
-            power: 0.0,
-        });
+    if target <= Watts::ZERO {
+        return Ok(MclrSolution::ZERO);
     }
     if items.is_empty() {
         return Err(MarketError::NoParticipants);
     }
+    let target_watts = target.get();
     let power_at = |q: f64| -> f64 { items.iter().map(|(s, w)| s.supply(q) * w).sum() };
     let attainable: f64 = items.iter().map(|(s, w)| s.delta_max() * w).sum();
     if attainable < target_watts * (1.0 - 1e-9) {
@@ -281,10 +301,10 @@ pub fn solve_supplies<S: crate::supply::Supply>(
             break;
         }
     }
-    let price = numeric::bisect_threshold(PRICE_EPS, hi, target_watts, 1e-12, power_at)?;
+    let q = numeric::bisect_threshold(PRICE_EPS, hi, target_watts, 1e-12, power_at)?;
     Ok(MclrSolution {
-        price,
-        power: power_at(price),
+        price: Price::new(q),
+        power: Watts::new(power_at(q)),
     })
 }
 
@@ -302,13 +322,13 @@ const PRICE_CEILING_FACTOR: f64 = 1000.0;
 /// direct, market-bypassing power capping (Section III-F, "Malicious
 /// users"), which the simulator models as escalation.
 #[must_use]
-pub fn clear_best_effort(participants: &[Participant], target_watts: f64) -> MclrSolution {
+pub fn clear_best_effort(participants: &[Participant], target: Watts) -> MclrSolution {
     let max_activation = participants
         .iter()
         .filter_map(|p| p.supply.activation_price())
-        .fold(0.0f64, f64::max);
-    let ceiling = (PRICE_CEILING_FACTOR * max_activation).max(1.0);
-    match solve(participants, target_watts) {
+        .fold(0.0f64, |m, a| m.max(a.get()));
+    let ceiling = Price::new((PRICE_CEILING_FACTOR * max_activation).max(1.0));
+    match solve(participants, target) {
         Ok(sol) if sol.price <= ceiling => sol,
         _ => MclrSolution {
             price: ceiling,
@@ -324,27 +344,35 @@ mod tests {
     use proptest::prelude::*;
 
     fn job(id: u64, delta: f64, bid: f64) -> Participant {
-        Participant::new(id, SupplyFunction::new(delta, bid).unwrap(), 125.0)
+        Participant::new(
+            id,
+            SupplyFunction::new(delta, bid).unwrap(),
+            Watts::new(125.0),
+        )
+    }
+
+    fn w(x: f64) -> Watts {
+        Watts::new(x)
     }
 
     #[test]
     fn trivial_target_clears_at_zero() {
         let ps = vec![job(0, 1.0, 0.5)];
-        let sol = solve(&ps, 0.0).unwrap();
-        assert_eq!(sol.price, 0.0);
-        assert_eq!(sol.power, 0.0);
-        assert_eq!(solve(&ps, -5.0).unwrap().price, 0.0);
+        let sol = solve(&ps, w(0.0)).unwrap();
+        assert_eq!(sol.price, Price::ZERO);
+        assert_eq!(sol.power, Watts::ZERO);
+        assert_eq!(solve(&ps, w(-5.0)).unwrap().price, Price::ZERO);
     }
 
     #[test]
     fn empty_market_with_positive_target_errs() {
-        assert_eq!(solve(&[], 10.0), Err(MarketError::NoParticipants));
+        assert_eq!(solve(&[], w(10.0)), Err(MarketError::NoParticipants));
     }
 
     #[test]
     fn infeasible_target_errs_with_attainable() {
         let ps = vec![job(0, 1.0, 0.1)]; // max 125 W
-        match solve(&ps, 500.0) {
+        match solve(&ps, w(500.0)) {
             Err(MarketError::Infeasible {
                 target_watts,
                 attainable_watts,
@@ -360,9 +388,13 @@ mod tests {
     fn single_job_price_matches_closed_form() {
         // δ(q) = 1 − 0.5/q; want 125·δ = 62.5 → δ = 0.5 → q = 1.0.
         let ps = vec![job(0, 1.0, 0.5)];
-        let sol = solve(&ps, 62.5).unwrap();
-        assert!((sol.price - 1.0).abs() < 1e-6, "price = {}", sol.price);
-        assert!(sol.power >= 62.5 * (1.0 - 1e-9));
+        let sol = solve(&ps, w(62.5)).unwrap();
+        assert!(
+            (sol.price.get() - 1.0).abs() < 1e-6,
+            "price = {}",
+            sol.price
+        );
+        assert!(sol.power >= w(62.5) * (1.0 - 1e-9));
     }
 
     #[test]
@@ -370,8 +402,8 @@ mod tests {
         // Job 1 activates at q = 0.1, job 2 at q = 1.0. A small target should
         // clear below job 2's activation price: only job 1 reduces.
         let ps = vec![job(1, 1.0, 0.1), job(2, 1.0, 1.0)];
-        let sol = solve(&ps, 30.0).unwrap();
-        assert!(sol.price < 1.0);
+        let sol = solve(&ps, w(30.0)).unwrap();
+        assert!(sol.price.get() < 1.0);
         assert_eq!(ps[1].supply.supply(sol.price), 0.0);
         assert!(ps[0].supply.supply(sol.price) > 0.0);
     }
@@ -387,12 +419,16 @@ mod tests {
     #[test]
     fn best_effort_caps_everyone_when_infeasible() {
         let ps = vec![job(0, 1.0, 0.1), job(1, 2.0, 0.3)];
-        let sol = clear_best_effort(&ps, 1e9);
+        let sol = clear_best_effort(&ps, w(1e9));
         let attainable = attainable_power(&ps);
         // The price ceiling extracts every Δ to within 0.1 %.
         assert!(sol.power >= attainable * (1.0 - 2e-3));
         // ...at a bounded price: 1000× the highest activation price.
-        assert!(sol.price <= 1000.0 * 0.3 + 1e-9, "price = {}", sol.price);
+        assert!(
+            sol.price.get() <= 1000.0 * 0.3 + 1e-9,
+            "price = {}",
+            sol.price
+        );
     }
 
     #[test]
@@ -402,24 +438,24 @@ mod tests {
         let ps = vec![job(0, 1.0, 0.5)];
         let attainable = attainable_power(&ps);
         let sol = clear_best_effort(&ps, attainable * (1.0 - 1e-12));
-        assert!(sol.price <= 1000.0 * 0.5 + 1e-9);
+        assert!(sol.price.get() <= 1000.0 * 0.5 + 1e-9);
         assert!(sol.power >= attainable * (1.0 - 2e-3));
     }
 
     #[test]
     fn best_effort_matches_solve_when_feasible() {
         let ps = vec![job(0, 1.0, 0.5)];
-        let a = solve(&ps, 62.5).unwrap();
-        let b = clear_best_effort(&ps, 62.5);
-        assert!((a.price - b.price).abs() < 1e-12);
+        let a = solve(&ps, w(62.5)).unwrap();
+        let b = clear_best_effort(&ps, w(62.5));
+        assert!((a.price.get() - b.price.get()).abs() < 1e-12);
     }
 
     #[test]
     fn zero_bids_clear_at_epsilon_price() {
         let ps = vec![job(0, 1.0, 0.0), job(1, 1.0, 0.0)];
-        let sol = solve(&ps, 200.0).unwrap();
-        assert!(sol.price <= 1e-6, "price = {}", sol.price);
-        assert!(sol.power >= 200.0 * (1.0 - 1e-9));
+        let sol = solve(&ps, w(200.0)).unwrap();
+        assert!(sol.price.get() <= 1e-6, "price = {}", sol.price);
+        assert!(sol.power >= w(200.0) * (1.0 - 1e-9));
     }
 
     #[test]
@@ -427,26 +463,29 @@ mod tests {
         let ps = vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5), job(2, 0.5, 0.1)];
         let idx = ClearingIndex::new(&ps);
         for target in [10.0, 50.0, 150.0, 300.0, 430.0] {
-            let a = solve(&ps, target).unwrap();
-            let b = idx.clear(target).unwrap();
+            let a = solve(&ps, w(target)).unwrap();
+            let b = idx.clear(w(target)).unwrap();
             assert!(
-                (a.price - b.price).abs() < 1e-6 * a.price.max(1.0),
+                (a.price.get() - b.price.get()).abs() < 1e-6 * a.price.get().max(1.0),
                 "target {target}: bisection {} vs closed form {}",
                 a.price,
                 b.price
             );
-            assert!(b.power >= target * (1.0 - 1e-9));
+            assert!(b.power >= w(target) * (1.0 - 1e-9));
         }
     }
 
     #[test]
     fn index_error_cases_mirror_solve() {
         let idx = ClearingIndex::new(&[]);
-        assert!(matches!(idx.clear(1.0), Err(MarketError::NoParticipants)));
-        assert_eq!(idx.clear(0.0).unwrap().price, 0.0);
+        assert!(matches!(
+            idx.clear(w(1.0)),
+            Err(MarketError::NoParticipants)
+        ));
+        assert_eq!(idx.clear(w(0.0)).unwrap().price, Price::ZERO);
         let idx = ClearingIndex::new(&[job(0, 1.0, 0.2)]);
         assert!(matches!(
-            idx.clear(1e6),
+            idx.clear(w(1e6)),
             Err(MarketError::Infeasible { .. })
         ));
     }
@@ -455,9 +494,27 @@ mod tests {
     fn index_handles_zero_bids() {
         let ps = vec![job(0, 1.0, 0.0), job(1, 1.0, 0.0)];
         let idx = ClearingIndex::new(&ps);
-        let sol = idx.clear(200.0).unwrap();
-        assert!(sol.power >= 200.0 * (1.0 - 1e-9));
-        assert!(sol.price <= 1e-6);
+        let sol = idx.clear(w(200.0)).unwrap();
+        assert!(sol.power >= w(200.0) * (1.0 - 1e-9));
+        assert!(sol.price.get() <= 1e-6);
+    }
+
+    #[test]
+    fn index_survives_nan_poisoned_activation_order() {
+        // A NaN watts_per_unit must not panic the index build (the old
+        // `partial_cmp().unwrap()` comparator did); the poisoned entry
+        // sorts deterministically via `total_cmp` instead.
+        let mut ps = vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5)];
+        ps.push(Participant::new(
+            2,
+            SupplyFunction::new(1.0, 0.3).unwrap(),
+            Watts::new(f64::NAN),
+        ));
+        let idx = ClearingIndex::new(&ps);
+        // Clearing still answers (the NaN propagates into the power sums,
+        // but building and querying the index is panic-free).
+        let _ = idx.clear(w(50.0));
+        let _ = idx.power_at(Price::new(1.0));
     }
 
     #[test]
@@ -465,10 +522,10 @@ mod tests {
         let ps = vec![job(0, 1.0, 0.2), job(1, 2.0, 0.5)];
         let items: Vec<(crate::supply::SupplyFunction, f64)> =
             ps.iter().map(|p| (p.supply, p.watts_per_unit)).collect();
-        let a = solve(&ps, 150.0).unwrap();
-        let b = solve_supplies(&items, 150.0).unwrap();
-        assert!((a.price - b.price).abs() < 1e-9);
-        assert!((a.power - b.power).abs() < 1e-6);
+        let a = solve(&ps, w(150.0)).unwrap();
+        let b = solve_supplies(&items, w(150.0)).unwrap();
+        assert!((a.price.get() - b.price.get()).abs() < 1e-9);
+        assert!((a.power.get() - b.power.get()).abs() < 1e-6);
     }
 
     #[test]
@@ -480,20 +537,24 @@ mod tests {
         ];
         // At price q: supply = q + q/2 (pre-saturation); want 93.75 W
         // = 0.75 cores → q = 0.5.
-        let sol = solve_supplies(&items, 93.75).unwrap();
-        assert!((sol.price - 0.5).abs() < 1e-6, "price = {}", sol.price);
-        assert!((items[0].0.supply(sol.price) - 0.5).abs() < 1e-6);
+        let sol = solve_supplies(&items, w(93.75)).unwrap();
+        assert!(
+            (sol.price.get() - 0.5).abs() < 1e-6,
+            "price = {}",
+            sol.price
+        );
+        assert!((items[0].0.supply(sol.price.get()) - 0.5).abs() < 1e-6);
         // Errors mirror the specialized solver.
         assert!(matches!(
-            solve_supplies(&items, 1e9),
+            solve_supplies(&items, w(1e9)),
             Err(MarketError::Infeasible { .. })
         ));
         let empty: Vec<(LinearSupply, f64)> = Vec::new();
         assert!(matches!(
-            solve_supplies(&empty, 1.0),
+            solve_supplies(&empty, w(1.0)),
             Err(MarketError::NoParticipants)
         ));
-        assert_eq!(solve_supplies(&items, 0.0).unwrap().price, 0.0);
+        assert_eq!(solve_supplies(&items, w(0.0)).unwrap().price, Price::ZERO);
     }
 
     proptest! {
@@ -509,12 +570,12 @@ mod tests {
                 .enumerate()
                 .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
                 .collect();
-            let target = frac * attainable_power(&ps);
-            prop_assume!(target > 0.0);
+            let target = attainable_power(&ps) * frac;
+            prop_assume!(target > Watts::ZERO);
             let a = solve(&ps, target).unwrap();
             let b = ClearingIndex::new(&ps).clear(target).unwrap();
             prop_assert!(
-                (a.price - b.price).abs() < 1e-6 * a.price.max(1.0),
+                (a.price.get() - b.price.get()).abs() < 1e-6 * a.price.get().max(1.0),
                 "bisection {} vs closed form {}", a.price, b.price
             );
             prop_assert!(b.power >= target * (1.0 - 1e-6));
@@ -532,8 +593,8 @@ mod tests {
                 .enumerate()
                 .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
                 .collect();
-            let target = frac * attainable_power(&ps);
-            prop_assume!(target > 0.0);
+            let target = attainable_power(&ps) * frac;
+            prop_assume!(target > Watts::ZERO);
             let sol = solve(&ps, target).unwrap();
             prop_assert!(sol.power >= target * (1.0 - 1e-6));
             let below = aggregate_power(&ps, sol.price * (1.0 - 1e-6));
@@ -554,15 +615,15 @@ mod tests {
                 .enumerate()
                 .map(|(i, (delta, bid))| job(i as u64, *delta, *bid))
                 .collect();
-            let target = frac * attainable_power(&ps);
-            prop_assume!(target > 0.0);
+            let target = attainable_power(&ps) * frac;
+            prop_assume!(target > Watts::ZERO);
             let sol = solve(&ps, target).unwrap();
             prop_assert!(
                 sol.power >= target * (1.0 - 1e-6),
                 "under-delivered: {} < {target}", sol.power
             );
             prop_assert!(
-                sol.power <= target * 1.01 + 1e-3,
+                sol.power.get() <= target.get() * 1.01 + 1e-3,
                 "overshot the minimal clearing: {} vs {target}", sol.power
             );
         }
@@ -586,16 +647,16 @@ mod tests {
             } else {
                 (frac_hi, frac_lo)
             };
-            let (t_lo, t_hi) = (lo * attainable, hi * attainable);
-            prop_assume!(t_lo > 0.0);
+            let (t_lo, t_hi) = (attainable * lo, attainable * hi);
+            prop_assume!(t_lo > Watts::ZERO);
             let a = solve(&ps, t_lo).unwrap();
             let b = solve(&ps, t_hi).unwrap();
             prop_assert!(
-                a.price <= b.price * (1.0 + 1e-9) + 1e-9,
+                a.price.get() <= b.price.get() * (1.0 + 1e-9) + 1e-9,
                 "price not monotone: {} @ {t_lo} vs {} @ {t_hi}", a.price, b.price
             );
             prop_assert!(
-                a.power <= b.power + 1e-6,
+                a.power.get() <= b.power.get() + 1e-6,
                 "power not monotone: {} vs {}", a.power, b.power
             );
         }
@@ -615,10 +676,10 @@ mod tests {
             let max_activation = ps
                 .iter()
                 .filter_map(|p| p.supply.activation_price())
-                .fold(0.0f64, f64::max);
+                .fold(0.0f64, |m, a| m.max(a.get()));
             let ceiling = (1000.0 * max_activation).max(1.0);
             let sol = clear_best_effort(&ps, attainable * 2.0);
-            prop_assert!(sol.price <= ceiling * (1.0 + 1e-12));
+            prop_assert!(sol.price.get() <= ceiling * (1.0 + 1e-12));
             prop_assert!(
                 sol.power >= attainable * (1.0 - 2e-3),
                 "ceiling must extract ~all supply: {} of {attainable}", sol.power

@@ -14,23 +14,25 @@ pub const DEFAULT_REL_TOL: f64 = 1e-10;
 /// below `f64` resolution.
 const MAX_BISECT_ITERS: usize = 200;
 
-/// Finds the smallest `x` in `[lo, hi]` such that `f(x) >= target`, assuming
-/// `f` is non-decreasing.
+/// Finds the smallest `x` in `[lo, hi]` such that `f(x) >= threshold`,
+/// assuming `f` is non-decreasing.
 ///
 /// This is the primitive behind MClr's clearing-price search: the aggregate
 /// power reduction is monotone in the price, so the cheapest feasible price
-/// is the threshold point.
+/// is the threshold point. The threshold is a bare `f64` by design: this
+/// toolbox is unit-agnostic (callers bisect over watts, prices, or plain
+/// ratios alike).
 ///
 /// # Errors
 ///
 /// Returns [`MarketError::Numeric`] if the bracket is invalid or `f` is not
 /// finite at the bracket ends, and [`MarketError::Infeasible`] is *not*
-/// raised here — callers must check `f(hi) >= target` beforehand; if it is
-/// not, `hi` is returned.
+/// raised here — callers must check `f(hi) >= threshold` beforehand; if it
+/// is not, `hi` is returned.
 pub fn bisect_threshold<F>(
     mut lo: f64,
     mut hi: f64,
-    target: f64,
+    threshold: f64,
     rel_tol: f64,
     f: F,
 ) -> Result<f64, MarketError>
@@ -40,15 +42,15 @@ where
     if !(lo.is_finite() && hi.is_finite()) || lo > hi {
         return Err(MarketError::Numeric("invalid bisection bracket"));
     }
-    if f(lo) >= target {
+    if f(lo) >= threshold {
         return Ok(lo);
     }
-    if f(hi) < target {
+    if f(hi) < threshold {
         return Ok(hi);
     }
     for _ in 0..MAX_BISECT_ITERS {
         let mid = 0.5 * (lo + hi);
-        if f(mid) >= target {
+        if f(mid) >= threshold {
             hi = mid;
         } else {
             lo = mid;

@@ -19,6 +19,7 @@ use crate::cost::CostModel;
 use crate::error::MarketError;
 use crate::numeric;
 use crate::participant::JobId;
+use crate::units::Watts;
 
 /// One job as seen by the centralized OPT solver: the manager would need to
 /// know the true cost model of every job — precisely the burden MPR removes.
@@ -32,11 +33,11 @@ pub struct OptJob<'a> {
 impl<'a> OptJob<'a> {
     /// Creates an OPT job from its (true) cost model.
     #[must_use]
-    pub fn new(id: JobId, cost: &'a dyn CostModel, watts_per_unit: f64) -> Self {
+    pub fn new(id: JobId, cost: &'a dyn CostModel, watts_per_unit: Watts) -> Self {
         Self {
             id,
             cost,
-            watts_per_unit,
+            watts_per_unit: watts_per_unit.get(),
         }
     }
 
@@ -53,10 +54,10 @@ impl<'a> OptJob<'a> {
         self.cost.cost(delta)
     }
 
-    /// Power reduction per unit of resource reduction, watts.
+    /// Power reduction per unit of resource reduction.
     #[must_use]
-    pub fn watts_per_unit(&self) -> f64 {
-        self.watts_per_unit
+    pub fn watts_per_unit(&self) -> Watts {
+        Watts::new(self.watts_per_unit)
     }
 }
 
@@ -100,13 +101,14 @@ pub struct OptSolution {
 ///
 /// ```
 /// use mpr_core::opt::{solve, OptJob, OptMethod};
-/// use mpr_core::QuadraticCost;
+/// use mpr_core::{QuadraticCost, Watts};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// let cheap = QuadraticCost::new(1.0, 1.0);
 /// let dear = QuadraticCost::new(4.0, 1.0);
-/// let jobs = [OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
-/// let sol = solve(&jobs, 100.0, OptMethod::Auto)?;
+/// let w = Watts::new(125.0);
+/// let jobs = [OptJob::new(0, &cheap, w), OptJob::new(1, &dear, w)];
+/// let sol = solve(&jobs, Watts::new(100.0), OptMethod::Auto)?;
 /// // Water-filling equalizes marginals: the cheap job sheds 4x more.
 /// assert!(sol.reductions[0].1 > 3.5 * sol.reductions[1].1);
 /// # Ok(())
@@ -121,9 +123,10 @@ pub struct OptSolution {
 ///   target.
 pub fn solve(
     jobs: &[OptJob<'_>],
-    target_watts: f64,
+    target: Watts,
     method: OptMethod,
 ) -> Result<OptSolution, MarketError> {
+    let target_watts = target.get();
     if target_watts <= 0.0 {
         return Ok(OptSolution {
             reductions: jobs.iter().map(|j| (j.id, 0.0)).collect(),
@@ -161,20 +164,16 @@ pub fn solve(
         });
     }
 
-    let method = match method {
-        OptMethod::Auto => {
-            if jobs.iter().all(|j| is_convex(j.cost)) {
-                OptMethod::WaterFilling
-            } else {
-                OptMethod::ConcaveGreedy
-            }
-        }
-        m => m,
-    };
     match method {
         OptMethod::WaterFilling => water_filling(jobs, target_watts),
         OptMethod::ConcaveGreedy => concave_greedy(jobs, target_watts),
-        OptMethod::Auto => unreachable!("Auto resolved above"),
+        OptMethod::Auto => {
+            if jobs.iter().all(|j| is_convex(j.cost)) {
+                water_filling(jobs, target_watts)
+            } else {
+                concave_greedy(jobs, target_watts)
+            }
+        }
     }
 }
 
@@ -246,28 +245,33 @@ fn water_filling(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, 
         .sum();
     let mut excess = total - target_watts;
     if excess > 0.0 {
-        // Shrink jobs with the highest marginal cost first (they benefit most).
-        let marginals: Vec<f64> = reductions
+        // Shrink jobs with the highest marginal cost first (they benefit
+        // most); sort `(marginal, index)` pairs so no post-sort indexing
+        // into a parallel array is needed.
+        let mut order: Vec<(f64, usize)> = reductions
             .iter()
             .zip(jobs)
-            .map(|((_, d), j)| j.cost.marginal(*d))
+            .enumerate()
+            .map(|(i, ((_, d), j))| (j.cost.marginal(*d), i))
             .collect();
-        if let Some(&bad) = marginals.iter().find(|m| !m.is_finite()) {
+        if let Some(&(bad, _)) = order.iter().find(|(m, _)| !m.is_finite()) {
             return Err(MarketError::InvalidParameter {
                 name: "marginal",
                 value: bad,
                 constraint: "cost model produced a non-finite marginal cost",
             });
         }
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| marginals[b].total_cmp(&marginals[a]));
-        for idx in order {
+        order.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (_, idx) in order {
             if excess <= 0.0 {
                 break;
             }
-            let give_back = (excess / jobs[idx].watts_per_unit).min(reductions[idx].1);
-            reductions[idx].1 -= give_back;
-            excess -= give_back * jobs[idx].watts_per_unit;
+            let Some((j, r)) = jobs.get(idx).zip(reductions.get_mut(idx)) else {
+                continue;
+            };
+            let give_back = (excess / j.watts_per_unit).min(r.1);
+            r.1 -= give_back;
+            excess -= give_back * j.watts_per_unit;
         }
     }
 
@@ -277,40 +281,37 @@ fn water_filling(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, 
 fn concave_greedy(jobs: &[OptJob<'_>], target_watts: f64) -> Result<OptSolution, MarketError> {
     // For concave costs, average cost per watt at full reduction is the
     // right greedy key: the optimum reduces the cheapest jobs fully, with at
-    // most one fractional job.
-    let mut order: Vec<usize> = (0..jobs.len())
-        .filter(|&i| jobs[i].cost.delta_max() > 0.0)
-        .collect();
-    let keys: Vec<f64> = jobs
-        .iter()
-        .map(|j| {
-            let dm = j.cost.delta_max();
-            if dm > 0.0 {
-                j.cost.cost(dm) / (dm * j.watts_per_unit)
-            } else {
-                0.0
-            }
-        })
-        .collect();
-    if let Some(&i) = order.iter().find(|&&i| !keys[i].is_finite()) {
-        return Err(MarketError::InvalidParameter {
-            name: "cost",
-            value: keys[i],
-            constraint: "cost model produced a non-finite average cost per watt",
-        });
+    // most one fractional job. Jobs with Δ = 0 cannot contribute and are
+    // skipped outright.
+    let mut entries: Vec<(f64, usize)> = Vec::with_capacity(jobs.len());
+    for (i, j) in jobs.iter().enumerate() {
+        let dm = j.cost.delta_max();
+        if dm <= 0.0 {
+            continue;
+        }
+        let key = j.cost.cost(dm) / (dm * j.watts_per_unit);
+        if !key.is_finite() {
+            return Err(MarketError::InvalidParameter {
+                name: "cost",
+                value: key,
+                constraint: "cost model produced a non-finite average cost per watt",
+            });
+        }
+        entries.push((key, i));
     }
-    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut reductions: Vec<(JobId, f64)> = jobs.iter().map(|j| (j.id, 0.0)).collect();
     let mut remaining = target_watts;
-    for i in order {
+    for (_, i) in entries {
         if remaining <= 0.0 {
             break;
         }
-        let j = &jobs[i];
-        let full = j.cost.delta_max();
-        let delta = (remaining / j.watts_per_unit).min(full);
-        reductions[i].1 = delta;
+        let Some((j, r)) = jobs.get(i).zip(reductions.get_mut(i)) else {
+            continue;
+        };
+        let delta = (remaining / j.watts_per_unit).min(j.cost.delta_max());
+        r.1 = delta;
         remaining -= delta * j.watts_per_unit;
     }
     Ok(finish(jobs, reductions))
@@ -340,11 +341,17 @@ mod tests {
     use crate::cost::{LinearCost, LogFitCost, QuadraticCost};
     use proptest::prelude::*;
 
+    const W125: Watts = Watts::new(125.0);
+
+    fn w(x: f64) -> Watts {
+        Watts::new(x)
+    }
+
     #[test]
     fn zero_target_is_free() {
         let c = QuadraticCost::new(1.0, 1.0);
-        let jobs = vec![OptJob::new(0, &c, 125.0)];
-        let sol = solve(&jobs, 0.0, OptMethod::Auto).unwrap();
+        let jobs = vec![OptJob::new(0, &c, W125)];
+        let sol = solve(&jobs, w(0.0), OptMethod::Auto).unwrap();
         assert_eq!(sol.total_cost, 0.0);
         assert_eq!(sol.reductions, vec![(0, 0.0)]);
     }
@@ -352,13 +359,13 @@ mod tests {
     #[test]
     fn empty_and_infeasible_errors() {
         assert_eq!(
-            solve(&[], 10.0, OptMethod::Auto),
+            solve(&[], w(10.0), OptMethod::Auto),
             Err(MarketError::NoParticipants)
         );
         let c = QuadraticCost::new(1.0, 1.0);
-        let jobs = vec![OptJob::new(0, &c, 125.0)];
+        let jobs = vec![OptJob::new(0, &c, W125)];
         assert!(matches!(
-            solve(&jobs, 1000.0, OptMethod::Auto),
+            solve(&jobs, w(1000.0), OptMethod::Auto),
             Err(MarketError::Infeasible { .. })
         ));
     }
@@ -368,8 +375,8 @@ mod tests {
         // Two quadratic jobs: marginal 2αδ; equal marginals → δ1/δ2 = α2/α1.
         let c1 = QuadraticCost::new(1.0, 10.0);
         let c2 = QuadraticCost::new(3.0, 10.0);
-        let jobs = vec![OptJob::new(0, &c1, 125.0), OptJob::new(1, &c2, 125.0)];
-        let sol = solve(&jobs, 500.0, OptMethod::WaterFilling).unwrap();
+        let jobs = vec![OptJob::new(0, &c1, W125), OptJob::new(1, &c2, W125)];
+        let sol = solve(&jobs, w(500.0), OptMethod::WaterFilling).unwrap();
         let d1 = sol.reductions[0].1;
         let d2 = sol.reductions[1].1;
         assert!((d1 / d2 - 3.0).abs() < 1e-3, "d1={d1} d2={d2}");
@@ -380,8 +387,8 @@ mod tests {
     fn water_filling_beats_uniform_for_heterogeneous_costs() {
         let c1 = QuadraticCost::new(1.0, 2.0);
         let c2 = QuadraticCost::new(9.0, 2.0);
-        let jobs = vec![OptJob::new(0, &c1, 125.0), OptJob::new(1, &c2, 125.0)];
-        let target = 250.0; // needs total δ = 2.0
+        let jobs = vec![OptJob::new(0, &c1, W125), OptJob::new(1, &c2, W125)];
+        let target = w(250.0); // needs total δ = 2.0
         let sol = solve(&jobs, target, OptMethod::Auto).unwrap();
         let uniform_cost = c1.cost(1.0) + c2.cost(1.0);
         assert!(
@@ -396,8 +403,8 @@ mod tests {
     fn concave_greedy_prefers_cheapest_average_cost() {
         let cheap = LogFitCost::new(0.1, 20.0, 1.0);
         let dear = LogFitCost::new(2.0, 20.0, 1.0);
-        let jobs = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
-        let sol = solve(&jobs, 125.0, OptMethod::Auto).unwrap();
+        let jobs = vec![OptJob::new(0, &cheap, W125), OptJob::new(1, &dear, W125)];
+        let sol = solve(&jobs, w(125.0), OptMethod::Auto).unwrap();
         // The cheap job should be reduced fully; the expensive one untouched.
         assert!((sol.reductions[0].1 - 1.0).abs() < 1e-9);
         assert!(sol.reductions[1].1.abs() < 1e-9);
@@ -417,8 +424,8 @@ mod tests {
     fn linear_costs_fill_cheapest_first() {
         let cheap = LinearCost::new(1.0, 1.0);
         let dear = LinearCost::new(5.0, 1.0);
-        let jobs = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
-        let sol = solve(&jobs, 150.0, OptMethod::WaterFilling).unwrap();
+        let jobs = vec![OptJob::new(0, &cheap, W125), OptJob::new(1, &dear, W125)];
+        let sol = solve(&jobs, w(150.0), OptMethod::WaterFilling).unwrap();
         assert!((sol.reductions[0].1 - 1.0).abs() < 1e-6);
         assert!((sol.reductions[1].1 - 0.2).abs() < 1e-3);
     }
@@ -446,9 +453,9 @@ mod tests {
     fn nan_costs_are_rejected_not_missorted() {
         let bad = NanCost { delta_max: 4.0 };
         let good = QuadraticCost::new(1.0, 4.0);
-        let jobs = vec![OptJob::new(0, &bad, 125.0), OptJob::new(1, &good, 125.0)];
+        let jobs = vec![OptJob::new(0, &bad, W125), OptJob::new(1, &good, W125)];
         // Concave greedy path: NaN average cost per watt must be a typed error.
-        let err = solve(&jobs, 100.0, OptMethod::ConcaveGreedy).unwrap_err();
+        let err = solve(&jobs, w(100.0), OptMethod::ConcaveGreedy).unwrap_err();
         assert!(
             matches!(err, MarketError::InvalidParameter { name: "cost", .. }),
             "got {err:?}"
@@ -460,9 +467,9 @@ mod tests {
         let inf = NanCost {
             delta_max: f64::INFINITY,
         };
-        let jobs = vec![OptJob::new(0, &inf, 125.0)];
+        let jobs = vec![OptJob::new(0, &inf, W125)];
         assert!(matches!(
-            solve(&jobs, 10.0, OptMethod::Auto).unwrap_err(),
+            solve(&jobs, w(10.0), OptMethod::Auto).unwrap_err(),
             MarketError::InvalidParameter {
                 name: "delta_max",
                 ..
@@ -470,9 +477,9 @@ mod tests {
         ));
 
         let good = QuadraticCost::new(1.0, 4.0);
-        let jobs = vec![OptJob::new(0, &good, f64::NAN)];
+        let jobs = vec![OptJob::new(0, &good, w(f64::NAN))];
         assert!(matches!(
-            solve(&jobs, 10.0, OptMethod::Auto).unwrap_err(),
+            solve(&jobs, w(10.0), OptMethod::Auto).unwrap_err(),
             MarketError::InvalidParameter {
                 name: "watts_per_unit",
                 ..
@@ -483,9 +490,10 @@ mod tests {
     #[test]
     fn debug_impl_is_nonempty() {
         let c = LinearCost::new(1.0, 1.0);
-        let j = OptJob::new(3, &c, 125.0);
+        let j = OptJob::new(3, &c, W125);
         assert!(format!("{j:?}").contains("OptJob"));
         assert_eq!(j.id(), 3);
+        assert_eq!(j.watts_per_unit(), W125);
     }
 
     proptest! {
@@ -501,11 +509,11 @@ mod tests {
             let jobs: Vec<OptJob<'_>> = costs
                 .iter()
                 .enumerate()
-                .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+                .map(|(i, c)| OptJob::new(i as u64, c, W125))
                 .collect();
             let attainable = 125.0 * jobs.len() as f64;
             let target = frac * attainable;
-            let sol = solve(&jobs, target, OptMethod::Auto).unwrap();
+            let sol = solve(&jobs, w(target), OptMethod::Auto).unwrap();
             prop_assert!(sol.total_power >= target * (1.0 - 1e-6));
             for (i, (_, d)) in sol.reductions.iter().enumerate() {
                 prop_assert!(*d >= -1e-12 && *d <= costs[i].delta_max() + 1e-9);

@@ -1,6 +1,7 @@
 //! Market participants: one active job offering resource reduction.
 
 use crate::supply::SupplyFunction;
+use crate::units::{Price, Watts};
 
 /// Identifier of a job participating in the market.
 pub type JobId = u64;
@@ -27,24 +28,24 @@ pub struct Participant {
 impl Participant {
     /// Creates a participant for job `id`.
     #[must_use]
-    pub fn new(id: JobId, supply: SupplyFunction, watts_per_unit: f64) -> Self {
+    pub fn new(id: JobId, supply: SupplyFunction, watts_per_unit: Watts) -> Self {
         Self {
             id,
             supply,
-            watts_per_unit,
+            watts_per_unit: watts_per_unit.get(),
         }
     }
 
-    /// Power reduction this participant supplies at price `q`, in watts.
+    /// Power reduction this participant supplies at price `q`.
     #[must_use]
-    pub fn power_at(&self, price: f64) -> f64 {
-        self.supply.supply(price) * self.watts_per_unit
+    pub fn power_at(&self, price: Price) -> Watts {
+        Watts::new(self.supply.supply(price) * self.watts_per_unit)
     }
 
-    /// Maximum power reduction this participant can ever supply, in watts.
+    /// Maximum power reduction this participant can ever supply.
     #[must_use]
-    pub fn max_power(&self) -> f64 {
-        self.supply.delta_max() * self.watts_per_unit
+    pub fn max_power(&self) -> Watts {
+        Watts::new(self.supply.delta_max() * self.watts_per_unit)
     }
 }
 
@@ -54,11 +55,11 @@ mod tests {
 
     #[test]
     fn power_is_supply_times_conversion() {
-        let p = Participant::new(7, SupplyFunction::new(2.0, 0.5).unwrap(), 125.0);
+        let p = Participant::new(7, SupplyFunction::new(2.0, 0.5).unwrap(), Watts::new(125.0));
         assert_eq!(p.id, 7);
-        assert_eq!(p.max_power(), 250.0);
-        let q = 1.0;
-        assert!((p.power_at(q) - (2.0 - 0.5) * 125.0).abs() < 1e-9);
-        assert_eq!(p.power_at(0.0), 0.0);
+        assert_eq!(p.max_power(), Watts::new(250.0));
+        let q = Price::new(1.0);
+        assert!((p.power_at(q).get() - (2.0 - 0.5) * 125.0).abs() < 1e-9);
+        assert_eq!(p.power_at(Price::ZERO), Watts::ZERO);
     }
 }

@@ -2,6 +2,7 @@
 //! `δ(q) = [Δ − b/q]⁺`, plus the linear alternative it is contrasted with.
 
 use crate::error::MarketError;
+use crate::units::Price;
 
 /// A price-to-supply curve: how much resource reduction a participant
 /// offers at a unit price. Implemented by the paper's hyperbolic
@@ -32,13 +33,13 @@ pub trait Supply {
 /// resources.
 ///
 /// ```
-/// use mpr_core::SupplyFunction;
+/// use mpr_core::{Price, SupplyFunction};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// let s = SupplyFunction::new(0.7, 0.1)?;
-/// assert_eq!(s.supply(0.0), 0.0);            // free reductions are not supplied
-/// assert!((s.supply(0.2) - 0.2).abs() < 1e-12);
-/// assert!((s.supply(f64::INFINITY) - 0.7).abs() < 1e-12);
+/// assert_eq!(s.supply(Price::ZERO), 0.0);    // free reductions are not supplied
+/// assert!((s.supply(Price::new(0.2)) - 0.2).abs() < 1e-12);
+/// assert!((s.supply(Price::new(f64::INFINITY)) - 0.7).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
@@ -104,11 +105,12 @@ impl SupplyFunction {
     /// except for the degenerate `b = 0` bid which supplies `Δ` at any
     /// positive price.
     #[must_use]
-    pub fn supply(&self, price: f64) -> f64 {
-        if price <= 0.0 {
+    pub fn supply(&self, price: Price) -> f64 {
+        let q = price.get();
+        if q <= 0.0 {
             return 0.0;
         }
-        (self.delta_max - self.bid / price).max(0.0)
+        (self.delta_max - self.bid / q).max(0.0)
     }
 
     /// The price at which this supply starts to be positive: `b / Δ`.
@@ -116,11 +118,11 @@ impl SupplyFunction {
     /// Returns `None` for the degenerate `Δ = 0` supply which never
     /// activates.
     #[must_use]
-    pub fn activation_price(&self) -> Option<f64> {
+    pub fn activation_price(&self) -> Option<Price> {
         if self.delta_max <= 0.0 {
             None
         } else {
-            Some(self.bid / self.delta_max)
+            Some(Price::new(self.bid / self.delta_max))
         }
     }
 
@@ -129,30 +131,30 @@ impl SupplyFunction {
     ///
     /// For `delta <= 0` this is the activation price.
     #[must_use]
-    pub fn price_for(&self, delta: f64) -> Option<f64> {
+    pub fn price_for(&self, delta: f64) -> Option<Price> {
         if delta > self.delta_max {
             return None;
         }
-        if self.bid == 0.0 {
-            // Any positive price supplies Δ.
-            return Some(0.0);
+        if self.bid <= 0.0 {
+            // Any positive price supplies Δ (`new` validated `b >= 0`).
+            return Some(Price::ZERO);
         }
         let remaining = self.delta_max - delta.max(0.0);
         if remaining <= 0.0 {
             // Exactly Δ requested: only reached in the limit q → ∞.
             return if delta <= self.delta_max {
-                Some(f64::INFINITY)
+                Some(Price::new(f64::INFINITY))
             } else {
                 None
             };
         }
-        Some(self.bid / remaining)
+        Some(Price::new(self.bid / remaining))
     }
 }
 
 impl Supply for SupplyFunction {
     fn supply(&self, price: f64) -> f64 {
-        SupplyFunction::supply(self, price)
+        SupplyFunction::supply(self, Price::new(price))
     }
     fn delta_max(&self) -> f64 {
         SupplyFunction::delta_max(self)
@@ -258,18 +260,18 @@ mod tests {
         let s = SupplyFunction::new(0.7, 0.14).unwrap();
         // At the activation price the supply is exactly zero.
         let act = s.activation_price().unwrap();
-        assert!((act - 0.2).abs() < 1e-12);
+        assert!((act.get() - 0.2).abs() < 1e-12);
         assert_eq!(s.supply(act), 0.0);
         // Above it, Δ − b/q.
-        assert!((s.supply(0.4) - (0.7 - 0.14 / 0.4)).abs() < 1e-12);
+        assert!((s.supply(Price::new(0.4)) - (0.7 - 0.14 / 0.4)).abs() < 1e-12);
     }
 
     #[test]
     fn zero_bid_supplies_everything_at_any_positive_price() {
         let s = SupplyFunction::new(0.5, 0.0).unwrap();
-        assert_eq!(s.supply(1e-9), 0.5);
-        assert_eq!(s.supply(0.0), 0.0);
-        assert_eq!(s.price_for(0.5), Some(0.0));
+        assert_eq!(s.supply(Price::new(1e-9)), 0.5);
+        assert_eq!(s.supply(Price::ZERO), 0.0);
+        assert_eq!(s.price_for(0.5), Some(Price::ZERO));
     }
 
     #[test]
@@ -284,7 +286,7 @@ mod tests {
             );
         }
         assert_eq!(s.price_for(0.71), None);
-        assert_eq!(s.price_for(0.7), Some(f64::INFINITY));
+        assert_eq!(s.price_for(0.7), Some(Price::new(f64::INFINITY)));
     }
 
     #[test]
@@ -297,7 +299,7 @@ mod tests {
     fn zero_delta_never_activates() {
         let s = SupplyFunction::new(0.0, 0.3).unwrap();
         assert_eq!(s.activation_price(), None);
-        assert_eq!(s.supply(1e12), 0.0);
+        assert_eq!(s.supply(Price::new(1e12)), 0.0);
     }
 
     proptest! {
@@ -310,8 +312,8 @@ mod tests {
             dq in 0.0f64..100.0,
         ) {
             let s = SupplyFunction::new(delta_max, bid).unwrap();
-            let a = s.supply(q1);
-            let b = s.supply(q1 + dq);
+            let a = s.supply(Price::new(q1));
+            let b = s.supply(Price::new(q1 + dq));
             prop_assert!(a >= 0.0);
             prop_assert!(b <= delta_max + 1e-12);
             prop_assert!(b + 1e-12 >= a, "supply must be non-decreasing: {a} then {b}");
@@ -327,7 +329,7 @@ mod tests {
         ) {
             let low = SupplyFunction::new(delta_max, bid).unwrap();
             let high = SupplyFunction::new(delta_max, bid + extra).unwrap();
-            prop_assert!(high.supply(q) <= low.supply(q) + 1e-12);
+            prop_assert!(high.supply(Price::new(q)) <= low.supply(Price::new(q)) + 1e-12);
         }
     }
 }

@@ -23,6 +23,7 @@
 use crate::error::MarketError;
 use crate::opt::{self, OptJob, OptMethod};
 use crate::participant::JobId;
+use crate::units::Watts;
 
 /// Outcome of a VCG procurement auction.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +64,7 @@ impl VcgOutcome {
 ///
 /// ```
 /// use mpr_core::opt::{OptJob, OptMethod};
-/// use mpr_core::{vcg, QuadraticCost};
+/// use mpr_core::{vcg, QuadraticCost, Watts};
 ///
 /// # fn main() -> Result<(), mpr_core::MarketError> {
 /// let costs: Vec<QuadraticCost> =
@@ -71,9 +72,9 @@ impl VcgOutcome {
 /// let jobs: Vec<OptJob<'_>> = costs
 ///     .iter()
 ///     .enumerate()
-///     .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+///     .map(|(i, c)| OptJob::new(i as u64, c, Watts::new(125.0)))
 ///     .collect();
-/// let outcome = vcg::auction(&jobs, 200.0, OptMethod::Auto)?;
+/// let outcome = vcg::auction(&jobs, Watts::new(200.0), OptMethod::Auto)?;
 /// // Individually rational: every pivot payment covers the user's cost.
 /// for award in &outcome.awards {
 ///     assert!(award.payment >= award.cost - 1e-9);
@@ -91,14 +92,13 @@ impl VcgOutcome {
 ///   pivot payment).
 pub fn auction(
     jobs: &[OptJob<'_>],
-    target_watts: f64,
+    target: Watts,
     method: OptMethod,
 ) -> Result<VcgOutcome, MarketError> {
-    let full = opt::solve(jobs, target_watts, method)?;
+    let full = opt::solve(jobs, target, method)?;
     let mut awards = Vec::with_capacity(jobs.len());
     let mut total_payment = 0.0;
-    for (i, job) in jobs.iter().enumerate() {
-        let (id, reduction) = full.reductions[i];
+    for ((i, job), &(id, reduction)) in jobs.iter().enumerate().zip(&full.reductions) {
         if reduction <= 1e-12 {
             awards.push(VcgAward {
                 id,
@@ -117,7 +117,7 @@ pub fn auction(
                 .filter(|(k, _)| *k != i)
                 .map(|(_, j)| *j),
         );
-        let without = opt::solve(&others, target_watts, method)?;
+        let without = opt::solve(&others, target, method)?;
         // Others' cost within the full optimum.
         let others_cost_in_full = full.total_cost - own_cost;
         let payment = (without.total_cost - others_cost_in_full).max(own_cost);
@@ -141,11 +141,17 @@ mod tests {
     use super::*;
     use crate::cost::{CostModel, QuadraticCost};
 
+    const W125: Watts = Watts::new(125.0);
+
+    fn w(x: f64) -> Watts {
+        Watts::new(x)
+    }
+
     fn jobs(costs: &[QuadraticCost]) -> Vec<OptJob<'_>> {
         costs
             .iter()
             .enumerate()
-            .map(|(i, c)| OptJob::new(i as u64, c, 125.0))
+            .map(|(i, c)| OptJob::new(i as u64, c, W125))
             .collect()
     }
 
@@ -155,7 +161,7 @@ mod tests {
             .iter()
             .map(|&a| QuadraticCost::new(a, 1.0))
             .collect();
-        let out = auction(&jobs(&costs), 200.0, OptMethod::Auto).unwrap();
+        let out = auction(&jobs(&costs), w(200.0), OptMethod::Auto).unwrap();
         for award in &out.awards {
             assert!(
                 award.payment >= award.cost - 1e-9,
@@ -174,8 +180,8 @@ mod tests {
         // one is idle and unpaid.
         let cheap = QuadraticCost::new(0.01, 1.0);
         let dear = QuadraticCost::new(100.0, 1.0);
-        let j = vec![OptJob::new(0, &cheap, 125.0), OptJob::new(1, &dear, 125.0)];
-        let out = auction(&j, 20.0, OptMethod::Auto).unwrap();
+        let j = vec![OptJob::new(0, &cheap, W125), OptJob::new(1, &dear, W125)];
+        let out = auction(&j, w(20.0), OptMethod::Auto).unwrap();
         let dear_award = out.awards.iter().find(|a| a.id == 1).unwrap();
         assert!(dear_award.reduction < 0.05);
         if dear_award.reduction <= 1e-12 {
@@ -190,13 +196,13 @@ mod tests {
         let truthful = QuadraticCost::new(2.0, 1.0);
         let liar = QuadraticCost::new(1.0, 1.0); // claims to be cheaper
         let other = QuadraticCost::new(2.0, 1.0);
-        let target = 150.0;
+        let target = w(150.0);
 
         let honest = auction(
             &[
-                OptJob::new(0, &truthful, 125.0),
-                OptJob::new(1, &other, 125.0),
-                OptJob::new(2, &other, 125.0),
+                OptJob::new(0, &truthful, W125),
+                OptJob::new(1, &other, W125),
+                OptJob::new(2, &other, W125),
             ],
             target,
             OptMethod::Auto,
@@ -204,9 +210,9 @@ mod tests {
         .unwrap();
         let lying = auction(
             &[
-                OptJob::new(0, &liar, 125.0),
-                OptJob::new(1, &other, 125.0),
-                OptJob::new(2, &other, 125.0),
+                OptJob::new(0, &liar, W125),
+                OptJob::new(1, &other, W125),
+                OptJob::new(2, &other, W125),
             ],
             target,
             OptMethod::Auto,
@@ -231,21 +237,21 @@ mod tests {
         // Removing the only big supplier makes the target unreachable.
         let big = QuadraticCost::new(1.0, 10.0);
         let small = QuadraticCost::new(1.0, 0.1);
-        let j = vec![OptJob::new(0, &big, 125.0), OptJob::new(1, &small, 125.0)];
+        let j = vec![OptJob::new(0, &big, W125), OptJob::new(1, &small, W125)];
         // Target needs more than `small` alone can give.
-        let err = auction(&j, 500.0, OptMethod::Auto).unwrap_err();
+        let err = auction(&j, w(500.0), OptMethod::Auto).unwrap_err();
         assert!(matches!(err, MarketError::Infeasible { .. }));
     }
 
     #[test]
     fn empty_and_trivial_targets() {
         assert!(matches!(
-            auction(&[], 10.0, OptMethod::Auto),
+            auction(&[], w(10.0), OptMethod::Auto),
             Err(MarketError::NoParticipants)
         ));
         let c = QuadraticCost::new(1.0, 1.0);
-        let j = vec![OptJob::new(0, &c, 125.0)];
-        let out = auction(&j, 0.0, OptMethod::Auto).unwrap();
+        let j = vec![OptJob::new(0, &c, W125)];
+        let out = auction(&j, Watts::ZERO, OptMethod::Auto).unwrap();
         assert_eq!(out.total_payment, 0.0);
         assert_eq!(out.total_cost, 0.0);
     }
@@ -253,7 +259,7 @@ mod tests {
     #[test]
     fn symmetric_jobs_pay_symmetrically() {
         let costs: Vec<QuadraticCost> = (0..4).map(|_| QuadraticCost::new(2.0, 1.0)).collect();
-        let out = auction(&jobs(&costs), 300.0, OptMethod::Auto).unwrap();
+        let out = auction(&jobs(&costs), w(300.0), OptMethod::Auto).unwrap();
         let p0 = out.awards[0].payment;
         for a in &out.awards {
             assert!((a.payment - p0).abs() < 1e-6, "payments {:?}", out.awards);

@@ -8,14 +8,14 @@
 
 use mpr_apps::{cpu_profiles, fit};
 use mpr_core::{
-    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost,
+    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
 fn realized_cost(
     agents: Vec<Box<dyn BiddingAgent>>,
     truth: &[ScaledCost<mpr_apps::ProfileCost>],
-    target: f64,
+    target: Watts,
 ) -> (f64, usize) {
     let mut market = InteractiveMarket::new(
         agents,
@@ -46,11 +46,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for frac in [0.2, 0.4, 0.6] {
-        let target = frac * attainable;
+        let target = Watts::new(frac * attainable);
         let table_agents: Vec<Box<dyn BiddingAgent>> = truth
             .iter()
             .enumerate()
-            .map(|(i, t)| Box::new(NetGainAgent::new(i as u64, t.clone(), w)) as _)
+            .map(|(i, t)| Box::new(NetGainAgent::new(i as u64, t.clone(), Watts::new(w))) as _)
             .collect();
         let power_agents: Vec<Box<dyn BiddingAgent>> = profiles
             .iter()
@@ -60,7 +60,7 @@ fn main() {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     ScaledCost::new(fitted, cores),
-                    w,
+                    Watts::new(w),
                 )) as _
             })
             .collect();
@@ -72,7 +72,7 @@ fn main() {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     ScaledCost::new(fitted, cores),
-                    w,
+                    Watts::new(w),
                 )) as _
             })
             .collect();

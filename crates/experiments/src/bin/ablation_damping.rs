@@ -5,7 +5,9 @@
 //! ill-conditioned (e.g. near-concave) cost models.
 
 use mpr_apps::cpu_profiles;
-use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost};
+use mpr_core::{
+    BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost, Watts,
+};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -19,7 +21,7 @@ fn main() {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     ScaledCost::new(p.cost_model(1.0), cores),
-                    w,
+                    Watts::new(w),
                 )) as _
             })
             .collect()
@@ -39,7 +41,9 @@ fn main() {
                     ..InteractiveConfig::default()
                 },
             );
-            let out = market.clear(0.3 * attainable).expect("feasible");
+            let out = market
+                .clear(Watts::new(0.3 * attainable))
+                .expect("feasible");
             row.push(format!(
                 "{}{}",
                 out.clearing.iterations(),

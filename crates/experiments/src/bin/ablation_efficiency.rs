@@ -11,7 +11,7 @@ use mpr_core::analysis;
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
     BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, Participant,
-    ScaledCost, StaticMarket,
+    ScaledCost, StaticMarket, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 use rand::{Rng, SeedableRng};
@@ -38,7 +38,7 @@ fn main() {
                 .collect();
             let w: Vec<f64> = vec![125.0; costs.len()];
             let attainable: f64 = costs.iter().map(|c| c.delta_max() * 125.0).sum();
-            let target = depth * attainable;
+            let target = Watts::new(depth * attainable);
 
             let market: StaticMarket = costs
                 .iter()
@@ -47,7 +47,7 @@ fn main() {
                     Participant::new(
                         i as u64,
                         StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                        125.0,
+                        Watts::new(125.0),
                     )
                 })
                 .collect();
@@ -61,7 +61,9 @@ fn main() {
             let agents: Vec<Box<dyn BiddingAgent>> = costs
                 .iter()
                 .enumerate()
-                .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), 125.0)) as _)
+                .map(|(i, c)| {
+                    Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(125.0))) as _
+                })
                 .collect();
             let mut im = InteractiveMarket::new(agents, InteractiveConfig::default());
             let out = im.clear(target).expect("feasible");

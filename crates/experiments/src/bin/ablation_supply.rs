@@ -10,7 +10,9 @@
 
 use mpr_apps::cpu_profiles;
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::{mclr, opt, CostModel, LinearSupply, Participant, ScaledCost, StaticMarket, Supply};
+use mpr_core::{
+    mclr, opt, CostModel, LinearSupply, Participant, ScaledCost, StaticMarket, Supply, Watts,
+};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -31,7 +33,7 @@ fn main() {
             Participant::new(
                 i as u64,
                 StaticStrategy::Cooperative.supply_for(j).unwrap(),
-                w,
+                Watts::new(w),
             )
         })
         .collect();
@@ -51,7 +53,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for frac in [0.1, 0.3, 0.5, 0.7] {
-        let target = frac * attainable;
+        let target = Watts::new(frac * attainable);
         let hyp = market.clear_best_effort(target);
         let hyp_cost: f64 = hyp
             .allocations()
@@ -63,18 +65,18 @@ fn main() {
         let lin_cost: f64 = linear
             .iter()
             .zip(&jobs)
-            .map(|((s, _), j)| j.cost(s.supply(lin.price)))
+            .map(|((s, _), j)| j.cost(s.supply(lin.price.get())))
             .sum();
         let opt_jobs: Vec<opt::OptJob<'_>> = jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| opt::OptJob::new(i as u64, j, w))
+            .map(|(i, j)| opt::OptJob::new(i as u64, j, Watts::new(w)))
             .collect();
         let best = opt::solve(&opt_jobs, target, opt::OptMethod::Auto).unwrap();
         rows.push(vec![
             fmt(100.0 * frac, 0),
-            fmt(hyp.price(), 3),
-            fmt(lin.price, 3),
+            fmt(hyp.price().get(), 3),
+            fmt(lin.price.get(), 3),
             fmt(hyp_cost, 1),
             fmt(lin_cost, 1),
             fmt(best.total_cost, 1),

@@ -12,7 +12,7 @@ use mpr_apps::cpu_profiles;
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
     opt, vcg, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
-    Participant, ScaledCost, StaticMarket,
+    Participant, ScaledCost, StaticMarket, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
@@ -30,13 +30,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for frac in [0.2, 0.4, 0.6] {
-        let target = frac * attainable;
+        let target = Watts::new(frac * attainable);
 
         // VCG.
         let jobs: Vec<opt::OptJob<'_>> = costs
             .iter()
             .enumerate()
-            .map(|(i, c)| opt::OptJob::new(i as u64, c, w))
+            .map(|(i, c)| opt::OptJob::new(i as u64, c, Watts::new(w)))
             .collect();
         let t0 = Instant::now();
         let v = vcg::auction(&jobs, target, opt::OptMethod::Auto).expect("feasible");
@@ -50,7 +50,7 @@ fn main() {
                 Participant::new(
                     i as u64,
                     StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                    w,
+                    Watts::new(w),
                 )
             })
             .collect();
@@ -67,7 +67,7 @@ fn main() {
         let agents: Vec<Box<dyn BiddingAgent>> = costs
             .iter()
             .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), w)) as _)
+            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(w))) as _)
             .collect();
         let mut imarket = InteractiveMarket::new(agents, InteractiveConfig::default());
         let int = imarket.clear(target).expect("feasible");

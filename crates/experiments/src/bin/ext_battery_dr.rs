@@ -37,7 +37,7 @@ fn serve_event(mut battery: Option<UpsBattery>) -> Dispatch {
             Participant::new(
                 i as u64,
                 StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                125.0,
+                Watts::new(125.0),
             )
         })
         .collect();
@@ -68,7 +68,7 @@ fn serve_event(mut battery: Option<UpsBattery>) -> Dispatch {
         }
         // Market covers the rest.
         if remaining > 0.0 {
-            let clearing = market.clear_best_effort(remaining);
+            let clearing = market.clear_best_effort(Watts::new(remaining));
             out.market_core_hours += clearing.total_reduction() * dt / 3600.0;
             out.reward_core_hours += clearing.total_reward_rate() * dt / 3600.0;
         }

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use mpr_core::Watts;
 use mpr_experiments::{arg_days, fmt, print_table, run_with};
 use mpr_grid::{CarbonAccountant, CarbonCap, CarbonIntensitySignal};
 use mpr_sim::{Algorithm, SimConfig, Simulation};
@@ -17,7 +16,7 @@ fn main() {
     let trace = mpr_experiments::gaia_trace(days);
     let probe = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 10.0));
     let peak = probe.reference_peak_watts();
-    let base_capacity = Watts::new(peak * 100.0 / 110.0);
+    let base_capacity = peak * (100.0 / 110.0);
     let signal = CarbonIntensitySignal::typical();
     let accountant = CarbonAccountant::new(signal);
     println!(

@@ -9,7 +9,7 @@
 
 use mpr_apps::cpu_profiles;
 use mpr_core::bidding::{net_gain, StaticStrategy};
-use mpr_core::{CostModel, Participant, ScaledCost, StaticMarket};
+use mpr_core::{CostModel, Participant, ScaledCost, StaticMarket, Watts};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -32,14 +32,14 @@ fn main() {
         })
         .collect();
     let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
-    let target = 0.35 * attainable;
+    let target = Watts::new(0.35 * attainable);
 
     let mut rows = Vec::new();
     for k in [0usize, 5, 10, 20, 30, 40] {
         let participants: Vec<Participant> = (0..n)
             .map(|i| {
                 let s = if i < k { inflated[i] } else { honest[i] };
-                Participant::new(i as u64, s, w)
+                Participant::new(i as u64, s, Watts::new(w))
             })
             .collect();
         let market = StaticMarket::new(participants);
@@ -63,7 +63,7 @@ fn main() {
         // equilibrium below instead.
         rows.push(vec![
             k.to_string(),
-            fmt(price, 3),
+            fmt(price.get(), 3),
             fmt(clearing.total_reward_rate(), 1),
             fmt(per_member, 3),
             if clearing.met_target() { "yes" } else { "NO" }.to_owned(),

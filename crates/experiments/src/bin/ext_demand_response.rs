@@ -8,7 +8,6 @@
 
 use std::sync::Arc;
 
-use mpr_core::Watts;
 use mpr_experiments::{arg_days, fmt, fmt_thousands, gaia_trace, print_table, run_with};
 use mpr_grid::{DrCapacity, DrSchedule};
 use mpr_sim::{Algorithm, SimConfig, Simulation};
@@ -18,7 +17,7 @@ fn main() {
     let trace = gaia_trace(days);
     let probe = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 10.0));
     let peak = probe.reference_peak_watts();
-    let base_capacity = Watts::new(peak * 100.0 / 110.0);
+    let base_capacity = peak * (100.0 / 110.0);
     let schedule = DrSchedule::weekday_evenings(days, 3.0, base_capacity * 0.10);
     println!(
         "Gaia, {days} days at 10% oversubscription; DR program: {} events, {:.1} MWh obligation",

@@ -27,9 +27,9 @@ fn main() {
             k.to_string(),
             fmt(r.overload_time_pct(), 2),
             r.overload_events().to_string(),
-            fmt_thousands(r.reduction_core_hours()),
-            fmt_thousands(r.cost_core_hours()),
-            fmt_thousands(r.reward_core_hours()),
+            fmt_thousands(r.reduction_core_hours().get()),
+            fmt_thousands(r.cost_core_hours().get()),
+            fmt_thousands(r.reward_core_hours().get()),
         ]);
     }
     print_table(

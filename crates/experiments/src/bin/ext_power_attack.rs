@@ -96,11 +96,13 @@ fn run(defended: bool) -> Outcome {
                     continue;
                 }
                 // Normal market path (attacker refuses to participate).
-                let target = controller.active_target().get();
+                let target = controller.active_target();
                 let participants: Vec<Participant> = apps
                     .iter()
                     .enumerate()
-                    .map(|(i, a)| Participant::new(i as u64, supplies[i], a.watts_per_unit()))
+                    .map(|(i, a)| {
+                        Participant::new(i as u64, supplies[i], Watts::new(a.watts_per_unit()))
+                    })
                     .collect();
                 let clearing = StaticMarket::new(participants).clear_best_effort(target);
                 let mut delivered = 0.0;

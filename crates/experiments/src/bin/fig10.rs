@@ -11,7 +11,7 @@ use mpr_apps::{cpu_profiles, AppProfile, ProfileCost};
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
     eql, opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
-    Participant, ScaledCost, StaticMarket,
+    Participant, ScaledCost, StaticMarket, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 use rand::{Rng, SeedableRng};
@@ -56,13 +56,19 @@ fn main() {
             .iter()
             .map(|j| j.cost.delta_max() * j.profile.unit_dynamic_power_w())
             .sum();
-        let target = 0.3 * attainable;
+        let target = Watts::new(0.3 * attainable);
 
         // MPR-STAT: one market clearing.
         let participants: Vec<Participant> = jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| Participant::new(i as u64, j.supply, j.profile.unit_dynamic_power_w()))
+            .map(|(i, j)| {
+                Participant::new(
+                    i as u64,
+                    j.supply,
+                    Watts::new(j.profile.unit_dynamic_power_w()),
+                )
+            })
             .collect();
         let market = StaticMarket::new(participants);
         let t0 = Instant::now();
@@ -89,7 +95,13 @@ fn main() {
         let opt_jobs: Vec<opt::OptJob<'_>> = jobs
             .iter()
             .enumerate()
-            .map(|(i, j)| opt::OptJob::new(i as u64, &j.cost, j.profile.unit_dynamic_power_w()))
+            .map(|(i, j)| {
+                opt::OptJob::new(
+                    i as u64,
+                    &j.cost,
+                    Watts::new(j.profile.unit_dynamic_power_w()),
+                )
+            })
             .collect();
         let t0 = Instant::now();
         let _ = opt::solve(&opt_jobs, target, opt::OptMethod::Auto).expect("feasible");
@@ -103,7 +115,7 @@ fn main() {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     j.cost.clone(),
-                    j.profile.unit_dynamic_power_w(),
+                    Watts::new(j.profile.unit_dynamic_power_w()),
                 )) as Box<dyn BiddingAgent>
             })
             .collect();

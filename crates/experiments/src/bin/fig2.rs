@@ -1,6 +1,6 @@
 //! Fig. 2: MPR's supply function `δ(q) = [Δ − b/q]⁺` for different bids.
 
-use mpr_core::SupplyFunction;
+use mpr_core::{Price, SupplyFunction};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
             let q = 0.1 * f64::from(i);
             let mut row = vec![fmt(q, 1)];
             for s in &supplies {
-                row.push(fmt(s.supply(q), 3));
+                row.push(fmt(s.supply(Price::new(q)), 3));
             }
             row
         })
@@ -30,7 +30,7 @@ fn main() {
         println!(
             "bid {:.2}: activation price {:.3} (supply positive above it)",
             s.bid(),
-            s.activation_price().unwrap()
+            s.activation_price().unwrap().get()
         );
     }
 }

@@ -7,6 +7,7 @@
 
 use mpr_apps::{profile_by_name, reference};
 use mpr_core::bidding::{best_response, net_gain, StaticStrategy};
+use mpr_core::Price;
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -41,11 +42,11 @@ fn main() {
             vec![
                 fmt(q, 3),
                 fmt(ref_at(q), 3),
-                fmt(coop.supply(q), 3),
-                fmt(cons.supply(q), 3),
-                fmt(defi.supply(q), 3),
-                fmt(net_gain(&cost, &coop, q), 3),
-                fmt(net_gain(&cost, &defi, q), 3),
+                fmt(coop.supply(Price::new(q)), 3),
+                fmt(cons.supply(Price::new(q)), 3),
+                fmt(defi.supply(Price::new(q)), 3),
+                fmt(net_gain(&cost, &coop, Price::new(q)), 3),
+                fmt(net_gain(&cost, &defi, Price::new(q)), 3),
             ]
         })
         .collect();
@@ -66,7 +67,7 @@ fn main() {
     let rows: Vec<Vec<String>> = [0.8, 1.2, 1.8]
         .iter()
         .map(|&q| {
-            let r = best_response(&cost, q).unwrap();
+            let r = best_response(&cost, Price::new(q)).unwrap();
             vec![
                 fmt(q, 2),
                 fmt(r.delta, 3),

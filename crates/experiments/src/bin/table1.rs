@@ -23,7 +23,9 @@ fn main() {
     for os in Oversubscription::table1_levels() {
         let x = os.as_percent();
         let capacity_w = os.capacity(mpr_core::Watts::new(peak_w)).get();
-        let extra_ch = os.extra_core_hours(f64::from(trace.total_cores()), hours_per_month);
+        let extra_ch = os
+            .extra_core_hours(f64::from(trace.total_cores()), hours_per_month)
+            .get();
 
         let mut overload_slots = 0usize;
         let mut overloaded_core_hours = 0.0f64;

@@ -54,11 +54,7 @@ impl DrSchedule {
     /// time).
     #[must_use]
     pub fn new(mut events: Vec<DrEvent>) -> Self {
-        events.sort_by(|a, b| {
-            a.start_secs
-                .partial_cmp(&b.start_secs)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        events.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs));
         for w in events.windows(2) {
             assert!(
                 w[1].start_secs >= w[0].end_secs(),

@@ -1,0 +1,521 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The offline build container cannot fetch `syn`, so the lint carries its
+//! own tokenizer. It does not need to *parse* Rust — the rules in
+//! [`crate::rules`] work on token patterns — but it must be exact about the
+//! things token-pattern rules are easily fooled by: string literals, char
+//! literals vs. lifetimes, raw strings, nested block comments, and line
+//! numbers. Comments are not emitted as tokens, with one exception: line
+//! comments beginning with `lint:` are collected separately so the rules can
+//! honor audited exemptions.
+
+/// Token category. String/char literal *contents* are discarded so rule
+/// patterns can never match text inside a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// Punctuation; multi-char operators like `::`, `->`, `==` are one token.
+    Punct,
+    /// String literal (plain, raw, or byte); text is not retained.
+    Str,
+    /// Char or byte literal; text is not retained.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category of the token.
+    pub kind: TokKind,
+    /// Source text (empty for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `// lint: ...` exemption comment found during lexing.
+#[derive(Debug, Clone)]
+pub struct ExemptionComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Comment body after the `lint:` marker, trimmed.
+    pub body: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All `// lint:` comments, in source order.
+    pub exemptions: Vec<ExemptionComment>,
+}
+
+/// Multi-character operators emitted as single tokens, longest first.
+/// `>>`/`<<` are deliberately absent so `Vec<Vec<f64>>` closes generics with
+/// two `>` tokens, which keeps angle-bracket matching simple.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "..", "&&", "||", "+=", "-=", "*=", "/=",
+];
+
+/// Lexes `src` into tokens and exemption comments.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (plain or doc). Capture the body to detect
+                // `lint:` exemption markers; everything else is discarded.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let trimmed = text.trim_start_matches(['/', '!']).trim();
+                if let Some(body) = trimmed.strip_prefix("lint:") {
+                    out.exemptions.push(ExemptionComment {
+                        line,
+                        body: body.trim().to_string(),
+                    });
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&bytes, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs. char literal: a lifetime is `'` + ident chars
+                // *not* followed by a closing quote.
+                let mut j = i + 1;
+                if j < n && is_ident_start(bytes[j]) {
+                    let mut k = j;
+                    while k < n && is_ident_cont(bytes[k]) {
+                        k += 1;
+                    }
+                    if k < n && bytes[k] == '\'' && k == j + 1 {
+                        // Single ident char then quote: char literal 'x'.
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line,
+                        });
+                        i = k + 1;
+                    } else {
+                        let text: String = bytes[i..k].iter().collect();
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text,
+                            line,
+                        });
+                        i = k;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: '\n', '\'', '0'...
+                    if j < n && bytes[j] == '\\' {
+                        j += 2; // skip the escape lead and the escaped char
+                        while j < n && bytes[j] != '\'' {
+                            j += 1; // \u{1F600} style escapes
+                        }
+                    } else if j < n {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                }
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&bytes, i) => {
+                i = skip_prefixed_literal(&bytes, i, &mut line, &mut out.toks);
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < n && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, j) = lex_number(&bytes, i, line);
+                out.toks.push(tok);
+                i = j;
+            }
+            '#' if i + 1 < n && bytes[i + 1] == '#' => {
+                // `r##"` handled above; stray `##` in macros: two puncts.
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "#".into(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                let mut matched = false;
+                for op in MULTI_PUNCT {
+                    let len = op.chars().count();
+                    if i + len <= n && bytes[i..i + len].iter().collect::<String>() == **op {
+                        out.toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += len;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    out.toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when the `r`/`b` at `i` starts a raw string, byte string, byte char,
+/// or raw identifier — anything needing special handling over plain idents.
+fn starts_raw_or_byte_literal(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    match bytes[i] {
+        'r' => {
+            // r"..."  r#"..."#  r#ident  br"..." is handled from 'b'.
+            i + 1 < n && (bytes[i + 1] == '"' || bytes[i + 1] == '#')
+        }
+        'b' => {
+            if i + 1 >= n {
+                return false;
+            }
+            match bytes[i + 1] {
+                '"' | '\'' => true,
+                'r' => i + 2 < n && (bytes[i + 2] == '"' || bytes[i + 2] == '#'),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skips a plain (escaped) string starting at the `"` at `i`; returns the
+/// index just past the closing quote and updates `line`.
+fn skip_string(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Handles `r"…"`, `r#…#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#` starting at
+/// index `i`. Pushes the resulting token and returns the index past it.
+fn skip_prefixed_literal(bytes: &[char], i: usize, line: &mut u32, toks: &mut Vec<Tok>) -> usize {
+    let n = bytes.len();
+    let start_line = *line;
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == '\'' {
+            // Byte char literal b'x' / b'\n'.
+            let mut k = j + 1;
+            if k < n && bytes[k] == '\\' {
+                k += 2;
+            } else if k < n {
+                k += 1;
+            }
+            while k < n && bytes[k] != '\'' {
+                k += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line: start_line,
+            });
+            return (k + 1).min(n);
+        }
+        if j < n && bytes[j] == '"' {
+            let end = skip_string(bytes, j, line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            return end;
+        }
+        // br... falls through to the raw-string logic below.
+    }
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+    }
+    // Count leading hashes of a raw string, or detect a raw identifier.
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && bytes[j] == '"' {
+        // Raw string: scan for `"` followed by `hashes` hashes.
+        let mut k = j + 1;
+        while k < n {
+            if bytes[k] == '\n' {
+                *line += 1;
+                k += 1;
+                continue;
+            }
+            if bytes[k] == '"' {
+                let mut h = 0usize;
+                while k + 1 + h < n && h < hashes && bytes[k + 1 + h] == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    return k + 1 + hashes;
+                }
+            }
+            k += 1;
+        }
+        toks.push(Tok {
+            kind: TokKind::Str,
+            text: String::new(),
+            line: start_line,
+        });
+        return n;
+    }
+    if hashes == 1 && j < n && (bytes[j].is_alphabetic() || bytes[j] == '_') {
+        // Raw identifier r#type — emit as a plain ident.
+        let mut k = j;
+        while k < n && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+            k += 1;
+        }
+        let text: String = bytes[j..k].iter().collect();
+        toks.push(Tok {
+            kind: TokKind::Ident,
+            text,
+            line: start_line,
+        });
+        return k;
+    }
+    // Lone `r` / `b` ident followed by `#` punctuation (macro input, etc.).
+    toks.push(Tok {
+        kind: TokKind::Ident,
+        text: bytes[i].to_string(),
+        line: start_line,
+    });
+    i + 1
+}
+
+/// Lexes a numeric literal starting at digit `i`; returns the token and the
+/// index just past it.
+fn lex_number(bytes: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = bytes.len();
+    let mut j = i;
+    let mut float = false;
+    if bytes[j] == '0' && j + 1 < n && matches!(bytes[j + 1], 'x' | 'o' | 'b') {
+        j += 2;
+        while j < n && (bytes[j].is_ascii_hexdigit() || bytes[j] == '_') {
+            j += 1;
+        }
+    } else {
+        while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+            j += 1;
+        }
+        // Fractional part only when a digit follows the dot, so `0..10`
+        // and `1.max(2)` are not misread as floats.
+        if j + 1 < n && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+            float = true;
+            j += 1;
+            while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                j += 1;
+            }
+        }
+        if j < n && matches!(bytes[j], 'e' | 'E') {
+            let mut k = j + 1;
+            if k < n && matches!(bytes[k], '+' | '-') {
+                k += 1;
+            }
+            if k < n && bytes[k].is_ascii_digit() {
+                float = true;
+                j = k;
+                while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Type suffix: f64 marks a float even without a dot.
+    if j < n && (bytes[j].is_alphabetic()) {
+        let start_suffix = j;
+        while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+            j += 1;
+        }
+        if bytes[start_suffix] == 'f' {
+            float = true;
+        }
+    }
+    let text: String = bytes[i..j].iter().collect();
+    (
+        Tok {
+            kind: if float { TokKind::Float } else { TokKind::Int },
+            text,
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r#"let x = "unwrap() panic!"; // has unwrap() too"#);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap" && t != "panic"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"has "quotes" and unwrap()"#; let r#type = 1;"##);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let toks = kinds("let a = 1.5; for i in 0..10 {} let b = 2e-3; let c = 3f64;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2e-3", "3f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn exemption_comments_are_collected() {
+        let lexed = lex("let x = 1; // lint: raw-f64-ok legacy interface\nlet y = 2;\n// lint: allow(panic-freedom) — structurally nonempty\n");
+        assert_eq!(lexed.exemptions.len(), 2);
+        assert_eq!(lexed.exemptions[0].line, 1);
+        assert!(lexed.exemptions[0].body.starts_with("raw-f64-ok"));
+        assert_eq!(lexed.exemptions[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let lexed = lex("/* outer /* inner */ still */ fn\nf() {}");
+        assert_eq!(lexed.toks[0].text, "fn");
+        assert_eq!(lexed.toks[1].line, 2);
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let toks = kinds("a == b; c -> d; e::f; g..=h;");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str().to_string())
+            .collect();
+        assert!(puncts.contains(&"==".to_string()));
+        assert!(puncts.contains(&"->".to_string()));
+        assert!(puncts.contains(&"::".to_string()));
+        assert!(puncts.contains(&"..=".to_string()));
+    }
+}

@@ -1,0 +1,216 @@
+//! `mpr-lint` — the workspace's static-analysis pass.
+//!
+//! Four rule families keep the paper-reproduction honest at scale:
+//!
+//! * **L1 `unit-hygiene`** — public signatures in `mpr-core`, `mpr-power`,
+//!   and `mpr-sim` may not pass quantities (watts, prices, core-hours,
+//!   targets, budgets) as bare `f64`; they must use the newtypes from
+//!   `mpr_core::units`. `// lint: raw-f64-ok <why>` grants an audited
+//!   exemption.
+//! * **L2 `nan-safety`** — no `partial_cmp` on floats (panics or mis-orders
+//!   on NaN) and no `==`/`!=` against float literals in library code.
+//! * **L3 `panic-freedom`** — no `unwrap`/`expect`/`panic!`-family macros or
+//!   unchecked indexing in non-test library code of `mpr-core`/`mpr-power`,
+//!   the crates that execute inside every simulation slot.
+//! * **L4 `determinism`** — no `HashMap`/`HashSet` in report/CSV modules and
+//!   no `Instant`/`SystemTime` inside the simulator.
+//!
+//! Built without `syn` (the container is offline), on a small exact lexer —
+//! see [`lexer`]. Run it with `cargo run -p mpr-lint -- check`.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{
+    analyze_source, analyze_source_with, FileAnalysis, Rule, RuleSet, UsedExemption, Violation,
+};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Exemption budget enforced across the whole workspace: more than this many
+/// suppressions means the allowlist has become a loophole.
+pub const MAX_EXEMPTIONS: usize = 10;
+
+/// Aggregated result of linting the workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// All exemptions that suppressed a violation.
+    pub exemptions_used: Vec<UsedExemption>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// True when the workspace passes: no violations and the exemption
+    /// budget is respected.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.exemptions_used.len() <= MAX_EXEMPTIONS
+    }
+}
+
+/// Locates the workspace root at or above `start` by looking for a
+/// `Cargo.toml` containing a `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Lints every `crates/*/src` tree under `root` (skipping `crates/lint`
+/// itself, whose sources quote the forbidden patterns).
+///
+/// # Errors
+///
+/// Returns an error when the `crates/` directory cannot be read.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        if dir.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            report.files_scanned += 1;
+            let analysis = rules::analyze_source(&rel, &text);
+            report.violations.extend(analysis.violations);
+            report.exemptions_used.extend(analysis.exemptions_used);
+        }
+    }
+    report.violations.sort_by_key(|v| (v.file.clone(), v.line));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Escapes a string for inclusion in hand-rolled JSON output.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a JSON object (no external serializer available
+/// offline, so this is written by hand against a fixed schema).
+#[must_use]
+pub fn to_json(report: &WorkspaceReport) -> String {
+    let mut s = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.rule,
+            json_escape(&v.message)
+        ));
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"exemptions\": [");
+    for (i, e) in report.exemptions_used.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&e.file),
+            e.line,
+            e.rule,
+            json_escape(&e.reason)
+        ));
+    }
+    if !report.exemptions_used.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"ok\": {}\n}}\n",
+        report.files_scanned,
+        report.ok()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = WorkspaceReport {
+            violations: vec![Violation {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                rule: Rule::NanSafety,
+                message: "msg".into(),
+            }],
+            exemptions_used: vec![],
+            files_scanned: 1,
+        };
+        let j = to_json(&report);
+        assert!(j.contains("\"rule\": \"nan-safety\""));
+        assert!(j.contains("\"ok\": false"));
+    }
+}

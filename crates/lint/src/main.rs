@@ -1,0 +1,106 @@
+//! CLI entry point: `cargo run -p mpr-lint -- check [--json] [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 violations (or exemption budget exceeded),
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpr_lint::{analyze_workspace, find_workspace_root, to_json, MAX_EXEMPTIONS};
+
+const USAGE: &str = "usage: mpr-lint check [--json] [--root DIR]
+
+Rules: unit-hygiene (L1), nan-safety (L2), panic-freedom (L3), determinism (L4).
+Exemptions: `// lint: raw-f64-ok <why>` or `// lint: allow(<rule>) <why>`
+on the violating line or the line above.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut command = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" => command = Some("check"),
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "mpr-lint: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mpr-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        if !report.violations.is_empty() {
+            println!();
+        }
+        println!(
+            "mpr-lint: {} file(s) scanned, {} violation(s), {} exemption(s) used (budget {})",
+            report.files_scanned,
+            report.violations.len(),
+            report.exemptions_used.len(),
+            MAX_EXEMPTIONS
+        );
+        for e in &report.exemptions_used {
+            println!("  exempt {}:{} [{}] — {}", e.file, e.line, e.rule, e.reason);
+        }
+        if report.exemptions_used.len() > MAX_EXEMPTIONS {
+            println!(
+                "mpr-lint: exemption budget exceeded ({} > {}); prune the allowlist",
+                report.exemptions_used.len(),
+                MAX_EXEMPTIONS
+            );
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

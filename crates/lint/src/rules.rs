@@ -1,0 +1,882 @@
+//! The four rule families (L1–L4) plus exemption handling.
+//!
+//! Each rule walks the token stream from [`crate::lexer`] looking for a
+//! pattern; hits inside `#[cfg(test)]` / `#[test]` regions are dropped, and
+//! hits covered by an audited `// lint:` exemption comment are counted but
+//! not reported.
+
+use crate::lexer::{lex, ExemptionComment, Lexed, Tok, TokKind};
+
+/// Rule families enforced by the lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1 — public signatures must use unit newtypes, not bare `f64`.
+    UnitHygiene,
+    /// L2 — no NaN-unsafe float comparisons (`partial_cmp`, float `==`).
+    NanSafety,
+    /// L3 — no `unwrap`/`expect`/`panic!`/indexing in core library code.
+    PanicFreedom,
+    /// L4 — no nondeterministic iteration or wall-clock in sim/report code.
+    Determinism,
+    /// Meta — malformed or unjustified exemption comments.
+    Exemption,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in diagnostics and `allow(...)` comments.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnitHygiene => "unit-hygiene",
+            Rule::NanSafety => "nan-safety",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::Determinism => "determinism",
+            Rule::Exemption => "exemption",
+        }
+    }
+
+    /// Parses a kebab-case rule name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "unit-hygiene" => Some(Rule::UnitHygiene),
+            "nan-safety" => Some(Rule::NanSafety),
+            "panic-freedom" => Some(Rule::PanicFreedom),
+            "determinism" => Some(Rule::Determinism),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic produced by the lint.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule family that fired.
+    pub rule: Rule,
+    /// Human-readable description with a suggested fix.
+    pub message: String,
+}
+
+/// An exemption that matched a violation and suppressed it.
+#[derive(Debug, Clone)]
+pub struct UsedExemption {
+    /// Workspace-relative path of the exempted file.
+    pub file: String,
+    /// 1-based line of the suppressed violation.
+    pub line: u32,
+    /// Rule family that was suppressed.
+    pub rule: Rule,
+    /// Justification text from the comment.
+    pub reason: String,
+}
+
+/// Which rule families apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// Apply L1 (unit hygiene on `pub fn` signatures).
+    pub unit_hygiene: bool,
+    /// Apply L2 (NaN-safe comparisons).
+    pub nan_safety: bool,
+    /// Apply L3 (panic freedom).
+    pub panic_freedom: bool,
+    /// Apply L4 time-source checks (`Instant::now`, `SystemTime`).
+    pub determinism_time: bool,
+    /// Apply L4 hash-iteration checks (report/CSV modules).
+    pub determinism_hash: bool,
+}
+
+impl RuleSet {
+    /// Scope policy for a workspace-relative path like
+    /// `crates/core/src/mclr.rs`. Files outside `crates/*/src` get no rules.
+    #[must_use]
+    pub fn for_path(relpath: &str) -> RuleSet {
+        let mut parts = relpath.split('/');
+        if parts.next() != Some("crates") {
+            return RuleSet::default();
+        }
+        let Some(krate) = parts.next() else {
+            return RuleSet::default();
+        };
+        if parts.next() != Some("src") {
+            // Integration tests, benches, fixtures: exempt.
+            return RuleSet::default();
+        }
+        let file = relpath.rsplit('/').next().unwrap_or("");
+        RuleSet {
+            // Unit-typed quantities are enforced where the paper's quantities
+            // live: the market engine, the power layer, and the simulator.
+            unit_hygiene: matches!(krate, "core" | "power" | "sim"),
+            // NaN-safety applies to all library crates; binaries (cli,
+            // experiments, bench drivers) are presentation code.
+            nan_safety: !matches!(krate, "cli" | "experiments" | "bench" | "lint"),
+            // Panic-freedom is the strictest tier: the two crates whose code
+            // runs inside every simulation slot.
+            panic_freedom: matches!(krate, "core" | "power"),
+            determinism_time: krate == "sim",
+            determinism_hash: file.contains("report") || file.contains("csv"),
+        }
+    }
+}
+
+/// Outcome of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Violations that survived test-region and exemption filtering.
+    pub violations: Vec<Violation>,
+    /// Exemptions that suppressed a violation.
+    pub exemptions_used: Vec<UsedExemption>,
+}
+
+/// Analyzes one source file under the rule scopes for `relpath`.
+#[must_use]
+pub fn analyze_source(relpath: &str, src: &str) -> FileAnalysis {
+    analyze_source_with(relpath, src, RuleSet::for_path(relpath))
+}
+
+/// Analyzes one source file with an explicit rule set (used by fixture
+/// tests to exercise rules regardless of path).
+#[must_use]
+pub fn analyze_source_with(relpath: &str, src: &str, rules: RuleSet) -> FileAnalysis {
+    let lexed = lex(src);
+    let test_regions = test_regions(&lexed.toks);
+    let parsed: Vec<ParsedExemption> = lexed.exemptions.iter().map(parse_exemption).collect();
+
+    let mut raw: Vec<Violation> = Vec::new();
+    if rules.unit_hygiene {
+        unit_hygiene(relpath, &lexed, &mut raw);
+    }
+    if rules.nan_safety {
+        nan_safety(relpath, &lexed, &mut raw);
+    }
+    if rules.panic_freedom {
+        panic_freedom(relpath, &lexed, &mut raw);
+    }
+    if rules.determinism_time || rules.determinism_hash {
+        determinism(relpath, &lexed, rules, &mut raw);
+    }
+
+    // Drop test-region hits, dedupe, then apply exemptions.
+    raw.retain(|v| !in_regions(&test_regions, v.line));
+    raw.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    let mut out = FileAnalysis::default();
+    for v in raw {
+        // An exemption covers the violation line itself or the line below
+        // the comment (comment-above style).
+        let hit = parsed
+            .iter()
+            .find(|e| e.rule == Some(v.rule) && (e.line == v.line || e.line + 1 == v.line));
+        match hit {
+            Some(e) if !e.reason.is_empty() => out.exemptions_used.push(UsedExemption {
+                file: v.file,
+                line: v.line,
+                rule: v.rule,
+                reason: e.reason.clone(),
+            }),
+            _ => out.violations.push(v),
+        }
+    }
+
+    // Malformed exemption comments are violations in their own right: an
+    // unparseable rule name or a missing justification silently grants
+    // nothing, which is worse than failing loudly.
+    for e in &parsed {
+        if in_regions(&test_regions, e.line) {
+            continue;
+        }
+        if e.rule.is_none() {
+            out.violations.push(Violation {
+                file: relpath.to_string(),
+                line: e.line,
+                rule: Rule::Exemption,
+                message: format!(
+                    "unrecognized lint exemption `{}`; use `raw-f64-ok` or `allow(<rule>)`",
+                    e.raw
+                ),
+            });
+        } else if e.reason.is_empty() {
+            out.violations.push(Violation {
+                file: relpath.to_string(),
+                line: e.line,
+                rule: Rule::Exemption,
+                message: "lint exemption has no justification; add one after the rule".into(),
+            });
+        }
+    }
+    out.violations
+        .sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    out
+}
+
+/// Parsed form of a `// lint: ...` comment.
+struct ParsedExemption {
+    line: u32,
+    rule: Option<Rule>,
+    reason: String,
+    raw: String,
+}
+
+fn parse_exemption(c: &ExemptionComment) -> ParsedExemption {
+    let body = c.body.trim();
+    let (rule, rest) = if let Some(rest) = body.strip_prefix("raw-f64-ok") {
+        (Some(Rule::UnitHygiene), rest)
+    } else if let Some(after) = body.strip_prefix("allow(") {
+        match after.split_once(')') {
+            Some((name, rest)) => (Rule::from_name(name.trim()), rest),
+            None => (None, ""),
+        }
+    } else {
+        (None, "")
+    };
+    let reason = rest
+        .trim_start_matches([' ', '—', '-', ':', ','])
+        .trim()
+        .to_string();
+    ParsedExemption {
+        line: c.line,
+        rule,
+        reason,
+        raw: body.to_string(),
+    }
+}
+
+/// Line ranges belonging to `#[cfg(test)]` / `#[test]` / `#[bench]` items.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_test_attr(toks, i) {
+            let attr_line = toks[i].line;
+            // Skip this attribute and any stacked ones, then span the item.
+            let mut j = skip_attr(toks, i);
+            while j < toks.len() && toks[j].text == "#" {
+                j = skip_attr(toks, j);
+            }
+            // Find the item body: first `{` at paren depth 0, or a `;`.
+            let mut paren = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    "{" if paren == 0 => {
+                        let close = match_brace(toks, j);
+                        regions.push((attr_line, toks[close.min(toks.len() - 1)].line));
+                        i = close;
+                        break;
+                    }
+                    ";" if paren == 0 => {
+                        regions.push((attr_line, toks[j].line));
+                        i = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// True when tokens at `i` start `#[test]`, `#[bench]`, or an attribute
+/// whose argument list mentions `test` (covers `#[cfg(test)]`,
+/// `#[cfg(any(test, ...))]`).
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    if toks[i].text != "#" || i + 1 >= toks.len() || toks[i + 1].text != "[" {
+        return false;
+    }
+    let end = match_bracket(toks, i + 1);
+    let inner = &toks[i + 2..end.min(toks.len())];
+    match inner.first().map(|t| t.text.as_str()) {
+        Some("test" | "bench") => inner.len() == 1,
+        Some("cfg") => inner.iter().any(|t| t.text == "test"),
+        _ => false,
+    }
+}
+
+/// Index just past a `#[...]` attribute starting at the `#` at `i`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    if i + 1 < toks.len() && toks[i + 1].text == "[" {
+        match_bracket(toks, i + 1) + 1
+    } else {
+        i + 1
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Quantity-name patterns from the paper's variables: watts (P, C, δ),
+/// prices (q′), core-hours (costs/rewards), plus the target/budget words the
+/// controllers use for them.
+fn is_quantity_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    [
+        "watt",
+        "price",
+        "core_hour",
+        "corehour",
+        "power",
+        "target",
+        "budget",
+    ]
+    .iter()
+    .any(|p| lower.contains(p))
+        || lower.ends_with("_w")
+        || lower.ends_with("_wh")
+}
+
+// ---------------------------------------------------------------------------
+// L1 — unit hygiene on public signatures
+// ---------------------------------------------------------------------------
+
+fn unit_hygiene(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && is_pub_fn(toks, i) {
+            let Some(name_idx) = next_ident(toks, i + 1) else {
+                i += 1;
+                continue;
+            };
+            let fn_name = toks[name_idx].text.clone();
+            let fn_line = toks[name_idx].line;
+            // Skip generics to the parameter list.
+            let mut j = name_idx + 1;
+            if j < toks.len() && toks[j].text == "<" {
+                j = match_angle(toks, j) + 1;
+            }
+            if j >= toks.len() || toks[j].text != "(" {
+                i = j;
+                continue;
+            }
+            let close = match_paren(toks, j);
+            check_params(relpath, toks, j + 1, close, out);
+            // Return type: `-> f64` on a quantity-named fn.
+            let mut k = close + 1;
+            if k < toks.len() && toks[k].text == "->" {
+                let end = signature_end(toks, k + 1);
+                let ret = type_text(&toks[k + 1..end]);
+                if is_bare_f64(&ret) && is_quantity_name(&fn_name) {
+                    out.push(Violation {
+                        file: relpath.to_string(),
+                        line: toks[k].line,
+                        rule: Rule::UnitHygiene,
+                        message: format!(
+                            "pub fn `{fn_name}` returns bare `{ret}` for a quantity; \
+                             return a unit newtype (Watts/Price/CoreHours) or add \
+                             `// lint: raw-f64-ok <why>`"
+                        ),
+                    });
+                }
+                k = end;
+            }
+            let _ = fn_line;
+            i = k;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when the `fn` at `i` is `pub` (including `pub(crate)` etc.),
+/// allowing `const`/`async`/`unsafe`/`extern "C"` qualifiers between.
+fn is_pub_fn(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            "const" | "async" | "unsafe" | "extern" => continue,
+            ")" => {
+                // Possible `pub(crate)` restriction.
+                let mut depth = 0i32;
+                let mut k = j;
+                loop {
+                    match toks[k].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return false;
+                    }
+                    k -= 1;
+                }
+                return k > 0 && toks[k - 1].text == "pub";
+            }
+            "pub" => return true,
+            _ => {
+                if toks[j].kind == TokKind::Str {
+                    continue; // extern "C"
+                }
+                return false;
+            }
+        }
+    }
+    false
+}
+
+fn next_ident(toks: &[Tok], from: usize) -> Option<usize> {
+    toks[from..]
+        .iter()
+        .position(|t| t.kind == TokKind::Ident)
+        .map(|p| from + p)
+}
+
+/// Index of the `>` closing the `<` at `open` (type position only;
+/// `->`/`=>`/`>=`/`<=` are single tokens so they cannot confuse the count).
+fn match_angle(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scans a parameter list for quantity-named params typed as bare f64.
+fn check_params(relpath: &str, toks: &[Tok], start: usize, close: usize, out: &mut Vec<Violation>) {
+    let mut j = start;
+    while j < close {
+        // One parameter: pattern tokens, `:`, type tokens up to a top-level
+        // comma or the closing paren.
+        let mut colon = None;
+        let mut depth = 0i32;
+        let mut end = close;
+        let mut k = j;
+        while k < close {
+            match toks[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ":" if depth == 0 && colon.is_none() => colon = Some(k),
+                "," if depth == 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(c) = colon {
+            let name = toks[j..c]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let ty = type_text(&toks[c + 1..end]);
+            if is_bare_f64(&ty) && is_quantity_name(&name) {
+                out.push(Violation {
+                    file: relpath.to_string(),
+                    line: toks[c].line,
+                    rule: Rule::UnitHygiene,
+                    message: format!(
+                        "pub fn parameter `{name}: {ty}` is a bare float quantity; \
+                         take a unit newtype (Watts/Price/CoreHours) or add \
+                         `// lint: raw-f64-ok <why>`"
+                    ),
+                });
+            }
+        }
+        j = end + 1;
+    }
+}
+
+/// End of a signature after `->`: the body `{`, a `;`, or a `where` clause.
+fn signature_end(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "{" | ";" if depth == 0 => return j,
+            "where" if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+fn type_text(toks: &[Tok]) -> String {
+    toks.iter().map(|t| t.text.as_str()).collect()
+}
+
+/// Types the L1 rule flags: `f64` at top level, optionally behind a
+/// reference or `Option`.
+fn is_bare_f64(ty: &str) -> bool {
+    matches!(ty, "f64" | "&f64" | "&mutf64" | "Option<f64>")
+}
+
+// ---------------------------------------------------------------------------
+// L2 — NaN-safety
+// ---------------------------------------------------------------------------
+
+fn nan_safety(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "partial_cmp" {
+            // Every partial_cmp on floats either panics on NaN (`.unwrap()`)
+            // or silently mis-sorts (`unwrap_or(Equal)`); total_cmp does
+            // neither. Flag the call site unconditionally.
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::NanSafety,
+                message: "`partial_cmp` on floats panics or mis-orders on NaN; \
+                          use `f64::total_cmp` (or derive Ord on a newtype)"
+                    .into(),
+            });
+        }
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_lhs = i > 0 && toks[i - 1].kind == TokKind::Float;
+            let float_rhs = i + 1 < toks.len() && toks[i + 1].kind == TokKind::Float;
+            if float_lhs || float_rhs {
+                out.push(Violation {
+                    file: relpath.to_string(),
+                    line: t.line,
+                    rule: Rule::NanSafety,
+                    message: format!(
+                        "direct `{}` against a float literal is NaN-hostile and \
+                         precision-fragile; compare through a unit newtype, use a \
+                         tolerance, or add `// lint: allow(nan-safety) <why>`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3 — panic freedom
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_freedom(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident && !(t.kind == TokKind::Punct && t.text == "[") {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].text == ".";
+        match t.text.as_str() {
+            "unwrap" if prev_dot => out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::PanicFreedom,
+                message: "`.unwrap()` in library code; return a typed error, use \
+                          `unwrap_or`/pattern matching, or add \
+                          `// lint: allow(panic-freedom) <why>`"
+                    .into(),
+            }),
+            "expect" if prev_dot => out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::PanicFreedom,
+                message: "`.expect()` in library code; return a typed error or add \
+                          `// lint: allow(panic-freedom) <why>`"
+                    .into(),
+            }),
+            name if PANIC_MACROS.contains(&name)
+                && i + 1 < toks.len()
+                && toks[i + 1].text == "!" =>
+            {
+                out.push(Violation {
+                    file: relpath.to_string(),
+                    line: t.line,
+                    rule: Rule::PanicFreedom,
+                    message: format!(
+                        "`{name}!` in library code; return a typed error or add \
+                         `// lint: allow(panic-freedom) <why>`"
+                    ),
+                });
+            }
+            "[" => {
+                // Indexing expression: `[` directly after an expression tail
+                // (ident, `)`, or `]`), not an attribute or macro bracket.
+                if i == 0 {
+                    continue;
+                }
+                let p = &toks[i - 1];
+                let expr_tail = matches!(p.kind, TokKind::Ident) && !is_keyword(&p.text)
+                    || p.text == ")"
+                    || p.text == "]";
+                if !expr_tail {
+                    continue;
+                }
+                // Full-range slicing `x[..]` cannot panic.
+                let inner = &toks[i + 1..match_bracket(toks, i).min(toks.len())];
+                if inner.len() == 1 && inner[0].text == ".." {
+                    continue;
+                }
+                out.push(Violation {
+                    file: relpath.to_string(),
+                    line: t.line,
+                    rule: Rule::PanicFreedom,
+                    message: "indexing can panic; use `.get()`/`.get_mut()` or add \
+                              `// lint: allow(panic-freedom) <why>`"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an indexing
+/// expression (`let [a, b] = ...`, `for x in [..]`, `return [..]`, etc.).
+fn is_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "let"
+            | "in"
+            | "return"
+            | "match"
+            | "if"
+            | "else"
+            | "mut"
+            | "ref"
+            | "move"
+            | "box"
+            | "break"
+            | "const"
+            | "static"
+            | "as"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// L4 — determinism
+// ---------------------------------------------------------------------------
+
+fn determinism(relpath: &str, lexed: &Lexed, rules: RuleSet, out: &mut Vec<Violation>) {
+    for t in &lexed.toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if rules.determinism_hash && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::Determinism,
+                message: format!(
+                    "`{}` iteration order is nondeterministic and this module feeds \
+                     report/CSV output; use `BTreeMap`/`BTreeSet` or a sorted Vec",
+                    t.text
+                ),
+            });
+        }
+        if rules.determinism_time && (t.text == "Instant" || t.text == "SystemTime") {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::Determinism,
+                message: format!(
+                    "`{}` reads the wall clock inside the simulator; simulated time \
+                     must come from the slot counter to keep runs reproducible",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_rules() -> RuleSet {
+        RuleSet {
+            unit_hygiene: true,
+            nan_safety: true,
+            panic_freedom: true,
+            determinism_time: true,
+            determinism_hash: true,
+        }
+    }
+
+    fn run(src: &str) -> FileAnalysis {
+        analyze_source_with("crates/core/src/x.rs", src, all_rules())
+    }
+
+    #[test]
+    fn scope_policy_matches_layout() {
+        let core = RuleSet::for_path("crates/core/src/mclr.rs");
+        assert!(core.unit_hygiene && core.nan_safety && core.panic_freedom);
+        let sim = RuleSet::for_path("crates/sim/src/engine.rs");
+        assert!(sim.unit_hygiene && sim.determinism_time && !sim.panic_freedom);
+        let report = RuleSet::for_path("crates/sim/src/report.rs");
+        assert!(report.determinism_hash);
+        let cli = RuleSet::for_path("crates/cli/src/main.rs");
+        assert!(!cli.nan_safety && !cli.unit_hygiene);
+        let tests = RuleSet::for_path("crates/core/tests/integration.rs");
+        assert!(!tests.nan_safety);
+    }
+
+    #[test]
+    fn pub_fn_f64_params_and_returns_flagged() {
+        let a = run("pub fn set_budget(budget_watts: f64) {}\n\
+                     pub fn target_watts(&self) -> f64 { 0.0 }\n\
+                     pub fn helper(x: f64) -> f64 { x }\n\
+                     fn private_power(power: f64) {}\n");
+        let l1: Vec<_> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::UnitHygiene)
+            .collect();
+        // Param on line 1, return on line 2; `helper`'s non-quantity names
+        // and the private fn are not flagged.
+        assert_eq!(l1.len(), 2, "{l1:?}");
+        assert_eq!(l1[0].line, 1);
+        assert_eq!(l1[1].line, 2);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let a = run("pub fn ok() {}\n\
+                     #[cfg(test)]\n\
+                     mod tests {\n\
+                         fn f(v: Vec<f64>) { let _ = v[0].partial_cmp(&1.0).unwrap(); }\n\
+                     }\n");
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+    }
+
+    #[test]
+    fn exemption_suppresses_and_is_counted() {
+        let a = run("pub fn legacy(power_w: f64) {} // lint: raw-f64-ok FFI boundary\n");
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.exemptions_used.len(), 1);
+        assert_eq!(a.exemptions_used[0].reason, "FFI boundary");
+    }
+
+    #[test]
+    fn exemption_without_reason_is_a_violation() {
+        let a = run("pub fn legacy(power_w: f64) {} // lint: raw-f64-ok\n");
+        // Both the original violation and the meta-violation surface: an
+        // unjustified exemption suppresses nothing.
+        assert_eq!(a.violations.len(), 2, "{:?}", a.violations);
+        assert!(a.violations.iter().any(|v| v.rule == Rule::Exemption));
+        assert!(a.violations.iter().any(|v| v.rule == Rule::UnitHygiene));
+    }
+
+    #[test]
+    fn comment_above_style_applies_to_next_line() {
+        let a = run(
+            "// lint: allow(panic-freedom) — slice proven nonempty above\n\
+                     pub fn f(v: &[u32]) -> u32 { v[0] }\n",
+        );
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.exemptions_used.len(), 1);
+    }
+
+    #[test]
+    fn indexing_heuristics() {
+        let a = run(
+            "fn f(v: &[u32], i: usize) { let _ = v[i]; let _ = &v[..]; }\n\
+                     #[derive(Debug)]\nstruct S;\n\
+                     fn g() { let [a, b] = [1, 2]; let _ = (a, b); }\n",
+        );
+        let l3: Vec<_> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::PanicFreedom)
+            .collect();
+        assert_eq!(l3.len(), 1, "{l3:?}");
+        assert_eq!(l3[0].line, 1);
+    }
+
+    #[test]
+    fn determinism_patterns() {
+        let a = run("use std::time::Instant;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }\n");
+        let l4 = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::Determinism)
+            .count();
+        // Instant plus HashMap; the two same-line HashMap hits dedupe.
+        assert_eq!(l4, 2);
+    }
+}

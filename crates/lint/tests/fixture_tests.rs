@@ -1,0 +1,156 @@
+//! Fixture tests: each file under `tests/fixtures/` carries a known number
+//! of violations for one rule family; the lint must find exactly those, at
+//! exactly those lines, and the allowlist must suppress exactly what it
+//! claims to. The final test runs the real workspace pass end to end.
+
+use mpr_lint::{analyze_source_with, analyze_workspace, Rule, RuleSet, MAX_EXEMPTIONS};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lines_of(violations: &[mpr_lint::Violation], rule: Rule) -> Vec<u32> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn l1_unit_hygiene_fixture_counts() {
+    let src = fixture("unit_hygiene.rs");
+    let rules = RuleSet {
+        unit_hygiene: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::UnitHygiene),
+        vec![8, 13, 19],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 3);
+    assert!(a.exemptions_used.is_empty());
+}
+
+#[test]
+fn l2_nan_safety_fixture_counts() {
+    let src = fixture("nan_safety.rs");
+    let rules = RuleSet {
+        nan_safety: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::NanSafety),
+        vec![6, 11, 16],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 3);
+}
+
+#[test]
+fn l3_panic_freedom_fixture_counts() {
+    let src = fixture("panic_freedom.rs");
+    let rules = RuleSet {
+        panic_freedom: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::PanicFreedom),
+        vec![6, 11, 16, 21],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 4);
+}
+
+#[test]
+fn l4_determinism_fixture_counts() {
+    let src = fixture("determinism.rs");
+    let rules = RuleSet {
+        determinism_time: true,
+        determinism_hash: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/sim/src/report_fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::Determinism),
+        vec![7, 13, 18],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 3);
+}
+
+#[test]
+fn allowlist_suppresses_and_records() {
+    let src = fixture("allowlist.rs");
+    let rules = RuleSet {
+        unit_hygiene: true,
+        nan_safety: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.exemptions_used.len(), 2, "{:?}", a.exemptions_used);
+    // Comment-above style covers the `pub fn ingest` line.
+    assert_eq!(a.exemptions_used[0].rule, Rule::UnitHygiene);
+    assert_eq!(a.exemptions_used[0].line, 7);
+    // Same-line style covers the float equality.
+    assert_eq!(a.exemptions_used[1].rule, Rule::NanSafety);
+    assert_eq!(a.exemptions_used[1].line, 13);
+    for e in &a.exemptions_used {
+        assert!(!e.reason.is_empty(), "every suppression carries a reason");
+    }
+}
+
+#[test]
+fn malformed_allowlist_suppresses_nothing() {
+    let src = fixture("bad_allowlist.rs");
+    let rules = RuleSet {
+        unit_hygiene: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert!(a.exemptions_used.is_empty(), "{:?}", a.exemptions_used);
+    // The reason-less `raw-f64-ok` (line 5) fails to suppress the original
+    // violation (line 6), and the unknown rule name (line 11) is flagged.
+    assert_eq!(lines_of(&a.violations, Rule::Exemption), vec![5, 11]);
+    assert_eq!(lines_of(&a.violations, Rule::UnitHygiene), vec![6]);
+    assert_eq!(a.violations.len(), 3);
+}
+
+/// The acceptance gate as a test: the real workspace lints clean, within the
+/// exemption budget. Running it here means `cargo test` fails the moment a
+/// violation lands, not just the CI lint job.
+#[test]
+fn workspace_lints_clean_within_budget() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = mpr_lint::find_workspace_root(manifest).expect("workspace root");
+    let report = analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.violations.is_empty(),
+        "workspace violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.exemptions_used.len() <= MAX_EXEMPTIONS,
+        "exemption budget exceeded: {} > {MAX_EXEMPTIONS}",
+        report.exemptions_used.len()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    assert!(report.ok());
+}

@@ -1,0 +1,14 @@
+//! Allowlist fixture: every violation carries a justified exemption, so the
+//! file lints clean with two recorded suppressions. Not compiled — lexed by
+//! `fixture_tests.rs`.
+
+/// Comment-above style: the exemption covers the line below it.
+// lint: raw-f64-ok boundary API kept raw for the external telemetry feed
+pub fn ingest(power_w: f64) -> f64 {
+    power_w
+}
+
+/// Same-line style.
+pub fn anomaly(x: f64) -> bool {
+    x == 0.25 // lint: allow(nan-safety) sentinel value is exactly representable
+}

@@ -1,0 +1,12 @@
+//! Malformed-allowlist fixture: exemptions without justification or with an
+//! unknown rule name suppress nothing and are themselves violations.
+//! Not compiled — lexed by `fixture_tests.rs`.
+
+// lint: raw-f64-ok
+pub fn leak(power_w: f64) {
+    let _ = power_w;
+}
+
+pub fn off(x: f64) -> f64 {
+    x // lint: allow(made-up-rule) nonsense
+}

@@ -1,0 +1,19 @@
+//! L4 fixture: exactly three determinism violations (lines 7, 13, 18).
+//! Not compiled — lexed by `fixture_tests.rs`.
+
+/// `HashMap` in a module that feeds report/CSV output (both mentions sit on
+/// one line, so they dedupe to a single diagnostic).
+pub fn tally() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// `Instant` reads the wall clock inside the simulator.
+pub fn stamp() {
+    let _ = std::time::Instant::now();
+}
+
+/// So does `SystemTime`.
+pub fn stale() {
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,22 @@
+//! L2 fixture: exactly three NaN-safety violations (lines 6, 11, 16),
+//! one clean sort. Not compiled — lexed by `fixture_tests.rs`.
+
+/// `partial_cmp` panics (or mis-orders) when a NaN reaches the sort.
+pub fn sort_floats(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// Direct `==` against a float literal.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Direct `!=` against a float literal.
+pub fn not_one(x: f64) -> bool {
+    x != 1.0
+}
+
+/// Clean: `total_cmp` is total over NaN.
+pub fn sort_total(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,28 @@
+//! L3 fixture: exactly four panic-freedom violations (lines 6, 11, 16, 21),
+//! one clean accessor. Not compiled — lexed by `fixture_tests.rs`.
+
+/// `.unwrap()` in library code.
+pub fn first(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}
+
+/// `.expect()` in library code.
+pub fn second(v: &[f64]) -> f64 {
+    *v.get(1).expect("has two")
+}
+
+/// `panic!` macro.
+pub fn boom() {
+    panic!("no");
+}
+
+/// Unchecked indexing.
+pub fn third(v: &[f64]) -> f64 {
+    v[2]
+}
+
+/// Clean: full-range slicing cannot panic, `.get()` is checked.
+pub fn safe(v: &[f64]) -> Option<f64> {
+    let whole = &v[..];
+    whole.get(0).copied()
+}

@@ -1,0 +1,31 @@
+//! L1 fixture: exactly three unit-hygiene violations (lines 8, 13, 19),
+//! two clean functions. Not compiled — lexed by `fixture_tests.rs`.
+
+pub struct Controller;
+
+impl Controller {
+    /// Quantity-named parameter typed as bare `f64`.
+    pub fn set_target(&mut self, target_watts: f64) {
+        let _ = target_watts;
+    }
+
+    /// Quantity-named method returning bare `f64`.
+    pub fn power_budget(&self) -> f64 {
+        0.0
+    }
+}
+
+/// `price` parameter as bare `f64`.
+pub fn quote(price: f64) -> bool {
+    price > 0.0
+}
+
+/// Clean: non-quantity names may stay `f64`.
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Clean: private functions are out of scope for L1.
+fn internal_power(power: f64) -> f64 {
+    power
+}

@@ -131,11 +131,22 @@ impl PowerHierarchy {
 
     /// Adds a root node (typically the ATS) and returns its id.
     pub fn add_root(&mut self, name: impl Into<String>, kind: LevelKind, capacity: Watts) -> usize {
+        self.push_node(name, kind, capacity, None)
+    }
+
+    /// Appends a node unconditionally; nesting rules are the caller's job.
+    fn push_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: LevelKind,
+        capacity: Watts,
+        parent: Option<usize>,
+    ) -> usize {
         self.nodes.push(Node {
             name: name.into(),
             kind,
             capacity,
-            parent: None,
+            parent,
             load: Watts::ZERO,
             aggregate: Watts::ZERO,
         });
@@ -171,15 +182,7 @@ impl PowerHierarchy {
                 child: kind,
             });
         }
-        self.nodes.push(Node {
-            name: name.into(),
-            kind,
-            capacity,
-            parent: Some(parent),
-            load: Watts::ZERO,
-            aggregate: Watts::ZERO,
-        });
-        Ok(self.nodes.len() - 1)
+        Ok(self.push_node(name, kind, capacity, Some(parent)))
     }
 
     /// Sets the leaf load of a rack and propagates the change up through
@@ -201,7 +204,9 @@ impl PowerHierarchy {
         node.load = load;
         let mut cursor = Some(rack);
         while let Some(id) = cursor {
-            let n = &mut self.nodes[id];
+            let Some(n) = self.nodes.get_mut(id) else {
+                break;
+            };
             n.aggregate = Watts::new(n.aggregate.get() + delta);
             cursor = n.parent;
         }
@@ -254,16 +259,10 @@ impl PowerHierarchy {
     pub fn single_ups(ups_capacity: Watts) -> (Self, usize, usize) {
         let ample = ups_capacity * 10.0;
         let mut h = Self::new();
-        let ats = h.add_root("ats", LevelKind::Ats, ample);
-        let ups = h
-            .add_child("ups", LevelKind::Ups, ups_capacity, ats)
-            .expect("ATS feeds UPS");
-        let pdu = h
-            .add_child("pdu", LevelKind::Pdu, ample, ups)
-            .expect("UPS feeds PDU");
-        let rack = h
-            .add_child("rack", LevelKind::Rack, ample, pdu)
-            .expect("PDU feeds rack");
+        let ats = h.push_node("ats", LevelKind::Ats, ample, None);
+        let ups = h.push_node("ups", LevelKind::Ups, ups_capacity, Some(ats));
+        let pdu = h.push_node("pdu", LevelKind::Pdu, ample, Some(ups));
+        let rack = h.push_node("rack", LevelKind::Rack, ample, Some(pdu));
         (h, ups, rack)
     }
 }

@@ -39,6 +39,7 @@ impl PowerModel {
     pub fn new(static_w_per_core: f64, dynamic_w_per_core: f64) -> Self {
         match Self::try_new(static_w_per_core, dynamic_w_per_core) {
             Ok(m) => m,
+            // lint: allow(panic-freedom) documented constructor panic; try_new is the non-panicking path
             Err(e) => panic!("{e}"),
         }
     }
@@ -114,8 +115,8 @@ impl PowerModel {
     /// The market's `watts_per_unit` conversion: dynamic watts per core of
     /// reduction.
     #[must_use]
-    pub fn watts_per_unit(&self) -> f64 {
-        self.dynamic_w_per_core
+    pub fn watts_per_unit(&self) -> Watts {
+        Watts::new(self.dynamic_w_per_core)
     }
 }
 
@@ -164,7 +165,7 @@ mod tests {
         let m = PowerModel::paper();
         assert!((m.reduction_power(4.0).get() - 500.0).abs() < 1e-9);
         assert_eq!(m.reduction_power(-1.0).get(), 0.0);
-        assert_eq!(m.watts_per_unit(), 125.0);
+        assert_eq!(m.watts_per_unit(), Watts::new(125.0));
     }
 
     #[test]

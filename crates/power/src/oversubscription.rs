@@ -5,7 +5,7 @@
 //! workload scaled up to the new compute, overloading occurs whenever power
 //! demand exceeds `100/(100+x)` of its peak.
 
-use mpr_core::Watts;
+use mpr_core::{CoreHours, Watts};
 
 use crate::error::PowerError;
 
@@ -26,6 +26,7 @@ impl Oversubscription {
     pub fn percent(percent: f64) -> Self {
         match Self::try_percent(percent) {
             Ok(os) => os,
+            // lint: allow(panic-freedom) documented constructor panic; try_percent is the non-panicking path
             Err(e) => panic!("{e}"),
         }
     }
@@ -67,8 +68,8 @@ impl Oversubscription {
     /// `total_cores · x/100` cores — `hours · that` core-hours over a
     /// period (the "Extra Capacity" row of Table I).
     #[must_use]
-    pub fn extra_core_hours(&self, total_cores: f64, hours: f64) -> f64 {
-        total_cores * (self.percent / 100.0) * hours
+    pub fn extra_core_hours(&self, total_cores: f64, hours: f64) -> CoreHours {
+        CoreHours::new(total_cores * (self.percent / 100.0) * hours)
     }
 
     /// The levels evaluated in Table I.
@@ -119,7 +120,7 @@ mod tests {
         // Gaia: 2004 cores, ~720 h/month, 10 % → ~144 K core-hours/month.
         let os = Oversubscription::percent(10.0);
         let extra = os.extra_core_hours(2004.0, 720.0);
-        assert!((extra - 144_288.0).abs() < 1.0, "extra = {extra}");
+        assert!((extra.get() - 144_288.0).abs() < 1.0, "extra = {extra}");
     }
 
     #[test]

@@ -388,10 +388,12 @@ impl PowerSensor for FaultySensor {
         };
         if cfg.delay_polls > 0 {
             self.delay_buf.push_back(reading);
-            if self.delay_buf.len() > cfg.delay_polls {
-                reading = self.delay_buf.pop_front().expect("buffer non-empty");
-            } else {
+            if self.delay_buf.len() <= cfg.delay_polls {
                 return None;
+            }
+            match self.delay_buf.pop_front() {
+                Some(delayed) => reading = delayed,
+                None => return None,
             }
         }
         if self.stuck_remaining > 0 {
@@ -632,13 +634,17 @@ impl RobustEstimator {
             return None;
         }
         let mut v: Vec<f64> = self.window.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("power samples are finite"));
+        v.sort_by(f64::total_cmp);
         let n = v.len();
-        Some(if n % 2 == 1 {
-            v[n / 2]
+        let mid = n / 2;
+        if n % 2 == 1 {
+            v.get(mid).copied()
         } else {
-            0.5 * (v[n / 2 - 1] + v[n / 2])
-        })
+            match (v.get(mid.wrapping_sub(1)), v.get(mid)) {
+                (Some(a), Some(b)) => Some(0.5 * (a + b)),
+                _ => None,
+            }
+        }
     }
 }
 

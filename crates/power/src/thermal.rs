@@ -37,7 +37,8 @@ impl ThermalModel {
     /// Panics unless `cooling_w` and `capacitance_j_per_k` are positive and
     /// `critical_c > setpoint_c`.
     #[must_use]
-    pub fn new(cooling_w: f64, capacitance_j_per_k: f64, setpoint_c: f64, critical_c: f64) -> Self {
+    pub fn new(cooling: Watts, capacitance_j_per_k: f64, setpoint_c: f64, critical_c: f64) -> Self {
+        let cooling_w = cooling.get();
         assert!(cooling_w > 0.0, "cooling capacity must be positive");
         assert!(capacitance_j_per_k > 0.0, "capacitance must be positive");
         assert!(critical_c > setpoint_c, "critical must exceed setpoint");
@@ -56,13 +57,13 @@ impl ThermalModel {
     /// zone — the paper's reason the manager mitigates promptly.
     #[must_use]
     pub fn typical(cooling: Watts) -> Self {
-        Self::new(cooling.get(), 15.0 * cooling.get(), 22.0, 35.0)
+        Self::new(cooling, 15.0 * cooling.get(), 22.0, 35.0)
     }
 
     /// The rated cooling capacity.
     #[must_use]
-    pub fn cooling_w(&self) -> f64 {
-        self.cooling_w
+    pub fn cooling_w(&self) -> Watts {
+        Watts::new(self.cooling_w)
     }
 
     /// Time in seconds a *constant* IT load takes to heat the room from
@@ -135,7 +136,7 @@ mod tests {
         let m = model();
         assert_eq!(m.time_to_critical(Watts::new(100_000.0)), None);
         assert_eq!(m.time_to_critical(Watts::new(50_000.0)), None);
-        assert_eq!(m.cooling_w(), 100_000.0);
+        assert_eq!(m.cooling_w(), Watts::new(100_000.0));
     }
 
     #[test]
@@ -182,7 +183,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "critical must exceed setpoint")]
     fn bad_temperatures_panic() {
-        let _ = ThermalModel::new(1000.0, 1000.0, 30.0, 25.0);
+        let _ = ThermalModel::new(Watts::new(1000.0), 1000.0, 30.0, 25.0);
     }
 
     #[test]

@@ -168,17 +168,21 @@ impl Experiment {
                 match controller.step(t, Watts::new(power)) {
                     EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. } => {
                         emergencies += 1;
-                        let target = controller.active_target().get();
+                        let target = controller.active_target();
                         let participants: Vec<Participant> = self
                             .apps
                             .iter()
                             .enumerate()
                             .map(|(i, a)| {
-                                Participant::new(i as u64, supplies[i], a.watts_per_unit())
+                                Participant::new(
+                                    i as u64,
+                                    supplies[i],
+                                    Watts::new(a.watts_per_unit()),
+                                )
                             })
                             .collect();
                         let clearing = StaticMarket::new(participants).clear_best_effort(target);
-                        price = clearing.price();
+                        price = clearing.price().get();
                         let mut delivered = 0.0;
                         for alloc in clearing.allocations() {
                             let i = alloc.id as usize;

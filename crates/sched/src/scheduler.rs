@@ -122,13 +122,13 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
             total_cores
         );
     }
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by(|&a, &b| {
-        jobs[a]
-            .submit_secs
-            .partial_cmp(&jobs[b].submit_secs)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let mut order: Vec<(f64, usize)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.submit_secs, i))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let order: Vec<usize> = order.into_iter().map(|(_, i)| i).collect();
 
     let mut pending = order.into_iter().peekable();
     let mut queue: VecDeque<usize> = VecDeque::new();
@@ -282,7 +282,7 @@ fn reservation(running: &[Running], free: u32, head_cores: u32) -> (f64, u32) {
         return (0.0, free - head_cores);
     }
     let mut ends: Vec<(f64, u32)> = running.iter().map(|r| (r.end_estimate, r.cores)).collect();
-    ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    ends.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut avail = free;
     for (end, cores) in ends {
         avail += cores;
@@ -470,11 +470,7 @@ mod tests {
                 events.push((s.start_secs, i64::from(s.cores)));
                 events.push((s.end_secs(), -i64::from(s.cores)));
             }
-            events.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
-            });
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut alloc = 0i64;
             for (_, d) in events {
                 alloc += d;

@@ -176,7 +176,7 @@ impl<'a> Simulation<'a> {
     /// start time at full speed, with this config's profile assignment.
     /// Capacity is `peak · 100/(100+x)` (Section IV-A).
     #[must_use]
-    pub fn reference_peak_watts(&self) -> f64 {
+    pub fn reference_peak_watts(&self) -> Watts {
         let profiles = self.assign_profiles();
         let static_w = self.config.power_model.static_w_per_core();
         let slot = self.config.slot_secs;
@@ -198,7 +198,7 @@ impl<'a> Simulation<'a> {
             acc += d;
             peak = peak.max(acc);
         }
-        peak
+        Watts::new(peak)
     }
 
     fn assign_profiles(&self) -> Vec<Arc<AppProfile>> {
@@ -217,17 +217,17 @@ impl<'a> Simulation<'a> {
     pub(crate) fn setup(&self) -> RunSetup {
         let cfg = &self.config;
         let slot = cfg.slot_secs;
-        let peak_w = self.reference_peak_watts();
+        let peak = self.reference_peak_watts();
         let capacity_w = cfg.capacity_watts_override.unwrap_or_else(|| {
             Oversubscription::percent(cfg.oversubscription_pct)
-                .capacity(Watts::new(peak_w))
+                .capacity(peak)
                 .get()
         });
         RunSetup {
             slot,
             slot_h: slot / 3600.0,
             static_w: cfg.power_model.static_w_per_core(),
-            peak_w,
+            peak_w: peak.get(),
             capacity_w,
             profiles: self.assign_profiles(),
             horizon_slots: ((self.trace.span_secs() / slot).ceil() as usize).saturating_mul(2)
@@ -335,8 +335,9 @@ impl<'a> Simulation<'a> {
         plan: &CheckpointPlan,
     ) -> Result<RunOutcome, CheckpointError> {
         while !state.finished && state.step < setup.horizon_slots {
-            if plan.every_slots > 0 && state.step > 0 && state.step.is_multiple_of(plan.every_slots)
-            {
+            // Slot 0 is checkpointed too: a kill before the first periodic
+            // interval must still leave a resume point on disk.
+            if plan.every_slots > 0 && state.step.is_multiple_of(plan.every_slots) {
                 checkpoint::write_checkpoint(&plan.path, self, &state)?;
             }
             if plan.kill_at_slot == Some(state.step) {
@@ -397,11 +398,17 @@ impl<'a> Simulation<'a> {
         // any overload this produces.
         if !in_emergency && !state.deferred.is_empty() {
             let mut budget = 0.10 * capacity_now;
-            // Nominal (phase-free) estimates are good enough here.
+            // Nominal (phase-free) estimates are good enough here. The first
+            // queued job always starts, even when wider than the whole
+            // per-slot budget: otherwise a job drawing more than 10 % of
+            // capacity is starved until the arrival stream dries up, and its
+            // late, stretched run can blow past the simulation horizon.
+            let mut started_this_slot = false;
             while let Some(&idx) = state.deferred.front() {
                 let p = &setup.profiles[idx];
                 let job_w = f64::from(jobs[idx].cores) * (static_w + p.unit_dynamic_power_w());
-                if job_w <= budget || state.active.is_empty() {
+                if job_w <= budget || !started_this_slot {
+                    started_this_slot = true;
                     let job = self.start_job(idx, p, t, &mut state.rng);
                     if job.static_supply.is_none() {
                         state.acc.degradation.bid_failures += 1;
@@ -493,6 +500,14 @@ impl<'a> Simulation<'a> {
             .iter()
             .map(|j| j.reduction * j.profile.unit_dynamic_power_w() * phase_of(j))
             .sum();
+        // Keep the controller's view of the in-force reduction current: jobs
+        // carrying reductions complete over time, and a lift decision that
+        // compares headroom against the (stale) reduction recorded at
+        // declare time can become unsatisfiable, wedging the system in
+        // emergency with every new arrival deferred forever.
+        if state.controller.phase().is_active() {
+            state.controller.record_delivered(Watts::new(reduction_w));
+        }
         let demand_w = power_w + reduction_w;
         if demand_w > capacity_now {
             state.acc.overload_slots += 1;
@@ -661,13 +676,13 @@ impl<'a> Simulation<'a> {
                         Some(Participant::new(
                             j.idx as u64,
                             supply,
-                            j.profile.unit_dynamic_power_w(),
+                            Watts::new(j.profile.unit_dynamic_power_w()),
                         ))
                     })
                     .collect();
                 let market = StaticMarket::new(participants);
-                let clearing = market.clear_best_effort(target_w);
-                let price = clearing.price();
+                let clearing = market.clear_best_effort(Watts::new(target_w));
+                let price = clearing.price().get();
                 let by_id: BTreeMap<u64, f64> = clearing
                     .allocations()
                     .iter()
@@ -693,7 +708,7 @@ impl<'a> Simulation<'a> {
                         Box::new(NetGainAgent::new(
                             j.idx as u64,
                             j.perceived.clone(),
-                            j.profile.unit_dynamic_power_w(),
+                            Watts::new(j.profile.unit_dynamic_power_w()),
                         )) as Box<dyn BiddingAgent>
                     })
                     .collect();
@@ -704,10 +719,10 @@ impl<'a> Simulation<'a> {
                         ..InteractiveConfig::default()
                     },
                 );
-                match market.clear(target_w) {
+                match market.clear(Watts::new(target_w)) {
                     Ok(InteractiveOutcome { clearing, .. }) => {
                         acc.int_iterations += clearing.iterations();
-                        let price = clearing.price();
+                        let price = clearing.price().get();
                         let by_id: BTreeMap<u64, f64> = clearing
                             .allocations()
                             .iter()
@@ -745,11 +760,11 @@ impl<'a> Simulation<'a> {
                         opt::OptJob::new(
                             j.idx as u64,
                             &j.true_cost,
-                            j.profile.unit_dynamic_power_w(),
+                            Watts::new(j.profile.unit_dynamic_power_w()),
                         )
                     })
                     .collect();
-                match opt::solve(&opt_jobs, target_w, opt::OptMethod::Auto) {
+                match opt::solve(&opt_jobs, Watts::new(target_w), opt::OptMethod::Auto) {
                     Ok(sol) => {
                         let by_id: BTreeMap<u64, f64> = sol.reductions.into_iter().collect();
                         let mut delivered = 0.0;
@@ -781,7 +796,7 @@ impl<'a> Simulation<'a> {
                         watts_per_unit: j.profile.unit_dynamic_power_w(),
                     })
                     .collect();
-                match eql::reduce(&eql_jobs, target_w) {
+                match eql::reduce(&eql_jobs, Watts::new(target_w)) {
                     Ok(outcome) => {
                         if !outcome.is_feasible() {
                             acc.unmet_emergencies += 1;
@@ -840,7 +855,7 @@ impl<'a> Simulation<'a> {
             let inner = NetGainAgent::new(
                 j.idx as u64,
                 j.perceived.clone(),
-                j.profile.unit_dynamic_power_w(),
+                Watts::new(j.profile.unit_dynamic_power_w()),
             );
             let u: f64 = rng.gen();
             let unresp_end = plan.unresponsive_frac;
@@ -865,7 +880,7 @@ impl<'a> Simulation<'a> {
             };
             market.register(agent, j.static_supply.map(|s| s.bid()));
         }
-        match market.clear(target_w) {
+        match market.clear(Watts::new(target_w)) {
             Ok(outcome) => {
                 acc.int_iterations += outcome.clearing.iterations();
                 acc.degradation.rounds_retried += outcome.retries;
@@ -880,7 +895,7 @@ impl<'a> Simulation<'a> {
                     ChainLevel::EqlCapping => acc.degradation.eql_cappings += 1,
                 }
                 acc.degradation.observe_chain_level(outcome.chain_level);
-                let price = outcome.clearing.price();
+                let price = outcome.clearing.price().get();
                 let by_id: BTreeMap<u64, f64> = outcome
                     .clearing
                     .allocations()
@@ -902,6 +917,17 @@ impl<'a> Simulation<'a> {
     }
 
     fn finish_report(&self, setup: &RunSetup, state: EngineState) -> SimReport {
+        if std::env::var("MPR_DEBUG_UNFINISHED").is_ok() && !state.finished {
+            for j in &state.active {
+                eprintln!(
+                    "UNFINISHED active idx {} cores {} remaining {:.0} nominal {:.0} exec_started {:.0} reduction {:.3}",
+                    j.idx, j.cores, j.remaining_secs, j.nominal_secs, j.exec_started_secs, j.reduction
+                );
+            }
+            for &idx in &state.deferred {
+                eprintln!("UNFINISHED deferred idx {idx}");
+            }
+        }
         let EngineState {
             total_slots,
             mut acc,
@@ -1234,7 +1260,7 @@ mod tests {
         let peak = base.reference_peak_watts();
         let baseline = base.run();
         // A policy pinning capacity 5 % below the oversubscribed level.
-        let tight = Watts::new(peak * 100.0 / 115.0 * 0.95);
+        let tight = peak * (100.0 / 115.0 * 0.95);
         let policy = Arc::new(FixedCapacity(tight));
         let r = Simulation::new(
             &trace,

@@ -123,7 +123,10 @@ impl Timeline {
     /// ready for external plotting.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("minute,demand_w,power_w,capacity_w,reduction_w,price\n");
+        // The `_w` column tokens come from `Watts::SUFFIX` so header and
+        // typed display can never drift apart.
+        let w = mpr_core::Watts::SUFFIX.trim().to_ascii_lowercase();
+        let mut out = format!("minute,demand_{w},power_{w},capacity_{w},reduction_{w},price\n");
         for i in 0..self.power_w.len() {
             out.push_str(&format!(
                 "{:.2},{:.1},{:.1},{:.1},{:.1},{:.6}\n",

@@ -91,7 +91,7 @@ pub fn utilization_cdf(series: &AllocationSeries, capacity: f64, bins: usize) ->
         .iter()
         .map(|v| v / capacity.max(1e-12))
         .collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     (1..=bins)
         .map(|i| {
             let u = i as f64 / bins as f64;
@@ -158,8 +158,8 @@ impl JobMix {
         let n = jobs.len() as f64;
         let mut cores: Vec<f64> = jobs.iter().map(|j| f64::from(j.cores)).collect();
         let mut runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime_secs / 3600.0).collect();
-        cores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        cores.sort_by(f64::total_cmp);
+        runtimes.sort_by(f64::total_cmp);
         JobMix {
             jobs: jobs.len(),
             mean_cores: cores.iter().sum::<f64>() / n,

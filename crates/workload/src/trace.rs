@@ -20,11 +20,7 @@ impl Trace {
     #[must_use]
     pub fn new(name: impl Into<String>, total_cores: u32, mut jobs: Vec<Job>) -> Self {
         assert!(total_cores > 0, "total_cores must be positive");
-        jobs.sort_by(|a, b| {
-            a.start_secs
-                .partial_cmp(&b.start_secs)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        jobs.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs));
         Self {
             name: name.into(),
             total_cores,

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use mpr_core::Watts;
 use mpr_grid::{CarbonAccountant, CarbonCap, CarbonIntensitySignal};
 use mpr_sim::{Algorithm, SimConfig, Simulation};
 use mpr_workload::{ClusterSpec, TraceGenerator};
@@ -22,7 +21,7 @@ fn main() {
     );
 
     let probe = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 10.0));
-    let base_capacity = Watts::new(probe.reference_peak_watts() * 100.0 / 110.0);
+    let base_capacity = probe.reference_peak_watts() * (100.0 / 110.0);
 
     let mut last: Option<(f64, f64)> = None;
     for derate in [0.0, 0.15] {

@@ -6,7 +6,8 @@
 //! ```
 
 use mpr_core::{
-    opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, QuadraticCost,
+    opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    QuadraticCost, Watts,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,10 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let agents: Vec<Box<dyn BiddingAgent>> = costs
         .iter()
         .enumerate()
-        .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+        .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, Watts::new(125.0))) as _)
         .collect();
 
-    let target = 1200.0; // watts to shed
+    let target = Watts::new(1200.0); // watts to shed
     let mut market = InteractiveMarket::new(agents, InteractiveConfig::default());
     let outcome = market.clear(target)?;
 
@@ -31,14 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "converged = {}, final price {:.4}, {} iterations\n",
         outcome.converged,
-        outcome.clearing.price(),
+        outcome.clearing.price().get(),
         outcome.clearing.iterations()
     );
 
     let opt_jobs: Vec<opt::OptJob<'_>> = costs
         .iter()
         .enumerate()
-        .map(|(i, c)| opt::OptJob::new(i as u64, c, 125.0))
+        .map(|(i, c)| opt::OptJob::new(i as u64, c, Watts::new(125.0)))
         .collect();
     let optimal = opt::solve(&opt_jobs, target, opt::OptMethod::Auto)?;
 

@@ -9,7 +9,7 @@
 //! ```
 
 use mpr_core::bidding::{net_gain, StaticStrategy};
-use mpr_core::{CostModel, Participant, ScaledCost, StaticMarket};
+use mpr_core::{CostModel, Participant, ScaledCost, StaticMarket, Watts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three jobs: an insensitive RSBench (16 cores), a mid-range XSBench
@@ -32,19 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         participants.push(Participant::new(
             i as u64,
             supply,
-            profile.unit_dynamic_power_w(),
+            Watts::new(profile.unit_dynamic_power_w()),
         ));
         costs.push(cost);
     }
 
     // A power overload: the manager must shed 1 kW.
     let market = StaticMarket::new(participants);
-    let clearing = market.clear(1000.0)?;
+    let clearing = market.clear(Watts::new(1000.0))?;
     println!(
         "\nmarket cleared at price q' = {:.3}, total reduction {:.2} cores ({:.0} W)",
-        clearing.price(),
+        clearing.price().get(),
         clearing.total_reduction(),
-        clearing.total_power_reduction()
+        clearing.total_power_reduction().get()
     );
     for (alloc, cost) in clearing.allocations().iter().zip(&costs) {
         let gain = net_gain(

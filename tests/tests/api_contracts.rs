@@ -59,7 +59,7 @@ fn key_traits_are_object_safe() {
     let _agent: Box<dyn mpr_core::BiddingAgent> = Box::new(mpr_core::NetGainAgent::new(
         0,
         mpr_core::QuadraticCost::new(1.0, 1.0),
-        125.0,
+        mpr_core::Watts::new(125.0),
     ));
     let _policy: Box<dyn mpr_power::CapacityPolicy> =
         Box::new(mpr_power::FixedCapacity(mpr_core::Watts::new(1.0)));

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use mpr_core::Watts;
+use mpr_core::{CoreHours, Watts};
 use mpr_sim::{Algorithm, PartitionPolicy, PartitionedSimulation, SimConfig, Simulation};
 use mpr_tests::{simulate, test_trace};
 
@@ -14,7 +14,7 @@ fn demand_response_end_to_end() {
     use mpr_grid::{DrCapacity, DrSchedule};
     let trace = test_trace(7.0, 21);
     let probe = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 10.0));
-    let base_cap = Watts::new(probe.reference_peak_watts() * 100.0 / 110.0);
+    let base_cap = probe.reference_peak_watts() * (100.0 / 110.0);
     let schedule = DrSchedule::weekday_evenings(7.0, 2.0, base_cap * 0.12);
     let baseline = simulate(&trace, Algorithm::MprStat, 10.0);
     let dr = Simulation::new(
@@ -35,7 +35,7 @@ fn carbon_cap_end_to_end() {
     use mpr_grid::{CarbonAccountant, CarbonCap, CarbonIntensitySignal};
     let trace = test_trace(5.0, 21);
     let probe = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 10.0));
-    let base_cap = Watts::new(probe.reference_peak_watts() * 100.0 / 110.0);
+    let base_cap = probe.reference_peak_watts() * (100.0 / 110.0);
     let signal = CarbonIntensitySignal::typical();
     let policy = Arc::new(CarbonCap::new(
         base_cap,
@@ -80,7 +80,7 @@ fn partitioned_simulation_conserves_jobs() {
     for r in &part.partitions {
         assert_eq!(r.jobs_total, r.jobs_completed, "every partition drains");
     }
-    assert!(part.cost_core_hours() >= 0.0);
+    assert!(part.cost_core_hours() >= CoreHours::ZERO);
 }
 
 /// The scheduler pipeline composes: submissions → EASY backfill → MPR
@@ -122,18 +122,18 @@ fn vcg_agrees_with_interactive_market() {
         .iter()
         .map(|&a| QuadraticCost::new(a, 2.0))
         .collect();
-    let target = 400.0;
+    let target = Watts::new(400.0);
     let opt_jobs: Vec<opt::OptJob<'_>> = costs
         .iter()
         .enumerate()
-        .map(|(i, c)| opt::OptJob::new(i as u64, c, 125.0))
+        .map(|(i, c)| opt::OptJob::new(i as u64, c, Watts::new(125.0)))
         .collect();
     let auction = vcg::auction(&opt_jobs, target, opt::OptMethod::Auto).unwrap();
 
     let agents: Vec<Box<dyn BiddingAgent>> = costs
         .iter()
         .enumerate()
-        .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, 125.0)) as _)
+        .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, *c, Watts::new(125.0))) as _)
         .collect();
     let mut market = InteractiveMarket::new(agents, InteractiveConfig::default());
     let outcome = market.clear(target).unwrap();

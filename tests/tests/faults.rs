@@ -5,7 +5,7 @@
 use mpr_core::bidding::cooperative_bid;
 use mpr_core::{
     BiddingAgent, ByzantineAgent, ChainLevel, CrashAgent, InteractiveConfig, NetGainAgent,
-    QuadraticCost, ResilientConfig, ResilientInteractiveMarket, UnresponsiveAgent,
+    QuadraticCost, ResilientConfig, ResilientInteractiveMarket, UnresponsiveAgent, Watts,
 };
 use mpr_sim::{Algorithm, FaultPlan, SimConfig, Simulation};
 use mpr_tests::test_trace;
@@ -13,7 +13,7 @@ use mpr_tests::test_trace;
 const WPU: f64 = 125.0;
 
 fn quadratic(id: u64, alpha: f64) -> NetGainAgent<QuadraticCost> {
-    NetGainAgent::new(id, QuadraticCost::new(alpha, 1.0), WPU)
+    NetGainAgent::new(id, QuadraticCost::new(alpha, 1.0), Watts::new(WPU))
 }
 
 /// Builds the canonical faulty cohort: 20 agents, 30 % unresponsive from
@@ -43,7 +43,7 @@ fn chain_meets_target_with_30pct_unresponsive_10pct_crashing() {
     let mut market = faulty_cohort();
     // 900 W is comfortably attainable over the 12 healthy survivors
     // (12 × Δ × WPU = 1500 W).
-    let outcome = market.clear(900.0).expect("chain clears");
+    let outcome = market.clear(Watts::new(900.0)).expect("chain clears");
     assert!(
         outcome.clearing.met_target(),
         "chain must meet the target: delivered {:.1} of 900 W at level {}",
@@ -67,8 +67,12 @@ fn chain_meets_target_with_30pct_unresponsive_10pct_crashing() {
 /// Deterministic replay: two identical faulty clearings agree exactly.
 #[test]
 fn faulty_clearing_is_deterministic() {
-    let a = faulty_cohort().clear(900.0).expect("chain clears");
-    let b = faulty_cohort().clear(900.0).expect("chain clears");
+    let a = faulty_cohort()
+        .clear(Watts::new(900.0))
+        .expect("chain clears");
+    let b = faulty_cohort()
+        .clear(Watts::new(900.0))
+        .expect("chain clears");
     assert_eq!(a.clearing.price(), b.clearing.price());
     assert_eq!(a.chain_level, b.chain_level);
     assert_eq!(a.quarantined_ids(), b.quarantined_ids());
@@ -99,7 +103,7 @@ fn byzantine_oscillation_falls_back_within_round_budget() {
         };
         market.register(agent, fallback);
     }
-    let outcome = market.clear(600.0).expect("chain clears");
+    let outcome = market.clear(Watts::new(600.0)).expect("chain clears");
     assert!(outcome.diverged, "watchdog should flag divergence");
     assert!(
         outcome.clearing.iterations() < 200,
@@ -116,10 +120,12 @@ fn byzantine_oscillation_falls_back_within_round_budget() {
 fn infeasible_target_reaches_eql_with_residual() {
     let mut market = faulty_cohort();
     // Total attainable even with every agent cooperating is 2500 W.
-    let outcome = market.clear(5000.0).expect("chain always answers");
+    let outcome = market
+        .clear(Watts::new(5000.0))
+        .expect("chain always answers");
     assert_eq!(outcome.chain_level, ChainLevel::EqlCapping);
     assert!(outcome.residual_watts > 0.0);
-    assert!(outcome.clearing.total_power_reduction() > 0.0);
+    assert!(outcome.clearing.total_power_reduction() > Watts::ZERO);
 }
 
 /// Full-simulator run of the acceptance scenario: faults injected at every

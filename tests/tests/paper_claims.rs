@@ -129,14 +129,14 @@ fn static_market_clears_30k_jobs_subsecond() {
             Participant::new(
                 i,
                 StaticStrategy::Cooperative.supply_for(&cost).unwrap(),
-                p.unit_dynamic_power_w(),
+                mpr_core::Watts::new(p.unit_dynamic_power_w()),
             )
         })
         .collect();
-    let attainable: f64 = participants.iter().map(Participant::max_power).sum();
+    let attainable: mpr_core::Watts = participants.iter().map(Participant::max_power).sum();
     let market = StaticMarket::new(participants);
     let t0 = std::time::Instant::now();
-    let clearing = market.clear(0.4 * attainable).unwrap();
+    let clearing = market.clear(attainable * 0.4).unwrap();
     let elapsed = t0.elapsed();
     assert!(clearing.met_target());
     assert!(
@@ -158,7 +158,7 @@ fn interactive_iterations_flat_in_scale() {
                 Box::new(NetGainAgent::new(
                     i as u64,
                     ScaledCost::new(p.cost_model(1.0), 8.0),
-                    p.unit_dynamic_power_w(),
+                    mpr_core::Watts::new(p.unit_dynamic_power_w()),
                 )) as _
             })
             .collect();
@@ -167,7 +167,7 @@ fn interactive_iterations_flat_in_scale() {
             .map(|a| a.delta_max() * a.watts_per_unit())
             .sum();
         let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let out = m.clear(0.3 * attainable).unwrap();
+        let out = m.clear(mpr_core::Watts::new(0.3 * attainable)).unwrap();
         assert!(out.converged);
         iters.push(out.clearing.iterations());
     }

@@ -131,8 +131,7 @@ fn emergency_lifecycle_with_breaker() {
 
     let trace = test_trace(5.0, 7);
     let sim = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0));
-    let capacity =
-        mpr_power::Oversubscription::percent(15.0).capacity(Watts::new(sim.reference_peak_watts()));
+    let capacity = mpr_power::Oversubscription::percent(15.0).capacity(sim.reference_peak_watts());
     // A breaker rated at capacity with the paper's long-delay behaviour
     // would need ~10 sustained minutes of >20 % overload to trip; the
     // reactive loop reduces within a minute.

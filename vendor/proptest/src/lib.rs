@@ -1,0 +1,492 @@
+//! Offline stand-in for the subset of `proptest` the MPR workspace uses.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements the
+//! pieces the test-suite depends on: the [`Strategy`] trait with range /
+//! tuple / `Just` / `prop_map` / union strategies, `collection::vec`,
+//! `bool::ANY`, the [`proptest!`] test macro with `#![proptest_config(..)]`
+//! support, and `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking: a failing case reports its case number and message only;
+//! - deterministic cases: the RNG is seeded from the test's module path, so
+//!   runs are reproducible across machines (good for CI bit-stability).
+
+use rand::{RngCore, SplitMix64};
+
+pub mod test_runner {
+    //! Test-runner configuration and failure plumbing.
+
+    /// Subset of proptest's runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each `#[test]` inside `proptest!` runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case, produced by `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies by the `proptest!` macro.
+#[derive(Debug, Clone)]
+pub struct TestRng(SplitMix64);
+
+impl TestRng {
+    /// Seeds the RNG from a test-identifying string (stable across runs).
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test path: stable, dependency-free.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(SplitMix64::new(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Generates random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.sample(rng)))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of the same value type
+    /// (backs `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over the given options (must be non-empty).
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.lo..=self.len.hi_inclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names tests import with `use proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of `proptest::prelude::prop` module shorthand.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic property tests. See crate docs for the supported
+/// subset (optional `#![proptest_config(..)]`, then `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (Real proptest rejects and redraws; here the case simply passes, which
+/// keeps the runner deterministic.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn boxed_and_union_work() {
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = crate::TestRng::deterministic("union");
+        for _ in 0..32 {
+            let v = s.sample(&mut rng);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let s = crate::collection::vec(0.0f64..1.0, 2..5);
+        let mut rng = crate::TestRng::deterministic("vec");
+        for _ in 0..64 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, tuples, maps and assertions.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0.0f64..1.0, 1u32..10),
+            flip in crate::bool::ANY,
+            label in Just("ok").prop_map(str::to_owned),
+        ) {
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((1..10).contains(&b));
+            prop_assert!(u8::from(flip) <= 1);
+            prop_assert_eq!(label.as_str(), "ok");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline placeholder for `serde`.
+//!
+//! `mpr-core` exposes an optional `serde` cargo feature whose derives are
+//! only expanded when that feature is enabled. No crate in this workspace
+//! enables it, so this stub only needs to exist for dependency resolution in
+//! the network-less build container. Enabling the feature without the real
+//! `serde` crate is a compile error by design.
+
+/// Marker trait standing in for `serde::Serialize`. The real derive macro is
+/// unavailable offline; see the crate docs.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
