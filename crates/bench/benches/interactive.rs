@@ -1,31 +1,23 @@
 //! Fig. 10(b) as a criterion bench: MPR-INT clearing (computation only;
-//! the paper adds 500 ms of communication per round on top).
+//! the paper adds 500 ms of communication per round on top). The game runs
+//! through the [`Mechanism`] trait — agents are built from the shared
+//! instance's cost models on every clearing, matching production dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpr_bench::{attainable_watts, make_jobs};
-use mpr_core::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, Watts};
+use mpr_bench::{attainable_watts, make_instance, make_jobs};
+use mpr_core::{InteractiveConfig, InteractiveMechanism, Mechanism, Watts};
 
 fn bench_interactive(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpr_int_clear");
     group.sample_size(10);
     for &n in &[10usize, 100, 1_000, 10_000] {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let target = Watts::new(0.3 * attainable_watts(&jobs));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let agents: Vec<Box<dyn BiddingAgent>> = jobs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, j)| {
-                        Box::new(NetGainAgent::new(
-                            i as u64,
-                            j.cost.clone(),
-                            Watts::new(j.profile.unit_dynamic_power_w()),
-                        )) as Box<dyn BiddingAgent>
-                    })
-                    .collect();
-                let mut market = InteractiveMarket::new(agents, InteractiveConfig::default());
-                market.clear(std::hint::black_box(target)).unwrap()
+                let mut mech = InteractiveMechanism::strict(InteractiveConfig::default());
+                mech.clear(std::hint::black_box(&instance), target).unwrap()
             });
         });
     }

@@ -1,10 +1,10 @@
 //! Mechanism-level benches beyond MClr: the VCG auction (M+1 OPT solves),
-//! welfare evaluation, and the EASY-backfill scheduler.
+//! welfare evaluation, and the EASY-backfill scheduler. The auction and the
+//! welfare fixture both run through the unified [`Mechanism`] trait.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpr_bench::{attainable_watts, make_jobs};
-use mpr_core::bidding::StaticStrategy;
-use mpr_core::{analysis, opt, vcg, Participant, StaticMarket, Watts};
+use mpr_bench::{attainable_watts, make_instance, make_jobs};
+use mpr_core::{analysis, MclrMechanism, Mechanism, OptMethod, VcgMechanism, Watts};
 use mpr_sched::{schedule, Policy, SubmittedJob};
 use rand::{Rng, SeedableRng};
 
@@ -13,26 +13,11 @@ fn bench_vcg(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[16usize, 64, 128] {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let target = Watts::new(0.3 * attainable_watts(&jobs));
-        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                opt::OptJob::new(
-                    i as u64,
-                    &j.cost,
-                    Watts::new(j.profile.unit_dynamic_power_w()),
-                )
-            })
-            .collect();
+        let mut mech = VcgMechanism::strict(OptMethod::Auto);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                vcg::auction(
-                    std::hint::black_box(&opt_jobs),
-                    target,
-                    opt::OptMethod::Auto,
-                )
-            });
+            b.iter(|| mech.clear(std::hint::black_box(&instance), target).unwrap());
         });
     }
     group.finish();
@@ -40,19 +25,12 @@ fn bench_vcg(c: &mut Criterion) {
 
 fn bench_welfare(c: &mut Criterion) {
     let jobs = make_jobs(1000);
+    let instance = make_instance(&jobs);
     let target = Watts::new(0.3 * attainable_watts(&jobs));
-    let market: StaticMarket = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, j)| {
-            Participant::new(
-                i as u64,
-                StaticStrategy::Cooperative.supply_for(&j.cost).unwrap(),
-                Watts::new(j.profile.unit_dynamic_power_w()),
-            )
-        })
-        .collect();
-    let clearing = market.clear(target).unwrap();
+    let clearing = MclrMechanism::strict()
+        .clear(&instance, target)
+        .unwrap()
+        .to_market_clearing();
     let costs: Vec<_> = jobs.iter().map(|j| j.cost.clone()).collect();
     let w: Vec<f64> = jobs
         .iter()

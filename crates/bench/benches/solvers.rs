@@ -1,29 +1,30 @@
 //! Fig. 10(a) as a criterion bench: solution time of MPR-STAT clearing,
-//! OPT and EQL as the number of active jobs grows.
+//! OPT and EQL as the number of active jobs grows. Every solver runs
+//! through the unified [`Mechanism`] trait over one shared
+//! [`MarketInstance`]; `mechanism_scale` extends the same sweep to 100k.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpr_bench::{attainable_watts, make_jobs};
-use mpr_core::{eql, opt, CostModel, StaticMarket, Watts};
+use mpr_bench::{attainable_watts, make_instance, make_jobs};
+use mpr_core::{EqlMechanism, MclrMechanism, Mechanism, OptMechanism, OptMethod, Watts};
 
 fn bench_static_market(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpr_stat_clear");
     for &n in &[100usize, 1_000, 10_000, 30_000] {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let target = Watts::new(0.3 * attainable_watts(&jobs));
-        let market: StaticMarket = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| j.participant(i as u64))
-            .collect();
+        let mut mech = MclrMechanism::strict();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| market.clear(std::hint::black_box(target)).unwrap());
+            b.iter(|| mech.clear(std::hint::black_box(&instance), target).unwrap());
         });
     }
     group.finish();
 }
 
 fn bench_clearing_index(c: &mut Criterion) {
-    // The O(log M) closed-form clearing vs the bisection path.
+    // The O(log M) closed-form clearing vs the bisection path. This is a
+    // data-structure micro-bench (the index backs MclrMechanism), so it
+    // stays on the raw ClearingIndex API.
     let mut group = c.benchmark_group("clearing_index");
     for &n in &[1_000usize, 30_000] {
         let jobs = make_jobs(n);
@@ -53,27 +54,11 @@ fn bench_opt(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 1_000, 10_000] {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let target = Watts::new(0.3 * attainable_watts(&jobs));
-        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                opt::OptJob::new(
-                    i as u64,
-                    &j.cost,
-                    Watts::new(j.profile.unit_dynamic_power_w()),
-                )
-            })
-            .collect();
+        let mut mech = OptMechanism::strict(OptMethod::Auto);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                opt::solve(
-                    std::hint::black_box(&opt_jobs),
-                    target,
-                    opt::OptMethod::Auto,
-                )
-                .unwrap()
-            });
+            b.iter(|| mech.clear(std::hint::black_box(&instance), target).unwrap());
         });
     }
     group.finish();
@@ -83,19 +68,14 @@ fn bench_eql(c: &mut Criterion) {
     let mut group = c.benchmark_group("eql_reduce");
     for &n in &[100usize, 1_000, 10_000, 30_000] {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let target = Watts::new(0.3 * attainable_watts(&jobs));
-        let eql_jobs: Vec<eql::EqlJob> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| eql::EqlJob {
-                id: i as u64,
-                cores: j.cores,
-                delta_max: j.cost.delta_max(),
-                watts_per_unit: j.profile.unit_dynamic_power_w(),
-            })
-            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| eql::reduce(std::hint::black_box(&eql_jobs), target).unwrap());
+            b.iter(|| {
+                EqlMechanism
+                    .clear(std::hint::black_box(&instance), target)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use mpr_apps::{cpu_profiles, AppProfile, ProfileCost};
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::{CostModel, Participant, ScaledCost, SupplyFunction};
+use mpr_core::{
+    CostModel, MarketInstance, Participant, ParticipantSpec, ScaledCost, SupplyFunction,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -52,6 +54,25 @@ pub fn make_jobs(n: usize) -> Vec<BenchJob> {
                 cost,
                 supply,
             }
+        })
+        .collect()
+}
+
+/// The shared structure-of-arrays instance for a job set: one build, every
+/// mechanism clears it through the [`Mechanism`](mpr_core::Mechanism) trait.
+#[must_use]
+pub fn make_instance(jobs: &[BenchJob]) -> MarketInstance {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            ParticipantSpec::new(
+                i as u64,
+                j.cost.delta_max(),
+                mpr_core::Watts::new(j.profile.unit_dynamic_power_w()),
+            )
+            .with_bid(j.supply.bid())
+            .with_cores(j.cores)
+            .with_cost(Arc::new(j.cost.clone()))
         })
         .collect()
 }

@@ -82,6 +82,26 @@ pub struct SwfArgs {
     pub seed: u64,
 }
 
+/// The clearing mechanism of `mpr market`. A superset of the simulator's
+/// [`Algorithm`] choices: the ad-hoc market can also demonstrate the
+/// degradation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarketMechanism {
+    /// MPR-STAT: one MClr solve over cooperative standing bids.
+    #[default]
+    MprStat,
+    /// MPR-INT: the iterative price/bid exchange.
+    MprInt,
+    /// The centralized OPT benchmark.
+    Opt,
+    /// The performance-oblivious EQL benchmark.
+    Eql,
+    /// The truthful VCG pivot auction.
+    Vcg,
+    /// The MPR-INT → MPR-STAT → EQL-capping degradation chain.
+    Chain,
+}
+
 /// Arguments of `mpr market`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarketArgs {
@@ -89,8 +109,8 @@ pub struct MarketArgs {
     pub jobs: usize,
     /// Power-reduction target, watts.
     pub target_watts: f64,
-    /// Use the interactive market instead of the static one.
-    pub interactive: bool,
+    /// The clearing mechanism to run.
+    pub mechanism: MarketMechanism,
 }
 
 /// A CLI usage error with a user-facing message.
@@ -110,7 +130,8 @@ pub const USAGE: &str = "\
 mpr — market-based power reduction for oversubscribed HPC systems
 
 USAGE:
-    mpr simulate  [--trace gaia|pik|ricc|metacentrum] [--alg opt|eql|mpr-stat|mpr-int]
+    mpr simulate  [--trace gaia|pik|ricc|metacentrum]
+                  [--mechanism opt|eql|mpr-stat|mpr-int|vcg]  (--alg is a synonym)
                   [--oversub PCT] [--days N] [--seed N] [--participation F] [--csv]
                   [--fault-unresponsive F] [--fault-crash F]
                   [--fault-stale F] [--fault-byzantine F]   (MPR-INT fault injection)
@@ -118,7 +139,9 @@ USAGE:
                   [--sensor-stale POLLS]                    (telemetry fault injection)
                   [--checkpoint-every SLOTS --checkpoint-path FILE]
                   [--resume-from FILE]                      (crash-safe checkpointing)
-    mpr market    [--jobs N] [--target-watts W] [--interactive]
+    mpr market    [--jobs N] [--target-watts W]
+                  [--mechanism mpr-stat|mpr-int|opt|eql|vcg|chain]
+                  [--interactive]                  (synonym for --mechanism mpr-int)
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
     mpr calibrate                                        (CSV samples on stdin)
@@ -185,6 +208,19 @@ fn parse_fraction(flag: &str, v: &str) -> Result<f64, UsageError> {
     }
 }
 
+fn parse_algorithm(flag: &str, v: &str) -> Result<Algorithm, UsageError> {
+    match v {
+        "opt" => Ok(Algorithm::Opt),
+        "eql" => Ok(Algorithm::Eql),
+        "mpr-stat" => Ok(Algorithm::MprStat),
+        "mpr-int" => Ok(Algorithm::MprInt),
+        "vcg" => Ok(Algorithm::Vcg),
+        other => Err(UsageError(format!(
+            "{flag}: `{other}` is not one of opt|eql|mpr-stat|mpr-int|vcg"
+        ))),
+    }
+}
+
 fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
     let mut out = SimulateArgs {
         trace: "gaia".into(),
@@ -213,18 +249,8 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
                 spec_by_name(v)?; // validate early
                 out.trace = v.to_owned();
             }
-            "--alg" => {
-                out.algorithm = match take_value(flag, &mut it)? {
-                    "opt" => Algorithm::Opt,
-                    "eql" => Algorithm::Eql,
-                    "mpr-stat" => Algorithm::MprStat,
-                    "mpr-int" => Algorithm::MprInt,
-                    other => {
-                        return Err(UsageError(format!(
-                            "--alg: `{other}` is not one of opt|eql|mpr-stat|mpr-int"
-                        )))
-                    }
-                };
+            "--alg" | "--mechanism" => {
+                out.algorithm = parse_algorithm(flag, take_value(flag, &mut it)?)?;
             }
             "--oversub" => out.oversub_pct = parse_num(flag, take_value(flag, &mut it)?)?,
             "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -297,14 +323,30 @@ fn parse_market(rest: &[String]) -> Result<MarketArgs, UsageError> {
     let mut out = MarketArgs {
         jobs: 100,
         target_watts: 10_000.0,
-        interactive: false,
+        mechanism: MarketMechanism::MprStat,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--jobs" => out.jobs = parse_num(flag, take_value(flag, &mut it)?)?,
             "--target-watts" => out.target_watts = parse_num(flag, take_value(flag, &mut it)?)?,
-            "--interactive" => out.interactive = true,
+            "--mechanism" => {
+                out.mechanism = match take_value(flag, &mut it)? {
+                    "mpr-stat" => MarketMechanism::MprStat,
+                    "mpr-int" => MarketMechanism::MprInt,
+                    "opt" => MarketMechanism::Opt,
+                    "eql" => MarketMechanism::Eql,
+                    "vcg" => MarketMechanism::Vcg,
+                    "chain" => MarketMechanism::Chain,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--mechanism: `{other}` is not one of \
+                             mpr-stat|mpr-int|opt|eql|vcg|chain"
+                        )))
+                    }
+                };
+            }
+            "--interactive" => out.mechanism = MarketMechanism::MprInt,
             other => return Err(UsageError(format!("unknown flag `{other}`"))),
         }
     }
@@ -440,7 +482,55 @@ mod tests {
         };
         assert_eq!(m.jobs, 500);
         assert_eq!(m.target_watts, 2500.0);
-        assert!(m.interactive);
+        assert_eq!(m.mechanism, MarketMechanism::MprInt);
+    }
+
+    #[test]
+    fn market_mechanism_flag() {
+        for (name, want) in [
+            ("mpr-stat", MarketMechanism::MprStat),
+            ("mpr-int", MarketMechanism::MprInt),
+            ("opt", MarketMechanism::Opt),
+            ("eql", MarketMechanism::Eql),
+            ("vcg", MarketMechanism::Vcg),
+            ("chain", MarketMechanism::Chain),
+        ] {
+            let Command::Market(m) = parse(&argv(&format!("market --mechanism {name}"))).unwrap()
+            else {
+                panic!("expected market");
+            };
+            assert_eq!(m.mechanism, want, "--mechanism {name}");
+        }
+        assert_eq!(
+            parse(&argv("market")).map(|c| match c {
+                Command::Market(m) => m.mechanism,
+                _ => panic!("expected market"),
+            }),
+            Ok(MarketMechanism::MprStat),
+            "default stays MPR-STAT"
+        );
+        assert!(parse(&argv("market --mechanism magic")).is_err());
+    }
+
+    #[test]
+    fn simulate_mechanism_flag_is_an_alg_synonym() {
+        for (name, want) in [
+            ("opt", Algorithm::Opt),
+            ("eql", Algorithm::Eql),
+            ("mpr-stat", Algorithm::MprStat),
+            ("mpr-int", Algorithm::MprInt),
+            ("vcg", Algorithm::Vcg),
+        ] {
+            for flag in ["--alg", "--mechanism"] {
+                let Command::Simulate(a) =
+                    parse(&argv(&format!("simulate {flag} {name}"))).unwrap()
+                else {
+                    panic!("expected simulate");
+                };
+                assert_eq!(a.algorithm, want, "{flag} {name}");
+            }
+        }
+        assert!(parse(&argv("simulate --mechanism chain")).is_err());
     }
 
     #[test]

@@ -3,10 +3,13 @@
 use std::io::Write;
 use std::path::Path;
 
+use std::sync::Arc;
+
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    BiddingAgent, CoreHours, Cores, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
-    Participant, ScaledCost, StaticMarket, Watts,
+    ChainLevel, CoreHours, Cores, CostModel, EqlCappingMechanism, EqlMechanism, FallbackChain,
+    InteractiveConfig, InteractiveMechanism, MarketInstance, MclrMechanism, Mechanism,
+    OptMechanism, OptMethod, ParticipantSpec, ScaledCost, VcgMechanism, Watts,
 };
 use mpr_power::telemetry::SensorFaultConfig;
 use mpr_proto::{Experiment, ExperimentConfig};
@@ -167,71 +170,97 @@ pub fn simulate(
     Ok(())
 }
 
-/// Runs `mpr market`: clears one synthetic market and prints the outcome.
+/// The strict mechanism behind one `--mechanism` choice: infeasible targets
+/// are reported as errors, not silently capped. The chain is the exception
+/// by design — demonstrating graceful degradation is its whole point.
+fn market_mechanism(choice: crate::args::MarketMechanism) -> Box<dyn Mechanism> {
+    use crate::args::MarketMechanism as M;
+    match choice {
+        M::MprStat => Box::new(MclrMechanism::strict()),
+        M::MprInt => Box::new(InteractiveMechanism::strict(InteractiveConfig::default())),
+        M::Opt => Box::new(OptMechanism::strict(OptMethod::Auto)),
+        M::Eql => Box::new(EqlMechanism),
+        M::Vcg => Box::new(VcgMechanism::strict(OptMethod::Auto)),
+        M::Chain => Box::new(
+            FallbackChain::new()
+                .stage(
+                    ChainLevel::Interactive,
+                    InteractiveMechanism::best_effort(InteractiveConfig::default()),
+                )
+                .stage(ChainLevel::StaticFallback, MclrMechanism::best_effort())
+                .stage(ChainLevel::EqlCapping, EqlCappingMechanism),
+        ),
+    }
+}
+
+/// Runs `mpr market`: clears one synthetic market instance through the
+/// selected [`Mechanism`] and prints the outcome.
 ///
 /// # Errors
 ///
 /// Propagates market errors (e.g. infeasible targets).
 pub fn market(args: &MarketArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
     let profiles = mpr_apps::cpu_profiles();
-    let costs: Vec<ScaledCost<_>> = (0..args.jobs)
-        .map(|i| ScaledCost::new(profiles[i % profiles.len()].cost_model(1.0), 8.0))
-        .collect();
     let w = 125.0;
-    let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
+    // One shared instance carries everything any mechanism needs: the
+    // cooperative standing bid (MPR-STAT), the cost curve (MPR-INT, OPT,
+    // VCG) and the core count (EQL).
+    let instance: MarketInstance = (0..args.jobs)
+        .map(|i| {
+            let cost = Arc::new(ScaledCost::new(
+                profiles[i % profiles.len()].cost_model(1.0),
+                8.0,
+            ));
+            let supply = StaticStrategy::Cooperative
+                .supply_for(cost.as_ref())
+                .expect("catalog costs are valid");
+            ParticipantSpec::new(i as u64, cost.delta_max(), Watts::new(w))
+                .with_bid(supply.bid())
+                .with_cores(8.0)
+                .with_cost(cost)
+        })
+        .collect();
     writeln!(
         out,
         "{} jobs, attainable reduction {:.0}, target {:.0}",
         args.jobs,
-        Watts::new(attainable),
+        instance.attainable_watts(),
         Watts::new(args.target_watts)
     )?;
-    if args.interactive {
-        let agents: Vec<Box<dyn BiddingAgent>> = costs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(w))) as _)
-            .collect();
-        let mut m = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let o = m.clear(Watts::new(args.target_watts))?;
+    let mut mechanism = market_mechanism(args.mechanism);
+    let clearing = mechanism.clear(&instance, Watts::new(args.target_watts))?;
+    let d = clearing.diagnostics();
+    if d.price_trace.is_empty() {
         writeln!(
             out,
-            "MPR-INT cleared at q' = {:.4} after {} iterations (converged: {})",
-            o.clearing.price(),
-            o.clearing.iterations(),
-            o.converged
-        )?;
-        writeln!(
-            out,
-            "total reduction {:.2}, payoff {:.2}{}/h",
-            Cores::new(o.clearing.total_reduction()),
-            o.clearing.total_reward_rate(),
-            CoreHours::SUFFIX
+            "{} cleared at q' = {:.4}",
+            mechanism.name(),
+            clearing.price()
         )?;
     } else {
-        let m: StaticMarket = costs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                Participant::new(
-                    i as u64,
-                    StaticStrategy::Cooperative
-                        .supply_for(c)
-                        .expect("catalog costs are valid"),
-                    Watts::new(w),
-                )
-            })
-            .collect();
-        let clearing = m.clear(Watts::new(args.target_watts))?;
-        writeln!(out, "MPR-STAT cleared at q' = {:.4}", clearing.price())?;
         writeln!(
             out,
-            "total reduction {:.2}, payoff {:.2}{}/h",
-            Cores::new(clearing.total_reduction()),
-            clearing.total_reward_rate(),
-            CoreHours::SUFFIX
+            "{} cleared at q' = {:.4} after {} iterations (converged: {})",
+            mechanism.name(),
+            clearing.price(),
+            clearing.iterations(),
+            d.converged
         )?;
     }
+    if let Some(level) = d.chain_level {
+        writeln!(
+            out,
+            "degradation chain settled at level {level} after {} stage(s)",
+            d.levels_tried
+        )?;
+    }
+    writeln!(
+        out,
+        "total reduction {:.2}, payoff {:.2}{}/h",
+        Cores::new(clearing.total_reduction()),
+        clearing.total_payment_rate().get(),
+        CoreHours::SUFFIX
+    )?;
     Ok(())
 }
 
@@ -500,45 +529,74 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    fn market_args(mechanism: crate::args::MarketMechanism) -> crate::args::MarketArgs {
+        crate::args::MarketArgs {
+            jobs: 20,
+            target_watts: 2000.0,
+            mechanism,
+        }
+    }
+
     #[test]
     fn market_static_and_interactive() {
+        use crate::args::MarketMechanism;
         let mut buf = Vec::new();
-        market(
-            &crate::args::MarketArgs {
-                jobs: 20,
-                target_watts: 2000.0,
-                interactive: false,
-            },
-            &mut buf,
-        )
-        .unwrap();
+        market(&market_args(MarketMechanism::MprStat), &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("MPR-STAT cleared"));
 
         let mut buf = Vec::new();
-        market(
-            &crate::args::MarketArgs {
-                jobs: 20,
-                target_watts: 2000.0,
-                interactive: true,
-            },
-            &mut buf,
-        )
-        .unwrap();
-        assert!(String::from_utf8(buf).unwrap().contains("MPR-INT cleared"));
+        market(&market_args(MarketMechanism::MprInt), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("MPR-INT cleared"));
+        assert!(text.contains("iterations"));
+    }
+
+    #[test]
+    fn market_every_mechanism_clears() {
+        use crate::args::MarketMechanism;
+        for m in [
+            MarketMechanism::MprStat,
+            MarketMechanism::MprInt,
+            MarketMechanism::Opt,
+            MarketMechanism::Eql,
+            MarketMechanism::Vcg,
+            MarketMechanism::Chain,
+        ] {
+            let mut buf = Vec::new();
+            market(&market_args(m), &mut buf).unwrap_or_else(|e| panic!("{m:?}: {e}"));
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("cleared at q'"), "{m:?}: {text}");
+            assert!(text.contains("total reduction"), "{m:?}: {text}");
+        }
+        // The chain reports which degradation level produced the clearing.
+        let mut buf = Vec::new();
+        market(&market_args(MarketMechanism::Chain), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("degradation chain settled"), "{text}");
     }
 
     #[test]
     fn market_infeasible_target_errors() {
+        use crate::args::MarketMechanism;
+        // Every strict mechanism refuses an unreachable target...
+        for m in [
+            MarketMechanism::MprStat,
+            MarketMechanism::MprInt,
+            MarketMechanism::Opt,
+            MarketMechanism::Vcg,
+        ] {
+            let mut args = market_args(m);
+            args.jobs = 2;
+            args.target_watts = 1e9;
+            assert!(market(&args, &mut Vec::new()).is_err(), "{m:?}");
+        }
+        // ...while the degradation chain degrades to capping instead.
+        let mut args = market_args(MarketMechanism::Chain);
+        args.jobs = 2;
+        args.target_watts = 1e9;
         let mut buf = Vec::new();
-        let err = market(
-            &crate::args::MarketArgs {
-                jobs: 2,
-                target_watts: 1e9,
-                interactive: false,
-            },
-            &mut buf,
-        );
-        assert!(err.is_err());
+        market(&args, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("EQL"));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   performance-loss cost subject to the power-reduction constraint.
 //! * [`eql`] — the performance-oblivious **EQL** benchmark that slows every
 //!   core down uniformly.
+//! * [`mechanism`] — the unified [`Mechanism`](mechanism::Mechanism)
+//!   interface: every solver above, ported onto one
+//!   `clear(&MarketInstance, target) -> Clearing` contract over a shared
+//!   structure-of-arrays [`MarketInstance`](mechanism::MarketInstance),
+//!   plus the composable
+//!   [`FallbackChain`](mechanism::FallbackChain) degradation ladder.
 //!
 //! # Quick example
 //!
@@ -60,6 +66,7 @@ pub mod eql;
 pub mod error;
 pub mod market;
 pub mod mclr;
+pub mod mechanism;
 pub mod numeric;
 pub mod opt;
 pub mod participant;
@@ -82,6 +89,11 @@ pub mod prelude {
     };
     pub use crate::market::static_market::StaticMarket;
     pub use crate::market::{Allocation, Clearing};
+    pub use crate::mechanism::{
+        EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveMechanism, MarketInstance,
+        MclrMechanism, Mechanism, MechanismError, OptMechanism, ParticipantSpec,
+        ResilientInteractiveMechanism, VcgMechanism,
+    };
     pub use crate::participant::Participant;
     pub use crate::supply::{LinearSupply, Supply, SupplyFunction};
     pub use crate::units::{CoreHours, Cores, Price, Watts};
@@ -97,6 +109,12 @@ pub use market::interactive::{BiddingAgent, InteractiveConfig, InteractiveMarket
 pub use market::static_market::StaticMarket;
 pub use market::{Allocation, Clearing};
 pub use mclr::ClearingIndex;
+pub use mechanism::{
+    EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveMechanism, MarketInstance,
+    MclrMechanism, Mechanism, MechanismError, OptMechanism, ParticipantSpec,
+    ResilientInteractiveMechanism, VcgMechanism,
+};
+pub use opt::OptMethod;
 pub use participant::Participant;
 pub use supply::{LinearSupply, Supply, SupplyFunction};
 pub use units::{CoreHours, Cores, Price, Watts};

@@ -28,10 +28,12 @@
 
 use crate::error::MarketError;
 use crate::market::interactive::{BiddingAgent, InteractiveConfig};
-use crate::market::{Allocation, Clearing};
-use crate::mclr;
-use crate::participant::{JobId, Participant};
-use crate::supply::SupplyFunction;
+use crate::market::Clearing;
+use crate::mechanism::{
+    EqlCappingMechanism, FallbackChain, MclrMechanism, Mechanism, MechanismError,
+    ResilientInteractiveMechanism,
+};
+use crate::participant::JobId;
 use crate::units::{Price, Watts};
 
 // ---------------------------------------------------------------------------
@@ -439,34 +441,30 @@ impl ResilientOutcome {
     }
 }
 
-struct AgentSlot {
-    agent: Box<dyn BiddingAgent>,
-    /// Registered submission-time (cooperative) bid, used at the static
-    /// fallback level when no live bid was ever observed.
-    fallback_bid: Option<f64>,
-    /// Most recent valid bid observed from the live exchange.
-    last_bid: Option<f64>,
-    quarantined: bool,
-}
-
 /// An MPR-INT driver that survives unresponsive, crashing, stale and
 /// byzantine participants.
 ///
-/// See the [module docs](self) for the degradation chain. The happy path is
-/// behaviourally identical to [`InteractiveMarket`]
+/// See the [module docs](self) for the degradation chain. Since the
+/// mechanism unification this type is a thin facade: level 0 is a
+/// [`ResilientInteractiveMechanism`] and the walk down the chain is a
+/// [`FallbackChain`] over the unified
+/// [`Mechanism`](crate::mechanism::Mechanism) interface, terminated by
+/// [`EqlCappingMechanism`](crate::mechanism::EqlCappingMechanism). The
+/// behaviour — retry budgets, quarantine, the convergence watchdog, the
+/// three-level degradation — is unchanged. The happy path is behaviourally
+/// identical to [`InteractiveMarket`]
 /// (`crate::market::interactive::InteractiveMarket`): same damped price
 /// exchange, same convergence rule, one extra watchdog that never fires on
 /// a contracting trajectory.
 pub struct ResilientInteractiveMarket {
-    slots: Vec<AgentSlot>,
-    config: ResilientConfig,
+    level0: ResilientInteractiveMechanism,
 }
 
 impl std::fmt::Debug for ResilientInteractiveMarket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResilientInteractiveMarket")
-            .field("agents", &self.slots.len())
-            .field("config", &self.config)
+            .field("agents", &self.level0.len())
+            .field("config", &self.level0.config())
             .finish()
     }
 }
@@ -476,8 +474,7 @@ impl ResilientInteractiveMarket {
     #[must_use]
     pub fn new(config: ResilientConfig) -> Self {
         Self {
-            slots: Vec::new(),
-            config,
+            level0: ResilientInteractiveMechanism::new(config),
         }
     }
 
@@ -497,24 +494,19 @@ impl ResilientInteractiveMarket {
     /// bid, the preferred price source should the agent default before ever
     /// bidding live.
     pub fn register(&mut self, agent: Box<dyn BiddingAgent>, fallback_bid: Option<f64>) {
-        self.slots.push(AgentSlot {
-            agent,
-            fallback_bid: fallback_bid.filter(|b| b.is_finite() && *b >= 0.0),
-            last_bid: None,
-            quarantined: false,
-        });
+        self.level0.register(agent, fallback_bid);
     }
 
     /// Number of registered agents.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.level0.len()
     }
 
     /// `true` when no agents are registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.level0.is_empty()
     }
 
     /// Clears the market for a power-reduction target, walking the
@@ -544,246 +536,39 @@ impl ResilientInteractiveMarket {
                 price_trace: vec![0.0],
             });
         }
-        if self.slots.is_empty() {
+        if self.level0.is_empty() {
             return Err(MarketError::NoParticipants);
         }
 
-        let cfg = self.config;
-        let icfg = cfg.interactive;
-        let mut price = icfg.initial_price.max(1e-9);
-        let mut trace = vec![price];
-        let mut watchdog = ConvergenceWatchdog::new(cfg.watchdog_window, cfg.divergence_min_change);
-        let mut quarantined: Vec<Quarantine> = Vec::new();
-        let mut retries = 0usize;
-        let mut converged = false;
-        let mut diverged = false;
-        let mut rounds = 0usize;
+        // The SoA instance is built once per clearing; the chain patches
+        // live bids into it as stages hand over.
+        let instance = self.level0.instance();
+        let mut chain = FallbackChain::new()
+            .stage(ChainLevel::Interactive, &mut self.level0)
+            .stage(ChainLevel::StaticFallback, MclrMechanism::best_effort())
+            .stage(ChainLevel::EqlCapping, EqlCappingMechanism);
+        let cleared = chain.clear(&instance, target).map_err(|e| match e {
+            MechanismError::DegenerateInstance { .. } => MarketError::NoParticipants,
+            MechanismError::Market(m) => m,
+        })?;
 
-        // --- Level 0: the interactive exchange over responsive agents. ---
-        'rounds: for round in 1..=icfg.max_iterations {
-            rounds = round;
-            for slot in self.slots.iter_mut().filter(|s| !s.quarantined) {
-                let mut attempts = 0usize;
-                loop {
-                    match slot.agent.respond(price) {
-                        Ok(bid) if bid.is_finite() => {
-                            slot.last_bid = Some(bid.max(0.0));
-                            break;
-                        }
-                        Ok(garbage) => {
-                            // A non-finite bid is a fault, not a price
-                            // signal; it shares the timeout/retry path.
-                            attempts += 1;
-                            if attempts > cfg.max_retries {
-                                slot.quarantined = true;
-                                quarantined.push(Quarantine {
-                                    id: slot.agent.job_id(),
-                                    round,
-                                    error: MarketError::InvalidParameter {
-                                        name: "bid",
-                                        value: garbage,
-                                        constraint: "agent returned a non-finite bid",
-                                    },
-                                });
-                                break;
-                            }
-                            retries += 1;
-                        }
-                        Err(err @ MarketError::AgentCrashed { .. }) => {
-                            // Terminal by contract: skip the retry budget.
-                            slot.quarantined = true;
-                            quarantined.push(Quarantine {
-                                id: slot.agent.job_id(),
-                                round,
-                                error: err,
-                            });
-                            break;
-                        }
-                        Err(err) => {
-                            attempts += 1;
-                            if attempts > cfg.max_retries {
-                                slot.quarantined = true;
-                                quarantined.push(Quarantine {
-                                    id: slot.agent.job_id(),
-                                    round,
-                                    error: err,
-                                });
-                                break;
-                            }
-                            retries += 1;
-                        }
-                    }
-                }
-            }
-
-            let participants = self.survivor_participants();
-            if participants.is_empty() {
-                break 'rounds;
-            }
-            let sol = mclr::clear_best_effort(&participants, target);
-            let next = (1.0 - icfg.damping) * price + icfg.damping * sol.price.get();
-            let rel_change = (next - price).abs() / price.abs().max(1e-9);
-            price = next;
-            trace.push(price);
-            if rel_change <= icfg.tolerance {
-                converged = true;
-                break 'rounds;
-            }
-            if watchdog.observe(rel_change) {
-                diverged = true;
-                break 'rounds;
-            }
-        }
-
-        // Final interactive solve: replace the damped announcement with the
-        // price that actually clears the surviving supplies.
-        if converged && !diverged {
-            let participants = self.survivor_participants();
-            if !participants.is_empty() {
-                let sol = mclr::clear_best_effort(&participants, target);
-                let clearing = self.allocate_from_bids(sol.price, target, rounds, false);
-                if clearing.met_target() {
-                    return Ok(ResilientOutcome {
-                        clearing,
-                        chain_level: ChainLevel::Interactive,
-                        converged,
-                        diverged,
-                        quarantined,
-                        retries,
-                        residual_watts: 0.0,
-                        price_trace: trace,
-                    });
-                }
-            }
-        }
-
-        // --- Level 1: one static MClr solve over every job's last-known or
-        // cooperative bid. ---
-        let all = self.all_participants();
-        let sol = mclr::clear_best_effort(&all, target);
-        let clearing = self.allocate_from_bids(sol.price, target, rounds, true);
-        if clearing.met_target() {
-            return Ok(ResilientOutcome {
-                clearing,
-                chain_level: ChainLevel::StaticFallback,
-                converged,
-                diverged,
-                quarantined,
-                retries,
-                residual_watts: 0.0,
-                price_trace: trace,
-            });
-        }
-
-        // --- Level 2: uniform forced capping — the terminal guarantee. ---
-        let attainable: f64 = self
-            .slots
-            .iter()
-            .map(|s| s.agent.delta_max() * s.agent.watts_per_unit())
-            .sum();
-        let fraction = if attainable > 0.0 {
-            (target_watts / attainable).min(1.0)
-        } else {
-            0.0
-        };
-        let allocations: Vec<Allocation> = self
-            .slots
-            .iter()
-            .map(|s| {
-                let reduction = fraction * s.agent.delta_max();
-                Allocation {
-                    id: s.agent.job_id(),
-                    reduction,
-                    power_reduction: reduction * s.agent.watts_per_unit(),
-                    price: 0.0,
-                }
-            })
-            .collect();
-        let delivered: f64 = allocations.iter().map(|a| a.power_reduction).sum();
+        let diagnostics = cleared.diagnostics();
+        let clearing = Clearing::new(
+            cleared.price(),
+            target,
+            cleared.to_allocations(),
+            diagnostics.iterations,
+        );
         Ok(ResilientOutcome {
-            clearing: Clearing::new(Price::ZERO, target, allocations, rounds),
-            chain_level: ChainLevel::EqlCapping,
-            converged,
-            diverged,
-            quarantined,
-            retries,
-            residual_watts: (target_watts - delivered).max(0.0),
-            price_trace: trace,
+            clearing,
+            chain_level: diagnostics.chain_level.unwrap_or(ChainLevel::Interactive),
+            converged: diagnostics.converged,
+            diverged: diagnostics.diverged,
+            quarantined: diagnostics.quarantined.clone(),
+            retries: diagnostics.retries,
+            residual_watts: cleared.residual().get(),
+            price_trace: diagnostics.price_trace.clone(),
         })
-    }
-
-    /// Participants for the surviving (non-quarantined) agents with a live
-    /// bid.
-    fn survivor_participants(&self) -> Vec<Participant> {
-        self.slots
-            .iter()
-            .filter(|s| !s.quarantined)
-            .filter_map(|s| {
-                let bid = s.last_bid?;
-                let supply = SupplyFunction::new(s.agent.delta_max(), bid).ok()?;
-                Some(Participant::new(
-                    s.agent.job_id(),
-                    supply,
-                    Watts::new(s.agent.watts_per_unit()),
-                ))
-            })
-            .collect()
-    }
-
-    /// Participants for *every* agent: last live bid, else the registered
-    /// cooperative bid, else bid 0 (manager-side forced capping — the
-    /// scheduler enforces reductions, so a silent job still supplies).
-    fn all_participants(&self) -> Vec<Participant> {
-        self.slots
-            .iter()
-            .filter_map(|s| {
-                let bid = s.last_bid.or(s.fallback_bid).unwrap_or(0.0);
-                let supply = SupplyFunction::new(s.agent.delta_max(), bid)
-                    .or_else(|_| SupplyFunction::new(s.agent.delta_max(), 0.0))
-                    .ok()?;
-                Some(Participant::new(
-                    s.agent.job_id(),
-                    supply,
-                    Watts::new(s.agent.watts_per_unit()),
-                ))
-            })
-            .collect()
-    }
-
-    /// Builds a clearing at `price` from each job's effective bid.
-    /// `include_quarantined` selects between the interactive view (silent
-    /// jobs supply nothing) and the fallback view (every job supplies from
-    /// its last-known/cooperative/zero bid).
-    fn allocate_from_bids(
-        &self,
-        price: Price,
-        target: Watts,
-        iterations: usize,
-        include_quarantined: bool,
-    ) -> Clearing {
-        let allocations: Vec<Allocation> = self
-            .slots
-            .iter()
-            .map(|s| {
-                let bid = if s.quarantined && !include_quarantined {
-                    None
-                } else if include_quarantined {
-                    Some(s.last_bid.or(s.fallback_bid).unwrap_or(0.0))
-                } else {
-                    s.last_bid
-                };
-                let reduction = bid
-                    .and_then(|b| SupplyFunction::new(s.agent.delta_max(), b).ok())
-                    .map_or(0.0, |supply| supply.supply(price));
-                Allocation {
-                    id: s.agent.job_id(),
-                    reduction,
-                    power_reduction: reduction * s.agent.watts_per_unit(),
-                    price: price.get(),
-                }
-            })
-            .collect();
-        Clearing::new(price, target, allocations, iterations)
     }
 }
 

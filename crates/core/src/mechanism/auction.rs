@@ -1,0 +1,215 @@
+//! VCG (truthful pivot auction) on the unified [`Mechanism`] interface.
+
+use crate::cost::CostModel;
+use crate::error::MarketError;
+use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::opt::{OptJob, OptMethod};
+use crate::units::{Price, Watts};
+use crate::vcg;
+
+/// The incentive-compatible baseline (Section III-D): allocates like OPT
+/// and pays each contributing job its pivot payment, making truthful cost
+/// reporting a dominant strategy.
+///
+/// Payments are per-participant, not a uniform price: the headline
+/// [`Clearing::price`](crate::mechanism::Clearing::price) is zero and each
+/// row's effective unit price is `payment / reduction`. Exact VCG runs one
+/// OPT solve per contributing job (O(M²) work overall) — budget
+/// accordingly at large M.
+///
+/// * **strict** — propagates [`MarketError::Infeasible`] (including the
+///   monopolist case where removing a contributor makes the target
+///   unreachable).
+/// * **best-effort** — on any solve failure caps every cost-bearing row at
+///   its `Δ_m`, paid at its own unit cost.
+#[derive(Debug, Clone, Default)]
+pub struct VcgMechanism {
+    method: OptMethod,
+    strict: bool,
+}
+
+impl VcgMechanism {
+    /// Strict variant: infeasible targets (and monopolist pivots) are
+    /// errors.
+    #[must_use]
+    pub fn strict(method: OptMethod) -> Self {
+        Self {
+            method,
+            strict: true,
+        }
+    }
+
+    /// Best-effort variant: solve failures cap at `Δ_m`.
+    #[must_use]
+    pub fn best_effort(method: OptMethod) -> Self {
+        Self {
+            method,
+            strict: false,
+        }
+    }
+}
+
+impl Mechanism for VcgMechanism {
+    fn name(&self) -> &'static str {
+        "VCG"
+    }
+
+    fn clear(
+        &mut self,
+        instance: &MarketInstance,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        instance.ensure_clearable()?;
+        let rows: Vec<usize> = instance
+            .costs()
+            .iter()
+            .enumerate()
+            .filter_map(|(row, cost)| cost.as_ref().map(|_| row))
+            .collect();
+        if rows.is_empty() {
+            return Err(MechanismError::Market(MarketError::NoParticipants));
+        }
+        let jobs: Vec<OptJob<'_>> = rows
+            .iter()
+            .filter_map(|&row| {
+                let id = instance.ids().get(row)?;
+                let cost = instance.costs().get(row)?.as_ref()?;
+                let wpu = instance.watts_per_unit_slice().get(row)?;
+                Some(OptJob::new(*id, cost.as_ref(), Watts::new(*wpu)))
+            })
+            .collect();
+        match vcg::auction(&jobs, target, self.method) {
+            Ok(outcome) => {
+                let mut reductions = vec![0.0; instance.len()];
+                let mut prices = vec![0.0; instance.len()];
+                let mut payments = vec![0.0; instance.len()];
+                for (row, award) in rows.iter().zip(&outcome.awards) {
+                    if let Some(slot) = reductions.get_mut(*row) {
+                        *slot = award.reduction;
+                    }
+                    if let Some(slot) = payments.get_mut(*row) {
+                        *slot = award.payment;
+                    }
+                    if let Some(slot) = prices.get_mut(*row) {
+                        *slot = if award.reduction > 1e-12 {
+                            award.payment / award.reduction
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    reductions,
+                    Some(prices),
+                    Some(payments),
+                    Diagnostics::default(),
+                ))
+            }
+            Err(e) if self.strict => Err(MechanismError::Market(e)),
+            Err(_) => {
+                let mut reductions = vec![0.0; instance.len()];
+                let mut prices = vec![0.0; instance.len()];
+                for (row, cost) in instance.costs().iter().enumerate() {
+                    if let Some(c) = cost {
+                        let delta = c.delta_max();
+                        if let Some(slot) = reductions.get_mut(row) {
+                            *slot = delta;
+                        }
+                        if let Some(slot) = prices.get_mut(row) {
+                            *slot = c.unit_cost(delta);
+                        }
+                    }
+                }
+                let diagnostics = Diagnostics {
+                    accepted: false,
+                    capped_at_delta_max: true,
+                    ..Diagnostics::default()
+                };
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    reductions,
+                    Some(prices),
+                    None,
+                    diagnostics,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QuadraticCost;
+    use crate::mechanism::ParticipantSpec;
+    use std::sync::Arc;
+
+    fn instance(alphas: &[f64]) -> MarketInstance {
+        alphas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                ParticipantSpec::new(i as u64, 1.0, Watts::new(125.0))
+                    .with_cost(Arc::new(QuadraticCost::new(a, 1.0)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_auction_and_pays_at_least_cost() {
+        let alphas = [1.0, 2.0, 4.0];
+        let inst = instance(&alphas);
+        let mut mech = VcgMechanism::strict(OptMethod::Auto);
+        let c = mech.clear(&inst, Watts::new(150.0)).unwrap();
+        assert!(c.met_target());
+
+        let costs: Vec<QuadraticCost> =
+            alphas.iter().map(|&a| QuadraticCost::new(a, 1.0)).collect();
+        let jobs: Vec<OptJob<'_>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, cst)| OptJob::new(i as u64, cst, Watts::new(125.0)))
+            .collect();
+        let direct = vcg::auction(&jobs, Watts::new(150.0), OptMethod::Auto).unwrap();
+        for ((mine_r, mine_p), award) in c
+            .reductions()
+            .iter()
+            .zip(c.payment_rates())
+            .zip(&direct.awards)
+        {
+            assert!((mine_r - award.reduction).abs() < 1e-9);
+            assert!((mine_p - award.payment).abs() < 1e-9);
+            // Individual rationality: payment covers incurred cost.
+            assert!(*mine_p >= award.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn strict_errors_best_effort_caps() {
+        let inst = instance(&[1.0]);
+        let target = Watts::new(1e6);
+        assert!(matches!(
+            VcgMechanism::strict(OptMethod::Auto).clear(&inst, target),
+            Err(MechanismError::Market(MarketError::Infeasible { .. }))
+        ));
+        let c = VcgMechanism::best_effort(OptMethod::Auto)
+            .clear(&inst, target)
+            .unwrap();
+        assert!(c.diagnostics().capped_at_delta_max);
+        assert!(!c.met_target());
+    }
+
+    #[test]
+    fn degenerate_instances_error() {
+        let empty = MarketInstance::from_specs(std::iter::empty());
+        assert!(matches!(
+            VcgMechanism::default().clear(&empty, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! EQL (uniform capping) on the unified [`Mechanism`] interface.
+
+use crate::eql::{self, EqlJob};
+use crate::error::MarketError;
+use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::units::{Price, Watts};
+
+/// The cost-oblivious baseline (Section III-C): every job loses the same
+/// fraction of its *cores*, regardless of sensitivity. Jobs pushed past
+/// their feasible `Δ_m` are counted in
+/// [`Diagnostics::violations`](crate::mechanism::Diagnostics).
+///
+/// On an infeasible target (even stopping every core cannot reach it) the
+/// mechanism caps at fraction 1 — every core stopped — and reports the
+/// positive residual.
+#[derive(Debug, Clone, Default)]
+pub struct EqlMechanism;
+
+impl Mechanism for EqlMechanism {
+    fn name(&self) -> &'static str {
+        "EQL"
+    }
+
+    fn clear(
+        &mut self,
+        instance: &MarketInstance,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        instance.ensure_clearable()?;
+        let jobs: Vec<EqlJob> = instance
+            .ids()
+            .iter()
+            .zip(instance.cores())
+            .zip(instance.deltas())
+            .zip(instance.watts_per_unit_slice())
+            .map(|(((id, cores), delta), wpu)| EqlJob {
+                id: *id,
+                cores: *cores,
+                delta_max: *delta,
+                watts_per_unit: *wpu,
+            })
+            .collect();
+        match eql::reduce(&jobs, target) {
+            Ok(outcome) => {
+                let reductions: Vec<f64> = outcome.reductions.iter().map(|(_, d)| *d).collect();
+                let diagnostics = Diagnostics {
+                    violations: outcome.violations.len(),
+                    accepted: outcome.is_feasible(),
+                    ..Diagnostics::default()
+                };
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    reductions,
+                    None,
+                    None,
+                    diagnostics,
+                ))
+            }
+            Err(MarketError::Infeasible { .. }) => {
+                // Fraction 1: stop every core.
+                let diagnostics = Diagnostics {
+                    accepted: false,
+                    capped_at_delta_max: true,
+                    ..Diagnostics::default()
+                };
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    instance.cores().to_vec(),
+                    None,
+                    None,
+                    diagnostics,
+                ))
+            }
+            Err(e) => Err(MechanismError::Market(e)),
+        }
+    }
+}
+
+/// The degradation chain's terminal stage: uniform capping over `Δ_m`
+/// (not cores), the fraction chosen so any physically attainable target is
+/// met exactly. Pays nothing — this is manager-side forced capping.
+#[derive(Debug, Clone, Default)]
+pub struct EqlCappingMechanism;
+
+impl Mechanism for EqlCappingMechanism {
+    fn name(&self) -> &'static str {
+        "EQL-CAP"
+    }
+
+    fn clear(
+        &mut self,
+        instance: &MarketInstance,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        instance.ensure_clearable()?;
+        let attainable = instance.attainable_watts().get();
+        let fraction = if attainable > 0.0 {
+            (target.get() / attainable).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let reductions: Vec<f64> = instance.deltas().iter().map(|d| fraction * d).collect();
+        Ok(Clearing::build(
+            instance,
+            target,
+            Price::ZERO,
+            reductions,
+            None,
+            None,
+            Diagnostics::default(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::ParticipantSpec;
+
+    fn instance() -> MarketInstance {
+        vec![
+            ParticipantSpec::new(0, 7.0, Watts::new(125.0)).with_cores(10.0),
+            ParticipantSpec::new(1, 21.0, Watts::new(125.0)).with_cores(30.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn uniform_fraction_over_cores() {
+        let mut mech = EqlMechanism;
+        let c = mech.clear(&instance(), Watts::new(1000.0)).unwrap();
+        // fraction = 1000 / (40 * 125) = 0.2
+        assert!((c.reductions()[0] - 2.0).abs() < 1e-9);
+        assert!((c.reductions()[1] - 6.0).abs() < 1e-9);
+        assert!(c.met_target());
+        assert_eq!(c.diagnostics().violations, 0);
+        assert_eq!(c.total_payment_rate().get(), 0.0);
+    }
+
+    #[test]
+    fn violations_are_counted() {
+        let mut mech = EqlMechanism;
+        // fraction = 4000/5000 = 0.8 -> reductions 8 > 7 and 24 > 21.
+        let c = mech.clear(&instance(), Watts::new(4000.0)).unwrap();
+        assert_eq!(c.diagnostics().violations, 2);
+        assert!(!c.diagnostics().accepted);
+    }
+
+    #[test]
+    fn infeasible_target_caps_every_core() {
+        let mut mech = EqlMechanism;
+        let c = mech.clear(&instance(), Watts::new(1e6)).unwrap();
+        assert!(c.diagnostics().capped_at_delta_max);
+        assert!((c.reductions()[0] - 10.0).abs() < 1e-12);
+        assert!((c.reductions()[1] - 30.0).abs() < 1e-12);
+        assert!(!c.met_target());
+        assert!(c.residual().get() > 0.0);
+    }
+
+    #[test]
+    fn capping_meets_any_attainable_target_exactly() {
+        let mut mech = EqlCappingMechanism;
+        // attainable = (7 + 21) * 125 = 3500 W
+        let c = mech.clear(&instance(), Watts::new(1750.0)).unwrap();
+        assert!(c.met_target());
+        assert!((c.total_power_reduction().get() - 1750.0).abs() < 1e-9);
+        assert_eq!(c.price(), Price::ZERO);
+        // Uniform fraction of delta_max, not cores.
+        assert!((c.reductions()[0] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_instances_error() {
+        let empty = MarketInstance::from_specs(std::iter::empty());
+        assert!(matches!(
+            EqlMechanism.clear(&empty, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+        assert!(matches!(
+            EqlCappingMechanism.clear(&empty, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+        let nan: MarketInstance = (0..2)
+            .map(|id| ParticipantSpec::new(id, 1.0, Watts::new(125.0)).with_bid(f64::NAN))
+            .collect();
+        assert!(matches!(
+            EqlMechanism.clear(&nan, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+    }
+}

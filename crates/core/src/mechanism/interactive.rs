@@ -1,0 +1,234 @@
+//! MPR-INT on the unified [`Mechanism`] interface.
+
+use std::collections::BTreeMap;
+
+use crate::cost::CostModel;
+use crate::error::MarketError;
+use crate::market::interactive::{
+    BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
+};
+use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::units::{Price, Watts};
+
+/// The interactive market (Section III-B): rational [`NetGainAgent`]s are
+/// spun up from the instance's cost models and the iterative price/bid
+/// exchange runs to convergence.
+///
+/// Rows without a cost model cannot bid and sit the clearing out.
+///
+/// * **strict** — propagates [`MarketError::Infeasible`] (the CLI's
+///   behaviour).
+/// * **best-effort** — an infeasible target caps every cost-bearing row at
+///   its `Δ_m`, priced at the row's own unit cost (break-even compensation;
+///   the simulator's behaviour).
+#[derive(Debug, Clone)]
+pub struct InteractiveMechanism {
+    config: InteractiveConfig,
+    strict: bool,
+}
+
+impl InteractiveMechanism {
+    /// Strict variant: infeasible targets are errors.
+    #[must_use]
+    pub fn strict(config: InteractiveConfig) -> Self {
+        Self {
+            config,
+            strict: true,
+        }
+    }
+
+    /// Best-effort variant: infeasible targets cap at `Δ_m`.
+    #[must_use]
+    pub fn best_effort(config: InteractiveConfig) -> Self {
+        Self {
+            config,
+            strict: false,
+        }
+    }
+
+    /// The interactive-market configuration in use.
+    #[must_use]
+    pub fn config(&self) -> InteractiveConfig {
+        self.config
+    }
+
+    fn agents(instance: &MarketInstance) -> Vec<Box<dyn BiddingAgent>> {
+        instance
+            .ids()
+            .iter()
+            .zip(instance.costs())
+            .zip(instance.watts_per_unit_slice())
+            .filter_map(|((id, cost), wpu)| {
+                let cost = cost.clone()?;
+                Some(Box::new(NetGainAgent::new(*id, cost, Watts::new(*wpu)))
+                    as Box<dyn BiddingAgent>)
+            })
+            .collect()
+    }
+
+    /// The capped fallback: every cost-bearing row reduces by its full
+    /// `Δ_m` and is paid its own marginal unit cost at that point.
+    fn capped(instance: &MarketInstance, target: Watts) -> Clearing {
+        let mut reductions = Vec::with_capacity(instance.len());
+        let mut prices = Vec::with_capacity(instance.len());
+        for cost in instance.costs() {
+            match cost {
+                Some(c) => {
+                    let delta = c.delta_max();
+                    reductions.push(delta);
+                    prices.push(c.unit_cost(delta));
+                }
+                None => {
+                    reductions.push(0.0);
+                    prices.push(0.0);
+                }
+            }
+        }
+        let diagnostics = Diagnostics {
+            iterations: 0,
+            converged: false,
+            accepted: false,
+            capped_at_delta_max: true,
+            ..Diagnostics::default()
+        };
+        Clearing::build(
+            instance,
+            target,
+            Price::ZERO,
+            reductions,
+            Some(prices),
+            None,
+            diagnostics,
+        )
+    }
+}
+
+impl Mechanism for InteractiveMechanism {
+    fn name(&self) -> &'static str {
+        "MPR-INT"
+    }
+
+    fn clear(
+        &mut self,
+        instance: &MarketInstance,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        instance.ensure_clearable()?;
+        let agents = Self::agents(instance);
+        if agents.is_empty() {
+            return Err(MechanismError::Market(MarketError::NoParticipants));
+        }
+        let mut market = InteractiveMarket::new(agents, self.config);
+        match market.clear(target) {
+            Ok(outcome) => {
+                let by_id: BTreeMap<u64, f64> = outcome
+                    .clearing
+                    .allocations()
+                    .iter()
+                    .map(|a| (a.id, a.reduction))
+                    .collect();
+                let reductions: Vec<f64> = instance
+                    .ids()
+                    .iter()
+                    .map(|id| by_id.get(id).copied().unwrap_or(0.0))
+                    .collect();
+                let diagnostics = Diagnostics {
+                    iterations: outcome.clearing.iterations(),
+                    converged: outcome.converged,
+                    accepted: outcome.converged,
+                    price_trace: outcome.price_trace,
+                    ..Diagnostics::default()
+                };
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    outcome.clearing.price(),
+                    reductions,
+                    None,
+                    None,
+                    diagnostics,
+                ))
+            }
+            Err(e @ MarketError::Infeasible { .. }) => {
+                if self.strict {
+                    Err(MechanismError::Market(e))
+                } else {
+                    Ok(Self::capped(instance, target))
+                }
+            }
+            Err(e) => Err(MechanismError::Market(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QuadraticCost;
+    use crate::mechanism::ParticipantSpec;
+    use std::sync::Arc;
+
+    fn instance(alphas: &[f64]) -> MarketInstance {
+        alphas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                ParticipantSpec::new(i as u64, 1.0, Watts::new(125.0))
+                    .with_cost(Arc::new(QuadraticCost::new(a, 1.0)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn converges_and_orders_by_sensitivity() {
+        let inst = instance(&[1.0, 2.0, 4.0]);
+        let mut mech = InteractiveMechanism::strict(InteractiveConfig::default());
+        let c = mech.clear(&inst, Watts::new(150.0)).unwrap();
+        assert!(c.diagnostics().converged);
+        assert!(c.met_target());
+        assert!(c.iterations() > 0);
+        assert!(!c.diagnostics().price_trace.is_empty());
+        let r = c.reductions();
+        assert!(r[0] > r[1] && r[1] > r[2]);
+    }
+
+    #[test]
+    fn strict_propagates_infeasible_best_effort_caps() {
+        let inst = instance(&[1.0]);
+        let target = Watts::new(1000.0); // attainable is 125 W
+        let mut strict = InteractiveMechanism::strict(InteractiveConfig::default());
+        assert!(matches!(
+            strict.clear(&inst, target),
+            Err(MechanismError::Market(MarketError::Infeasible { .. }))
+        ));
+
+        let mut soft = InteractiveMechanism::best_effort(InteractiveConfig::default());
+        let c = soft.clear(&inst, target).unwrap();
+        assert!(c.diagnostics().capped_at_delta_max);
+        assert!(!c.diagnostics().accepted);
+        assert!(!c.met_target());
+        assert!(c.residual().get() > 0.0);
+        assert!((c.reductions()[0] - 1.0).abs() < 1e-12);
+        // Paid at own unit cost, not at a market price.
+        assert!(c.participant_prices()[0] > 0.0);
+        assert_eq!(c.price(), Price::ZERO);
+    }
+
+    #[test]
+    fn degenerate_instances_error() {
+        let mut mech = InteractiveMechanism::best_effort(InteractiveConfig::default());
+        let empty = MarketInstance::from_specs(std::iter::empty());
+        assert!(matches!(
+            mech.clear(&empty, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+        // Cost-less instance: no agents can be built.
+        let costless: MarketInstance = (0..2)
+            .map(|id| ParticipantSpec::new(id, 1.0, Watts::new(125.0)))
+            .collect();
+        assert!(matches!(
+            mech.clear(&costless, Watts::new(10.0)),
+            Err(MechanismError::Market(MarketError::NoParticipants))
+        ));
+    }
+}

@@ -1,0 +1,183 @@
+//! OPT (the social-optimum baseline) on the unified [`Mechanism`]
+//! interface.
+
+use crate::cost::CostModel;
+use crate::error::MarketError;
+use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::opt::{self, OptJob, OptMethod};
+use crate::units::{Price, Watts};
+
+/// The clairvoyant baseline (Section III-C): minimizes `Σ C_m(δ_m)` subject
+/// to meeting the target, assuming the manager can read every private cost
+/// curve.
+///
+/// Rows without a cost model cannot be optimized over and sit out.
+///
+/// OPT is an allocator, not a market: no prices are paid, so every
+/// participant price in the resulting [`Clearing`] is zero.
+#[derive(Debug, Clone, Default)]
+pub struct OptMechanism {
+    method: OptMethod,
+    strict: bool,
+}
+
+impl OptMechanism {
+    /// Strict variant: infeasible targets are errors.
+    #[must_use]
+    pub fn strict(method: OptMethod) -> Self {
+        Self {
+            method,
+            strict: true,
+        }
+    }
+
+    /// Best-effort variant: on an infeasible target every cost-bearing row
+    /// is capped at its `Δ_m` (the simulator's forced-capping response).
+    #[must_use]
+    pub fn best_effort(method: OptMethod) -> Self {
+        Self {
+            method,
+            strict: false,
+        }
+    }
+}
+
+impl Mechanism for OptMechanism {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn clear(
+        &mut self,
+        instance: &MarketInstance,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        instance.ensure_clearable()?;
+        // Positional map: row index -> OptJob. Borrows the Arc'd cost
+        // models straight from the SoA arrays (no per-solver clones).
+        let rows: Vec<(usize, OptJob<'_>)> = instance
+            .ids()
+            .iter()
+            .zip(instance.costs())
+            .zip(instance.watts_per_unit_slice())
+            .enumerate()
+            .filter_map(|(row, ((id, cost), wpu))| {
+                let cost = cost.as_ref()?;
+                Some((row, OptJob::new(*id, cost.as_ref(), Watts::new(*wpu))))
+            })
+            .collect();
+        if rows.is_empty() {
+            return Err(MechanismError::Market(MarketError::NoParticipants));
+        }
+        let jobs: Vec<OptJob<'_>> = rows.iter().map(|(_, j)| *j).collect();
+        match opt::solve(&jobs, target, self.method) {
+            Ok(sol) => {
+                let mut reductions = vec![0.0; instance.len()];
+                for ((row, _), (_, delta)) in rows.iter().zip(&sol.reductions) {
+                    if let Some(slot) = reductions.get_mut(*row) {
+                        *slot = *delta;
+                    }
+                }
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    reductions,
+                    None,
+                    None,
+                    Diagnostics::default(),
+                ))
+            }
+            Err(e) if self.strict => Err(MechanismError::Market(e)),
+            Err(_) => {
+                // Forced capping: every cost-bearing row gives its maximum.
+                let reductions: Vec<f64> = instance
+                    .costs()
+                    .iter()
+                    .map(|cost| cost.as_ref().map_or(0.0, |c| c.delta_max()))
+                    .collect();
+                let diagnostics = Diagnostics {
+                    accepted: false,
+                    capped_at_delta_max: true,
+                    ..Diagnostics::default()
+                };
+                Ok(Clearing::build(
+                    instance,
+                    target,
+                    Price::ZERO,
+                    reductions,
+                    None,
+                    None,
+                    diagnostics,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QuadraticCost;
+    use crate::mechanism::ParticipantSpec;
+    use std::sync::Arc;
+
+    fn instance(alphas: &[f64]) -> MarketInstance {
+        alphas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                ParticipantSpec::new(i as u64, 1.0, Watts::new(125.0))
+                    .with_cost(Arc::new(QuadraticCost::new(a, 1.0)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_opt_solve() {
+        let alphas = [1.0, 2.0, 4.0];
+        let inst = instance(&alphas);
+        let mut mech = OptMechanism::strict(OptMethod::Auto);
+        let c = mech.clear(&inst, Watts::new(150.0)).unwrap();
+        assert!(c.met_target());
+
+        let costs: Vec<QuadraticCost> =
+            alphas.iter().map(|&a| QuadraticCost::new(a, 1.0)).collect();
+        let jobs: Vec<OptJob<'_>> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, cst)| OptJob::new(i as u64, cst, Watts::new(125.0)))
+            .collect();
+        let sol = opt::solve(&jobs, Watts::new(150.0), OptMethod::Auto).unwrap();
+        for (mine, (_, theirs)) in c.reductions().iter().zip(&sol.reductions) {
+            assert!((mine - theirs).abs() < 1e-9);
+        }
+        // An allocator pays nothing.
+        assert_eq!(c.total_payment_rate().get(), 0.0);
+    }
+
+    #[test]
+    fn strict_errors_best_effort_caps() {
+        let inst = instance(&[1.0]);
+        let target = Watts::new(1e6);
+        assert!(matches!(
+            OptMechanism::strict(OptMethod::Auto).clear(&inst, target),
+            Err(MechanismError::Market(MarketError::Infeasible { .. }))
+        ));
+        let c = OptMechanism::best_effort(OptMethod::Auto)
+            .clear(&inst, target)
+            .unwrap();
+        assert!(c.diagnostics().capped_at_delta_max);
+        assert!(!c.met_target());
+        assert!((c.reductions()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_instances_error() {
+        let empty = MarketInstance::from_specs(std::iter::empty());
+        assert!(matches!(
+            OptMechanism::default().clear(&empty, Watts::new(10.0)),
+            Err(MechanismError::DegenerateInstance { .. })
+        ));
+    }
+}

@@ -5,33 +5,45 @@
 //! The log form is concave, which makes best responses bang-bang; the
 //! power-law fit preserves the convexity of measured extra-execution
 //! curves. Realized cost is always measured with the table-driven truth.
+//! Each form is a [`MarketInstance`] whose rows carry that perceived cost
+//! model; the game runs through the [`Mechanism`] trait.
+
+use std::sync::Arc;
 
 use mpr_apps::{cpu_profiles, fit};
 use mpr_core::{
-    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost, Watts,
+    CostModel, InteractiveConfig, InteractiveMechanism, MarketInstance, Mechanism, ParticipantSpec,
+    ScaledCost, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
 fn realized_cost(
-    agents: Vec<Box<dyn BiddingAgent>>,
+    instance: &MarketInstance,
     truth: &[ScaledCost<mpr_apps::ProfileCost>],
     target: Watts,
 ) -> (f64, usize) {
-    let mut market = InteractiveMarket::new(
-        agents,
-        InteractiveConfig {
-            damping: 0.5,
-            ..InteractiveConfig::default()
-        },
-    );
-    let out = market.clear(target).expect("feasible target");
-    let cost = out
-        .clearing
-        .allocations()
+    let mut mech = InteractiveMechanism::strict(InteractiveConfig {
+        damping: 0.5,
+        ..InteractiveConfig::default()
+    });
+    let clearing = mech.clear(instance, target).expect("feasible target");
+    let cost = truth
         .iter()
-        .map(|a| truth[a.id as usize].cost(a.reduction))
+        .zip(clearing.reductions())
+        .map(|(t, &r)| t.cost(r))
         .sum();
-    (cost, out.clearing.iterations())
+    (cost, clearing.iterations())
+}
+
+/// An instance whose rows bid from `perceived` cost models.
+fn instance_of<C: CostModel + 'static>(perceived: Vec<C>, w: f64) -> MarketInstance {
+    perceived
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            ParticipantSpec::new(i as u64, c.delta_max(), Watts::new(w)).with_cost(Arc::new(c))
+        })
+        .collect()
 }
 
 fn main() {
@@ -44,42 +56,28 @@ fn main() {
         .collect();
     let attainable: f64 = truth.iter().map(|t| t.delta_max() * w).sum();
 
+    let table = instance_of(truth.clone(), w);
+    let power = instance_of(
+        profiles
+            .iter()
+            .map(|p| ScaledCost::new(fit::fit_power(&p.cost_model(1.0)), cores))
+            .collect(),
+        w,
+    );
+    let log = instance_of(
+        profiles
+            .iter()
+            .map(|p| ScaledCost::new(fit::fit_log(&p.cost_model(1.0)), cores))
+            .collect(),
+        w,
+    );
+
     let mut rows = Vec::new();
     for frac in [0.2, 0.4, 0.6] {
         let target = Watts::new(frac * attainable);
-        let table_agents: Vec<Box<dyn BiddingAgent>> = truth
-            .iter()
-            .enumerate()
-            .map(|(i, t)| Box::new(NetGainAgent::new(i as u64, t.clone(), Watts::new(w))) as _)
-            .collect();
-        let power_agents: Vec<Box<dyn BiddingAgent>> = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let fitted = fit::fit_power(&p.cost_model(1.0));
-                Box::new(NetGainAgent::new(
-                    i as u64,
-                    ScaledCost::new(fitted, cores),
-                    Watts::new(w),
-                )) as _
-            })
-            .collect();
-        let log_agents: Vec<Box<dyn BiddingAgent>> = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let fitted = fit::fit_log(&p.cost_model(1.0));
-                Box::new(NetGainAgent::new(
-                    i as u64,
-                    ScaledCost::new(fitted, cores),
-                    Watts::new(w),
-                )) as _
-            })
-            .collect();
-
-        let (c_table, i_table) = realized_cost(table_agents, &truth, target);
-        let (c_power, i_power) = realized_cost(power_agents, &truth, target);
-        let (c_log, i_log) = realized_cost(log_agents, &truth, target);
+        let (c_table, i_table) = realized_cost(&table, &truth, target);
+        let (c_power, i_power) = realized_cost(&power, &truth, target);
+        let (c_log, i_log) = realized_cost(&log, &truth, target);
         rows.push(vec![
             fmt(100.0 * frac, 0),
             format!("{} ({} it)", fmt(c_table, 1), i_table),

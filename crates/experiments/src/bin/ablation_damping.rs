@@ -2,27 +2,29 @@
 //!
 //! `q_{k+1} = (1−γ)q_k + γ·q_solved`. The undamped exchange (γ = 1) is the
 //! paper's protocol; smaller γ trades rounds for stability under
-//! ill-conditioned (e.g. near-concave) cost models.
+//! ill-conditioned (e.g. near-concave) cost models. The game clears a
+//! shared [`MarketInstance`] through the [`Mechanism`] trait.
+
+use std::sync::Arc;
 
 use mpr_apps::cpu_profiles;
 use mpr_core::{
-    BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent, ScaledCost, Watts,
+    CostModel, InteractiveConfig, InteractiveMechanism, MarketInstance, Mechanism, ParticipantSpec,
+    ScaledCost, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
     let profiles = cpu_profiles();
     let w = 125.0;
-    let make_agents = |n: usize| -> Vec<Box<dyn BiddingAgent>> {
+    let make_instance = |n: usize| -> MarketInstance {
         (0..n)
             .map(|i| {
                 let p = &profiles[i % profiles.len()];
                 let cores = f64::from(1u32 << (i % 6));
-                Box::new(NetGainAgent::new(
-                    i as u64,
-                    ScaledCost::new(p.cost_model(1.0), cores),
-                    Watts::new(w),
-                )) as _
+                let cost = ScaledCost::new(p.cost_model(1.0), cores);
+                ParticipantSpec::new(i as u64, cost.delta_max(), Watts::new(w))
+                    .with_cost(Arc::new(cost))
             })
             .collect()
     };
@@ -31,23 +33,20 @@ fn main() {
     for gamma in [1.0, 0.75, 0.5, 0.25, 0.1] {
         let mut row = vec![fmt(gamma, 2)];
         for n in [10usize, 100, 1000] {
-            let agents = make_agents(n);
-            let attainable: f64 = agents.iter().map(|a| a.delta_max() * w).sum();
-            let mut market = InteractiveMarket::new(
-                agents,
-                InteractiveConfig {
-                    damping: gamma,
-                    max_iterations: 500,
-                    ..InteractiveConfig::default()
-                },
-            );
-            let out = market
-                .clear(Watts::new(0.3 * attainable))
+            let instance = make_instance(n);
+            let attainable = instance.attainable_watts().get();
+            let mut mech = InteractiveMechanism::strict(InteractiveConfig {
+                damping: gamma,
+                max_iterations: 500,
+                ..InteractiveConfig::default()
+            });
+            let out = mech
+                .clear(&instance, Watts::new(0.3 * attainable))
                 .expect("feasible");
             row.push(format!(
                 "{}{}",
-                out.clearing.iterations(),
-                if out.converged { "" } else { "*" }
+                out.iterations(),
+                if out.diagnostics().converged { "" } else { "*" }
             ));
         }
         rows.push(row);

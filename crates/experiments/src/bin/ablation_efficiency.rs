@@ -4,14 +4,17 @@
 //! guarantee (Johari & Tsitsiklis 2011). We measure the realized efficiency
 //! ratio — OPT cost over market cost — for MPR-STAT and MPR-INT over many
 //! random job mixes and target depths, along with the manager's
-//! overpayment.
+//! overpayment. Both markets clear the same shared [`MarketInstance`]
+//! through the [`Mechanism`] trait.
+
+use std::sync::Arc;
 
 use mpr_apps::cpu_profiles;
 use mpr_core::analysis;
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent, Participant,
-    ScaledCost, StaticMarket, Watts,
+    CostModel, InteractiveConfig, InteractiveMechanism, MarketInstance, MclrMechanism, Mechanism,
+    ParticipantSpec, ScaledCost, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 use rand::{Rng, SeedableRng};
@@ -39,35 +42,36 @@ fn main() {
             let w: Vec<f64> = vec![125.0; costs.len()];
             let attainable: f64 = costs.iter().map(|c| c.delta_max() * 125.0).sum();
             let target = Watts::new(depth * attainable);
-
-            let market: StaticMarket = costs
+            let instance: MarketInstance = costs
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
-                    Participant::new(
-                        i as u64,
-                        StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                        Watts::new(125.0),
-                    )
+                    ParticipantSpec::new(i as u64, c.delta_max(), Watts::new(125.0))
+                        .with_bid(
+                            StaticStrategy::Cooperative
+                                .supply_for(c)
+                                .expect("valid cooperative bid")
+                                .bid(),
+                        )
+                        .with_cost(Arc::new(c.clone()))
                 })
                 .collect();
-            let clearing = market.clear(target).expect("feasible");
+
+            let clearing = MclrMechanism::strict()
+                .clear(&instance, target)
+                .expect("feasible")
+                .to_market_clearing();
             let wf = analysis::evaluate(&clearing, &costs, &w).expect("consistent");
             if let Some(e) = wf.efficiency() {
                 stat_eff.push(e);
                 stat_over.push(wf.overpayment() / wf.realized_cost.max(1e-9));
             }
 
-            let agents: Vec<Box<dyn BiddingAgent>> = costs
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(125.0))) as _
-                })
-                .collect();
-            let mut im = InteractiveMarket::new(agents, InteractiveConfig::default());
-            let out = im.clear(target).expect("feasible");
-            let wf = analysis::evaluate(&out.clearing, &costs, &w).expect("consistent");
+            let clearing = InteractiveMechanism::strict(InteractiveConfig::default())
+                .clear(&instance, target)
+                .expect("feasible")
+                .to_market_clearing();
+            let wf = analysis::evaluate(&clearing, &costs, &w).expect("consistent");
             if let Some(e) = wf.efficiency() {
                 int_eff.push(e);
                 int_over.push(wf.overpayment() / wf.realized_cost.max(1e-9));

@@ -7,11 +7,19 @@
 //! allocation tracks the cost-optimal (OPT) spread. The hyperbolic form
 //! encodes diminishing returns — its allocation is closer to OPT at the
 //! shallow targets typical of real overloads.
+//!
+//! The hyperbolic market and OPT clear a shared [`MarketInstance`] through
+//! the [`Mechanism`] trait; the linear-supply comparison deliberately stays
+//! on the raw `mclr::solve_supplies` API — linear bidding is the *ablated*
+//! alternative, not a production mechanism.
+
+use std::sync::Arc;
 
 use mpr_apps::cpu_profiles;
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    mclr, opt, CostModel, LinearSupply, Participant, ScaledCost, StaticMarket, Supply, Watts,
+    mclr, CostModel, LinearSupply, MarketInstance, MclrMechanism, Mechanism, OptMechanism,
+    OptMethod, ParticipantSpec, ScaledCost, Supply, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
@@ -25,16 +33,19 @@ fn main() {
     let w = 125.0;
     let attainable: f64 = jobs.iter().map(|j| j.delta_max() * w).sum();
 
-    // Hyperbolic market with cooperative bids.
-    let market: StaticMarket = jobs
+    // Hyperbolic market with cooperative bids; OPT reads the same rows.
+    let instance: MarketInstance = jobs
         .iter()
         .enumerate()
         .map(|(i, j)| {
-            Participant::new(
-                i as u64,
-                StaticStrategy::Cooperative.supply_for(j).unwrap(),
-                Watts::new(w),
-            )
+            ParticipantSpec::new(i as u64, j.delta_max(), Watts::new(w))
+                .with_bid(
+                    StaticStrategy::Cooperative
+                        .supply_for(j)
+                        .expect("valid cooperative bid")
+                        .bid(),
+                )
+                .with_cost(Arc::new(j.clone()))
         })
         .collect();
 
@@ -54,12 +65,14 @@ fn main() {
     let mut rows = Vec::new();
     for frac in [0.1, 0.3, 0.5, 0.7] {
         let target = Watts::new(frac * attainable);
-        let hyp = market.clear_best_effort(target);
+        let hyp = MclrMechanism::best_effort()
+            .clear(&instance, target)
+            .expect("best-effort always clears");
         let hyp_cost: f64 = hyp
-            .allocations()
+            .reductions()
             .iter()
             .zip(&jobs)
-            .map(|(a, j)| j.cost(a.reduction))
+            .map(|(&r, j)| j.cost(r))
             .sum();
         let lin = mclr::solve_supplies(&linear, target).expect("feasible");
         let lin_cost: f64 = linear
@@ -67,19 +80,22 @@ fn main() {
             .zip(&jobs)
             .map(|((s, _), j)| j.cost(s.supply(lin.price.get())))
             .sum();
-        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
+        let best = OptMechanism::strict(OptMethod::Auto)
+            .clear(&instance, target)
+            .expect("feasible");
+        let best_cost: f64 = best
+            .reductions()
             .iter()
-            .enumerate()
-            .map(|(i, j)| opt::OptJob::new(i as u64, j, Watts::new(w)))
-            .collect();
-        let best = opt::solve(&opt_jobs, target, opt::OptMethod::Auto).unwrap();
+            .zip(&jobs)
+            .map(|(&r, j)| j.cost(r))
+            .sum();
         rows.push(vec![
             fmt(100.0 * frac, 0),
             fmt(hyp.price().get(), 3),
             fmt(lin.price.get(), 3),
             fmt(hyp_cost, 1),
             fmt(lin_cost, 1),
-            fmt(best.total_cost, 1),
+            fmt(best_cost, 1),
         ]);
     }
     print_table(

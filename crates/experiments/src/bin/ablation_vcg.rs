@@ -4,15 +4,17 @@
 //! VCG is truthful and cost-optimal but (i) forces users to reveal their
 //! private cost functions, (ii) needs `M+1` OPT solves, and (iii) pays an
 //! information rent above the social cost. MPR trades a sliver of
-//! optimality for privacy and a single bisection solve.
+//! optimality for privacy and a single bisection solve. All three schemes
+//! clear one shared [`MarketInstance`] through the [`Mechanism`] trait.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mpr_apps::cpu_profiles;
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    opt, vcg, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
-    Participant, ScaledCost, StaticMarket, Watts,
+    CostModel, InteractiveConfig, InteractiveMechanism, MarketInstance, MclrMechanism, Mechanism,
+    OptMethod, ParticipantSpec, ScaledCost, VcgMechanism, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 
@@ -27,68 +29,63 @@ fn main() {
         })
         .collect();
     let attainable: f64 = costs.iter().map(|c| c.delta_max() * w).sum();
+    let instance: MarketInstance = costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            ParticipantSpec::new(i as u64, c.delta_max(), Watts::new(w))
+                .with_bid(
+                    StaticStrategy::Cooperative
+                        .supply_for(c)
+                        .expect("valid cooperative bid")
+                        .bid(),
+                )
+                .with_cost(Arc::new(c.clone()))
+        })
+        .collect();
+
+    let true_cost_of = |clearing: &mpr_core::mechanism::Clearing| -> f64 {
+        costs
+            .iter()
+            .zip(clearing.reductions())
+            .map(|(c, &r)| c.cost(r))
+            .sum()
+    };
 
     let mut rows = Vec::new();
     for frac in [0.2, 0.4, 0.6] {
         let target = Watts::new(frac * attainable);
 
         // VCG.
-        let jobs: Vec<opt::OptJob<'_>> = costs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| opt::OptJob::new(i as u64, c, Watts::new(w)))
-            .collect();
         let t0 = Instant::now();
-        let v = vcg::auction(&jobs, target, opt::OptMethod::Auto).expect("feasible");
+        let v = VcgMechanism::strict(OptMethod::Auto)
+            .clear(&instance, target)
+            .expect("feasible");
         let vcg_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         // MPR-STAT.
-        let market: StaticMarket = costs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                Participant::new(
-                    i as u64,
-                    StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                    Watts::new(w),
-                )
-            })
-            .collect();
         let t0 = Instant::now();
-        let stat = market.clear(target).expect("feasible");
+        let stat = MclrMechanism::strict()
+            .clear(&instance, target)
+            .expect("feasible");
         let stat_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        let stat_cost: f64 = stat
-            .allocations()
-            .iter()
-            .map(|a| costs[a.id as usize].cost(a.reduction))
-            .sum();
 
         // MPR-INT.
-        let agents: Vec<Box<dyn BiddingAgent>> = costs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| Box::new(NetGainAgent::new(i as u64, c.clone(), Watts::new(w))) as _)
-            .collect();
-        let mut imarket = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let int = imarket.clear(target).expect("feasible");
-        let int_cost: f64 = int
-            .clearing
-            .allocations()
-            .iter()
-            .map(|a| costs[a.id as usize].cost(a.reduction))
-            .sum();
+        let int = InteractiveMechanism::strict(InteractiveConfig::default())
+            .clear(&instance, target)
+            .expect("feasible");
 
         rows.push(vec![
             fmt(100.0 * frac, 0),
-            fmt(v.total_cost, 1),
-            fmt(v.total_payment, 1),
+            fmt(true_cost_of(&v), 1),
+            fmt(v.total_payment_rate().get(), 1),
             fmt(vcg_ms, 1),
-            fmt(stat_cost, 1),
-            fmt(stat.total_reward_rate(), 1),
+            fmt(true_cost_of(&stat), 1),
+            fmt(stat.total_payment_rate().get(), 1),
             fmt(stat_ms, 2),
-            fmt(int_cost, 1),
-            fmt(int.clearing.total_reward_rate(), 1),
-            int.clearing.iterations().to_string(),
+            fmt(true_cost_of(&int), 1),
+            fmt(int.total_payment_rate().get(), 1),
+            int.iterations().to_string(),
         ]);
     }
     print_table(

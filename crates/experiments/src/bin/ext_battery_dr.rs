@@ -8,8 +8,12 @@
 //! quantifying how much performance cost a 3-minute-bridge battery bank
 //! actually absorbs.
 
+use std::sync::Arc;
+
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::{Participant, ScaledCost, StaticMarket, Watts};
+use mpr_core::{
+    CostModel, MarketInstance, MclrMechanism, Mechanism, ParticipantSpec, ScaledCost, Watts,
+};
 use mpr_experiments::{fmt, print_table};
 use mpr_power::UpsBattery;
 
@@ -30,17 +34,21 @@ fn serve_event(mut battery: Option<UpsBattery>) -> Dispatch {
     let costs: Vec<ScaledCost<_>> = (0..64)
         .map(|i| ScaledCost::new(profiles[i % profiles.len()].cost_model(1.0), 16.0))
         .collect();
-    let market: StaticMarket = costs
+    let instance: MarketInstance = costs
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            Participant::new(
-                i as u64,
-                StaticStrategy::Cooperative.supply_for(c).unwrap(),
-                Watts::new(125.0),
-            )
+            ParticipantSpec::new(i as u64, c.delta_max(), Watts::new(125.0))
+                .with_bid(
+                    StaticStrategy::Cooperative
+                        .supply_for(c)
+                        .expect("valid cooperative bid")
+                        .bid(),
+                )
+                .with_cost(Arc::new(c.clone()))
         })
         .collect();
+    let mut market = MclrMechanism::best_effort();
 
     let mut out = Dispatch {
         market_core_hours: 0.0,
@@ -68,9 +76,11 @@ fn serve_event(mut battery: Option<UpsBattery>) -> Dispatch {
         }
         // Market covers the rest.
         if remaining > 0.0 {
-            let clearing = market.clear_best_effort(Watts::new(remaining));
+            let clearing = market
+                .clear(&instance, Watts::new(remaining))
+                .expect("best-effort always clears");
             out.market_core_hours += clearing.total_reduction() * dt / 3600.0;
-            out.reward_core_hours += clearing.total_reward_rate() * dt / 3600.0;
+            out.reward_core_hours += clearing.total_payment_rate().get() * dt / 3600.0;
         }
         t += dt;
     }

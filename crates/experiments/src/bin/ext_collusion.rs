@@ -9,7 +9,9 @@
 
 use mpr_apps::cpu_profiles;
 use mpr_core::bidding::{net_gain, StaticStrategy};
-use mpr_core::{CostModel, Participant, ScaledCost, StaticMarket, Watts};
+use mpr_core::{
+    CostModel, MarketInstance, MclrMechanism, Mechanism, ParticipantSpec, ScaledCost, Watts,
+};
 use mpr_experiments::{fmt, print_table};
 
 fn main() {
@@ -36,26 +38,25 @@ fn main() {
 
     let mut rows = Vec::new();
     for k in [0usize, 5, 10, 20, 30, 40] {
-        let participants: Vec<Participant> = (0..n)
-            .map(|i| {
-                let s = if i < k { inflated[i] } else { honest[i] };
-                Participant::new(i as u64, s, Watts::new(w))
+        let supplies: Vec<_> = (0..n)
+            .map(|i| if i < k { inflated[i] } else { honest[i] })
+            .collect();
+        let instance: MarketInstance = supplies
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ParticipantSpec::new(i as u64, s.delta_max(), Watts::new(w)).with_bid(s.bid())
             })
             .collect();
-        let market = StaticMarket::new(participants);
-        let clearing = market.clear_best_effort(target);
+        let clearing = MclrMechanism::best_effort()
+            .clear(&instance, target)
+            .expect("best-effort always clears");
         let price = clearing.price();
-        let colluder_gain: f64 = clearing
-            .allocations()
+        let colluder_gain: f64 = supplies
             .iter()
             .take(k)
-            .map(|a| {
-                net_gain(
-                    &costs[a.id as usize],
-                    &market.participants()[a.id as usize].supply,
-                    price,
-                )
-            })
+            .enumerate()
+            .map(|(i, s)| net_gain(&costs[i], s, price))
             .sum();
         let per_member = if k > 0 { colluder_gain / k as f64 } else { 0.0 };
         // What the same k users would earn bidding honestly at this price
@@ -64,7 +65,7 @@ fn main() {
         rows.push(vec![
             k.to_string(),
             fmt(price.get(), 3),
-            fmt(clearing.total_reward_rate(), 1),
+            fmt(clearing.total_payment_rate().get(), 1),
             fmt(per_member, 3),
             if clearing.met_target() { "yes" } else { "NO" }.to_owned(),
         ]);

@@ -10,7 +10,7 @@
 //! one attacker, with and without the direct-capping defense.
 
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::{Participant, StaticMarket, Watts};
+use mpr_core::{MarketInstance, MclrMechanism, Mechanism, ParticipantSpec, Watts};
 use mpr_experiments::{fmt, print_table};
 use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController};
 use mpr_proto::{prototype_apps, DvfsApp, FREQ_MAX_GHZ, FREQ_MIN_GHZ};
@@ -97,18 +97,24 @@ fn run(defended: bool) -> Outcome {
                 }
                 // Normal market path (attacker refuses to participate).
                 let target = controller.active_target();
-                let participants: Vec<Participant> = apps
+                let instance: MarketInstance = apps
                     .iter()
                     .enumerate()
                     .map(|(i, a)| {
-                        Participant::new(i as u64, supplies[i], Watts::new(a.watts_per_unit()))
+                        ParticipantSpec::new(
+                            i as u64,
+                            supplies[i].delta_max(),
+                            Watts::new(a.watts_per_unit()),
+                        )
+                        .with_bid(supplies[i].bid())
                     })
                     .collect();
-                let clearing = StaticMarket::new(participants).clear_best_effort(target);
+                let clearing = MclrMechanism::best_effort()
+                    .clear(&instance, target)
+                    .expect("best-effort always clears");
                 let mut delivered = 0.0;
-                for alloc in clearing.allocations() {
-                    let i = alloc.id as usize;
-                    let f = apps[i].freq_for_reduction(alloc.reduction);
+                for (i, &reduction) in clearing.reductions().iter().enumerate() {
+                    let f = apps[i].freq_for_reduction(reduction);
                     freqs[i] = f;
                     delivered += apps[i].power_saving_w(f);
                 }

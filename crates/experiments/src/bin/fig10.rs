@@ -1,6 +1,10 @@
 //! Fig. 10: solution-time scalability of OPT, EQL, MPR-STAT and MPR-INT
 //! with a growing number of active jobs, plus MPR-INT's iteration count.
 //!
+//! All four schemes clear the *same* structure-of-arrays
+//! [`MarketInstance`] through the unified [`Mechanism`] trait, so the
+//! timings compare solvers, not data-marshalling styles.
+//!
 //! MPR-INT's reported time includes the paper's 500 ms communication delay
 //! per bidding round (the computation itself is microseconds per round).
 
@@ -10,8 +14,8 @@ use std::time::Instant;
 use mpr_apps::{cpu_profiles, AppProfile, ProfileCost};
 use mpr_core::bidding::StaticStrategy;
 use mpr_core::{
-    eql, opt, BiddingAgent, CostModel, InteractiveConfig, InteractiveMarket, NetGainAgent,
-    Participant, ScaledCost, StaticMarket, Watts,
+    CostModel, EqlMechanism, InteractiveConfig, InteractiveMechanism, MarketInstance,
+    MclrMechanism, Mechanism, OptMechanism, OptMethod, ParticipantSpec, ScaledCost, Watts,
 };
 use mpr_experiments::{fmt, print_table};
 use rand::{Rng, SeedableRng};
@@ -45,6 +49,33 @@ fn make_jobs(n: usize) -> Vec<BenchJob> {
         .collect()
 }
 
+fn make_instance(jobs: &[BenchJob]) -> MarketInstance {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            ParticipantSpec::new(
+                i as u64,
+                j.cost.delta_max(),
+                Watts::new(j.profile.unit_dynamic_power_w()),
+            )
+            .with_bid(j.supply.bid())
+            .with_cores(j.cores)
+            .with_cost(Arc::new(j.cost.clone()))
+        })
+        .collect()
+}
+
+/// Clears `instance` once through the trait and returns (seconds, clearing).
+fn timed(
+    mut mech: impl Mechanism,
+    instance: &MarketInstance,
+    target: Watts,
+) -> (f64, mpr_core::mechanism::Clearing) {
+    let t0 = Instant::now();
+    let clearing = mech.clear(instance, target).expect("feasible");
+    (t0.elapsed().as_secs_f64(), clearing)
+}
+
 fn main() {
     let sizes = [10usize, 100, 1000, 10_000, 30_000];
     let comm_delay_secs = 0.5;
@@ -52,6 +83,7 @@ fn main() {
     let mut iter_rows = Vec::new();
     for &n in &sizes {
         let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
         let attainable: f64 = jobs
             .iter()
             .map(|j| j.cost.delta_max() * j.profile.unit_dynamic_power_w())
@@ -59,71 +91,22 @@ fn main() {
         let target = Watts::new(0.3 * attainable);
 
         // MPR-STAT: one market clearing.
-        let participants: Vec<Participant> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                Participant::new(
-                    i as u64,
-                    j.supply,
-                    Watts::new(j.profile.unit_dynamic_power_w()),
-                )
-            })
-            .collect();
-        let market = StaticMarket::new(participants);
-        let t0 = Instant::now();
-        let clearing = market.clear(target).expect("feasible");
-        let stat_secs = t0.elapsed().as_secs_f64();
+        let (stat_secs, clearing) = timed(MclrMechanism::strict(), &instance, target);
         assert!(clearing.met_target());
 
         // EQL: uniform fraction + bookkeeping.
-        let eql_jobs: Vec<eql::EqlJob> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| eql::EqlJob {
-                id: i as u64,
-                cores: j.cores,
-                delta_max: j.cost.delta_max(),
-                watts_per_unit: j.profile.unit_dynamic_power_w(),
-            })
-            .collect();
-        let t0 = Instant::now();
-        let _ = eql::reduce(&eql_jobs, target).expect("feasible");
-        let eql_secs = t0.elapsed().as_secs_f64();
+        let (eql_secs, _) = timed(EqlMechanism, &instance, target);
 
         // OPT: centralized separable NLP.
-        let opt_jobs: Vec<opt::OptJob<'_>> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                opt::OptJob::new(
-                    i as u64,
-                    &j.cost,
-                    Watts::new(j.profile.unit_dynamic_power_w()),
-                )
-            })
-            .collect();
-        let t0 = Instant::now();
-        let _ = opt::solve(&opt_jobs, target, opt::OptMethod::Auto).expect("feasible");
-        let opt_secs = t0.elapsed().as_secs_f64();
+        let (opt_secs, _) = timed(OptMechanism::strict(OptMethod::Auto), &instance, target);
 
         // MPR-INT: iterative exchange (+500 ms per round).
-        let agents: Vec<Box<dyn BiddingAgent>> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                Box::new(NetGainAgent::new(
-                    i as u64,
-                    j.cost.clone(),
-                    Watts::new(j.profile.unit_dynamic_power_w()),
-                )) as Box<dyn BiddingAgent>
-            })
-            .collect();
-        let mut imarket = InteractiveMarket::new(agents, InteractiveConfig::default());
-        let t0 = Instant::now();
-        let outcome = imarket.clear(target).expect("feasible");
-        let int_compute = t0.elapsed().as_secs_f64();
-        let iters = outcome.clearing.iterations();
+        let (int_compute, outcome) = timed(
+            InteractiveMechanism::strict(InteractiveConfig::default()),
+            &instance,
+            target,
+        );
+        let iters = outcome.iterations();
         let int_secs = int_compute + comm_delay_secs * iters as f64;
 
         rows.push(vec![

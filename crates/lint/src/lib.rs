@@ -1,6 +1,6 @@
 //! `mpr-lint` — the workspace's static-analysis pass.
 //!
-//! Four rule families keep the paper-reproduction honest at scale:
+//! Five rule families keep the paper-reproduction honest at scale:
 //!
 //! * **L1 `unit-hygiene`** — public signatures in `mpr-core`, `mpr-power`,
 //!   and `mpr-sim` may not pass quantities (watts, prices, core-hours,
@@ -14,6 +14,10 @@
 //!   the crates that execute inside every simulation slot.
 //! * **L4 `determinism`** — no `HashMap`/`HashSet` in report/CSV modules and
 //!   no `Instant`/`SystemTime` inside the simulator.
+//! * **L5 `layering`** — `mpr-sim` and `mpr-cli` may not call the solver
+//!   modules (`mclr::`, `opt::`, `eql::`, `vcg::`) directly; every clearing
+//!   goes through the `mpr_core::mechanism::Mechanism` trait (DESIGN.md
+//!   §11). `// lint: allow(layering) <why>` grants an audited exemption.
 //!
 //! Built without `syn` (the container is offline), on a small exact lexer —
 //! see [`lexer`]. Run it with `cargo run -p mpr-lint -- check`.

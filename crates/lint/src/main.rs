@@ -10,7 +10,8 @@ use mpr_lint::{analyze_workspace, find_workspace_root, to_json, MAX_EXEMPTIONS};
 
 const USAGE: &str = "usage: mpr-lint check [--json] [--root DIR]
 
-Rules: unit-hygiene (L1), nan-safety (L2), panic-freedom (L3), determinism (L4).
+Rules: unit-hygiene (L1), nan-safety (L2), panic-freedom (L3), determinism (L4),
+layering (L5).
 Exemptions: `// lint: raw-f64-ok <why>` or `// lint: allow(<rule>) <why>`
 on the violating line or the line above.";
 

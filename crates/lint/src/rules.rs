@@ -1,4 +1,4 @@
-//! The four rule families (L1–L4) plus exemption handling.
+//! The five rule families (L1–L5) plus exemption handling.
 //!
 //! Each rule walks the token stream from [`crate::lexer`] looking for a
 //! pattern; hits inside `#[cfg(test)]` / `#[test]` regions are dropped, and
@@ -18,6 +18,10 @@ pub enum Rule {
     PanicFreedom,
     /// L4 — no nondeterministic iteration or wall-clock in sim/report code.
     Determinism,
+    /// L5 — the sim and CLI layers may not call solver modules (`mclr`,
+    /// `opt`, `eql`, `vcg`) directly; they dispatch through the
+    /// `mpr_core::mechanism` trait.
+    Layering,
     /// Meta — malformed or unjustified exemption comments.
     Exemption,
 }
@@ -31,6 +35,7 @@ impl Rule {
             Rule::NanSafety => "nan-safety",
             Rule::PanicFreedom => "panic-freedom",
             Rule::Determinism => "determinism",
+            Rule::Layering => "layering",
             Rule::Exemption => "exemption",
         }
     }
@@ -43,6 +48,7 @@ impl Rule {
             "nan-safety" => Some(Rule::NanSafety),
             "panic-freedom" => Some(Rule::PanicFreedom),
             "determinism" => Some(Rule::Determinism),
+            "layering" => Some(Rule::Layering),
             _ => None,
         }
     }
@@ -93,6 +99,8 @@ pub struct RuleSet {
     pub determinism_time: bool,
     /// Apply L4 hash-iteration checks (report/CSV modules).
     pub determinism_hash: bool,
+    /// Apply L5 (no direct solver-module calls from the sim/CLI layer).
+    pub layering: bool,
 }
 
 impl RuleSet {
@@ -124,6 +132,9 @@ impl RuleSet {
             panic_freedom: matches!(krate, "core" | "power"),
             determinism_time: krate == "sim",
             determinism_hash: file.contains("report") || file.contains("csv"),
+            // The mechanism abstraction is the only sanctioned route from
+            // the orchestration layers down to the solvers (DESIGN.md §11).
+            layering: matches!(krate, "sim" | "cli"),
         }
     }
 }
@@ -163,6 +174,9 @@ pub fn analyze_source_with(relpath: &str, src: &str, rules: RuleSet) -> FileAnal
     }
     if rules.determinism_time || rules.determinism_hash {
         determinism(relpath, &lexed, rules, &mut raw);
+    }
+    if rules.layering {
+        layering(relpath, &lexed, &mut raw);
     }
 
     // Drop test-region hits, dedupe, then apply exemptions.
@@ -764,6 +778,35 @@ fn determinism(relpath: &str, lexed: &Lexed, rules: RuleSet, out: &mut Vec<Viola
     }
 }
 
+// ---------------------------------------------------------------------------
+// L5 — layering
+// ---------------------------------------------------------------------------
+
+/// Solver modules that only `mpr_core::mechanism` may call into.
+const SOLVER_MODULES: &[&str] = &["mclr", "opt", "eql", "vcg"];
+
+fn layering(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && SOLVER_MODULES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == "::")
+        {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::Layering,
+                message: format!(
+                    "solver module `{}::` referenced from the orchestration layer; \
+                     dispatch through the `mpr_core::mechanism::Mechanism` trait \
+                     instead, or add `// lint: allow(layering) <why>`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +818,7 @@ mod tests {
             panic_freedom: true,
             determinism_time: true,
             determinism_hash: true,
+            layering: true,
         }
     }
 
@@ -786,14 +830,63 @@ mod tests {
     fn scope_policy_matches_layout() {
         let core = RuleSet::for_path("crates/core/src/mclr.rs");
         assert!(core.unit_hygiene && core.nan_safety && core.panic_freedom);
+        // Core hosts the solvers, so L5 cannot apply there.
+        assert!(!core.layering);
         let sim = RuleSet::for_path("crates/sim/src/engine.rs");
         assert!(sim.unit_hygiene && sim.determinism_time && !sim.panic_freedom);
+        assert!(sim.layering);
         let report = RuleSet::for_path("crates/sim/src/report.rs");
         assert!(report.determinism_hash);
         let cli = RuleSet::for_path("crates/cli/src/main.rs");
         assert!(!cli.nan_safety && !cli.unit_hygiene);
+        assert!(cli.layering);
+        let experiments = RuleSet::for_path("crates/experiments/src/bin/fig10.rs");
+        assert!(!experiments.layering);
         let tests = RuleSet::for_path("crates/core/tests/integration.rs");
         assert!(!tests.nan_safety);
+    }
+
+    #[test]
+    fn layering_flags_direct_solver_calls() {
+        let a = run("use mpr_core::opt;\n\
+             fn f() { let _ = opt::solve(&[], t, opt::OptMethod::Auto); }\n\
+             fn g() { let _ = mpr_core::eql::reduce(&[], t); }\n\
+             fn h() { let _ = vcg::auction(&[], t, m); }\n\
+             fn i() { let _ = mclr::clear_best_effort(&[], t); }\n");
+        let l5: Vec<_> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::Layering)
+            .collect();
+        // Line 2's two `opt::` hits dedupe to one, then eql, vcg, mclr.
+        // `use mpr_core::opt;` alone is not a path into the module.
+        assert_eq!(l5.len(), 4, "{l5:?}");
+        assert!(l5.iter().all(|v| v.message.contains("mechanism")));
+    }
+
+    #[test]
+    fn layering_ignores_trait_dispatch_and_plain_idents() {
+        let a = run("use mpr_core::{Mechanism, OptMechanism, OptMethod};\n\
+             fn f() { let mut m = OptMechanism::strict(OptMethod::Auto); \
+             let _ = m.clear(&inst, t); }\n\
+             fn g(opt: Option<u32>) -> Option<u32> { opt }\n");
+        let l5 = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::Layering)
+            .count();
+        assert_eq!(l5, 0, "{:?}", a.violations);
+    }
+
+    #[test]
+    fn layering_exemption_is_honored() {
+        let a = run(
+            "// lint: allow(layering) — migration shim, remove with PR 5\n\
+             fn f() { let _ = eql::reduce(&[], t); }\n",
+        );
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.exemptions_used.len(), 1);
+        assert_eq!(a.exemptions_used[0].rule, Rule::Layering);
     }
 
     #[test]

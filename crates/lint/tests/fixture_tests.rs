@@ -91,6 +91,30 @@ fn l4_determinism_fixture_counts() {
 }
 
 #[test]
+fn l5_layering_fixture_counts() {
+    let src = fixture("layering.rs");
+    let rules = RuleSet {
+        layering: true,
+        ..RuleSet::default()
+    };
+    // Scoped as if the file lived in the sim crate (the orchestration layer).
+    let a = analyze_source_with("crates/sim/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::Layering),
+        vec![5, 9, 10, 14, 18],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 5);
+    // The trait-dispatch tail of the fixture must not be flagged.
+    assert!(
+        a.violations.iter().all(|v| v.line < 21),
+        "{:?}",
+        a.violations
+    );
+}
+
+#[test]
 fn allowlist_suppresses_and_records() {
     let src = fixture("allowlist.rs");
     let rules = RuleSet {

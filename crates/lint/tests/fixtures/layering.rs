@@ -1,0 +1,24 @@
+//! L5 layering fixture: orchestration-layer code calling solver modules
+//! directly instead of dispatching through `mpr_core::mechanism`.
+
+pub fn stat(target: Watts) {
+    let _ = mclr::clear_best_effort(&participants, target);
+}
+
+pub fn central(target: Watts) {
+    let jobs: Vec<opt::OptJob<'_>> = Vec::new();
+    let _ = opt::solve(&jobs, target, opt::OptMethod::Auto);
+}
+
+pub fn uniform(target: Watts) {
+    let _ = eql::reduce(&jobs, target);
+}
+
+pub fn auction(target: Watts) {
+    let _ = vcg::auction(&jobs, target, method);
+}
+
+pub fn through_the_trait(target: Watts) {
+    let mut mech = MclrMechanism::best_effort();
+    let _ = mech.clear(&instance, target);
+}

@@ -347,7 +347,13 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
         crate::config::Algorithm::Eql => 1,
         crate::config::Algorithm::MprStat => 2,
         crate::config::Algorithm::MprInt => 3,
+        crate::config::Algorithm::Vcg => 4,
     });
+    // The resolved clearing mechanism (including the degradation-chain
+    // shape under a fault plan): a checkpointed run can never resume under
+    // a different `--mechanism`, even one that aliases the same algorithm
+    // tag above.
+    e.str(&crate::mechanism::descriptor(cfg));
     e.f64(cfg.oversubscription_pct);
     e.f64(cfg.slot_secs);
     e.f64(cfg.power_model.static_w_per_core());
@@ -1089,6 +1095,48 @@ mod tests {
         // The writer itself can still resume.
         assert!(writer.resume(&path).is_ok());
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_under_a_different_mechanism_is_rejected() {
+        let trace = small_trace();
+        let path = tmp_ckpt("mechanism-mismatch");
+        let writer = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0));
+        let plan = CheckpointPlan::every(&path, 400).with_kill_at(800);
+        writer
+            .run_with_checkpoints(&plan)
+            .expect("checkpointed run");
+        // Every other mechanism choice must be refused at restore time.
+        for alg in [
+            Algorithm::Opt,
+            Algorithm::Eql,
+            Algorithm::MprInt,
+            Algorithm::Vcg,
+        ] {
+            let reader = Simulation::new(&trace, SimConfig::new(alg, 15.0));
+            match reader.resume(&path) {
+                Err(CheckpointError::ConfigMismatch) => {}
+                other => panic!("{alg}: expected ConfigMismatch, got {other:?}"),
+            }
+        }
+        assert!(writer.resume(&path).is_ok());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_the_degradation_chain() {
+        // Same algorithm tag, different resolved mechanism: an MPR-INT run
+        // with an active fault plan clears through the degradation chain,
+        // so its checkpoints must not be resumable by a clean MPR-INT run
+        // (and vice versa).
+        let trace = small_trace();
+        let clean = Simulation::new(&trace, SimConfig::new(Algorithm::MprInt, 15.0));
+        let chained = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0)
+                .with_faults(crate::config::FaultPlan::unresponsive_and_crash(0.3, 0.1)),
+        );
+        assert_ne!(fingerprint(&clean), fingerprint(&chained));
     }
 
     #[test]

@@ -18,10 +18,18 @@ pub enum Algorithm {
     MprStat,
     /// MPR with iterative price/bid exchange.
     MprInt,
+    /// Truthful pivot auction (Section III-D): allocates like OPT and pays
+    /// each contributor its VCG payment. O(M²) in the number of
+    /// participants — an extension beyond the paper's four benchmarks, not
+    /// part of [`Algorithm::all`].
+    Vcg,
 }
 
 impl Algorithm {
-    /// All four benchmark algorithms in the paper's plotting order.
+    /// The paper's four benchmark algorithms in plotting order. [`Vcg`] is
+    /// an extension and deliberately excluded.
+    ///
+    /// [`Vcg`]: Algorithm::Vcg
     #[must_use]
     pub fn all() -> [Algorithm; 4] {
         [
@@ -35,7 +43,10 @@ impl Algorithm {
     /// Whether this algorithm runs a market (and hence pays rewards).
     #[must_use]
     pub fn is_market(&self) -> bool {
-        matches!(self, Algorithm::MprStat | Algorithm::MprInt)
+        matches!(
+            self,
+            Algorithm::MprStat | Algorithm::MprInt | Algorithm::Vcg
+        )
     }
 }
 
@@ -46,6 +57,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Eql => write!(f, "EQL"),
             Algorithm::MprStat => write!(f, "MPR-STAT"),
             Algorithm::MprInt => write!(f, "MPR-INT"),
+            Algorithm::Vcg => write!(f, "VCG"),
         }
     }
 }
@@ -358,9 +370,13 @@ mod tests {
     fn market_flag() {
         assert!(Algorithm::MprStat.is_market());
         assert!(Algorithm::MprInt.is_market());
+        assert!(Algorithm::Vcg.is_market());
         assert!(!Algorithm::Opt.is_market());
         assert!(!Algorithm::Eql.is_market());
+        // VCG is an extension, not one of the paper's four benchmarks.
         assert_eq!(Algorithm::all().len(), 4);
+        assert!(!Algorithm::all().contains(&Algorithm::Vcg));
+        assert_eq!(Algorithm::Vcg.to_string(), "VCG");
     }
 
     #[test]

@@ -16,12 +16,11 @@ use std::sync::Arc;
 
 use mpr_apps::{AppProfile, NoisyCost, ProfileCost};
 use mpr_core::bidding::StaticStrategy;
-use mpr_core::market::interactive::InteractiveOutcome;
+use mpr_core::mechanism::Clearing as MechanismClearing;
 use mpr_core::{
-    eql, opt, BiddingAgent, ByzantineAgent, ChainLevel, CostModel, CrashAgent, InteractiveConfig,
-    InteractiveMarket, MarketError, NetGainAgent, Participant, ResilientConfig,
-    ResilientInteractiveMarket, ScaledCost, StaleAgent, StaticMarket, SupplyFunction,
-    UnresponsiveAgent, Watts,
+    BiddingAgent, ByzantineAgent, ChainLevel, CostModel, CrashAgent, MarketInstance, Mechanism,
+    NetGainAgent, ParticipantSpec, ResilientConfig, ResilientInteractiveMechanism, ScaledCost,
+    StaleAgent, SupplyFunction, UnresponsiveAgent, Watts,
 };
 use mpr_power::telemetry::{FaultySensor, PowerSensor, RobustEstimator};
 use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController, Oversubscription};
@@ -61,9 +60,11 @@ pub(crate) struct ActiveJob {
     /// for the same reason as `alpha`.
     pub(crate) noise_factor: f64,
     /// The cost model the user bids from (possibly noisy), job-scaled.
-    pub(crate) perceived: ScaledCost<NoisyCost<ProfileCost>>,
-    /// Ground-truth cost model for accounting, job-scaled.
-    pub(crate) true_cost: ScaledCost<ProfileCost>,
+    /// `Arc`'d so market instances share it without cloning the model.
+    pub(crate) perceived: Arc<ScaledCost<NoisyCost<ProfileCost>>>,
+    /// Ground-truth cost model for accounting, job-scaled. `Arc`'d for the
+    /// same reason.
+    pub(crate) true_cost: Arc<ScaledCost<ProfileCost>>,
     /// Pre-computed cooperative supply for MPR-STAT. `None` when no valid
     /// submission-time bid could be constructed (pathological cost model):
     /// the job then joins markets only through forced capping, and the run
@@ -623,14 +624,14 @@ impl<'a> Simulation<'a> {
         let cores = f64::from(job.cores);
         let base = profile.cost_model(alpha);
         let noisy = NoisyCost::new(base.clone(), noise_factor);
-        let perceived = ScaledCost::new(noisy, cores);
-        let true_cost = ScaledCost::new(base, cores);
+        let perceived = Arc::new(ScaledCost::new(noisy, cores));
+        let true_cost = Arc::new(ScaledCost::new(base, cores));
         // A failed cooperative bid falls back to a zero-bid (always-supply)
         // function; if even that is unconstructible the job carries no
         // static supply at all — recorded as a bid failure by the caller,
         // never a panic mid-run.
         let static_supply = StaticStrategy::Cooperative
-            .supply_for(&perceived)
+            .supply_for(perceived.as_ref())
             .ok()
             .or_else(|| SupplyFunction::new(perceived.delta_max(), 0.0).ok());
         ActiveJob {
@@ -653,10 +654,56 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// The market instance for one overload event. Market algorithms see
+    /// only the participating jobs (rows carry bids and/or perceived-cost
+    /// models); the OPT and EQL benchmarks see every active job with its
+    /// ground-truth cost.
+    fn build_instance(&self, active: &[ActiveJob]) -> MarketInstance {
+        let row = |j: &ActiveJob, delta: f64| {
+            ParticipantSpec::new(
+                j.idx as u64,
+                delta,
+                Watts::new(j.profile.unit_dynamic_power_w()),
+            )
+        };
+        match self.config.algorithm {
+            Algorithm::MprStat => active
+                .iter()
+                .filter(|j| j.participates)
+                .filter_map(|j| {
+                    let supply = j.static_supply?;
+                    Some(row(j, supply.delta_max()).with_bid(supply.bid()))
+                })
+                .collect(),
+            Algorithm::MprInt => active
+                .iter()
+                .filter(|j| j.participates)
+                .map(|j| row(j, j.perceived.delta_max()).with_cost(j.perceived.clone()))
+                .collect(),
+            Algorithm::Vcg => active
+                .iter()
+                .filter(|j| j.participates)
+                .map(|j| row(j, j.true_cost.delta_max()).with_cost(j.true_cost.clone()))
+                .collect(),
+            Algorithm::Opt => active
+                .iter()
+                .map(|j| row(j, j.true_cost.delta_max()).with_cost(j.true_cost.clone()))
+                .collect(),
+            Algorithm::Eql => active
+                .iter()
+                .map(|j| row(j, j.true_cost.delta_max()).with_cores(j.cores))
+                .collect(),
+        }
+    }
+
     /// Runs the configured algorithm for a cumulative reduction target and
     /// applies the resulting (absolute) reductions. Returns delivered watts
     /// and whether the clearing was degraded (produced by a fallback level
     /// of the resilient market's chain rather than a clean clearing).
+    ///
+    /// Every algorithm clears through the unified [`Mechanism`] interface
+    /// over a shared [`MarketInstance`]; this function only decides which
+    /// jobs form the instance and how the clearing maps back onto them.
     fn apply_algorithm(
         &self,
         active: &mut [ActiveJob],
@@ -666,168 +713,58 @@ impl<'a> Simulation<'a> {
         if active.is_empty() || target_w <= 0.0 {
             return (0.0, false);
         }
+        if self.config.algorithm == Algorithm::MprInt {
+            if let Some(plan) = self.config.fault_plan.filter(FaultPlan::is_active) {
+                return self.apply_resilient_int(active, target_w, acc, plan);
+            }
+        }
+        let instance = self.build_instance(active);
+        let mut mechanism = crate::mechanism::for_algorithm(&self.config);
+        let clearing = match mechanism.clear(&instance, Watts::new(target_w)) {
+            Ok(clearing) => clearing,
+            // Degenerate instance (no participating job could form a row)
+            // or a solver failure: nothing clears, reductions stand.
+            Err(_) => return (0.0, false),
+        };
         match self.config.algorithm {
             Algorithm::MprStat => {
-                let participants: Vec<Participant> = active
-                    .iter()
-                    .filter(|j| j.participates)
-                    .filter_map(|j| {
-                        let supply = j.static_supply?;
-                        Some(Participant::new(
-                            j.idx as u64,
-                            supply,
-                            Watts::new(j.profile.unit_dynamic_power_w()),
-                        ))
-                    })
-                    .collect();
-                let market = StaticMarket::new(participants);
-                let clearing = market.clear_best_effort(Watts::new(target_w));
-                let price = clearing.price().get();
-                let by_id: BTreeMap<u64, f64> = clearing
-                    .allocations()
-                    .iter()
-                    .map(|a| (a.id, a.reduction))
-                    .collect();
-                let mut delivered = 0.0;
-                for j in active.iter_mut() {
-                    let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
-                    j.reduction = delta;
-                    j.price = price;
-                    delivered += delta * j.profile.unit_dynamic_power_w();
-                }
-                (delivered, false)
+                // One uniform clearing price; every job sees it,
+                // non-members shed nothing.
+                (apply_uniform(active, &instance, &clearing, true), false)
             }
             Algorithm::MprInt => {
-                if let Some(plan) = self.config.fault_plan.filter(FaultPlan::is_active) {
-                    return self.apply_resilient_int(active, target_w, acc, plan);
-                }
-                let agents: Vec<Box<dyn BiddingAgent>> = active
-                    .iter()
-                    .filter(|j| j.participates)
-                    .map(|j| {
-                        Box::new(NetGainAgent::new(
-                            j.idx as u64,
-                            j.perceived.clone(),
-                            Watts::new(j.profile.unit_dynamic_power_w()),
-                        )) as Box<dyn BiddingAgent>
-                    })
-                    .collect();
-                let mut market = InteractiveMarket::new(
-                    agents,
-                    InteractiveConfig {
-                        max_iterations: self.config.int_max_iterations,
-                        ..InteractiveConfig::default()
-                    },
-                );
-                match market.clear(Watts::new(target_w)) {
-                    Ok(InteractiveOutcome { clearing, .. }) => {
-                        acc.int_iterations += clearing.iterations();
-                        let price = clearing.price().get();
-                        let by_id: BTreeMap<u64, f64> = clearing
-                            .allocations()
-                            .iter()
-                            .map(|a| (a.id, a.reduction))
-                            .collect();
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
-                            j.reduction = delta;
-                            j.price = price;
-                            delivered += delta * j.profile.unit_dynamic_power_w();
-                        }
-                        (delivered, false)
-                    }
-                    Err(MarketError::Infeasible { .. }) => {
-                        // Every participant caps at Δ; pay its break-even price.
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            if j.participates {
-                                let delta = j.perceived.delta_max();
-                                j.reduction = delta;
-                                j.price = j.perceived.unit_cost(delta);
-                                delivered += delta * j.profile.unit_dynamic_power_w();
-                            }
-                        }
-                        (delivered, false)
-                    }
-                    Err(_) => (0.0, false),
+                acc.int_iterations += clearing.iterations();
+                if clearing.diagnostics().capped_at_delta_max {
+                    // Infeasible target: members cap at Δ and are paid
+                    // their break-even unit cost; non-members keep their
+                    // in-force reductions.
+                    (apply_member_rows(active, &instance, &clearing), false)
+                } else {
+                    (apply_uniform(active, &instance, &clearing, true), false)
                 }
             }
-            Algorithm::Opt => {
-                let opt_jobs: Vec<opt::OptJob<'_>> = active
-                    .iter()
-                    .map(|j| {
-                        opt::OptJob::new(
-                            j.idx as u64,
-                            &j.true_cost,
-                            Watts::new(j.profile.unit_dynamic_power_w()),
-                        )
-                    })
-                    .collect();
-                match opt::solve(&opt_jobs, Watts::new(target_w), opt::OptMethod::Auto) {
-                    Ok(sol) => {
-                        let by_id: BTreeMap<u64, f64> = sol.reductions.into_iter().collect();
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
-                            j.reduction = delta;
-                            delivered += delta * j.profile.unit_dynamic_power_w();
-                        }
-                        (delivered, false)
-                    }
-                    Err(_) => {
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            let delta = j.true_cost.delta_max();
-                            j.reduction = delta;
-                            delivered += delta * j.profile.unit_dynamic_power_w();
-                        }
-                        (delivered, false)
-                    }
-                }
-            }
+            // VCG pays per-job pivot prices, never one uniform price.
+            Algorithm::Vcg => (apply_member_rows(active, &instance, &clearing), false),
+            // OPT is the offline benchmark: reductions only, no market.
+            Algorithm::Opt => (apply_uniform(active, &instance, &clearing, false), false),
             Algorithm::Eql => {
-                let eql_jobs: Vec<eql::EqlJob> = active
-                    .iter()
-                    .map(|j| eql::EqlJob {
-                        id: j.idx as u64,
-                        cores: j.cores,
-                        delta_max: j.true_cost.delta_max(),
-                        watts_per_unit: j.profile.unit_dynamic_power_w(),
-                    })
-                    .collect();
-                match eql::reduce(&eql_jobs, Watts::new(target_w)) {
-                    Ok(outcome) => {
-                        if !outcome.is_feasible() {
-                            acc.unmet_emergencies += 1;
-                        }
-                        let by_id: BTreeMap<u64, f64> = outcome.reductions.into_iter().collect();
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
-                            j.reduction = delta;
-                            delivered += delta * j.profile.unit_dynamic_power_w();
-                        }
-                        (delivered, false)
-                    }
-                    Err(_) => {
-                        // Even stopping every core is not enough: do that.
-                        let mut delivered = 0.0;
-                        for j in active.iter_mut() {
-                            j.reduction = j.cores;
-                            delivered += j.cores * j.profile.unit_dynamic_power_w();
-                        }
-                        (delivered, false)
-                    }
+                let d = clearing.diagnostics();
+                // Per-job Δ violations mean the uniform slowdown cannot
+                // meet the target; the stop-every-core fallback
+                // (`capped_at_delta_max`) is already counted by the
+                // shortfall check in `step_slot`.
+                if !d.accepted && !d.capped_at_delta_max {
+                    acc.unmet_emergencies += 1;
                 }
+                (apply_uniform(active, &instance, &clearing, false), false)
             }
         }
     }
 
     /// MPR-INT under fault injection: wraps each participating agent in its
-    /// planned faulty adapter and clears through the resilient market's
-    /// MPR-INT → MPR-STAT → EQL degradation chain, recording the
-    /// degradation diagnostics into the accounting.
+    /// planned faulty adapter and clears through the
+    /// MPR-INT → MPR-STAT → EQL degradation [`FallbackChain`](mpr_core::FallbackChain),
+    /// recording the degradation diagnostics into the accounting.
     fn apply_resilient_int(
         &self,
         active: &mut [ActiveJob],
@@ -842,11 +779,8 @@ impl<'a> Simulation<'a> {
         let mut rng = ChaCha8Rng::seed_from_u64(
             cfg.seed ^ (acc.fault_events as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
         );
-        let mut market = ResilientInteractiveMarket::new(ResilientConfig {
-            interactive: InteractiveConfig {
-                max_iterations: cfg.int_max_iterations,
-                ..InteractiveConfig::default()
-            },
+        let mut level0 = ResilientInteractiveMechanism::new(ResilientConfig {
+            interactive: crate::mechanism::interactive_config(cfg),
             max_retries: plan.max_retries,
             watchdog_window: plan.watchdog_window,
             divergence_min_change: plan.divergence_min_change,
@@ -878,40 +812,34 @@ impl<'a> Simulation<'a> {
             } else {
                 Box::new(inner)
             };
-            market.register(agent, j.static_supply.map(|s| s.bid()));
+            level0.register(agent, j.static_supply.map(|s| s.bid()));
         }
-        match market.clear(Watts::new(target_w)) {
-            Ok(outcome) => {
-                acc.int_iterations += outcome.clearing.iterations();
-                acc.degradation.rounds_retried += outcome.retries;
-                acc.degradation.participants_quarantined += outcome.quarantined.len();
-                acc.degradation.residual_overload_watts += outcome.residual_watts;
-                if outcome.diverged {
+        // An overload with zero participants clears nothing.
+        if level0.is_empty() {
+            return (0.0, false);
+        }
+        let instance = level0.instance();
+        let mut chain = crate::mechanism::degradation_chain(level0);
+        match chain.clear(&instance, Watts::new(target_w)) {
+            Ok(clearing) => {
+                let d = clearing.diagnostics();
+                acc.int_iterations += d.iterations;
+                acc.degradation.rounds_retried += d.retries;
+                acc.degradation.participants_quarantined += d.quarantined.len();
+                acc.degradation.residual_overload_watts += clearing.residual().get();
+                if d.diverged {
                     acc.degradation.diverged_clearings += 1;
                 }
-                match outcome.chain_level {
+                let level = d.chain_level.unwrap_or(ChainLevel::Interactive);
+                match level {
                     ChainLevel::Interactive => {}
                     ChainLevel::StaticFallback => acc.degradation.static_fallbacks += 1,
                     ChainLevel::EqlCapping => acc.degradation.eql_cappings += 1,
                 }
-                acc.degradation.observe_chain_level(outcome.chain_level);
-                let price = outcome.clearing.price().get();
-                let by_id: BTreeMap<u64, f64> = outcome
-                    .clearing
-                    .allocations()
-                    .iter()
-                    .map(|a| (a.id, a.reduction))
-                    .collect();
-                let mut delivered = 0.0;
-                for j in active.iter_mut() {
-                    let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
-                    j.reduction = delta;
-                    j.price = price;
-                    delivered += delta * j.profile.unit_dynamic_power_w();
-                }
-                (delivered, outcome.is_degraded())
+                acc.degradation.observe_chain_level(level);
+                let delivered = apply_uniform(active, &instance, &clearing, true);
+                (delivered, level > ChainLevel::Interactive)
             }
-            // Only possible failure: an overload with zero participants.
             Err(_) => (0.0, false),
         }
     }
@@ -975,6 +903,62 @@ impl<'a> Simulation<'a> {
             telemetry: telemetry.map(|tel| tel.estimator.health),
         }
     }
+}
+
+/// Applies a clearing uniformly: every active job takes its row's reduction
+/// (zero when it has no row) and, when `set_price` is on, the one headline
+/// clearing price — matching the uniform-price markets, where non-members
+/// shed nothing but still observe the price.
+fn apply_uniform(
+    active: &mut [ActiveJob],
+    instance: &MarketInstance,
+    clearing: &MechanismClearing,
+    set_price: bool,
+) -> f64 {
+    let by_id: BTreeMap<u64, f64> = instance
+        .ids()
+        .iter()
+        .zip(clearing.reductions())
+        .map(|(id, r)| (*id, *r))
+        .collect();
+    let price = clearing.price().get();
+    let mut delivered = 0.0;
+    for j in active.iter_mut() {
+        let delta = by_id.get(&(j.idx as u64)).copied().unwrap_or(0.0);
+        j.reduction = delta;
+        if set_price {
+            j.price = price;
+        }
+        delivered += delta * j.profile.unit_dynamic_power_w();
+    }
+    delivered
+}
+
+/// Applies a clearing's per-row reductions and per-row prices to the member
+/// jobs only — jobs outside the instance keep their in-force reductions.
+/// Used by discriminatory-price clearings (VCG payments, the capped
+/// break-even fallback).
+fn apply_member_rows(
+    active: &mut [ActiveJob],
+    instance: &MarketInstance,
+    clearing: &MechanismClearing,
+) -> f64 {
+    let by_id: BTreeMap<u64, (f64, f64)> = instance
+        .ids()
+        .iter()
+        .zip(clearing.reductions())
+        .zip(clearing.participant_prices())
+        .map(|((id, r), q)| (*id, (*r, *q)))
+        .collect();
+    let mut delivered = 0.0;
+    for j in active.iter_mut() {
+        if let Some(&(delta, price)) = by_id.get(&(j.idx as u64)) {
+            j.reduction = delta;
+            j.price = price;
+            delivered += delta * j.profile.unit_dynamic_power_w();
+        }
+    }
+    delivered
 }
 
 #[cfg(test)]

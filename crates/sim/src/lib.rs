@@ -36,6 +36,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod mechanism;
 pub mod partition;
 pub mod report;
 

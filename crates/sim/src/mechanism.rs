@@ -1,0 +1,99 @@
+//! Mechanism selection: maps the configured [`Algorithm`] onto the unified
+//! [`Mechanism`] interface from `mpr_core::mechanism`.
+//!
+//! The engine never talks to a solver directly — every clearing goes
+//! through `Mechanism::clear` over a shared
+//! [`MarketInstance`](mpr_core::MarketInstance), and the choice of solver
+//! is made here, in one place. The simulator always uses the best-effort
+//! variants: an infeasible reduction target must degrade (cap at `Δ_m`),
+//! never abort the run.
+
+use mpr_core::{
+    ChainLevel, EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveConfig,
+    InteractiveMechanism, MclrMechanism, Mechanism, OptMechanism, OptMethod,
+    ResilientInteractiveMechanism, VcgMechanism,
+};
+
+use crate::config::{Algorithm, FaultPlan, SimConfig};
+
+/// The engine's interactive-market tuning for a configuration.
+pub(crate) fn interactive_config(cfg: &SimConfig) -> InteractiveConfig {
+    InteractiveConfig {
+        max_iterations: cfg.int_max_iterations,
+        ..InteractiveConfig::default()
+    }
+}
+
+/// The best-effort mechanism implementing the configured algorithm.
+///
+/// MPR-INT under an active fault plan is not built here: the resilient
+/// degradation chain needs live agents, which only the engine can provide
+/// per overload event (see [`degradation_chain`]).
+#[must_use]
+pub fn for_algorithm(cfg: &SimConfig) -> Box<dyn Mechanism> {
+    match cfg.algorithm {
+        Algorithm::Opt => Box::new(OptMechanism::best_effort(OptMethod::Auto)),
+        Algorithm::Eql => Box::new(EqlMechanism),
+        Algorithm::MprStat => Box::new(MclrMechanism::best_effort()),
+        Algorithm::MprInt => Box::new(InteractiveMechanism::best_effort(interactive_config(cfg))),
+        Algorithm::Vcg => Box::new(VcgMechanism::best_effort(OptMethod::Auto)),
+    }
+}
+
+/// The MPR-INT → MPR-STAT → EQL-capping degradation chain over a level-0
+/// resilient exchange that already holds the (possibly faulty) agents.
+pub(crate) fn degradation_chain(level0: ResilientInteractiveMechanism) -> FallbackChain<'static> {
+    FallbackChain::new()
+        .stage(ChainLevel::Interactive, level0)
+        .stage(ChainLevel::StaticFallback, MclrMechanism::best_effort())
+        .stage(ChainLevel::EqlCapping, EqlCappingMechanism)
+}
+
+/// Human-readable descriptor of the clearing mechanism a configuration
+/// runs. Folded into the checkpoint fingerprint, so a checkpointed run can
+/// never be resumed under a different mechanism or chain shape.
+#[must_use]
+pub fn descriptor(cfg: &SimConfig) -> String {
+    if cfg.algorithm == Algorithm::MprInt && cfg.fault_plan.filter(FaultPlan::is_active).is_some() {
+        // Mirror the stages of `degradation_chain` by mechanism name.
+        "chain(MPR-INT-RESILIENT,MPR-STAT,EQL-CAP)".to_owned()
+    } else {
+        for_algorithm(cfg).name().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_maps_to_a_mechanism() {
+        for (alg, name) in [
+            (Algorithm::Opt, "OPT"),
+            (Algorithm::Eql, "EQL"),
+            (Algorithm::MprStat, "MPR-STAT"),
+            (Algorithm::MprInt, "MPR-INT"),
+            (Algorithm::Vcg, "VCG"),
+        ] {
+            let cfg = SimConfig::new(alg, 15.0);
+            assert_eq!(for_algorithm(&cfg).name(), name);
+            assert_eq!(descriptor(&cfg), name);
+        }
+    }
+
+    #[test]
+    fn active_fault_plan_switches_the_descriptor_to_the_chain() {
+        let plan = FaultPlan::unresponsive_and_crash(0.3, 0.1);
+        let cfg = SimConfig::new(Algorithm::MprInt, 15.0).with_faults(plan);
+        assert_eq!(
+            descriptor(&cfg),
+            "chain(MPR-INT-RESILIENT,MPR-STAT,EQL-CAP)"
+        );
+        // An all-zero plan is equivalent to no plan.
+        let idle = SimConfig::new(Algorithm::MprInt, 15.0).with_faults(FaultPlan::default());
+        assert_eq!(descriptor(&idle), "MPR-INT");
+        // Fault plans only apply to MPR-INT.
+        let stat = SimConfig::new(Algorithm::MprStat, 15.0).with_faults(plan);
+        assert_eq!(descriptor(&stat), "MPR-STAT");
+    }
+}
