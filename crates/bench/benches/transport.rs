@@ -1,0 +1,83 @@
+//! Transport-layer overhead: the same MPR-INT clearing run directly
+//! (synchronous in-process exchange) and through the message-passing
+//! runtime over the in-process [`PerfectTransport`].
+//!
+//! The acceptance bar (ISSUE 5): the perfect-transport round trip costs at
+//! most 5% over the direct clearing at N = 10k. Recorded results live in
+//! `BENCHMARKS.md` at the repo root.
+//!
+//! MPR-INT runs with `max_iterations = 8` for the same reason as
+//! `mechanism_scale`: a fixed round budget benchmarks per-round work, not
+//! convergence luck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_bench::{attainable_watts, make_instance, make_jobs, BenchJob};
+use mpr_core::{
+    InteractiveConfig, InteractiveMechanism, Mechanism, NetGainAgent, PerfectTransport,
+    ResilientConfig, TransportConfig, TransportedInteractiveMechanism, Watts,
+};
+
+const SIZES: &[usize] = &[1_000, 10_000];
+
+fn int_config() -> InteractiveConfig {
+    InteractiveConfig {
+        max_iterations: 8,
+        ..InteractiveConfig::default()
+    }
+}
+
+/// The transported exchange over a perfect channel, one agent per job.
+fn transported(jobs: &[BenchJob]) -> TransportedInteractiveMechanism<PerfectTransport> {
+    let mut mech = TransportedInteractiveMechanism::new(
+        ResilientConfig {
+            interactive: int_config(),
+            ..ResilientConfig::default()
+        },
+        TransportConfig::default(),
+        PerfectTransport::new(),
+    );
+    for (i, j) in jobs.iter().enumerate() {
+        mech.register(
+            Box::new(NetGainAgent::new(
+                i as u64,
+                j.cost.clone(),
+                Watts::new(j.profile.unit_dynamic_power_w()),
+            )),
+            Some(j.supply.bid()),
+        );
+    }
+    mech
+}
+
+fn bench_transport_overhead(c: &mut Criterion) {
+    for &n in SIZES {
+        let jobs = make_jobs(n);
+        let instance = make_instance(&jobs);
+        let target = Watts::new(0.3 * attainable_watts(&jobs));
+
+        let mut group = c.benchmark_group("transport_overhead");
+        group.sample_size(10);
+
+        let mut direct = InteractiveMechanism::best_effort(int_config());
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| {
+                direct
+                    .clear(std::hint::black_box(&instance), target)
+                    .expect("best-effort clearing")
+            });
+        });
+
+        let mut net = transported(&jobs);
+        let net_instance = net.instance();
+        group.bench_with_input(BenchmarkId::new("perfect-transport", n), &n, |b, _| {
+            b.iter(|| {
+                net.clear(std::hint::black_box(&net_instance), target)
+                    .expect("best-effort clearing")
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_transport_overhead);
+criterion_main!(benches);

@@ -55,6 +55,18 @@ pub struct SimulateArgs {
     pub fault_stale: f64,
     /// Fraction of bidders that bid adversarially during MPR-INT clearings.
     pub fault_byzantine: f64,
+    /// Probability a bid-transport message is dropped (MPR-INT only).
+    pub net_drop: f64,
+    /// Probability a delivered transport message is duplicated.
+    pub net_duplicate: f64,
+    /// Maximum in-flight message latency, virtual ticks.
+    pub net_delay: u64,
+    /// Per-announcement probability an agent is partitioned away.
+    pub net_partition: f64,
+    /// Per-round bid-collection deadline, virtual ticks (0 keeps default).
+    pub net_deadline: u64,
+    /// Per-agent per-round announcement attempts (0 keeps default).
+    pub net_retries: usize,
     /// Gaussian sensor noise as a fraction of the true reading (σ/P).
     pub sensor_noise: f64,
     /// Probability that a sensor poll returns no reading.
@@ -135,6 +147,9 @@ USAGE:
                   [--oversub PCT] [--days N] [--seed N] [--participation F] [--csv]
                   [--fault-unresponsive F] [--fault-crash F]
                   [--fault-stale F] [--fault-byzantine F]   (MPR-INT fault injection)
+                  [--net-drop F] [--net-duplicate F] [--net-delay TICKS]
+                  [--net-partition F] [--net-deadline TICKS]
+                  [--net-retries N]                         (MPR-INT lossy bid transport)
                   [--sensor-noise F] [--sensor-dropout F]
                   [--sensor-stale POLLS]                    (telemetry fault injection)
                   [--checkpoint-every SLOTS --checkpoint-path FILE]
@@ -233,6 +248,12 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         fault_crash: 0.0,
         fault_stale: 0.0,
         fault_byzantine: 0.0,
+        net_drop: 0.0,
+        net_duplicate: 0.0,
+        net_delay: 0,
+        net_partition: 0.0,
+        net_deadline: 0,
+        net_retries: 0,
         sensor_noise: 0.0,
         sensor_dropout: 0.0,
         sensor_stale: 0,
@@ -266,6 +287,16 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
             "--fault-byzantine" => {
                 out.fault_byzantine = parse_fraction(flag, take_value(flag, &mut it)?)?;
             }
+            "--net-drop" => out.net_drop = parse_fraction(flag, take_value(flag, &mut it)?)?,
+            "--net-duplicate" => {
+                out.net_duplicate = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--net-delay" => out.net_delay = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--net-partition" => {
+                out.net_partition = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--net-deadline" => out.net_deadline = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--net-retries" => out.net_retries = parse_num(flag, take_value(flag, &mut it)?)?,
             "--sensor-noise" => {
                 out.sensor_noise = parse_fraction(flag, take_value(flag, &mut it)?)?;
             }
@@ -428,6 +459,33 @@ mod tests {
         assert_eq!(a.fault_crash, 0.1);
         assert_eq!(a.fault_stale, 0.05);
         assert_eq!(a.fault_byzantine, 0.02);
+    }
+
+    #[test]
+    fn simulate_net_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --alg mpr-int --net-drop 0.3 --net-duplicate 0.1 --net-delay 4 \
+             --net-partition 0.05 --net-deadline 32 --net-retries 5",
+        ))
+        .unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.net_drop, 0.3);
+        assert_eq!(a.net_duplicate, 0.1);
+        assert_eq!(a.net_delay, 4);
+        assert_eq!(a.net_partition, 0.05);
+        assert_eq!(a.net_deadline, 32);
+        assert_eq!(a.net_retries, 5);
+        // Defaults leave the plan idle.
+        let Command::Simulate(b) = parse(&argv("simulate")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(b.net_drop, 0.0);
+        assert_eq!(b.net_delay, 0);
+        // Probabilities are fractions; ticks are integers.
+        assert!(parse(&argv("simulate --net-drop 1.5")).is_err());
+        assert!(parse(&argv("simulate --net-partition -0.1")).is_err());
+        assert!(parse(&argv("simulate --net-delay soon")).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use mpr_core::{
 };
 use mpr_power::telemetry::SensorFaultConfig;
 use mpr_proto::{Experiment, ExperimentConfig};
-use mpr_sim::{CheckpointPlan, FaultPlan, SimConfig, Simulation, TelemetryConfig};
+use mpr_sim::{CheckpointPlan, FaultPlan, NetPlan, SimConfig, Simulation, TelemetryConfig};
 use mpr_workload::TraceGenerator;
 
 use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
@@ -42,6 +42,24 @@ pub fn simulate(
         .with_seed(args.seed);
     if plan.is_active() {
         config = config.with_faults(plan);
+    }
+    let mut net = NetPlan {
+        drop_prob: args.net_drop,
+        duplicate_prob: args.net_duplicate,
+        partition_prob: args.net_partition,
+        ..NetPlan::default()
+    };
+    if args.net_delay > 0 {
+        net.max_delay_ticks = args.net_delay.max(net.min_delay_ticks);
+    }
+    if args.net_deadline > 0 {
+        net.deadline_ticks = args.net_deadline;
+    }
+    if args.net_retries > 0 {
+        net.max_attempts = args.net_retries;
+    }
+    if net.is_active() {
+        config = config.with_net(net);
     }
     let sensor = SensorFaultConfig {
         noise_sigma_frac: args.sensor_noise,
@@ -79,11 +97,12 @@ pub fn simulate(
             "trace,algorithm,oversub_pct,days,jobs,overload_pct,overload_events,\
              reduction_{ch},cost_{ch},reward_{ch},avg_runtime_increase_pct,\
              jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_{w},\
-             sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls"
+             sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls,\
+             net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped"
         )?;
         writeln!(
             out,
-            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{}",
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{}",
             r.trace_name,
             r.algorithm,
             r.oversubscription_pct,
@@ -105,6 +124,10 @@ pub fn simulate(
             r.telemetry.map_or(0, |h| h.samples_missed),
             r.telemetry.map_or(0, |h| h.outliers_rejected),
             r.telemetry.map_or(0, |h| h.stale_polls),
+            r.transport.map_or(0, |t| t.rounds),
+            r.transport.map_or(0, |t| t.retransmits),
+            r.transport.map_or(0, |t| t.straggler_rounds),
+            r.transport.map_or(0, |t| t.messages_dropped),
         )?;
     } else {
         writeln!(
@@ -164,6 +187,21 @@ pub fn simulate(
                 "  telemetry:           {} samples delivered, {} missed, \
                  {} outliers rejected, {} stale polls",
                 h.samples_delivered, h.samples_missed, h.outliers_rejected, h.stale_polls,
+            )?;
+        }
+        if let Some(t) = r.transport {
+            writeln!(
+                out,
+                "  transport:           {} rounds over {} clearings, \
+                 {} retransmits, {} straggler rounds, {} quarantined by deadline, \
+                 {} messages dropped, {} duplicated",
+                t.rounds,
+                t.clearings,
+                t.retransmits,
+                t.straggler_rounds,
+                t.deadline_quarantines,
+                t.messages_dropped,
+                t.messages_duplicated,
             )?;
         }
     }
@@ -464,6 +502,38 @@ mod tests {
         simulate(&a, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("degradation:"));
+    }
+
+    #[test]
+    fn simulate_with_lossy_net_reports_transport() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --days 1 --oversub 15 --alg mpr-int --net-drop 0.3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("transport:"),
+            "missing transport line: {text}"
+        );
+
+        // The CSV carries the transport columns too.
+        let Command::Simulate(csv) = parse(&argv(
+            "simulate --days 1 --oversub 15 --alg mpr-int --net-drop 0.3 --csv",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&csv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.first().is_some_and(
+            |h| h.ends_with("net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped")
+        ));
     }
 
     #[test]

@@ -85,14 +85,18 @@ pub mod prelude {
         ResilientOutcome, StaleAgent, UnresponsiveAgent,
     };
     pub use crate::market::interactive::{
-        BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
+        is_oscillating, BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
     };
     pub use crate::market::static_market::StaticMarket;
+    pub use crate::market::transport::{
+        NetFaultConfig, PerfectTransport, RetryPolicy, SimNet, Transport, TransportConfig,
+        TransportDiagnostics, TransportError,
+    };
     pub use crate::market::{Allocation, Clearing};
     pub use crate::mechanism::{
         EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveMechanism, MarketInstance,
         MclrMechanism, Mechanism, MechanismError, OptMechanism, ParticipantSpec,
-        ResilientInteractiveMechanism, VcgMechanism,
+        ResilientInteractiveMechanism, TransportedInteractiveMechanism, VcgMechanism,
     };
     pub use crate::participant::Participant;
     pub use crate::supply::{LinearSupply, Supply, SupplyFunction};
@@ -105,14 +109,20 @@ pub use market::faults::{
     ByzantineAgent, ChainLevel, ConvergenceWatchdog, CrashAgent, FaultRng, Quarantine,
     ResilientConfig, ResilientInteractiveMarket, ResilientOutcome, StaleAgent, UnresponsiveAgent,
 };
-pub use market::interactive::{BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent};
+pub use market::interactive::{
+    is_oscillating, BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
+};
 pub use market::static_market::StaticMarket;
+pub use market::transport::{
+    NetFaultConfig, PerfectTransport, RetryPolicy, SimNet, Tick, Transport, TransportConfig,
+    TransportDiagnostics, TransportError, TransportStats,
+};
 pub use market::{Allocation, Clearing};
 pub use mclr::ClearingIndex;
 pub use mechanism::{
     EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveMechanism, MarketInstance,
     MclrMechanism, Mechanism, MechanismError, OptMechanism, ParticipantSpec,
-    ResilientInteractiveMechanism, VcgMechanism,
+    ResilientInteractiveMechanism, TransportedInteractiveMechanism, VcgMechanism,
 };
 pub use opt::OptMethod;
 pub use participant::Participant;

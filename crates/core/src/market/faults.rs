@@ -550,6 +550,11 @@ impl ResilientInteractiveMarket {
         let cleared = chain.clear(&instance, target).map_err(|e| match e {
             MechanismError::DegenerateInstance { .. } => MarketError::NoParticipants,
             MechanismError::Market(m) => m,
+            // The resilient chain never surfaces a bare oscillation error
+            // (level 0 degrades instead), but map it defensively.
+            MechanismError::NonConvergent { rounds, last_price } => {
+                MarketError::Diverged { rounds, last_price }
+            }
         })?;
 
         let diagnostics = cleared.diagnostics();

@@ -114,6 +114,11 @@ pub struct InteractiveConfig {
     /// smaller values stabilize bang-bang best responses under non-convex
     /// cost models.
     pub damping: f64,
+    /// Trailing window (in price deltas) inspected by [`is_oscillating`]
+    /// when the round cap fires: the cap-time price is only trusted if the
+    /// last `oscillation_window` deltas do **not** form a sign-alternating
+    /// above-tolerance oscillation.
+    pub oscillation_window: usize,
 }
 
 impl Default for InteractiveConfig {
@@ -123,8 +128,45 @@ impl Default for InteractiveConfig {
             tolerance: 1e-6,
             max_iterations: 100,
             damping: 1.0,
+            oscillation_window: 6,
         }
     }
+}
+
+/// Whether the tail of a price trace is *oscillating* rather than settling:
+/// over the last `window` consecutive deltas, every relative change exceeds
+/// `rel_tolerance` **and** the deltas strictly alternate in sign.
+///
+/// This distinguishes a limit cycle (e.g. bang-bang best responses flipping
+/// between two prices) from slow monotone convergence: a manager hitting its
+/// round cap may honestly take the last announced price in the second case,
+/// but in the first case that price is an arbitrary point of the cycle and
+/// the clearing should be rejected instead. Returns `false` whenever the
+/// trace is shorter than `window + 1` points or `window < 2`.
+#[must_use]
+pub fn is_oscillating(trace: &[f64], rel_tolerance: f64, window: usize) -> bool {
+    if window < 2 || trace.len() < window + 1 {
+        return false;
+    }
+    let tail = trace.split_at(trace.len() - (window + 1)).1;
+    let mut prev_delta: Option<f64> = None;
+    for pair in tail.windows(2) {
+        let (Some(a), Some(b)) = (pair.first(), pair.get(1)) else {
+            return false;
+        };
+        let delta = b - a;
+        let rel = delta.abs() / a.abs().max(1e-9);
+        if !rel.is_finite() || rel <= rel_tolerance.max(0.0) {
+            return false;
+        }
+        if let Some(p) = prev_delta {
+            if p * delta >= 0.0 {
+                return false;
+            }
+        }
+        prev_delta = Some(delta);
+    }
+    true
 }
 
 /// Outcome of an interactive clearing, bundling the final [`Clearing`] with
@@ -385,6 +427,27 @@ mod tests {
         assert!(!out.converged);
         assert_eq!(out.clearing.iterations(), 2);
         assert!(out.clearing.price() > Price::ZERO);
+    }
+
+    #[test]
+    fn oscillation_detector_flags_alternating_tails_only() {
+        // A settled 2-cycle: deltas alternate sign and stay large.
+        let cycle = [0.5, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0];
+        assert!(is_oscillating(&cycle, 1e-6, 6));
+        // Monotone stall: above tolerance but never alternating — the
+        // cap-time price is still trustworthy.
+        let stall = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+        assert!(!is_oscillating(&stall, 1e-6, 6));
+        // Damped ringing that fell below tolerance is convergence, not
+        // oscillation.
+        let ringing = [
+            2.0, 1.0, 1.5, 1.25, 1.250_01, 1.249_99, 1.250_001, 1.249_999,
+        ];
+        assert!(!is_oscillating(&ringing, 1e-3, 6));
+        // Too short a trace, or a degenerate window, never triggers.
+        assert!(!is_oscillating(&[1.0, 2.0, 1.0], 1e-6, 6));
+        assert!(!is_oscillating(&cycle, 1e-6, 1));
+        assert!(!is_oscillating(&[], 1e-6, 6));
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! * [`faults::ResilientInteractiveMarket`] — MPR-INT hardened against
 //!   unresponsive/crashing/stale/byzantine agents, with an explicit
 //!   MPR-INT → MPR-STAT → EQL degradation chain.
+//! * [`transport`] — the deadline-bounded asynchronous message layer
+//!   (PriceAnnounce/BidReply over [`transport::Transport`]) that MPR-INT
+//!   runs on in a distributed deployment.
 
 pub mod faults;
 pub mod interactive;
 pub mod static_market;
+pub mod transport;
 
 use crate::participant::JobId;
 use crate::units::{Price, Watts};

@@ -117,6 +117,9 @@ impl Mechanism for FallbackChain<'_> {
                             if d.price_trace.is_empty() {
                                 d.price_trace = p.price_trace;
                             }
+                            if d.transport.is_none() {
+                                d.transport = p.transport;
+                            }
                         }
                         d.chain_level = Some(*level);
                         d.levels_tried = idx + 1;

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use crate::cost::CostModel;
 use crate::error::MarketError;
 use crate::market::interactive::{
-    BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
+    is_oscillating, BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
 };
 use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
 use crate::units::{Price, Watts};
@@ -121,6 +121,23 @@ impl Mechanism for InteractiveMechanism {
         let mut market = InteractiveMarket::new(agents, self.config);
         match market.clear(target) {
             Ok(outcome) => {
+                // The round-cap safeguard takes the last announced price —
+                // sound when the trajectory stalled short of tolerance, but
+                // a bogus clearing when it is *cycling*. Surface the cycle
+                // as a typed error so a FallbackChain degrades to a static
+                // mechanism instead of shipping an arbitrary cycle point.
+                if !outcome.converged
+                    && is_oscillating(
+                        &outcome.price_trace,
+                        self.config.tolerance,
+                        self.config.oscillation_window,
+                    )
+                {
+                    return Err(MechanismError::NonConvergent {
+                        rounds: outcome.clearing.iterations(),
+                        last_price: outcome.clearing.price().get(),
+                    });
+                }
                 let by_id: BTreeMap<u64, f64> = outcome
                     .clearing
                     .allocations()
@@ -212,6 +229,56 @@ mod tests {
         // Paid at own unit cost, not at a market price.
         assert!(c.participant_prices()[0] > 0.0);
         assert_eq!(c.price(), Price::ZERO);
+    }
+
+    /// Piecewise-linear cost with a kink at `δ = 0.75`: the best response
+    /// is bang-bang (supply nothing below unit cost 1.6, supply 0.75 above
+    /// it), which drives the undamped exchange into a perfect
+    /// `1.0 ↔ 2.0` price 2-cycle for a 62.5 W target.
+    struct KinkedCost;
+
+    impl crate::cost::CostModel for KinkedCost {
+        fn cost(&self, delta: f64) -> f64 {
+            let d = delta.max(0.0);
+            if d <= 0.75 {
+                1.6 * d
+            } else {
+                1.2 + 10.0 * (d - 0.75)
+            }
+        }
+        fn delta_max(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn oscillating_exchange_is_a_typed_error_not_a_bogus_clearing() {
+        let inst: MarketInstance = std::iter::once(
+            ParticipantSpec::new(0, 1.0, Watts::new(125.0)).with_cost(Arc::new(KinkedCost)),
+        )
+        .collect();
+        let mut mech = InteractiveMechanism::best_effort(InteractiveConfig {
+            max_iterations: 12,
+            ..InteractiveConfig::default()
+        });
+        match mech.clear(&inst, Watts::new(62.5)) {
+            Err(MechanismError::NonConvergent { rounds, last_price }) => {
+                assert_eq!(rounds, 12);
+                assert!(last_price > 0.0);
+            }
+            other => panic!("expected NonConvergent, got {other:?}"),
+        }
+        // The same cap on a merely *slow* (monotone) trajectory still
+        // returns the last price: quadratic costs starved of rounds.
+        let slow = instance(&[1.0, 2.0, 4.0]);
+        let mut capped = InteractiveMechanism::best_effort(InteractiveConfig {
+            max_iterations: 2,
+            tolerance: 0.0,
+            ..InteractiveConfig::default()
+        });
+        let c = capped.clear(&slow, Watts::new(150.0)).unwrap();
+        assert!(!c.diagnostics().converged);
+        assert!(c.price() > Price::ZERO);
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! * [`Mechanism`] — `prepare`/`clear` over a `MarketInstance`, returning a
 //!   uniform [`Clearing`] (price, per-participant reductions and payments,
 //!   residual shortfall, diagnostics) or a typed [`MechanismError`].
-//! * The six implementations: [`MclrMechanism`] (MPR-STAT),
+//! * The implementations: [`MclrMechanism`] (MPR-STAT),
 //!   [`InteractiveMechanism`] (MPR-INT), [`OptMechanism`], [`EqlMechanism`],
-//!   [`VcgMechanism`], and [`FallbackChain`] — the generic degradation
-//!   chain [`ResilientInteractiveMechanism`] → MPR-STAT → [`EqlCappingMechanism`]
+//!   [`VcgMechanism`], [`TransportedInteractiveMechanism`] (MPR-INT over an
+//!   asynchronous deadline-bounded [`Transport`](crate::market::transport::Transport)),
+//!   and [`FallbackChain`] — the generic degradation chain
+//!   [`ResilientInteractiveMechanism`] → MPR-STAT → [`EqlCappingMechanism`]
 //!   that powers `crate::ResilientInteractiveMarket`.
 //!
 //! The simulator, CLI, benches, and experiment binaries drive clearing
@@ -28,6 +30,7 @@ mod interactive;
 mod optimal;
 mod resilient;
 mod stat;
+mod transported;
 
 pub use auction::VcgMechanism;
 pub use chain::FallbackChain;
@@ -37,9 +40,11 @@ pub use interactive::InteractiveMechanism;
 pub use optimal::OptMechanism;
 pub use resilient::ResilientInteractiveMechanism;
 pub use stat::MclrMechanism;
+pub use transported::TransportedInteractiveMechanism;
 
 use crate::error::MarketError;
 use crate::market::faults::{ChainLevel, Quarantine};
+use crate::market::transport::TransportDiagnostics;
 use crate::market::Allocation;
 use crate::participant::JobId;
 use crate::units::{CoreHours, Price, Watts};
@@ -55,6 +60,16 @@ pub enum MechanismError {
     DegenerateInstance {
         /// The degeneracy that was detected.
         reason: &'static str,
+    },
+    /// An iterative exchange hit its round cap with the price trajectory
+    /// *oscillating* (sign-alternating deltas above tolerance) instead of
+    /// settling. Taking the last announced price would ship a bogus
+    /// clearing; callers should degrade to a static mechanism instead.
+    NonConvergent {
+        /// Rounds executed before the cap.
+        rounds: usize,
+        /// The last announced price, for diagnostics only.
+        last_price: f64,
     },
     /// A market-level failure from the underlying solver (infeasible
     /// target, agent fault, numeric breakdown, ...).
@@ -73,6 +88,11 @@ impl std::fmt::Display for MechanismError {
             MechanismError::DegenerateInstance { reason } => {
                 write!(f, "degenerate market instance: {reason}")
             }
+            MechanismError::NonConvergent { rounds, last_price } => write!(
+                f,
+                "price oscillating after {rounds} rounds (last announced {last_price}); \
+                 refusing to clear at an arbitrary point of the oscillation"
+            ),
             MechanismError::Market(e) => write!(f, "{e}"),
         }
     }
@@ -82,7 +102,9 @@ impl std::error::Error for MechanismError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MechanismError::Market(e) => Some(e),
-            MechanismError::DegenerateInstance { .. } => None,
+            MechanismError::DegenerateInstance { .. } | MechanismError::NonConvergent { .. } => {
+                None
+            }
         }
     }
 }
@@ -124,6 +146,9 @@ pub struct Diagnostics {
     /// registered-fallback). A chain patches these into the instance before
     /// trying its next stage.
     pub observed_bids: Option<Vec<f64>>,
+    /// Message-layer counters when the clearing ran over an asynchronous
+    /// [`Transport`](crate::market::transport::Transport).
+    pub transport: Option<TransportDiagnostics>,
 }
 
 impl Default for Diagnostics {
@@ -141,6 +166,7 @@ impl Default for Diagnostics {
             chain_level: None,
             levels_tried: 1,
             observed_bids: None,
+            transport: None,
         }
     }
 }

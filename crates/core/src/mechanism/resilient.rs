@@ -21,14 +21,90 @@ use crate::participant::Participant;
 use crate::supply::SupplyFunction;
 use crate::units::{Price, Watts};
 
-struct AgentSlot {
-    agent: Box<dyn BiddingAgent>,
+/// Per-agent book-keeping shared by the resilient (synchronous) and the
+/// transported (message-passing) interactive mechanisms.
+pub(crate) struct AgentSlot {
+    pub(crate) agent: Box<dyn BiddingAgent>,
     /// Registered submission-time (cooperative) bid, used at fallback
     /// levels when no live bid was ever observed.
-    fallback_bid: Option<f64>,
+    pub(crate) fallback_bid: Option<f64>,
     /// Most recent valid bid observed from the live exchange.
-    last_bid: Option<f64>,
-    quarantined: bool,
+    pub(crate) last_bid: Option<f64>,
+    pub(crate) quarantined: bool,
+}
+
+impl AgentSlot {
+    /// Creates a fresh slot; non-finite or negative fallback bids are
+    /// discarded.
+    pub(crate) fn new(agent: Box<dyn BiddingAgent>, fallback_bid: Option<f64>) -> Self {
+        Self {
+            agent,
+            fallback_bid: fallback_bid.filter(|b| b.is_finite() && *b >= 0.0),
+            last_bid: None,
+            quarantined: false,
+        }
+    }
+}
+
+/// The [`MarketInstance`] matching `slots`, in registration order (bids are
+/// the registered fallback bids).
+pub(crate) fn slots_instance(slots: &[AgentSlot]) -> MarketInstance {
+    slots
+        .iter()
+        .map(|s| {
+            let spec = ParticipantSpec::new(
+                s.agent.job_id(),
+                s.agent.delta_max(),
+                Watts::new(s.agent.watts_per_unit()),
+            );
+            match s.fallback_bid {
+                Some(b) => spec.with_bid(b),
+                None => spec,
+            }
+        })
+        .collect()
+}
+
+/// Participants for the surviving (non-quarantined) slots with a live bid.
+pub(crate) fn slots_survivor_participants(slots: &[AgentSlot]) -> Vec<Participant> {
+    slots
+        .iter()
+        .filter(|s| !s.quarantined)
+        .filter_map(|s| {
+            let bid = s.last_bid?;
+            let supply = SupplyFunction::new(s.agent.delta_max(), bid).ok()?;
+            Some(Participant::new(
+                s.agent.job_id(),
+                supply,
+                Watts::new(s.agent.watts_per_unit()),
+            ))
+        })
+        .collect()
+}
+
+/// Every slot's effective bid — last live, else registered cooperative,
+/// else 0 (manager-side forced capping still supplies) — in slot order.
+pub(crate) fn slots_observed_bids(slots: &[AgentSlot]) -> Vec<f64> {
+    slots
+        .iter()
+        .map(|s| s.last_bid.or(s.fallback_bid).unwrap_or(0.0))
+        .collect()
+}
+
+/// Per-slot reductions at `price` from each survivor's live bid
+/// (quarantined and never-bid slots supply nothing).
+pub(crate) fn slots_survivor_reductions(slots: &[AgentSlot], price: Price) -> Vec<f64> {
+    slots
+        .iter()
+        .map(|s| {
+            if s.quarantined {
+                return 0.0;
+            }
+            s.last_bid
+                .and_then(|b| SupplyFunction::new(s.agent.delta_max(), b).ok())
+                .map_or(0.0, |supply| supply.supply(price))
+        })
+        .collect()
 }
 
 /// Fault-tolerant MPR-INT over registered bidding agents.
@@ -66,12 +142,7 @@ impl ResilientInteractiveMechanism {
     /// Registers an agent together with its submission-time cooperative
     /// bid (ignored unless finite and non-negative).
     pub fn register(&mut self, agent: Box<dyn BiddingAgent>, fallback_bid: Option<f64>) {
-        self.slots.push(AgentSlot {
-            agent,
-            fallback_bid: fallback_bid.filter(|b| b.is_finite() && *b >= 0.0),
-            last_bid: None,
-            quarantined: false,
-        });
+        self.slots.push(AgentSlot::new(agent, fallback_bid));
     }
 
     /// Number of registered agents.
@@ -96,63 +167,25 @@ impl ResilientInteractiveMechanism {
     /// registration order (bids are the registered fallback bids).
     #[must_use]
     pub fn instance(&self) -> MarketInstance {
-        self.slots
-            .iter()
-            .map(|s| {
-                let spec = ParticipantSpec::new(
-                    s.agent.job_id(),
-                    s.agent.delta_max(),
-                    Watts::new(s.agent.watts_per_unit()),
-                );
-                match s.fallback_bid {
-                    Some(b) => spec.with_bid(b),
-                    None => spec,
-                }
-            })
-            .collect()
+        slots_instance(&self.slots)
     }
 
     /// Participants for the surviving (non-quarantined) agents with a live
     /// bid.
     fn survivor_participants(&self) -> Vec<Participant> {
-        self.slots
-            .iter()
-            .filter(|s| !s.quarantined)
-            .filter_map(|s| {
-                let bid = s.last_bid?;
-                let supply = SupplyFunction::new(s.agent.delta_max(), bid).ok()?;
-                Some(Participant::new(
-                    s.agent.job_id(),
-                    supply,
-                    Watts::new(s.agent.watts_per_unit()),
-                ))
-            })
-            .collect()
+        slots_survivor_participants(&self.slots)
     }
 
     /// Every slot's effective bid — last live, else registered cooperative,
     /// else 0 (manager-side forced capping still supplies) — in slot order.
     fn observed_bids(&self) -> Vec<f64> {
-        self.slots
-            .iter()
-            .map(|s| s.last_bid.or(s.fallback_bid).unwrap_or(0.0))
-            .collect()
+        slots_observed_bids(&self.slots)
     }
 
     /// Per-slot reductions at `price` from each survivor's live bid
     /// (quarantined and never-bid slots supply nothing).
     fn survivor_reductions(&self, price: Price) -> Vec<f64> {
-        self.slots
-            .iter()
-            .map(|s| {
-                if s.quarantined {
-                    return 0.0;
-                }
-                s.last_bid
-                    .and_then(|b| SupplyFunction::new(s.agent.delta_max(), b).ok())
-                    .map_or(0.0, |supply| supply.supply(price))
-            })
-            .collect()
+        slots_survivor_reductions(&self.slots, price)
     }
 }
 

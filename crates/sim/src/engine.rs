@@ -20,7 +20,7 @@ use mpr_core::mechanism::Clearing as MechanismClearing;
 use mpr_core::{
     BiddingAgent, ByzantineAgent, ChainLevel, CostModel, CrashAgent, MarketInstance, Mechanism,
     NetGainAgent, ParticipantSpec, ResilientConfig, ResilientInteractiveMechanism, ScaledCost,
-    StaleAgent, SupplyFunction, UnresponsiveAgent, Watts,
+    SimNet, StaleAgent, SupplyFunction, TransportedInteractiveMechanism, UnresponsiveAgent, Watts,
 };
 use mpr_power::telemetry::{FaultySensor, PowerSensor, RobustEstimator};
 use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController, Oversubscription};
@@ -29,14 +29,18 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::checkpoint::{self, CheckpointError, CheckpointPlan, RunOutcome};
-use crate::config::{Algorithm, CostNoise, FaultPlan, SimConfig};
+use crate::config::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig};
 use crate::report::{
-    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport,
+    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, TransportTotals,
 };
 
 /// Stream separator for the sensor fault RNG, so telemetry faults never
 /// share draws with profile assignment or the job stream.
 const SENSOR_SEED_XOR: u64 = 0x7e1e_6e74_0bad_5eed;
+
+/// Stream separator for the virtual network's fault RNG, so channel faults
+/// never share draws with agent-fault assignment within an overload event.
+const NET_SEED_XOR: u64 = 0x6e65_745f_5eed_0bad;
 
 /// A job currently executing in the simulated system.
 pub(crate) struct ActiveJob {
@@ -103,6 +107,7 @@ pub(crate) struct Accounting {
     pub(crate) int_iterations: usize,
     pub(crate) degradation: DegradationStats,
     pub(crate) fault_events: usize,
+    pub(crate) transport: TransportTotals,
     pub(crate) stretch_sum_pct: f64,
     pub(crate) stretch_count: usize,
     pub(crate) per_profile: BTreeMap<String, ProfileStats>,
@@ -714,6 +719,11 @@ impl<'a> Simulation<'a> {
             return (0.0, false);
         }
         if self.config.algorithm == Algorithm::MprInt {
+            // A lossy network subsumes an agent-fault plan: the transported
+            // exchange composes both (faulty agents behind a faulty channel).
+            if let Some(plan) = self.config.net_plan.filter(NetPlan::is_active) {
+                return self.apply_transported_int(active, target_w, acc, plan);
+            }
             if let Some(plan) = self.config.fault_plan.filter(FaultPlan::is_active) {
                 return self.apply_resilient_int(active, target_w, acc, plan);
             }
@@ -791,27 +801,7 @@ impl<'a> Simulation<'a> {
                 j.perceived.clone(),
                 Watts::new(j.profile.unit_dynamic_power_w()),
             );
-            let u: f64 = rng.gen();
-            let unresp_end = plan.unresponsive_frac;
-            let crash_end = unresp_end + plan.crash_frac;
-            let stale_end = crash_end + plan.stale_frac;
-            let byz_end = stale_end + plan.byzantine_frac;
-            let agent: Box<dyn BiddingAgent> = if u < unresp_end {
-                Box::new(UnresponsiveAgent::new(inner, 0))
-            } else if u < crash_end {
-                Box::new(CrashAgent::new(inner, 1))
-            } else if u < stale_end {
-                Box::new(StaleAgent::new(inner, 1))
-            } else if u < byz_end {
-                Box::new(ByzantineAgent::new(
-                    inner,
-                    plan.byzantine_factor,
-                    true,
-                    rng.gen(),
-                ))
-            } else {
-                Box::new(inner)
-            };
+            let agent = planned_agent(&plan, inner, &mut rng);
             level0.register(agent, j.static_supply.map(|s| s.bid()));
         }
         // An overload with zero participants clears nothing.
@@ -829,6 +819,89 @@ impl<'a> Simulation<'a> {
                 acc.degradation.residual_overload_watts += clearing.residual().get();
                 if d.diverged {
                     acc.degradation.diverged_clearings += 1;
+                }
+                let level = d.chain_level.unwrap_or(ChainLevel::Interactive);
+                match level {
+                    ChainLevel::Interactive => {}
+                    ChainLevel::StaticFallback => acc.degradation.static_fallbacks += 1,
+                    ChainLevel::EqlCapping => acc.degradation.eql_cappings += 1,
+                }
+                acc.degradation.observe_chain_level(level);
+                let delivered = apply_uniform(active, &instance, &clearing, true);
+                (delivered, level > ChainLevel::Interactive)
+            }
+            Err(_) => (0.0, false),
+        }
+    }
+
+    /// MPR-INT over a lossy virtual network: every price/bid exchange of
+    /// the overload event runs through a seeded [`SimNet`] with the plan's
+    /// drop/delay/duplicate/partition faults, under the manager's
+    /// deadline/retry/straggler policy, and degrades through the
+    /// MPR-INT-NET → MPR-STAT → EQL chain when the exchange fails. When an
+    /// agent-fault plan is also active, agents are wrapped in their faulty
+    /// adapters too (faulty agents behind a faulty channel). Transport
+    /// diagnostics are absorbed into the accounting for the report.
+    fn apply_transported_int(
+        &self,
+        active: &mut [ActiveJob],
+        target_w: f64,
+        acc: &mut Accounting,
+        plan: NetPlan,
+    ) -> (f64, bool) {
+        let cfg = &self.config;
+        // Same per-event seeding discipline as `apply_resilient_int`: both
+        // the channel faults and any agent-fault assignment depend only on
+        // (seed, event ordinal), so a resumed run replays them bit-for-bit.
+        acc.fault_events += 1;
+        let event_seed = cfg.seed ^ (acc.fault_events as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = ChaCha8Rng::seed_from_u64(event_seed);
+        let fault_plan = cfg.fault_plan.filter(FaultPlan::is_active);
+        let resilient = ResilientConfig {
+            interactive: crate::mechanism::interactive_config(cfg),
+            ..fault_plan.map_or_else(ResilientConfig::default, |fp| ResilientConfig {
+                max_retries: fp.max_retries,
+                watchdog_window: fp.watchdog_window,
+                divergence_min_change: fp.divergence_min_change,
+                ..ResilientConfig::default()
+            })
+        };
+        let net = SimNet::new(plan.fault_config(), event_seed ^ NET_SEED_XOR);
+        let mut level0 =
+            TransportedInteractiveMechanism::new(resilient, plan.transport_config(event_seed), net);
+        for j in active.iter().filter(|j| j.participates) {
+            let inner = NetGainAgent::new(
+                j.idx as u64,
+                j.perceived.clone(),
+                Watts::new(j.profile.unit_dynamic_power_w()),
+            );
+            let agent = match fault_plan {
+                Some(fp) => planned_agent(&fp, inner, &mut rng),
+                None => Box::new(inner),
+            };
+            level0.register(agent, j.static_supply.map(|s| s.bid()));
+        }
+        // An overload with zero participants clears nothing.
+        if level0.is_empty() {
+            return (0.0, false);
+        }
+        let instance = level0.instance();
+        let mut chain = crate::mechanism::transported_chain(level0);
+        match chain.clear(&instance, Watts::new(target_w)) {
+            Ok(clearing) => {
+                let d = clearing.diagnostics();
+                acc.int_iterations += d.iterations;
+                acc.degradation.rounds_retried += d.retries;
+                acc.degradation.participants_quarantined += d.quarantined.len();
+                acc.degradation.residual_overload_watts += clearing.residual().get();
+                if d.diverged {
+                    acc.degradation.diverged_clearings += 1;
+                }
+                if let Some(t) = d.transport.as_ref() {
+                    acc.transport.absorb(t);
+                    // Each overload event builds a fresh channel, so its
+                    // lifetime counters are exactly this clearing's share.
+                    acc.transport.set_channel_totals(t.channel);
                 }
                 let level = d.chain_level.unwrap_or(ChainLevel::Interactive);
                 match level {
@@ -901,7 +974,44 @@ impl<'a> Simulation<'a> {
             timeline,
             events,
             telemetry: telemetry.map(|tel| tel.estimator.health),
+            transport: self
+                .config
+                .net_plan
+                .filter(NetPlan::is_active)
+                .map(|_| acc.transport),
         }
+    }
+}
+
+/// Wraps a market agent in the faulty adapter the fault plan draws for it
+/// (or returns it untouched). One uniform draw per agent partitions the
+/// fault mix exactly as the plan's fractions specify; byzantine agents
+/// consume one extra draw for their phase.
+fn planned_agent<A: BiddingAgent + 'static>(
+    plan: &FaultPlan,
+    inner: A,
+    rng: &mut ChaCha8Rng,
+) -> Box<dyn BiddingAgent> {
+    let u: f64 = rng.gen();
+    let unresp_end = plan.unresponsive_frac;
+    let crash_end = unresp_end + plan.crash_frac;
+    let stale_end = crash_end + plan.stale_frac;
+    let byz_end = stale_end + plan.byzantine_frac;
+    if u < unresp_end {
+        Box::new(UnresponsiveAgent::new(inner, 0))
+    } else if u < crash_end {
+        Box::new(CrashAgent::new(inner, 1))
+    } else if u < stale_end {
+        Box::new(StaleAgent::new(inner, 1))
+    } else if u < byz_end {
+        Box::new(ByzantineAgent::new(
+            inner,
+            plan.byzantine_factor,
+            true,
+            rng.gen(),
+        ))
+    } else {
+        Box::new(inner)
     }
 }
 
@@ -1314,6 +1424,82 @@ mod tests {
         )
         .run();
         assert_eq!(z, r);
+    }
+
+    #[test]
+    fn lossy_network_run_still_clears_and_records_transport_totals() {
+        let trace = small_trace();
+        let plan = crate::config::NetPlan::lossy(0.3);
+        let r = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0).with_net(plan),
+        )
+        .run();
+        assert!(r.overload_events > 0, "need overloads to exercise the net");
+        let t = r.transport.expect("active net plan must report totals");
+        assert!(t.clearings > 0, "every overload event clears over the net");
+        assert!(t.rounds > 0);
+        assert!(t.announces >= t.rounds, "each round announces to someone");
+        assert!(
+            t.replies_accepted > 0,
+            "agents must get through at 30% loss"
+        );
+        assert!(t.messages_dropped > 0, "30% drop must lose messages");
+        assert!(t.retransmits > 0, "losses must trigger retransmits");
+        assert!(t.virtual_ticks > 0);
+        // The resilient chain (ISSUE acceptance): under 30% drop the run
+        // still meets every power-reduction target or reports the exact
+        // residual — nothing goes silently unmet.
+        assert_eq!(r.unmet_emergencies, 0, "chain must meet every target");
+        assert_eq!(r.degradation.residual_overload_watts, 0.0);
+        assert_eq!(r.jobs_completed, r.jobs_total);
+    }
+
+    #[test]
+    fn lossy_network_run_is_deterministic() {
+        let trace = small_trace();
+        let cfg = SimConfig::new(Algorithm::MprInt, 15.0).with_net(crate::config::NetPlan {
+            drop_prob: 0.25,
+            duplicate_prob: 0.10,
+            partition_prob: 0.05,
+            ..crate::config::NetPlan::default()
+        });
+        let a = Simulation::new(&trace, cfg.clone()).run();
+        let b = Simulation::new(&trace, cfg).run();
+        assert_eq!(a, b, "seeded virtual network must reproduce bit-for-bit");
+    }
+
+    #[test]
+    fn idle_net_plan_is_equivalent_to_no_plan() {
+        let trace = small_trace();
+        let clean = Simulation::new(&trace, SimConfig::new(Algorithm::MprInt, 15.0)).run();
+        let idle = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0).with_net(crate::config::NetPlan::default()),
+        )
+        .run();
+        assert_eq!(idle, clean);
+        assert_eq!(idle.transport, None, "idle plan reports no totals");
+    }
+
+    #[test]
+    fn net_plan_composes_with_an_agent_fault_plan() {
+        let trace = small_trace();
+        let r = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprInt, 15.0)
+                .with_net(crate::config::NetPlan::lossy(0.2))
+                .with_faults(crate::config::FaultPlan::unresponsive_and_crash(0.3, 0.1)),
+        )
+        .run();
+        assert!(r.overload_events > 0);
+        assert!(r.transport.is_some(), "net totals present when composed");
+        assert!(
+            r.degradation.participants_quarantined > 0,
+            "unresponsive agents must still be quarantined behind the net"
+        );
+        assert_eq!(r.unmet_emergencies, 0);
+        assert_eq!(r.jobs_completed, r.jobs_total);
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod partition;
 pub mod report;
 
 pub use checkpoint::{CheckpointError, CheckpointPlan, RunOutcome};
-pub use config::{Algorithm, CostNoise, FaultPlan, SimConfig, TelemetryConfig};
+pub use config::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig, TelemetryConfig};
 pub use engine::Simulation;
 pub use partition::{PartitionPolicy, PartitionedReport, PartitionedSimulation};
 pub use report::{
     DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline,
+    TransportTotals,
 };

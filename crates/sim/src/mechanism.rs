@@ -11,10 +11,10 @@
 use mpr_core::{
     ChainLevel, EqlCappingMechanism, EqlMechanism, FallbackChain, InteractiveConfig,
     InteractiveMechanism, MclrMechanism, Mechanism, OptMechanism, OptMethod,
-    ResilientInteractiveMechanism, VcgMechanism,
+    ResilientInteractiveMechanism, SimNet, TransportedInteractiveMechanism, VcgMechanism,
 };
 
-use crate::config::{Algorithm, FaultPlan, SimConfig};
+use crate::config::{Algorithm, FaultPlan, NetPlan, SimConfig};
 
 /// The engine's interactive-market tuning for a configuration.
 pub(crate) fn interactive_config(cfg: &SimConfig) -> InteractiveConfig {
@@ -49,12 +49,31 @@ pub(crate) fn degradation_chain(level0: ResilientInteractiveMechanism) -> Fallba
         .stage(ChainLevel::EqlCapping, EqlCappingMechanism)
 }
 
+/// The MPR-INT-over-lossy-network → MPR-STAT → EQL-capping degradation
+/// chain over a level-0 transported exchange that already holds the agents
+/// and the seeded virtual network.
+pub(crate) fn transported_chain(
+    level0: TransportedInteractiveMechanism<SimNet>,
+) -> FallbackChain<'static> {
+    FallbackChain::new()
+        .stage(ChainLevel::Interactive, level0)
+        .stage(ChainLevel::StaticFallback, MclrMechanism::best_effort())
+        .stage(ChainLevel::EqlCapping, EqlCappingMechanism)
+}
+
 /// Human-readable descriptor of the clearing mechanism a configuration
 /// runs. Folded into the checkpoint fingerprint, so a checkpointed run can
 /// never be resumed under a different mechanism or chain shape.
 #[must_use]
 pub fn descriptor(cfg: &SimConfig) -> String {
-    if cfg.algorithm == Algorithm::MprInt && cfg.fault_plan.filter(FaultPlan::is_active).is_some() {
+    // A lossy network takes precedence: the engine composes an active fault
+    // plan *into* the transported chain, so the shape is MPR-INT-NET's.
+    if cfg.algorithm == Algorithm::MprInt && cfg.net_plan.filter(NetPlan::is_active).is_some() {
+        // Mirror the stages of `transported_chain` by mechanism name.
+        "chain(MPR-INT-NET,MPR-STAT,EQL-CAP)".to_owned()
+    } else if cfg.algorithm == Algorithm::MprInt
+        && cfg.fault_plan.filter(FaultPlan::is_active).is_some()
+    {
         // Mirror the stages of `degradation_chain` by mechanism name.
         "chain(MPR-INT-RESILIENT,MPR-STAT,EQL-CAP)".to_owned()
     } else {
@@ -94,6 +113,26 @@ mod tests {
         assert_eq!(descriptor(&idle), "MPR-INT");
         // Fault plans only apply to MPR-INT.
         let stat = SimConfig::new(Algorithm::MprStat, 15.0).with_faults(plan);
+        assert_eq!(descriptor(&stat), "MPR-STAT");
+    }
+
+    #[test]
+    fn active_net_plan_switches_the_descriptor_to_the_transported_chain() {
+        let net = crate::config::NetPlan::lossy(0.3);
+        let cfg = SimConfig::new(Algorithm::MprInt, 15.0).with_net(net);
+        assert_eq!(descriptor(&cfg), "chain(MPR-INT-NET,MPR-STAT,EQL-CAP)");
+        // The network takes precedence over (and composes) an agent-fault
+        // plan, so the descriptor is still the transported chain's.
+        let both = SimConfig::new(Algorithm::MprInt, 15.0)
+            .with_net(net)
+            .with_faults(FaultPlan::unresponsive_and_crash(0.3, 0.1));
+        assert_eq!(descriptor(&both), "chain(MPR-INT-NET,MPR-STAT,EQL-CAP)");
+        // An idle plan is equivalent to no plan; other algorithms never
+        // consult it.
+        let idle =
+            SimConfig::new(Algorithm::MprInt, 15.0).with_net(crate::config::NetPlan::default());
+        assert_eq!(descriptor(&idle), "MPR-INT");
+        let stat = SimConfig::new(Algorithm::MprStat, 15.0).with_net(net);
         assert_eq!(descriptor(&stat), "MPR-STAT");
     }
 }

@@ -53,6 +53,66 @@ impl DegradationStats {
     }
 }
 
+/// Message-layer accounting across all transported market clearings of a
+/// run (present only when `SimConfig::net_plan` is active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportTotals {
+    /// Market clearings that ran over the simulated network.
+    pub clearings: usize,
+    /// Price-announcement rounds executed.
+    pub rounds: usize,
+    /// First-attempt price announcements sent.
+    pub announces: usize,
+    /// Backoff-scheduled retransmissions to silent agents.
+    pub retransmits: usize,
+    /// Bid replies accepted (first valid reply per agent per round).
+    pub replies_accepted: usize,
+    /// Duplicate deliveries of an already-answered round, discarded.
+    pub duplicates_ignored: usize,
+    /// Replies for past rounds or unknown announcement ids, discarded.
+    pub late_replies_ignored: usize,
+    /// Non-finite bids received and discarded.
+    pub invalid_replies: usize,
+    /// Agent-rounds that missed the deadline (round cleared with the
+    /// agent's last-known bid).
+    pub straggler_rounds: usize,
+    /// Agents quarantined for missing `k` consecutive round deadlines.
+    pub deadline_quarantines: usize,
+    /// Virtual ticks the transported exchanges consumed in total.
+    pub virtual_ticks: u64,
+    /// Messages the channel itself dropped (loss + partitions).
+    pub messages_dropped: usize,
+    /// Extra deliveries the channel duplicated.
+    pub messages_duplicated: usize,
+}
+
+impl TransportTotals {
+    /// Folds one clearing's transport diagnostics into the run totals.
+    ///
+    /// Channel counters (`messages_*`) are cumulative over the transport's
+    /// life, so callers pass the *final* stats once via
+    /// [`TransportTotals::set_channel_totals`] instead.
+    pub fn absorb(&mut self, d: &mpr_core::TransportDiagnostics) {
+        self.clearings += 1;
+        self.rounds += d.rounds;
+        self.announces += d.announces;
+        self.retransmits += d.retransmits;
+        self.replies_accepted += d.replies_accepted;
+        self.duplicates_ignored += d.duplicates_ignored;
+        self.late_replies_ignored += d.late_replies_ignored;
+        self.invalid_replies += d.invalid_replies;
+        self.straggler_rounds += d.straggler_rounds;
+        self.deadline_quarantines += d.deadline_quarantines;
+        self.virtual_ticks += d.virtual_ticks;
+    }
+
+    /// Adds one transport's lifetime channel stats to the run totals.
+    pub fn set_channel_totals(&mut self, stats: mpr_core::TransportStats) {
+        self.messages_dropped += stats.dropped;
+        self.messages_duplicated += stats.duplicated;
+    }
+}
+
 /// Per-application-profile accounting (Figs. 9(c), 9(d), 15(c), 15(d)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileStats {
@@ -208,6 +268,10 @@ pub struct SimReport {
     /// Telemetry-pipeline health counters, present when the run measured
     /// power through a sensor/estimator pipeline (`SimConfig::telemetry`).
     pub telemetry: Option<TelemetryHealth>,
+
+    /// Message-layer totals, present when the run's market clearings went
+    /// over a simulated network (`SimConfig::net_plan`).
+    pub transport: Option<TransportTotals>,
 }
 
 impl SimReport {
@@ -308,6 +372,7 @@ mod tests {
             timeline: None,
             events: Vec::new(),
             telemetry: None,
+            transport: None,
         }
     }
 
@@ -392,6 +457,36 @@ mod tests {
         let mut r = report();
         r.int_iterations_total = 40;
         assert!((r.int_iterations_avg() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_totals_absorb_sums_counters() {
+        let mut t = TransportTotals::default();
+        let d = mpr_core::TransportDiagnostics {
+            rounds: 5,
+            announces: 15,
+            retransmits: 2,
+            replies_accepted: 13,
+            duplicates_ignored: 1,
+            straggler_rounds: 2,
+            virtual_ticks: 40,
+            ..mpr_core::TransportDiagnostics::default()
+        };
+        t.absorb(&d);
+        t.absorb(&d);
+        assert_eq!(t.clearings, 2);
+        assert_eq!(t.rounds, 10);
+        assert_eq!(t.announces, 30);
+        assert_eq!(t.retransmits, 4);
+        assert_eq!(t.virtual_ticks, 80);
+        t.set_channel_totals(mpr_core::TransportStats {
+            sent: 30,
+            delivered: 25,
+            dropped: 5,
+            duplicated: 1,
+        });
+        assert_eq!(t.messages_dropped, 5);
+        assert_eq!(t.messages_duplicated, 1);
     }
 
     #[test]
