@@ -1,0 +1,576 @@
+//! The safety-invariant oracle registry.
+//!
+//! Every campaign run's [`SimReport`] passes through every oracle; a
+//! violation message pinpoints the slot/field that broke the invariant.
+//! Oracles are deliberately *behavioral* — they read only the public
+//! report, never engine internals — so the same registry can judge any
+//! future evaluation substrate (DES core, federated markets) that
+//! produces a `SimReport`.
+//!
+//! The registry (names are stable, used in artifacts and CSV):
+//!
+//! * `power-cap` — the reactive loop never leaves an overload unattended:
+//!   every sufficiently long run of over-capacity slots overlaps an
+//!   emergency response (a Declare/Escalate event or an in-force
+//!   emergency). Bounded-window tolerance absorbs sensor-blind gaps.
+//! * `ladder` — degradation-ladder monotonicity: fallback counters are
+//!   consistent with the deepest-level watermark, and no degradation is
+//!   reported outside MPR-INT-with-faults, where the ladder exists.
+//! * `accounting` — conservation: per-profile reductions/costs sum to the
+//!   totals, every accounted quantity is finite and non-negative, rewards
+//!   only flow in market algorithms, and counters respect their bounds.
+//! * `prices` — every clearing price is finite and non-negative, and
+//!   non-market algorithms never post a price.
+//! * `quarantine` — transport quarantines imply observed deadline misses:
+//!   an agent can only be quarantined after straggling.
+//! * `no-panic` — synthesized by the campaign runner when a simulation
+//!   panics (the run is wrapped in `catch_unwind` as a backstop).
+
+use mpr_core::ChainLevel;
+use mpr_sim::{Algorithm, EmergencyEventKind, FaultPlan, NetPlan, SimReport};
+
+use crate::scenario::Scenario;
+
+/// A broken invariant: which oracle fired and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable oracle name (see the module docs).
+    pub oracle: String,
+    /// Human-readable evidence.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(oracle: &str, message: impl Into<String>) -> Self {
+        Self {
+            oracle: oracle.to_owned(),
+            message: message.into(),
+        }
+    }
+}
+
+/// One registered safety invariant.
+pub struct Oracle {
+    /// Stable name, used in artifacts, CSV and shrink targets.
+    pub name: &'static str,
+    /// One-line description of the invariant.
+    pub description: &'static str,
+    check: fn(&Scenario, &SimReport) -> Vec<Violation>,
+}
+
+impl Oracle {
+    /// Checks the invariant against one run.
+    #[must_use]
+    pub fn check(&self, scenario: &Scenario, report: &SimReport) -> Vec<Violation> {
+        (self.check)(scenario, report)
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle").field("name", &self.name).finish()
+    }
+}
+
+/// Base tolerance: consecutive over-capacity slots the cap oracle accepts
+/// without any emergency response on a *clean* sensor feed. A working FSM
+/// declares the same slot it sees the overload; a disabled or wedged FSM
+/// leaves entire overload episodes (hours of slots) unattended.
+pub const UNATTENDED_OVERLOAD_SLOTS: usize = 10;
+
+/// The cap-oracle bound for one scenario: the base tolerance widened by
+/// how long the scenario's sensor faults can plausibly blind the
+/// estimator.
+///
+/// * **Dropout** with probability `d` produces runs of missed polls whose
+///   longest expected streak over `n` slots is `ln n / ln(1/d)`
+///   (geometric-maximum asymptotics); doubled to cover the distribution's
+///   tail, since a false alarm here would flag a *working* control loop.
+/// * **Stuck** sensors freeze the reading for `stuck_polls`; consecutive
+///   episodes can chain, so the allowance is doubled too.
+/// * **Delay** shifts every reading by `delay_polls`.
+#[must_use]
+pub fn unattended_bound(scenario: &Scenario, total_slots: usize) -> usize {
+    let mut bound = UNATTENDED_OVERLOAD_SLOTS;
+    if let Some(s) = scenario.sensor {
+        if s.dropout_prob > 0.0 {
+            let d = s.dropout_prob.clamp(0.0, 0.95);
+            let n = total_slots.max(2) as f64;
+            let longest_expected = n.ln() / (1.0 / d).ln();
+            bound += (2.0 * longest_expected).ceil() as usize;
+        }
+        if s.stuck_prob > 0.0 {
+            bound += 2 * s.stuck_polls as usize;
+        }
+        if s.noise_sigma_frac > 0.0 {
+            // Measurement noise can keep the robust estimator's upper
+            // bound just under the declare threshold for a slot or two.
+            bound += 2;
+        }
+        bound += s.delay_polls;
+    }
+    if let Some(n) = scenario.net_plan {
+        if n.is_active() {
+            // Dropped or delayed announce/reply rounds postpone the moment
+            // a declared emergency's reduction actually lands: allow the
+            // worst transport delay plus a couple of retry rounds.
+            bound += n.max_delay_ticks as usize + 2;
+        }
+    }
+    bound
+}
+
+/// The full oracle registry, in reporting order.
+#[must_use]
+pub fn registry() -> &'static [Oracle] {
+    &[
+        Oracle {
+            name: "power-cap",
+            description: "overload is never left unattended beyond the emergency bound",
+            check: check_power_cap,
+        },
+        Oracle {
+            name: "ladder",
+            description: "degradation-ladder counters are monotone-consistent",
+            check: check_ladder,
+        },
+        Oracle {
+            name: "accounting",
+            description: "reduction/cost/reward accounting is conserved and finite",
+            check: check_accounting,
+        },
+        Oracle {
+            name: "prices",
+            description: "clearing prices are finite and non-negative",
+            check: check_prices,
+        },
+        Oracle {
+            name: "quarantine",
+            description: "transport quarantines imply observed deadline misses",
+            check: check_quarantine,
+        },
+    ]
+}
+
+/// Runs every registered oracle against one run.
+#[must_use]
+pub fn check_all(scenario: &Scenario, report: &SimReport) -> Vec<Violation> {
+    registry()
+        .iter()
+        .flat_map(|o| o.check(scenario, report))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// power-cap
+
+fn check_power_cap(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(tl) = r.timeline.as_ref() else {
+        return vec![Violation::new(
+            "power-cap",
+            "report carries no timeline; the cap oracle cannot judge the run",
+        )];
+    };
+    let slot_secs = tl.slot_secs.max(1e-9);
+    // Slots with an explicit emergency response this slot.
+    let mut response_slot = vec![false; tl.power_w.len()];
+    // Slots inside an in-force emergency (Declare .. Lift).
+    let mut in_force = vec![false; tl.power_w.len()];
+    let mut force_since: Option<usize> = None;
+    for ev in &r.events {
+        let s = (ev.t_secs / slot_secs).round() as usize;
+        if s >= response_slot.len() {
+            continue;
+        }
+        match ev.kind {
+            EmergencyEventKind::Declare | EmergencyEventKind::Escalate => {
+                response_slot[s] = true;
+                force_since.get_or_insert(s);
+            }
+            EmergencyEventKind::Lift => {
+                if let Some(start) = force_since.take() {
+                    for f in in_force.iter_mut().take(s + 1).skip(start) {
+                        *f = true;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(start) = force_since {
+        for f in in_force.iter_mut().skip(start) {
+            *f = true;
+        }
+    }
+
+    let mut run_start: Option<usize> = None;
+    let mut worst: Option<(usize, usize)> = None; // (start, len)
+    let n = tl.power_w.len();
+    for i in 0..=n {
+        let overloaded = i < n && tl.power_w[i] > tl.capacity_w[i] * (1.0 + 1e-9);
+        // An overloaded slot is "attended" when the controller responded
+        // this slot or the run overlaps an in-force emergency.
+        let attended = i < n && (response_slot[i] || in_force[i]);
+        if overloaded && !attended {
+            run_start.get_or_insert(i);
+        } else if let Some(start) = run_start.take() {
+            let len = i - start;
+            if worst.is_none_or(|(_, w)| len > w) {
+                worst = Some((start, len));
+            }
+        }
+    }
+    let bound = unattended_bound(scenario, n);
+    match worst {
+        Some((start, len)) if len > bound => {
+            vec![Violation::new(
+                "power-cap",
+                format!(
+                    "{len} consecutive over-capacity slots from slot {start} \
+                     with no emergency response (bound: {bound})"
+                ),
+            )]
+        }
+        _ => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ladder
+
+fn check_ladder(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let d = &r.degradation;
+    // Counter/watermark consistency: the watermark is the deepest level any
+    // clearing reached, so levels below it must have zero uses and the
+    // watermark level at least one (for the fallback levels, which count).
+    match d.deepest_chain_level {
+        None | Some(ChainLevel::Interactive) => {
+            if d.static_fallbacks > 0 || d.eql_cappings > 0 {
+                out.push(Violation::new(
+                    "ladder",
+                    format!(
+                        "watermark {:?} but static_fallbacks={} eql_cappings={}",
+                        d.deepest_chain_level, d.static_fallbacks, d.eql_cappings
+                    ),
+                ));
+            }
+        }
+        Some(ChainLevel::StaticFallback) => {
+            if d.static_fallbacks == 0 {
+                out.push(Violation::new(
+                    "ladder",
+                    "watermark StaticFallback with zero static fallbacks",
+                ));
+            }
+            if d.eql_cappings > 0 {
+                out.push(Violation::new(
+                    "ladder",
+                    format!(
+                        "watermark StaticFallback but eql_cappings={} (ladder went deeper than its watermark)",
+                        d.eql_cappings
+                    ),
+                ));
+            }
+        }
+        Some(ChainLevel::EqlCapping) => {
+            if d.eql_cappings == 0 {
+                out.push(Violation::new(
+                    "ladder",
+                    "watermark EqlCapping with zero EQL cappings",
+                ));
+            }
+        }
+    }
+    // The ladder only exists for MPR-INT under an active fault or net
+    // plan; any fallback outside it is a phantom degradation.
+    let ladder_exists = scenario.algorithm == Algorithm::MprInt
+        && (scenario.fault_plan.filter(FaultPlan::is_active).is_some()
+            || scenario.net_plan.filter(NetPlan::is_active).is_some());
+    if !ladder_exists
+        && (d.static_fallbacks > 0
+            || d.eql_cappings > 0
+            || d.rounds_retried > 0
+            || d.participants_quarantined > 0
+            || d.diverged_clearings > 0)
+    {
+        out.push(Violation::new(
+            "ladder",
+            format!(
+                "degradation ({} fallbacks, {} cappings, {} retries, {} quarantined, {} diverged) \
+                 reported by {} without an active fault/net plan",
+                d.static_fallbacks,
+                d.eql_cappings,
+                d.rounds_retried,
+                d.participants_quarantined,
+                d.diverged_clearings,
+                r.algorithm
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// accounting
+
+fn sums_match(total: f64, parts: f64) -> bool {
+    (total - parts).abs() <= 1e-6 * total.abs().max(1.0)
+}
+
+fn check_accounting(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut finite_nonneg = |name: &str, v: f64| {
+        if !v.is_finite() || v < 0.0 {
+            out.push(Violation::new(
+                "accounting",
+                format!("{name} = {v} (must be finite and non-negative)"),
+            ));
+        }
+    };
+    finite_nonneg("reduction_core_hours", r.reduction_core_hours);
+    finite_nonneg("cost_core_hours", r.cost_core_hours);
+    finite_nonneg("reward_core_hours", r.reward_core_hours);
+    finite_nonneg("avg_runtime_increase_pct", r.avg_runtime_increase_pct);
+    finite_nonneg(
+        "residual_overload_watts",
+        r.degradation.residual_overload_watts,
+    );
+    finite_nonneg("capacity_watts", r.capacity_watts);
+    finite_nonneg("peak_watts", r.peak_watts);
+
+    let red_sum: f64 = r.per_profile.values().map(|s| s.reduction_core_hours).sum();
+    if !sums_match(r.reduction_core_hours, red_sum) {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "per-profile reductions sum to {red_sum} but the total is {}",
+                r.reduction_core_hours
+            ),
+        ));
+    }
+    let cost_sum: f64 = r.per_profile.values().map(|s| s.cost_core_hours).sum();
+    if !sums_match(r.cost_core_hours, cost_sum) {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "per-profile costs sum to {cost_sum} but the total is {}",
+                r.cost_core_hours
+            ),
+        ));
+    }
+    if !scenario.algorithm.is_market() && r.reward_core_hours.abs() > 0.0 {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "{} is not a market but paid {} core-hours of rewards",
+                r.algorithm, r.reward_core_hours
+            ),
+        ));
+    }
+    if r.jobs_completed > r.jobs_total {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "jobs_completed {} exceeds jobs_total {}",
+                r.jobs_completed, r.jobs_total
+            ),
+        ));
+    }
+    if r.jobs_affected > r.jobs_total {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "jobs_affected {} exceeds jobs_total {}",
+                r.jobs_affected, r.jobs_total
+            ),
+        ));
+    }
+    if r.overload_slots > r.total_slots {
+        out.push(Violation::new(
+            "accounting",
+            format!(
+                "overload_slots {} exceeds total_slots {}",
+                r.overload_slots, r.total_slots
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// prices
+
+fn check_prices(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, ev) in r.events.iter().enumerate() {
+        if !ev.price.is_finite() || ev.price < 0.0 {
+            out.push(Violation::new(
+                "prices",
+                format!("event {i} at t={}s posts price {}", ev.t_secs, ev.price),
+            ));
+        }
+        if !ev.target_watts.is_finite() || ev.target_watts < 0.0 {
+            out.push(Violation::new(
+                "prices",
+                format!(
+                    "event {i} at t={}s targets {} watts",
+                    ev.t_secs, ev.target_watts
+                ),
+            ));
+        }
+    }
+    if let Some(tl) = r.timeline.as_ref() {
+        for (i, &p) in tl.price.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                out.push(Violation::new(
+                    "prices",
+                    format!("timeline slot {i} posts price {p}"),
+                ));
+                break; // one sample is evidence enough
+            }
+        }
+    }
+    if !scenario.algorithm.is_market() {
+        if let Some(bad) = r.events.iter().find(|ev| ev.price.abs() > 0.0) {
+            out.push(Violation::new(
+                "prices",
+                format!(
+                    "{} is not a market but posted price {} at t={}s",
+                    r.algorithm, bad.price, bad.t_secs
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// quarantine
+
+fn check_quarantine(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(t) = r.transport.as_ref() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if t.deadline_quarantines > 0 && t.straggler_rounds == 0 {
+        out.push(Violation::new(
+            "quarantine",
+            format!(
+                "{} agents quarantined for deadline misses but no straggler round was observed",
+                t.deadline_quarantines
+            ),
+        ));
+    }
+    if t.clearings == 0 && (t.rounds > 0 || t.announces > 0 || t.replies_accepted > 0) {
+        out.push(Violation::new(
+            "quarantine",
+            format!(
+                "transport reports activity ({} rounds, {} announces) with zero clearings",
+                t.rounds, t.announces
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_sim::{SimConfig, Simulation};
+    use mpr_workload::{ClusterSpec, TraceGenerator};
+
+    fn scenario_for(cfg: &SimConfig) -> Scenario {
+        Scenario {
+            algorithm: cfg.algorithm,
+            oversub_pct: cfg.oversubscription_pct,
+            sim_seed: cfg.seed,
+            participation: cfg.participation,
+            alpha_spread: cfg.alpha_spread,
+            cost_noise: cfg.cost_noise,
+            phase_amplitude: cfg.phase_amplitude,
+            fault_plan: cfg.fault_plan,
+            net_plan: cfg.net_plan,
+            sensor: cfg.telemetry.map(|t| t.sensor),
+            emergency_disabled: cfg.emergency_disabled,
+        }
+    }
+
+    #[test]
+    fn healthy_run_passes_every_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        let cfg = SimConfig::new(Algorithm::MprStat, 20.0).with_timeline();
+        let scenario = scenario_for(&cfg);
+        let report = Simulation::new(&trace, cfg).run();
+        assert!(
+            report.overload_events > 0,
+            "need overload to exercise the loop"
+        );
+        let violations = check_all(&scenario, &report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn disabled_fsm_trips_the_cap_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        let cfg = SimConfig::new(Algorithm::MprStat, 20.0)
+            .with_timeline()
+            .with_emergency_disabled();
+        let scenario = scenario_for(&cfg);
+        let report = Simulation::new(&trace, cfg).run();
+        let violations = check_all(&scenario, &report);
+        assert!(
+            violations.iter().any(|v| v.oracle == "power-cap"),
+            "disabled FSM must trip power-cap, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn missing_timeline_is_itself_a_cap_violation() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(1.0)).generate();
+        let cfg = SimConfig::new(Algorithm::Eql, 15.0); // no timeline
+        let scenario = scenario_for(&cfg);
+        let report = Simulation::new(&trace, cfg).run();
+        let violations = check_all(&scenario, &report);
+        assert!(violations.iter().any(|v| v.oracle == "power-cap"));
+    }
+
+    #[test]
+    fn bound_widens_with_sensor_faults() {
+        let mut s = Scenario::generate(1, 0);
+        s.sensor = None;
+        s.net_plan = None;
+        assert_eq!(unattended_bound(&s, 1440), UNATTENDED_OVERLOAD_SLOTS);
+        s.sensor = Some(mpr_power::telemetry::SensorFaultConfig {
+            dropout_prob: 0.5,
+            stuck_prob: 0.01,
+            stuck_polls: 6,
+            delay_polls: 2,
+            ..Default::default()
+        });
+        let b = unattended_bound(&s, 1440);
+        // base + 2*ceil(ln 1440 / ln 2) + 2*6 + 2
+        assert!(b > UNATTENDED_OVERLOAD_SLOTS + 20, "{b}");
+        // The bound stays far below a daytime overload episode, so a
+        // disabled FSM (whole episodes unattended) is still separable.
+        assert!(b < 60, "{b}");
+        // Measurement noise and transport faults each add their own slack.
+        s.sensor = Some(mpr_power::telemetry::SensorFaultConfig {
+            noise_sigma_frac: 0.05,
+            ..Default::default()
+        });
+        s.net_plan = None;
+        assert_eq!(unattended_bound(&s, 1440), UNATTENDED_OVERLOAD_SLOTS + 2);
+        s.net_plan = Some(mpr_sim::NetPlan::lossy(0.3));
+        let with_net = unattended_bound(&s, 1440);
+        assert!(with_net > UNATTENDED_OVERLOAD_SLOTS + 2, "{with_net}");
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<&str> = registry().iter().map(|o| o.name).collect();
+        assert_eq!(
+            names,
+            ["power-cap", "ladder", "accounting", "prices", "quarantine"]
+        );
+    }
+}

@@ -1,0 +1,613 @@
+//! The scenario generator space.
+//!
+//! A [`Scenario`] is one point in the campaign's composition space: an
+//! algorithm, an oversubscription level, a per-run simulation seed, config
+//! perturbations (participation, α-spread, cost noise, power phases) and
+//! up to three fault layers — agent faults ([`FaultPlan`]), message-layer
+//! faults ([`NetPlan`]) and sensor faults
+//! ([`SensorFaultConfig`](mpr_power::telemetry::SensorFaultConfig)).
+//!
+//! [`Scenario::generate`] maps `(campaign seed, run index)` to a scenario
+//! through an independent ChaCha8 stream per index, so run *k* of campaign
+//! seed *s* is always the same scenario — regeneratable without replaying
+//! runs 0..k, and safe to draw from any rayon worker in any order.
+//!
+//! Scenarios serialize to the flat JSON object embedded in repro
+//! artifacts; [`Scenario::from_json_value`] inverts the encoding exactly
+//! (floats round-trip by shortest representation, seeds as strings).
+
+use std::collections::BTreeMap;
+
+use mpr_power::telemetry::SensorFaultConfig;
+use mpr_sim::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig, TelemetryConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::json::{self, ObjWriter, Value};
+use crate::{SCENARIO_SEED_XOR, SPACE_VERSION};
+
+/// The shrinker's oversubscription resting point: the paper's baseline
+/// level, to which [`shrink`](crate::shrink) tries to normalize
+/// [`Scenario::oversub_pct`].
+pub const DEFAULT_OVERSUB_PCT: f64 = 15.0;
+
+/// One generated point of the campaign's composition space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Overload-handling algorithm under test.
+    pub algorithm: Algorithm,
+    /// Oversubscription level, percent.
+    pub oversub_pct: f64,
+    /// Per-run simulation seed (profile assignment, fault draws, sensors).
+    pub sim_seed: u64,
+    /// Market participation fraction.
+    pub participation: f64,
+    /// α heterogeneity spread.
+    pub alpha_spread: f64,
+    /// Cost-estimate noise injected into bids.
+    pub cost_noise: CostNoise,
+    /// Per-job power-phase amplitude (0 disables phases).
+    pub phase_amplitude: f64,
+    /// Agent-fault mix, when drawn.
+    pub fault_plan: Option<FaultPlan>,
+    /// Message-layer fault mix, when drawn.
+    pub net_plan: Option<NetPlan>,
+    /// Sensor-fault mix, when drawn.
+    pub sensor: Option<SensorFaultConfig>,
+    /// **Test-only.** Realize the scenario with the emergency FSM disabled
+    /// (see [`SimConfig::emergency_disabled`]). Never drawn by
+    /// [`generate`](Self::generate); planted by the campaign's
+    /// seeded-violation mode to prove the oracles catch a real safety
+    /// failure.
+    pub emergency_disabled: bool,
+}
+
+impl Scenario {
+    /// Generates the scenario for `(campaign_seed, index)`. Deterministic
+    /// and order-independent: each index draws from its own ChaCha8 stream.
+    #[must_use]
+    pub fn generate(campaign_seed: u64, index: u64) -> Scenario {
+        let mut rng = ChaCha8Rng::seed_from_u64(campaign_seed ^ SCENARIO_SEED_XOR);
+        rng.set_stream(index);
+
+        // MPR-INT is over-weighted: it is the only algorithm with per-event
+        // agent interaction, so the fault layers only bite there.
+        let algorithm = match rng.gen_range(0..6u32) {
+            0 => Algorithm::Opt,
+            1 => Algorithm::Eql,
+            2 => Algorithm::MprStat,
+            _ => Algorithm::MprInt,
+        };
+        let oversub_pct = rng.gen_range(5.0..=30.0f64);
+        let sim_seed: u64 = rng.gen();
+        let participation = if rng.gen_bool(0.3) {
+            rng.gen_range(0.2..1.0f64)
+        } else {
+            1.0
+        };
+        let alpha_spread = if rng.gen_bool(0.25) {
+            rng.gen_range(0.1..1.0f64)
+        } else {
+            0.0
+        };
+        let cost_noise = match rng.gen_range(0..4u32) {
+            0 => CostNoise::Random {
+                magnitude: rng.gen_range(0.05..0.3f64),
+            },
+            1 => CostNoise::Underestimate {
+                fraction: rng.gen_range(0.05..0.5f64),
+            },
+            _ => CostNoise::None,
+        };
+        let phase_amplitude = if rng.gen_bool(0.25) {
+            rng.gen_range(0.05..0.3f64)
+        } else {
+            0.0
+        };
+
+        fn frac(rng: &mut ChaCha8Rng, p: f64, hi: f64) -> f64 {
+            if rng.gen_bool(p) {
+                rng.gen_range(0.05..hi)
+            } else {
+                0.0
+            }
+        }
+        let fault_plan = rng.gen_bool(0.5).then(|| FaultPlan {
+            unresponsive_frac: frac(&mut rng, 0.5, 0.4),
+            crash_frac: frac(&mut rng, 0.4, 0.4),
+            stale_frac: frac(&mut rng, 0.3, 0.4),
+            byzantine_frac: frac(&mut rng, 0.3, 0.4),
+            byzantine_factor: rng.gen_range(1.5..6.0f64),
+            max_retries: rng.gen_range(1..=3usize),
+            watchdog_window: rng.gen_range(4..=12usize),
+            divergence_min_change: 0.05,
+        });
+        let net_plan = rng.gen_bool(0.5).then(|| {
+            let min_delay = rng.gen_range(1..=2u64);
+            NetPlan {
+                drop_prob: if rng.gen_bool(0.6) {
+                    rng.gen_range(0.05..0.4f64)
+                } else {
+                    0.0
+                },
+                duplicate_prob: if rng.gen_bool(0.3) {
+                    rng.gen_range(0.05..0.3f64)
+                } else {
+                    0.0
+                },
+                min_delay_ticks: min_delay,
+                max_delay_ticks: rng.gen_range(min_delay..=6),
+                partition_prob: if rng.gen_bool(0.3) {
+                    rng.gen_range(0.02..0.2f64)
+                } else {
+                    0.0
+                },
+                partition_ticks: rng.gen_range(4..=32u64),
+                deadline_ticks: rng.gen_range(4..=16u64),
+                max_attempts: rng.gen_range(1..=4usize),
+                quarantine_after_misses: rng.gen_range(1..=5usize),
+            }
+        });
+        let sensor = rng.gen_bool(0.4).then(|| SensorFaultConfig {
+            noise_sigma_frac: if rng.gen_bool(0.6) {
+                rng.gen_range(0.005..0.08f64)
+            } else {
+                0.0
+            },
+            dropout_prob: if rng.gen_bool(0.5) {
+                rng.gen_range(0.05..0.5f64)
+            } else {
+                0.0
+            },
+            stuck_prob: if rng.gen_bool(0.3) {
+                rng.gen_range(0.002..0.02f64)
+            } else {
+                0.0
+            },
+            stuck_polls: rng.gen_range(2..=8u32),
+            delay_polls: rng.gen_range(0..=2usize),
+            spike_prob: if rng.gen_bool(0.3) {
+                rng.gen_range(0.005..0.05f64)
+            } else {
+                0.0
+            },
+            spike_magnitude_frac: rng.gen_range(0.2..1.0f64),
+        });
+
+        Scenario {
+            algorithm,
+            oversub_pct,
+            sim_seed,
+            participation,
+            alpha_spread,
+            cost_noise,
+            phase_amplitude,
+            fault_plan,
+            net_plan,
+            sensor,
+            emergency_disabled: false,
+        }
+    }
+
+    /// Realizes the scenario as a simulator configuration. The timeline is
+    /// always recorded (the cap oracle scans it) and the configuration is
+    /// tagged with [`SPACE_VERSION`] so checkpoints written during a
+    /// campaign can only be resumed under the same generator space.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.algorithm, self.oversub_pct)
+            .with_seed(self.sim_seed)
+            .with_participation(self.participation)
+            .with_alpha_spread(self.alpha_spread)
+            .with_cost_noise(self.cost_noise)
+            .with_timeline()
+            .with_scenario_space(SPACE_VERSION);
+        if self.phase_amplitude > 0.0 {
+            cfg = cfg.with_phases(self.phase_amplitude);
+        }
+        if let Some(p) = self.fault_plan {
+            cfg = cfg.with_faults(p);
+        }
+        if let Some(p) = self.net_plan {
+            cfg = cfg.with_net(p);
+        }
+        if let Some(s) = self.sensor {
+            cfg = cfg.with_telemetry(TelemetryConfig::with_faults(s));
+        }
+        if self.emergency_disabled {
+            cfg = cfg.with_emergency_disabled();
+        }
+        cfg
+    }
+
+    /// Size metric for the shrinker: the number of non-default components
+    /// the scenario carries. Every shrink step removes at least one, so
+    /// shrinking strictly decreases this and terminates.
+    #[must_use]
+    pub fn complexity(&self) -> usize {
+        let mut n = 0;
+        if let Some(p) = self.fault_plan {
+            n += 1; // presence itself
+            n += usize::from(p.unresponsive_frac > 0.0);
+            n += usize::from(p.crash_frac > 0.0);
+            n += usize::from(p.stale_frac > 0.0);
+            n += usize::from(p.byzantine_frac > 0.0);
+        }
+        if let Some(p) = self.net_plan {
+            n += 1;
+            n += usize::from(p.drop_prob > 0.0);
+            n += usize::from(p.duplicate_prob > 0.0);
+            n += usize::from(p.partition_prob > 0.0);
+            n += usize::from(p.max_delay_ticks > NetPlan::default().max_delay_ticks);
+        }
+        if let Some(s) = self.sensor {
+            n += 1;
+            n += usize::from(s.noise_sigma_frac > 0.0);
+            n += usize::from(s.dropout_prob > 0.0);
+            n += usize::from(s.stuck_prob > 0.0);
+            n += usize::from(s.spike_prob > 0.0);
+            n += usize::from(s.delay_polls > 0);
+        }
+        n += usize::from(!matches!(self.cost_noise, CostNoise::None));
+        n += usize::from(self.alpha_spread > 0.0);
+        n += usize::from(self.participation < 1.0);
+        n += usize::from(self.phase_amplitude > 0.0);
+        n += usize::from((self.oversub_pct - DEFAULT_OVERSUB_PCT).abs() > 0.0);
+        n
+    }
+
+    /// One-line human description of the scenario's active components.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("{} @ {:.1}%", self.algorithm, self.oversub_pct)];
+        if let Some(p) = self.fault_plan.filter(FaultPlan::is_active) {
+            parts.push(format!(
+                "faults(unresp={:.2},crash={:.2},stale={:.2},byz={:.2})",
+                p.unresponsive_frac, p.crash_frac, p.stale_frac, p.byzantine_frac
+            ));
+        }
+        if let Some(p) = self.net_plan.filter(NetPlan::is_active) {
+            parts.push(format!(
+                "net(drop={:.2},dup={:.2},part={:.2},delay={}..{})",
+                p.drop_prob,
+                p.duplicate_prob,
+                p.partition_prob,
+                p.min_delay_ticks,
+                p.max_delay_ticks
+            ));
+        }
+        if let Some(s) = self.sensor {
+            parts.push(format!(
+                "sensor(noise={:.3},drop={:.2},stuck={:.3},spike={:.3})",
+                s.noise_sigma_frac, s.dropout_prob, s.stuck_prob, s.spike_prob
+            ));
+        }
+        match self.cost_noise {
+            CostNoise::None => {}
+            CostNoise::Random { magnitude } => parts.push(format!("noise(random,{magnitude:.2})")),
+            CostNoise::Underestimate { fraction } => {
+                parts.push(format!("noise(under,{fraction:.2})"));
+            }
+        }
+        if self.participation < 1.0 {
+            parts.push(format!("participation={:.2}", self.participation));
+        }
+        if self.alpha_spread > 0.0 {
+            parts.push(format!("alpha-spread={:.2}", self.alpha_spread));
+        }
+        if self.phase_amplitude > 0.0 {
+            parts.push(format!("phases={:.2}", self.phase_amplitude));
+        }
+        if self.emergency_disabled {
+            parts.push("EMERGENCY-FSM-DISABLED".to_owned());
+        }
+        parts.join(" ")
+    }
+
+    // -----------------------------------------------------------------------
+    // JSON encoding.
+
+    /// Renders the scenario as a JSON object at the given indent level.
+    #[must_use]
+    pub fn to_json(&self, indent: usize) -> String {
+        let mut w = ObjWriter::new();
+        w.str("algorithm", &self.algorithm.to_string())
+            .num("oversub_pct", self.oversub_pct)
+            .u64("sim_seed", self.sim_seed)
+            .num("participation", self.participation)
+            .num("alpha_spread", self.alpha_spread);
+        match self.cost_noise {
+            CostNoise::None => w.str("cost_noise", "none").num("cost_noise_value", 0.0),
+            CostNoise::Random { magnitude } => w
+                .str("cost_noise", "random")
+                .num("cost_noise_value", magnitude),
+            CostNoise::Underestimate { fraction } => w
+                .str("cost_noise", "underestimate")
+                .num("cost_noise_value", fraction),
+        };
+        w.num("phase_amplitude", self.phase_amplitude)
+            .bool("emergency_disabled", self.emergency_disabled);
+        match self.fault_plan {
+            Some(p) => {
+                let mut f = ObjWriter::new();
+                f.num("unresponsive_frac", p.unresponsive_frac)
+                    .num("crash_frac", p.crash_frac)
+                    .num("stale_frac", p.stale_frac)
+                    .num("byzantine_frac", p.byzantine_frac)
+                    .num("byzantine_factor", p.byzantine_factor)
+                    .num("max_retries", p.max_retries as f64)
+                    .num("watchdog_window", p.watchdog_window as f64)
+                    .num("divergence_min_change", p.divergence_min_change);
+                w.raw("fault_plan", f.render(indent + 1));
+            }
+            None => {
+                w.raw("fault_plan", "null");
+            }
+        }
+        match self.net_plan {
+            Some(p) => {
+                let mut f = ObjWriter::new();
+                f.num("drop_prob", p.drop_prob)
+                    .num("duplicate_prob", p.duplicate_prob)
+                    .num("min_delay_ticks", p.min_delay_ticks as f64)
+                    .num("max_delay_ticks", p.max_delay_ticks as f64)
+                    .num("partition_prob", p.partition_prob)
+                    .num("partition_ticks", p.partition_ticks as f64)
+                    .num("deadline_ticks", p.deadline_ticks as f64)
+                    .num("max_attempts", p.max_attempts as f64)
+                    .num("quarantine_after_misses", p.quarantine_after_misses as f64);
+                w.raw("net_plan", f.render(indent + 1));
+            }
+            None => {
+                w.raw("net_plan", "null");
+            }
+        }
+        match self.sensor {
+            Some(s) => {
+                let mut f = ObjWriter::new();
+                f.num("noise_sigma_frac", s.noise_sigma_frac)
+                    .num("dropout_prob", s.dropout_prob)
+                    .num("stuck_prob", s.stuck_prob)
+                    .num("stuck_polls", f64::from(s.stuck_polls))
+                    .num("delay_polls", s.delay_polls as f64)
+                    .num("spike_prob", s.spike_prob)
+                    .num("spike_magnitude_frac", s.spike_magnitude_frac);
+                w.raw("sensor", f.render(indent + 1));
+            }
+            None => {
+                w.raw("sensor", "null");
+            }
+        }
+        w.render(indent)
+    }
+
+    /// Decodes a scenario from a parsed JSON object (the inverse of
+    /// [`to_json`](Self::to_json)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::ParseError`] naming the missing or mistyped field.
+    pub fn from_json_value(v: &Value) -> Result<Scenario, json::ParseError> {
+        let obj = v.as_obj().ok_or_else(|| json::ParseError {
+            at: 0,
+            message: "scenario is not an object".to_owned(),
+        })?;
+        let algorithm = match json::field(obj, "algorithm")?.as_str() {
+            Some("OPT") => Algorithm::Opt,
+            Some("EQL") => Algorithm::Eql,
+            Some("MPR-STAT") => Algorithm::MprStat,
+            Some("MPR-INT") => Algorithm::MprInt,
+            Some("VCG") => Algorithm::Vcg,
+            _ => {
+                return Err(json::ParseError {
+                    at: 0,
+                    message: "unknown algorithm".to_owned(),
+                })
+            }
+        };
+        let cost_noise_value = json::field_num(obj, "cost_noise_value")?;
+        let cost_noise = match json::field(obj, "cost_noise")?.as_str() {
+            Some("none") => CostNoise::None,
+            Some("random") => CostNoise::Random {
+                magnitude: cost_noise_value,
+            },
+            Some("underestimate") => CostNoise::Underestimate {
+                fraction: cost_noise_value,
+            },
+            _ => {
+                return Err(json::ParseError {
+                    at: 0,
+                    message: "unknown cost_noise kind".to_owned(),
+                })
+            }
+        };
+        let fault_plan = match json::field(obj, "fault_plan")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "fault_plan")?;
+                Some(FaultPlan {
+                    unresponsive_frac: json::field_num(f, "unresponsive_frac")?,
+                    crash_frac: json::field_num(f, "crash_frac")?,
+                    stale_frac: json::field_num(f, "stale_frac")?,
+                    byzantine_frac: json::field_num(f, "byzantine_frac")?,
+                    byzantine_factor: json::field_num(f, "byzantine_factor")?,
+                    max_retries: usize_field(f, "max_retries")?,
+                    watchdog_window: usize_field(f, "watchdog_window")?,
+                    divergence_min_change: json::field_num(f, "divergence_min_change")?,
+                })
+            }
+        };
+        let net_plan = match json::field(obj, "net_plan")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "net_plan")?;
+                Some(NetPlan {
+                    drop_prob: json::field_num(f, "drop_prob")?,
+                    duplicate_prob: json::field_num(f, "duplicate_prob")?,
+                    min_delay_ticks: u64_field(f, "min_delay_ticks")?,
+                    max_delay_ticks: u64_field(f, "max_delay_ticks")?,
+                    partition_prob: json::field_num(f, "partition_prob")?,
+                    partition_ticks: u64_field(f, "partition_ticks")?,
+                    deadline_ticks: u64_field(f, "deadline_ticks")?,
+                    max_attempts: usize_field(f, "max_attempts")?,
+                    quarantine_after_misses: usize_field(f, "quarantine_after_misses")?,
+                })
+            }
+        };
+        let sensor = match json::field(obj, "sensor")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "sensor")?;
+                Some(SensorFaultConfig {
+                    noise_sigma_frac: json::field_num(f, "noise_sigma_frac")?,
+                    dropout_prob: json::field_num(f, "dropout_prob")?,
+                    stuck_prob: json::field_num(f, "stuck_prob")?,
+                    stuck_polls: u32_field(f, "stuck_polls")?,
+                    delay_polls: usize_field(f, "delay_polls")?,
+                    spike_prob: json::field_num(f, "spike_prob")?,
+                    spike_magnitude_frac: json::field_num(f, "spike_magnitude_frac")?,
+                })
+            }
+        };
+        Ok(Scenario {
+            algorithm,
+            oversub_pct: json::field_num(obj, "oversub_pct")?,
+            sim_seed: json::field_u64(obj, "sim_seed")?,
+            participation: json::field_num(obj, "participation")?,
+            alpha_spread: json::field_num(obj, "alpha_spread")?,
+            cost_noise,
+            phase_amplitude: json::field_num(obj, "phase_amplitude")?,
+            fault_plan,
+            net_plan,
+            sensor,
+            emergency_disabled: json::field_bool(obj, "emergency_disabled")?,
+        })
+    }
+}
+
+fn obj_of<'a>(v: &'a Value, name: &str) -> Result<&'a BTreeMap<String, Value>, json::ParseError> {
+    v.as_obj().ok_or_else(|| json::ParseError {
+        at: 0,
+        message: format!("field `{name}` is not an object"),
+    })
+}
+
+fn usize_field(obj: &BTreeMap<String, Value>, key: &str) -> Result<usize, json::ParseError> {
+    let n = json::field_num(obj, key)?;
+    if n < 0.0 || n.fract().abs() > 0.0 {
+        return Err(json::ParseError {
+            at: 0,
+            message: format!("field `{key}` is not a non-negative integer"),
+        });
+    }
+    Ok(n as usize)
+}
+
+fn u64_field(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, json::ParseError> {
+    usize_field(obj, key).map(|v| v as u64)
+}
+
+fn u32_field(obj: &BTreeMap<String, Value>, key: &str) -> Result<u32, json::ParseError> {
+    let v = usize_field(obj, key)?;
+    u32::try_from(v).map_err(|_| json::ParseError {
+        at: 0,
+        message: format!("field `{key}` overflows u32"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_index() {
+        for i in [0u64, 1, 7, 999] {
+            assert_eq!(Scenario::generate(42, i), Scenario::generate(42, i));
+        }
+        // Different indices and different seeds draw different scenarios.
+        assert_ne!(Scenario::generate(42, 0), Scenario::generate(42, 1));
+        assert_ne!(Scenario::generate(42, 0), Scenario::generate(43, 0));
+    }
+
+    #[test]
+    fn generation_is_order_independent() {
+        // Drawing index 5 never depends on having drawn 0..5 first.
+        let direct = Scenario::generate(7, 5);
+        for i in 0..5 {
+            let _ = Scenario::generate(7, i);
+        }
+        assert_eq!(Scenario::generate(7, 5), direct);
+    }
+
+    #[test]
+    fn space_covers_all_fault_layers() {
+        let scenarios: Vec<Scenario> = (0..200).map(|i| Scenario::generate(1, i)).collect();
+        assert!(scenarios.iter().any(|s| s.fault_plan.is_some()));
+        assert!(scenarios.iter().any(|s| s.net_plan.is_some()));
+        assert!(scenarios.iter().any(|s| s.sensor.is_some()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.fault_plan.is_some() && s.net_plan.is_some() && s.sensor.is_some()));
+        assert!(scenarios.iter().any(|s| s.algorithm == Algorithm::MprInt));
+        assert!(scenarios.iter().any(|s| s.algorithm != Algorithm::MprInt));
+        // The generator never plants the test-only FSM knob.
+        assert!(scenarios.iter().all(|s| !s.emergency_disabled));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for i in 0..50 {
+            let mut s = Scenario::generate(99, i);
+            if i % 2 == 0 {
+                s.emergency_disabled = true;
+            }
+            let text = s.to_json(0);
+            let back =
+                Scenario::from_json_value(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back, s, "round-trip mismatch at index {i}\n{text}");
+        }
+    }
+
+    #[test]
+    fn sim_config_realization() {
+        let mut s = Scenario::generate(3, 11);
+        s.emergency_disabled = true;
+        let cfg = s.sim_config();
+        assert_eq!(cfg.algorithm, s.algorithm);
+        assert!(cfg.record_timeline, "cap oracle needs the timeline");
+        assert_eq!(cfg.scenario_space, Some(SPACE_VERSION));
+        assert!(cfg.emergency_disabled);
+        assert_eq!(cfg.seed, s.sim_seed);
+        assert_eq!(cfg.fault_plan, s.fault_plan);
+        assert_eq!(cfg.net_plan, s.net_plan);
+    }
+
+    #[test]
+    fn complexity_counts_components() {
+        let mut s = Scenario::generate(5, 0);
+        s.fault_plan = None;
+        s.net_plan = None;
+        s.sensor = None;
+        s.cost_noise = CostNoise::None;
+        s.alpha_spread = 0.0;
+        s.participation = 1.0;
+        s.phase_amplitude = 0.0;
+        s.oversub_pct = 15.0;
+        assert_eq!(s.complexity(), 0);
+        s.fault_plan = Some(FaultPlan::unresponsive_and_crash(0.3, 0.1));
+        assert_eq!(s.complexity(), 3, "presence + two nonzero fracs");
+        s.oversub_pct = 20.0;
+        assert_eq!(s.complexity(), 4);
+    }
+
+    #[test]
+    fn describe_mentions_active_layers() {
+        let mut s = Scenario::generate(1, 0);
+        s.fault_plan = Some(FaultPlan::unresponsive_and_crash(0.3, 0.1));
+        s.emergency_disabled = true;
+        let d = s.describe();
+        assert!(d.contains("faults("), "{d}");
+        assert!(d.contains("EMERGENCY-FSM-DISABLED"), "{d}");
+    }
+}

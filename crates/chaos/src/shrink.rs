@@ -1,0 +1,392 @@
+//! Counterexample shrinking by greedy delta-debugging.
+//!
+//! A violating scenario usually carries several fault layers, only one of
+//! which matters. [`shrink`] minimizes it against a *reproduction
+//! predicate* — "does this scenario still trip the same oracle?" — by
+//! repeatedly trying size-reducing transformations, biggest first: drop a
+//! whole fault layer, then zero individual components, then normalize the
+//! config perturbations. A transformation is kept only when the predicate
+//! still holds, so the result provably reproduces the original violation;
+//! every kept step strictly decreases [`Scenario::complexity`], so the
+//! loop terminates after at most `complexity²` predicate evaluations.
+//!
+//! The test-only `emergency_disabled` knob is deliberately **not** a
+//! shrink target: it is planted (never drawn), and removing it would turn
+//! a seeded-violation counterexample back into a healthy run.
+
+use mpr_sim::{CostNoise, NetPlan};
+
+use crate::scenario::{Scenario, DEFAULT_OVERSUB_PCT};
+
+/// One size-reducing transformation: returns `None` when the scenario
+/// does not carry the component the step removes.
+struct Step {
+    name: &'static str,
+    apply: fn(&Scenario) -> Option<Scenario>,
+}
+
+/// The candidate transformations, biggest first. Order matters for
+/// minimality *quality* (not correctness): dropping a whole layer early
+/// saves the per-component probes inside it.
+const STEPS: &[Step] = &[
+    Step {
+        name: "drop fault_plan",
+        apply: |s| {
+            s.fault_plan?;
+            Some(Scenario {
+                fault_plan: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "drop net_plan",
+        apply: |s| {
+            s.net_plan?;
+            Some(Scenario {
+                net_plan: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "drop sensor faults",
+        apply: |s| {
+            s.sensor?;
+            Some(Scenario {
+                sensor: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero unresponsive_frac",
+        apply: |s| {
+            let mut p = s.fault_plan.filter(|p| p.unresponsive_frac > 0.0)?;
+            p.unresponsive_frac = 0.0;
+            Some(Scenario {
+                fault_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero crash_frac",
+        apply: |s| {
+            let mut p = s.fault_plan.filter(|p| p.crash_frac > 0.0)?;
+            p.crash_frac = 0.0;
+            Some(Scenario {
+                fault_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero stale_frac",
+        apply: |s| {
+            let mut p = s.fault_plan.filter(|p| p.stale_frac > 0.0)?;
+            p.stale_frac = 0.0;
+            Some(Scenario {
+                fault_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero byzantine_frac",
+        apply: |s| {
+            let mut p = s.fault_plan.filter(|p| p.byzantine_frac > 0.0)?;
+            p.byzantine_frac = 0.0;
+            Some(Scenario {
+                fault_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero net drop_prob",
+        apply: |s| {
+            let mut p = s.net_plan.filter(|p| p.drop_prob > 0.0)?;
+            p.drop_prob = 0.0;
+            Some(Scenario {
+                net_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero net duplicate_prob",
+        apply: |s| {
+            let mut p = s.net_plan.filter(|p| p.duplicate_prob > 0.0)?;
+            p.duplicate_prob = 0.0;
+            Some(Scenario {
+                net_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero net partition_prob",
+        apply: |s| {
+            let mut p = s.net_plan.filter(|p| p.partition_prob > 0.0)?;
+            p.partition_prob = 0.0;
+            Some(Scenario {
+                net_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "reset net delay",
+        apply: |s| {
+            let default = NetPlan::default();
+            let mut p = s
+                .net_plan
+                .filter(|p| p.max_delay_ticks > default.max_delay_ticks)?;
+            p.min_delay_ticks = default.min_delay_ticks;
+            p.max_delay_ticks = default.max_delay_ticks;
+            Some(Scenario {
+                net_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero sensor noise",
+        apply: |s| {
+            let mut c = s.sensor.filter(|c| c.noise_sigma_frac > 0.0)?;
+            c.noise_sigma_frac = 0.0;
+            Some(Scenario {
+                sensor: Some(c),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero sensor dropout",
+        apply: |s| {
+            let mut c = s.sensor.filter(|c| c.dropout_prob > 0.0)?;
+            c.dropout_prob = 0.0;
+            Some(Scenario {
+                sensor: Some(c),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero sensor stuck",
+        apply: |s| {
+            let mut c = s.sensor.filter(|c| c.stuck_prob > 0.0)?;
+            c.stuck_prob = 0.0;
+            Some(Scenario {
+                sensor: Some(c),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero sensor spikes",
+        apply: |s| {
+            let mut c = s.sensor.filter(|c| c.spike_prob > 0.0)?;
+            c.spike_prob = 0.0;
+            Some(Scenario {
+                sensor: Some(c),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero sensor delay",
+        apply: |s| {
+            let mut c = s.sensor.filter(|c| c.delay_polls > 0)?;
+            c.delay_polls = 0;
+            Some(Scenario {
+                sensor: Some(c),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "remove cost noise",
+        apply: |s| {
+            if matches!(s.cost_noise, CostNoise::None) {
+                return None;
+            }
+            Some(Scenario {
+                cost_noise: CostNoise::None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero alpha_spread",
+        apply: |s| {
+            (s.alpha_spread > 0.0).then(|| Scenario {
+                alpha_spread: 0.0,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "restore full participation",
+        apply: |s| {
+            (s.participation < 1.0).then(|| Scenario {
+                participation: 1.0,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero phase_amplitude",
+        apply: |s| {
+            (s.phase_amplitude > 0.0).then(|| Scenario {
+                phase_amplitude: 0.0,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "normalize oversubscription",
+        apply: |s| {
+            ((s.oversub_pct - DEFAULT_OVERSUB_PCT).abs() > 0.0).then(|| Scenario {
+                oversub_pct: DEFAULT_OVERSUB_PCT,
+                ..s.clone()
+            })
+        },
+    },
+];
+
+/// Outcome of shrinking one violating scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkResult {
+    /// The minimal scenario: still reproduces, no step applies any more.
+    pub scenario: Scenario,
+    /// Names of the accepted transformations, in order.
+    pub steps_applied: Vec<&'static str>,
+    /// Total predicate evaluations spent (accepted + rejected probes).
+    pub probes: usize,
+}
+
+/// Minimizes `scenario` against `reproduces` by greedy delta-debugging.
+///
+/// `reproduces` must return `true` when the candidate still triggers the
+/// *same* violation class as the original (the campaign passes a closure
+/// that re-simulates and checks the original oracle's name). The input
+/// scenario itself is assumed to reproduce; the returned scenario is
+/// guaranteed to (it equals the input when nothing could be removed), is
+/// never larger than the input, and every accepted step strictly reduced
+/// [`Scenario::complexity`].
+pub fn shrink<F>(scenario: &Scenario, mut reproduces: F) -> ShrinkResult
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let mut current = scenario.clone();
+    let mut steps_applied = Vec::new();
+    let mut probes = 0;
+    loop {
+        let mut progressed = false;
+        for step in STEPS {
+            let Some(candidate) = (step.apply)(&current) else {
+                continue;
+            };
+            debug_assert!(candidate.complexity() < current.complexity());
+            probes += 1;
+            if reproduces(&candidate) {
+                current = candidate;
+                steps_applied.push(step.name);
+                progressed = true;
+                // Restart from the biggest steps: removing one component
+                // often makes a whole-layer drop viable again.
+                break;
+            }
+        }
+        if !progressed {
+            return ShrinkResult {
+                scenario: current,
+                steps_applied,
+                probes,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_sim::{Algorithm, FaultPlan};
+
+    fn busy_scenario() -> Scenario {
+        let mut s = Scenario::generate(11, 3);
+        s.algorithm = Algorithm::MprInt;
+        s.fault_plan = Some(FaultPlan {
+            unresponsive_frac: 0.2,
+            crash_frac: 0.1,
+            stale_frac: 0.1,
+            byzantine_frac: 0.05,
+            ..FaultPlan::default()
+        });
+        s.net_plan = Some(NetPlan::lossy(0.3));
+        s.cost_noise = CostNoise::Random { magnitude: 0.2 };
+        s.participation = 0.6;
+        s.oversub_pct = 25.0;
+        s
+    }
+
+    #[test]
+    fn always_reproducing_predicate_shrinks_to_empty() {
+        let s = busy_scenario();
+        let r = shrink(&s, |_| true);
+        assert_eq!(r.scenario.complexity(), 0, "{:?}", r.scenario);
+        assert!(!r.steps_applied.is_empty());
+    }
+
+    #[test]
+    fn never_reproducing_predicate_keeps_the_input() {
+        let s = busy_scenario();
+        let r = shrink(&s, |_| false);
+        assert_eq!(r.scenario, s);
+        assert!(r.steps_applied.is_empty());
+        assert!(r.probes > 0);
+    }
+
+    #[test]
+    fn predicate_pinning_one_component_keeps_exactly_it() {
+        let s = busy_scenario();
+        // The "real" cause: the unresponsive fraction. Everything else is
+        // noise the shrinker must strip.
+        let r = shrink(&s, |c| {
+            c.fault_plan.is_some_and(|p| p.unresponsive_frac > 0.0)
+        });
+        let p = r.scenario.fault_plan.expect("kept the fault plan");
+        assert!(p.unresponsive_frac > 0.0);
+        assert_eq!(p.crash_frac, 0.0);
+        assert_eq!(p.stale_frac, 0.0);
+        assert_eq!(p.byzantine_frac, 0.0);
+        assert!(r.scenario.net_plan.is_none());
+        assert!(r.scenario.sensor.is_none());
+        assert!(matches!(r.scenario.cost_noise, CostNoise::None));
+        // presence + the pinned fraction
+        assert_eq!(r.scenario.complexity(), 2);
+    }
+
+    #[test]
+    fn emergency_knob_survives_shrinking() {
+        let mut s = busy_scenario();
+        s.emergency_disabled = true;
+        let r = shrink(&s, |_| true);
+        assert!(r.scenario.emergency_disabled);
+        assert_eq!(r.scenario.complexity(), 0);
+    }
+
+    #[test]
+    fn shrinking_is_monotone_under_any_predicate() {
+        // Even a flaky predicate can only ever accept smaller scenarios.
+        let s = busy_scenario();
+        let mut flip = false;
+        let r = shrink(&s, |_| {
+            flip = !flip;
+            flip
+        });
+        assert!(r.scenario.complexity() <= s.complexity());
+    }
+}

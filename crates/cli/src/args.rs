@@ -28,8 +28,34 @@ pub enum Command {
     /// `mpr calibrate` — build a profile from `allocation,performance` CSV
     /// lines on stdin.
     Calibrate,
+    /// `mpr chaos …` — run a fuzzing campaign or replay a repro artifact.
+    Chaos(ChaosArgs),
     /// `mpr help` or `--help`.
     Help,
+}
+
+/// Arguments of `mpr chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// Number of campaign runs.
+    pub runs: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Trace span per run, days.
+    pub days: f64,
+    /// Plant the test-only emergency-FSM-disabled knob into every scenario
+    /// (proves the oracles catch a real safety failure).
+    pub disable_emergency: bool,
+    /// Skip counterexample shrinking.
+    pub no_shrink: bool,
+    /// Directory for repro artifacts (one JSON per failing run).
+    pub artifact_dir: Option<String>,
+    /// Replay a repro artifact instead of running a campaign.
+    pub replay: Option<String>,
+    /// Emit the per-run CSV instead of the human summary.
+    pub csv: bool,
+    /// Emit the JSON campaign summary instead of the human summary.
+    pub json: bool,
 }
 
 /// Arguments of `mpr simulate`.
@@ -157,6 +183,11 @@ USAGE:
     mpr market    [--jobs N] [--target-watts W]
                   [--mechanism mpr-stat|mpr-int|opt|eql|vcg|chain]
                   [--interactive]                  (synonym for --mechanism mpr-int)
+    mpr chaos     [--runs N] [--seed N] [--days N]
+                  [--artifact-dir DIR] [--no-shrink]
+                  [--disable-emergency]        (seeded-violation self-test)
+                  [--csv | --json]
+    mpr chaos     --replay FILE               (re-run a repro artifact)
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
     mpr calibrate                                        (CSV samples on stdin)
@@ -180,6 +211,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "market" => parse_market(rest).map(Command::Market),
         "swf" => parse_swf_args(rest).map(Command::Swf),
         "calibrate" => expect_no_args(rest, Command::Calibrate),
+        "chaos" => parse_chaos(rest).map(Command::Chaos),
         "traces" => expect_no_args(rest, Command::Traces),
         "apps" => expect_no_args(rest, Command::Apps),
         "prototype" => match rest {
@@ -324,6 +356,50 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         return Err(UsageError(
             "--checkpoint-path needs --checkpoint-every SLOTS".into(),
         ));
+    }
+    Ok(out)
+}
+
+fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
+    let mut out = ChaosArgs {
+        runs: 100,
+        seed: 0x4d50_5221,
+        days: 1.0,
+        disable_emergency: false,
+        no_shrink: false,
+        artifact_dir: None,
+        replay: None,
+        csv: false,
+        json: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--runs" => out.runs = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--disable-emergency" => out.disable_emergency = true,
+            "--no-shrink" => out.no_shrink = true,
+            "--artifact-dir" => out.artifact_dir = Some(take_value(flag, &mut it)?.to_owned()),
+            "--replay" => out.replay = Some(take_value(flag, &mut it)?.to_owned()),
+            "--csv" => out.csv = true,
+            "--json" => out.json = true,
+            other => return Err(UsageError(format!("unknown flag `{other}`"))),
+        }
+    }
+    if out.csv && out.json {
+        return Err(UsageError("--csv and --json are mutually exclusive".into()));
+    }
+    if out.replay.is_some() && (out.disable_emergency || out.csv || out.json) {
+        return Err(UsageError(
+            "--replay takes no campaign flags (only the artifact file)".into(),
+        ));
+    }
+    if out.runs == 0 {
+        return Err(UsageError("--runs must be at least 1".into()));
+    }
+    if !out.days.is_finite() || out.days <= 0.0 {
+        return Err(UsageError("--days must be positive".into()));
     }
     Ok(out)
 }
@@ -622,6 +698,49 @@ mod tests {
         assert_eq!(parse(&argv("apps")).unwrap(), Command::Apps);
         assert!(parse(&argv("traces extra")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn chaos_parsing() {
+        let Command::Chaos(a) = parse(&argv("chaos")).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.runs, 100);
+        assert_eq!(a.seed, 0x4d50_5221);
+        assert_eq!(a.days, 1.0);
+        assert!(!a.disable_emergency && !a.no_shrink && !a.csv && !a.json);
+        assert_eq!(a.artifact_dir, None);
+        assert_eq!(a.replay, None);
+
+        let Command::Chaos(a) = parse(&argv(
+            "chaos --runs 1000 --seed 42 --days 0.5 --disable-emergency \
+             --no-shrink --artifact-dir out --csv",
+        ))
+        .unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.runs, 1000);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.days, 0.5);
+        assert!(a.disable_emergency && a.no_shrink && a.csv);
+        assert_eq!(a.artifact_dir.as_deref(), Some("out"));
+
+        let Command::Chaos(a) = parse(&argv("chaos --replay repro.json")).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert_eq!(a.replay.as_deref(), Some("repro.json"));
+    }
+
+    #[test]
+    fn chaos_rejects_bad_combinations() {
+        assert!(parse(&argv("chaos --csv --json")).is_err());
+        assert!(parse(&argv("chaos --replay r.json --csv")).is_err());
+        assert!(parse(&argv("chaos --replay r.json --disable-emergency")).is_err());
+        assert!(parse(&argv("chaos --runs 0")).is_err());
+        assert!(parse(&argv("chaos --days 0")).is_err());
+        assert!(parse(&argv("chaos --days -1")).is_err());
+        assert!(parse(&argv("chaos --runs many")).is_err());
+        assert!(parse(&argv("chaos --frobnicate")).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mpr_proto::{Experiment, ExperimentConfig};
 use mpr_sim::{CheckpointPlan, FaultPlan, NetPlan, SimConfig, Simulation, TelemetryConfig};
 use mpr_workload::TraceGenerator;
 
-use crate::args::{spec_by_name, MarketArgs, SimulateArgs, SwfArgs};
+use crate::args::{spec_by_name, ChaosArgs, MarketArgs, SimulateArgs, SwfArgs};
 
 /// Runs `mpr simulate`, writing the report to `out`.
 ///
@@ -453,6 +453,69 @@ pub fn prototype(with_mpr: bool, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Runs `mpr chaos`: a fuzzing campaign, or an artifact replay with
+/// `--replay`.
+///
+/// # Errors
+///
+/// Returns an error — and `main` exits nonzero, which is what CI keys on —
+/// when any safety invariant was violated (campaign mode), when the replay
+/// does not reproduce, or on I/O and artifact-parse failures.
+pub fn chaos(args: &ChaosArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &args.replay {
+        let text = std::fs::read_to_string(path)?;
+        let plan = mpr_chaos::campaign::parse_artifact(&text)?;
+        writeln!(
+            out,
+            "replaying {path}: oracle [{}] over {} day(s)\n  scenario: {}",
+            plan.oracle,
+            plan.days,
+            plan.scenario.describe()
+        )?;
+        let outcome = mpr_chaos::campaign::replay(&plan);
+        for v in &outcome.violations {
+            writeln!(out, "  violation [{}] {}", v.oracle, v.message)?;
+        }
+        if outcome.reproduced {
+            writeln!(out, "REPRODUCED: oracle [{}] fired again", plan.oracle)?;
+            return Ok(());
+        }
+        return Err(format!(
+            "replay did not reproduce oracle [{}] (found {} other violation(s))",
+            plan.oracle,
+            outcome.violations.len()
+        )
+        .into());
+    }
+
+    let cc = mpr_chaos::CampaignConfig {
+        runs: args.runs,
+        seed: args.seed,
+        days: args.days,
+        emergency_disabled: args.disable_emergency,
+        shrink: !args.no_shrink,
+        artifact_dir: args.artifact_dir.as_ref().map(Into::into),
+    };
+    let report = mpr_chaos::run(&cc)?;
+    if args.csv {
+        write!(out, "{}", report.to_csv())?;
+    } else if args.json {
+        writeln!(out, "{}", report.to_json())?;
+    } else {
+        write!(out, "{}", report.summary())?;
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} safety-invariant violation(s) in {} run(s)",
+            report.violation_count(),
+            report.failures.len()
+        )
+        .into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +660,80 @@ mod tests {
         };
         assert!(simulate(&bad, &mut Vec::new()).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn chaos_args(s: &str) -> ChaosArgs {
+        let Command::Chaos(a) = parse(&argv(s)).unwrap() else {
+            panic!("expected chaos");
+        };
+        a
+    }
+
+    #[test]
+    fn chaos_healthy_campaign_passes() {
+        let mut buf = Vec::new();
+        chaos(
+            &chaos_args("chaos --runs 4 --seed 42 --days 0.25"),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("chaos campaign: 4 runs"), "{text}");
+    }
+
+    #[test]
+    fn chaos_seeded_violation_fails_shrinks_and_replays() {
+        let dir = std::env::temp_dir().join("mpr-cli-chaos-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut buf = Vec::new();
+        let err = chaos(
+            &chaos_args(&format!(
+                "chaos --runs 2 --seed 7 --days 0.25 --disable-emergency \
+                 --artifact-dir {}",
+                dir.display()
+            )),
+            &mut buf,
+        )
+        .expect_err("disabled FSM must fail the campaign");
+        assert!(err.to_string().contains("violation"));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("reproduce: cargo run -p mpr-cli"), "{text}");
+
+        // The printed artifact replays and reproduces.
+        let artifact = dir.join("chaos-repro-0.json");
+        let mut buf = Vec::new();
+        chaos(
+            &chaos_args(&format!("chaos --replay {}", artifact.display())),
+            &mut buf,
+        )
+        .expect("replay reproduces");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("REPRODUCED"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_csv_and_json_modes() {
+        let mut buf = Vec::new();
+        chaos(
+            &chaos_args("chaos --runs 3 --seed 1 --days 0.25 --csv"),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(text.starts_with("index,algorithm,"), "{text}");
+
+        let mut buf = Vec::new();
+        chaos(
+            &chaos_args("chaos --runs 3 --seed 1 --days 0.25 --json"),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"passed\": true"), "{text}");
     }
 
     fn market_args(mechanism: crate::args::MarketMechanism) -> crate::args::MarketArgs {

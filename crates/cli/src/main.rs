@@ -33,6 +33,7 @@ fn main() {
             commands::prototype(*with_mpr, &mut out).map_err(Into::into)
         }
         Command::Swf(a) => commands::swf(a, &mut out),
+        Command::Chaos(a) => commands::chaos(a, &mut out),
         Command::Calibrate => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();

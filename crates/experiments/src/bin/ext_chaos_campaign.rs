@@ -1,0 +1,113 @@
+//! Extension (robustness): the chaos campaign as an experiment.
+//!
+//! Randomized fault-plan fuzzing over the whole scenario space —
+//! algorithm × oversubscription × agent faults × lossy transport ×
+//! faulty sensors × misreported costs — with every run checked against
+//! the safety-invariant oracle registry. Two tables:
+//!
+//! 1. A bounded healthy campaign: per-algorithm run counts, overload
+//!    exposure and oracle verdicts (all must pass).
+//! 2. An ablation with the emergency FSM disabled: the power-cap oracle
+//!    must catch it, and delta-debugging shrinks each counterexample to
+//!    a minimal scenario, printed with its exact repro command.
+//!
+//! ```text
+//! cargo run --release -p mpr-experiments --bin ext_chaos_campaign -- --days 0.5
+//! ```
+
+use std::collections::BTreeMap;
+
+use mpr_chaos::{registry, run, CampaignConfig};
+use mpr_experiments::{arg_days, fmt, print_table};
+
+fn main() {
+    let days = arg_days(0.5);
+    let seed = 42;
+
+    println!("Chaos campaign: gaia, {days} day(s) per run, seed {seed}");
+    println!("Oracles:");
+    for o in registry() {
+        println!("  {:<12} {}", o.name, o.description);
+    }
+
+    // 1. Healthy system: the full generator space, no planted defect.
+    let cc = CampaignConfig {
+        runs: 40,
+        seed,
+        days,
+        ..CampaignConfig::default()
+    };
+    let report = run(&cc).expect("campaign artifacts are disabled");
+    let mut by_algo: BTreeMap<String, (usize, usize, usize, usize)> = BTreeMap::new();
+    for r in &report.records {
+        let e = by_algo.entry(r.scenario.algorithm.to_string()).or_default();
+        e.0 += 1;
+        e.1 += r.overload_events;
+        e.2 += r.overload_slots;
+        e.3 += r.violations.len();
+    }
+    let rows: Vec<Vec<String>> = by_algo
+        .iter()
+        .map(|(algo, &(runs, events, slots, viol))| {
+            vec![
+                algo.clone(),
+                runs.to_string(),
+                events.to_string(),
+                slots.to_string(),
+                viol.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Healthy campaign (all oracles must pass)",
+        &[
+            "algorithm",
+            "runs",
+            "overload events",
+            "overload slots",
+            "violations",
+        ],
+        &rows,
+    );
+    println!("verdict: {}", if report.passed() { "PASS" } else { "FAIL" });
+
+    // 2. Planted defect: disable the emergency FSM and let the oracle
+    //    registry find it, then shrink to minimal counterexamples.
+    let ablated = CampaignConfig {
+        runs: 6,
+        emergency_disabled: true,
+        ..cc
+    };
+    let broken = run(&ablated).expect("campaign artifacts are disabled");
+    let rows: Vec<Vec<String>> = broken
+        .failures
+        .iter()
+        .map(|f| {
+            vec![
+                f.index.to_string(),
+                f.oracle.clone(),
+                f.original.complexity().to_string(),
+                f.shrunk.complexity().to_string(),
+                f.shrink_steps.len().to_string(),
+                f.probes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Disabled-FSM ablation (power-cap oracle must fire)",
+        &["run", "oracle", "complexity", "shrunk", "steps", "probes"],
+        &rows,
+    );
+    for f in &broken.failures {
+        println!("  run {:>3}: {}", f.index, f.shrunk.describe());
+    }
+    let caught = !broken.passed();
+    println!(
+        "ablation caught: {} ({} violation(s) in {} of {} runs, {} shrink probe(s))",
+        if caught { "yes" } else { "NO (BUG)" },
+        broken.violation_count(),
+        broken.failures.len(),
+        ablated.runs,
+        fmt(broken.failures.iter().map(|f| f.probes as f64).sum(), 0),
+    );
+}

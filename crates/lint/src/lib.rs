@@ -10,8 +10,10 @@
 //! * **L2 `nan-safety`** — no `partial_cmp` on floats (panics or mis-orders
 //!   on NaN) and no `==`/`!=` against float literals in library code.
 //! * **L3 `panic-freedom`** — no `unwrap`/`expect`/`panic!`-family macros or
-//!   unchecked indexing in non-test library code of `mpr-core`/`mpr-power`,
-//!   the crates that execute inside every simulation slot.
+//!   unchecked indexing in non-test library code of
+//!   `mpr-core`/`mpr-power`/`mpr-sim`, the crates that execute inside every
+//!   simulation slot (the chaos campaign's `no-panic` oracle treats an
+//!   engine panic as a safety failure).
 //! * **L4 `determinism`** — no `HashMap`/`HashSet` in report/CSV modules and
 //!   no `Instant`/`SystemTime` inside the simulator.
 //! * **L5 `layering`** — `mpr-sim` and `mpr-cli` may not call the solver

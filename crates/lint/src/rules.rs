@@ -127,9 +127,11 @@ impl RuleSet {
             // NaN-safety applies to all library crates; binaries (cli,
             // experiments, bench drivers) are presentation code.
             nan_safety: !matches!(krate, "cli" | "experiments" | "bench" | "lint"),
-            // Panic-freedom is the strictest tier: the two crates whose code
-            // runs inside every simulation slot.
-            panic_freedom: matches!(krate, "core" | "power"),
+            // Panic-freedom is the strictest tier: the crates whose code
+            // runs inside every simulation slot — the solvers, the power
+            // layer, and the simulation engine itself (the chaos campaign's
+            // no-panic oracle treats any engine panic as a safety failure).
+            panic_freedom: matches!(krate, "core" | "power" | "sim"),
             determinism_time: krate == "sim",
             determinism_hash: file.contains("report") || file.contains("csv"),
             // The mechanism abstraction is the only sanctioned route from
@@ -833,7 +835,7 @@ mod tests {
         // Core hosts the solvers, so L5 cannot apply there.
         assert!(!core.layering);
         let sim = RuleSet::for_path("crates/sim/src/engine.rs");
-        assert!(sim.unit_hygiene && sim.determinism_time && !sim.panic_freedom);
+        assert!(sim.unit_hygiene && sim.determinism_time && sim.panic_freedom);
         assert!(sim.layering);
         let report = RuleSet::for_path("crates/sim/src/report.rs");
         assert!(report.determinism_hash);

@@ -264,30 +264,30 @@ impl<'a> Dec<'a> {
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(CheckpointError::Truncated);
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| CheckpointError::Truncated)
+    }
     fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn u128(&mut self) -> Result<u128, CheckpointError> {
-        Ok(u128::from_le_bytes(
-            self.take(16)?.try_into().expect("16 bytes"),
-        ))
+        Ok(u128::from_le_bytes(self.array()?))
     }
     fn usize(&mut self) -> Result<usize, CheckpointError> {
         usize::try_from(self.u64()?).map_err(|_| CheckpointError::Malformed("count overflow"))
@@ -430,6 +430,17 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
     }
     e.bool(cfg.record_timeline);
     e.bool(cfg.capacity_policy.is_some());
+    e.bool(cfg.emergency_disabled);
+    // The chaos generator-space version: a checkpoint written by a campaign
+    // scenario can only be resumed by a harness realizing the same space
+    // (satellite of the chaos-campaign PR; see `mpr_chaos::SPACE_VERSION`).
+    match cfg.scenario_space {
+        Some(v) => {
+            e.u8(1);
+            e.u32(v);
+        }
+        None => e.u8(0),
+    }
     e.str(sim.trace.name());
     e.u64(u64::from(sim.trace.total_cores()));
     e.usize(sim.trace.len());
@@ -683,7 +694,7 @@ fn decode_state(
     }
     let finished = d.bool()?;
 
-    let seed: [u8; 32] = d.take(32)?.try_into().expect("take(32) returns 32 bytes");
+    let seed: [u8; 32] = d.array()?;
     let stream = d.u64()?;
     let word_pos = d.u128()?;
     let mut rng = ChaCha8Rng::from_seed(seed);
@@ -714,15 +725,15 @@ fn decode_state(
     let mut active = Vec::with_capacity(n_active);
     for _ in 0..n_active {
         let idx = d.usize()?;
-        if idx >= setup.profiles.len() {
+        let Some(profile) = setup.profiles.get(idx) else {
             return Err(CheckpointError::Malformed("job index beyond trace"));
-        }
+        };
         let alpha = d.f64()?;
         let noise_factor = d.f64()?;
         if !noise_factor.is_finite() || noise_factor < 0.0 {
             return Err(CheckpointError::Malformed("invalid noise factor"));
         }
-        let mut job: ActiveJob = sim.rebuild_job(idx, &setup.profiles[idx], alpha, noise_factor);
+        let mut job: ActiveJob = sim.rebuild_job(idx, profile, alpha, noise_factor);
         job.remaining_secs = d.f64()?;
         job.exec_started_secs = d.f64()?;
         job.reduction = d.f64()?;
@@ -935,6 +946,14 @@ pub(crate) fn write_checkpoint(
     Ok(())
 }
 
+/// A fixed-width little-endian header field at byte offset `at`.
+fn header_field<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], CheckpointError> {
+    bytes
+        .get(at..at.saturating_add(N))
+        .and_then(|s| s.try_into().ok())
+        .ok_or(CheckpointError::Truncated)
+}
+
 /// Reads, validates and decodes a checkpoint into a ready-to-run
 /// [`EngineState`].
 pub(crate) fn read_checkpoint(
@@ -943,24 +962,25 @@ pub(crate) fn read_checkpoint(
     setup: &RunSetup,
 ) -> Result<EngineState, CheckpointError> {
     let bytes = fs::read(path)?;
+    let magic_ok = bytes.get(..8).is_some_and(|m| *m == MAGIC);
     if bytes.len() < HEADER_LEN {
-        return Err(if bytes.len() >= 8 && bytes[..8] == MAGIC {
+        return Err(if magic_ok {
             CheckpointError::Truncated
         } else {
             CheckpointError::BadMagic
         });
     }
-    if bytes[..8] != MAGIC {
+    if !magic_ok {
         return Err(CheckpointError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(header_field(&bytes, 8)?);
     if version != VERSION {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
-    let fprint = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
-    let checksum = u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes"));
-    let payload = &bytes[HEADER_LEN..];
+    let fprint = u64::from_le_bytes(header_field(&bytes, 12)?);
+    let payload_len = u64::from_le_bytes(header_field(&bytes, 20)?);
+    let checksum = u64::from_le_bytes(header_field(&bytes, 28)?);
+    let payload = bytes.get(HEADER_LEN..).ok_or(CheckpointError::Truncated)?;
     if payload.len() as u64 != payload_len {
         return Err(CheckpointError::Truncated);
     }

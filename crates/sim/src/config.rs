@@ -336,6 +336,18 @@ pub struct SimConfig {
     /// in-process perfect channel). MPR-INT runs its transported degradation
     /// chain when a plan is active.
     pub net_plan: Option<NetPlan>,
+    /// **Test-only.** Disables the emergency state machine entirely: power
+    /// is measured but never acted on — no declarations, no reductions, no
+    /// events. Exists so the chaos harness (`mpr-chaos`) can plant a known
+    /// safety violation and prove its oracles catch it; never set in
+    /// production configurations.
+    pub emergency_disabled: bool,
+    /// Version of the chaos generator space that produced this
+    /// configuration, when it came from an `mpr-chaos` campaign scenario
+    /// (`None` for hand-built configs). Folded into the checkpoint
+    /// fingerprint so a campaign resumed under a different generator-space
+    /// version is rejected instead of silently diverging.
+    pub scenario_space: Option<u32>,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -354,6 +366,8 @@ impl std::fmt::Debug for SimConfig {
             .field("fault_plan", &self.fault_plan)
             .field("telemetry", &self.telemetry)
             .field("net_plan", &self.net_plan)
+            .field("emergency_disabled", &self.emergency_disabled)
+            .field("scenario_space", &self.scenario_space)
             .finish()
     }
 }
@@ -387,6 +401,8 @@ impl SimConfig {
             fault_plan: None,
             telemetry: None,
             net_plan: None,
+            emergency_disabled: false,
+            scenario_space: None,
         }
     }
 
@@ -465,6 +481,22 @@ impl SimConfig {
     #[must_use]
     pub fn with_net(mut self, plan: NetPlan) -> Self {
         self.net_plan = Some(plan);
+        self
+    }
+
+    /// **Test-only.** Disables the emergency state machine (see
+    /// [`SimConfig::emergency_disabled`]).
+    #[must_use]
+    pub fn with_emergency_disabled(mut self) -> Self {
+        self.emergency_disabled = true;
+        self
+    }
+
+    /// Tags the configuration with the chaos generator-space version that
+    /// produced it (see [`SimConfig::scenario_space`]).
+    #[must_use]
+    pub fn with_scenario_space(mut self, version: u32) -> Self {
+        self.scenario_space = Some(version);
         self
     }
 }

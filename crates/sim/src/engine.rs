@@ -194,8 +194,12 @@ impl<'a> Simulation<'a> {
             let s = ((job.start_secs / slot).floor() as usize).min(n);
             let e = ((job.end_secs() / slot).ceil() as usize).clamp(s + 1, n.max(s + 1));
             if s < n {
-                diff[s] += w;
-                diff[e.min(n)] -= w;
+                if let Some(d) = diff.get_mut(s) {
+                    *d += w;
+                }
+                if let Some(d) = diff.get_mut(e.min(n)) {
+                    *d -= w;
+                }
             }
         }
         let mut acc = 0.0;
@@ -209,12 +213,13 @@ impl<'a> Simulation<'a> {
 
     fn assign_profiles(&self) -> Vec<Arc<AppProfile>> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let profiles = &self.config.profiles;
         self.trace
             .jobs()
             .iter()
-            .map(|_| {
-                let k = rng.gen_range(0..self.config.profiles.len());
-                Arc::clone(&self.config.profiles[k])
+            .filter_map(|_| {
+                let k = rng.gen_range(0..profiles.len());
+                profiles.get(k).map(Arc::clone)
             })
             .collect()
     }
@@ -314,7 +319,9 @@ impl<'a> Simulation<'a> {
         let plan = CheckpointPlan::resume_only();
         match self.resume_with_checkpoints(path, &plan)? {
             RunOutcome::Completed(report) => Ok(report),
-            RunOutcome::Killed { .. } => unreachable!("resume_only plan has no kill point"),
+            RunOutcome::Killed { .. } => Err(CheckpointError::Malformed(
+                "resume-only plan reported a kill point",
+            )),
         }
     }
 
@@ -377,17 +384,12 @@ impl<'a> Simulation<'a> {
 
         // 1. Arrivals. New starts are held during an emergency
         //    (Section III-E, "Executing resource/power reduction").
-        while state.next_job < jobs.len() && jobs[state.next_job].start_secs <= t {
+        while jobs.get(state.next_job).is_some_and(|j| j.start_secs <= t) {
             if in_emergency {
                 state.deferred.push_back(state.next_job);
                 state.acc.jobs_deferred += 1;
-            } else {
-                let job = self.start_job(
-                    state.next_job,
-                    &setup.profiles[state.next_job],
-                    t,
-                    &mut state.rng,
-                );
+            } else if let Some(profile) = setup.profiles.get(state.next_job) {
+                let job = self.start_job(state.next_job, profile, t, &mut state.rng);
                 if job.static_supply.is_none() {
                     state.acc.degradation.bid_failures += 1;
                 }
@@ -411,8 +413,11 @@ impl<'a> Simulation<'a> {
             // late, stretched run can blow past the simulation horizon.
             let mut started_this_slot = false;
             while let Some(&idx) = state.deferred.front() {
-                let p = &setup.profiles[idx];
-                let job_w = f64::from(jobs[idx].cores) * (static_w + p.unit_dynamic_power_w());
+                let (Some(p), Some(spec)) = (setup.profiles.get(idx), jobs.get(idx)) else {
+                    state.deferred.pop_front();
+                    continue;
+                };
+                let job_w = f64::from(spec.cores) * (static_w + p.unit_dynamic_power_w());
                 if job_w <= budget || !started_this_slot {
                     started_this_slot = true;
                     let job = self.start_job(idx, p, t, &mut state.rng);
@@ -454,7 +459,15 @@ impl<'a> Simulation<'a> {
             }
             None => power_w,
         };
-        match state.controller.step(t, Watts::new(measured_w)) {
+        // Test-only chaos knob: with the FSM disabled the controller never
+        // steps, so overload passes entirely unhandled — the seeded
+        // violation `mpr-chaos`'s cap oracle must catch.
+        let action = if cfg.emergency_disabled {
+            EmergencyAction::None
+        } else {
+            state.controller.step(t, Watts::new(measured_w))
+        };
+        match action {
             action @ (EmergencyAction::Declare { .. } | EmergencyAction::Escalate { .. }) => {
                 if state.controller.phase().is_active() {
                     state.acc.overload_events += 1;
@@ -533,7 +546,9 @@ impl<'a> Simulation<'a> {
         // 4. Progress and accounting.
         let mut i = 0;
         while i < state.active.len() {
-            let job = &mut state.active[i];
+            let Some(job) = state.active.get_mut(i) else {
+                break;
+            };
             let r = job.per_core_reduction();
             let perf = job.profile.performance(1.0 - r);
             job.remaining_secs -= perf * slot;
@@ -625,8 +640,11 @@ impl<'a> Simulation<'a> {
         alpha: f64,
         noise_factor: f64,
     ) -> ActiveJob {
-        let job = &self.trace.jobs()[idx];
-        let cores = f64::from(job.cores);
+        let (cores, runtime_secs) = self
+            .trace
+            .jobs()
+            .get(idx)
+            .map_or((0.0, 0.0), |j| (f64::from(j.cores), j.runtime_secs));
         let base = profile.cost_model(alpha);
         let noisy = NoisyCost::new(base.clone(), noise_factor);
         let perceived = Arc::new(ScaledCost::new(noisy, cores));
@@ -643,8 +661,8 @@ impl<'a> Simulation<'a> {
             idx,
             cores,
             profile: Arc::clone(profile),
-            remaining_secs: job.runtime_secs,
-            nominal_secs: job.runtime_secs,
+            remaining_secs: runtime_secs,
+            nominal_secs: runtime_secs,
             exec_started_secs: 0.0,
             reduction: 0.0,
             price: 0.0,

@@ -110,11 +110,14 @@ impl<'a> PartitionedSimulation<'a> {
         let jobs = self.trace.jobs();
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         if self.policy == PartitionPolicy::WidthBalanced {
-            order.sort_by(|&a, &b| jobs[b].cores.cmp(&jobs[a].cores));
+            order.sort_by_key(|&i| std::cmp::Reverse(jobs.get(i).map_or(0, |j| j.cores)));
         }
         let mut buckets: Vec<Vec<mpr_workload::Job>> = vec![Vec::new(); self.partitions];
         for (i, &idx) in order.iter().enumerate() {
-            buckets[i % self.partitions].push(jobs[idx]);
+            if let (Some(bucket), Some(job)) = (buckets.get_mut(i % self.partitions), jobs.get(idx))
+            {
+                bucket.push(*job);
+            }
         }
         let base = (self.trace.total_cores() / self.partitions as u32).max(1);
         buckets

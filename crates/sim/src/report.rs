@@ -187,15 +187,22 @@ impl Timeline {
         // typed display can never drift apart.
         let w = mpr_core::Watts::SUFFIX.trim().to_ascii_lowercase();
         let mut out = format!("minute,demand_{w},power_{w},capacity_{w},reduction_{w},price\n");
-        for i in 0..self.power_w.len() {
+        let rows = self
+            .demand_w
+            .iter()
+            .zip(&self.power_w)
+            .zip(&self.capacity_w)
+            .zip(&self.reduction_w)
+            .zip(&self.price);
+        for (i, ((((demand, power), capacity), reduction), price)) in rows.enumerate() {
             out.push_str(&format!(
                 "{:.2},{:.1},{:.1},{:.1},{:.1},{:.6}\n",
                 i as f64 * self.slot_secs / 60.0,
-                self.demand_w[i],
-                self.power_w[i],
-                self.capacity_w[i],
-                self.reduction_w[i],
-                self.price[i],
+                demand,
+                power,
+                capacity,
+                reduction,
+                price,
             ));
         }
         out

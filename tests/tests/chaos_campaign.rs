@@ -1,0 +1,75 @@
+//! Acceptance tests for the chaos campaign harness: a campaign report must
+//! be bit-identical regardless of worker-thread count, and the generator
+//! space version baked into every chaos run must fence checkpoint resume.
+
+use mpr_chaos::{run, CampaignConfig};
+use mpr_sim::{Algorithm, CheckpointError, CheckpointPlan, RunOutcome, SimConfig, Simulation};
+use mpr_tests::test_trace;
+
+/// Satellite of the chaos tentpole: the campaign fan-out must not leak
+/// scheduling order into results. One worker thread and many must render
+/// byte-for-byte the same JSON and CSV — including failures and their
+/// shrunk counterexamples.
+#[test]
+fn campaign_reports_are_bit_identical_across_thread_counts() {
+    let cc = CampaignConfig {
+        runs: 12,
+        seed: 0xC0FFEE,
+        days: 0.25,
+        emergency_disabled: true, // provoke failures so shrinking runs too
+        ..CampaignConfig::default()
+    };
+    let render = |threads: &str| {
+        // The vendored rayon shim reads RAYON_NUM_THREADS at every
+        // `collect`, so flipping it between campaigns takes effect. This
+        // is the only test in the binary touching the variable.
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let report = run(&cc).expect("no artifact io");
+        (report.to_json(), report.to_csv(), report.summary())
+    };
+    let single = render("1");
+    let four = render("4");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(single.0, four.0, "JSON must not depend on thread count");
+    assert_eq!(single.1, four.1, "CSV must not depend on thread count");
+    assert_eq!(single.2, four.2, "summary must not depend on thread count");
+}
+
+/// A checkpoint written by a run tagged with one chaos generator-space
+/// version must refuse to resume under another: shrunk repro artifacts
+/// pin `space_version`, and a resumed run from a different space would
+/// silently invalidate them.
+#[test]
+fn checkpoint_resume_rejects_generator_space_mismatch() {
+    let trace = test_trace(3.0, 3);
+    let path = std::env::temp_dir().join(format!("mpr_chaos_space_{}.ckpt", std::process::id()));
+    let cfg = SimConfig::new(Algorithm::MprStat, 20.0).with_scenario_space(1);
+    let sim = Simulation::new(&trace, cfg);
+    let plan = CheckpointPlan::every(&path, 300).with_kill_at(600);
+    match sim.run_with_checkpoints(&plan).expect("checkpointed run") {
+        RunOutcome::Killed { .. } => {}
+        RunOutcome::Completed(_) => panic!("kill point must fire"),
+    }
+
+    // Same config, different generator space: fingerprint mismatch.
+    let other = SimConfig::new(Algorithm::MprStat, 20.0).with_scenario_space(2);
+    let err = Simulation::new(&trace, other)
+        .resume(&path)
+        .expect_err("space-version change must fence resume");
+    assert!(matches!(err, CheckpointError::ConfigMismatch), "{err:?}");
+
+    // An untagged config (no chaos provenance) is likewise a different
+    // fingerprint from a tagged one.
+    let untagged = SimConfig::new(Algorithm::MprStat, 20.0);
+    let err = Simulation::new(&trace, untagged)
+        .resume(&path)
+        .expect_err("dropping the tag must fence resume");
+    assert!(matches!(err, CheckpointError::ConfigMismatch), "{err:?}");
+
+    // The original tagged config still resumes fine.
+    let again = SimConfig::new(Algorithm::MprStat, 20.0).with_scenario_space(1);
+    Simulation::new(&trace, again)
+        .resume(&path)
+        .expect("matching space must resume");
+    let _ = std::fs::remove_file(&path);
+}

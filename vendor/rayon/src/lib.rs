@@ -1,0 +1,210 @@
+//! Offline stand-in for the subset of `rayon` the MPR workspace uses.
+//!
+//! The build container has no network access to crates.io, so the chaos
+//! campaign harness fans out over a small `std::thread::scope`-based shim
+//! instead of the real work-stealing pool. The API mirrors rayon's
+//! idiom — `use rayon::prelude::*; (0..n).into_par_iter().map(f).collect()`
+//! — for the operations the workspace actually performs.
+//!
+//! Guarantees the harness depends on:
+//!
+//! * **Deterministic ordering** — `collect` returns results in the input's
+//!   index order, regardless of which worker finished first.
+//! * **`RAYON_NUM_THREADS`** — honored exactly like upstream rayon: a
+//!   positive integer pins the worker count; unset or invalid values fall
+//!   back to the machine's available parallelism.
+//! * **Panic propagation** — a panic inside a worker resurfaces on the
+//!   caller's thread (via `std::thread::scope`), matching rayon.
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads parallel operations will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Commonly imported names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel-iterator types and conversion traits.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Types convertible into a [`ParallelIterator`].
+    pub trait IntoParallelIterator {
+        /// The element type produced.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator over its elements.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Item = u64;
+        fn into_par_iter(self) -> ParIter<u64> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// The shim's one concrete parallel iterator: a materialized item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// Operations on parallel iterators (a subset of rayon's trait of the
+    /// same name, implemented only for the shapes the workspace uses).
+    pub trait ParallelIterator: Sized {
+        /// The element type produced.
+        type Item: Send;
+
+        /// Maps each element through `f`, to be evaluated in parallel at
+        /// [`collect`](ParMap::collect) time.
+        fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync;
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> ParMap<T, F> {
+        /// Runs the map across worker threads and collects the results in
+        /// input order. Results are deterministic for a pure `f` no matter
+        /// how many workers run (including one).
+        pub fn collect<R, C>(self) -> C
+        where
+            T: Send,
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let f = &self.f;
+            let len = self.items.len();
+            let workers = current_num_threads().min(len.max(1));
+            if workers <= 1 || len <= 1 {
+                return self.items.into_iter().map(f).collect();
+            }
+            // Contiguous chunks, one worker each; chunk results are
+            // re-concatenated in chunk order so collection order equals
+            // input order.
+            let chunk_len = len.div_ceil(workers);
+            let mut chunks: Vec<Vec<T>> = Vec::new();
+            let mut items = self.items.into_iter();
+            loop {
+                let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                chunks.push(chunk);
+            }
+            let mut results: Vec<Vec<R>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => results.push(r),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            });
+            results.into_iter().flatten().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        let expect: Vec<usize> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn vec_source_and_empty_input() {
+        let out: Vec<String> = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(str::to_owned)
+            .collect();
+        assert_eq!(out, ["a", "b", "c"]);
+        let empty: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn thread_count_env_is_honored() {
+        // The env var is process-global; this test only checks the parse
+        // fallback logic, not concurrent mutation.
+        let n = super::current_num_threads();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        let _: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                assert!(i != 5, "worker boom");
+                i
+            })
+            .collect();
+    }
+}
