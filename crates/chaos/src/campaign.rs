@@ -41,6 +41,11 @@ pub struct CampaignConfig {
     /// **Test-only.** Plant `emergency_disabled` into every scenario to
     /// prove the oracles catch a real safety failure end-to-end.
     pub emergency_disabled: bool,
+    /// **Test-only.** Plant the unsound `wal_fsync_never` journaling
+    /// policy (plus a mid-run kill where the scenario drew none) into
+    /// every scenario, to prove the `durability-commit` oracle catches an
+    /// acknowledgement-loss bug end-to-end.
+    pub wal_fsync_never: bool,
     /// Delta-debug each failure to a minimal reproducing scenario.
     pub shrink: bool,
     /// Where to write repro artifacts (one JSON file per failing run);
@@ -55,6 +60,7 @@ impl Default for CampaignConfig {
             seed: 0x4d50_5221,
             days: 1.0,
             emergency_disabled: false,
+            wal_fsync_never: false,
             shrink: true,
             artifact_dir: None,
         }
@@ -212,10 +218,20 @@ impl CampaignReport {
             .iter()
             .filter(|r| r.scenario.sensor.is_some())
             .count();
+        let with_disk = self
+            .records
+            .iter()
+            .filter(|r| r.scenario.disk_plan.is_some())
+            .count();
+        let with_kill = self
+            .records
+            .iter()
+            .filter(|r| r.scenario.kill_at_frac > 0.0)
+            .count();
         let emergencies: usize = self.records.iter().map(|r| r.overload_events).sum();
         out.push_str(&format!(
             "  fault plans: {with_faults}  net plans: {with_net}  sensor faults: {with_sensor}  \
-             emergencies simulated: {emergencies}\n",
+             disk faults: {with_disk}  kills: {with_kill}  emergencies simulated: {emergencies}\n",
         ));
         if self.passed() {
             out.push_str(&format!(
@@ -258,24 +274,51 @@ fn str_array(items: &[&str]) -> String {
     format!("[{}]", quoted.join(", "))
 }
 
-/// Simulates one scenario, catching panics.
+/// Simulates one scenario, catching panics. Durable scenarios (a disk
+/// plan, a kill, or the planted fsync knob) run through the
+/// crash/recover harness; the kill fraction is resolved to a slot here,
+/// against the trace span — the one quantity the scenario cannot know.
 fn simulate(trace: &Trace, scenario: &Scenario) -> Result<mpr_sim::SimReport, String> {
-    catch_unwind(AssertUnwindSafe(|| {
-        Simulation::new(trace, scenario.sim_config()).run()
-    }))
-    .map_err(|payload| {
-        payload
+    let mut cfg = scenario.sim_config();
+    if let Some(plan) = cfg.durability.as_mut() {
+        if scenario.kill_at_frac > 0.0 {
+            let slots = (trace.span_secs() / cfg.slot_secs).max(1.0);
+            plan.kill_at_slot = Some(((slots * scenario.kill_at_frac) as u64).max(1));
+        }
+    }
+    let durable = cfg.durability.is_some();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if durable {
+            mpr_sim::run_durable(trace, cfg)
+                .map(|run| run.report)
+                .map_err(|e| format!("ledger unrecoverable: {e}"))
+        } else {
+            Ok(Simulation::new(trace, cfg).run())
+        }
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_owned())
             .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "panic payload of unknown type".to_owned())
-    })
+            .unwrap_or_else(|| "panic payload of unknown type".to_owned())),
+    }
 }
 
 fn run_one(trace: &Trace, cc: &CampaignConfig, index: u64) -> RunRecord {
     let mut scenario = Scenario::generate(cc.seed, index);
     if cc.emergency_disabled {
         scenario.emergency_disabled = true;
+    }
+    if cc.wal_fsync_never {
+        scenario.wal_fsync_never = true;
+        // The unsound policy only loses data when something actually
+        // crashes: make sure every planted run gets killed mid-flight.
+        // lint: allow(nan-safety) 0.0 is the exact "no kill drawn" sentinel, never computed
+        if scenario.kill_at_frac == 0.0 {
+            scenario.kill_at_frac = 0.5;
+        }
     }
     match simulate(trace, &scenario) {
         Ok(report) => RunRecord {
@@ -517,6 +560,41 @@ mod tests {
             assert!(f.shrunk.complexity() <= f.original.complexity());
         }
         assert!(report.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn planted_fsync_never_is_caught_and_shrunk() {
+        let cc = CampaignConfig {
+            wal_fsync_never: true,
+            ..quick(6, 21)
+        };
+        let report = run(&cc).expect("no artifact io");
+        assert!(
+            !report.passed(),
+            "the unsound fsync policy must lose acknowledged slots:\n{}",
+            report.summary()
+        );
+        let f = report
+            .failures
+            .iter()
+            .find(|f| f.oracle == "durability-commit")
+            .expect("durability-commit must be the firing oracle");
+        assert!(f.shrunk.wal_fsync_never, "knob must survive shrinking");
+        assert!(
+            f.shrunk.kill_at_frac > 0.0,
+            "the kill must survive shrinking: without a crash nothing is lost"
+        );
+        // The minimal counterexample reproduces independently.
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(cc.days)).generate();
+        assert!(
+            reproduces(&trace, &f.shrunk, "durability-commit"),
+            "shrunk scenario no longer trips durability-commit: {}",
+            f.shrunk.describe()
+        );
+        // A sound campaign at the same seed is clean: the violation is
+        // attributable to the planted policy, not the disk faults.
+        let sound = run(&quick(6, 21)).expect("no artifact io");
+        assert!(sound.passed(), "{}", sound.summary());
     }
 
     #[test]

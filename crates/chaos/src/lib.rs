@@ -6,9 +6,10 @@
 //! crate exercises the *composition space*: every campaign run draws a
 //! random [`Scenario`] — an algorithm, an oversubscription level, a
 //! [`FaultPlan`](mpr_sim::FaultPlan) × [`NetPlan`](mpr_sim::NetPlan) ×
-//! sensor-fault mix and config perturbations — from a seeded ChaCha8
-//! generator space, simulates it, and checks a registry of
-//! safety-invariant [`oracles`](oracle) on the resulting
+//! sensor-fault × [`DiskPlan`](mpr_sim::DiskPlan)-under-the-ledger mix,
+//! an optional mid-run kill/recover point, and config perturbations —
+//! from a seeded ChaCha8 generator space, simulates it, and checks a
+//! registry of safety-invariant [`oracles`](oracle) on the resulting
 //! [`SimReport`](mpr_sim::SimReport).
 //!
 //! The pipeline (see `DESIGN.md` §13):
@@ -22,9 +23,12 @@
 //! 3. **Check** — every report passes through [`oracle::registry`]:
 //!    power-cap enforcement, degradation-ladder monotonicity, accounting
 //!    conservation, finite non-negative prices,
-//!    quarantine-implies-stragglers, and no-panic (each run is wrapped in
-//!    `catch_unwind` as a backstop — `mpr-lint`'s L3 panic-freedom rule
-//!    covers `mpr-sim` so the backstop should never fire).
+//!    quarantine-implies-stragglers, the durability trio
+//!    (acknowledged-slot retention, exactly-once ledger payments,
+//!    replay convergence — see `DESIGN.md` §14), and no-panic (each run
+//!    is wrapped in `catch_unwind` as a backstop — `mpr-lint`'s L3
+//!    panic-freedom rule covers `mpr-sim` so the backstop should never
+//!    fire).
 //! 4. **Shrink** — a violating scenario is delta-debugged
 //!    ([`shrink::shrink`]) to a minimal plan that still reproduces the
 //!    same oracle's violation, and emitted as a self-contained JSON repro
@@ -53,7 +57,7 @@ pub use scenario::Scenario;
 /// folded into scenario checkpoint fingerprints, so a resumed campaign
 /// rejects checkpoints from a mismatched generator instead of silently
 /// regenerating different scenarios under the same seed.
-pub const SPACE_VERSION: u32 = 1;
+pub const SPACE_VERSION: u32 = 2;
 
 /// Stream separator folded into the campaign seed before scenario draws,
 /// so scenario RNG streams can never collide with the simulator's own

@@ -23,8 +23,24 @@
 //!   non-market algorithms never post a price.
 //! * `quarantine` — transport quarantines imply observed deadline misses:
 //!   an agent can only be quarantined after straggling.
+//! * `durability-commit` — a crash never loses a slot the manager already
+//!   acknowledged as durable: `recovered_commit_slot >=
+//!   acked_slot_before_crash`. Waived under injected bit flips, which can
+//!   silently corrupt records that *were* honestly synced. This is the
+//!   oracle that catches the intentionally unsound `--wal-fsync never`
+//!   planted bug.
+//! * `durability-payments` — the ledger's journaled payments sum
+//!   bit-for-bit to the report's reward: replaying the journal never
+//!   double-pays and never drops a payment.
+//! * `durability-replay` — re-driving recovered slots reproduces the
+//!   journal event-for-event (the engine is deterministic, so any
+//!   divergence is a recovery bug).
 //! * `no-panic` — synthesized by the campaign runner when a simulation
 //!   panics (the run is wrapped in `catch_unwind` as a backstop).
+//!
+//! The durability trio is vacuously clean for non-durable runs
+//! ([`SimReport::durability`] is `None`) and skips safe-mode escalations,
+//! where the report comes from the EQL fallback rather than the ledger.
 
 use mpr_core::ChainLevel;
 use mpr_sim::{Algorithm, EmergencyEventKind, FaultPlan, NetPlan, SimReport};
@@ -148,6 +164,21 @@ pub fn registry() -> &'static [Oracle] {
             name: "quarantine",
             description: "transport quarantines imply observed deadline misses",
             check: check_quarantine,
+        },
+        Oracle {
+            name: "durability-commit",
+            description: "a crash never loses an acknowledged-durable slot",
+            check: check_durability_commit,
+        },
+        Oracle {
+            name: "durability-payments",
+            description: "ledger payments are exactly-once and sum to the reward",
+            check: check_durability_payments,
+        },
+        Oracle {
+            name: "durability-replay",
+            description: "recovery replay reproduces the journal event-for-event",
+            check: check_durability_replay,
         },
     ]
 }
@@ -473,6 +504,76 @@ fn check_quarantine(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// durability
+
+fn check_durability_commit(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(d) = &r.durability else {
+        return Vec::new();
+    };
+    if d.safe_mode {
+        return Vec::new();
+    }
+    // Bit flips corrupt records *after* framing: the CRC catches them on
+    // recovery and the scan truncates at the flip, so slots that were
+    // honestly synced can still be lost. That is media corruption, not an
+    // acknowledgement bug — waived.
+    if scenario.disk_plan.is_some_and(|p| p.bit_flip_prob > 0.0) {
+        return Vec::new();
+    }
+    if d.acked_slot_before_crash > d.recovered_commit_slot {
+        return vec![Violation::new(
+            "durability-commit",
+            format!(
+                "crash lost acknowledged slots: acked {:?} before the kill but \
+                 only {:?} survived recovery (unsound fsync policy?)",
+                d.acked_slot_before_crash, d.recovered_commit_slot
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+fn check_durability_payments(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(d) = &r.durability else {
+        return Vec::new();
+    };
+    if d.safe_mode {
+        return Vec::new();
+    }
+    if d.ledger_reward_core_hours.to_bits() != r.reward_core_hours.to_bits() {
+        return vec![Violation::new(
+            "durability-payments",
+            format!(
+                "ledger payments sum to {} core-hours but the report rewards {} \
+                 (double-paid or dropped payment through recovery)",
+                d.ledger_reward_core_hours, r.reward_core_hours
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+fn check_durability_replay(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(d) = &r.durability else {
+        return Vec::new();
+    };
+    if d.safe_mode {
+        return Vec::new();
+    }
+    if d.replay_divergence > 0 {
+        return vec![Violation::new(
+            "durability-replay",
+            format!(
+                "{} replayed slot(s) diverged from the journal (recovery must \
+                 reproduce journaled events exactly)",
+                d.replay_divergence
+            ),
+        )];
+    }
+    Vec::new()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +592,9 @@ mod tests {
             fault_plan: cfg.fault_plan,
             net_plan: cfg.net_plan,
             sensor: cfg.telemetry.map(|t| t.sensor),
+            disk_plan: cfg.durability.as_ref().and_then(|d| d.disk),
+            kill_at_frac: 0.0,
+            wal_fsync_never: false,
             emergency_disabled: cfg.emergency_disabled,
         }
     }
@@ -570,7 +674,71 @@ mod tests {
         let names: Vec<&str> = registry().iter().map(|o| o.name).collect();
         assert_eq!(
             names,
-            ["power-cap", "ladder", "accounting", "prices", "quarantine"]
+            [
+                "power-cap",
+                "ladder",
+                "accounting",
+                "prices",
+                "quarantine",
+                "durability-commit",
+                "durability-payments",
+                "durability-replay"
+            ]
+        );
+    }
+
+    #[test]
+    fn durable_crash_recovery_passes_every_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        let cfg = SimConfig::new(Algorithm::MprStat, 20.0)
+            .with_timeline()
+            .with_seed(3)
+            .with_durability(mpr_sim::DurabilityPlan::kill_at(120));
+        let scenario = scenario_for(&cfg);
+        let run = mpr_sim::run_durable(&trace, cfg).expect("durable run");
+        assert!(run.report.durability.is_some());
+        let violations = check_all(&scenario, &run.report);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn fsync_never_crash_trips_the_commit_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        // The acknowledgement loss is seed-dependent (a crash may land on
+        // a checkpoint boundary); at least one seed must expose it.
+        let mut tripped = None;
+        for seed in [3u64, 5, 11, 13] {
+            let cfg = SimConfig::new(Algorithm::MprStat, 20.0)
+                .with_timeline()
+                .with_seed(seed)
+                .with_durability(mpr_sim::DurabilityPlan {
+                    fsync: mpr_sim::FsyncPolicy::Never,
+                    ..mpr_sim::DurabilityPlan::kill_at(150)
+                });
+            let mut scenario = scenario_for(&cfg);
+            scenario.wal_fsync_never = true;
+            scenario.kill_at_frac = 0.5;
+            let run = mpr_sim::run_durable(&trace, cfg).expect("durable run");
+            let violations = check_all(&scenario, &run.report);
+            if violations.iter().any(|v| v.oracle == "durability-commit") {
+                // The same loss must be waived under injected bit flips,
+                // which legitimately truncate acknowledged slots.
+                scenario.disk_plan = Some(mpr_sim::DiskPlan {
+                    bit_flip_prob: 0.01,
+                    ..mpr_sim::DiskPlan::default()
+                });
+                let waived = check_all(&scenario, &run.report);
+                assert!(
+                    !waived.iter().any(|v| v.oracle == "durability-commit"),
+                    "{waived:?}"
+                );
+                tripped = Some(seed);
+                break;
+            }
+        }
+        assert!(
+            tripped.is_some(),
+            "fsync=never + kill must lose acknowledged slots for some seed"
         );
     }
 }

@@ -3,9 +3,13 @@
 //! A [`Scenario`] is one point in the campaign's composition space: an
 //! algorithm, an oversubscription level, a per-run simulation seed, config
 //! perturbations (participation, α-spread, cost noise, power phases) and
-//! up to three fault layers — agent faults ([`FaultPlan`]), message-layer
-//! faults ([`NetPlan`]) and sensor faults
-//! ([`SensorFaultConfig`](mpr_power::telemetry::SensorFaultConfig)).
+//! up to four fault layers — agent faults ([`FaultPlan`]), message-layer
+//! faults ([`NetPlan`]), sensor faults
+//! ([`SensorFaultConfig`](mpr_power::telemetry::SensorFaultConfig)) and
+//! storage faults under the durable market ledger ([`DiskPlan`]). A drawn
+//! disk layer usually also schedules a mid-run manager kill
+//! ([`Scenario::kill_at_frac`]), exercising the checkpoint + ledger-replay
+//! recovery path end-to-end.
 //!
 //! [`Scenario::generate`] maps `(campaign seed, run index)` to a scenario
 //! through an independent ChaCha8 stream per index, so run *k* of campaign
@@ -19,7 +23,10 @@
 use std::collections::BTreeMap;
 
 use mpr_power::telemetry::SensorFaultConfig;
-use mpr_sim::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig, TelemetryConfig};
+use mpr_sim::{
+    Algorithm, CostNoise, DiskPlan, DurabilityPlan, FaultPlan, FsyncPolicy, NetPlan, SimConfig,
+    TelemetryConfig,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -55,6 +62,21 @@ pub struct Scenario {
     pub net_plan: Option<NetPlan>,
     /// Sensor-fault mix, when drawn.
     pub sensor: Option<SensorFaultConfig>,
+    /// Storage-fault mix injected under the durable market ledger, when
+    /// drawn. Presence routes the run through the crash/recover harness
+    /// ([`run_durable`](mpr_sim::run_durable)) even without a kill.
+    pub disk_plan: Option<DiskPlan>,
+    /// Mid-run manager kill point as a fraction of the trace span
+    /// (`0.0` = run uninterrupted). The campaign resolves it to a slot
+    /// against the trace it generates; usually drawn alongside a disk
+    /// plan so recovery replays over a faulty ledger.
+    pub kill_at_frac: f64,
+    /// **Test-only.** Journal with the intentionally unsound
+    /// [`FsyncPolicy::Never`], which acknowledges slots before they are
+    /// durable. Never drawn by [`generate`](Self::generate); planted by
+    /// the campaign's seeded-violation mode to prove the
+    /// `durability-commit` oracle catches real acknowledgement-loss bugs.
+    pub wal_fsync_never: bool,
     /// **Test-only.** Realize the scenario with the emergency FSM disabled
     /// (see [`SimConfig::emergency_disabled`]). Never drawn by
     /// [`generate`](Self::generate); planted by the campaign's
@@ -174,6 +196,36 @@ impl Scenario {
             },
             spike_magnitude_frac: rng.gen_range(0.2..1.0f64),
         });
+        // Storage faults live under the market ledger; bit flips are rarer
+        // than torn writes (they model silent media corruption rather than
+        // a crashed write path) and legitimately truncate acknowledged
+        // slots, so the commit oracle waives them.
+        let disk_plan = rng.gen_bool(0.4).then(|| DiskPlan {
+            torn_write_prob: if rng.gen_bool(0.6) {
+                rng.gen_range(0.05..0.4f64)
+            } else {
+                0.0
+            },
+            bit_flip_prob: if rng.gen_bool(0.25) {
+                rng.gen_range(0.001..0.01f64)
+            } else {
+                0.0
+            },
+            fsync_fail_prob: if rng.gen_bool(0.4) {
+                rng.gen_range(0.02..0.2f64)
+            } else {
+                0.0
+            },
+            capacity_bytes: None,
+        });
+        // Most disk scenarios also kill the manager mid-run so recovery
+        // actually replays the faulty ledger; the rest journal through the
+        // faults uninterrupted.
+        let kill_at_frac = if disk_plan.is_some() && rng.gen_bool(0.75) {
+            rng.gen_range(0.1..0.9f64)
+        } else {
+            0.0
+        };
 
         Scenario {
             algorithm,
@@ -186,8 +238,18 @@ impl Scenario {
             fault_plan,
             net_plan,
             sensor,
+            disk_plan,
+            kill_at_frac,
+            wal_fsync_never: false,
             emergency_disabled: false,
         }
+    }
+
+    /// `true` when the scenario must run through the durable-ledger
+    /// crash/recover harness rather than the plain simulation loop.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.disk_plan.is_some() || self.kill_at_frac > 0.0 || self.wal_fsync_never
     }
 
     /// Realizes the scenario as a simulator configuration. The timeline is
@@ -214,6 +276,20 @@ impl Scenario {
         }
         if let Some(s) = self.sensor {
             cfg = cfg.with_telemetry(TelemetryConfig::with_faults(s));
+        }
+        if self.is_durable() {
+            // `kill_at_slot` stays unresolved here: the fraction is
+            // relative to the trace span, which only the campaign knows
+            // (see `campaign::simulate`).
+            cfg = cfg.with_durability(DurabilityPlan {
+                fsync: if self.wal_fsync_never {
+                    FsyncPolicy::Never
+                } else {
+                    FsyncPolicy::Always
+                },
+                disk: self.disk_plan,
+                ..DurabilityPlan::default()
+            });
         }
         if self.emergency_disabled {
             cfg = cfg.with_emergency_disabled();
@@ -249,6 +325,13 @@ impl Scenario {
             n += usize::from(s.spike_prob > 0.0);
             n += usize::from(s.delay_polls > 0);
         }
+        if let Some(p) = self.disk_plan {
+            n += 1;
+            n += usize::from(p.torn_write_prob > 0.0);
+            n += usize::from(p.bit_flip_prob > 0.0);
+            n += usize::from(p.fsync_fail_prob > 0.0);
+        }
+        n += usize::from(self.kill_at_frac > 0.0);
         n += usize::from(!matches!(self.cost_noise, CostNoise::None));
         n += usize::from(self.alpha_spread > 0.0);
         n += usize::from(self.participation < 1.0);
@@ -283,6 +366,15 @@ impl Scenario {
                 s.noise_sigma_frac, s.dropout_prob, s.stuck_prob, s.spike_prob
             ));
         }
+        if let Some(p) = self.disk_plan {
+            parts.push(format!(
+                "disk(torn={:.2},flip={:.3},fsync-fail={:.2})",
+                p.torn_write_prob, p.bit_flip_prob, p.fsync_fail_prob
+            ));
+        }
+        if self.kill_at_frac > 0.0 {
+            parts.push(format!("kill@{:.2}", self.kill_at_frac));
+        }
         match self.cost_noise {
             CostNoise::None => {}
             CostNoise::Random { magnitude } => parts.push(format!("noise(random,{magnitude:.2})")),
@@ -298,6 +390,9 @@ impl Scenario {
         }
         if self.phase_amplitude > 0.0 {
             parts.push(format!("phases={:.2}", self.phase_amplitude));
+        }
+        if self.wal_fsync_never {
+            parts.push("WAL-FSYNC-NEVER".to_owned());
         }
         if self.emergency_disabled {
             parts.push("EMERGENCY-FSM-DISABLED".to_owned());
@@ -327,6 +422,8 @@ impl Scenario {
                 .num("cost_noise_value", fraction),
         };
         w.num("phase_amplitude", self.phase_amplitude)
+            .num("kill_at_frac", self.kill_at_frac)
+            .bool("wal_fsync_never", self.wal_fsync_never)
             .bool("emergency_disabled", self.emergency_disabled);
         match self.fault_plan {
             Some(p) => {
@@ -377,6 +474,22 @@ impl Scenario {
             }
             None => {
                 w.raw("sensor", "null");
+            }
+        }
+        match self.disk_plan {
+            Some(p) => {
+                let mut f = ObjWriter::new();
+                f.num("torn_write_prob", p.torn_write_prob)
+                    .num("bit_flip_prob", p.bit_flip_prob)
+                    .num("fsync_fail_prob", p.fsync_fail_prob);
+                match p.capacity_bytes {
+                    Some(cap) => f.num("capacity_bytes", cap as f64),
+                    None => f.raw("capacity_bytes", "null"),
+                };
+                w.raw("disk_plan", f.render(indent + 1));
+            }
+            None => {
+                w.raw("disk_plan", "null");
             }
         }
         w.render(indent)
@@ -470,6 +583,21 @@ impl Scenario {
                 })
             }
         };
+        let disk_plan = match json::field(obj, "disk_plan")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "disk_plan")?;
+                Some(DiskPlan {
+                    torn_write_prob: json::field_num(f, "torn_write_prob")?,
+                    bit_flip_prob: json::field_num(f, "bit_flip_prob")?,
+                    fsync_fail_prob: json::field_num(f, "fsync_fail_prob")?,
+                    capacity_bytes: match json::field(f, "capacity_bytes")? {
+                        Value::Null => None,
+                        _ => Some(u64_field(f, "capacity_bytes")?),
+                    },
+                })
+            }
+        };
         Ok(Scenario {
             algorithm,
             oversub_pct: json::field_num(obj, "oversub_pct")?,
@@ -481,6 +609,9 @@ impl Scenario {
             fault_plan,
             net_plan,
             sensor,
+            disk_plan,
+            kill_at_frac: json::field_num(obj, "kill_at_frac")?,
+            wal_fsync_never: json::field_bool(obj, "wal_fsync_never")?,
             emergency_disabled: json::field_bool(obj, "emergency_disabled")?,
         })
     }
@@ -551,8 +682,21 @@ mod tests {
             .any(|s| s.fault_plan.is_some() && s.net_plan.is_some() && s.sensor.is_some()));
         assert!(scenarios.iter().any(|s| s.algorithm == Algorithm::MprInt));
         assert!(scenarios.iter().any(|s| s.algorithm != Algorithm::MprInt));
-        // The generator never plants the test-only FSM knob.
+        // The disk layer is drawn, usually with a kill, sometimes without.
+        assert!(scenarios.iter().any(|s| s.disk_plan.is_some()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.disk_plan.is_some() && s.kill_at_frac > 0.0));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.disk_plan.is_some() && s.kill_at_frac == 0.0));
+        // A kill never appears without the disk layer that motivates it.
+        assert!(scenarios
+            .iter()
+            .all(|s| s.kill_at_frac == 0.0 || s.disk_plan.is_some()));
+        // The generator never plants the test-only knobs.
         assert!(scenarios.iter().all(|s| !s.emergency_disabled));
+        assert!(scenarios.iter().all(|s| !s.wal_fsync_never));
     }
 
     #[test]
@@ -561,6 +705,15 @@ mod tests {
             let mut s = Scenario::generate(99, i);
             if i % 2 == 0 {
                 s.emergency_disabled = true;
+            }
+            if i % 3 == 0 {
+                s.wal_fsync_never = true;
+            }
+            if i % 7 == 0 {
+                s.disk_plan = Some(DiskPlan {
+                    capacity_bytes: Some(1 << 20),
+                    ..DiskPlan::default()
+                });
             }
             let text = s.to_json(0);
             let back =
@@ -581,6 +734,32 @@ mod tests {
         assert_eq!(cfg.seed, s.sim_seed);
         assert_eq!(cfg.fault_plan, s.fault_plan);
         assert_eq!(cfg.net_plan, s.net_plan);
+        assert_eq!(cfg.durability.is_some(), s.is_durable());
+    }
+
+    #[test]
+    fn durable_scenarios_realize_a_durability_plan() {
+        let mut s = Scenario::generate(3, 11);
+        s.disk_plan = Some(DiskPlan {
+            torn_write_prob: 0.2,
+            ..DiskPlan::default()
+        });
+        s.kill_at_frac = 0.5;
+        let plan = s.sim_config().durability.expect("durability plan");
+        assert_eq!(plan.disk, s.disk_plan);
+        assert_eq!(plan.fsync, FsyncPolicy::Always);
+        // The slot is resolved by the campaign against the trace span.
+        assert_eq!(plan.kill_at_slot, None);
+        s.wal_fsync_never = true;
+        let plan = s.sim_config().durability.expect("durability plan");
+        assert_eq!(plan.fsync, FsyncPolicy::Never);
+        // The planted knob alone is enough to route through the ledger.
+        s.disk_plan = None;
+        s.kill_at_frac = 0.0;
+        assert!(s.is_durable());
+        s.wal_fsync_never = false;
+        assert!(!s.is_durable());
+        assert_eq!(s.sim_config().durability, None);
     }
 
     #[test]
@@ -589,6 +768,8 @@ mod tests {
         s.fault_plan = None;
         s.net_plan = None;
         s.sensor = None;
+        s.disk_plan = None;
+        s.kill_at_frac = 0.0;
         s.cost_noise = CostNoise::None;
         s.alpha_spread = 0.0;
         s.participation = 1.0;
@@ -599,15 +780,32 @@ mod tests {
         assert_eq!(s.complexity(), 3, "presence + two nonzero fracs");
         s.oversub_pct = 20.0;
         assert_eq!(s.complexity(), 4);
+        s.disk_plan = Some(DiskPlan {
+            torn_write_prob: 0.2,
+            fsync_fail_prob: 0.1,
+            ..DiskPlan::default()
+        });
+        assert_eq!(s.complexity(), 7, "presence + two nonzero fault probs");
+        s.kill_at_frac = 0.5;
+        assert_eq!(s.complexity(), 8);
     }
 
     #[test]
     fn describe_mentions_active_layers() {
         let mut s = Scenario::generate(1, 0);
         s.fault_plan = Some(FaultPlan::unresponsive_and_crash(0.3, 0.1));
+        s.disk_plan = Some(DiskPlan {
+            torn_write_prob: 0.2,
+            ..DiskPlan::default()
+        });
+        s.kill_at_frac = 0.5;
+        s.wal_fsync_never = true;
         s.emergency_disabled = true;
         let d = s.describe();
         assert!(d.contains("faults("), "{d}");
+        assert!(d.contains("disk(torn=0.20"), "{d}");
+        assert!(d.contains("kill@0.50"), "{d}");
+        assert!(d.contains("WAL-FSYNC-NEVER"), "{d}");
         assert!(d.contains("EMERGENCY-FSM-DISABLED"), "{d}");
     }
 }

@@ -10,9 +10,13 @@
 //! every kept step strictly decreases [`Scenario::complexity`], so the
 //! loop terminates after at most `complexity²` predicate evaluations.
 //!
-//! The test-only `emergency_disabled` knob is deliberately **not** a
-//! shrink target: it is planted (never drawn), and removing it would turn
-//! a seeded-violation counterexample back into a healthy run.
+//! The test-only `emergency_disabled` and `wal_fsync_never` knobs are
+//! deliberately **not** shrink targets: they are planted (never drawn),
+//! and removing them would turn a seeded-violation counterexample back
+//! into a healthy run. The kill point *is* a target — a durability
+//! violation that survives with the kill removed is not about crashes at
+//! all — but one that needs the crash keeps it, pinning the minimal
+//! repro to "this fsync policy loses acknowledged slots on a kill".
 
 use mpr_sim::{CostNoise, NetPlan};
 
@@ -55,6 +59,25 @@ const STEPS: &[Step] = &[
             s.sensor?;
             Some(Scenario {
                 sensor: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "drop disk_plan",
+        apply: |s| {
+            s.disk_plan?;
+            Some(Scenario {
+                disk_plan: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "remove kill",
+        apply: |s| {
+            (s.kill_at_frac > 0.0).then(|| Scenario {
+                kill_at_frac: 0.0,
                 ..s.clone()
             })
         },
@@ -207,6 +230,39 @@ const STEPS: &[Step] = &[
         },
     },
     Step {
+        name: "zero disk torn writes",
+        apply: |s| {
+            let mut p = s.disk_plan.filter(|p| p.torn_write_prob > 0.0)?;
+            p.torn_write_prob = 0.0;
+            Some(Scenario {
+                disk_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero disk bit flips",
+        apply: |s| {
+            let mut p = s.disk_plan.filter(|p| p.bit_flip_prob > 0.0)?;
+            p.bit_flip_prob = 0.0;
+            Some(Scenario {
+                disk_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero disk fsync failures",
+        apply: |s| {
+            let mut p = s.disk_plan.filter(|p| p.fsync_fail_prob > 0.0)?;
+            p.fsync_fail_prob = 0.0;
+            Some(Scenario {
+                disk_plan: Some(p),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
         name: "remove cost noise",
         apply: |s| {
             if matches!(s.cost_noise, CostNoise::None) {
@@ -326,6 +382,13 @@ mod tests {
             ..FaultPlan::default()
         });
         s.net_plan = Some(NetPlan::lossy(0.3));
+        s.disk_plan = Some(mpr_sim::DiskPlan {
+            torn_write_prob: 0.2,
+            bit_flip_prob: 0.005,
+            fsync_fail_prob: 0.1,
+            capacity_bytes: None,
+        });
+        s.kill_at_frac = 0.5;
         s.cost_noise = CostNoise::Random { magnitude: 0.2 };
         s.participation = 0.6;
         s.oversub_pct = 25.0;
@@ -376,6 +439,36 @@ mod tests {
         let r = shrink(&s, |_| true);
         assert!(r.scenario.emergency_disabled);
         assert_eq!(r.scenario.complexity(), 0);
+    }
+
+    #[test]
+    fn wal_fsync_knob_survives_shrinking() {
+        let mut s = busy_scenario();
+        s.wal_fsync_never = true;
+        let r = shrink(&s, |_| true);
+        assert!(r.scenario.wal_fsync_never);
+        assert_eq!(r.scenario.complexity(), 0);
+        assert!(r.scenario.disk_plan.is_none());
+        assert_eq!(r.scenario.kill_at_frac, 0.0);
+    }
+
+    #[test]
+    fn predicate_needing_the_crash_keeps_kill_and_disk() {
+        let s = busy_scenario();
+        // A durability-style predicate: only reproduces when the run is
+        // both killed and journaling over torn writes.
+        let r = shrink(&s, |c| {
+            c.kill_at_frac > 0.0 && c.disk_plan.is_some_and(|p| p.torn_write_prob > 0.0)
+        });
+        assert!(r.scenario.kill_at_frac > 0.0);
+        let p = r.scenario.disk_plan.expect("kept the disk plan");
+        assert!(p.torn_write_prob > 0.0);
+        assert_eq!(p.bit_flip_prob, 0.0);
+        assert_eq!(p.fsync_fail_prob, 0.0);
+        assert!(r.scenario.fault_plan.is_none());
+        assert!(r.scenario.net_plan.is_none());
+        // presence + torn + kill
+        assert_eq!(r.scenario.complexity(), 3);
     }
 
     #[test]

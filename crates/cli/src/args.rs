@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use mpr_sim::Algorithm;
+use mpr_sim::{Algorithm, FsyncPolicy};
 use mpr_workload::ClusterSpec;
 
 /// A parsed CLI invocation.
@@ -30,8 +30,35 @@ pub enum Command {
     Calibrate,
     /// `mpr chaos …` — run a fuzzing campaign or replay a repro artifact.
     Chaos(ChaosArgs),
+    /// `mpr ledger …` — inspect or repair a write-ahead ledger file.
+    Ledger(LedgerArgs),
     /// `mpr help` or `--help`.
     Help,
+}
+
+/// Action of `mpr ledger`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerAction {
+    /// Decode and print every intact record.
+    Dump,
+    /// Check framing integrity; nonzero exit on a corrupt tail.
+    Verify,
+    /// Rewrite the file keeping only records below a sequence number
+    /// (also discards any corrupt tail).
+    Truncate,
+}
+
+/// Arguments of `mpr ledger`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerArgs {
+    /// What to do with the ledger file.
+    pub action: LedgerAction,
+    /// Path to the WAL image (e.g. written by `mpr simulate --wal`).
+    pub path: String,
+    /// `truncate` only: first sequence number to drop.
+    pub at: Option<u64>,
+    /// Emit JSON instead of the human-readable listing.
+    pub json: bool,
 }
 
 /// Arguments of `mpr chaos`.
@@ -50,6 +77,10 @@ pub struct ChaosArgs {
     pub no_shrink: bool,
     /// Directory for repro artifacts (one JSON per failing run).
     pub artifact_dir: Option<String>,
+    /// Plant the test-only unsound `fsync=never` journaling policy (plus a
+    /// mid-run kill) into every scenario (proves the `durability-commit`
+    /// oracle catches acknowledgement loss).
+    pub wal_fsync_never: bool,
     /// Replay a repro artifact instead of running a campaign.
     pub replay: Option<String>,
     /// Emit the per-run CSV instead of the human summary.
@@ -105,6 +136,11 @@ pub struct SimulateArgs {
     pub checkpoint_path: Option<String>,
     /// Resume the run from this checkpoint file instead of starting fresh.
     pub resume_from: Option<String>,
+    /// Journal every market event to a write-ahead ledger and write the
+    /// final WAL image to this file (inspect it with `mpr ledger`).
+    pub wal: Option<String>,
+    /// WAL fsync policy; `None` (flag absent) means [`FsyncPolicy::Always`].
+    pub wal_fsync: Option<FsyncPolicy>,
     /// Emit CSV instead of a human-readable summary.
     pub csv: bool,
 }
@@ -180,14 +216,20 @@ USAGE:
                   [--sensor-stale POLLS]                    (telemetry fault injection)
                   [--checkpoint-every SLOTS --checkpoint-path FILE]
                   [--resume-from FILE]                      (crash-safe checkpointing)
+                  [--wal FILE] [--wal-fsync always|every=<n>|never]
+                                                            (write-ahead market ledger)
     mpr market    [--jobs N] [--target-watts W]
                   [--mechanism mpr-stat|mpr-int|opt|eql|vcg|chain]
                   [--interactive]                  (synonym for --mechanism mpr-int)
     mpr chaos     [--runs N] [--seed N] [--days N]
                   [--artifact-dir DIR] [--no-shrink]
                   [--disable-emergency]        (seeded-violation self-test)
+                  [--wal-fsync-never]          (seeded durability-bug self-test)
                   [--csv | --json]
     mpr chaos     --replay FILE               (re-run a repro artifact)
+    mpr ledger    dump FILE [--json]          (decode a WAL written by --wal)
+    mpr ledger    verify FILE [--json]        (framing check; nonzero exit if corrupt)
+    mpr ledger    truncate FILE --at SEQ      (drop records from SEQ on, atomically)
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
     mpr calibrate                                        (CSV samples on stdin)
@@ -212,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "swf" => parse_swf_args(rest).map(Command::Swf),
         "calibrate" => expect_no_args(rest, Command::Calibrate),
         "chaos" => parse_chaos(rest).map(Command::Chaos),
+        "ledger" => parse_ledger(rest).map(Command::Ledger),
         "traces" => expect_no_args(rest, Command::Traces),
         "apps" => expect_no_args(rest, Command::Apps),
         "prototype" => match rest {
@@ -292,6 +335,8 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         checkpoint_every: 0,
         checkpoint_path: None,
         resume_from: None,
+        wal: None,
+        wal_fsync: None,
         csv: false,
     };
     let mut it = rest.iter();
@@ -343,6 +388,12 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
                 out.checkpoint_path = Some(take_value(flag, &mut it)?.to_owned());
             }
             "--resume-from" => out.resume_from = Some(take_value(flag, &mut it)?.to_owned()),
+            "--wal" => out.wal = Some(take_value(flag, &mut it)?.to_owned()),
+            "--wal-fsync" => {
+                let v = take_value(flag, &mut it)?;
+                out.wal_fsync =
+                    Some(FsyncPolicy::parse(v).map_err(|e| UsageError(format!("{flag}: {e}")))?);
+            }
             "--csv" => out.csv = true,
             other => return Err(UsageError(format!("unknown flag `{other}`"))),
         }
@@ -357,7 +408,77 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
             "--checkpoint-path needs --checkpoint-every SLOTS".into(),
         ));
     }
+    if out.wal_fsync.is_some() && out.wal.is_none() {
+        return Err(UsageError("--wal-fsync needs --wal FILE".into()));
+    }
+    if out.wal.is_some() && (out.checkpoint_path.is_some() || out.resume_from.is_some()) {
+        return Err(UsageError(
+            "--wal excludes --checkpoint-path/--resume-from \
+             (the durable run checkpoints in memory)"
+                .into(),
+        ));
+    }
     Ok(out)
+}
+
+fn parse_ledger(rest: &[String]) -> Result<LedgerArgs, UsageError> {
+    let mut it = rest.iter();
+    let action = match it.next().map(String::as_str) {
+        Some("dump") => LedgerAction::Dump,
+        Some("verify") => LedgerAction::Verify,
+        Some("truncate") => LedgerAction::Truncate,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "unknown ledger action `{other}` (expected dump|verify|truncate)"
+            )))
+        }
+        None => {
+            return Err(UsageError(
+                "ledger needs an action: dump|verify|truncate".into(),
+            ))
+        }
+    };
+    let mut path: Option<String> = None;
+    let mut at: Option<u64> = None;
+    let mut json = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--at" => at = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(UsageError(format!("unknown flag `{flag}`")))
+            }
+            file => {
+                if path.replace(file.to_owned()).is_some() {
+                    return Err(UsageError("ledger takes exactly one WAL file".into()));
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return Err(UsageError("ledger needs a WAL file".into()));
+    };
+    match action {
+        LedgerAction::Truncate => {
+            if at.is_none() {
+                return Err(UsageError("ledger truncate needs --at SEQ".into()));
+            }
+            if json {
+                return Err(UsageError("ledger truncate takes no --json".into()));
+            }
+        }
+        LedgerAction::Dump | LedgerAction::Verify => {
+            if at.is_some() {
+                return Err(UsageError("--at only applies to ledger truncate".into()));
+            }
+        }
+    }
+    Ok(LedgerArgs {
+        action,
+        path,
+        at,
+        json,
+    })
 }
 
 fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
@@ -366,6 +487,7 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
         seed: 0x4d50_5221,
         days: 1.0,
         disable_emergency: false,
+        wal_fsync_never: false,
         no_shrink: false,
         artifact_dir: None,
         replay: None,
@@ -379,6 +501,7 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
             "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
             "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
             "--disable-emergency" => out.disable_emergency = true,
+            "--wal-fsync-never" => out.wal_fsync_never = true,
             "--no-shrink" => out.no_shrink = true,
             "--artifact-dir" => out.artifact_dir = Some(take_value(flag, &mut it)?.to_owned()),
             "--replay" => out.replay = Some(take_value(flag, &mut it)?.to_owned()),
@@ -390,7 +513,8 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
     if out.csv && out.json {
         return Err(UsageError("--csv and --json are mutually exclusive".into()));
     }
-    if out.replay.is_some() && (out.disable_emergency || out.csv || out.json) {
+    if out.replay.is_some() && (out.disable_emergency || out.wal_fsync_never || out.csv || out.json)
+    {
         return Err(UsageError(
             "--replay takes no campaign flags (only the artifact file)".into(),
         ));
@@ -708,9 +832,14 @@ mod tests {
         assert_eq!(a.runs, 100);
         assert_eq!(a.seed, 0x4d50_5221);
         assert_eq!(a.days, 1.0);
-        assert!(!a.disable_emergency && !a.no_shrink && !a.csv && !a.json);
+        assert!(!a.disable_emergency && !a.wal_fsync_never && !a.no_shrink && !a.csv && !a.json);
         assert_eq!(a.artifact_dir, None);
         assert_eq!(a.replay, None);
+
+        let Command::Chaos(a) = parse(&argv("chaos --wal-fsync-never")).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert!(a.wal_fsync_never);
 
         let Command::Chaos(a) = parse(&argv(
             "chaos --runs 1000 --seed 42 --days 0.5 --disable-emergency \
@@ -732,10 +861,82 @@ mod tests {
     }
 
     #[test]
+    fn simulate_wal_flags() {
+        let Command::Simulate(a) =
+            parse(&argv("simulate --wal run.wal --wal-fsync every=8")).unwrap()
+        else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.wal.as_deref(), Some("run.wal"));
+        assert_eq!(a.wal_fsync, Some(FsyncPolicy::EveryRecords(8)));
+        for policy in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let Command::Simulate(a) =
+                parse(&argv(&format!("simulate --wal w --wal-fsync {}", policy.0))).unwrap()
+            else {
+                panic!("expected simulate");
+            };
+            assert_eq!(a.wal_fsync, Some(policy.1));
+        }
+        // The policy defaults (to always) only when --wal is present.
+        let Command::Simulate(a) = parse(&argv("simulate --wal run.wal")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.wal_fsync, None);
+
+        assert!(parse(&argv("simulate --wal-fsync always")).is_err());
+        assert!(parse(&argv("simulate --wal w --wal-fsync sometimes")).is_err());
+        assert!(parse(&argv("simulate --wal w --wal-fsync every=0")).is_err());
+        assert!(parse(&argv("simulate --wal w --resume-from c.ckpt")).is_err());
+        assert!(parse(&argv(
+            "simulate --wal w --checkpoint-every 10 --checkpoint-path c.ckpt"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn ledger_parsing() {
+        let Command::Ledger(a) = parse(&argv("ledger dump run.wal")).unwrap() else {
+            panic!("expected ledger");
+        };
+        assert_eq!(a.action, LedgerAction::Dump);
+        assert_eq!(a.path, "run.wal");
+        assert!(!a.json && a.at.is_none());
+
+        let Command::Ledger(a) = parse(&argv("ledger verify run.wal --json")).unwrap() else {
+            panic!("expected ledger");
+        };
+        assert_eq!(a.action, LedgerAction::Verify);
+        assert!(a.json);
+
+        let Command::Ledger(a) = parse(&argv("ledger truncate run.wal --at 42")).unwrap() else {
+            panic!("expected ledger");
+        };
+        assert_eq!(a.action, LedgerAction::Truncate);
+        assert_eq!(a.at, Some(42));
+    }
+
+    #[test]
+    fn ledger_rejects_bad_combinations() {
+        assert!(parse(&argv("ledger")).is_err());
+        assert!(parse(&argv("ledger dump")).is_err());
+        assert!(parse(&argv("ledger frobnicate run.wal")).is_err());
+        assert!(parse(&argv("ledger dump a.wal b.wal")).is_err());
+        assert!(parse(&argv("ledger dump run.wal --at 5")).is_err());
+        assert!(parse(&argv("ledger truncate run.wal")).is_err());
+        assert!(parse(&argv("ledger truncate run.wal --at 5 --json")).is_err());
+        assert!(parse(&argv("ledger truncate run.wal --at soon")).is_err());
+        assert!(parse(&argv("ledger dump run.wal --frobnicate")).is_err());
+    }
+
+    #[test]
     fn chaos_rejects_bad_combinations() {
         assert!(parse(&argv("chaos --csv --json")).is_err());
         assert!(parse(&argv("chaos --replay r.json --csv")).is_err());
         assert!(parse(&argv("chaos --replay r.json --disable-emergency")).is_err());
+        assert!(parse(&argv("chaos --replay r.json --wal-fsync-never")).is_err());
         assert!(parse(&argv("chaos --runs 0")).is_err());
         assert!(parse(&argv("chaos --days 0")).is_err());
         assert!(parse(&argv("chaos --days -1")).is_err());

@@ -13,10 +13,15 @@ use mpr_core::{
 };
 use mpr_power::telemetry::SensorFaultConfig;
 use mpr_proto::{Experiment, ExperimentConfig};
-use mpr_sim::{CheckpointPlan, FaultPlan, NetPlan, SimConfig, Simulation, TelemetryConfig};
+use mpr_sim::{
+    CheckpointPlan, DurabilityPlan, FaultPlan, FsyncPolicy, LedgerEvent, NetPlan, SimConfig,
+    Simulation, TelemetryConfig,
+};
 use mpr_workload::TraceGenerator;
 
-use crate::args::{spec_by_name, ChaosArgs, MarketArgs, SimulateArgs, SwfArgs};
+use crate::args::{
+    spec_by_name, ChaosArgs, LedgerAction, LedgerArgs, MarketArgs, SimulateArgs, SwfArgs,
+};
 
 /// Runs `mpr simulate`, writing the report to `out`.
 ///
@@ -70,22 +75,34 @@ pub fn simulate(
     if sensor.is_active() {
         config = config.with_telemetry(TelemetryConfig::with_faults(sensor));
     }
-    let sim = Simulation::new(&trace, config);
-    let ckpt_plan = args
-        .checkpoint_path
-        .as_ref()
-        .map(|p| CheckpointPlan::every(p, args.checkpoint_every));
-    let r = match (&args.resume_from, &ckpt_plan) {
-        (Some(from), Some(ckpt_plan)) => sim
-            .resume_with_checkpoints(Path::new(from), ckpt_plan)?
-            .into_report()
-            .expect("no kill point configured"),
-        (Some(from), None) => sim.resume(Path::new(from))?,
-        (None, Some(ckpt_plan)) => sim
-            .run_with_checkpoints(ckpt_plan)?
-            .into_report()
-            .expect("no kill point configured"),
-        (None, None) => sim.run(),
+    let r = if let Some(wal_path) = &args.wal {
+        config = config.with_durability(DurabilityPlan {
+            fsync: args.wal_fsync.unwrap_or(FsyncPolicy::Always),
+            ..DurabilityPlan::default()
+        });
+        let run = mpr_sim::run_durable(&trace, config)?;
+        // The ledger image gets the same crash-durable write discipline as
+        // checkpoints: temp file + fsync + rename.
+        mpr_durable::fsio::atomic_replace(Path::new(wal_path), &run.wal_image)?;
+        run.report
+    } else {
+        let sim = Simulation::new(&trace, config);
+        let ckpt_plan = args
+            .checkpoint_path
+            .as_ref()
+            .map(|p| CheckpointPlan::every(p, args.checkpoint_every));
+        match (&args.resume_from, &ckpt_plan) {
+            (Some(from), Some(ckpt_plan)) => sim
+                .resume_with_checkpoints(Path::new(from), ckpt_plan)?
+                .into_report()
+                .expect("no kill point configured"),
+            (Some(from), None) => sim.resume(Path::new(from))?,
+            (None, Some(ckpt_plan)) => sim
+                .run_with_checkpoints(ckpt_plan)?
+                .into_report()
+                .expect("no kill point configured"),
+            (None, None) => sim.run(),
+        }
     };
     if args.csv {
         // Column unit tokens come from the unit newtypes, not hand-written
@@ -204,8 +221,189 @@ pub fn simulate(
                 t.messages_duplicated,
             )?;
         }
+        if let Some(d) = r.durability {
+            writeln!(
+                out,
+                "  ledger:              {} records journaled ({} payments), \
+                 commit slot {}, ledger rewards {:.1}{}",
+                d.records_journaled,
+                d.payments_journaled,
+                d.recovered_commit_slot
+                    .map_or_else(|| "none".to_owned(), |s| s.to_string()),
+                CoreHours::new(d.ledger_reward_core_hours),
+                if d.ledger_wedged { " [WEDGED]" } else { "" },
+            )?;
+        }
     }
     Ok(())
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs `mpr ledger`: offline inspection and repair of a WAL image written
+/// by `mpr simulate --wal` (or recovered from a crashed manager).
+///
+/// # Errors
+///
+/// `verify` returns an error — nonzero exit — when the log has a corrupt
+/// tail; all actions propagate I/O errors and `truncate` refuses a log
+/// whose segment header is unreadable.
+pub fn ledger(args: &LedgerArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(&args.path)?;
+    let report = mpr_durable::scan(&bytes, None);
+    match args.action {
+        LedgerAction::Dump => {
+            if args.json {
+                writeln!(out, "{{")?;
+                writeln!(
+                    out,
+                    "  \"stream_id\": {},",
+                    report
+                        .stream_id
+                        .map_or_else(|| "null".to_owned(), |s| s.to_string())
+                )?;
+                writeln!(out, "  \"records\": [")?;
+                for (i, rec) in report.records.iter().enumerate() {
+                    let event = LedgerEvent::decode(rec.kind, &rec.payload)
+                        .map_or_else(|| "undecodable".to_owned(), |e| e.describe());
+                    writeln!(
+                        out,
+                        "    {{\"seq\": {}, \"kind\": {}, \"event\": \"{}\"}}{}",
+                        rec.seq,
+                        rec.kind,
+                        json_escape(&event),
+                        if i + 1 < report.records.len() {
+                            ","
+                        } else {
+                            ""
+                        }
+                    )?;
+                }
+                writeln!(out, "  ],")?;
+                writeln!(out, "  \"valid_len\": {},", report.valid_len)?;
+                writeln!(out, "  \"truncated_bytes\": {},", report.truncated_bytes)?;
+                writeln!(
+                    out,
+                    "  \"corruption\": {}",
+                    report.corruption.as_ref().map_or_else(
+                        || "null".to_owned(),
+                        |c| format!("\"{}\"", json_escape(&c.to_string()))
+                    )
+                )?;
+                writeln!(out, "}}")?;
+            } else {
+                writeln!(
+                    out,
+                    "{}: {} record(s), stream {}, {} valid byte(s)",
+                    args.path,
+                    report.records.len(),
+                    report
+                        .stream_id
+                        .map_or_else(|| "?".to_owned(), |s| format!("{s:#x}")),
+                    report.valid_len,
+                )?;
+                for rec in &report.records {
+                    let event = LedgerEvent::decode(rec.kind, &rec.payload).map_or_else(
+                        || {
+                            format!(
+                                "kind {} ({} bytes, undecodable)",
+                                rec.kind,
+                                rec.payload.len()
+                            )
+                        },
+                        |e| e.describe(),
+                    );
+                    writeln!(out, "  {:>6}  {event}", rec.seq)?;
+                }
+                if let Some(c) = &report.corruption {
+                    writeln!(
+                        out,
+                        "  CORRUPT TAIL: {c} ({} byte(s) beyond the valid prefix)",
+                        report.truncated_bytes
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        LedgerAction::Verify => {
+            let ok = report.corruption.is_none();
+            if args.json {
+                writeln!(
+                    out,
+                    "{{\"path\": \"{}\", \"ok\": {ok}, \"records\": {}, \
+                     \"valid_len\": {}, \"truncated_bytes\": {}, \"corruption\": {}}}",
+                    json_escape(&args.path),
+                    report.records.len(),
+                    report.valid_len,
+                    report.truncated_bytes,
+                    report.corruption.as_ref().map_or_else(
+                        || "null".to_owned(),
+                        |c| format!("\"{}\"", json_escape(&c.to_string()))
+                    ),
+                )?;
+            } else {
+                writeln!(
+                    out,
+                    "{}: {} record(s), {} valid byte(s), {}",
+                    args.path,
+                    report.records.len(),
+                    report.valid_len,
+                    report.corruption.as_ref().map_or_else(
+                        || "tail clean".to_owned(),
+                        |c| format!("CORRUPT: {c} ({} byte(s) lost)", report.truncated_bytes)
+                    ),
+                )?;
+            }
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("{}: corrupt tail", args.path).into())
+            }
+        }
+        LedgerAction::Truncate => {
+            let at = args.at.expect("validated by the parser");
+            let Some(stream) = report.stream_id else {
+                return Err(
+                    format!("{}: segment header unreadable; nothing to keep", args.path).into(),
+                );
+            };
+            let mut image = mpr_durable::wal::encode_segment_header(stream);
+            let mut kept = 0u64;
+            for rec in report.records.iter().filter(|r| r.seq < at) {
+                image.extend_from_slice(&mpr_durable::wal::encode_frame(
+                    rec.seq,
+                    rec.kind,
+                    &rec.payload,
+                ));
+                kept += 1;
+            }
+            mpr_durable::fsio::atomic_replace(Path::new(&args.path), &image)?;
+            writeln!(
+                out,
+                "{}: kept {kept} of {} record(s) (seq < {at}), wrote {} byte(s){}",
+                args.path,
+                report.records.len(),
+                image.len(),
+                report
+                    .corruption
+                    .as_ref()
+                    .map_or_else(String::new, |c| { format!(", dropped corrupt tail ({c})") }),
+            )?;
+            Ok(())
+        }
+    }
 }
 
 /// The strict mechanism behind one `--mechanism` choice: infeasible targets
@@ -493,6 +691,7 @@ pub fn chaos(args: &ChaosArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::e
         seed: args.seed,
         days: args.days,
         emergency_disabled: args.disable_emergency,
+        wal_fsync_never: args.wal_fsync_never,
         shrink: !args.no_shrink,
         artifact_dir: args.artifact_dir.as_ref().map(Into::into),
     };
@@ -662,6 +861,101 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    #[test]
+    fn simulate_wal_then_ledger_dump_verify_truncate() {
+        let path = std::env::temp_dir().join(format!("mpr_cli_{}.wal", std::process::id()));
+        let wal = path.to_str().unwrap();
+
+        // A durable run writes an inspectable ledger and reports on it.
+        let Command::Simulate(a) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --alg mpr-int --wal {wal}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ledger:"), "missing ledger line: {text}");
+        assert!(path.exists(), "WAL image must be written");
+
+        // The journaled ledger must not perturb the market outcome.
+        let Command::Simulate(plain) =
+            parse(&argv("simulate --days 1 --oversub 15 --alg mpr-int")).unwrap()
+        else {
+            panic!()
+        };
+        let mut plain_buf = Vec::new();
+        simulate(&plain, &mut plain_buf).unwrap();
+        let plain_text = String::from_utf8(plain_buf).unwrap();
+        let stripped: Vec<&str> = text.lines().filter(|l| !l.contains("ledger:")).collect();
+        assert_eq!(
+            stripped,
+            plain_text.lines().collect::<Vec<_>>(),
+            "journaling must not perturb the run"
+        );
+
+        // dump decodes typed market events from the image...
+        let ledger_args = |s: &str| {
+            let Command::Ledger(a) = parse(&argv(s)).unwrap() else {
+                panic!("expected ledger");
+            };
+            a
+        };
+        let mut buf = Vec::new();
+        ledger(&ledger_args(&format!("ledger dump {wal}")), &mut buf).unwrap();
+        let dump = String::from_utf8(buf).unwrap();
+        assert!(dump.contains("record(s)"), "{dump}");
+        assert!(
+            dump.contains("slot-commit") || dump.contains("price-announce"),
+            "{dump}"
+        );
+        assert!(!dump.contains("CORRUPT"), "{dump}");
+
+        // ...dump --json emits the machine-readable form...
+        let mut buf = Vec::new();
+        ledger(&ledger_args(&format!("ledger dump {wal} --json")), &mut buf).unwrap();
+        let dump_json = String::from_utf8(buf).unwrap();
+        assert!(dump_json.contains("\"records\": ["), "{dump_json}");
+        assert!(dump_json.contains("\"corruption\": null"), "{dump_json}");
+
+        // ...verify passes on the intact log...
+        let mut buf = Vec::new();
+        ledger(&ledger_args(&format!("ledger verify {wal}")), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("tail clean"));
+
+        // ...truncate keeps a prefix, which still verifies...
+        let mut buf = Vec::new();
+        ledger(
+            &ledger_args(&format!("ledger truncate {wal} --at 5")),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("kept 5 of"));
+        let mut buf = Vec::new();
+        ledger(&ledger_args(&format!("ledger verify {wal}")), &mut buf).unwrap();
+
+        // ...and a torn tail fails verify with a nonzero exit.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xde, 0xad]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ledger(
+            &ledger_args(&format!("ledger verify {wal}")),
+            &mut Vec::new(),
+        )
+        .expect_err("torn tail must fail verify");
+        assert!(err.to_string().contains("corrupt tail"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ledger_missing_file_errors() {
+        let Command::Ledger(a) = parse(&argv("ledger dump /nonexistent/no.wal")).unwrap() else {
+            panic!()
+        };
+        assert!(ledger(&a, &mut Vec::new()).is_err());
+    }
+
     fn chaos_args(s: &str) -> ChaosArgs {
         let Command::Chaos(a) = parse(&argv(s)).unwrap() else {
             panic!("expected chaos");
@@ -712,6 +1006,19 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("REPRODUCED"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_planted_fsync_bug_fails_the_campaign() {
+        let mut buf = Vec::new();
+        let err = chaos(
+            &chaos_args("chaos --runs 4 --seed 21 --days 0.25 --wal-fsync-never --no-shrink"),
+            &mut buf,
+        )
+        .expect_err("fsync=never must lose acknowledged commits");
+        assert!(err.to_string().contains("violation"), "{err}");
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("durability-commit"), "{text}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
         }
         Command::Swf(a) => commands::swf(a, &mut out),
         Command::Chaos(a) => commands::chaos(a, &mut out),
+        Command::Ledger(a) => commands::ledger(a, &mut out),
         Command::Calibrate => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();

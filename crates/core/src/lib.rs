@@ -112,6 +112,7 @@ pub use market::faults::{
 pub use market::interactive::{
     is_oscillating, BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
 };
+pub use market::payment::{PaymentKey, PaymentLog};
 pub use market::static_market::StaticMarket;
 pub use market::transport::{
     NetFaultConfig, PerfectTransport, RetryPolicy, SimNet, Tick, Transport, TransportConfig,

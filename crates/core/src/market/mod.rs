@@ -13,6 +13,7 @@
 
 pub mod faults;
 pub mod interactive;
+pub mod payment;
 pub mod static_market;
 pub mod transport;
 

@@ -1,0 +1,99 @@
+//! Crash-durable filesystem helpers shared by the WAL and the simulator's
+//! checkpoint writer.
+//!
+//! The classic atomic-replace recipe is: write the bytes to a temp file,
+//! `fsync` the temp file, `rename` it over the destination, then `fsync`
+//! the **parent directory** so the rename itself is durable. Omitting the
+//! final directory fsync (the pre-PR-7 checkpoint bug) lets the whole file
+//! vanish on power loss even though `rename` already returned.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Fsyncs a directory so that recent renames/creations/removals inside it
+/// survive power loss.
+///
+/// On Unix a directory can be opened read-only and `fsync`ed like a file.
+/// On platforms where opening a directory fails, this degrades to a no-op:
+/// the data fsyncs still hold, only the rename durability window widens,
+/// which matches the pre-fix behaviour rather than erroring out.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match fs::File::open(dir) {
+        Ok(handle) => handle.sync_all(),
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Err(err),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Atomically replaces `path` with `bytes`, durable across power loss.
+///
+/// Writes to `<path>.tmp`, fsyncs the file, renames over `path`, then
+/// fsyncs the parent directory. Readers therefore observe either the old
+/// complete file or the new complete file, never a partial write — and the
+/// new file cannot disappear after this function returns `Ok`.
+pub fn atomic_replace(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fsync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the temp-file path used by [`atomic_replace`]: `<path>.tmp` in the
+/// same directory, so the final `rename` never crosses a filesystem.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mpr-durable-fsio-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn atomic_replace_round_trips() {
+        let dir = tmpdir("round-trip");
+        let path = dir.join("ledger.bin");
+        atomic_replace(&path, b"first").expect("first write");
+        assert_eq!(fs::read(&path).expect("read back"), b"first");
+        atomic_replace(&path, b"second-longer-content").expect("replace");
+        assert_eq!(
+            fs::read(&path).expect("read back"),
+            b"second-longer-content"
+        );
+        // The temp sibling must not linger after a successful replace.
+        assert!(!dir.join("ledger.bin.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_dir_on_missing_dir_is_an_error() {
+        let dir = tmpdir("missing").join("does-not-exist");
+        assert!(fsync_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn fsync_dir_on_real_dir_succeeds() {
+        let dir = tmpdir("real");
+        fsync_dir(&dir).expect("fsync dir");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,507 @@
+//! Scan-and-truncate recovery for WAL segments.
+//!
+//! After a crash the tail of a segment may hold a torn frame, flipped bits
+//! or arbitrary garbage. Recovery parses the longest valid prefix — header
+//! plus CRC-checked, contiguously sequenced frames — records *why* scanning
+//! stopped, and truncates the device back to that prefix so appending can
+//! resume. Everything after the first invalid byte is unrecoverable by
+//! construction (frames are length-prefixed, so there is no resynchronising
+//! past a corrupt length field).
+
+use std::path::{Path, PathBuf};
+
+use crate::storage::{Storage, StorageError};
+use crate::wal::{
+    crc32, Record, WalError, BODY_PREFIX_LEN, FRAME_HEADER_LEN, MAX_RECORD_LEN, SEGMENT_HEADER_LEN,
+    WAL_MAGIC, WAL_VERSION,
+};
+
+/// Why a scan stopped before the end of the device. `None` in
+/// [`ScanReport::corruption`] means the scan consumed every byte cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corruption {
+    /// Fewer than [`SEGMENT_HEADER_LEN`] bytes present.
+    ShortHeader,
+    /// The magic prefix did not match [`WAL_MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Header stream id differs from the expected one.
+    StreamMismatch {
+        /// Stream id the caller expected.
+        expected: u64,
+        /// Stream id found in the header.
+        found: u64,
+    },
+    /// A frame header or body extended past the end of the device (torn
+    /// tail).
+    ShortFrame {
+        /// Byte offset where the incomplete frame starts.
+        at: u64,
+    },
+    /// A frame length field was zero, too small or above
+    /// [`MAX_RECORD_LEN`] — a flipped bit in `len` lands here.
+    BadLength {
+        /// Byte offset of the frame.
+        at: u64,
+        /// The corrupt length value.
+        len: u32,
+    },
+    /// CRC mismatch over a frame body.
+    CrcMismatch {
+        /// Byte offset of the frame.
+        at: u64,
+    },
+    /// Frame decoded cleanly but its sequence number broke contiguity.
+    SeqGap {
+        /// Byte offset of the frame.
+        at: u64,
+        /// Sequence number expected at this position.
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for Corruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Corruption::ShortHeader => write!(f, "segment shorter than header"),
+            Corruption::BadMagic => write!(f, "bad segment magic"),
+            Corruption::BadVersion(v) => write!(f, "unsupported wal version {v}"),
+            Corruption::StreamMismatch { expected, found } => {
+                write!(f, "stream id mismatch: expected {expected}, found {found}")
+            }
+            Corruption::ShortFrame { at } => write!(f, "torn frame at byte {at}"),
+            Corruption::BadLength { at, len } => {
+                write!(f, "corrupt frame length {len} at byte {at}")
+            }
+            Corruption::CrcMismatch { at } => write!(f, "crc mismatch at byte {at}"),
+            Corruption::SeqGap {
+                at,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "sequence gap at byte {at}: expected {expected}, found {found}"
+                )
+            }
+        }
+    }
+}
+
+/// Result of scanning one segment (or a whole segment directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// All records in the valid prefix, in sequence order.
+    pub records: Vec<Record>,
+    /// Bytes of the valid prefix (header + intact frames). Truncating the
+    /// device to this length yields an append-ready log.
+    pub valid_len: u64,
+    /// Bytes beyond the valid prefix that recovery discards.
+    pub truncated_bytes: u64,
+    /// Stream id from the segment header, when the header was intact.
+    pub stream_id: Option<u64>,
+    /// Why scanning stopped, or `None` for a clean end-of-log.
+    pub corruption: Option<Corruption>,
+    /// Sequence number the next appended record must carry.
+    pub next_seq: u64,
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let raw: [u8; 8] = bytes.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(raw))
+}
+
+/// Scans one segment image, starting sequence numbering at `first_seq`.
+/// Used directly for segment 0 (`first_seq == 0`) and by [`scan_dir`] for
+/// later segments.
+#[must_use]
+pub fn scan_from(bytes: &[u8], expect_stream: Option<u64>, first_seq: u64) -> ScanReport {
+    let total = bytes.len() as u64;
+    let mut report = ScanReport {
+        records: Vec::new(),
+        valid_len: 0,
+        truncated_bytes: total,
+        stream_id: None,
+        corruption: None,
+        next_seq: first_seq,
+    };
+    let header = match bytes.get(..SEGMENT_HEADER_LEN) {
+        Some(h) => h,
+        None => {
+            report.corruption = Some(Corruption::ShortHeader);
+            return report;
+        }
+    };
+    if header.get(..8) != Some(&WAL_MAGIC[..]) {
+        report.corruption = Some(Corruption::BadMagic);
+        return report;
+    }
+    let version = read_u32(header, 8).unwrap_or(0);
+    if version != WAL_VERSION {
+        report.corruption = Some(Corruption::BadVersion(version));
+        return report;
+    }
+    let stream = read_u64(header, 12).unwrap_or(0);
+    if let Some(expected) = expect_stream {
+        if stream != expected {
+            report.corruption = Some(Corruption::StreamMismatch {
+                expected,
+                found: stream,
+            });
+            return report;
+        }
+    }
+    report.stream_id = Some(stream);
+    let mut at = SEGMENT_HEADER_LEN;
+    let mut expected_seq = first_seq;
+    loop {
+        if at == bytes.len() {
+            break; // clean end of log
+        }
+        let len = match read_u32(bytes, at) {
+            Some(len) => len,
+            None => {
+                report.corruption = Some(Corruption::ShortFrame { at: at as u64 });
+                break;
+            }
+        };
+        if len < BODY_PREFIX_LEN as u32 || len > MAX_RECORD_LEN {
+            report.corruption = Some(Corruption::BadLength { at: at as u64, len });
+            break;
+        }
+        let body_start = at + FRAME_HEADER_LEN;
+        let body_end = body_start + len as usize;
+        let crc_expected = match read_u32(bytes, at + 4) {
+            Some(crc) => crc,
+            None => {
+                report.corruption = Some(Corruption::ShortFrame { at: at as u64 });
+                break;
+            }
+        };
+        let body = match bytes.get(body_start..body_end) {
+            Some(body) => body,
+            None => {
+                report.corruption = Some(Corruption::ShortFrame { at: at as u64 });
+                break;
+            }
+        };
+        if crc32(body) != crc_expected {
+            report.corruption = Some(Corruption::CrcMismatch { at: at as u64 });
+            break;
+        }
+        let seq = read_u64(body, 0).unwrap_or(0);
+        if seq != expected_seq {
+            report.corruption = Some(Corruption::SeqGap {
+                at: at as u64,
+                expected: expected_seq,
+                found: seq,
+            });
+            break;
+        }
+        let kind = body.get(8).copied().unwrap_or(0);
+        let payload = body.get(BODY_PREFIX_LEN..).unwrap_or(&[]).to_vec();
+        report.records.push(Record { seq, kind, payload });
+        expected_seq += 1;
+        at = body_end;
+    }
+    report.valid_len = at as u64;
+    report.truncated_bytes = total - report.valid_len;
+    report.next_seq = expected_seq;
+    report
+}
+
+/// Scans a segment image whose first record is sequence 0.
+#[must_use]
+pub fn scan(bytes: &[u8], expect_stream: Option<u64>) -> ScanReport {
+    scan_from(bytes, expect_stream, 0)
+}
+
+/// Scans storage and truncates the corrupt tail in place, leaving the
+/// device append-ready. Returns the scan report (post-truncation,
+/// `truncated_bytes` reflects what was cut).
+pub fn recover<S: Storage>(
+    storage: &mut S,
+    expect_stream: Option<u64>,
+) -> Result<ScanReport, WalError> {
+    let bytes = storage.read_all()?;
+    let report = scan(&bytes, expect_stream);
+    if report.truncated_bytes > 0 {
+        storage.truncate(report.valid_len)?;
+    }
+    Ok(report)
+}
+
+/// Per-segment detail from a directory scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// Path of the segment file.
+    pub path: PathBuf,
+    /// Records recovered from this segment.
+    pub records: usize,
+    /// First sequence number expected in this segment.
+    pub first_seq: u64,
+    /// Valid prefix length in bytes.
+    pub valid_len: u64,
+    /// Bytes discarded from this segment.
+    pub truncated_bytes: u64,
+    /// Why scanning stopped in this segment, if it did.
+    pub corruption: Option<Corruption>,
+}
+
+/// Result of scanning a whole `DirWal` directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirScanReport {
+    /// Concatenated records across all valid segment prefixes.
+    pub records: Vec<Record>,
+    /// Per-segment breakdown in index order.
+    pub segments: Vec<SegmentReport>,
+    /// Total bytes a [`recover_dir`] would discard, including whole
+    /// segments after the first corrupt one.
+    pub truncated_bytes: u64,
+    /// First corruption encountered, if any.
+    pub corruption: Option<Corruption>,
+    /// Sequence number the next appended record must carry.
+    pub next_seq: u64,
+    /// Stream id of segment 0, when intact.
+    pub stream_id: Option<u64>,
+}
+
+/// Scans every segment of a `DirWal` directory in order. Scanning stops at
+/// the first corruption; later segments are counted wholly as truncatable.
+pub fn scan_dir(dir: &Path, expect_stream: Option<u64>) -> Result<DirScanReport, WalError> {
+    let paths = crate::wal::list_segments(dir)?;
+    let mut out = DirScanReport {
+        records: Vec::new(),
+        segments: Vec::new(),
+        truncated_bytes: 0,
+        corruption: None,
+        next_seq: 0,
+        stream_id: None,
+    };
+    let mut next_seq = 0u64;
+    let mut stream = expect_stream;
+    let mut stopped = false;
+    for path in paths {
+        let bytes = std::fs::read(&path).map_err(StorageError::from)?;
+        if stopped {
+            // Everything after the first corrupt segment is discarded.
+            out.truncated_bytes += bytes.len() as u64;
+            out.segments.push(SegmentReport {
+                path,
+                records: 0,
+                first_seq: next_seq,
+                valid_len: 0,
+                truncated_bytes: bytes.len() as u64,
+                corruption: None,
+            });
+            continue;
+        }
+        let report = scan_from(&bytes, stream, next_seq);
+        if out.stream_id.is_none() {
+            out.stream_id = report.stream_id;
+            // Later segments must carry the stream id segment 0 declared.
+            if stream.is_none() {
+                stream = report.stream_id;
+            }
+        }
+        out.truncated_bytes += report.truncated_bytes;
+        out.segments.push(SegmentReport {
+            path,
+            records: report.records.len(),
+            first_seq: next_seq,
+            valid_len: report.valid_len,
+            truncated_bytes: report.truncated_bytes,
+            corruption: report.corruption.clone(),
+        });
+        next_seq = report.next_seq;
+        out.records.extend(report.records);
+        if let Some(corruption) = report.corruption {
+            out.corruption = Some(corruption);
+            stopped = true;
+        }
+    }
+    out.next_seq = next_seq;
+    Ok(out)
+}
+
+/// Truncates a `DirWal` directory back to its valid prefix: the first
+/// corrupt segment is cut at its valid length, every later segment file is
+/// removed, and the directory is fsynced. Returns the (pre-truncation)
+/// scan report.
+pub fn recover_dir(dir: &Path, expect_stream: Option<u64>) -> Result<DirScanReport, WalError> {
+    let report = scan_dir(dir, expect_stream)?;
+    let mut cut = false;
+    let mut removed_any = false;
+    for seg in &report.segments {
+        if cut {
+            std::fs::remove_file(&seg.path).map_err(StorageError::from)?;
+            removed_any = true;
+            continue;
+        }
+        if seg.corruption.is_some() || seg.truncated_bytes > 0 {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&seg.path)
+                .map_err(StorageError::from)?;
+            file.set_len(seg.valid_len).map_err(StorageError::from)?;
+            file.sync_data().map_err(StorageError::from)?;
+            cut = true;
+        }
+    }
+    if removed_any {
+        crate::fsio::fsync_dir(dir).map_err(StorageError::from)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use crate::wal::{FsyncPolicy, Wal};
+
+    fn build_log(n: u64) -> Vec<u8> {
+        let mut wal = Wal::create(MemStorage::new(), 7, FsyncPolicy::Always).expect("create");
+        for i in 0..n {
+            wal.append((i % 250) as u8, format!("payload-{i}").as_bytes())
+                .expect("append");
+        }
+        wal.into_storage().bytes().to_vec()
+    }
+
+    #[test]
+    fn clean_log_scans_fully() {
+        let bytes = build_log(10);
+        let report = scan(&bytes, Some(7));
+        assert_eq!(report.records.len(), 10);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.corruption, None);
+        assert_eq!(report.next_seq, 10);
+        assert_eq!(report.stream_id, Some(7));
+    }
+
+    #[test]
+    fn empty_device_reports_short_header() {
+        let report = scan(&[], None);
+        assert_eq!(report.corruption, Some(Corruption::ShortHeader));
+        assert_eq!(report.valid_len, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_frame_boundary() {
+        let bytes = build_log(5);
+        let full = scan(&bytes, Some(7));
+        // Cut mid-way through the last frame.
+        let cut = bytes.len() - 3;
+        let torn = bytes.get(..cut).map(<[u8]>::to_vec).unwrap_or_default();
+        let report = scan(&torn, Some(7));
+        assert_eq!(report.records.len(), 4);
+        assert!(matches!(
+            report.corruption,
+            Some(Corruption::ShortFrame { .. })
+        ));
+        assert!(report.valid_len < full.valid_len);
+        assert_eq!(report.truncated_bytes, cut as u64 - report.valid_len);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        // Flip each byte of a small log in turn: the scanner must never
+        // return the full record set un-corrupt, and must never panic.
+        let bytes = build_log(3);
+        let clean = scan(&bytes, Some(7));
+        assert_eq!(clean.records.len(), 3);
+        for pos in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            if let Some(b) = mutated.get_mut(pos) {
+                *b ^= 0x40;
+            }
+            let report = scan(&mutated, Some(7));
+            assert!(
+                report.corruption.is_some(),
+                "flip at byte {pos} went undetected"
+            );
+            assert!(report.records.len() < 3 || report.corruption.is_some());
+        }
+    }
+
+    #[test]
+    fn recover_truncates_in_place_and_resumes() {
+        let bytes = build_log(6);
+        let cut = bytes.len() - 5;
+        let torn = bytes.get(..cut).map(<[u8]>::to_vec).unwrap_or_default();
+        let mut storage = MemStorage::from_bytes(torn);
+        let report = recover(&mut storage, Some(7)).expect("recover");
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(storage.len(), report.valid_len);
+        // The truncated log is append-ready: resume and add a record.
+        let mut wal = Wal::resume(storage, FsyncPolicy::Always, report.next_seq);
+        wal.append(9, b"after-recovery").expect("append");
+        let rescanned = scan(wal.into_storage().bytes(), Some(7));
+        assert_eq!(rescanned.records.len(), 6);
+        assert_eq!(rescanned.corruption, None);
+        assert_eq!(
+            rescanned.records.last().map(|r| r.kind),
+            Some(9),
+            "new record follows recovered prefix"
+        );
+    }
+
+    #[test]
+    fn stream_mismatch_is_rejected() {
+        let bytes = build_log(2);
+        let report = scan(&bytes, Some(8));
+        assert_eq!(
+            report.corruption,
+            Some(Corruption::StreamMismatch {
+                expected: 8,
+                found: 7
+            })
+        );
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn dir_recover_cuts_corrupt_segment_and_removes_later_ones() {
+        let dir =
+            std::env::temp_dir().join(format!("mpr-durable-recover-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = crate::wal::DirWal::create(&dir, 5, FsyncPolicy::Always, 96).expect("create");
+        for i in 0..12u8 {
+            wal.append(i, &[i; 24]).expect("append");
+        }
+        assert!(wal.segment_index() >= 2, "need at least 3 segments");
+        drop(wal);
+        // Corrupt the middle segment's last frame.
+        let segments = crate::wal::list_segments(&dir).expect("list");
+        let victim = segments.get(1).cloned().expect("second segment");
+        let mut bytes = std::fs::read(&victim).expect("read victim");
+        if let Some(b) = bytes.last_mut() {
+            *b ^= 0xFF;
+        }
+        std::fs::write(&victim, &bytes).expect("write victim");
+        let report = recover_dir(&dir, Some(5)).expect("recover");
+        assert!(report.corruption.is_some());
+        assert!(report.records.len() < 12);
+        // After recovery the directory scans clean.
+        let clean = scan_dir(&dir, Some(5)).expect("rescan");
+        assert_eq!(clean.corruption, None);
+        assert_eq!(clean.records.len(), report.records.len());
+        assert_eq!(clean.truncated_bytes, 0);
+        let remaining = crate::wal::list_segments(&dir).expect("list");
+        assert_eq!(
+            remaining.len(),
+            2,
+            "segments after the corrupt one are removed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,589 @@
+//! Byte-level storage abstraction with real, in-memory and fault-injected
+//! backends.
+//!
+//! The WAL (see [`crate::wal`]) is written against the [`Storage`] trait so
+//! the same journaling code runs over a real file in production, a plain
+//! `Vec<u8>` in unit tests, and a seeded [`FaultyDisk`] in the chaos
+//! campaign. `FaultyDisk` models the volatile page cache explicitly: bytes
+//! appended land in a *volatile* buffer and only migrate to the *durable*
+//! image on a successful [`Storage::sync`]. A simulated crash
+//! ([`FaultyDisk::crash`]) keeps the durable image plus a seeded prefix of
+//! the volatile tail — exactly the torn state a real kernel leaves behind.
+
+use std::fmt;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Errors surfaced by [`Storage`] operations.
+///
+/// These model the fault classes a real disk exposes; [`FaultyDisk`]
+/// injects them deterministically, [`FileStorage`] maps real `io::Error`s
+/// onto them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device is out of space (ENOSPC): nothing was appended.
+    Full,
+    /// The append was torn: only the first `written` bytes of the request
+    /// reached the device before the failure.
+    TornWrite {
+        /// Number of bytes of the request that were actually persisted.
+        written: usize,
+    },
+    /// `fsync` failed; bytes appended since the last successful sync have
+    /// unknown durability.
+    SyncFailed,
+    /// Any other I/O failure (real-file backend only).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Full => write!(f, "storage full (ENOSPC)"),
+            StorageError::TornWrite { written } => {
+                write!(f, "torn write: only {written} bytes persisted")
+            }
+            StorageError::SyncFailed => write!(f, "fsync failed"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::StorageFull {
+            StorageError::Full
+        } else {
+            StorageError::Io(err.to_string())
+        }
+    }
+}
+
+/// An append-only byte device with explicit durability boundaries.
+///
+/// Appends are buffered ("volatile") until [`sync`](Storage::sync) returns
+/// `Ok`; only then may the caller acknowledge the data as durable. This is
+/// the contract the WAL's fsync policy is built on.
+pub trait Storage {
+    /// Appends `bytes` at the end of the device.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Makes all previously appended bytes durable.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Total length in bytes (durable + volatile).
+    fn len(&self) -> u64;
+
+    /// True when the device holds no bytes at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the entire current contents.
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError>;
+
+    /// Truncates the device to `len` bytes and makes the truncation durable.
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError>;
+}
+
+/// Plain in-memory storage: a `Vec<u8>` where every append is immediately
+/// "durable". Used by unit tests and the recovery scanner.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    buf: Vec<u8>,
+}
+
+impl MemStorage {
+    /// Creates an empty in-memory device.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a device pre-loaded with `bytes` (e.g. a scanned WAL image).
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self { buf: bytes }
+    }
+
+    /// Borrows the full contents.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        Ok(self.buf.clone())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        let keep = usize::try_from(len)
+            .unwrap_or(usize::MAX)
+            .min(self.buf.len());
+        self.buf.truncate(keep);
+        Ok(())
+    }
+}
+
+/// Real-file storage backing one WAL segment.
+///
+/// `sync` maps to `File::sync_data`; `truncate` to `File::set_len` followed
+/// by a data sync so the shorter length is itself durable.
+#[derive(Debug)]
+pub struct FileStorage {
+    path: PathBuf,
+    file: fs::File,
+    len: u64,
+}
+
+impl FileStorage {
+    /// Creates (or truncates) the file at `path` for appending.
+    pub fn create(path: &Path) -> Result<Self, StorageError> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            len: 0,
+        })
+    }
+
+    /// Opens an existing file at `path` for appending at its current end.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let mut file = fs::OpenOptions::new().write(true).read(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            len,
+        })
+    }
+
+    /// The path this segment lives at.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::new();
+        self.file.read_to_end(&mut out)?;
+        out.truncate(usize::try_from(self.len).unwrap_or(usize::MAX));
+        Ok(out)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        let keep = len.min(self.len);
+        self.file.set_len(keep)?;
+        self.file.sync_data()?;
+        self.len = keep;
+        Ok(())
+    }
+}
+
+/// Fault-injection knobs for [`FaultyDisk`]. All probabilities are per
+/// operation; `Default` is a perfect disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultConfig {
+    /// Probability that an append is torn: a seeded prefix of the request
+    /// lands in the volatile buffer and the call fails with
+    /// [`StorageError::TornWrite`].
+    pub torn_write_prob: f64,
+    /// Probability that an append succeeds but one seeded bit of the
+    /// written bytes is flipped (silent media corruption — only the CRC
+    /// catches it later).
+    pub bit_flip_prob: f64,
+    /// Probability that a sync fails with [`StorageError::SyncFailed`],
+    /// leaving the volatile buffer volatile.
+    pub fsync_fail_prob: f64,
+    /// Optional capacity in bytes; appends that would exceed it fail with
+    /// [`StorageError::Full`].
+    pub capacity_bytes: Option<u64>,
+}
+
+impl Default for DiskFaultConfig {
+    fn default() -> Self {
+        Self {
+            torn_write_prob: 0.0,
+            bit_flip_prob: 0.0,
+            fsync_fail_prob: 0.0,
+            capacity_bytes: None,
+        }
+    }
+}
+
+impl DiskFaultConfig {
+    /// True when at least one fault class can fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.torn_write_prob > 0.0
+            || self.bit_flip_prob > 0.0
+            || self.fsync_fail_prob > 0.0
+            || self.capacity_bytes.is_some()
+    }
+}
+
+/// Counters of injected faults, for reports and oracle context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskFaultCounters {
+    /// Appends torn mid-request.
+    pub torn_writes: u64,
+    /// Appends that had one bit silently flipped.
+    pub bit_flips: u64,
+    /// Appends rejected with ENOSPC.
+    pub enospc_rejections: u64,
+    /// Syncs that failed.
+    pub fsync_failures: u64,
+}
+
+impl DiskFaultCounters {
+    /// Total number of injected faults across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.torn_writes + self.bit_flips + self.enospc_rejections + self.fsync_failures
+    }
+}
+
+/// Deterministic fault-injecting storage: the disk sibling of
+/// `FaultySensor` and `SimNet`.
+///
+/// Maintains a durable image and a volatile buffer. Appends land in the
+/// volatile buffer (possibly torn, flipped or rejected); a successful
+/// [`sync`](Storage::sync) migrates volatile bytes to the durable image.
+/// [`crash`](FaultyDisk::crash) simulates power loss: the durable image
+/// survives, plus a seeded prefix of the volatile buffer (the pages the
+/// kernel happened to write back), and everything else is gone.
+#[derive(Debug, Clone)]
+pub struct FaultyDisk {
+    cfg: DiskFaultConfig,
+    rng: ChaCha8Rng,
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+    counters: DiskFaultCounters,
+}
+
+impl FaultyDisk {
+    /// Creates an empty faulty disk. The RNG is seeded with
+    /// `seed ^ DISK_SEED_XOR` by convention (callers apply the XOR).
+    #[must_use]
+    pub fn new(cfg: DiskFaultConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            durable: Vec::new(),
+            volatile: Vec::new(),
+            counters: DiskFaultCounters::default(),
+        }
+    }
+
+    /// Creates a faulty disk whose durable image is pre-loaded with
+    /// `bytes` (e.g. the surviving image from a previous crash).
+    #[must_use]
+    pub fn with_image(cfg: DiskFaultConfig, seed: u64, bytes: Vec<u8>) -> Self {
+        let mut disk = Self::new(cfg, seed);
+        disk.durable = bytes;
+        disk
+    }
+
+    /// Simulates power loss: keeps the durable image plus a seeded prefix
+    /// of the volatile buffer, discards the rest. Returns the number of
+    /// volatile bytes lost.
+    pub fn crash(&mut self) -> u64 {
+        let pending = self.volatile.len();
+        let survived = if pending == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=pending)
+        };
+        let mut tail = std::mem::take(&mut self.volatile);
+        tail.truncate(survived);
+        self.durable.extend_from_slice(&tail);
+        (pending - survived) as u64
+    }
+
+    /// The durable image — what a post-crash reader would see.
+    #[must_use]
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.durable
+    }
+
+    /// Length of the durable image in bytes.
+    #[must_use]
+    pub fn durable_len(&self) -> u64 {
+        self.durable.len() as u64
+    }
+
+    /// Injected-fault counters so far.
+    #[must_use]
+    pub fn counters(&self) -> DiskFaultCounters {
+        self.counters
+    }
+
+    /// Flips one seeded bit somewhere in `bytes`.
+    fn flip_one_bit(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let pos = self.rng.gen_range(0..bytes.len());
+        let bit = self.rng.gen_range(0..8u32);
+        if let Some(target) = bytes.get_mut(pos) {
+            *target ^= 1u8 << bit;
+        }
+    }
+}
+
+impl Storage for FaultyDisk {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        if let Some(cap) = self.cfg.capacity_bytes {
+            let used = self.durable.len() as u64 + self.volatile.len() as u64;
+            if used + bytes.len() as u64 > cap {
+                self.counters.enospc_rejections += 1;
+                return Err(StorageError::Full);
+            }
+        }
+        // Draw order is fixed (torn, then flip) so fault streams are stable
+        // across config changes that only adjust probabilities.
+        let torn = self.cfg.torn_write_prob > 0.0 && self.rng.gen_bool(self.cfg.torn_write_prob);
+        if torn {
+            let written = if bytes.is_empty() {
+                0
+            } else {
+                self.rng.gen_range(0..bytes.len())
+            };
+            let prefix = bytes.get(..written).unwrap_or(&[]);
+            self.volatile.extend_from_slice(prefix);
+            self.counters.torn_writes += 1;
+            return Err(StorageError::TornWrite { written });
+        }
+        let flip = self.cfg.bit_flip_prob > 0.0 && self.rng.gen_bool(self.cfg.bit_flip_prob);
+        if flip {
+            let mut copy = bytes.to_vec();
+            self.flip_one_bit(&mut copy);
+            self.volatile.extend_from_slice(&copy);
+            self.counters.bit_flips += 1;
+        } else {
+            self.volatile.extend_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        let fail = self.cfg.fsync_fail_prob > 0.0 && self.rng.gen_bool(self.cfg.fsync_fail_prob);
+        if fail {
+            self.counters.fsync_failures += 1;
+            return Err(StorageError::SyncFailed);
+        }
+        let pending = std::mem::take(&mut self.volatile);
+        self.durable.extend_from_slice(&pending);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        (self.durable.len() + self.volatile.len()) as u64
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        let mut out = self.durable.clone();
+        out.extend_from_slice(&self.volatile);
+        Ok(out)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        let keep = usize::try_from(len).unwrap_or(usize::MAX);
+        if keep <= self.durable.len() {
+            self.durable.truncate(keep);
+            self.volatile.clear();
+        } else {
+            let extra = keep - self.durable.len();
+            self.volatile.truncate(extra);
+            let pending = std::mem::take(&mut self.volatile);
+            self.durable.extend_from_slice(&pending);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_append_and_truncate() {
+        let mut s = MemStorage::new();
+        s.append(b"hello").expect("append");
+        s.append(b" world").expect("append");
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.read_all().expect("read"), b"hello world");
+        s.truncate(5).expect("truncate");
+        assert_eq!(s.read_all().expect("read"), b"hello");
+        // Truncate beyond the end is a no-op.
+        s.truncate(100).expect("truncate");
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn file_storage_round_trips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("mpr-durable-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("seg.log");
+        {
+            let mut s = FileStorage::create(&path).expect("create");
+            s.append(b"abcdef").expect("append");
+            s.sync().expect("sync");
+            assert_eq!(s.len(), 6);
+        }
+        {
+            let mut s = FileStorage::open(&path).expect("open");
+            assert_eq!(s.len(), 6);
+            s.append(b"ghi").expect("append");
+            assert_eq!(s.read_all().expect("read"), b"abcdefghi");
+            s.truncate(4).expect("truncate");
+            assert_eq!(s.read_all().expect("read"), b"abcd");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perfect_faulty_disk_behaves_like_mem() {
+        let mut disk = FaultyDisk::new(DiskFaultConfig::default(), 7);
+        disk.append(b"aaa").expect("append");
+        assert_eq!(disk.durable_len(), 0, "pre-sync bytes are volatile");
+        disk.sync().expect("sync");
+        assert_eq!(disk.durable_len(), 3);
+        assert_eq!(disk.read_all().expect("read"), b"aaa");
+        assert_eq!(disk.counters().total(), 0);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_tail() {
+        let mut disk = FaultyDisk::new(DiskFaultConfig::default(), 11);
+        disk.append(b"synced").expect("append");
+        disk.sync().expect("sync");
+        disk.append(b"volatile-tail").expect("append");
+        disk.crash();
+        let after = disk.read_all().expect("read");
+        assert!(after.starts_with(b"synced"));
+        assert!(after.len() <= b"synced".len() + b"volatile-tail".len());
+        // The surviving prefix of the volatile tail is a *prefix*.
+        let tail = after.get(6..).unwrap_or(&[]);
+        assert!(b"volatile-tail".starts_with(tail));
+    }
+
+    #[test]
+    fn crash_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut disk = FaultyDisk::new(DiskFaultConfig::default(), seed);
+            disk.append(b"0123456789").expect("append");
+            disk.crash();
+            disk.read_all().expect("read")
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn enospc_fires_at_capacity() {
+        let cfg = DiskFaultConfig {
+            capacity_bytes: Some(8),
+            ..DiskFaultConfig::default()
+        };
+        let mut disk = FaultyDisk::new(cfg, 1);
+        disk.append(b"12345678").expect("fits exactly");
+        assert_eq!(disk.append(b"x"), Err(StorageError::Full));
+        assert_eq!(disk.counters().enospc_rejections, 1);
+    }
+
+    #[test]
+    fn torn_write_persists_only_a_prefix() {
+        let cfg = DiskFaultConfig {
+            torn_write_prob: 1.0,
+            ..DiskFaultConfig::default()
+        };
+        let mut disk = FaultyDisk::new(cfg, 3);
+        let err = disk.append(b"abcdefgh").expect_err("always torn");
+        match err {
+            StorageError::TornWrite { written } => {
+                assert!(written < 8);
+                disk.sync().expect("sync");
+                let img = disk.read_all().expect("read");
+                assert_eq!(img.len(), written);
+                assert!(b"abcdefgh".starts_with(&img[..]));
+            }
+            other => panic!("expected torn write, got {other:?}"),
+        }
+        assert_eq!(disk.counters().torn_writes, 1);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let cfg = DiskFaultConfig {
+            bit_flip_prob: 1.0,
+            ..DiskFaultConfig::default()
+        };
+        let mut disk = FaultyDisk::new(cfg, 5);
+        let original = [0u8; 16];
+        disk.append(&original).expect("append");
+        disk.sync().expect("sync");
+        let stored = disk.read_all().expect("read");
+        let differing_bits: u32 = stored.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(differing_bits, 1, "exactly one bit flipped");
+        assert_eq!(disk.counters().bit_flips, 1);
+    }
+
+    #[test]
+    fn fsync_failure_keeps_bytes_volatile() {
+        let cfg = DiskFaultConfig {
+            fsync_fail_prob: 1.0,
+            ..DiskFaultConfig::default()
+        };
+        let mut disk = FaultyDisk::new(cfg, 9);
+        disk.append(b"data").expect("append");
+        assert_eq!(disk.sync(), Err(StorageError::SyncFailed));
+        assert_eq!(disk.durable_len(), 0);
+        assert_eq!(disk.counters().fsync_failures, 1);
+    }
+}

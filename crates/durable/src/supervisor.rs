@@ -1,0 +1,237 @@
+//! Process-level self-healing: run the engine under `catch_unwind`, retry
+//! with capped exponential backoff, escalate to safe mode after a bounded
+//! number of failed recoveries.
+//!
+//! This extends PR 1's *mechanism-level* degradation ladder (MPR-INT →
+//! MPR-STAT → EQL capping) to the *process* level: a crash of the manager
+//! itself triggers restart-with-recovery, and repeated failure escalates to
+//! the same terminal safe mode the ladder bottoms out in — EQL capping with
+//! admission hold — rather than crash-looping forever.
+//!
+//! Backoff is computed, not slept: the simulator runs in virtual time, so
+//! the supervisor reports the per-attempt backoff schedule it *would* apply
+//! and callers account for it (the chaos `durability-replay` oracle bounds
+//! total restarts, which bounds recovery time).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Restart policy for a supervised engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Maximum number of restarts before escalating to safe mode.
+    pub max_restarts: u32,
+    /// Backoff before restart 1, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+/// Backoff before restart number `attempt` (1-based):
+/// `base * 2^(attempt-1)`, capped. Attempt 0 (the initial run) has no
+/// backoff.
+#[must_use]
+pub fn backoff_ms(cfg: &SupervisorConfig, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return 0;
+    }
+    let exp = attempt.saturating_sub(1).min(63);
+    let factor = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
+    cfg.backoff_base_ms
+        .saturating_mul(factor)
+        .min(cfg.backoff_cap_ms)
+}
+
+/// Outcome of a supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Supervised<T> {
+    /// An attempt completed; `restarts` counts how many recoveries it took.
+    Completed {
+        /// The successful attempt's result.
+        value: T,
+        /// Number of restarts consumed before success (0 = first try).
+        restarts: u32,
+        /// Backoff applied before each restart, in order.
+        backoff_schedule_ms: Vec<u64>,
+        /// Human-readable failure causes of the unsuccessful attempts.
+        failures: Vec<String>,
+    },
+    /// All `1 + max_restarts` attempts failed: the caller must fall to
+    /// safe mode (EQL capping, admission hold).
+    Escalated {
+        /// Number of restarts consumed (== `max_restarts`).
+        restarts: u32,
+        /// Backoff applied before each restart, in order.
+        backoff_schedule_ms: Vec<u64>,
+        /// Human-readable failure causes, one per attempt.
+        failures: Vec<String>,
+    },
+}
+
+impl<T> Supervised<T> {
+    /// Number of restarts consumed, successful or not.
+    #[must_use]
+    pub fn restarts(&self) -> u32 {
+        match self {
+            Supervised::Completed { restarts, .. } | Supervised::Escalated { restarts, .. } => {
+                *restarts
+            }
+        }
+    }
+
+    /// True when the supervisor gave up and escalated to safe mode.
+    #[must_use]
+    pub fn escalated(&self) -> bool {
+        matches!(self, Supervised::Escalated { .. })
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs `attempt` up to `1 + cfg.max_restarts` times, each attempt guarded
+/// by `catch_unwind` so engine panics become restartable failures instead
+/// of process aborts.
+///
+/// `attempt(n)` receives the attempt number (0 = initial run, 1.. =
+/// recoveries) so the closure can reload state from the WAL on retries. It
+/// returns `Ok(value)` to finish or `Err(reason)` to request a restart.
+pub fn supervise<T, F>(cfg: &SupervisorConfig, mut attempt: F) -> Supervised<T>
+where
+    F: FnMut(u32) -> Result<T, String>,
+{
+    let mut failures: Vec<String> = Vec::new();
+    let mut backoff_schedule_ms: Vec<u64> = Vec::new();
+    let mut n = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| attempt(n)));
+        match outcome {
+            Ok(Ok(value)) => {
+                return Supervised::Completed {
+                    value,
+                    restarts: n,
+                    backoff_schedule_ms,
+                    failures,
+                };
+            }
+            Ok(Err(reason)) => failures.push(reason),
+            Err(payload) => failures.push(panic_message(payload)),
+        }
+        if n >= cfg.max_restarts {
+            return Supervised::Escalated {
+                restarts: n,
+                backoff_schedule_ms,
+                failures,
+            };
+        }
+        n += 1;
+        backoff_schedule_ms.push(backoff_ms(cfg, n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_needs_no_restarts() {
+        let out = supervise(&SupervisorConfig::default(), |_| Ok::<_, String>(42));
+        match out {
+            Supervised::Completed {
+                value,
+                restarts,
+                backoff_schedule_ms,
+                failures,
+            } => {
+                assert_eq!(value, 42);
+                assert_eq!(restarts, 0);
+                assert!(backoff_schedule_ms.is_empty());
+                assert!(failures.is_empty());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_attempts_are_retried_then_succeed() {
+        let cfg = SupervisorConfig {
+            max_restarts: 3,
+            ..SupervisorConfig::default()
+        };
+        let out = supervise(&cfg, |n| {
+            if n < 2 {
+                panic!("engine crashed on attempt {n}");
+            }
+            Ok::<_, String>("recovered")
+        });
+        match out {
+            Supervised::Completed {
+                value,
+                restarts,
+                backoff_schedule_ms,
+                failures,
+            } => {
+                assert_eq!(value, "recovered");
+                assert_eq!(restarts, 2);
+                assert_eq!(backoff_schedule_ms, vec![50, 100]);
+                assert_eq!(failures.len(), 2);
+                assert!(failures.iter().all(|f| f.starts_with("panic:")));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escalates_after_max_restarts() {
+        let cfg = SupervisorConfig {
+            max_restarts: 2,
+            ..SupervisorConfig::default()
+        };
+        let out = supervise::<(), _>(&cfg, |n| Err(format!("attempt {n} failed")));
+        assert!(out.escalated());
+        match out {
+            Supervised::Escalated {
+                restarts,
+                backoff_schedule_ms,
+                failures,
+            } => {
+                assert_eq!(restarts, 2);
+                assert_eq!(backoff_schedule_ms, vec![50, 100]);
+                assert_eq!(failures.len(), 3, "initial try + 2 restarts all recorded");
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = SupervisorConfig {
+            max_restarts: 10,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 750,
+        };
+        assert_eq!(backoff_ms(&cfg, 0), 0);
+        assert_eq!(backoff_ms(&cfg, 1), 100);
+        assert_eq!(backoff_ms(&cfg, 2), 200);
+        assert_eq!(backoff_ms(&cfg, 3), 400);
+        assert_eq!(backoff_ms(&cfg, 4), 750, "capped");
+        assert_eq!(backoff_ms(&cfg, 63), 750, "no overflow at large attempts");
+    }
+}

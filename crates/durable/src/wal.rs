@@ -1,0 +1,604 @@
+//! Append-only, CRC-framed, versioned write-ahead log.
+//!
+//! # On-disk format
+//!
+//! A segment starts with a 20-byte header:
+//!
+//! ```text
+//! magic   8 bytes   b"MPRWAL1\0"
+//! version 4 bytes   u32 LE (WAL_VERSION)
+//! stream  8 bytes   u64 LE stream id (ties segments to one run)
+//! ```
+//!
+//! followed by zero or more record frames:
+//!
+//! ```text
+//! len     4 bytes   u32 LE, length of body (seq + kind + payload)
+//! crc     4 bytes   u32 LE, CRC-32 (IEEE) of body
+//! body:
+//!   seq     8 bytes u64 LE, contiguous from the segment's first record
+//!   kind    1 byte
+//!   payload len-9 bytes
+//! ```
+//!
+//! Each frame is appended with a single [`Storage::append`] call, so a torn
+//! write tears *inside* one frame and the recovery scanner
+//! ([`crate::recover`]) can always identify the longest valid prefix.
+//!
+//! # Acknowledgement contract
+//!
+//! [`Wal::acked_seq`] is the highest record sequence the ledger may report
+//! as durable to the outside world. Under [`FsyncPolicy::Always`] and
+//! [`FsyncPolicy::EveryRecords`] it advances only on successful sync. Under
+//! [`FsyncPolicy::Never`] it advances on append — which is precisely the
+//! misconfiguration the chaos campaign's `durability-commit` oracle exists
+//! to catch: a crash then loses acknowledged records.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::fsio;
+use crate::storage::{FileStorage, Storage, StorageError};
+
+/// Magic prefix of every WAL segment.
+pub const WAL_MAGIC: [u8; 8] = *b"MPRWAL1\0";
+
+/// Current on-disk format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Segment header length in bytes: magic + version + stream id.
+pub const SEGMENT_HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Frame header length in bytes: len + crc.
+pub const FRAME_HEADER_LEN: usize = 4 + 4;
+
+/// Body bytes preceding the payload: seq + kind.
+pub const BODY_PREFIX_LEN: usize = 8 + 1;
+
+/// Upper bound on a record body; larger `len` fields are treated as
+/// corruption by the scanner (a single flipped bit in `len` must not make
+/// recovery attempt a multi-gigabyte read).
+pub const MAX_RECORD_LEN: u32 = 1 << 26;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`) — bitwise
+/// implementation, no lookup table, deterministic everywhere.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// When the WAL calls [`Storage::sync`] relative to appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record: strongest durability, every append is
+    /// acknowledged only once durable.
+    Always,
+    /// Sync after every `n` records (group commit): bounded-loss window of
+    /// at most `n-1` records, acknowledgement lags to the last sync.
+    EveryRecords(u32),
+    /// Never sync, yet acknowledge on append. This is an intentionally
+    /// unsound policy kept for the chaos campaign's planted-bug self-test:
+    /// a crash loses acknowledged records and the `durability-commit`
+    /// oracle must catch it.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `never` or `every=<n>`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.strip_prefix("every=") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(count) if count > 0 => Ok(FsyncPolicy::EveryRecords(count)),
+                    _ => Err(format!("invalid fsync group size: {n}")),
+                },
+                None => Err(format!(
+                    "unknown fsync policy '{other}' (expected always, never or every=<n>)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryRecords(n) => write!(f, "every={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Sequence number, contiguous from 0 within a stream.
+    pub seq: u64,
+    /// Application-defined record kind tag.
+    pub kind: u8,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors surfaced by WAL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The underlying storage failed; the WAL is wedged afterwards.
+    Storage(StorageError),
+    /// Record payload exceeds [`MAX_RECORD_LEN`].
+    RecordTooLarge(usize),
+    /// The WAL is wedged by an earlier storage fault; no further appends
+    /// or acknowledgements are possible until recovery.
+    Wedged,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Storage(err) => write!(f, "wal storage error: {err}"),
+            WalError::RecordTooLarge(n) => write!(f, "record payload too large: {n} bytes"),
+            WalError::Wedged => write!(f, "wal is wedged by an earlier storage fault"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<StorageError> for WalError {
+    fn from(err: StorageError) -> Self {
+        WalError::Storage(err)
+    }
+}
+
+/// Encodes one record frame (header + body) into a contiguous buffer.
+#[must_use]
+pub fn encode_frame(seq: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let body_len = BODY_PREFIX_LEN + payload.len();
+    let mut body = Vec::with_capacity(body_len);
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.push(kind);
+    body.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body_len);
+    frame.extend_from_slice(&(body_len as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Encodes a segment header for `stream_id`.
+#[must_use]
+pub fn encode_segment_header(stream_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&stream_id.to_le_bytes());
+    out
+}
+
+/// A single-segment write-ahead log over any [`Storage`].
+///
+/// The simulator's crash/recover harness runs this over a
+/// [`FaultyDisk`](crate::storage::FaultyDisk); `DirWal` composes it over
+/// [`FileStorage`] segments for real deployments.
+#[derive(Debug)]
+pub struct Wal<S: Storage> {
+    storage: S,
+    policy: FsyncPolicy,
+    next_seq: u64,
+    appended_seq: Option<u64>,
+    synced_seq: Option<u64>,
+    since_sync: u32,
+    wedged: Option<StorageError>,
+}
+
+impl<S: Storage> Wal<S> {
+    /// Creates a fresh WAL on empty storage: writes and syncs the segment
+    /// header so even a zero-record log is recognisable.
+    pub fn create(mut storage: S, stream_id: u64, policy: FsyncPolicy) -> Result<Self, WalError> {
+        storage.append(&encode_segment_header(stream_id))?;
+        storage.sync()?;
+        Ok(Self {
+            storage,
+            policy,
+            next_seq: 0,
+            appended_seq: None,
+            synced_seq: None,
+            since_sync: 0,
+            wedged: None,
+        })
+    }
+
+    /// Creates a fresh WAL, *wedging* instead of failing when the segment
+    /// header cannot be made durable (a torn header write or ENOSPC at
+    /// birth on a faulty device): the returned WAL refuses every append
+    /// but the caller keeps running without durability — exactly the
+    /// degraded mode a mid-run storage fault produces.
+    pub fn create_or_wedge(mut storage: S, stream_id: u64, policy: FsyncPolicy) -> Self {
+        let wedged = storage
+            .append(&encode_segment_header(stream_id))
+            .and_then(|()| storage.sync())
+            .err();
+        Self {
+            storage,
+            policy,
+            next_seq: 0,
+            appended_seq: None,
+            synced_seq: None,
+            since_sync: 0,
+            wedged,
+        }
+    }
+
+    /// Resumes appending to storage that already holds a valid prefix
+    /// (header + records `0..next_seq`), e.g. after recovery truncated the
+    /// corrupt tail. The existing prefix is treated as durable.
+    pub fn resume(storage: S, policy: FsyncPolicy, next_seq: u64) -> Self {
+        let last = next_seq.checked_sub(1);
+        Self {
+            storage,
+            policy,
+            next_seq,
+            appended_seq: last,
+            synced_seq: last,
+            since_sync: 0,
+            wedged: None,
+        }
+    }
+
+    /// Appends one record, returning its sequence number. Depending on the
+    /// fsync policy this may also sync. Any storage fault wedges the WAL:
+    /// journaling stops, the caller keeps running without durability and
+    /// recovery replays up to the last durable acknowledgement.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64, WalError> {
+        if self.wedged.is_some() {
+            return Err(WalError::Wedged);
+        }
+        if payload.len() > MAX_RECORD_LEN as usize - BODY_PREFIX_LEN {
+            return Err(WalError::RecordTooLarge(payload.len()));
+        }
+        let seq = self.next_seq;
+        let frame = encode_frame(seq, kind, payload);
+        if let Err(err) = self.storage.append(&frame) {
+            self.wedged = Some(err.clone());
+            return Err(WalError::Storage(err));
+        }
+        self.next_seq += 1;
+        self.appended_seq = Some(seq);
+        self.since_sync += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryRecords(n) => {
+                if self.since_sync >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces a sync now regardless of policy, advancing the durable
+    /// acknowledgement to the last appended record on success.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.wedged.is_some() {
+            return Err(WalError::Wedged);
+        }
+        if let Err(err) = self.storage.sync() {
+            self.wedged = Some(err.clone());
+            return Err(WalError::Storage(err));
+        }
+        self.synced_seq = self.appended_seq;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Highest sequence number the ledger may *acknowledge* as durable.
+    ///
+    /// `Always`/`EveryRecords`: the last successfully synced record.
+    /// `Never`: the last appended record — the unsound acknowledgement that
+    /// the planted-bug self-test relies on.
+    #[must_use]
+    pub fn acked_seq(&self) -> Option<u64> {
+        match self.policy {
+            FsyncPolicy::Never => self.appended_seq,
+            _ => self.synced_seq,
+        }
+    }
+
+    /// Highest sequence number known durable (post-sync), independent of
+    /// policy.
+    #[must_use]
+    pub fn synced_seq(&self) -> Option<u64> {
+        self.synced_seq
+    }
+
+    /// Sequence number the next append will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The storage fault that wedged this WAL, if any.
+    #[must_use]
+    pub fn wedge_cause(&self) -> Option<&StorageError> {
+        self.wedged.as_ref()
+    }
+
+    /// True once a storage fault has stopped journaling.
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.is_some()
+    }
+
+    /// Borrows the underlying storage immutably (e.g. to read fault
+    /// counters off a `FaultyDisk`).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Borrows the underlying storage (e.g. to crash a `FaultyDisk`).
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.storage
+    }
+
+    /// Consumes the WAL, returning the underlying storage.
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+/// File-backed multi-segment WAL with atomic rotation.
+///
+/// Segments are named `wal-NNNNNNNN.log` inside one directory. Rotation
+/// syncs the active segment, creates the next one (header synced), then
+/// fsyncs the directory so the new segment's existence is itself durable —
+/// the same parent-directory discipline as [`fsio::atomic_replace`].
+#[derive(Debug)]
+pub struct DirWal {
+    dir: PathBuf,
+    stream_id: u64,
+    max_segment_bytes: u64,
+    seg_index: u64,
+    inner: Wal<FileStorage>,
+}
+
+/// Formats the file name of segment `index`.
+#[must_use]
+pub fn segment_file_name(index: u64) -> String {
+    format!("wal-{index:08}.log")
+}
+
+/// Lists the segment paths in a WAL directory in ascending index order.
+pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, WalError> {
+    let mut names: Vec<String> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(StorageError::from)?;
+    for entry in entries {
+        let entry = entry.map_err(StorageError::from)?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names.iter().map(|n| dir.join(n)).collect())
+}
+
+impl DirWal {
+    /// Creates a fresh WAL directory (must be empty of segments) with
+    /// segment 0 initialised and durable.
+    pub fn create(
+        dir: &Path,
+        stream_id: u64,
+        policy: FsyncPolicy,
+        max_segment_bytes: u64,
+    ) -> Result<Self, WalError> {
+        fs::create_dir_all(dir).map_err(StorageError::from)?;
+        let existing = list_segments(dir)?;
+        if let Some(first) = existing.first() {
+            return Err(WalError::Storage(StorageError::Io(format!(
+                "wal directory not empty: {} already exists",
+                first.display()
+            ))));
+        }
+        let seg_path = dir.join(segment_file_name(0));
+        let storage = FileStorage::create(&seg_path)?;
+        let inner = Wal::create(storage, stream_id, policy)?;
+        fsio::fsync_dir(dir).map_err(StorageError::from)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            stream_id,
+            max_segment_bytes,
+            seg_index: 0,
+            inner,
+        })
+    }
+
+    /// Appends one record, rotating to a new segment first when the active
+    /// one has reached the size threshold.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<u64, WalError> {
+        if self.inner.storage_mut().len() >= self.max_segment_bytes {
+            self.rotate()?;
+        }
+        self.inner.append(kind, payload)
+    }
+
+    /// Forces a sync of the active segment.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.inner.sync()
+    }
+
+    /// Highest acknowledged sequence (see [`Wal::acked_seq`]).
+    #[must_use]
+    pub fn acked_seq(&self) -> Option<u64> {
+        self.inner.acked_seq()
+    }
+
+    /// Sequence number the next append will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.inner.next_seq()
+    }
+
+    /// Number of the active segment.
+    #[must_use]
+    pub fn segment_index(&self) -> u64 {
+        self.seg_index
+    }
+
+    /// The WAL directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Seals the active segment and starts the next one atomically: old
+    /// segment synced, new segment created with a synced header, directory
+    /// fsynced so the rotation survives power loss.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.inner.sync()?;
+        let next_index = self.seg_index + 1;
+        let seg_path = self.dir.join(segment_file_name(next_index));
+        let storage = FileStorage::create(&seg_path)?;
+        let policy = self.policy();
+        let next_seq = self.inner.next_seq();
+        let mut fresh = Wal::create(storage, self.stream_id, policy)?;
+        fresh.next_seq = next_seq;
+        fresh.appended_seq = next_seq.checked_sub(1);
+        fresh.synced_seq = fresh.appended_seq;
+        fsio::fsync_dir(&self.dir).map_err(StorageError::from)?;
+        self.inner = fresh;
+        self.seg_index = next_index;
+        Ok(())
+    }
+
+    fn policy(&self) -> FsyncPolicy {
+        self.inner.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fsync_policy_parse_round_trips() {
+        for text in ["always", "never", "every=16"] {
+            let policy = FsyncPolicy::parse(text).expect("parse");
+            assert_eq!(policy.to_string(), text);
+        }
+        assert!(FsyncPolicy::parse("every=0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn wal_appends_sequenced_records() {
+        let mut wal = Wal::create(MemStorage::new(), 42, FsyncPolicy::Always).expect("create");
+        assert_eq!(wal.append(1, b"alpha").expect("append"), 0);
+        assert_eq!(wal.append(2, b"beta").expect("append"), 1);
+        assert_eq!(wal.acked_seq(), Some(1));
+        let bytes = wal.into_storage();
+        let report = crate::recover::scan(bytes.bytes(), Some(42));
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn never_policy_acks_without_durability() {
+        let mut wal = Wal::create(MemStorage::new(), 1, FsyncPolicy::Never).expect("create");
+        wal.append(1, b"x").expect("append");
+        assert_eq!(wal.acked_seq(), Some(0), "Never acks on append");
+        assert_eq!(wal.synced_seq(), None, "but nothing is durable");
+    }
+
+    #[test]
+    fn group_commit_acks_lag_to_sync_boundaries() {
+        let mut wal =
+            Wal::create(MemStorage::new(), 1, FsyncPolicy::EveryRecords(3)).expect("create");
+        wal.append(1, b"a").expect("append");
+        wal.append(1, b"b").expect("append");
+        assert_eq!(wal.acked_seq(), None);
+        wal.append(1, b"c").expect("append");
+        assert_eq!(wal.acked_seq(), Some(2), "third append triggers group sync");
+    }
+
+    #[test]
+    fn storage_fault_wedges_the_wal() {
+        use crate::storage::{DiskFaultConfig, FaultyDisk};
+        let cfg = DiskFaultConfig {
+            capacity_bytes: Some(64),
+            ..DiskFaultConfig::default()
+        };
+        let disk = FaultyDisk::new(cfg, 1);
+        let mut wal = Wal::create(disk, 7, FsyncPolicy::Always).expect("create");
+        let mut wedged_at = None;
+        for i in 0..100u64 {
+            if wal.append(1, b"0123456789abcdef").is_err() {
+                wedged_at = Some(i);
+                break;
+            }
+        }
+        assert!(
+            wedged_at.is_some(),
+            "capacity must wedge the wal eventually"
+        );
+        assert!(wal.is_wedged());
+        assert_eq!(wal.append(1, b"more"), Err(WalError::Wedged));
+        assert_eq!(wal.sync(), Err(WalError::Wedged));
+    }
+
+    #[test]
+    fn dir_wal_rotates_and_scans_across_segments() {
+        let dir = std::env::temp_dir().join(format!("mpr-durable-dirwal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = DirWal::create(&dir, 99, FsyncPolicy::Always, 128).expect("create");
+        for i in 0..20u8 {
+            wal.append(i, &[i; 16]).expect("append");
+        }
+        assert!(
+            wal.segment_index() > 0,
+            "small threshold must force rotation"
+        );
+        assert_eq!(wal.acked_seq(), Some(19));
+        let report = crate::recover::scan_dir(&dir, Some(99)).expect("scan");
+        assert_eq!(report.records.len(), 20);
+        assert_eq!(report.next_seq, 20);
+        assert_eq!(report.truncated_bytes, 0);
+        let kinds: Vec<u8> = report.records.iter().map(|r| r.kind).collect();
+        let expect: Vec<u8> = (0..20u8).collect();
+        assert_eq!(kinds, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_wal_refuses_nonempty_directory() {
+        let dir =
+            std::env::temp_dir().join(format!("mpr-durable-dirwal-refuse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let _wal = DirWal::create(&dir, 1, FsyncPolicy::Always, 1024).expect("create");
+        }
+        assert!(DirWal::create(&dir, 1, FsyncPolicy::Always, 1024).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

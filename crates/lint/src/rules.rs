@@ -129,11 +129,21 @@ impl RuleSet {
             nan_safety: !matches!(krate, "cli" | "experiments" | "bench" | "lint"),
             // Panic-freedom is the strictest tier: the crates whose code
             // runs inside every simulation slot — the solvers, the power
-            // layer, and the simulation engine itself (the chaos campaign's
-            // no-panic oracle treats any engine panic as a safety failure).
-            panic_freedom: matches!(krate, "core" | "power" | "sim"),
+            // layer, the simulation engine itself (the chaos campaign's
+            // no-panic oracle treats any engine panic as a safety failure),
+            // and the crash-durability layer, which must stay total even
+            // over a faulty disk (a panic during recovery would turn a
+            // survivable storage fault into an outage).
+            panic_freedom: matches!(krate, "core" | "power" | "sim" | "durable"),
             determinism_time: krate == "sim",
-            determinism_hash: file.contains("report") || file.contains("csv"),
+            // Hash-iteration order must not leak into anything persisted or
+            // compared bit-for-bit: reports, CSV emitters, and the ledger
+            // codec (WAL replay equivalence is checked to the bit).
+            determinism_hash: file.contains("report")
+                || file.contains("csv")
+                || file.contains("ledger")
+                || file.contains("wal")
+                || krate == "durable",
             // The mechanism abstraction is the only sanctioned route from
             // the orchestration layers down to the solvers (DESIGN.md §11).
             layering: matches!(krate, "sim" | "cli"),
@@ -839,6 +849,15 @@ mod tests {
         assert!(sim.layering);
         let report = RuleSet::for_path("crates/sim/src/report.rs");
         assert!(report.determinism_hash);
+        // The durability layer is panic-free and codec-deterministic
+        // throughout; the sim-side ledger codec joins the hash scope.
+        let durable = RuleSet::for_path("crates/durable/src/supervisor.rs");
+        assert!(durable.panic_freedom && durable.determinism_hash);
+        assert!(!durable.unit_hygiene);
+        let ledger = RuleSet::for_path("crates/sim/src/ledger.rs");
+        assert!(ledger.determinism_hash && ledger.panic_freedom);
+        let wal = RuleSet::for_path("crates/durable/src/wal.rs");
+        assert!(wal.determinism_hash);
         let cli = RuleSet::for_path("crates/cli/src/main.rs");
         assert!(!cli.nan_safety && !cli.unit_hygiene);
         assert!(cli.layering);

@@ -31,7 +31,6 @@
 
 use std::collections::VecDeque;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use mpr_core::{ChainLevel, Watts};
@@ -51,7 +50,7 @@ use crate::report::{
 };
 
 const MAGIC: [u8; 8] = *b"MPRCKPT\0";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Why a checkpoint could not be written or restored.
@@ -431,6 +430,48 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
     e.bool(cfg.record_timeline);
     e.bool(cfg.capacity_policy.is_some());
     e.bool(cfg.emergency_disabled);
+    // The durability plan drives the ledger-journaling side channel (fsync
+    // cadence, disk-fault draws, scripted kills), so resuming under
+    // different `--wal-*` flags must be rejected (checkpoint V3).
+    match cfg.durability {
+        Some(d) => {
+            e.u8(1);
+            match d.fsync {
+                mpr_durable::FsyncPolicy::Always => e.u8(0),
+                mpr_durable::FsyncPolicy::EveryRecords(n) => {
+                    e.u8(1);
+                    e.u32(n);
+                }
+                mpr_durable::FsyncPolicy::Never => e.u8(2),
+            }
+            match d.disk {
+                Some(p) => {
+                    e.u8(1);
+                    e.f64(p.torn_write_prob);
+                    e.f64(p.bit_flip_prob);
+                    e.f64(p.fsync_fail_prob);
+                    match p.capacity_bytes {
+                        Some(cap) => {
+                            e.u8(1);
+                            e.u64(cap);
+                        }
+                        None => e.u8(0),
+                    }
+                }
+                None => e.u8(0),
+            }
+            match d.kill_at_slot {
+                Some(s) => {
+                    e.u8(1);
+                    e.u64(s);
+                }
+                None => e.u8(0),
+            }
+            e.u64(d.checkpoint_every);
+            e.u32(d.max_restarts);
+        }
+        None => e.u8(0),
+    }
     // The chaos generator-space version: a checkpoint written by a campaign
     // scenario can only be resumed by a harness realizing the same space
     // (satellite of the chaos-campaign PR; see `mpr_chaos::SPACE_VERSION`).
@@ -488,7 +529,7 @@ fn dec_reading(d: &mut Dec<'_>) -> Result<SensorReading, CheckpointError> {
     })
 }
 
-fn encode_state(state: &EngineState) -> Vec<u8> {
+pub(crate) fn encode_state(state: &EngineState) -> Vec<u8> {
     let mut e = Enc::default();
     e.usize(state.step);
     e.usize(state.total_slots);
@@ -680,7 +721,7 @@ fn dec_estimator_config(d: &mut Dec<'_>) -> Result<EstimatorConfig, CheckpointEr
     })
 }
 
-fn decode_state(
+pub(crate) fn decode_state(
     payload: &[u8],
     sim: &Simulation<'_>,
     setup: &RunSetup,
@@ -917,9 +958,13 @@ fn decode_state(
 // ---------------------------------------------------------------------------
 // File I/O.
 
-/// Atomically writes a checkpoint: the bytes go to a sibling temp file
-/// which is fsynced and renamed over `path`, so a crash mid-write leaves
-/// either the old checkpoint or the new one — never a torn file.
+/// Atomically writes a checkpoint via the shared crash-durable helper
+/// ([`mpr_durable::fsio::atomic_replace`]): the bytes go to a sibling temp
+/// file which is fsynced and renamed over `path`, and the parent directory
+/// is fsynced after the rename — so a crash mid-write leaves either the old
+/// checkpoint or the new one, never a torn file, and the rename itself
+/// survives power loss. (Pre-V3 the directory fsync was missing: a freshly
+/// renamed checkpoint could vanish entirely on power loss.)
 pub(crate) fn write_checkpoint(
     path: &Path,
     sim: &Simulation<'_>,
@@ -933,16 +978,7 @@ pub(crate) fn write_checkpoint(
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
-
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
+    mpr_durable::fsio::atomic_replace(path, &bytes)?;
     Ok(())
 }
 

@@ -275,6 +275,112 @@ impl TelemetryConfig {
     }
 }
 
+/// Storage-fault plan for the write-ahead market ledger: the disk sibling
+/// of [`FaultPlan`] (agents), [`NetPlan`] (messages) and the sensor fault
+/// mix (telemetry). Probabilities are per storage operation; all faults are
+/// drawn from a ChaCha8 stream seeded with
+/// `seed ^ mpr_durable::DISK_SEED_XOR`, so runs reproduce bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskPlan {
+    /// Probability an append is torn mid-frame.
+    pub torn_write_prob: f64,
+    /// Probability an append suffers a silent single-bit flip.
+    pub bit_flip_prob: f64,
+    /// Probability an fsync fails, leaving recent appends volatile.
+    pub fsync_fail_prob: f64,
+    /// Optional device capacity in bytes (ENOSPC beyond it).
+    pub capacity_bytes: Option<u64>,
+}
+
+impl Default for DiskPlan {
+    fn default() -> Self {
+        Self {
+            torn_write_prob: 0.0,
+            bit_flip_prob: 0.0,
+            fsync_fail_prob: 0.0,
+            capacity_bytes: None,
+        }
+    }
+}
+
+impl DiskPlan {
+    /// `true` when at least one fault class can fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.torn_write_prob > 0.0
+            || self.bit_flip_prob > 0.0
+            || self.fsync_fail_prob > 0.0
+            || self.capacity_bytes.is_some()
+    }
+
+    /// The storage-side fault configuration this plan describes.
+    #[must_use]
+    pub fn fault_config(&self) -> mpr_durable::DiskFaultConfig {
+        mpr_durable::DiskFaultConfig {
+            torn_write_prob: self.torn_write_prob.clamp(0.0, 1.0),
+            bit_flip_prob: self.bit_flip_prob.clamp(0.0, 1.0),
+            fsync_fail_prob: self.fsync_fail_prob.clamp(0.0, 1.0),
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+/// Crash-durability plan: journal every market event to a write-ahead
+/// ledger, optionally over a faulty disk, optionally killing the manager at
+/// a scripted slot and recovering it from checkpoint + ledger replay.
+///
+/// `None` (the default) keeps the engine's historical in-memory behavior
+/// exactly. The plan is folded into the checkpoint fingerprint: resuming a
+/// journaled run under a different durability configuration is rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilityPlan {
+    /// When the ledger fsyncs relative to appends.
+    /// [`FsyncPolicy::Never`](mpr_durable::FsyncPolicy::Never) is the
+    /// intentionally unsound policy used by the chaos planted-bug
+    /// self-test.
+    pub fsync: mpr_durable::FsyncPolicy,
+    /// Storage faults injected under the ledger (`None` = perfect disk).
+    pub disk: Option<DiskPlan>,
+    /// Kill the manager at the start of this slot and recover it from the
+    /// latest checkpoint plus ledger replay (`None` = run uninterrupted).
+    pub kill_at_slot: Option<u64>,
+    /// Checkpoint cadence in slots for the crash/recover harness.
+    pub checkpoint_every: u64,
+    /// Supervisor restart budget before escalating to safe mode.
+    pub max_restarts: u32,
+}
+
+impl Default for DurabilityPlan {
+    fn default() -> Self {
+        Self {
+            fsync: mpr_durable::FsyncPolicy::Always,
+            disk: None,
+            kill_at_slot: None,
+            checkpoint_every: 16,
+            max_restarts: 3,
+        }
+    }
+}
+
+impl DurabilityPlan {
+    /// A plan that kills the manager at `slot` and expects bit-identical
+    /// recovery (the kill/recover matrix's canonical shape).
+    #[must_use]
+    pub fn kill_at(slot: u64) -> Self {
+        Self {
+            kill_at_slot: Some(slot),
+            ..Self::default()
+        }
+    }
+
+    /// `true` when the plan perturbs the run at all (scripted kill or an
+    /// active disk-fault plan); a pure always-fsync journal is passive.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.kill_at_slot.is_some() || self.disk.map(|d| d.is_active()).unwrap_or(false)
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -342,6 +448,11 @@ pub struct SimConfig {
     /// safety violation and prove its oracles catch it; never set in
     /// production configurations.
     pub emergency_disabled: bool,
+    /// Crash-durability plan: WAL journaling, disk faults, scripted kills
+    /// and supervised recovery (`None` keeps the historical in-memory
+    /// behavior exactly). Consumed by `mpr_sim::ledger`; the engine itself
+    /// only journals when the ledger harness asks it to.
+    pub durability: Option<DurabilityPlan>,
     /// Version of the chaos generator space that produced this
     /// configuration, when it came from an `mpr-chaos` campaign scenario
     /// (`None` for hand-built configs). Folded into the checkpoint
@@ -367,6 +478,7 @@ impl std::fmt::Debug for SimConfig {
             .field("telemetry", &self.telemetry)
             .field("net_plan", &self.net_plan)
             .field("emergency_disabled", &self.emergency_disabled)
+            .field("durability", &self.durability)
             .field("scenario_space", &self.scenario_space)
             .finish()
     }
@@ -402,6 +514,7 @@ impl SimConfig {
             telemetry: None,
             net_plan: None,
             emergency_disabled: false,
+            durability: None,
             scenario_space: None,
         }
     }
@@ -481,6 +594,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_net(mut self, plan: NetPlan) -> Self {
         self.net_plan = Some(plan);
+        self
+    }
+
+    /// Installs a crash-durability plan (see [`DurabilityPlan`]).
+    #[must_use]
+    pub fn with_durability(mut self, plan: DurabilityPlan) -> Self {
+        self.durability = Some(plan);
         self
     }
 

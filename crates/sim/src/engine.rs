@@ -30,6 +30,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::checkpoint::{self, CheckpointError, CheckpointPlan, RunOutcome};
 use crate::config::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig};
+use crate::ledger::LedgerEvent;
 use crate::report::{
     DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, TransportTotals,
 };
@@ -366,8 +367,24 @@ impl<'a> Simulation<'a> {
 
     /// Simulates one slot: admissions, power measurement and the emergency
     /// controller, overload accounting, job progress.
-    #[allow(clippy::too_many_lines)]
     fn step_slot(&self, setup: &RunSetup, state: &mut EngineState) {
+        self.step_slot_journaled(setup, state, None);
+    }
+
+    /// [`step_slot`](Self::step_slot) with an optional market-event journal:
+    /// when `journal` is provided, every market event of the slot (FSM
+    /// transitions, price announcements, accepted bids, clearings,
+    /// quarantines, payments) is pushed in deterministic order for the
+    /// durable ledger (`crate::ledger`) to frame and persist. With `None`
+    /// the slot computes exactly as it always has — journaling is a pure
+    /// side channel and never influences simulation state.
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn step_slot_journaled(
+        &self,
+        setup: &RunSetup,
+        state: &mut EngineState,
+        mut journal: Option<&mut Vec<LedgerEvent>>,
+    ) {
         let cfg = &self.config;
         let slot = setup.slot;
         let static_w = setup.static_w;
@@ -472,6 +489,7 @@ impl<'a> Simulation<'a> {
                 if state.controller.phase().is_active() {
                     state.acc.overload_events += 1;
                 }
+                let quarantined_before = state.acc.degradation.participants_quarantined;
                 let target = state.controller.active_target().get();
                 let (delivered, degraded) =
                     self.apply_algorithm(&mut state.active, target, &mut state.acc);
@@ -483,9 +501,10 @@ impl<'a> Simulation<'a> {
                     state.acc.unmet_emergencies += 1;
                 }
                 let max_price = state.active.iter().map(|j| j.price).fold(0.0, f64::max);
+                let is_declare = matches!(action, EmergencyAction::Declare { .. });
                 state.events.push(EmergencyEvent {
                     t_secs: t,
-                    kind: if matches!(action, EmergencyAction::Declare { .. }) {
+                    kind: if is_declare {
                         EmergencyEventKind::Declare
                     } else {
                         EmergencyEventKind::Escalate
@@ -493,6 +512,47 @@ impl<'a> Simulation<'a> {
                     target_watts: target,
                     price: max_price,
                 });
+                if let Some(j) = journal.as_deref_mut() {
+                    let kind = u8::from(!is_declare);
+                    j.push(LedgerEvent::Emergency {
+                        kind,
+                        t_secs: t,
+                        target_watts: target,
+                        price: max_price,
+                    });
+                    j.push(LedgerEvent::PriceAnnounce {
+                        t_secs: t,
+                        target_watts: target,
+                        price: max_price,
+                    });
+                    for jb in state
+                        .active
+                        .iter()
+                        .filter(|jb| jb.participates && jb.reduction > 0.0)
+                    {
+                        j.push(LedgerEvent::BidArrival {
+                            participant: jb.idx as u64,
+                            reduction: jb.reduction,
+                            price: jb.price,
+                        });
+                    }
+                    j.push(LedgerEvent::Clearing {
+                        kind,
+                        target_watts: target,
+                        delivered_watts: delivered,
+                        degraded,
+                    });
+                    let quarantined_delta = state
+                        .acc
+                        .degradation
+                        .participants_quarantined
+                        .saturating_sub(quarantined_before);
+                    if quarantined_delta > 0 {
+                        j.push(LedgerEvent::Quarantine {
+                            participants: quarantined_delta as u64,
+                        });
+                    }
+                }
             }
             EmergencyAction::Lift => {
                 // Restore speeds; the deferred backlog drains gradually
@@ -507,6 +567,14 @@ impl<'a> Simulation<'a> {
                     target_watts: 0.0,
                     price: 0.0,
                 });
+                if let Some(j) = journal.as_deref_mut() {
+                    j.push(LedgerEvent::Emergency {
+                        kind: 2,
+                        t_secs: t,
+                        target_watts: 0.0,
+                        price: 0.0,
+                    });
+                }
             }
             EmergencyAction::None => {}
         }
@@ -566,7 +634,16 @@ impl<'a> Simulation<'a> {
                 stats.reduction_core_hours += job.reduction * setup.slot_h;
                 stats.cost_core_hours += cost_rate * setup.slot_h;
                 if cfg.algorithm.is_market() {
-                    state.acc.reward_ch += job.price * job.reduction * setup.slot_h;
+                    let amount = job.price * job.reduction * setup.slot_h;
+                    state.acc.reward_ch += amount;
+                    if let Some(jr) = journal.as_deref_mut() {
+                        jr.push(LedgerEvent::Payment {
+                            participant: job.idx as u64,
+                            price: job.price,
+                            reduction: job.reduction,
+                            amount_core_hours: amount,
+                        });
+                    }
                 }
             }
             if job.remaining_secs <= 0.0 {
@@ -935,7 +1012,7 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn finish_report(&self, setup: &RunSetup, state: EngineState) -> SimReport {
+    pub(crate) fn finish_report(&self, setup: &RunSetup, state: EngineState) -> SimReport {
         if std::env::var("MPR_DEBUG_UNFINISHED").is_ok() && !state.finished {
             for j in &state.active {
                 eprintln!(
@@ -997,6 +1074,7 @@ impl<'a> Simulation<'a> {
                 .net_plan
                 .filter(NetPlan::is_active)
                 .map(|_| acc.transport),
+            durability: None,
         }
     }
 }

@@ -36,15 +36,20 @@
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod ledger;
 pub mod mechanism;
 pub mod partition;
 pub mod report;
 
 pub use checkpoint::{CheckpointError, CheckpointPlan, RunOutcome};
-pub use config::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig, TelemetryConfig};
+pub use config::{
+    Algorithm, CostNoise, DiskPlan, DurabilityPlan, FaultPlan, NetPlan, SimConfig, TelemetryConfig,
+};
 pub use engine::Simulation;
+pub use ledger::{run_durable, DurableRun, LedgerEvent, MarketLedger};
+pub use mpr_durable::FsyncPolicy;
 pub use partition::{PartitionPolicy, PartitionedReport, PartitionedSimulation};
 pub use report::{
-    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, Timeline,
-    TransportTotals,
+    DegradationStats, DurabilityTotals, EmergencyEvent, EmergencyEventKind, ProfileStats,
+    SimReport, Timeline, TransportTotals,
 };

@@ -113,6 +113,61 @@ impl TransportTotals {
     }
 }
 
+/// Crash-durability accounting for a journaled (and possibly killed and
+/// recovered) run — present only when `SimConfig::durability` is set.
+///
+/// Filled by the `ledger` harness, not by the engine itself: an
+/// uninterrupted non-journaled run always reports `None`, preserving the
+/// historical report bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DurabilityTotals {
+    /// Ledger records appended by live execution (pre- and post-crash).
+    pub records_journaled: u64,
+    /// Ledger records re-applied from the journal during recovery.
+    pub records_replayed: u64,
+    /// Payment records journaled by live execution.
+    pub payments_journaled: u64,
+    /// Recomputed payments suppressed as duplicates during replay —
+    /// evidence the idempotency key worked, not an anomaly.
+    pub duplicate_payments_suppressed: u64,
+    /// Market reward reconstructed from the ledger's payment records alone,
+    /// core-hours. Must equal `SimReport::reward_core_hours` bit-for-bit
+    /// (the `durability-payments` oracle).
+    pub ledger_reward_core_hours: f64,
+    /// Highest slot with a durable commit record at the moment of the
+    /// crash, as observed *before* the kill (what the manager acknowledged
+    /// to the outside world).
+    pub acked_slot_before_crash: Option<u64>,
+    /// Highest committed slot actually recovered from the surviving ledger
+    /// image. `durability-commit` demands `>= acked_slot_before_crash`
+    /// unless bit-flip media faults were active.
+    pub recovered_commit_slot: Option<u64>,
+    /// Bytes of corrupt ledger tail discarded by scan-and-truncate.
+    pub truncated_bytes: u64,
+    /// Slots re-driven from checkpoint + ledger during recovery.
+    pub recovered_slots: u64,
+    /// Replayed slots whose recomputed records disagreed with the journal
+    /// (must be zero: the `durability-replay` oracle).
+    pub replay_divergence: u64,
+    /// Supervisor restarts consumed by the run.
+    pub restarts: u32,
+    /// True when the supervisor exhausted its restart budget and escalated
+    /// to safe mode (EQL capping, admission hold).
+    pub safe_mode: bool,
+    /// Storage faults injected by the `DiskPlan`, by class:
+    /// torn writes.
+    pub disk_torn_writes: u64,
+    /// Storage faults injected: silent single-bit flips.
+    pub disk_bit_flips: u64,
+    /// Storage faults injected: ENOSPC rejections.
+    pub disk_enospc: u64,
+    /// Storage faults injected: failed fsyncs.
+    pub disk_fsync_failures: u64,
+    /// True when a storage fault wedged the ledger mid-run (journaling
+    /// stopped; the run continued without durability).
+    pub ledger_wedged: bool,
+}
+
 /// Per-application-profile accounting (Figs. 9(c), 9(d), 15(c), 15(d)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileStats {
@@ -279,6 +334,11 @@ pub struct SimReport {
     /// Message-layer totals, present when the run's market clearings went
     /// over a simulated network (`SimConfig::net_plan`).
     pub transport: Option<TransportTotals>,
+
+    /// Crash-durability totals, present when the run journaled to a
+    /// write-ahead ledger (`SimConfig::durability`). Attached by the
+    /// `ledger` harness after the engine finishes.
+    pub durability: Option<DurabilityTotals>,
 }
 
 impl SimReport {
@@ -380,6 +440,7 @@ mod tests {
             events: Vec::new(),
             telemetry: None,
             transport: None,
+            durability: None,
         }
     }
 
