@@ -377,7 +377,9 @@ pub fn run(cc: &CampaignConfig) -> std::io::Result<CampaignReport> {
     for r in records.iter().filter(|r| !r.violations.is_empty()) {
         // Shrink against the first violation's oracle; the rest are listed
         // in the record but usually collapse to the same root cause.
-        let primary = &r.violations[0];
+        let Some(primary) = r.violations.first() else {
+            continue;
+        };
         let shrunk = if cc.shrink {
             shrink::shrink(&r.scenario, |cand| {
                 reproduces(&trace, cand, &primary.oracle)

@@ -141,7 +141,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
 }
 
 fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, ParseError> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
+    if b.get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
         *pos += lit.len();
         Ok(v)
     } else {
@@ -158,8 +160,8 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
             break;
         }
     }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
+    b.get(start..*pos)
+        .and_then(|digits| std::str::from_utf8(digits).ok())
         .and_then(|s| s.parse::<f64>().ok())
         .map(Value::Num)
         .ok_or_else(|| err(start, "invalid number"))

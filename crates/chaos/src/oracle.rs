@@ -215,7 +215,9 @@ fn check_power_cap(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
         }
         match ev.kind {
             EmergencyEventKind::Declare | EmergencyEventKind::Escalate => {
-                response_slot[s] = true;
+                if let Some(slot) = response_slot.get_mut(s) {
+                    *slot = true;
+                }
                 force_since.get_or_insert(s);
             }
             EmergencyEventKind::Lift => {
@@ -237,10 +239,15 @@ fn check_power_cap(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
     let mut worst: Option<(usize, usize)> = None; // (start, len)
     let n = tl.power_w.len();
     for i in 0..=n {
-        let overloaded = i < n && tl.power_w[i] > tl.capacity_w[i] * (1.0 + 1e-9);
+        let overloaded = tl
+            .power_w
+            .get(i)
+            .zip(tl.capacity_w.get(i))
+            .is_some_and(|(&p, &c)| p > c * (1.0 + 1e-9));
         // An overloaded slot is "attended" when the controller responded
         // this slot or the run overlaps an in-force emergency.
-        let attended = i < n && (response_slot[i] || in_force[i]);
+        let attended = response_slot.get(i).copied().unwrap_or(false)
+            || in_force.get(i).copied().unwrap_or(false);
         if overloaded && !attended {
             run_start.get_or_insert(i);
         } else if let Some(start) = run_start.take() {

@@ -32,8 +32,23 @@ pub enum Command {
     Chaos(ChaosArgs),
     /// `mpr ledger …` — inspect or repair a write-ahead ledger file.
     Ledger(LedgerArgs),
+    /// `mpr lint …` — run the workspace static-analysis pass.
+    Lint(LintArgs),
     /// `mpr help` or `--help`.
     Help,
+}
+
+/// Arguments of `mpr lint`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintArgs {
+    /// Emit the hand-rolled JSON report instead of human-readable text.
+    pub json: bool,
+    /// Emit a SARIF 2.1.0 log instead of human-readable text.
+    pub sarif: bool,
+    /// Skip the incremental cache (always re-parse and re-analyze).
+    pub no_cache: bool,
+    /// Workspace root to lint (defaults to the root above the cwd).
+    pub root: Option<String>,
 }
 
 /// Action of `mpr ledger`.
@@ -230,6 +245,9 @@ USAGE:
     mpr ledger    dump FILE [--json]          (decode a WAL written by --wal)
     mpr ledger    verify FILE [--json]        (framing check; nonzero exit if corrupt)
     mpr ledger    truncate FILE --at SEQ      (drop records from SEQ on, atomically)
+    mpr lint      [--json | --sarif] [--no-cache] [--root DIR]
+                  (static analysis: L1 unit-hygiene … L8 parallel-determinism;
+                   warm runs reuse target/mpr-lint.cache)
     mpr prototype [--without-mpr]
     mpr swf       [--trace NAME] [--days N] [--seed N]   (SWF text on stdout)
     mpr calibrate                                        (CSV samples on stdin)
@@ -255,6 +273,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "calibrate" => expect_no_args(rest, Command::Calibrate),
         "chaos" => parse_chaos(rest).map(Command::Chaos),
         "ledger" => parse_ledger(rest).map(Command::Ledger),
+        "lint" => parse_lint(rest).map(Command::Lint),
         "traces" => expect_no_args(rest, Command::Traces),
         "apps" => expect_no_args(rest, Command::Apps),
         "prototype" => match rest {
@@ -265,6 +284,21 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(UsageError(format!("unknown command `{other}`"))),
     }
+}
+
+fn parse_lint(rest: &[String]) -> Result<LintArgs, UsageError> {
+    let mut out = LintArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => out.json = true,
+            "--sarif" => out.sarif = true,
+            "--no-cache" => out.no_cache = true,
+            "--root" => out.root = Some(take_value(flag, &mut it)?.to_owned()),
+            other => return Err(UsageError(format!("unknown lint flag `{other}`"))),
+        }
+    }
+    Ok(out)
 }
 
 fn expect_no_args(rest: &[String], ok: Command) -> Result<Command, UsageError> {

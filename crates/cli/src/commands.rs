@@ -20,8 +20,61 @@ use mpr_sim::{
 use mpr_workload::TraceGenerator;
 
 use crate::args::{
-    spec_by_name, ChaosArgs, LedgerAction, LedgerArgs, MarketArgs, SimulateArgs, SwfArgs,
+    spec_by_name, ChaosArgs, LedgerAction, LedgerArgs, LintArgs, MarketArgs, SimulateArgs, SwfArgs,
 };
+
+/// Runs `mpr lint`: the workspace static-analysis pass (L1–L8), with the
+/// incremental cache at `target/mpr-lint.cache` unless `--no-cache`.
+///
+/// Returns `Ok(true)` when the workspace is clean and within the exemption
+/// budget, `Ok(false)` otherwise (the caller maps that to a nonzero exit).
+///
+/// # Errors
+///
+/// Propagates I/O failures from scanning the workspace or writing `out`.
+pub fn lint(args: &LintArgs, out: &mut dyn Write) -> Result<bool, Box<dyn std::error::Error>> {
+    let root = match &args.root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir()?;
+            mpr_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| format!("no workspace Cargo.toml found above {}", cwd.display()))?
+        }
+    };
+    let cache_path = (!args.no_cache).then(|| root.join("target/mpr-lint.cache"));
+    let (report, stats) = mpr_lint::analyze_workspace_cached(&root, cache_path.as_deref())?;
+    if args.sarif {
+        write!(out, "{}", mpr_lint::to_sarif(&report))?;
+    } else if args.json {
+        write!(out, "{}", mpr_lint::to_json(&report))?;
+    } else {
+        for v in &report.violations {
+            writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message)?;
+        }
+        if !report.violations.is_empty() {
+            writeln!(out)?;
+        }
+        writeln!(
+            out,
+            "mpr-lint: {} file(s) scanned ({} cached, {} analyzed), {} violation(s), \
+             {} exemption(s) used (budget {})",
+            report.files_scanned,
+            stats.reused,
+            stats.analyzed,
+            report.violations.len(),
+            report.exemptions_used.len(),
+            mpr_lint::MAX_EXEMPTIONS
+        )?;
+        for e in &report.exemptions_used {
+            writeln!(
+                out,
+                "  exempt {}:{} [{}] — {}",
+                e.file, e.line, e.rule, e.reason
+            )?;
+        }
+    }
+    Ok(report.ok())
+}
 
 /// Runs `mpr simulate`, writing the report to `out`.
 ///

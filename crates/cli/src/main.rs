@@ -35,6 +35,13 @@ fn main() {
         Command::Swf(a) => commands::swf(a, &mut out),
         Command::Chaos(a) => commands::chaos(a, &mut out),
         Command::Ledger(a) => commands::ledger(a, &mut out),
+        Command::Lint(a) => commands::lint(a, &mut out).and_then(|clean| {
+            if clean {
+                Ok(())
+            } else {
+                Err("lint violations (or exemption budget exceeded)".into())
+            }
+        }),
         Command::Calibrate => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();

@@ -245,7 +245,7 @@ impl MarketInstance {
         patched.bids.resize(n, f64::NAN);
         patched.bids_supplied = bids.len().min(n);
         patched.finite_bids = patched.bids.iter().filter(|b| b.is_finite()).count();
-        patched.token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        patched.token = NEXT_TOKEN.fetch_add(1, Ordering::SeqCst);
         patched
     }
 
@@ -310,7 +310,7 @@ impl FromIterator<ParticipantSpec> for MarketInstance {
             costs,
             bids_supplied,
             finite_bids,
-            token: NEXT_TOKEN.fetch_add(1, Ordering::Relaxed),
+            token: NEXT_TOKEN.fetch_add(1, Ordering::SeqCst),
         }
     }
 }

@@ -55,9 +55,9 @@ impl DrSchedule {
     #[must_use]
     pub fn new(mut events: Vec<DrEvent>) -> Self {
         events.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs));
-        for w in events.windows(2) {
+        for (prev, next) in events.iter().zip(events.iter().skip(1)) {
             assert!(
-                w[1].start_secs >= w[0].end_secs(),
+                next.start_secs >= prev.end_secs(),
                 "demand-response events must not overlap"
             );
         }
@@ -99,7 +99,7 @@ impl DrSchedule {
             .events
             .partition_point(|e| e.start_secs <= t_secs)
             .checked_sub(1)?;
-        let e = &self.events[idx];
+        let e = self.events.get(idx)?;
         e.active_at(t_secs).then_some(e)
     }
 

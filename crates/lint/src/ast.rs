@@ -1,0 +1,1021 @@
+//! AST node types for the Rust subset the workspace uses, plus the
+//! per-crate symbol table the flow rules consult.
+//!
+//! The parser in [`crate::parser`] builds these nodes from the token
+//! stream. Nodes are deliberately simple: types are carried as normalized
+//! text (no spaces, e.g. `Option<f64>`, `&mutf64`) because the rules only
+//! pattern-match on them; expressions are structured because the L6/L7/L8
+//! rules walk them. Every node records the 1-based source line it starts
+//! on so diagnostics stay `file:line`-addressable.
+//!
+//! [`dump`](File::dump) renders a stable, indentation-based snapshot used
+//! by the golden-file parser tests.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Item visibility. `pub(crate)`/`pub(super)`/`pub(in …)` all count as
+/// restricted: visible beyond the item's own module but not a public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub`.
+    Pub,
+    /// `pub(crate)` and friends.
+    Restricted,
+    /// No visibility qualifier.
+    Priv,
+}
+
+impl Vis {
+    /// True for `pub` and `pub(...)` — anything beyond module-private.
+    #[must_use]
+    pub fn is_public(self) -> bool {
+        !matches!(self, Vis::Priv)
+    }
+}
+
+/// A type, normalized to spaceless text (`f64`, `&mutf64`, `Vec<Watts>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeRepr {
+    /// Normalized type text.
+    pub text: String,
+    /// 1-based line the type starts on.
+    pub line: u32,
+}
+
+impl TypeRepr {
+    /// True when the type is a bare float quantity at top level, optionally
+    /// behind a reference or `Option` (the L1 rule's notion of "bare").
+    #[must_use]
+    pub fn is_bare_f64(&self) -> bool {
+        matches!(
+            self.text.as_str(),
+            "f64" | "&f64" | "&mutf64" | "Option<f64>"
+        )
+    }
+
+    /// The unit newtype this type names, if any (`Watts`, `&Price`,
+    /// `mpr_core::units::CoreHours` all resolve).
+    #[must_use]
+    pub fn unit(&self) -> Option<&'static str> {
+        unit_name(&self.text)
+    }
+}
+
+/// Resolves normalized type text to one of the workspace unit newtypes.
+#[must_use]
+pub fn unit_name(text: &str) -> Option<&'static str> {
+    let t = text.trim_start_matches('&');
+    let t = t.strip_prefix("mut").unwrap_or(t);
+    let t = t.rsplit("::").next().unwrap_or(t);
+    UNIT_TYPES.iter().find(|u| **u == t).copied()
+}
+
+/// The unit newtypes from `mpr_core::units` tracked by the L6 flow rule.
+pub const UNIT_TYPES: &[&str] = &["Watts", "Price", "CoreHours", "Cores"];
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (last identifier of the pattern; empty for `_`).
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeRepr,
+    /// 1-based line of the `name: type` pair.
+    pub line: u32,
+}
+
+/// A function item (free fn, method, or trait fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Visibility.
+    pub vis: Vis,
+    /// True when the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Non-`self` parameters.
+    pub params: Vec<Param>,
+    /// Return type, if an `->` clause is present.
+    pub ret: Option<TypeRepr>,
+    /// Line of the `->` arrow (diagnostics anchor for return-type rules).
+    pub arrow_line: u32,
+    /// Body, absent for trait-method signatures.
+    pub body: Option<Block>,
+}
+
+/// An item in a file, module, impl, or trait.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What kind of item this is.
+    pub kind: ItemKind,
+    /// 1-based line the item starts on (its first non-attribute token).
+    pub line: u32,
+    /// 1-based line the item ends on (closing brace or semicolon).
+    pub end_line: u32,
+    /// True when the item is test-only: `#[test]`, `#[bench]`, or behind
+    /// `#[cfg(test)]` / `#[cfg(any(test, ...))]`. Inherited by children.
+    pub is_test: bool,
+}
+
+/// Item kinds the rules care about; everything else is `Other`.
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// `fn`.
+    Fn(Box<FnItem>),
+    /// `mod name { ... }` (inline only; `mod name;` is `Other`).
+    Mod {
+        /// Module name.
+        name: String,
+        /// Items inside the module.
+        items: Vec<Item>,
+    },
+    /// `impl [Trait for] Type { ... }`.
+    Impl {
+        /// The `Self` type's head (generics stripped): `Watts`, `Engine`.
+        self_ty: String,
+        /// Items inside the impl block.
+        items: Vec<Item>,
+    },
+    /// `trait Name { ... }`.
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Items inside the trait (fn signatures and defaults).
+        items: Vec<Item>,
+    },
+    /// `struct Name { fields }` — named fields only; tuple structs keep an
+    /// empty field list.
+    Struct {
+        /// Struct name.
+        name: String,
+        /// Named fields as `(name, type)` pairs.
+        fields: Vec<(String, TypeRepr)>,
+    },
+    /// `macro_rules! name { ... }` — body left to the token fallback.
+    MacroRules {
+        /// Macro name.
+        name: String,
+    },
+    /// Anything else (`use`, `enum`, `const`, `static`, `type`, ...).
+    Other,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order; a trailing expression is a `Stmt::Expr` with
+    /// `semi == false`.
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: u32,
+    /// 1-based line of the closing brace.
+    pub end_line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let pat[: ty] [= init] [else { .. }];`
+    Let {
+        /// Bound pattern.
+        pat: Pat,
+        /// Declared type, if annotated.
+        ty: Option<TypeRepr>,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// `else` block of a let-else, if present.
+        els: Option<Block>,
+        /// 1-based line of the `let`.
+        line: u32,
+    },
+    /// An expression statement; `semi` records whether it was terminated.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// True when a `;` followed (the value is discarded).
+        semi: bool,
+    },
+    /// A nested item (fn, use, struct, ... inside a block).
+    Item(Item),
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// 1-based line the expression starts on.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal (text kept for field-index detection).
+    Int(String),
+    /// Float literal.
+    Float(String),
+    /// String literal (contents discarded by the lexer).
+    Str,
+    /// Char/byte literal.
+    Char,
+    /// Path expression: `x`, `Watts::new`, `self`.
+    Path(Vec<String>),
+    /// Unary operator: `-`, `!`, `*` (deref).
+    Unary(&'static str, Box<Expr>),
+    /// Binary operator (including `=`, `+=` and friends).
+    Binary(String, Box<Expr>, Box<Expr>),
+    /// Call: `f(a, b)` — callee is usually a `Path`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Method call: `recv.m(a, b)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field access `recv.name`; tuple projections carry a numeric name.
+    Field(Box<Expr>, String),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Closure `|params| body` (param names only).
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// `if cond { .. } [else ..]` — `els` is a Block or another If.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then block.
+        then: Block,
+        /// Else branch.
+        els: Option<Box<Expr>>,
+    },
+    /// `if let pat = scrutinee { .. } [else ..]`.
+    IfLet {
+        /// Pattern.
+        pat: Pat,
+        /// Scrutinized expression.
+        scrutinee: Box<Expr>,
+        /// Then block.
+        then: Block,
+        /// Else branch.
+        els: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Scrutinized expression.
+        scrutinee: Box<Expr>,
+        /// Match arms.
+        arms: Vec<Arm>,
+    },
+    /// `while cond { .. }` (including `while let` with a desugared guard).
+    While {
+        /// Condition (or `if let`-style scrutinee).
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `loop { .. }`.
+    Loop(Block),
+    /// `for pat in iter { .. }`.
+    For {
+        /// Loop pattern.
+        pat: Pat,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// A block expression (incl. `unsafe { .. }`).
+    Block(Block),
+    /// Tuple `(a, b)`; one-element tuples are parenthesized expressions.
+    Tuple(Vec<Expr>),
+    /// Array `[a, b]` or `[x; n]`.
+    Array(Vec<Expr>),
+    /// `&expr` / `&mut expr`.
+    Ref {
+        /// True for `&mut`.
+        mutable: bool,
+        /// Referenced expression.
+        expr: Box<Expr>,
+    },
+    /// `expr as Type`.
+    Cast(Box<Expr>, TypeRepr),
+    /// Range `lo..hi`, `lo..=hi`, `..`, `a..`.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+    /// `return [expr]`.
+    Return(Option<Box<Expr>>),
+    /// `break [expr]`.
+    Break(Option<Box<Expr>>),
+    /// `continue`.
+    Continue,
+    /// `expr?`.
+    Try(Box<Expr>),
+    /// Macro invocation `path!( .. )`; arguments are an opaque token range
+    /// handled by the token-fallback scan.
+    MacroCall {
+        /// Macro path (e.g. `["vec"]`, `["std", "format"]`).
+        path: Vec<String>,
+    },
+    /// Struct literal `Path { field: expr, .. }`.
+    StructLit {
+        /// Struct path.
+        path: Vec<String>,
+        /// Field initializers (shorthand fields repeat the name as a path
+        /// expression).
+        fields: Vec<(String, Expr)>,
+    },
+    /// An unparseable region the parser skipped; the token fallback scans
+    /// it with the legacy lexer rules.
+    Opaque,
+}
+
+/// One match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Arm pattern.
+    pub pat: Pat,
+    /// Guard expression, if present.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+    /// 1-based line the arm starts on.
+    pub line: u32,
+}
+
+/// A pattern with its source line.
+#[derive(Debug, Clone)]
+pub struct Pat {
+    /// Pattern kind.
+    pub kind: PatKind,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Pattern kinds.
+#[derive(Debug, Clone)]
+pub enum PatKind {
+    /// `_`.
+    Wild,
+    /// A binding: `x`, `mut x`, `ref x`.
+    Ident(String),
+    /// A path pattern (unit variants, consts): `None`, `Phase::Idle`.
+    Path(Vec<String>),
+    /// Tuple-struct pattern: `Some(x)`, `Err(e)`.
+    TupleStruct {
+        /// Constructor path.
+        path: Vec<String>,
+        /// Element patterns.
+        elems: Vec<Pat>,
+    },
+    /// Struct pattern `Path { .. }` (fields not tracked).
+    Struct {
+        /// Struct path.
+        path: Vec<String>,
+    },
+    /// Tuple pattern `(a, b)`.
+    Tuple(Vec<Pat>),
+    /// Slice pattern `[a, b, ..]`.
+    Slice(Vec<Pat>),
+    /// Or-pattern `a | b`.
+    Or(Vec<Pat>),
+    /// Literal pattern (incl. negative literals and ranges).
+    Lit,
+    /// `..` rest.
+    Rest,
+    /// Anything else.
+    Other,
+}
+
+impl Pat {
+    /// True when the pattern is the wildcard `_`.
+    #[must_use]
+    pub fn is_wild(&self) -> bool {
+        matches!(self.kind, PatKind::Wild)
+    }
+}
+
+/// A parsed source file: the item tree plus the bookkeeping the rules and
+/// the token fallback need.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+// ---------------------------------------------------------------------------
+// Symbol table
+// ---------------------------------------------------------------------------
+
+/// One function signature as recorded in the symbol table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// `Self` type head for methods, empty for free functions.
+    pub self_ty: String,
+    /// Normalized return-type text (empty when the fn returns `()`).
+    pub ret: String,
+    /// Normalized parameter-type texts (excluding `self`).
+    pub params: Vec<String>,
+}
+
+impl FnSig {
+    /// True when the return type is a `Result`.
+    #[must_use]
+    pub fn returns_result(&self) -> bool {
+        self.ret.starts_with("Result<") || self.ret == "Result" || self.ret.contains("::Result<")
+    }
+}
+
+/// Exported symbols of one file, in a serialization-friendly record form.
+///
+/// Records are strings of `|`-separated fields:
+///
+/// * `fn|<name>|<ret>|<p1,p2,...>` — free function
+/// * `method|<self_ty>|<name>|<ret>|<p1,...>` — inherent/trait method
+/// * `field|<struct>|<field>|<ty>` — named struct field
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Sorted, deduplicated records.
+    pub records: Vec<String>,
+}
+
+impl FileSymbols {
+    /// Extracts symbols from a parsed file, skipping test-only items.
+    #[must_use]
+    pub fn from_file(file: &File) -> FileSymbols {
+        let mut records = Vec::new();
+        collect_symbols(&file.items, "", &mut records);
+        records.sort();
+        records.dedup();
+        FileSymbols { records }
+    }
+}
+
+fn collect_symbols(items: &[Item], self_ty: &str, out: &mut Vec<String>) {
+    for item in items {
+        if item.is_test {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let params: Vec<&str> = f.params.iter().map(|p| p.ty.text.as_str()).collect();
+                let ret = f.ret.as_ref().map(|t| t.text.as_str()).unwrap_or("");
+                if self_ty.is_empty() {
+                    out.push(format!("fn|{}|{}|{}", f.name, ret, params.join(",")));
+                } else {
+                    out.push(format!(
+                        "method|{}|{}|{}|{}",
+                        self_ty,
+                        f.name,
+                        ret,
+                        params.join(",")
+                    ));
+                }
+            }
+            ItemKind::Mod { items, .. } => collect_symbols(items, self_ty, out),
+            ItemKind::Impl {
+                self_ty: ty, items, ..
+            } => collect_symbols(items, ty, out),
+            ItemKind::Trait { items, .. } => collect_symbols(items, self_ty, out),
+            ItemKind::Struct { name, fields } => {
+                for (fname, fty) in fields {
+                    out.push(format!("field|{}|{}|{}", name, fname, fty.text));
+                }
+            }
+            ItemKind::MacroRules { .. } | ItemKind::Other => {}
+        }
+    }
+}
+
+/// The cross-file symbol table consulted by the L6/L7 rules: function and
+/// method signatures plus struct field types, merged over every file of
+/// the workspace (or the single file under test).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Free functions by name.
+    pub fns: BTreeMap<String, Vec<FnSig>>,
+    /// Methods by name (across all `Self` types).
+    pub methods: BTreeMap<String, Vec<FnSig>>,
+    /// Struct field types: struct name → field name → type text.
+    pub fields: BTreeMap<String, BTreeMap<String, String>>,
+    /// Method names with at least one `Result`-returning signature.
+    pub result_methods: BTreeSet<String>,
+    /// Free-fn names with at least one `Result`-returning signature.
+    pub result_fns: BTreeSet<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table from per-file symbol records.
+    #[must_use]
+    pub fn build<'a>(files: impl IntoIterator<Item = &'a FileSymbols>) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for fs in files {
+            for rec in &fs.records {
+                table.insert_record(rec);
+            }
+        }
+        table
+    }
+
+    fn insert_record(&mut self, rec: &str) {
+        let mut parts = rec.split('|');
+        match parts.next() {
+            Some("fn") => {
+                let (Some(name), Some(ret), Some(params)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return;
+                };
+                let sig = FnSig {
+                    name: name.to_string(),
+                    self_ty: String::new(),
+                    ret: ret.to_string(),
+                    params: split_params(params),
+                };
+                if sig.returns_result() {
+                    self.result_fns.insert(name.to_string());
+                }
+                self.fns.entry(name.to_string()).or_default().push(sig);
+            }
+            Some("method") => {
+                let (Some(self_ty), Some(name), Some(ret), Some(params)) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    return;
+                };
+                let sig = FnSig {
+                    name: name.to_string(),
+                    self_ty: self_ty.to_string(),
+                    ret: ret.to_string(),
+                    params: split_params(params),
+                };
+                if sig.returns_result() {
+                    self.result_methods.insert(name.to_string());
+                }
+                self.methods.entry(name.to_string()).or_default().push(sig);
+            }
+            Some("field") => {
+                let (Some(sname), Some(fname), Some(ty)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return;
+                };
+                self.fields
+                    .entry(sname.to_string())
+                    .or_default()
+                    .insert(fname.to_string(), ty.to_string());
+            }
+            _ => {}
+        }
+    }
+
+    /// The unit newtype returned by method `name` on a receiver of unit
+    /// type `recv_unit`, when every recorded signature agrees.
+    #[must_use]
+    pub fn method_unit_ret(&self, name: &str) -> Option<&'static str> {
+        let sigs = self.methods.get(name)?;
+        let mut unit = None;
+        for sig in sigs {
+            let u = unit_name(&sig.ret)?;
+            if unit.is_some_and(|prev| prev != u) {
+                return None;
+            }
+            unit = Some(u);
+        }
+        unit
+    }
+
+    /// Stable digest over every record in the table. Two workspaces with
+    /// identical exported symbols share a digest, so body-only edits keep
+    /// the rest of the lint cache warm.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |s: &str| {
+            for b in s.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (name, sigs) in &self.fns {
+            eat(name);
+            for s in sigs {
+                eat(&s.ret);
+                for p in &s.params {
+                    eat(p);
+                }
+            }
+        }
+        for (name, sigs) in &self.methods {
+            eat(name);
+            for s in sigs {
+                eat(&s.self_ty);
+                eat(&s.ret);
+                for p in &s.params {
+                    eat(p);
+                }
+            }
+        }
+        for (sname, fields) in &self.fields {
+            eat(sname);
+            for (f, ty) in fields {
+                eat(f);
+                eat(ty);
+            }
+        }
+        h
+    }
+}
+
+fn split_params(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(str::to_string).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stable dump for golden tests
+// ---------------------------------------------------------------------------
+
+impl File {
+    /// Renders the AST as stable, indentation-structured text for golden
+    /// snapshot tests. One node per line; children indented two spaces.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            dump_item(item, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn dump_item(item: &Item, depth: usize, out: &mut String) {
+    pad(depth, out);
+    let test = if item.is_test { " test" } else { "" };
+    match &item.kind {
+        ItemKind::Fn(f) => {
+            let vis = match f.vis {
+                Vis::Pub => "pub",
+                Vis::Restricted => "pub(restricted)",
+                Vis::Priv => "priv",
+            };
+            out.push_str(&format!(
+                "fn {} vis={} line={}{}{}\n",
+                f.name,
+                vis,
+                item.line,
+                if f.has_self { " self" } else { "" },
+                test
+            ));
+            for p in &f.params {
+                pad(depth + 1, out);
+                out.push_str(&format!(
+                    "param {}: {} line={}\n",
+                    p.name, p.ty.text, p.line
+                ));
+            }
+            if let Some(ret) = &f.ret {
+                pad(depth + 1, out);
+                out.push_str(&format!("ret {}\n", ret.text));
+            }
+            if let Some(body) = &f.body {
+                dump_block(body, depth + 1, out);
+            }
+        }
+        ItemKind::Mod { name, items } => {
+            out.push_str(&format!("mod {} line={}{}\n", name, item.line, test));
+            for it in items {
+                dump_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::Impl { self_ty, items } => {
+            out.push_str(&format!("impl {} line={}{}\n", self_ty, item.line, test));
+            for it in items {
+                dump_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::Trait { name, items } => {
+            out.push_str(&format!("trait {} line={}{}\n", name, item.line, test));
+            for it in items {
+                dump_item(it, depth + 1, out);
+            }
+        }
+        ItemKind::Struct { name, fields } => {
+            out.push_str(&format!("struct {} line={}{}\n", name, item.line, test));
+            for (fname, fty) in fields {
+                pad(depth + 1, out);
+                out.push_str(&format!("field {}: {}\n", fname, fty.text));
+            }
+        }
+        ItemKind::MacroRules { name } => {
+            out.push_str(&format!(
+                "macro_rules {} line={}{}\n",
+                name, item.line, test
+            ));
+        }
+        ItemKind::Other => {
+            out.push_str(&format!("other line={}{}\n", item.line, test));
+        }
+    }
+}
+
+fn dump_block(block: &Block, depth: usize, out: &mut String) {
+    pad(depth, out);
+    out.push_str(&format!("block lines={}..{}\n", block.line, block.end_line));
+    for stmt in &block.stmts {
+        dump_stmt(stmt, depth + 1, out);
+    }
+}
+
+fn dump_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
+    match stmt {
+        Stmt::Let {
+            pat,
+            ty,
+            init,
+            els,
+            line,
+        } => {
+            pad(depth, out);
+            out.push_str(&format!(
+                "let {} ty={} line={}\n",
+                dump_pat(pat),
+                ty.as_ref().map(|t| t.text.as_str()).unwrap_or("_"),
+                line
+            ));
+            if let Some(e) = init {
+                dump_expr(e, depth + 1, out);
+            }
+            if let Some(b) = els {
+                dump_block(b, depth + 1, out);
+            }
+        }
+        Stmt::Expr { expr, semi } => {
+            pad(depth, out);
+            out.push_str(if *semi { "stmt\n" } else { "tail\n" });
+            dump_expr(expr, depth + 1, out);
+        }
+        Stmt::Item(item) => dump_item(item, depth, out),
+    }
+}
+
+fn dump_pat(pat: &Pat) -> String {
+    match &pat.kind {
+        PatKind::Wild => "_".into(),
+        PatKind::Ident(name) => name.clone(),
+        PatKind::Path(p) => p.join("::"),
+        PatKind::TupleStruct { path, elems } => format!(
+            "{}({})",
+            path.join("::"),
+            elems.iter().map(dump_pat).collect::<Vec<_>>().join(", ")
+        ),
+        PatKind::Struct { path } => format!("{}{{..}}", path.join("::")),
+        PatKind::Tuple(elems) => format!(
+            "({})",
+            elems.iter().map(dump_pat).collect::<Vec<_>>().join(", ")
+        ),
+        PatKind::Slice(elems) => format!(
+            "[{}]",
+            elems.iter().map(dump_pat).collect::<Vec<_>>().join(", ")
+        ),
+        PatKind::Or(alts) => alts.iter().map(dump_pat).collect::<Vec<_>>().join(" | "),
+        PatKind::Lit => "<lit>".into(),
+        PatKind::Rest => "..".into(),
+        PatKind::Other => "<pat>".into(),
+    }
+}
+
+fn dump_expr(expr: &Expr, depth: usize, out: &mut String) {
+    pad(depth, out);
+    let line = expr.line;
+    match &expr.kind {
+        ExprKind::Int(t) => out.push_str(&format!("int {t} line={line}\n")),
+        ExprKind::Float(t) => out.push_str(&format!("float {t} line={line}\n")),
+        ExprKind::Str => out.push_str(&format!("str line={line}\n")),
+        ExprKind::Char => out.push_str(&format!("char line={line}\n")),
+        ExprKind::Path(p) => out.push_str(&format!("path {} line={line}\n", p.join("::"))),
+        ExprKind::Unary(op, e) => {
+            out.push_str(&format!("unary {op} line={line}\n"));
+            dump_expr(e, depth + 1, out);
+        }
+        ExprKind::Binary(op, a, b) => {
+            out.push_str(&format!("binary {op} line={line}\n"));
+            dump_expr(a, depth + 1, out);
+            dump_expr(b, depth + 1, out);
+        }
+        ExprKind::Call(callee, args) => {
+            out.push_str(&format!("call line={line}\n"));
+            dump_expr(callee, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        ExprKind::MethodCall { recv, method, args } => {
+            out.push_str(&format!("method {method} line={line}\n"));
+            dump_expr(recv, depth + 1, out);
+            for a in args {
+                dump_expr(a, depth + 1, out);
+            }
+        }
+        ExprKind::Field(base, name) => {
+            out.push_str(&format!("field {name} line={line}\n"));
+            dump_expr(base, depth + 1, out);
+        }
+        ExprKind::Index(base, idx) => {
+            out.push_str(&format!("index line={line}\n"));
+            dump_expr(base, depth + 1, out);
+            dump_expr(idx, depth + 1, out);
+        }
+        ExprKind::Closure { params, body } => {
+            out.push_str(&format!("closure |{}| line={line}\n", params.join(", ")));
+            dump_expr(body, depth + 1, out);
+        }
+        ExprKind::If { cond, then, els } => {
+            out.push_str(&format!("if line={line}\n"));
+            dump_expr(cond, depth + 1, out);
+            dump_block(then, depth + 1, out);
+            if let Some(e) = els {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::IfLet {
+            pat,
+            scrutinee,
+            then,
+            els,
+        } => {
+            out.push_str(&format!("if-let {} line={line}\n", dump_pat(pat)));
+            dump_expr(scrutinee, depth + 1, out);
+            dump_block(then, depth + 1, out);
+            if let Some(e) = els {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            out.push_str(&format!("match line={line}\n"));
+            dump_expr(scrutinee, depth + 1, out);
+            for arm in arms {
+                pad(depth + 1, out);
+                out.push_str(&format!("arm {} line={}\n", dump_pat(&arm.pat), arm.line));
+                if let Some(g) = &arm.guard {
+                    dump_expr(g, depth + 2, out);
+                }
+                dump_expr(&arm.body, depth + 2, out);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            out.push_str(&format!("while line={line}\n"));
+            dump_expr(cond, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        ExprKind::Loop(body) => {
+            out.push_str(&format!("loop line={line}\n"));
+            dump_block(body, depth + 1, out);
+        }
+        ExprKind::For { pat, iter, body } => {
+            out.push_str(&format!("for {} line={line}\n", dump_pat(pat)));
+            dump_expr(iter, depth + 1, out);
+            dump_block(body, depth + 1, out);
+        }
+        ExprKind::Block(b) => {
+            out.push_str(&format!("blockexpr line={line}\n"));
+            dump_block(b, depth + 1, out);
+        }
+        ExprKind::Tuple(elems) => {
+            out.push_str(&format!("tuple line={line}\n"));
+            for e in elems {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Array(elems) => {
+            out.push_str(&format!("array line={line}\n"));
+            for e in elems {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Ref { mutable, expr } => {
+            out.push_str(&format!(
+                "ref{} line={line}\n",
+                if *mutable { " mut" } else { "" }
+            ));
+            dump_expr(expr, depth + 1, out);
+        }
+        ExprKind::Cast(e, ty) => {
+            out.push_str(&format!("cast {} line={line}\n", ty.text));
+            dump_expr(e, depth + 1, out);
+        }
+        ExprKind::Range { lo, hi } => {
+            out.push_str(&format!("range line={line}\n"));
+            if let Some(e) = lo {
+                dump_expr(e, depth + 1, out);
+            }
+            if let Some(e) = hi {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Return(e) => {
+            out.push_str(&format!("return line={line}\n"));
+            if let Some(e) = e {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Break(e) => {
+            out.push_str(&format!("break line={line}\n"));
+            if let Some(e) = e {
+                dump_expr(e, depth + 1, out);
+            }
+        }
+        ExprKind::Continue => out.push_str(&format!("continue line={line}\n")),
+        ExprKind::Try(e) => {
+            out.push_str(&format!("try line={line}\n"));
+            dump_expr(e, depth + 1, out);
+        }
+        ExprKind::MacroCall { path } => {
+            out.push_str(&format!("macro {}! line={line}\n", path.join("::")));
+        }
+        ExprKind::StructLit { path, fields } => {
+            out.push_str(&format!("structlit {} line={line}\n", path.join("::")));
+            for (name, e) in fields {
+                pad(depth + 1, out);
+                out.push_str(&format!("fieldinit {name}\n"));
+                dump_expr(e, depth + 2, out);
+            }
+        }
+        ExprKind::Opaque => out.push_str(&format!("opaque line={line}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_name_resolves_through_refs_and_paths() {
+        assert_eq!(unit_name("Watts"), Some("Watts"));
+        assert_eq!(unit_name("&Price"), Some("Price"));
+        assert_eq!(unit_name("&mutCoreHours"), Some("CoreHours"));
+        assert_eq!(unit_name("mpr_core::units::Cores"), Some("Cores"));
+        assert_eq!(unit_name("f64"), None);
+        assert_eq!(unit_name("Vec<Watts>"), None);
+    }
+
+    #[test]
+    fn fnsig_result_detection() {
+        let sig = FnSig {
+            name: "sync".into(),
+            self_ty: "Wal".into(),
+            ret: "Result<(),WalError>".into(),
+            params: vec![],
+        };
+        assert!(sig.returns_result());
+        let io = FnSig {
+            name: "open".into(),
+            self_ty: String::new(),
+            ret: "std::io::Result<File>".into(),
+            params: vec![],
+        };
+        assert!(io.returns_result());
+    }
+
+    #[test]
+    fn symbol_digest_ignores_record_order_but_not_content() {
+        let a = FileSymbols {
+            records: vec!["fn|f|f64|".into(), "method|W|get|f64|".into()],
+        };
+        let b = FileSymbols {
+            records: vec!["method|W|get|f64|".into(), "fn|f|f64|".into()],
+        };
+        let ta = SymbolTable::build([&a]);
+        let tb = SymbolTable::build([&b]);
+        assert_eq!(ta.digest(), tb.digest());
+        let c = FileSymbols {
+            records: vec!["fn|f|Watts|".into(), "method|W|get|f64|".into()],
+        };
+        let tc = SymbolTable::build([&c]);
+        assert_ne!(ta.digest(), tc.digest());
+    }
+}

@@ -1,0 +1,612 @@
+//! L6 `unit-flow` — intraprocedural taint tracking of raw `f64` values.
+//!
+//! A raw `f64` is born whenever a typed quantity is unwrapped: `.get()`,
+//! a `.0` projection, or a call whose recorded signature returns a unit
+//! newtype followed by an unwrap. The value keeps its *provenance* — the
+//! set of unit types it was derived from — while it flows through locals
+//! and arithmetic. The rule fires when provenance crosses a unit boundary
+//! without an explicit conversion:
+//!
+//! * `Watts::new(price.get())` — a Price-derived raw lands in a Watts
+//!   constructor;
+//! * `CoreHours::new(p.get() * w.get())` — a mixed-provenance product is
+//!   wrapped without going through the sanctioned `Price * Watts` operator;
+//! * `p.get() + w.get()` — addition of raws carrying different units.
+//!
+//! Division of two raws with the *same* single-unit provenance clears the
+//! taint (a ratio is dimensionless); scaling by literals keeps it. The
+//! analysis is flow-insensitive within branches and tracks only simple
+//! `let`-bound locals — precision degrades gracefully to "no opinion"
+//! (`Val::Other`), never to a false alarm on untracked values.
+
+use crate::ast::{
+    unit_name, Block, Expr, ExprKind, File, FnItem, Item, ItemKind, Pat, PatKind, Stmt,
+    SymbolTable, UNIT_TYPES,
+};
+use crate::rules::{Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract value of an expression or local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Val {
+    /// A typed unit newtype (`Watts`, `Price`, ...).
+    Unit(&'static str),
+    /// A raw `f64` carrying the units it was derived from (empty set =
+    /// no unit provenance, e.g. a literal or an untyped parameter).
+    Raw(BTreeSet<&'static str>),
+    /// Anything else, or unknown.
+    Other,
+}
+
+impl Val {
+    fn raw_units(&self) -> Option<&BTreeSet<&'static str>> {
+        match self {
+            Val::Raw(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Runs the L6 analysis over every non-test function in the file.
+pub fn unit_flow(relpath: &str, file: &File, symtab: &SymbolTable, out: &mut Vec<Violation>) {
+    walk_items(&file.items, relpath, symtab, out);
+}
+
+fn walk_items(items: &[Item], relpath: &str, symtab: &SymbolTable, out: &mut Vec<Violation>) {
+    for item in items {
+        if item.is_test {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Fn(f) => analyze_fn(f, relpath, symtab, out),
+            ItemKind::Mod { items, .. }
+            | ItemKind::Impl { items, .. }
+            | ItemKind::Trait { items, .. } => walk_items(items, relpath, symtab, out),
+            _ => {}
+        }
+    }
+}
+
+fn analyze_fn(f: &FnItem, relpath: &str, symtab: &SymbolTable, out: &mut Vec<Violation>) {
+    let Some(body) = &f.body else { return };
+    let mut ctx = FlowCtx {
+        relpath,
+        symtab,
+        out,
+        env: BTreeMap::new(),
+    };
+    for p in &f.params {
+        let v = if let Some(u) = p.ty.unit() {
+            Val::Unit(u)
+        } else if p.ty.is_bare_f64() {
+            Val::Raw(BTreeSet::new())
+        } else {
+            Val::Other
+        };
+        ctx.env.insert(p.name.clone(), v);
+    }
+    ctx.block(body);
+}
+
+struct FlowCtx<'a> {
+    relpath: &'a str,
+    symtab: &'a SymbolTable,
+    out: &'a mut Vec<Violation>,
+    env: BTreeMap<String, Val>,
+}
+
+impl FlowCtx<'_> {
+    fn push(&mut self, line: u32, message: String) {
+        self.out.push(Violation {
+            file: self.relpath.to_string(),
+            line,
+            rule: Rule::UnitFlow,
+            message,
+        });
+    }
+
+    fn block(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat, ty, init, els, ..
+                } => {
+                    let mut val = Val::Other;
+                    if let Some(e) = init {
+                        val = self.eval(e);
+                    }
+                    if let Some(t) = ty {
+                        // An explicit annotation wins: the compiler enforces
+                        // it, so trust it over our inference.
+                        if let Some(u) = t.unit() {
+                            val = Val::Unit(u);
+                        } else if t.is_bare_f64() && matches!(val, Val::Other) {
+                            val = Val::Raw(BTreeSet::new());
+                        }
+                    }
+                    if let PatKind::Ident(name) = &pat.kind {
+                        self.env.insert(name.clone(), val);
+                    } else {
+                        self.bind_other(pat);
+                    }
+                    if let Some(b) = els {
+                        self.block(b);
+                    }
+                }
+                Stmt::Expr { expr, .. } => {
+                    self.eval(expr);
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Binds every name in a destructuring pattern to `Other`.
+    fn bind_other(&mut self, pat: &Pat) {
+        match &pat.kind {
+            PatKind::Ident(name) => {
+                self.env.insert(name.clone(), Val::Other);
+            }
+            PatKind::TupleStruct { elems, .. }
+            | PatKind::Tuple(elems)
+            | PatKind::Slice(elems)
+            | PatKind::Or(elems) => {
+                for p in elems {
+                    self.bind_other(p);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluates an expression's abstract value, emitting violations at
+    /// unit-boundary sinks along the way. Each expression node is evaluated
+    /// exactly once per enclosing statement walk.
+    #[allow(clippy::too_many_lines)]
+    fn eval(&mut self, e: &Expr) -> Val {
+        match &e.kind {
+            ExprKind::Float(_) => Val::Raw(BTreeSet::new()),
+            ExprKind::Int(_) | ExprKind::Str | ExprKind::Char => Val::Other,
+            ExprKind::Path(segs) => self.eval_path(segs),
+            ExprKind::Unary(op, x) => {
+                let v = self.eval(x);
+                if *op == "-" {
+                    v
+                } else if *op == "*" {
+                    // Deref of `&f64`/`&Watts` keeps the value.
+                    v
+                } else {
+                    Val::Other
+                }
+            }
+            ExprKind::Ref { expr, .. } => self.eval(expr),
+            ExprKind::Try(x) => {
+                self.eval(x);
+                Val::Other
+            }
+            ExprKind::Cast(x, ty) => {
+                let v = self.eval(x);
+                if ty.text == "f64" {
+                    v
+                } else {
+                    Val::Other
+                }
+            }
+            ExprKind::Field(recv, name) => self.eval_field(recv, name),
+            ExprKind::MethodCall { recv, method, args } => self.eval_method(e, recv, method, args),
+            ExprKind::Call(callee, args) => self.eval_call(e, callee, args),
+            ExprKind::Binary(op, a, b) => self.eval_binary(e, op, a, b),
+            ExprKind::Closure { params, body } => {
+                // Closure params shadow the environment; evaluate the body
+                // with them masked so outer units are not misattributed.
+                let saved = self.env.clone();
+                for p in params {
+                    self.env.insert(p.clone(), Val::Other);
+                }
+                self.eval(body);
+                self.env = saved;
+                Val::Other
+            }
+            ExprKind::If { cond, then, els } => {
+                self.eval(cond);
+                self.block(then);
+                if let Some(x) = els {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::IfLet {
+                pat,
+                scrutinee,
+                then,
+                els,
+            } => {
+                self.eval(scrutinee);
+                self.bind_other(pat);
+                self.block(then);
+                if let Some(x) = els {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.eval(scrutinee);
+                for arm in arms {
+                    let saved = self.env.clone();
+                    self.bind_other(&arm.pat);
+                    if let Some(g) = &arm.guard {
+                        self.eval(g);
+                    }
+                    self.eval(&arm.body);
+                    self.env = saved;
+                }
+                Val::Other
+            }
+            ExprKind::While { cond, body } => {
+                self.eval(cond);
+                self.block(body);
+                Val::Other
+            }
+            ExprKind::For { pat, iter, body } => {
+                self.eval(iter);
+                let saved = self.env.clone();
+                self.bind_other(pat);
+                self.block(body);
+                self.env = saved;
+                Val::Other
+            }
+            ExprKind::Loop(b) | ExprKind::Block(b) => {
+                self.block(b);
+                Val::Other
+            }
+            ExprKind::Tuple(xs) | ExprKind::Array(xs) => {
+                for x in xs {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, x) in fields {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(x) = lo {
+                    self.eval(x);
+                }
+                if let Some(x) = hi {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::Return(x) | ExprKind::Break(x) => {
+                if let Some(x) = x {
+                    self.eval(x);
+                }
+                Val::Other
+            }
+            ExprKind::Index(a, b) => {
+                self.eval(a);
+                self.eval(b);
+                Val::Other
+            }
+            ExprKind::MacroCall { .. } | ExprKind::Continue | ExprKind::Opaque => Val::Other,
+        }
+    }
+
+    fn eval_path(&mut self, segs: &[String]) -> Val {
+        if segs.len() == 1 {
+            return self.env.get(&segs[0]).cloned().unwrap_or(Val::Other);
+        }
+        // `Watts::ZERO`, `Watts::MAX` and friends are unit-typed constants.
+        if segs.len() == 2 {
+            if let Some(u) = UNIT_TYPES.iter().find(|u| **u == segs[0]) {
+                let upper = segs[1].chars().all(|c| c.is_ascii_uppercase() || c == '_');
+                if upper {
+                    return Val::Unit(u);
+                }
+            }
+        }
+        Val::Other
+    }
+
+    fn eval_field(&mut self, recv: &Expr, name: &str) -> Val {
+        let rv = self.eval(recv);
+        // `.0` on a unit newtype is the raw payload.
+        if name == "0" {
+            if let Val::Unit(u) = rv {
+                let mut s = BTreeSet::new();
+                s.insert(u);
+                return Val::Raw(s);
+            }
+            return Val::Other;
+        }
+        // Named field: if exactly one known struct has a field of this name
+        // with a unit type, trust it.
+        let mut found: Option<&str> = None;
+        let mut ambiguous = false;
+        for fields in self.symtab.fields.values() {
+            if let Some(ty) = fields.get(name) {
+                if found.is_some_and(|prev| prev != ty.as_str()) {
+                    ambiguous = true;
+                }
+                found = Some(ty);
+            }
+        }
+        if !ambiguous {
+            if let Some(u) = found.and_then(unit_name) {
+                return Val::Unit(u);
+            }
+        }
+        Val::Other
+    }
+
+    fn eval_method(&mut self, e: &Expr, recv: &Expr, method: &str, args: &[Expr]) -> Val {
+        let rv = self.eval(recv);
+        let arg_vals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+
+        // Unwrap: `.get()` / `.into_inner()` on a unit-typed receiver.
+        if matches!(method, "get" | "into_inner" | "value" | "raw") {
+            if let Val::Unit(u) = rv {
+                let mut s = BTreeSet::new();
+                s.insert(u);
+                return Val::Raw(s);
+            }
+        }
+        // Unit-preserving combinators (defined per-unit in the macro body,
+        // invisible to the symbol table).
+        if matches!(
+            method,
+            "max" | "min" | "abs" | "clamp" | "saturating_sub" | "saturating_add"
+        ) {
+            if let Val::Unit(u) = rv {
+                return Val::Unit(u);
+            }
+            // Raw combinators merge provenance: `p.get().max(w.get())`.
+            if let Val::Raw(mut s) = rv {
+                for av in &arg_vals {
+                    if let Some(units) = av.raw_units() {
+                        s.extend(units.iter().copied());
+                    }
+                }
+                self.check_mixed(e.line, &s, method);
+                return Val::Raw(s);
+            }
+        }
+        // Raw-returning float methods keep provenance.
+        if matches!(
+            method,
+            "sqrt" | "powi" | "powf" | "ln" | "log10" | "exp" | "floor" | "ceil" | "round"
+        ) {
+            if let Val::Raw(s) = rv {
+                return Val::Raw(s);
+            }
+        }
+        // A recorded signature returning a unit newtype.
+        if let Some(u) = self.symtab.method_unit_ret(method) {
+            return Val::Unit(u);
+        }
+        Val::Other
+    }
+
+    fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Val {
+        let arg_vals: Vec<Val> = args.iter().map(|a| self.eval(a)).collect();
+        let ExprKind::Path(segs) = &callee.kind else {
+            self.eval(callee);
+            return Val::Other;
+        };
+        // `U::new(raw)` — the one sanctioned constructor, checked for
+        // cross-unit provenance.
+        if segs.len() >= 2 && segs[segs.len() - 1] == "new" {
+            let head = &segs[segs.len() - 2];
+            if let Some(u) = UNIT_TYPES.iter().find(|u| **u == *head) {
+                if let Some(Some(s)) = arg_vals.first().map(Val::raw_units) {
+                    let crosses = !s.is_empty() && (s.len() != 1 || !s.contains(u));
+                    if crosses {
+                        let from = s.iter().copied().collect::<Vec<_>>().join(" and ");
+                        self.push(
+                            e.line,
+                            format!(
+                                "raw f64 derived from {from} flows into `{u}::new` without \
+                                 an explicit conversion; use the unit conversion API or add \
+                                 `// lint: allow(unit-flow) <why>`"
+                            ),
+                        );
+                    }
+                }
+                return Val::Unit(u);
+            }
+        }
+        // A recorded free-fn signature tells us the produced value's type.
+        if let Some(name) = segs.last() {
+            if let Some(sigs) = self.symtab.fns.get(name) {
+                if sigs.len() == 1 {
+                    if let Some(u) = unit_name(&sigs[0].ret) {
+                        return Val::Unit(u);
+                    }
+                    if sigs[0].ret == "f64" {
+                        return Val::Raw(BTreeSet::new());
+                    }
+                }
+            }
+        }
+        Val::Other
+    }
+
+    fn eval_binary(&mut self, e: &Expr, op: &str, a: &Expr, b: &Expr) -> Val {
+        // Assignment: re-bind simple locals, no value.
+        if op == "=" || op.ends_with('=') && matches!(op, "+=" | "-=" | "*=" | "/=") {
+            let rv = self.eval(b);
+            if let ExprKind::Path(segs) = &a.kind {
+                if segs.len() == 1 {
+                    if op == "=" {
+                        self.env.insert(segs[0].clone(), rv);
+                    }
+                    return Val::Other;
+                }
+            }
+            self.eval(a);
+            return Val::Other;
+        }
+        let va = self.eval(a);
+        let vb = self.eval(b);
+        match (op, &va, &vb) {
+            // Typed unit arithmetic: the compiler already checks it.
+            (_, Val::Unit(u), Val::Unit(v)) => match op {
+                "+" | "-" if u == v => Val::Unit(u),
+                "/" if u == v => Val::Raw(BTreeSet::new()),
+                _ => Val::Other,
+            },
+            // Unit scaled by a raw (`w * 1.1`): unit-preserving ops only.
+            ("*" | "/", Val::Unit(u), Val::Raw(s)) if s.is_empty() => Val::Unit(u),
+            ("*", Val::Raw(s), Val::Unit(u)) if s.is_empty() => Val::Unit(u),
+            // Raw-raw arithmetic: provenance algebra. Division *cancels* the
+            // denominator's dimension rather than acquiring it (`b / price`
+            // converts $-weighted sums back to watts in Eqn. (5)-style
+            // closed forms), so only the numerator's provenance survives.
+            (_, Val::Raw(sa), Val::Raw(sb)) => {
+                if op == "/" {
+                    if sa.len() == 1 && sa == sb {
+                        return Val::Raw(BTreeSet::new());
+                    }
+                    return Val::Raw(sa.clone());
+                }
+                let union: BTreeSet<&'static str> = sa.union(sb).copied().collect();
+                if matches!(op, "+" | "-") && !sa.is_empty() && !sb.is_empty() && sa != sb {
+                    let from = union.iter().copied().collect::<Vec<_>>().join(" and ");
+                    self.push(
+                        e.line,
+                        format!(
+                            "`{op}` mixes raw f64 values derived from {from}; convert to a \
+                             common unit first or add `// lint: allow(unit-flow) <why>`"
+                        ),
+                    );
+                }
+                if matches!(op, "<" | ">" | "<=" | ">=" | "==" | "!=") {
+                    if !sa.is_empty() && !sb.is_empty() && sa != sb {
+                        let from = union.iter().copied().collect::<Vec<_>>().join(" and ");
+                        self.push(
+                            e.line,
+                            format!(
+                                "comparison mixes raw f64 values derived from {from}; \
+                                 compare typed units instead or add \
+                                 `// lint: allow(unit-flow) <why>`"
+                            ),
+                        );
+                    }
+                    return Val::Other;
+                }
+                Val::Raw(union)
+            }
+            // One tracked side, one unknown: keep the tracked provenance for
+            // taint-acquiring ops (`p.get() * n as f64` stays tainted), but a
+            // tainted *denominator* divides its dimension out.
+            ("/", Val::Raw(s), _) => Val::Raw(s.clone()),
+            ("/", _, Val::Raw(_)) => Val::Raw(BTreeSet::new()),
+            ("+" | "-" | "*", Val::Raw(s), _) | ("+" | "-" | "*", _, Val::Raw(s)) => {
+                Val::Raw(s.clone())
+            }
+            _ => Val::Other,
+        }
+    }
+
+    /// Mixed-provenance check for raw combinators like `.max(..)`.
+    fn check_mixed(&mut self, line: u32, units: &BTreeSet<&'static str>, method: &str) {
+        if units.len() > 1 {
+            let from = units.iter().copied().collect::<Vec<_>>().join(" and ");
+            self.push(
+                line,
+                format!(
+                    "`.{method}()` combines raw f64 values derived from {from}; convert \
+                     to a common unit first or add `// lint: allow(unit-flow) <why>`"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{analyze_source_with, Rule, RuleSet};
+
+    fn run_flow(src: &str) -> Vec<u32> {
+        let rules = RuleSet {
+            unit_flow: true,
+            ..RuleSet::default()
+        };
+        analyze_source_with("crates/core/src/x.rs", src, rules)
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::UnitFlow)
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn cross_unit_constructor_is_flagged() {
+        let lines = run_flow(
+            "fn f(p: Price) -> Watts {\n\
+                 Watts::new(p.get())\n\
+             }\n",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn taint_flows_through_locals() {
+        let lines = run_flow(
+            "fn f(p: Price) -> Watts {\n\
+                 let x = p.get();\n\
+                 let y = x * 2.0;\n\
+                 Watts::new(y)\n\
+             }\n",
+        );
+        assert_eq!(lines, vec![4]);
+    }
+
+    #[test]
+    fn mixed_addition_is_flagged() {
+        let lines = run_flow(
+            "fn f(p: Price, w: Watts) -> f64 {\n\
+                 p.get() + w.get()\n\
+             }\n",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn sanctioned_patterns_are_clean() {
+        let lines = run_flow(
+            "fn f(w: Watts, cap: Watts, x: f64) -> f64 {\n\
+                 let rewrap = Watts::new(w.get() * 1.1);\n\
+                 let fresh = Watts::new(x);\n\
+                 let lit = Watts::new(42.0);\n\
+                 let ratio = w.get() / cap.get();\n\
+                 let _ = (rewrap, fresh, lit);\n\
+                 ratio\n\
+             }\n",
+        );
+        assert_eq!(lines, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn tuple_projection_carries_provenance() {
+        let lines = run_flow(
+            "fn f(p: Price) -> Watts {\n\
+                 Watts::new(p.0)\n\
+             }\n",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+
+    #[test]
+    fn derived_product_crossing_units_is_flagged() {
+        let lines = run_flow(
+            "fn f(p: Price, w: Watts) -> CoreHours {\n\
+                 CoreHours::new(p.get() * w.get())\n\
+             }\n",
+        );
+        assert_eq!(lines, vec![2]);
+    }
+}

@@ -1,6 +1,6 @@
 //! `mpr-lint` — the workspace's static-analysis pass.
 //!
-//! Five rule families keep the paper-reproduction honest at scale:
+//! Eight rule families keep the paper-reproduction honest at scale:
 //!
 //! * **L1 `unit-hygiene`** — public signatures in `mpr-core`, `mpr-power`,
 //!   and `mpr-sim` may not pass quantities (watts, prices, core-hours,
@@ -10,25 +10,52 @@
 //! * **L2 `nan-safety`** — no `partial_cmp` on floats (panics or mis-orders
 //!   on NaN) and no `==`/`!=` against float literals in library code.
 //! * **L3 `panic-freedom`** — no `unwrap`/`expect`/`panic!`-family macros or
-//!   unchecked indexing in non-test library code of
-//!   `mpr-core`/`mpr-power`/`mpr-sim`, the crates that execute inside every
-//!   simulation slot (the chaos campaign's `no-panic` oracle treats an
-//!   engine panic as a safety failure).
+//!   unchecked indexing in non-test library code of the crates that execute
+//!   inside every simulation slot (the chaos campaign's `no-panic` oracle
+//!   treats an engine panic as a safety failure).
 //! * **L4 `determinism`** — no `HashMap`/`HashSet` in report/CSV modules and
-//!   no `Instant`/`SystemTime` inside the simulator.
+//!   no `Instant`/`SystemTime` inside the simulator and satellite engines.
 //! * **L5 `layering`** — `mpr-sim` and `mpr-cli` may not call the solver
 //!   modules (`mclr::`, `opt::`, `eql::`, `vcg::`) directly; every clearing
 //!   goes through the `mpr_core::mechanism::Mechanism` trait (DESIGN.md
 //!   §11). `// lint: allow(layering) <why>` grants an audited exemption.
+//! * **L6 `unit-flow`** — intraprocedural taint tracking: a raw `f64`
+//!   obtained from a unit-typed value (`.get()`, `.0`, unit-returning
+//!   signatures) carries that unit's provenance through locals and
+//!   arithmetic; letting it reach a *different* unit's constructor, or
+//!   mixing two provenances with `+`/`-`/comparisons, is an error (see
+//!   [`flow`]).
+//! * **L7 `error-swallowing`** — no silently discarded fallible results:
+//!   `let _ = fallible()`, statement-dropped `.ok()`, and empty `Err(_)`
+//!   match arms, resolved against a workspace-wide symbol table of
+//!   `Result`-returning functions and methods.
+//! * **L8 `parallel-determinism`** — no order-nondeterministic parallelism:
+//!   `Ordering::Relaxed` atomics, parallel-iterator float reductions
+//!   (`par_iter().sum()` without an intervening `collect`), and
+//!   thread-count introspection.
 //!
-//! Built without `syn` (the container is offline), on a small exact lexer —
-//! see [`lexer`]. Run it with `cargo run -p mpr-lint -- check`.
+//! The engine is a hand-rolled tolerant recursive-descent parser (see
+//! [`parser`]) producing an AST ([`ast`]) — no `syn`, the container is
+//! offline. Every token lands either in the AST or in an *opaque region*
+//! over which the legacy token-pattern rules still run, so parse failures
+//! degrade precision, never recall. Warm runs reuse per-file diagnostics
+//! from a content-hash cache ([`cache`]) keyed by
+//! [`rules::RULESET_VERSION`] and the workspace symbol-table digest.
+//! Reports are deterministic and workspace-relative (byte-identical across
+//! runs and checkouts); [`to_sarif`] renders SARIF 2.1.0. Run it with
+//! `cargo run -p mpr-lint -- check` or `mpr lint`.
 
+pub mod ast;
+pub mod cache;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
+pub use cache::Cache;
 pub use rules::{
     analyze_source, analyze_source_with, FileAnalysis, Rule, RuleSet, UsedExemption, Violation,
+    RULESET_VERSION,
 };
 
 use std::fs;
@@ -75,6 +102,15 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// Cache effectiveness counters for one workspace run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files whose diagnostics were served from the cache.
+    pub reused: usize,
+    /// Files that were parsed and analyzed this run.
+    pub analyzed: usize,
+}
+
 /// Lints every `crates/*/src` tree under `root` (skipping `crates/lint`
 /// itself, whose sources quote the forbidden patterns).
 ///
@@ -82,7 +118,37 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 ///
 /// Returns an error when the `crates/` directory cannot be read.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
-    let mut report = WorkspaceReport::default();
+    analyze_workspace_cached(root, None).map(|(report, _)| report)
+}
+
+/// Like [`analyze_workspace`], with an optional incremental cache.
+///
+/// When `cache_path` is given, the cache at that path is consulted
+/// (content hash + ruleset version + symbol-table digest must all match
+/// for a file's diagnostics to be reused) and rewritten afterwards. The
+/// report is bit-identical with and without a cache.
+///
+/// # Errors
+///
+/// Returns an error when the `crates/` directory cannot be read. A
+/// missing or corrupt cache file is treated as cold, not an error; a
+/// failure to *write* the cache back is returned.
+pub fn analyze_workspace_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> std::io::Result<(WorkspaceReport, CacheStats)> {
+    struct Slot {
+        rel: String,
+        text: String,
+        hash: u64,
+        parsed: Option<parser::Parsed>,
+        cached: Option<cache::Entry>,
+        symbols: ast::FileSymbols,
+    }
+
+    let old = cache_path.map(cache::Cache::load).unwrap_or_default();
+
+    let mut slots: Vec<Slot> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(Result::ok)
@@ -110,14 +176,88 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
             let Ok(text) = fs::read_to_string(&file) else {
                 continue;
             };
-            report.files_scanned += 1;
-            let analysis = rules::analyze_source(&rel, &text);
-            report.violations.extend(analysis.violations);
-            report.exemptions_used.extend(analysis.exemptions_used);
+            // Pass 1: establish each file's exported symbols — from the
+            // cache when the content hash matches, by parsing otherwise —
+            // so cross-file facts (unit-returning methods, Result-returning
+            // fns) are visible to the L6/L7 rules in pass 2.
+            let hash = cache::fnv1a(text.as_bytes());
+            let cached = old.entries.get(&rel).filter(|e| e.hash == hash).cloned();
+            let (parsed, symbols) = match &cached {
+                Some(e) => (
+                    None,
+                    ast::FileSymbols {
+                        records: e.symbols.clone(),
+                    },
+                ),
+                None => {
+                    let p = parser::parse(&text);
+                    let syms = ast::FileSymbols::from_file(&p.file);
+                    (Some(p), syms)
+                }
+            };
+            slots.push(Slot {
+                rel,
+                text,
+                hash,
+                parsed,
+                cached,
+                symbols,
+            });
         }
     }
+
+    let symtab = ast::SymbolTable::build(slots.iter().map(|s| &s.symbols));
+    let digest = symtab.digest();
+
+    let mut report = WorkspaceReport::default();
+    let mut stats = CacheStats::default();
+    let mut new_cache = cache::Cache {
+        symtab_digest: digest,
+        entries: std::collections::BTreeMap::new(),
+    };
+    for slot in &mut slots {
+        report.files_scanned += 1;
+        let (violations, exemptions_used) = match &slot.cached {
+            // Pass 2: a file's diagnostics are reusable only when its own
+            // content *and* the workspace-wide symbol table are unchanged.
+            Some(e) if old.symtab_digest == digest => {
+                stats.reused += 1;
+                e.diagnostics(&slot.rel)
+            }
+            _ => {
+                stats.analyzed += 1;
+                let p = slot
+                    .parsed
+                    .take()
+                    .unwrap_or_else(|| parser::parse(&slot.text));
+                let analysis =
+                    rules::analyze_parsed(&slot.rel, &p, RuleSet::for_path(&slot.rel), &symtab);
+                (analysis.violations, analysis.exemptions_used)
+            }
+        };
+        new_cache.entries.insert(
+            slot.rel.clone(),
+            cache::Entry {
+                hash: slot.hash,
+                symbols: slot.symbols.records.clone(),
+                violations: violations
+                    .iter()
+                    .map(|v| (v.line, v.rule.name().to_owned(), v.message.clone()))
+                    .collect(),
+                exemptions: exemptions_used
+                    .iter()
+                    .map(|e| (e.line, e.rule.name().to_owned(), e.reason.clone()))
+                    .collect(),
+            },
+        );
+        report.violations.extend(violations);
+        report.exemptions_used.extend(exemptions_used);
+    }
     report.violations.sort_by_key(|v| (v.file.clone(), v.line));
-    Ok(report)
+    if let Some(path) = cache_path {
+        new_cache.store(path)?;
+    }
+    Ok((report, stats))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -194,6 +334,64 @@ pub fn to_json(report: &WorkspaceReport) -> String {
     s
 }
 
+/// Renders the report as a SARIF 2.1.0 log (hand-rolled, fixed schema).
+///
+/// Output is deterministic: results keep the report's (file, line) order,
+/// rule metadata is emitted in a fixed order, and every artifact URI is a
+/// workspace-relative path — no absolute paths, so two runs from different
+/// checkouts produce byte-identical logs.
+#[must_use]
+pub fn to_sarif(report: &WorkspaceReport) -> String {
+    const ALL_RULES: &[Rule] = &[
+        Rule::UnitHygiene,
+        Rule::NanSafety,
+        Rule::PanicFreedom,
+        Rule::Determinism,
+        Rule::Layering,
+        Rule::UnitFlow,
+        Rule::ErrorSwallowing,
+        Rule::ParallelDeterminism,
+        Rule::Exemption,
+    ];
+    let mut s = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"mpr-lint\",\n          \
+         \"version\": \"",
+    );
+    s.push_str(&format!("{RULESET_VERSION}"));
+    s.push_str("\",\n          \"rules\": [");
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n            {{\"id\": \"{}\"}}",
+            json_escape(r.name())
+        ));
+    }
+    s.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            v.rule,
+            json_escape(&v.message),
+            json_escape(&v.file),
+            v.line
+        ));
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +416,25 @@ mod tests {
         let j = to_json(&report);
         assert!(j.contains("\"rule\": \"nan-safety\""));
         assert!(j.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn sarif_shape_is_stable_and_relative() {
+        let report = WorkspaceReport {
+            violations: vec![Violation {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                rule: Rule::UnitFlow,
+                message: "raw f64 crossing units".into(),
+            }],
+            exemptions_used: vec![],
+            files_scanned: 1,
+        };
+        let s = to_sarif(&report);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"unit-flow\""));
+        assert!(s.contains("\"uri\": \"crates/core/src/x.rs\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(!s.contains("/root/"), "no absolute paths in SARIF output");
     }
 }

@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p mpr-lint -- check [--json] [--root DIR]`.
+//! CLI entry point: `cargo run -p mpr-lint -- check [flags]`.
 //!
 //! Exit codes: 0 clean, 1 violations (or exemption budget exceeded),
 //! 2 usage or I/O error.
@@ -6,18 +6,26 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mpr_lint::{analyze_workspace, find_workspace_root, to_json, MAX_EXEMPTIONS};
+use mpr_lint::{analyze_workspace_cached, find_workspace_root, to_json, to_sarif, MAX_EXEMPTIONS};
 
-const USAGE: &str = "usage: mpr-lint check [--json] [--root DIR]
+const USAGE: &str = "usage: mpr-lint check [--json] [--sarif] [--root DIR]
+                      [--cache-file PATH] [--no-cache]
 
 Rules: unit-hygiene (L1), nan-safety (L2), panic-freedom (L3), determinism (L4),
-layering (L5).
+layering (L5), unit-flow (L6), error-swallowing (L7),
+parallel-determinism (L8).
 Exemptions: `// lint: raw-f64-ok <why>` or `// lint: allow(<rule>) <why>`
-on the violating line or the line above.";
+on the violating line or the line above; a reason is required, and an
+exemption that no longer suppresses anything is itself an error.
+Cache: warm runs reuse diagnostics of unchanged files from
+target/mpr-lint.cache (disable with --no-cache).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut sarif = false;
+    let mut no_cache = false;
+    let mut cache_file: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut command = None;
     let mut it = args.iter();
@@ -25,6 +33,15 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "check" => command = Some("check"),
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--no-cache" => no_cache = true,
+            "--cache-file" => match it.next() {
+                Some(p) => cache_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-file needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -64,7 +81,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match analyze_workspace(&root) {
+    let cache_path = if no_cache {
+        None
+    } else {
+        Some(cache_file.unwrap_or_else(|| root.join("target/mpr-lint.cache")))
+    };
+    let (report, stats) = match analyze_workspace_cached(&root, cache_path.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mpr-lint: failed to scan {}: {e}", root.display());
@@ -72,7 +94,9 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
+    if sarif {
+        print!("{}", to_sarif(&report));
+    } else if json {
         print!("{}", to_json(&report));
     } else {
         for v in &report.violations {
@@ -82,8 +106,11 @@ fn main() -> ExitCode {
             println!();
         }
         println!(
-            "mpr-lint: {} file(s) scanned, {} violation(s), {} exemption(s) used (budget {})",
+            "mpr-lint: {} file(s) scanned ({} cached, {} analyzed), {} violation(s), \
+             {} exemption(s) used (budget {})",
             report.files_scanned,
+            stats.reused,
+            stats.analyzed,
             report.violations.len(),
             report.exemptions_used.len(),
             MAX_EXEMPTIONS

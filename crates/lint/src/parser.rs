@@ -1,0 +1,2589 @@
+//! Tolerant recursive-descent parser for the Rust subset the workspace
+//! uses, built on the exact lexer in [`crate::lexer`].
+//!
+//! Design rule: **never lose coverage**. Every token of a file is either
+//! represented in the produced [`File`] AST or lies inside an *opaque
+//! region* — a token-index range the parser could not (or chose not to)
+//! structure: `macro_rules!` bodies, macro invocation arguments, `use`/
+//! `type`/`const`/`static`/`enum` items, and any parse-failure recovery
+//! span. The legacy token-pattern rules are re-run over opaque regions by
+//! [`crate::rules`], so a parse failure can only ever degrade precision,
+//! never recall, relative to the lexer-only engine this replaces.
+//!
+//! The parser is deliberately approximate where the rules do not care:
+//! generic parameters are skipped, type text is normalized to a spaceless
+//! string, patterns keep just enough shape for wildcard/`Err`-dropping
+//! detection.
+
+use crate::ast::{
+    Arm, Block, Expr, ExprKind, File, FnItem, Item, ItemKind, Param, Pat, PatKind, Stmt, TypeRepr,
+    Vis,
+};
+use crate::lexer::{lex, ExemptionComment, Tok, TokKind};
+
+/// Result of parsing one source file.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// The item tree.
+    pub file: File,
+    /// The full token stream (owned; opaque ranges index into it).
+    pub toks: Vec<Tok>,
+    /// Opaque token-index ranges `[start, end)`, sorted and disjoint.
+    pub opaque: Vec<(usize, usize)>,
+    /// `// lint:` exemption comments, in source order.
+    pub exemptions: Vec<ExemptionComment>,
+}
+
+impl Parsed {
+    /// Iterates the opaque regions as token slices.
+    pub fn opaque_slices(&self) -> impl Iterator<Item = &[Tok]> {
+        self.opaque.iter().map(|&(a, b)| &self.toks[a..b])
+    }
+}
+
+/// Parses `src` into an AST plus opaque fallback regions.
+#[must_use]
+pub fn parse(src: &str) -> Parsed {
+    let lexed = lex(src);
+    let items;
+    let mut opaque;
+    {
+        let mut p = Parser {
+            toks: &lexed.toks,
+            pos: 0,
+            opaque: Vec::new(),
+        };
+        items = p.items_until(false, false);
+        opaque = std::mem::take(&mut p.opaque);
+    }
+    opaque.sort_unstable();
+    // Merge overlapping/adjacent ranges so the fallback scans each token once.
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(opaque.len());
+    for (a, b) in opaque {
+        if a >= b {
+            continue;
+        }
+        match merged.last_mut() {
+            Some((_, e)) if a <= *e => *e = (*e).max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    Parsed {
+        file: File { items },
+        toks: lexed.toks,
+        opaque: merged,
+        exemptions: lexed.exemptions,
+    }
+}
+
+/// Item-starter keywords recognized in statement position.
+const ITEM_STARTERS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "type",
+    "static",
+    "macro_rules",
+    "extern",
+    "union",
+    "pub",
+];
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    opaque: Vec<(usize, usize)>,
+}
+
+impl<'a> Parser<'a> {
+    // -- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + k)
+    }
+
+    fn txt(&self, k: usize) -> &'a str {
+        self.peek_at(k).map_or("", |t| t.text.as_str())
+    }
+
+    /// True at end of input. NOTE: `txt(0) == ""` is NOT an end-of-input
+    /// test — string/char literal tokens carry empty text.
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn kind(&self, k: usize) -> Option<TokKind> {
+        self.peek_at(k).map(|t| t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .or_else(|| self.toks.last())
+            .map_or(1, |t| t.line)
+    }
+
+    fn prev_line(&self) -> u32 {
+        if self.pos == 0 {
+            1
+        } else {
+            self.toks[self.pos - 1].line
+        }
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.txt(0) == s {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark_opaque(&mut self, start: usize, end: usize) {
+        if start < end {
+            self.opaque.push((start, end));
+        }
+    }
+
+    /// Skips a balanced `(`/`[`/`{` group starting at the current token.
+    /// All three bracket kinds share one depth counter — mixed imbalance is
+    /// already broken source. Returns the position just past the closer.
+    fn skip_balanced(&mut self) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        self.pos
+    }
+
+    /// Skips a balanced `<...>` group starting at a `<` token. Bracket
+    /// groups inside (e.g. `Fn(A) -> B`) are skipped wholesale so their
+    /// contents cannot perturb the angle depth.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => {
+                    depth += 1;
+                    self.bump();
+                }
+                ">" => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                "(" | "[" | "{" => {
+                    self.skip_balanced();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    // -- attributes ---------------------------------------------------------
+
+    /// Scans (without consuming) one attribute at token index `at`.
+    /// Returns `(index_after, is_test_attr)` or `None` if not an attribute.
+    fn scan_attr(&self, at: usize) -> Option<(usize, bool)> {
+        if self.toks.get(at).map(|t| t.text.as_str()) != Some("#") {
+            return None;
+        }
+        let mut i = at + 1;
+        if self.toks.get(i).map(|t| t.text.as_str()) == Some("!") {
+            i += 1;
+        }
+        if self.toks.get(i).map(|t| t.text.as_str()) != Some("[") {
+            return None;
+        }
+        let start = i;
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while let Some(t) = self.toks.get(i) {
+            match t.text.as_str() {
+                "[" | "(" | "{" => depth += 1,
+                "]" | ")" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if t.kind == TokKind::Ident {
+                        idents.push(t.text.as_str());
+                    }
+                }
+            }
+            i += 1;
+        }
+        let _ = start;
+        let is_test = match idents.first().copied() {
+            Some("cfg") => idents.contains(&"test"),
+            Some("test") | Some("bench") if idents.len() == 1 => true,
+            _ => idents.last().is_some_and(|s| *s == "test"),
+        };
+        Some((i, is_test))
+    }
+
+    /// Consumes every attribute at the cursor; returns whether any marked
+    /// the following item as test-only.
+    fn skip_attrs(&mut self) -> bool {
+        let mut is_test = false;
+        while let Some((next, test)) = self.scan_attr(self.pos) {
+            is_test |= test;
+            self.pos = next;
+        }
+        is_test
+    }
+
+    // -- items --------------------------------------------------------------
+
+    /// Parses items until end of input or (when `stop_at_brace`) a `}` at
+    /// the cursor. `parent_test` marks every produced item test-only.
+    fn items_until(&mut self, stop_at_brace: bool, parent_test: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while let Some(t) = self.peek() {
+            if stop_at_brace && t.text == "}" {
+                break;
+            }
+            let before = self.pos;
+            items.push(self.parse_item(parent_test));
+            if self.pos == before {
+                // Defensive: never loop without consuming.
+                self.mark_opaque(before, before + 1);
+                self.bump();
+            }
+        }
+        items
+    }
+
+    fn parse_item(&mut self, parent_test: bool) -> Item {
+        let start = self.pos;
+        let mut is_test = self.skip_attrs() || parent_test;
+        let line = self.line();
+
+        // Visibility.
+        let vis = if self.txt(0) == "pub" {
+            self.bump();
+            if self.txt(0) == "(" {
+                self.skip_balanced();
+                Vis::Restricted
+            } else {
+                Vis::Pub
+            }
+        } else {
+            Vis::Priv
+        };
+
+        // Qualifiers before `fn`: const / async / unsafe / extern "C" /
+        // default. `const` doubles as an item keyword, so only treat it as a
+        // qualifier when a further qualifier or `fn` follows.
+        loop {
+            match self.txt(0) {
+                "default" | "async" | "unsafe"
+                    if matches!(
+                        self.txt(1),
+                        "fn" | "const"
+                            | "async"
+                            | "unsafe"
+                            | "extern"
+                            | "default"
+                            | "impl"
+                            | "trait"
+                    ) =>
+                {
+                    self.bump();
+                }
+                "const"
+                    if matches!(
+                        self.txt(1),
+                        "fn" | "async" | "unsafe" | "extern" | "default"
+                    ) =>
+                {
+                    self.bump();
+                }
+                "extern" if self.kind(1) == Some(TokKind::Str) && self.txt(2) == "fn" => {
+                    self.bump();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+
+        let kind = match self.txt(0) {
+            "fn" => {
+                let f = self.parse_fn(vis);
+                ItemKind::Fn(Box::new(f))
+            }
+            "mod" => {
+                self.bump();
+                let name = self.ident_or_empty();
+                if self.txt(0) == "{" {
+                    self.bump();
+                    let items = self.items_until(true, is_test);
+                    self.eat("}");
+                    ItemKind::Mod { name, items }
+                } else {
+                    self.eat(";");
+                    ItemKind::Other
+                }
+            }
+            "struct" => self.parse_struct(),
+            "enum" => {
+                self.bump();
+                let _name = self.ident_or_empty();
+                if self.txt(0) == "<" {
+                    self.skip_angles();
+                }
+                self.skip_where();
+                if self.txt(0) == "{" {
+                    let body_start = self.pos;
+                    let end = self.skip_balanced();
+                    self.mark_opaque(body_start, end);
+                } else {
+                    self.eat(";");
+                }
+                ItemKind::Other
+            }
+            "impl" => self.parse_impl(is_test),
+            "trait" => {
+                self.bump();
+                let name = self.ident_or_empty();
+                if self.txt(0) == "<" {
+                    self.skip_angles();
+                }
+                // Supertrait bounds and where clause: consume until `{`.
+                self.consume_until_block_or_semi();
+                if self.txt(0) == "{" {
+                    self.bump();
+                    let items = self.items_until(true, is_test);
+                    self.eat("}");
+                    ItemKind::Trait { name, items }
+                } else {
+                    self.eat(";");
+                    ItemKind::Other
+                }
+            }
+            "use" | "type" | "static" | "const" => {
+                let item_start = self.pos;
+                self.consume_to_semi();
+                self.mark_opaque(item_start, self.pos);
+                ItemKind::Other
+            }
+            "macro_rules" => {
+                self.bump();
+                self.eat("!");
+                let name = self.ident_or_empty();
+                if matches!(self.txt(0), "{" | "(" | "[") {
+                    let body_start = self.pos;
+                    let end = self.skip_balanced();
+                    self.mark_opaque(body_start, end);
+                }
+                self.eat(";");
+                ItemKind::MacroRules { name }
+            }
+            "extern" => {
+                self.bump();
+                if self.kind(0) == Some(TokKind::Str) {
+                    self.bump();
+                }
+                if self.txt(0) == "{" {
+                    let body_start = self.pos;
+                    let end = self.skip_balanced();
+                    self.mark_opaque(body_start, end);
+                } else {
+                    self.consume_to_semi();
+                }
+                ItemKind::Other
+            }
+            "union" => {
+                self.bump();
+                let _ = self.ident_or_empty();
+                if self.txt(0) == "<" {
+                    self.skip_angles();
+                }
+                self.skip_where();
+                if self.txt(0) == "{" {
+                    let body_start = self.pos;
+                    let end = self.skip_balanced();
+                    self.mark_opaque(body_start, end);
+                }
+                ItemKind::Other
+            }
+            _ => {
+                // Top-level macro invocation (`unit! { ... }`) or something
+                // the parser does not model: consume conservatively and let
+                // the token fallback scan it.
+                if self.kind(0) == Some(TokKind::Ident) && self.is_macro_invocation() {
+                    let item_start = self.pos;
+                    self.consume_macro_invocation();
+                    self.mark_opaque(item_start, self.pos);
+                } else {
+                    let item_start = self.pos;
+                    self.recover_item();
+                    self.mark_opaque(item_start, self.pos);
+                }
+                ItemKind::Other
+            }
+        };
+        let _ = start;
+        let _ = &mut is_test;
+        Item {
+            kind,
+            line,
+            end_line: self.prev_line(),
+            is_test,
+        }
+    }
+
+    /// True when the cursor sits on `path ::* !` followed by a delimiter —
+    /// a macro invocation in item or statement position.
+    fn is_macro_invocation(&self) -> bool {
+        let mut i = 0usize;
+        if self.kind(i) != Some(TokKind::Ident) {
+            return false;
+        }
+        i += 1;
+        while self.txt(i) == "::" && self.kind(i + 1) == Some(TokKind::Ident) {
+            i += 2;
+        }
+        self.txt(i) == "!" && matches!(self.txt(i + 1), "(" | "[" | "{")
+    }
+
+    /// Consumes `path ! delim...delim [;]`.
+    fn consume_macro_invocation(&mut self) {
+        while self.kind(0) == Some(TokKind::Ident) && self.txt(1) == "::" {
+            self.bump();
+            self.bump();
+        }
+        if self.kind(0) == Some(TokKind::Ident) {
+            self.bump();
+        }
+        let braced = self.txt(1) == "{";
+        self.eat("!");
+        if matches!(self.txt(0), "(" | "[" | "{") {
+            self.skip_balanced();
+        }
+        if !braced {
+            self.eat(";");
+        }
+    }
+
+    /// Item-level error recovery: consume to a `;` at depth 0 (inclusive)
+    /// or stop before a `}` at depth 0; bracket groups are skipped whole.
+    fn recover_item(&mut self) {
+        let start = self.pos;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "{" | "(" | "[" => {
+                    self.skip_balanced();
+                    // A brace group usually ends an item (fn body, impl).
+                    if t.text == "{" {
+                        return;
+                    }
+                }
+                "}" => return,
+                _ => self.bump(),
+            }
+        }
+        let _ = start;
+    }
+
+    /// Consumes up to and including a `;` at depth 0.
+    fn consume_to_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "{" | "(" | "[" => {
+                    self.skip_balanced();
+                }
+                "}" => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes tokens until a `{` or `;` at depth 0 (not consumed).
+    fn consume_until_block_or_semi(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "{" | ";" | "}" => return,
+                "(" | "[" => {
+                    self.skip_balanced();
+                }
+                "<" => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident_or_empty(&mut self) -> String {
+        if self.kind(0) == Some(TokKind::Ident) {
+            let s = self.txt(0).to_string();
+            self.bump();
+            s
+        } else {
+            String::new()
+        }
+    }
+
+    fn skip_where(&mut self) {
+        if self.txt(0) == "where" {
+            self.consume_until_block_or_semi();
+        }
+    }
+
+    fn parse_struct(&mut self) -> ItemKind {
+        self.bump(); // struct
+        let name = self.ident_or_empty();
+        if self.txt(0) == "<" {
+            self.skip_angles();
+        }
+        self.skip_where();
+        let mut fields = Vec::new();
+        match self.txt(0) {
+            "{" => {
+                self.bump();
+                loop {
+                    self.skip_attrs();
+                    if self.txt(0) == "}" || self.peek().is_none() {
+                        break;
+                    }
+                    if self.txt(0) == "pub" {
+                        self.bump();
+                        if self.txt(0) == "(" {
+                            self.skip_balanced();
+                        }
+                    }
+                    let fname = self.ident_or_empty();
+                    if !self.eat(":") {
+                        // Not a named field we understand: recover.
+                        while !self.eof() && !matches!(self.txt(0), "," | "}") {
+                            if matches!(self.txt(0), "(" | "[" | "{" | "<") {
+                                if self.txt(0) == "<" {
+                                    self.skip_angles();
+                                } else {
+                                    self.skip_balanced();
+                                }
+                            } else {
+                                self.bump();
+                            }
+                        }
+                        self.eat(",");
+                        continue;
+                    }
+                    if let Some(ty) = self.parse_type(&[]) {
+                        fields.push((fname, ty));
+                    }
+                    self.eat(",");
+                }
+                self.eat("}");
+            }
+            "(" => {
+                self.skip_balanced();
+                self.skip_where();
+                self.eat(";");
+            }
+            _ => {
+                self.eat(";");
+            }
+        }
+        ItemKind::Struct { name, fields }
+    }
+
+    fn parse_impl(&mut self, is_test: bool) -> ItemKind {
+        self.bump(); // impl
+        if self.txt(0) == "<" {
+            self.skip_angles();
+        }
+        self.eat("!"); // negative impl
+        let t1 = self.parse_type(&["for"]);
+        let self_ty_repr = if self.txt(0) == "for" {
+            self.bump();
+            self.eat("!");
+            self.parse_type(&[])
+        } else {
+            t1
+        };
+        self.skip_where();
+        let self_ty = self_ty_repr.map(|t| type_head(&t.text)).unwrap_or_default();
+        if self.txt(0) == "{" {
+            self.bump();
+            let items = self.items_until(true, is_test);
+            self.eat("}");
+            ItemKind::Impl { self_ty, items }
+        } else {
+            self.eat(";");
+            ItemKind::Other
+        }
+    }
+
+    fn parse_fn(&mut self, vis: Vis) -> FnItem {
+        self.bump(); // fn
+        let name = self.ident_or_empty();
+        if self.txt(0) == "<" {
+            self.skip_angles();
+        }
+        let mut has_self = false;
+        let mut params = Vec::new();
+        if self.txt(0) == "(" {
+            let open = self.pos;
+            let close = {
+                // Find the matching `)` without consuming, so we can slice
+                // the parameter list by top-level commas.
+                let save = self.pos;
+                let end = self.skip_balanced();
+                self.pos = save;
+                end
+            };
+            self.bump(); // (
+            let mut field_start = self.pos;
+            let mut depth = 0usize;
+            while self.pos < close {
+                let t = &self.toks[self.pos];
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 && t.text == ")" {
+                            break;
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    "<" => depth += 1,
+                    ">" => depth = depth.saturating_sub(1),
+                    "," if depth == 0 => {
+                        self.param_from_range(field_start, self.pos, &mut has_self, &mut params);
+                        field_start = self.pos + 1;
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+            self.param_from_range(field_start, self.pos, &mut has_self, &mut params);
+            self.pos = close.max(self.pos);
+            let _ = open;
+        }
+        let mut ret = None;
+        let mut arrow_line = self.prev_line();
+        if self.txt(0) == "->" {
+            arrow_line = self.line();
+            self.bump();
+            ret = self.parse_type(&[]);
+        }
+        self.skip_where();
+        let body = if self.txt(0) == "{" {
+            Some(self.parse_block())
+        } else {
+            self.eat(";");
+            None
+        };
+        FnItem {
+            name,
+            vis,
+            has_self,
+            params,
+            ret,
+            arrow_line,
+            body,
+        }
+    }
+
+    /// Builds one [`Param`] (or detects the `self` receiver) from the token
+    /// range `[a, b)` of a parameter list.
+    fn param_from_range(
+        &mut self,
+        mut a: usize,
+        b: usize,
+        has_self: &mut bool,
+        params: &mut Vec<Param>,
+    ) {
+        // Strip leading attributes (`#[cfg(...)] x: f64`).
+        while let Some((next, _)) = self.scan_attr(a) {
+            a = next;
+        }
+        if a >= b {
+            return;
+        }
+        let toks = &self.toks[a..b];
+        // Top-level colon position.
+        let mut colon = None;
+        let mut depth = 0i32;
+        for (i, t) in toks.iter().enumerate() {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth == 0 => {
+                    colon = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let pre = &toks[..colon.unwrap_or(toks.len())];
+        let receiver = !pre.is_empty()
+            && pre.iter().all(|t| {
+                t.kind == TokKind::Lifetime
+                    || matches!(t.text.as_str(), "&" | "&&" | "mut" | "self")
+            })
+            && pre.iter().any(|t| t.text == "self");
+        if receiver {
+            *has_self = true;
+            return;
+        }
+        let Some(c) = colon else { return };
+        let name = pre
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let ty_text = normalize_type(&toks[c + 1..]);
+        if ty_text.is_empty() {
+            return;
+        }
+        params.push(Param {
+            name,
+            ty: TypeRepr {
+                text: ty_text,
+                line: toks[c.min(toks.len() - 1)].line,
+            },
+            line: toks[0].line,
+        });
+    }
+
+    /// Parses a type at the cursor into normalized text. Stops at depth-0
+    /// `,` `)` `;` `{` `}` `=` `>`, the ident `where`, and anything in
+    /// `extra_stops`. A depth-0 `->` continues the type only directly after
+    /// a `)` (fn-trait sugar like `Fn(f64) -> f64`).
+    fn parse_type(&mut self, extra_stops: &[&str]) -> Option<TypeRepr> {
+        let line = self.line();
+        let mut depth = 0i32;
+        let mut text = String::new();
+        let mut consumed = false;
+        while let Some(t) = self.peek() {
+            let s = t.text.as_str();
+            if depth == 0 {
+                let stop = match s {
+                    "," | ")" | ";" | "{" | "}" | "=" => true,
+                    ">" => true,
+                    "->" => !text.ends_with(')'),
+                    "where" => true,
+                    "|" if extra_stops.contains(&"|") => true,
+                    _ => extra_stops.contains(&s),
+                };
+                if stop {
+                    break;
+                }
+            }
+            match s {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            if t.kind != TokKind::Lifetime {
+                text.push_str(s);
+            }
+            consumed = true;
+            self.bump();
+        }
+        if consumed && !text.is_empty() {
+            Some(TypeRepr { text, line })
+        } else {
+            None
+        }
+    }
+    // -- blocks and statements ---------------------------------------------
+
+    /// Parses a `{ ... }` block at the cursor. Tolerant: if the cursor is
+    /// not on `{`, returns an empty block without consuming.
+    fn parse_block(&mut self) -> Block {
+        let line = self.line();
+        if !self.eat("{") {
+            return Block {
+                stmts: Vec::new(),
+                line,
+                end_line: line,
+            };
+        }
+        let mut stmts = Vec::new();
+        while self.peek().is_some_and(|t| t.text != "}") {
+            let before = self.pos;
+            if self.txt(0) == ";" {
+                self.bump();
+                continue;
+            }
+            // Peek past any attributes to classify what follows.
+            let (after_attrs, _) = self.scan_attrs_from(self.pos);
+            let head = self.toks.get(after_attrs).map_or("", |t| t.text.as_str());
+            let head2 = self
+                .toks
+                .get(after_attrs + 1)
+                .map_or("", |t| t.text.as_str());
+            if head == "let" {
+                self.skip_attrs();
+                stmts.push(self.parse_let());
+            } else if is_item_start(head, head2) {
+                stmts.push(Stmt::Item(self.parse_item(false)));
+            } else {
+                let stmt_start = self.pos;
+                self.skip_attrs();
+                match self.parse_expr(false) {
+                    Some(expr) => {
+                        if self.eat(";") {
+                            stmts.push(Stmt::Expr { expr, semi: true });
+                        } else if self.txt(0) == "}" || expr_is_blocklike(&expr) {
+                            stmts.push(Stmt::Expr { expr, semi: false });
+                        } else {
+                            // Trailing garbage after a parsed prefix:
+                            // recover to `;`/`}` and mark the whole
+                            // statement opaque.
+                            self.recover_stmt();
+                            self.mark_opaque(stmt_start, self.pos);
+                            stmts.push(Stmt::Expr {
+                                expr: Expr {
+                                    kind: ExprKind::Opaque,
+                                    line: self.toks[stmt_start].line,
+                                },
+                                semi: true,
+                            });
+                        }
+                    }
+                    None => {
+                        self.recover_stmt();
+                        self.mark_opaque(stmt_start, self.pos.max(stmt_start + 1));
+                        if self.pos == stmt_start {
+                            self.bump();
+                        }
+                        stmts.push(Stmt::Expr {
+                            expr: Expr {
+                                kind: ExprKind::Opaque,
+                                line: self.toks[stmt_start].line,
+                            },
+                            semi: true,
+                        });
+                    }
+                }
+            }
+            if self.pos == before {
+                self.mark_opaque(before, before + 1);
+                self.bump();
+            }
+        }
+        let end_line = self.line();
+        self.eat("}");
+        Block {
+            stmts,
+            line,
+            end_line,
+        }
+    }
+
+    /// Like [`scan_attr`](Self::scan_attr) but over a run of attributes.
+    fn scan_attrs_from(&self, mut at: usize) -> (usize, bool) {
+        let mut is_test = false;
+        while let Some((next, test)) = self.scan_attr(at) {
+            is_test |= test;
+            at = next;
+        }
+        (at, is_test)
+    }
+
+    /// Statement-level recovery: consume to a depth-0 `;` (inclusive) or
+    /// stop before the block's `}`.
+    fn recover_stmt(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "{" | "(" | "[" => {
+                    self.skip_balanced();
+                }
+                "}" => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.bump(); // let
+        let pat = self.parse_pat(true);
+        let ty = if self.eat(":") {
+            self.parse_type(&[])
+        } else {
+            None
+        };
+        let init = if self.eat("=") {
+            let start = self.pos;
+            match self.parse_expr(false) {
+                Some(e) => Some(e),
+                None => {
+                    self.recover_stmt();
+                    self.mark_opaque(start, self.pos);
+                    return Stmt::Let {
+                        pat,
+                        ty,
+                        init: Some(Expr {
+                            kind: ExprKind::Opaque,
+                            line,
+                        }),
+                        els: None,
+                        line,
+                    };
+                }
+            }
+        } else {
+            None
+        };
+        let els = if self.txt(0) == "else" {
+            self.bump();
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        if !self.eat(";") {
+            let start = self.pos;
+            self.recover_stmt();
+            self.mark_opaque(start, self.pos);
+        }
+        Stmt::Let {
+            pat,
+            ty,
+            init,
+            els,
+            line,
+        }
+    }
+
+    // -- patterns -----------------------------------------------------------
+
+    fn parse_pat(&mut self, allow_or: bool) -> Pat {
+        let line = self.line();
+        let first = self.parse_pat_single();
+        if allow_or && self.txt(0) == "|" {
+            let mut alts = vec![first];
+            while self.eat("|") {
+                alts.push(self.parse_pat_single());
+            }
+            return Pat {
+                kind: PatKind::Or(alts),
+                line,
+            };
+        }
+        first
+    }
+
+    fn parse_pat_single(&mut self) -> Pat {
+        let line = self.line();
+        let Some(t) = self.peek() else {
+            return Pat {
+                kind: PatKind::Other,
+                line,
+            };
+        };
+        match t.kind {
+            TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => {
+                self.bump();
+                if self.txt(0) == ".." || self.txt(0) == "..=" {
+                    self.bump();
+                    if matches!(
+                        self.kind(0),
+                        Some(TokKind::Int | TokKind::Float | TokKind::Char)
+                    ) {
+                        self.bump();
+                    }
+                }
+                Pat {
+                    kind: PatKind::Lit,
+                    line,
+                }
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "&" | "&&" => {
+                    self.bump();
+                    self.eat("mut");
+                    self.parse_pat_single()
+                }
+                "(" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while !self.eof() && self.txt(0) != ")" {
+                        elems.push(self.parse_pat(true));
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat(")");
+                    Pat {
+                        kind: PatKind::Tuple(elems),
+                        line,
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while !self.eof() && self.txt(0) != "]" {
+                        elems.push(self.parse_pat(true));
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat("]");
+                    Pat {
+                        kind: PatKind::Slice(elems),
+                        line,
+                    }
+                }
+                ".." | "..=" => {
+                    self.bump();
+                    // `..` rest, or `..=END` range-to pattern.
+                    if matches!(
+                        self.kind(0),
+                        Some(TokKind::Int | TokKind::Float | TokKind::Char)
+                    ) {
+                        self.bump();
+                        Pat {
+                            kind: PatKind::Lit,
+                            line,
+                        }
+                    } else {
+                        Pat {
+                            kind: PatKind::Rest,
+                            line,
+                        }
+                    }
+                }
+                "-" => {
+                    self.bump();
+                    if matches!(self.kind(0), Some(TokKind::Int | TokKind::Float)) {
+                        self.bump();
+                    }
+                    Pat {
+                        kind: PatKind::Lit,
+                        line,
+                    }
+                }
+                _ => {
+                    self.bump();
+                    Pat {
+                        kind: PatKind::Other,
+                        line,
+                    }
+                }
+            },
+            TokKind::Ident => {
+                match t.text.as_str() {
+                    "_" => {
+                        self.bump();
+                        return Pat {
+                            kind: PatKind::Wild,
+                            line,
+                        };
+                    }
+                    "mut" | "ref" => {
+                        self.bump();
+                        return self.parse_pat_single();
+                    }
+                    _ => {}
+                }
+                // Path (possibly a binding).
+                let mut segs = vec![self.txt(0).to_string()];
+                self.bump();
+                while self.txt(0) == "::" && self.kind(1) == Some(TokKind::Ident) {
+                    self.bump();
+                    segs.push(self.txt(0).to_string());
+                    self.bump();
+                }
+                if self.txt(0) == "@" {
+                    self.bump();
+                    let _ = self.parse_pat_single();
+                    return Pat {
+                        kind: PatKind::Ident(segs.pop().unwrap_or_default()),
+                        line,
+                    };
+                }
+                match self.txt(0) {
+                    "(" => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        while !self.eof() && self.txt(0) != ")" {
+                            elems.push(self.parse_pat(true));
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.eat(")");
+                        Pat {
+                            kind: PatKind::TupleStruct { path: segs, elems },
+                            line,
+                        }
+                    }
+                    "{" => {
+                        self.skip_balanced();
+                        Pat {
+                            kind: PatKind::Struct { path: segs },
+                            line,
+                        }
+                    }
+                    _ => {
+                        let is_binding = segs.len() == 1
+                            && segs[0]
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_lowercase() || c == '_');
+                        if is_binding {
+                            Pat {
+                                kind: PatKind::Ident(segs.pop().unwrap_or_default()),
+                                line,
+                            }
+                        } else {
+                            Pat {
+                                kind: PatKind::Path(segs),
+                                line,
+                            }
+                        }
+                    }
+                }
+            }
+            TokKind::Lifetime => {
+                self.bump();
+                Pat {
+                    kind: PatKind::Other,
+                    line,
+                }
+            }
+        }
+    }
+    // -- expressions --------------------------------------------------------
+    //
+    // Precedence (loosest first): assignment, range, `||`, `&&`,
+    // comparison, `|`, `^`, `&`, shifts, `+ -`, `* / %`, `as`, unary,
+    // postfix, primary. `ns` ("no struct") suppresses struct-literal
+    // parsing in `if`/`while`/`match`/`for` heads, exactly like rustc.
+
+    fn parse_expr(&mut self, ns: bool) -> Option<Expr> {
+        self.parse_assign(ns)
+    }
+
+    fn parse_assign(&mut self, ns: bool) -> Option<Expr> {
+        let lhs = self.parse_range(ns)?;
+        let line = lhs.line;
+        // Merged compound-assignment operators the lexer does not join.
+        let op: Option<String> = match self.txt(0) {
+            "=" | "+=" | "-=" | "*=" | "/=" => {
+                let s = self.txt(0).to_string();
+                self.bump();
+                Some(s)
+            }
+            "%" | "&" | "|" | "^" if self.txt(1) == "=" => {
+                let s = format!("{}=", self.txt(0));
+                self.bump();
+                self.bump();
+                Some(s)
+            }
+            "<" if self.txt(1) == "<" && self.txt(2) == "=" => {
+                self.bump();
+                self.bump();
+                self.bump();
+                Some("<<=".into())
+            }
+            ">" if self.txt(1) == ">" && self.txt(2) == "=" => {
+                self.bump();
+                self.bump();
+                self.bump();
+                Some(">>=".into())
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            let rhs = self.parse_assign(ns).unwrap_or(Expr {
+                kind: ExprKind::Opaque,
+                line,
+            });
+            return Some(Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            });
+        }
+        Some(lhs)
+    }
+
+    fn parse_range(&mut self, ns: bool) -> Option<Expr> {
+        let line = self.line();
+        if self.txt(0) == ".." || self.txt(0) == "..=" {
+            self.bump();
+            let hi = if self.can_start_expr(ns) {
+                self.parse_or(ns).map(Box::new)
+            } else {
+                None
+            };
+            return Some(Expr {
+                kind: ExprKind::Range { lo: None, hi },
+                line,
+            });
+        }
+        let lo = self.parse_or(ns)?;
+        if self.txt(0) == ".." || self.txt(0) == "..=" {
+            let line = lo.line;
+            self.bump();
+            let hi = if self.can_start_expr(ns) {
+                self.parse_or(ns).map(Box::new)
+            } else {
+                None
+            };
+            return Some(Expr {
+                kind: ExprKind::Range {
+                    lo: Some(Box::new(lo)),
+                    hi,
+                },
+                line,
+            });
+        }
+        Some(lo)
+    }
+
+    fn can_start_expr(&self, ns: bool) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => match t.text.as_str() {
+                ")" | "]" | "}" | "," | ";" | "=>" | "=" => false,
+                "{" => !ns,
+                _ => true,
+            },
+        }
+    }
+
+    fn parse_or(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_and(ns)?;
+        while self.txt(0) == "||" {
+            self.bump();
+            let rhs = self.parse_and(ns)?;
+            lhs = bin("||", lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_and(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_cmp(ns)?;
+        while self.txt(0) == "&&" {
+            self.bump();
+            let rhs = self.parse_cmp(ns)?;
+            lhs = bin("&&", lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_cmp(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_bitor(ns)?;
+        loop {
+            let op = match self.txt(0) {
+                "==" | "!=" | "<=" | ">=" => self.txt(0),
+                "<" if self.txt(1) != "<" => "<",
+                ">" if self.txt(1) != ">" => ">",
+                _ => break,
+            };
+            let op = op.to_string();
+            self.bump();
+            let rhs = self.parse_bitor(ns)?;
+            lhs = bin(&op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_bitor(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_bitxor(ns)?;
+        while self.txt(0) == "|" && self.txt(1) != "=" {
+            self.bump();
+            let rhs = self.parse_bitxor(ns)?;
+            lhs = bin("|", lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_bitxor(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_bitand(ns)?;
+        while self.txt(0) == "^" && self.txt(1) != "=" {
+            self.bump();
+            let rhs = self.parse_bitand(ns)?;
+            lhs = bin("^", lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_bitand(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_shift(ns)?;
+        while self.txt(0) == "&" && self.txt(1) != "=" {
+            self.bump();
+            let rhs = self.parse_shift(ns)?;
+            lhs = bin("&", lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_shift(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_additive(ns)?;
+        loop {
+            let op = if self.txt(0) == "<" && self.txt(1) == "<" && self.txt(2) != "=" {
+                "<<"
+            } else if self.txt(0) == ">" && self.txt(1) == ">" && self.txt(2) != "=" {
+                ">>"
+            } else {
+                break;
+            };
+            self.bump();
+            self.bump();
+            let rhs = self.parse_additive(ns)?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_additive(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_mul(ns)?;
+        while matches!(self.txt(0), "+" | "-") {
+            let op = self.txt(0).to_string();
+            self.bump();
+            let rhs = self.parse_mul(ns)?;
+            lhs = bin(&op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_mul(&mut self, ns: bool) -> Option<Expr> {
+        let mut lhs = self.parse_cast(ns)?;
+        loop {
+            let op = match self.txt(0) {
+                "*" | "/" => self.txt(0).to_string(),
+                "%" if self.txt(1) != "=" => "%".to_string(),
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_cast(ns)?;
+            lhs = bin(&op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn parse_cast(&mut self, ns: bool) -> Option<Expr> {
+        let mut e = self.parse_unary(ns)?;
+        while self.txt(0) == "as" {
+            let line = e.line;
+            self.bump();
+            let ty = self.parse_cast_type().unwrap_or(TypeRepr {
+                text: String::new(),
+                line,
+            });
+            e = Expr {
+                kind: ExprKind::Cast(Box::new(e), ty),
+                line,
+            };
+        }
+        Some(e)
+    }
+
+    /// Narrow type parser for `as` casts: a path with optional pointers/
+    /// references and balanced generic arguments; stops before any
+    /// operator so `x as f64 + y` keeps the `+` as arithmetic.
+    fn parse_cast_type(&mut self) -> Option<TypeRepr> {
+        let line = self.line();
+        let mut text = String::new();
+        // Pointer / reference sigils.
+        while matches!(self.txt(0), "*" | "&" | "&&") {
+            text.push_str(self.txt(0));
+            self.bump();
+            if matches!(self.txt(0), "const" | "mut") {
+                text.push_str(self.txt(0));
+                self.bump();
+            }
+        }
+        loop {
+            match self.kind(0) {
+                Some(TokKind::Ident) if self.txt(0) != "as" => {
+                    text.push_str(self.txt(0));
+                    self.bump();
+                }
+                _ => match self.txt(0) {
+                    "::" => {
+                        text.push_str("::");
+                        self.bump();
+                    }
+                    "<" => {
+                        let start = self.pos;
+                        self.skip_angles();
+                        for t in &self.toks[start..self.pos] {
+                            if t.kind != TokKind::Lifetime {
+                                text.push_str(&t.text);
+                            }
+                        }
+                    }
+                    "(" | "[" => {
+                        let start = self.pos;
+                        self.skip_balanced();
+                        for t in &self.toks[start..self.pos] {
+                            if t.kind != TokKind::Lifetime {
+                                text.push_str(&t.text);
+                            }
+                        }
+                    }
+                    _ => break,
+                },
+            }
+        }
+        if text.is_empty() {
+            None
+        } else {
+            Some(TypeRepr { text, line })
+        }
+    }
+
+    fn parse_unary(&mut self, ns: bool) -> Option<Expr> {
+        let line = self.line();
+        match self.txt(0) {
+            "-" => {
+                self.bump();
+                let e = self.parse_unary(ns)?;
+                Some(Expr {
+                    kind: ExprKind::Unary("-", Box::new(e)),
+                    line,
+                })
+            }
+            "!" => {
+                self.bump();
+                let e = self.parse_unary(ns)?;
+                Some(Expr {
+                    kind: ExprKind::Unary("!", Box::new(e)),
+                    line,
+                })
+            }
+            "*" => {
+                self.bump();
+                let e = self.parse_unary(ns)?;
+                Some(Expr {
+                    kind: ExprKind::Unary("*", Box::new(e)),
+                    line,
+                })
+            }
+            "&" | "&&" => {
+                let double = self.txt(0) == "&&";
+                self.bump();
+                let mutable = self.eat("mut");
+                let inner = self.parse_unary(ns)?;
+                let e = Expr {
+                    kind: ExprKind::Ref {
+                        mutable,
+                        expr: Box::new(inner),
+                    },
+                    line,
+                };
+                Some(if double {
+                    Expr {
+                        kind: ExprKind::Ref {
+                            mutable: false,
+                            expr: Box::new(e),
+                        },
+                        line,
+                    }
+                } else {
+                    e
+                })
+            }
+            _ => self.parse_postfix(ns),
+        }
+    }
+
+    fn parse_postfix(&mut self, ns: bool) -> Option<Expr> {
+        let mut e = self.parse_primary(ns)?;
+        loop {
+            match self.txt(0) {
+                "." => {
+                    let line = self.line();
+                    match self.kind(1) {
+                        Some(TokKind::Ident) => {
+                            self.bump();
+                            let name = self.txt(0).to_string();
+                            self.bump();
+                            // Turbofish on a method: `.collect::<Vec<_>>()`.
+                            if self.txt(0) == "::" && self.txt(1) == "<" {
+                                self.bump();
+                                self.skip_angles();
+                            }
+                            if self.txt(0) == "(" {
+                                let args = self.parse_call_args();
+                                e = Expr {
+                                    kind: ExprKind::MethodCall {
+                                        recv: Box::new(e),
+                                        method: name,
+                                        args,
+                                    },
+                                    line,
+                                };
+                            } else {
+                                e = Expr {
+                                    kind: ExprKind::Field(Box::new(e), name),
+                                    line,
+                                };
+                            }
+                        }
+                        Some(TokKind::Int) => {
+                            self.bump();
+                            let idx = self.txt(0).to_string();
+                            self.bump();
+                            e = Expr {
+                                kind: ExprKind::Field(Box::new(e), idx),
+                                line,
+                            };
+                        }
+                        Some(TokKind::Float) => {
+                            // `x.0.0` lexes the `0.0` as one float token:
+                            // split it into two tuple projections.
+                            self.bump();
+                            let t = self.txt(0).to_string();
+                            self.bump();
+                            let mut parts = t.split('.');
+                            let a = parts.next().unwrap_or("0").to_string();
+                            let b = parts.next().unwrap_or("0").to_string();
+                            e = Expr {
+                                kind: ExprKind::Field(Box::new(e), a),
+                                line,
+                            };
+                            e = Expr {
+                                kind: ExprKind::Field(Box::new(e), b),
+                                line,
+                            };
+                        }
+                        _ => break,
+                    }
+                }
+                "(" => {
+                    let line = e.line;
+                    let args = self.parse_call_args();
+                    e = Expr {
+                        kind: ExprKind::Call(Box::new(e), args),
+                        line,
+                    };
+                }
+                "[" => {
+                    let line = self.line();
+                    self.bump();
+                    let idx = match self.parse_expr(false) {
+                        Some(i) => i,
+                        None => {
+                            let start = self.pos;
+                            self.recover_to_closer("]");
+                            self.mark_opaque(start, self.pos);
+                            Expr {
+                                kind: ExprKind::Opaque,
+                                line,
+                            }
+                        }
+                    };
+                    self.eat("]");
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                "?" => {
+                    let line = e.line;
+                    self.bump();
+                    e = Expr {
+                        kind: ExprKind::Try(Box::new(e)),
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Some(e)
+    }
+
+    /// Parses `( a, b, ... )` call arguments at the cursor (on `(`).
+    /// Failed elements are skipped to the next depth-0 `,`/`)` and kept as
+    /// `Opaque`, with the skipped tokens marked for the fallback.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat("(") {
+            return args;
+        }
+        loop {
+            if self.eof() {
+                break;
+            }
+            if self.txt(0) == ")" {
+                self.bump();
+                break;
+            }
+            let start = self.pos;
+            match self.parse_expr(false) {
+                Some(e) if matches!(self.txt(0), "," | ")") => args.push(e),
+                _ => {
+                    self.pos = start;
+                    let line = self.line();
+                    self.recover_to_arg_end();
+                    self.mark_opaque(start, self.pos);
+                    args.push(Expr {
+                        kind: ExprKind::Opaque,
+                        line,
+                    });
+                }
+            }
+            if !self.eat(",") && self.txt(0) != ")" {
+                // Malformed separator: bail out of the list.
+                let start = self.pos;
+                self.recover_to_closer(")");
+                self.mark_opaque(start, self.pos);
+                break;
+            }
+        }
+        args
+    }
+
+    /// Consumes to the next depth-0 `,` (not consumed) or `)` (not
+    /// consumed), skipping nested groups.
+    fn recover_to_arg_end(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                "," if depth == 0 => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes up to and including `closer` at depth 0.
+    fn recover_to_closer(&mut self, closer: &str) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 && t.text == closer {
+                        self.bump();
+                        return;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+    fn parse_primary(&mut self, ns: bool) -> Option<Expr> {
+        let line = self.line();
+        let t = self.peek()?;
+        match t.kind {
+            TokKind::Int => {
+                let s = t.text.clone();
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::Int(s),
+                    line,
+                })
+            }
+            TokKind::Float => {
+                let s = t.text.clone();
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::Float(s),
+                    line,
+                })
+            }
+            TokKind::Str => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::Str,
+                    line,
+                })
+            }
+            TokKind::Char => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::Char,
+                    line,
+                })
+            }
+            TokKind::Lifetime => {
+                // Labeled loop/block: `'a: loop { ... }`.
+                self.bump();
+                self.eat(":");
+                self.parse_primary(ns)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.bump();
+                    if self.eat(")") {
+                        return Some(Expr {
+                            kind: ExprKind::Tuple(Vec::new()),
+                            line,
+                        });
+                    }
+                    let mut elems = Vec::new();
+                    let mut trailing_comma = false;
+                    loop {
+                        let start = self.pos;
+                        match self.parse_expr(false) {
+                            Some(e) if matches!(self.txt(0), "," | ")") => elems.push(e),
+                            _ => {
+                                self.pos = start;
+                                self.recover_to_arg_end();
+                                self.mark_opaque(start, self.pos);
+                                elems.push(Expr {
+                                    kind: ExprKind::Opaque,
+                                    line,
+                                });
+                            }
+                        }
+                        if self.eat(",") {
+                            trailing_comma = true;
+                            if self.txt(0) == ")" {
+                                break;
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(")");
+                    if elems.len() == 1 && !trailing_comma {
+                        Some(elems.pop().unwrap())
+                    } else {
+                        Some(Expr {
+                            kind: ExprKind::Tuple(elems),
+                            line,
+                        })
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while !self.eof() && self.txt(0) != "]" {
+                        let start = self.pos;
+                        match self.parse_expr(false) {
+                            Some(e) if matches!(self.txt(0), "," | ";" | "]") => elems.push(e),
+                            _ => {
+                                self.pos = start;
+                                let mut depth = 0usize;
+                                while let Some(t) = self.peek() {
+                                    match t.text.as_str() {
+                                        "(" | "[" | "{" => depth += 1,
+                                        ")" | "]" | "}" => {
+                                            if depth == 0 {
+                                                break;
+                                            }
+                                            depth -= 1;
+                                        }
+                                        "," | ";" if depth == 0 => break,
+                                        _ => {}
+                                    }
+                                    self.bump();
+                                }
+                                self.mark_opaque(start, self.pos);
+                                elems.push(Expr {
+                                    kind: ExprKind::Opaque,
+                                    line,
+                                });
+                            }
+                        }
+                        if !self.eat(",") && !self.eat(";") {
+                            break;
+                        }
+                    }
+                    self.eat("]");
+                    Some(Expr {
+                        kind: ExprKind::Array(elems),
+                        line,
+                    })
+                }
+                "{" => {
+                    let b = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::Block(b),
+                        line,
+                    })
+                }
+                "|" | "||" => self.parse_closure(),
+                "<" => {
+                    // Qualified path `<T as Trait>::method(...)`.
+                    self.skip_angles();
+                    if self.txt(0) == "::" {
+                        self.bump();
+                        let mut segs = Vec::new();
+                        while self.kind(0) == Some(TokKind::Ident) {
+                            segs.push(self.txt(0).to_string());
+                            self.bump();
+                            if self.txt(0) == "::" && self.kind(1) == Some(TokKind::Ident) {
+                                self.bump();
+                            } else if self.txt(0) == "::" && self.txt(1) == "<" {
+                                self.bump();
+                                self.skip_angles();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(Expr {
+                            kind: ExprKind::Path(segs),
+                            line,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                "#" => {
+                    // Attribute on an expression: skip and retry once.
+                    self.skip_attrs();
+                    self.parse_primary(ns)
+                }
+                _ => None,
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(),
+                "match" => self.parse_match(),
+                "while" => {
+                    self.bump();
+                    let cond = if self.eat("let") {
+                        let _pat = self.parse_pat(true);
+                        self.eat("=");
+                        self.parse_expr(true)?
+                    } else {
+                        self.parse_expr(true)?
+                    };
+                    let body = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::While {
+                            cond: Box::new(cond),
+                            body,
+                        },
+                        line,
+                    })
+                }
+                "loop" => {
+                    self.bump();
+                    let body = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::Loop(body),
+                        line,
+                    })
+                }
+                "for" => {
+                    self.bump();
+                    let pat = self.parse_pat(false);
+                    if !self.eat("in") {
+                        return None;
+                    }
+                    let iter = self.parse_expr(true)?;
+                    let body = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::For {
+                            pat,
+                            iter: Box::new(iter),
+                            body,
+                        },
+                        line,
+                    })
+                }
+                "unsafe" => {
+                    self.bump();
+                    let b = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::Block(b),
+                        line,
+                    })
+                }
+                "async" => {
+                    self.bump();
+                    self.eat("move");
+                    let b = self.parse_block();
+                    Some(Expr {
+                        kind: ExprKind::Block(b),
+                        line,
+                    })
+                }
+                "return" => {
+                    self.bump();
+                    let e = if self.can_start_expr(ns) {
+                        self.parse_expr(ns).map(Box::new)
+                    } else {
+                        None
+                    };
+                    Some(Expr {
+                        kind: ExprKind::Return(e),
+                        line,
+                    })
+                }
+                "break" => {
+                    self.bump();
+                    if self.kind(0) == Some(TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    let e = if self.can_start_expr(ns) {
+                        self.parse_expr(ns).map(Box::new)
+                    } else {
+                        None
+                    };
+                    Some(Expr {
+                        kind: ExprKind::Break(e),
+                        line,
+                    })
+                }
+                "continue" => {
+                    self.bump();
+                    if self.kind(0) == Some(TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    Some(Expr {
+                        kind: ExprKind::Continue,
+                        line,
+                    })
+                }
+                "move" => {
+                    self.bump();
+                    if matches!(self.txt(0), "|" | "||") {
+                        self.parse_closure()
+                    } else {
+                        None
+                    }
+                }
+                _ => self.parse_path_expr(ns),
+            },
+        }
+    }
+
+    fn parse_if(&mut self) -> Option<Expr> {
+        let line = self.line();
+        self.bump(); // if
+        if self.eat("let") {
+            let pat = self.parse_pat(true);
+            self.eat("=");
+            let scrutinee = self.parse_expr(true)?;
+            let then = self.parse_block();
+            let els = self.parse_else();
+            return Some(Expr {
+                kind: ExprKind::IfLet {
+                    pat,
+                    scrutinee: Box::new(scrutinee),
+                    then,
+                    els,
+                },
+                line,
+            });
+        }
+        let cond = self.parse_expr(true)?;
+        let then = self.parse_block();
+        let els = self.parse_else();
+        Some(Expr {
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+            line,
+        })
+    }
+
+    fn parse_else(&mut self) -> Option<Box<Expr>> {
+        if self.txt(0) != "else" {
+            return None;
+        }
+        self.bump();
+        if self.txt(0) == "if" {
+            self.parse_if().map(Box::new)
+        } else {
+            let line = self.line();
+            let b = self.parse_block();
+            Some(Box::new(Expr {
+                kind: ExprKind::Block(b),
+                line,
+            }))
+        }
+    }
+
+    fn parse_match(&mut self) -> Option<Expr> {
+        let line = self.line();
+        self.bump(); // match
+        let scrutinee = self.parse_expr(true)?;
+        if !self.eat("{") {
+            return None;
+        }
+        let mut arms = Vec::new();
+        loop {
+            if self.eof() || self.txt(0) == "}" {
+                break;
+            }
+            if self.txt(0) == "," {
+                self.bump();
+                continue;
+            }
+            let arm_start = self.pos;
+            let arm_line = self.line();
+            self.skip_attrs();
+            let pat = self.parse_pat(true);
+            let guard = if self.eat("if") {
+                self.parse_expr(true)
+            } else {
+                None
+            };
+            if !self.eat("=>") {
+                // Unparseable arm head: skip to the next arm boundary.
+                self.recover_arm();
+                self.mark_opaque(arm_start, self.pos);
+                continue;
+            }
+            let body_start = self.pos;
+            let body = match self.parse_expr(false) {
+                Some(e) if matches!(self.txt(0), "," | "}") || expr_is_blocklike(&e) => e,
+                _ => {
+                    self.pos = body_start;
+                    self.recover_arm();
+                    self.mark_opaque(body_start, self.pos);
+                    Expr {
+                        kind: ExprKind::Opaque,
+                        line: arm_line,
+                    }
+                }
+            };
+            arms.push(Arm {
+                pat,
+                guard,
+                body,
+                line: arm_line,
+            });
+        }
+        self.eat("}");
+        Some(Expr {
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+            line,
+        })
+    }
+
+    /// Skips to the next arm boundary: a depth-0 `,` (consumed) or the
+    /// match's `}` (not consumed).
+    fn recover_arm(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "}" => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                "," if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_closure(&mut self) -> Option<Expr> {
+        let line = self.line();
+        let mut params = Vec::new();
+        if self.eat("||") {
+            // No parameters.
+        } else {
+            self.eat("|");
+            loop {
+                if self.eof() {
+                    break;
+                }
+                if self.txt(0) == "|" {
+                    self.bump();
+                    break;
+                }
+                // One parameter: strip sigils, record the binding name.
+                while matches!(self.txt(0), "&" | "&&" | "mut" | "ref") {
+                    self.bump();
+                }
+                match self.txt(0) {
+                    "(" | "[" => {
+                        self.skip_balanced();
+                        params.push(String::new());
+                    }
+                    _ if self.kind(0) == Some(TokKind::Ident) => {
+                        params.push(self.txt(0).to_string());
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+                if self.eat(":") {
+                    let _ = self.parse_type(&["|"]);
+                }
+                if !self.eat(",") && self.txt(0) != "|" {
+                    // Unexpected token inside the parameter list.
+                    while !self.eof() && self.txt(0) != "|" {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if self.eat("->") {
+            let _ = self.parse_type(&[]);
+            // With an explicit return type the body must be a block.
+            let b = self.parse_block();
+            return Some(Expr {
+                kind: ExprKind::Closure {
+                    params,
+                    body: Box::new(Expr {
+                        kind: ExprKind::Block(b),
+                        line,
+                    }),
+                },
+                line,
+            });
+        }
+        let body = self.parse_expr(false)?;
+        Some(Expr {
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+            line,
+        })
+    }
+
+    /// Path expression, possibly a macro call or struct literal.
+    fn parse_path_expr(&mut self, ns: bool) -> Option<Expr> {
+        let line = self.line();
+        let mut segs = vec![self.txt(0).to_string()];
+        self.bump();
+        loop {
+            if self.txt(0) == "::" && self.kind(1) == Some(TokKind::Ident) {
+                self.bump();
+                segs.push(self.txt(0).to_string());
+                self.bump();
+            } else if self.txt(0) == "::" && self.txt(1) == "<" {
+                // Turbofish: skip the generic arguments.
+                self.bump();
+                self.skip_angles();
+            } else {
+                break;
+            }
+        }
+        if self.txt(0) == "!" && matches!(self.txt(1), "(" | "[" | "{") {
+            self.bump();
+            let start = self.pos;
+            self.skip_balanced();
+            self.mark_opaque(start, self.pos);
+            return Some(Expr {
+                kind: ExprKind::MacroCall { path: segs },
+                line,
+            });
+        }
+        if self.txt(0) == "{" && !ns {
+            return self.parse_struct_lit(segs, line);
+        }
+        Some(Expr {
+            kind: ExprKind::Path(segs),
+            line,
+        })
+    }
+
+    fn parse_struct_lit(&mut self, path: Vec<String>, line: u32) -> Option<Expr> {
+        self.bump(); // {
+        let mut fields = Vec::new();
+        loop {
+            if self.eof() || self.txt(0) == "}" {
+                break;
+            }
+            match self.txt(0) {
+                "," => {
+                    self.bump();
+                    continue;
+                }
+                ".." => {
+                    // Functional-update base: `..Default::default()`.
+                    self.bump();
+                    let _ = self.parse_expr(false);
+                    continue;
+                }
+                _ => {}
+            }
+            if self.kind(0) != Some(TokKind::Ident) {
+                let start = self.pos;
+                self.recover_to_closer("}");
+                self.mark_opaque(start, self.pos);
+                return Some(Expr {
+                    kind: ExprKind::StructLit { path, fields },
+                    line,
+                });
+            }
+            let fline = self.line();
+            let name = self.txt(0).to_string();
+            self.bump();
+            if self.eat(":") {
+                let start = self.pos;
+                match self.parse_expr(false) {
+                    Some(e) if matches!(self.txt(0), "," | "}") => fields.push((name, e)),
+                    _ => {
+                        self.pos = start;
+                        self.recover_to_arg_end();
+                        self.mark_opaque(start, self.pos);
+                        fields.push((
+                            name,
+                            Expr {
+                                kind: ExprKind::Opaque,
+                                line: fline,
+                            },
+                        ));
+                    }
+                }
+            } else {
+                // Shorthand field.
+                fields.push((
+                    name.clone(),
+                    Expr {
+                        kind: ExprKind::Path(vec![name]),
+                        line: fline,
+                    },
+                ));
+            }
+        }
+        self.eat("}");
+        Some(Expr {
+            kind: ExprKind::StructLit { path, fields },
+            line,
+        })
+    }
+}
+
+/// True when `head` (the first non-attribute token of a statement) starts
+/// an item rather than an expression.
+fn is_item_start(head: &str, head2: &str) -> bool {
+    if ITEM_STARTERS.contains(&head) {
+        return true;
+    }
+    match head {
+        "const" => head2 != "{",
+        "unsafe" => matches!(head2, "fn" | "impl" | "trait" | "extern"),
+        "async" => head2 == "fn",
+        _ => false,
+    }
+}
+
+/// Block-like expressions may stand as statements without a `;`.
+fn expr_is_blocklike(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::If { .. }
+            | ExprKind::IfLet { .. }
+            | ExprKind::Match { .. }
+            | ExprKind::While { .. }
+            | ExprKind::Loop(_)
+            | ExprKind::For { .. }
+            | ExprKind::Block(_)
+            | ExprKind::MacroCall { .. }
+    )
+}
+
+fn bin(op: &str, lhs: Expr, rhs: Expr) -> Expr {
+    let line = lhs.line;
+    Expr {
+        kind: ExprKind::Binary(op.to_string(), Box::new(lhs), Box::new(rhs)),
+        line,
+    }
+}
+
+/// Strips references, `dyn`, and generic arguments from a normalized type
+/// text and returns the final path segment: `&mutVec<f64>` → `Vec`,
+/// `units::Watts` → `Watts`.
+fn type_head(text: &str) -> String {
+    let t = text.trim_start_matches('&');
+    let t = t.strip_prefix("mut").unwrap_or(t);
+    let t = t.strip_prefix("dyn").unwrap_or(t);
+    let t = t.strip_prefix("impl").unwrap_or(t);
+    let t = t.split('<').next().unwrap_or(t);
+    t.rsplit("::").next().unwrap_or(t).to_string()
+}
+
+/// Concatenates a token slice into normalized (spaceless) type text,
+/// skipping lifetimes.
+fn normalize_type(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if t.kind != TokKind::Lifetime {
+            s.push_str(&t.text);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> Parsed {
+        parse(src)
+    }
+
+    fn first_fn(p: &Parsed) -> &FnItem {
+        for item in &p.file.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                return f;
+            }
+        }
+        panic!("no fn item parsed");
+    }
+
+    #[test]
+    fn simple_fn_signature_and_body() {
+        let p = parsed("pub fn f(x: f64, w: Watts) -> Watts {\n    w\n}\n");
+        let f = first_fn(&p);
+        assert_eq!(f.name, "f");
+        assert_eq!(f.vis, Vis::Pub);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "x");
+        assert_eq!(f.params[0].ty.text, "f64");
+        assert_eq!(f.params[1].ty.text, "Watts");
+        assert_eq!(f.ret.as_ref().unwrap().text, "Watts");
+        assert!(
+            p.opaque.is_empty(),
+            "clean fn should have no opaque: {:?}",
+            p.opaque
+        );
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn method_chain_and_closure() {
+        let p = parsed("fn f(v: Vec<f64>) -> f64 {\n    v.iter().map(|x| x * 2.0).sum()\n}\n");
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, semi: false } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expected tail expr");
+        };
+        let ExprKind::MethodCall { method, recv, .. } = &expr.kind else {
+            panic!("expected method call, got {:?}", expr.kind);
+        };
+        assert_eq!(method, "sum");
+        let ExprKind::MethodCall { method, args, .. } = &recv.kind else {
+            panic!("expected map call");
+        };
+        assert_eq!(method, "map");
+        assert!(matches!(args[0].kind, ExprKind::Closure { .. }));
+    }
+
+    #[test]
+    fn let_wildcard_discarding_call() {
+        let p = parsed("fn f(w: &Wal) {\n    let _ = w.sync();\n}\n");
+        let f = first_fn(&p);
+        let Stmt::Let { pat, init, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expected let");
+        };
+        assert!(pat.is_wild());
+        assert!(matches!(
+            init.as_ref().unwrap().kind,
+            ExprKind::MethodCall { .. }
+        ));
+    }
+
+    #[test]
+    fn macro_item_then_fn_still_parses() {
+        let p =
+            parsed("unit! {\n    name: Watts, suffix: \"W\",\n}\n\nfn after() -> f64 { 1.0 }\n");
+        let f = first_fn(&p);
+        assert_eq!(f.name, "after");
+        assert!(!p.opaque.is_empty(), "macro body should be opaque");
+    }
+
+    #[test]
+    fn garbage_recovers_and_marks_opaque() {
+        let p = parsed("fn ok() {}\n@@ %% what even is this ;\nfn also_ok() {}\n");
+        let names: Vec<&str> = p
+            .file
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["ok", "also_ok"]);
+        assert!(!p.opaque.is_empty());
+    }
+
+    #[test]
+    fn match_arms_with_err_pattern() {
+        let p = parsed(
+            "fn f(r: Result<u32, E>) -> u32 {\n    match r {\n        Ok(v) => v,\n        Err(_) => 0,\n    }\n}\n",
+        );
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expected match tail");
+        };
+        let ExprKind::Match { arms, .. } = &expr.kind else {
+            panic!("expected match, got {:?}", expr.kind);
+        };
+        assert_eq!(arms.len(), 2);
+        let PatKind::TupleStruct { path, elems } = &arms[1].pat.kind else {
+            panic!("expected Err(..) pattern");
+        };
+        assert_eq!(path[0], "Err");
+        assert!(elems[0].is_wild());
+    }
+
+    #[test]
+    fn tuple_projection_float_split() {
+        let p = parsed("fn f(x: ((f64, f64), f64)) -> f64 { x.0.0 }\n");
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!();
+        };
+        let ExprKind::Field(inner, b) = &expr.kind else {
+            panic!("expected field, got {:?}", expr.kind);
+        };
+        assert_eq!(b, "0");
+        assert!(matches!(&inner.kind, ExprKind::Field(_, a) if a == "0"));
+    }
+
+    #[test]
+    fn impl_for_records_self_type() {
+        let p = parsed(
+            "impl std::ops::Add for Watts {\n    fn add(self, rhs: Watts) -> Watts { self }\n}\n",
+        );
+        let ItemKind::Impl { self_ty, items } = &p.file.items[0].kind else {
+            panic!("expected impl, got {:?}", p.file.items[0].kind);
+        };
+        assert_eq!(self_ty, "Watts");
+        assert_eq!(items.len(), 1);
+        let ItemKind::Fn(f) = &items[0].kind else {
+            panic!();
+        };
+        assert!(f.has_self);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_children_test() {
+        let p = parsed(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\nfn lib() {}\n",
+        );
+        let ItemKind::Mod { items, .. } = &p.file.items[0].kind else {
+            panic!("expected mod");
+        };
+        assert!(p.file.items[0].is_test);
+        assert!(items[0].is_test);
+        assert!(!p.file.items[1].is_test);
+    }
+
+    #[test]
+    fn struct_literal_not_parsed_in_if_cond() {
+        let p = parsed("fn f(c: bool) -> u32 {\n    if c { 1 } else { 2 }\n}\n");
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!();
+        };
+        let ExprKind::If { cond, els, .. } = &expr.kind else {
+            panic!("expected if, got {:?}", expr.kind);
+        };
+        assert!(matches!(&cond.kind, ExprKind::Path(p) if p[0] == "c"));
+        assert!(els.is_some());
+    }
+
+    #[test]
+    fn struct_literal_in_expr_position() {
+        let p = parsed("fn f() -> Bid {\n    Bid { price: Price::new(1.0), qty: 2 }\n}\n");
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!();
+        };
+        let ExprKind::StructLit { path, fields } = &expr.kind else {
+            panic!("expected struct lit, got {:?}", expr.kind);
+        };
+        assert_eq!(path[0], "Bid");
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn shift_merged_in_infix_position() {
+        let p = parsed("fn f(x: u64) -> u64 { x << 3 }\n");
+        let f = first_fn(&p);
+        let Stmt::Expr { expr, .. } = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(&expr.kind, ExprKind::Binary(op, _, _) if op == "<<"));
+    }
+
+    #[test]
+    fn every_token_is_ast_or_opaque_for_weird_input() {
+        // Smoke test: a grab-bag of constructs must not lose the trailing fn.
+        let src = r#"
+use std::collections::BTreeMap;
+const MAX: f64 = 10.0;
+enum E { A, B(u32) }
+type Alias = Vec<f64>;
+static S: u32 = 1;
+trait T { fn required(&self) -> f64; }
+fn last(v: &[f64]) -> Option<f64> { v.first().copied() }
+"#;
+        let p = parsed(src);
+        let names: Vec<&str> = p
+            .file
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Fn(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["last"]);
+    }
+
+    #[test]
+    fn dump_is_stable() {
+        let src = "fn f(x: f64) -> f64 { x + 1.0 }\n";
+        let a = parsed(src).file.dump();
+        let b = parsed(src).file.dump();
+        assert_eq!(a, b);
+        assert!(a.contains("fn f"));
+        assert!(a.contains("binary +"));
+    }
+}

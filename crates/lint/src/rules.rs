@@ -1,11 +1,26 @@
-//! The five rule families (L1–L5) plus exemption handling.
+//! The eight rule families (L1–L8) plus exemption handling.
 //!
-//! Each rule walks the token stream from [`crate::lexer`] looking for a
-//! pattern; hits inside `#[cfg(test)]` / `#[test]` regions are dropped, and
-//! hits covered by an audited `// lint:` exemption comment are counted but
-//! not reported.
+//! Since the v2 engine, rules run primarily as visitors over the AST from
+//! [`crate::parser`]; the legacy token-pattern scans survive as a fallback
+//! over the parser's opaque regions (macro bodies, `use`/`enum` items,
+//! recovery spans), so parse gaps degrade precision but never recall.
+//! Hits inside `#[cfg(test)]` / `#[test]` regions are dropped, and hits
+//! covered by an audited `// lint:` exemption comment are counted but not
+//! reported. A justified exemption that no longer suppresses anything is
+//! itself a violation (stale-exemption hygiene).
 
-use crate::lexer::{lex, ExemptionComment, Lexed, Tok, TokKind};
+use crate::ast::{
+    Arm, Block, Expr, ExprKind, FileSymbols, FnItem, Item, ItemKind, PatKind, Stmt, SymbolTable,
+    TypeRepr,
+};
+use crate::flow;
+use crate::lexer::{ExemptionComment, Tok, TokKind};
+use crate::parser::{parse, Parsed};
+
+/// Version of the rule set. Bump on any change to rule logic, scopes, or
+/// messages: the incremental cache keys on it, so a bump invalidates every
+/// cached diagnostic.
+pub const RULESET_VERSION: u32 = 2;
 
 /// Rule families enforced by the lint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,7 +37,17 @@ pub enum Rule {
     /// `opt`, `eql`, `vcg`) directly; they dispatch through the
     /// `mpr_core::mechanism` trait.
     Layering,
-    /// Meta — malformed or unjustified exemption comments.
+    /// L6 — raw `f64` values carrying unit provenance (`.get()`, `.0`) may
+    /// not flow into a different unit's constructor or into mixed-unit
+    /// arithmetic without an explicit conversion.
+    UnitFlow,
+    /// L7 — fallible results may not be silently discarded (`let _ =`,
+    /// dropped `.ok()`, empty `Err(_)` match arms).
+    ErrorSwallowing,
+    /// L8 — no order-sensitive parallel reductions, `Ordering::Relaxed`
+    /// atomics, or thread-count-dependent logic in result paths.
+    ParallelDeterminism,
+    /// Meta — malformed, unjustified, or stale exemption comments.
     Exemption,
 }
 
@@ -36,6 +61,9 @@ impl Rule {
             Rule::PanicFreedom => "panic-freedom",
             Rule::Determinism => "determinism",
             Rule::Layering => "layering",
+            Rule::UnitFlow => "unit-flow",
+            Rule::ErrorSwallowing => "error-swallowing",
+            Rule::ParallelDeterminism => "parallel-determinism",
             Rule::Exemption => "exemption",
         }
     }
@@ -49,6 +77,9 @@ impl Rule {
             "panic-freedom" => Some(Rule::PanicFreedom),
             "determinism" => Some(Rule::Determinism),
             "layering" => Some(Rule::Layering),
+            "unit-flow" => Some(Rule::UnitFlow),
+            "error-swallowing" => Some(Rule::ErrorSwallowing),
+            "parallel-determinism" => Some(Rule::ParallelDeterminism),
             _ => None,
         }
     }
@@ -101,6 +132,12 @@ pub struct RuleSet {
     pub determinism_hash: bool,
     /// Apply L5 (no direct solver-module calls from the sim/CLI layer).
     pub layering: bool,
+    /// Apply L6 (unit provenance tracking on raw `f64` flows).
+    pub unit_flow: bool,
+    /// Apply L7 (no silently discarded fallible results).
+    pub error_swallowing: bool,
+    /// Apply L8 (no order-nondeterministic parallelism).
+    pub parallel_determinism: bool,
 }
 
 impl RuleSet {
@@ -131,11 +168,27 @@ impl RuleSet {
             // runs inside every simulation slot — the solvers, the power
             // layer, the simulation engine itself (the chaos campaign's
             // no-panic oracle treats any engine panic as a safety failure),
-            // and the crash-durability layer, which must stay total even
-            // over a faulty disk (a panic during recovery would turn a
-            // survivable storage fault into an outage).
-            panic_freedom: matches!(krate, "core" | "power" | "sim" | "durable"),
-            determinism_time: krate == "sim",
+            // the crash-durability layer, and since v2 the harness crates
+            // (chaos, grid, proto, sched, workload) that drive them: a
+            // panicking harness aborts the campaign it is supposed to run.
+            panic_freedom: matches!(
+                krate,
+                "core"
+                    | "power"
+                    | "sim"
+                    | "durable"
+                    | "chaos"
+                    | "grid"
+                    | "proto"
+                    | "sched"
+                    | "workload"
+            ),
+            // Wall-clock reads make runs unreproducible anywhere seeded
+            // simulation or replay happens, not just inside the sim crate.
+            determinism_time: matches!(
+                krate,
+                "sim" | "chaos" | "grid" | "proto" | "sched" | "workload"
+            ),
             // Hash-iteration order must not leak into anything persisted or
             // compared bit-for-bit: reports, CSV emitters, and the ledger
             // codec (WAL replay equivalence is checked to the bit).
@@ -147,6 +200,14 @@ impl RuleSet {
             // The mechanism abstraction is the only sanctioned route from
             // the orchestration layers down to the solvers (DESIGN.md §11).
             layering: matches!(krate, "sim" | "cli"),
+            // Unit provenance is tracked where quantities flow; units.rs is
+            // the one sanctioned place raw f64s cross unit boundaries.
+            unit_flow: matches!(krate, "core" | "power" | "sim") && file != "units.rs",
+            // Swallowed errors are outage fuel in the engine, the durability
+            // layer, and the simulator that replays their decisions.
+            error_swallowing: matches!(krate, "core" | "durable" | "sim"),
+            // Parallel nondeterminism is checked in every library crate.
+            parallel_determinism: !matches!(krate, "cli" | "experiments" | "bench" | "lint"),
         }
     }
 }
@@ -167,58 +228,87 @@ pub fn analyze_source(relpath: &str, src: &str) -> FileAnalysis {
 }
 
 /// Analyzes one source file with an explicit rule set (used by fixture
-/// tests to exercise rules regardless of path).
+/// tests to exercise rules regardless of path). The symbol table is built
+/// from the file itself, so cross-file facts (e.g. which methods return
+/// `Result`) are limited to what the file declares.
 #[must_use]
 pub fn analyze_source_with(relpath: &str, src: &str, rules: RuleSet) -> FileAnalysis {
-    let lexed = lex(src);
-    let test_regions = test_regions(&lexed.toks);
-    let parsed: Vec<ParsedExemption> = lexed.exemptions.iter().map(parse_exemption).collect();
+    let parsed = parse(src);
+    let symbols = FileSymbols::from_file(&parsed.file);
+    let symtab = SymbolTable::build(std::iter::once(&symbols));
+    analyze_parsed(relpath, &parsed, rules, &symtab)
+}
+
+/// Analyzes an already-parsed file against a (possibly workspace-wide)
+/// symbol table. This is the engine entry point the workspace pass and the
+/// incremental cache drive.
+#[must_use]
+pub fn analyze_parsed(
+    relpath: &str,
+    parsed: &Parsed,
+    rules: RuleSet,
+    symtab: &SymbolTable,
+) -> FileAnalysis {
+    // Test regions come from both the AST (items marked `is_test`) and the
+    // legacy token scan (covers test items hidden inside opaque regions).
+    let mut regions = test_regions(&parsed.toks);
+    ast_test_regions(&parsed.file.items, &mut regions);
+    let exemptions: Vec<ParsedExemption> = parsed.exemptions.iter().map(parse_exemption).collect();
 
     let mut raw: Vec<Violation> = Vec::new();
-    if rules.unit_hygiene {
-        unit_hygiene(relpath, &lexed, &mut raw);
+    {
+        let mut v = Visitor {
+            relpath,
+            rules,
+            symtab,
+            out: &mut raw,
+        };
+        v.items(&parsed.file.items);
     }
-    if rules.nan_safety {
-        nan_safety(relpath, &lexed, &mut raw);
+    if rules.unit_flow {
+        flow::unit_flow(relpath, &parsed.file, symtab, &mut raw);
     }
-    if rules.panic_freedom {
-        panic_freedom(relpath, &lexed, &mut raw);
-    }
-    if rules.determinism_time || rules.determinism_hash {
-        determinism(relpath, &lexed, rules, &mut raw);
-    }
-    if rules.layering {
-        layering(relpath, &lexed, &mut raw);
+    // Token fallback: the legacy pattern scans, restricted to the regions
+    // the parser could not model (macro bodies, `use`/`enum` items,
+    // recovery spans). Precision degrades there; recall does not.
+    for slice in parsed.opaque_slices() {
+        fallback_scan(relpath, slice, rules, &mut raw);
     }
 
     // Drop test-region hits, dedupe, then apply exemptions.
-    raw.retain(|v| !in_regions(&test_regions, v.line));
+    raw.retain(|v| !in_regions(&regions, v.line));
     raw.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
     raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
 
     let mut out = FileAnalysis::default();
+    let mut used = vec![false; exemptions.len()];
     for v in raw {
         // An exemption covers the violation line itself or the line below
         // the comment (comment-above style).
-        let hit = parsed
+        let hit = exemptions
             .iter()
-            .find(|e| e.rule == Some(v.rule) && (e.line == v.line || e.line + 1 == v.line));
+            .position(|e| e.rule == Some(v.rule) && (e.line == v.line || e.line + 1 == v.line));
         match hit {
-            Some(e) if !e.reason.is_empty() => out.exemptions_used.push(UsedExemption {
-                file: v.file,
-                line: v.line,
-                rule: v.rule,
-                reason: e.reason.clone(),
-            }),
+            Some(i) if !exemptions[i].reason.is_empty() => {
+                used[i] = true;
+                out.exemptions_used.push(UsedExemption {
+                    file: v.file,
+                    line: v.line,
+                    rule: v.rule,
+                    reason: exemptions[i].reason.clone(),
+                });
+            }
             _ => out.violations.push(v),
         }
     }
 
     // Malformed exemption comments are violations in their own right: an
     // unparseable rule name or a missing justification silently grants
-    // nothing, which is worse than failing loudly.
-    for e in &parsed {
-        if in_regions(&test_regions, e.line) {
+    // nothing, which is worse than failing loudly. A well-formed exemption
+    // that suppresses nothing is stale and must be removed, or the
+    // allowlist rots into a list of places nobody checks anymore.
+    for (i, e) in exemptions.iter().enumerate() {
+        if in_regions(&regions, e.line) {
             continue;
         }
         if e.rule.is_none() {
@@ -237,6 +327,16 @@ pub fn analyze_source_with(relpath: &str, src: &str, rules: RuleSet) -> FileAnal
                 line: e.line,
                 rule: Rule::Exemption,
                 message: "lint exemption has no justification; add one after the rule".into(),
+            });
+        } else if !used[i] {
+            let rule = e.rule.map_or("?", Rule::name);
+            out.violations.push(Violation {
+                file: relpath.to_string(),
+                line: e.line,
+                rule: Rule::Exemption,
+                message: format!(
+                    "stale lint exemption: `{rule}` no longer fires here; remove the comment"
+                ),
             });
         }
     }
@@ -277,7 +377,25 @@ fn parse_exemption(c: &ExemptionComment) -> ParsedExemption {
     }
 }
 
-/// Line ranges belonging to `#[cfg(test)]` / `#[test]` / `#[bench]` items.
+/// Collects line ranges of AST items marked test-only.
+fn ast_test_regions(items: &[Item], out: &mut Vec<(u32, u32)>) {
+    for item in items {
+        if item.is_test {
+            out.push((item.line, item.end_line));
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Mod { items, .. }
+            | ItemKind::Impl { items, .. }
+            | ItemKind::Trait { items, .. } => ast_test_regions(items, out),
+            _ => {}
+        }
+    }
+}
+
+/// Line ranges belonging to `#[cfg(test)]` / `#[test]` / `#[bench]` items,
+/// recovered from the raw token stream (catches test items the parser left
+/// inside opaque regions).
 fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
@@ -377,24 +495,6 @@ fn match_brace(toks: &[Tok], open: usize) -> usize {
     toks.len().saturating_sub(1)
 }
 
-/// Index of the `)` matching the `(` at `open`.
-fn match_paren(toks: &[Tok], open: usize) -> usize {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        match t.text.as_str() {
-            "(" => depth += 1,
-            ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    return j;
-                }
-            }
-            _ => {}
-        }
-    }
-    toks.len().saturating_sub(1)
-}
-
 fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
@@ -402,7 +502,7 @@ fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
 /// Quantity-name patterns from the paper's variables: watts (P, C, δ),
 /// prices (q′), core-hours (costs/rewards), plus the target/budget words the
 /// controllers use for them.
-fn is_quantity_name(name: &str) -> bool {
+pub(crate) fn is_quantity_name(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
     [
         "watt",
@@ -419,12 +519,789 @@ fn is_quantity_name(name: &str) -> bool {
         || lower.ends_with("_wh")
 }
 
+/// Solver modules that only `mpr_core::mechanism` may call into.
+const SOLVER_MODULES: &[&str] = &["mclr", "opt", "eql", "vcg"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Parallel iterator sources whose downstream reductions are order-sensitive.
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_windows",
+    "par_bridge",
+    "par_drain",
+];
+
+/// Order-sensitive reductions: float addition/multiplication are not
+/// associative, so the schedule leaks into the result.
+const ORDER_SENSITIVE_REDUCERS: &[&str] = &["sum", "product", "fold", "reduce", "fold_with"];
+
+/// Runtime-parallelism introspection: branching on these makes results a
+/// function of the machine, not the input.
+const THREAD_INTROSPECTION: &[&str] = &[
+    "current_num_threads",
+    "current_thread_index",
+    "available_parallelism",
+];
+
 // ---------------------------------------------------------------------------
-// L1 — unit hygiene on public signatures
+// AST visitor: L1–L5, L7, L8
 // ---------------------------------------------------------------------------
 
-fn unit_hygiene(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
-    let toks = &lexed.toks;
+struct Visitor<'a> {
+    relpath: &'a str,
+    rules: RuleSet,
+    symtab: &'a SymbolTable,
+    out: &'a mut Vec<Violation>,
+}
+
+impl Visitor<'_> {
+    fn push(&mut self, line: u32, rule: Rule, message: String) {
+        self.out.push(Violation {
+            file: self.relpath.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn items(&mut self, items: &[Item]) {
+        for item in items {
+            if item.is_test {
+                continue;
+            }
+            match &item.kind {
+                ItemKind::Fn(f) => self.function(f),
+                ItemKind::Mod { items, .. }
+                | ItemKind::Impl { items, .. }
+                | ItemKind::Trait { items, .. } => self.items(items),
+                ItemKind::Struct { fields, .. } => {
+                    for (_, ty) in fields {
+                        self.check_type(ty);
+                    }
+                }
+                ItemKind::MacroRules { .. } | ItemKind::Other => {}
+            }
+        }
+    }
+
+    fn function(&mut self, f: &FnItem) {
+        if self.rules.unit_hygiene && f.vis.is_public() {
+            for p in &f.params {
+                if p.ty.is_bare_f64() && is_quantity_name(&p.name) {
+                    self.push(
+                        p.line,
+                        Rule::UnitHygiene,
+                        format!(
+                            "pub fn parameter `{}: {}` is a bare float quantity; \
+                             take a unit newtype (Watts/Price/CoreHours) or add \
+                             `// lint: raw-f64-ok <why>`",
+                            p.name, p.ty.text
+                        ),
+                    );
+                }
+            }
+            if let Some(ret) = &f.ret {
+                if ret.is_bare_f64() && is_quantity_name(&f.name) {
+                    self.push(
+                        f.arrow_line,
+                        Rule::UnitHygiene,
+                        format!(
+                            "pub fn `{}` returns bare `{}` for a quantity; \
+                             return a unit newtype (Watts/Price/CoreHours) or add \
+                             `// lint: raw-f64-ok <why>`",
+                            f.name, ret.text
+                        ),
+                    );
+                }
+            }
+        }
+        for p in &f.params {
+            self.check_type(&p.ty);
+        }
+        if let Some(ret) = &f.ret {
+            self.check_type(ret);
+        }
+        if let Some(body) = &f.body {
+            if self.rules.unit_hygiene && f.vis.is_public() {
+                self.return_flow(f, body);
+            }
+            self.block(body);
+        }
+    }
+
+    /// L1 v2: a `pub fn` with a bare-`f64` return whose returned value is a
+    /// quantity-named local. The lexer engine only saw the signature; the
+    /// AST sees the flow.
+    fn return_flow(&mut self, f: &FnItem, body: &Block) {
+        let Some(ret) = &f.ret else { return };
+        if !ret.is_bare_f64() || is_quantity_name(&f.name) {
+            return;
+        }
+        let mut locals: Vec<String> = Vec::new();
+        collect_quantity_locals(body, &mut locals);
+        if locals.is_empty() {
+            return;
+        }
+        let mut returned: Vec<&Expr> = Vec::new();
+        if let Some(Stmt::Expr { expr, semi: false }) = body.stmts.last() {
+            returned.push(expr);
+        }
+        collect_returns(body, &mut returned);
+        for e in returned {
+            if let ExprKind::Path(segs) = &e.kind {
+                if segs.len() == 1 && locals.contains(&segs[0]) {
+                    self.push(
+                        e.line,
+                        Rule::UnitHygiene,
+                        format!(
+                            "pub fn `{}` returns the quantity-named local `{}` as bare \
+                             `{}`; return a unit newtype (Watts/Price/CoreHours) or add \
+                             `// lint: raw-f64-ok <why>`",
+                            f.name, segs[0], ret.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// L4/L5 checks on type annotations (`HashMap` fields, `opt::` params).
+    fn check_type(&mut self, ty: &TypeRepr) {
+        if self.rules.determinism_hash {
+            for name in ["HashMap", "HashSet"] {
+                if contains_word(&ty.text, name) {
+                    self.push(ty.line, Rule::Determinism, hash_message(name));
+                }
+            }
+        }
+        if self.rules.determinism_time {
+            for name in ["Instant", "SystemTime"] {
+                if contains_word(&ty.text, name) {
+                    self.push(ty.line, Rule::Determinism, time_message(name));
+                }
+            }
+        }
+        if self.rules.layering {
+            for m in SOLVER_MODULES {
+                if contains_mod_prefix(&ty.text, m) {
+                    self.push(ty.line, Rule::Layering, layering_message(m));
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat,
+                    ty,
+                    init,
+                    els,
+                    line,
+                } => {
+                    if let Some(t) = ty {
+                        self.check_type(t);
+                    }
+                    if self.rules.error_swallowing && pat.is_wild() {
+                        if let Some(e) = init {
+                            self.check_discarded(e, *line);
+                        }
+                    }
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    if let Some(b) = els {
+                        self.block(b);
+                    }
+                }
+                Stmt::Expr { expr, semi } => {
+                    if self.rules.error_swallowing && *semi {
+                        if let ExprKind::MethodCall { method, .. } = &expr.kind {
+                            if method == "ok" {
+                                self.push(
+                                    expr.line,
+                                    Rule::ErrorSwallowing,
+                                    "`.ok()` discards the error and the value is dropped; \
+                                     handle or propagate the `Err`, or add \
+                                     `// lint: allow(error-swallowing) <why>`"
+                                        .into(),
+                                );
+                            }
+                        }
+                    }
+                    self.expr(expr);
+                }
+                Stmt::Item(item) => self.items(std::slice::from_ref(item)),
+            }
+        }
+    }
+
+    /// L7: `let _ = <fallible>()` drops a `Result` on the floor.
+    fn check_discarded(&mut self, init: &Expr, line: u32) {
+        match &init.kind {
+            ExprKind::Call(callee, _) => {
+                if let ExprKind::Path(segs) = &callee.kind {
+                    if let Some(name) = segs.last() {
+                        if self.symtab.result_fns.contains(name) {
+                            self.push(
+                                line,
+                                Rule::ErrorSwallowing,
+                                format!(
+                                    "`let _ =` silently discards the `Result` from `{name}`; \
+                                     handle or propagate the error, or add \
+                                     `// lint: allow(error-swallowing) <why>`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            ExprKind::MethodCall { method, .. } => {
+                if self.symtab.result_methods.contains(method) {
+                    self.push(
+                        line,
+                        Rule::ErrorSwallowing,
+                        format!(
+                            "`let _ =` silently discards the `Result` from `.{method}()`; \
+                             handle or propagate the error, or add \
+                             `// lint: allow(error-swallowing) <why>`"
+                        ),
+                    );
+                } else if method == "ok" {
+                    self.push(
+                        line,
+                        Rule::ErrorSwallowing,
+                        "`let _ = ....ok()` discards both the value and the error; \
+                         handle or propagate the `Err`, or add \
+                         `// lint: allow(error-swallowing) <why>`"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(&mut self, e: &Expr) {
+        self.check_expr(e);
+        match &e.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str
+            | ExprKind::Char
+            | ExprKind::Path(_)
+            | ExprKind::MacroCall { .. }
+            | ExprKind::Continue
+            | ExprKind::Opaque => {}
+            ExprKind::Unary(_, x)
+            | ExprKind::Ref { expr: x, .. }
+            | ExprKind::Try(x)
+            | ExprKind::Field(x, _) => self.expr(x),
+            ExprKind::Cast(x, ty) => {
+                self.check_type(ty);
+                self.expr(x);
+            }
+            ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Call(c, args) => {
+                self.expr(c);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Closure { body, .. } => self.expr(body),
+            ExprKind::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(x) = els {
+                    self.expr(x);
+                }
+            }
+            ExprKind::IfLet {
+                scrutinee,
+                then,
+                els,
+                ..
+            } => {
+                self.expr(scrutinee);
+                self.block(then);
+                if let Some(x) = els {
+                    self.expr(x);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.expr(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    self.expr(&arm.body);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            ExprKind::Loop(b) | ExprKind::Block(b) => self.block(b),
+            ExprKind::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            ExprKind::Tuple(xs) | ExprKind::Array(xs) => {
+                for x in xs {
+                    self.expr(x);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, x) in fields {
+                    self.expr(x);
+                }
+            }
+            ExprKind::Range { lo, hi } => {
+                if let Some(x) = lo {
+                    self.expr(x);
+                }
+                if let Some(x) = hi {
+                    self.expr(x);
+                }
+            }
+            ExprKind::Return(x) | ExprKind::Break(x) => {
+                if let Some(x) = x {
+                    self.expr(x);
+                }
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::MethodCall { method, recv, .. } => {
+                if self.rules.nan_safety && method == "partial_cmp" {
+                    self.push(
+                        e.line,
+                        Rule::NanSafety,
+                        "`partial_cmp` on floats panics or mis-orders on NaN; \
+                         use `f64::total_cmp` (or derive Ord on a newtype)"
+                            .into(),
+                    );
+                }
+                if self.rules.panic_freedom {
+                    match method.as_str() {
+                        "unwrap" => self.push(
+                            e.line,
+                            Rule::PanicFreedom,
+                            "`.unwrap()` in library code; return a typed error, use \
+                             `unwrap_or`/pattern matching, or add \
+                             `// lint: allow(panic-freedom) <why>`"
+                                .into(),
+                        ),
+                        "expect" => self.push(
+                            e.line,
+                            Rule::PanicFreedom,
+                            "`.expect()` in library code; return a typed error or add \
+                             `// lint: allow(panic-freedom) <why>`"
+                                .into(),
+                        ),
+                        _ => {}
+                    }
+                }
+                if self.rules.parallel_determinism {
+                    if THREAD_INTROSPECTION.contains(&method.as_str()) {
+                        self.push(e.line, Rule::ParallelDeterminism, thread_message(method));
+                    }
+                    if ORDER_SENSITIVE_REDUCERS.contains(&method.as_str())
+                        && spine_has_par_source(recv)
+                    {
+                        self.push(
+                            e.line,
+                            Rule::ParallelDeterminism,
+                            format!(
+                                "order-sensitive reduction `.{method}()` over a parallel \
+                                 iterator: float combine order follows the thread schedule; \
+                                 collect in a fixed order and reduce sequentially, or add \
+                                 `// lint: allow(parallel-determinism) <why>`"
+                            ),
+                        );
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b)
+                if self.rules.nan_safety
+                    && (op == "==" || op == "!=")
+                    && (is_float_literal(a) || is_float_literal(b)) =>
+            {
+                self.push(
+                    e.line,
+                    Rule::NanSafety,
+                    format!(
+                        "direct `{op}` against a float literal is NaN-hostile and \
+                         precision-fragile; compare through a unit newtype, use a \
+                         tolerance, or add `// lint: allow(nan-safety) <why>`"
+                    ),
+                );
+            }
+            ExprKind::MacroCall { path } if self.rules.panic_freedom => {
+                if let Some(name) = path.last() {
+                    if PANIC_MACROS.contains(&name.as_str()) {
+                        self.push(
+                            e.line,
+                            Rule::PanicFreedom,
+                            format!(
+                                "`{name}!` in library code; return a typed error or add \
+                                 `// lint: allow(panic-freedom) <why>`"
+                            ),
+                        );
+                    }
+                }
+            }
+            ExprKind::Index(_, idx) if self.rules.panic_freedom => {
+                // Full-range slicing `x[..]` cannot panic.
+                let full_range = matches!(&idx.kind, ExprKind::Range { lo: None, hi: None });
+                if !full_range {
+                    self.push(
+                        e.line,
+                        Rule::PanicFreedom,
+                        "indexing can panic; use `.get()`/`.get_mut()` or add \
+                         `// lint: allow(panic-freedom) <why>`"
+                            .into(),
+                    );
+                }
+            }
+            ExprKind::Path(segs) => {
+                if self.rules.determinism_hash {
+                    for name in ["HashMap", "HashSet"] {
+                        if segs.iter().any(|s| s == name) {
+                            self.push(e.line, Rule::Determinism, hash_message(name));
+                        }
+                    }
+                }
+                if self.rules.determinism_time {
+                    for name in ["Instant", "SystemTime"] {
+                        if segs.iter().any(|s| s == name) {
+                            self.push(e.line, Rule::Determinism, time_message(name));
+                        }
+                    }
+                }
+                if self.rules.layering && segs.len() >= 2 {
+                    for (i, s) in segs.iter().enumerate() {
+                        if i + 1 < segs.len() && SOLVER_MODULES.contains(&s.as_str()) {
+                            self.push(e.line, Rule::Layering, layering_message(s));
+                        }
+                    }
+                }
+                if self.rules.parallel_determinism {
+                    let relaxed = segs.last().is_some_and(|s| s == "Relaxed")
+                        && (segs.len() == 1 || segs.iter().any(|s| s == "Ordering"));
+                    if relaxed {
+                        self.push(
+                            e.line,
+                            Rule::ParallelDeterminism,
+                            "`Ordering::Relaxed` gives no cross-thread ordering: values \
+                             observed through it depend on the schedule; use `SeqCst` or add \
+                             `// lint: allow(parallel-determinism) <why>`"
+                                .into(),
+                        );
+                    }
+                    for name in THREAD_INTROSPECTION {
+                        if segs.iter().any(|s| s == name) {
+                            self.push(e.line, Rule::ParallelDeterminism, thread_message(name));
+                        }
+                    }
+                }
+            }
+            ExprKind::Match { arms, .. } if self.rules.error_swallowing => {
+                for arm in arms {
+                    if arm_swallows_error(arm) {
+                        self.push(
+                            arm.line,
+                            Rule::ErrorSwallowing,
+                            "match arm silently drops the error (`Err(_) => {}`); handle, \
+                             log, or propagate it, or add \
+                             `// lint: allow(error-swallowing) <why>`"
+                                .into(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True for `1.0` and `-1.0` (the lexer-era rule missed the negated form).
+fn is_float_literal(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Float(_) => true,
+        ExprKind::Unary("-", inner) => matches!(inner.kind, ExprKind::Float(_)),
+        _ => false,
+    }
+}
+
+/// True when a method-call spine below a reducer reaches a `par_*` source
+/// without an intervening order-restoring `collect`.
+fn spine_has_par_source(recv: &Expr) -> bool {
+    let mut cur = recv;
+    loop {
+        match &cur.kind {
+            ExprKind::MethodCall { recv, method, .. } => {
+                if method == "collect" {
+                    return false;
+                }
+                if PAR_SOURCES.contains(&method.as_str()) {
+                    return true;
+                }
+                cur = recv;
+            }
+            ExprKind::Try(x) | ExprKind::Ref { expr: x, .. } | ExprKind::Unary(_, x) => cur = x,
+            _ => return false,
+        }
+    }
+}
+
+/// `Err(_) => {}` / `Err(_) => ()` — an arm that consumes an error and does
+/// nothing at all.
+fn arm_swallows_error(arm: &Arm) -> bool {
+    let PatKind::TupleStruct { path, elems } = &arm.pat.kind else {
+        return false;
+    };
+    if path.last().is_none_or(|s| s != "Err") {
+        return false;
+    }
+    if !(elems.is_empty() || (elems.len() == 1 && elems[0].is_wild())) {
+        return false;
+    }
+    if arm.guard.is_some() {
+        return false;
+    }
+    match &arm.body.kind {
+        ExprKind::Tuple(xs) => xs.is_empty(),
+        ExprKind::Block(b) => b.stmts.is_empty(),
+        _ => false,
+    }
+}
+
+fn collect_quantity_locals(b: &Block, out: &mut Vec<String>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { pat, .. } => {
+                if let PatKind::Ident(name) = &pat.kind {
+                    if is_quantity_name(name) {
+                        out.push(name.clone());
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_quantity_locals_expr(expr, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn collect_quantity_locals_expr(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::If { then, els, .. } | ExprKind::IfLet { then, els, .. } => {
+            collect_quantity_locals(then, out);
+            if let Some(x) = els {
+                collect_quantity_locals_expr(x, out);
+            }
+        }
+        ExprKind::While { body, .. } | ExprKind::For { body, .. } => {
+            collect_quantity_locals(body, out);
+        }
+        ExprKind::Loop(b) | ExprKind::Block(b) => collect_quantity_locals(b, out),
+        _ => {}
+    }
+}
+
+/// Collects `return <expr>` expressions anywhere inside the block.
+fn collect_returns<'a>(b: &'a Block, out: &mut Vec<&'a Expr>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { init, els, .. } => {
+                if let Some(e) = init {
+                    collect_returns_expr(e, out);
+                }
+                if let Some(b) = els {
+                    collect_returns(b, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_returns_expr(expr, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn collect_returns_expr<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &e.kind {
+        ExprKind::Return(Some(x)) => out.push(x),
+        ExprKind::If { cond, then, els } => {
+            collect_returns_expr(cond, out);
+            collect_returns(then, out);
+            if let Some(x) = els {
+                collect_returns_expr(x, out);
+            }
+        }
+        ExprKind::IfLet {
+            scrutinee,
+            then,
+            els,
+            ..
+        } => {
+            collect_returns_expr(scrutinee, out);
+            collect_returns(then, out);
+            if let Some(x) = els {
+                collect_returns_expr(x, out);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            collect_returns_expr(scrutinee, out);
+            for arm in arms {
+                collect_returns_expr(&arm.body, out);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            collect_returns_expr(cond, out);
+            collect_returns(body, out);
+        }
+        ExprKind::For { iter, body, .. } => {
+            collect_returns_expr(iter, out);
+            collect_returns(body, out);
+        }
+        ExprKind::Loop(b) | ExprKind::Block(b) => collect_returns(b, out),
+        ExprKind::Binary(_, a, b) => {
+            collect_returns_expr(a, out);
+            collect_returns_expr(b, out);
+        }
+        ExprKind::Call(c, args) => {
+            collect_returns_expr(c, out);
+            for a in args {
+                collect_returns_expr(a, out);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            collect_returns_expr(recv, out);
+            for a in args {
+                collect_returns_expr(a, out);
+            }
+        }
+        ExprKind::Unary(_, x)
+        | ExprKind::Ref { expr: x, .. }
+        | ExprKind::Try(x)
+        | ExprKind::Field(x, _)
+        | ExprKind::Cast(x, _) => collect_returns_expr(x, out),
+        _ => {}
+    }
+}
+
+fn hash_message(name: &str) -> String {
+    format!(
+        "`{name}` iteration order is nondeterministic and this module feeds \
+         report/CSV output; use `BTreeMap`/`BTreeSet` or a sorted Vec"
+    )
+}
+
+fn time_message(name: &str) -> String {
+    format!(
+        "`{name}` reads the wall clock inside the simulator; simulated time \
+         must come from the slot counter to keep runs reproducible"
+    )
+}
+
+fn layering_message(name: &str) -> String {
+    format!(
+        "solver module `{name}::` referenced from the orchestration layer; \
+         dispatch through the `mpr_core::mechanism::Mechanism` trait \
+         instead, or add `// lint: allow(layering) <why>`"
+    )
+}
+
+fn thread_message(name: &str) -> String {
+    format!(
+        "`{name}` makes behavior depend on the machine's parallelism, not the \
+         input; derive work splits from input sizes, or add \
+         `// lint: allow(parallel-determinism) <why>`"
+    )
+}
+
+/// True when `text` contains `word` delimited by non-identifier characters
+/// (type texts are normalized and spaceless, so substring checks need
+/// boundaries: `HashMap` must not match `MyHashMapLike`).
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let post = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// True when `text` contains `m::` with `m` at an identifier boundary
+/// (`Vec<opt::OptJob>` hits, `ropt::x` does not).
+fn contains_mod_prefix(text: &str, m: &str) -> bool {
+    let needle = format!("{m}::");
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let start = from + pos;
+        if start == 0 || !is_ident_byte(bytes[start - 1]) {
+            return true;
+        }
+        from = start + needle.len();
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+// ---------------------------------------------------------------------------
+// Token fallback over opaque regions (legacy lexer-era rules)
+// ---------------------------------------------------------------------------
+
+fn fallback_scan(relpath: &str, toks: &[Tok], rules: RuleSet, out: &mut Vec<Violation>) {
+    if rules.unit_hygiene {
+        fallback_unit_hygiene(relpath, toks, out);
+    }
+    if rules.nan_safety {
+        fallback_nan_safety(relpath, toks, out);
+    }
+    if rules.panic_freedom {
+        fallback_panic_freedom(relpath, toks, out);
+    }
+    if rules.determinism_time || rules.determinism_hash {
+        fallback_determinism(relpath, toks, rules, out);
+    }
+    if rules.layering {
+        fallback_layering(relpath, toks, out);
+    }
+    if rules.parallel_determinism {
+        fallback_parallel(relpath, toks, out);
+    }
+}
+
+fn fallback_unit_hygiene(relpath: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     let mut i = 0;
     while i < toks.len() {
         if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && is_pub_fn(toks, i) {
@@ -433,7 +1310,6 @@ fn unit_hygiene(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                 continue;
             };
             let fn_name = toks[name_idx].text.clone();
-            let fn_line = toks[name_idx].line;
             // Skip generics to the parameter list.
             let mut j = name_idx + 1;
             if j < toks.len() && toks[j].text == "<" {
@@ -449,7 +1325,7 @@ fn unit_hygiene(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
             let mut k = close + 1;
             if k < toks.len() && toks[k].text == "->" {
                 let end = signature_end(toks, k + 1);
-                let ret = type_text(&toks[k + 1..end]);
+                let ret = type_text(&toks[k + 1..end.min(toks.len())]);
                 if is_bare_f64(&ret) && is_quantity_name(&fn_name) {
                     out.push(Violation {
                         file: relpath.to_string(),
@@ -464,7 +1340,6 @@ fn unit_hygiene(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                 }
                 k = end;
             }
-            let _ = fn_line;
             i = k;
         } else {
             i += 1;
@@ -615,17 +1490,9 @@ fn is_bare_f64(ty: &str) -> bool {
     matches!(ty, "f64" | "&f64" | "&mutf64" | "Option<f64>")
 }
 
-// ---------------------------------------------------------------------------
-// L2 — NaN-safety
-// ---------------------------------------------------------------------------
-
-fn nan_safety(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
-    let toks = &lexed.toks;
+fn fallback_nan_safety(relpath: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident && t.text == "partial_cmp" {
-            // Every partial_cmp on floats either panics on NaN (`.unwrap()`)
-            // or silently mis-sorts (`unwrap_or(Equal)`); total_cmp does
-            // neither. Flag the call site unconditionally.
             out.push(Violation {
                 file: relpath.to_string(),
                 line: t.line,
@@ -655,14 +1522,7 @@ fn nan_safety(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     }
 }
 
-// ---------------------------------------------------------------------------
-// L3 — panic freedom
-// ---------------------------------------------------------------------------
-
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-
-fn panic_freedom(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
-    let toks = &lexed.toks;
+fn fallback_panic_freedom(relpath: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident && !(t.kind == TokKind::Punct && t.text == "[") {
             continue;
@@ -732,6 +1592,24 @@ fn panic_freedom(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
     }
 }
 
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
 /// Keywords that can directly precede `[` without forming an indexing
 /// expression (`let [a, b] = ...`, `for x in [..]`, `return [..]`, etc.).
 fn is_keyword(t: &str) -> bool {
@@ -754,12 +1632,8 @@ fn is_keyword(t: &str) -> bool {
     )
 }
 
-// ---------------------------------------------------------------------------
-// L4 — determinism
-// ---------------------------------------------------------------------------
-
-fn determinism(relpath: &str, lexed: &Lexed, rules: RuleSet, out: &mut Vec<Violation>) {
-    for t in &lexed.toks {
+fn fallback_determinism(relpath: &str, toks: &[Tok], rules: RuleSet, out: &mut Vec<Violation>) {
+    for t in toks {
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -768,11 +1642,7 @@ fn determinism(relpath: &str, lexed: &Lexed, rules: RuleSet, out: &mut Vec<Viola
                 file: relpath.to_string(),
                 line: t.line,
                 rule: Rule::Determinism,
-                message: format!(
-                    "`{}` iteration order is nondeterministic and this module feeds \
-                     report/CSV output; use `BTreeMap`/`BTreeSet` or a sorted Vec",
-                    t.text
-                ),
+                message: hash_message(&t.text),
             });
         }
         if rules.determinism_time && (t.text == "Instant" || t.text == "SystemTime") {
@@ -780,25 +1650,13 @@ fn determinism(relpath: &str, lexed: &Lexed, rules: RuleSet, out: &mut Vec<Viola
                 file: relpath.to_string(),
                 line: t.line,
                 rule: Rule::Determinism,
-                message: format!(
-                    "`{}` reads the wall clock inside the simulator; simulated time \
-                     must come from the slot counter to keep runs reproducible",
-                    t.text
-                ),
+                message: time_message(&t.text),
             });
         }
     }
 }
 
-// ---------------------------------------------------------------------------
-// L5 — layering
-// ---------------------------------------------------------------------------
-
-/// Solver modules that only `mpr_core::mechanism` may call into.
-const SOLVER_MODULES: &[&str] = &["mclr", "opt", "eql", "vcg"];
-
-fn layering(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
-    let toks = &lexed.toks;
+fn fallback_layering(relpath: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind == TokKind::Ident
             && SOLVER_MODULES.contains(&t.text.as_str())
@@ -808,12 +1666,29 @@ fn layering(relpath: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
                 file: relpath.to_string(),
                 line: t.line,
                 rule: Rule::Layering,
-                message: format!(
-                    "solver module `{}::` referenced from the orchestration layer; \
-                     dispatch through the `mpr_core::mechanism::Mechanism` trait \
-                     instead, or add `// lint: allow(layering) <why>`",
-                    t.text
-                ),
+                message: layering_message(&t.text),
+            });
+        }
+    }
+}
+
+/// L8 fallback: `Ordering::Relaxed` spelled out inside opaque regions.
+fn fallback_parallel(relpath: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "Relaxed"
+            && i >= 2
+            && toks[i - 1].text == "::"
+            && toks[i - 2].text == "Ordering"
+        {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: Rule::ParallelDeterminism,
+                message: "`Ordering::Relaxed` gives no cross-thread ordering: values \
+                          observed through it depend on the schedule; use `SeqCst` or add \
+                          `// lint: allow(parallel-determinism) <why>`"
+                    .into(),
             });
         }
     }
@@ -831,6 +1706,9 @@ mod tests {
             determinism_time: true,
             determinism_hash: true,
             layering: true,
+            unit_flow: true,
+            error_swallowing: true,
+            parallel_determinism: true,
         }
     }
 
@@ -842,27 +1720,37 @@ mod tests {
     fn scope_policy_matches_layout() {
         let core = RuleSet::for_path("crates/core/src/mclr.rs");
         assert!(core.unit_hygiene && core.nan_safety && core.panic_freedom);
+        assert!(core.unit_flow && core.error_swallowing && core.parallel_determinism);
         // Core hosts the solvers, so L5 cannot apply there.
         assert!(!core.layering);
+        // units.rs is the sanctioned raw-f64 crossing point.
+        let units = RuleSet::for_path("crates/core/src/units.rs");
+        assert!(!units.unit_flow && units.unit_hygiene);
         let sim = RuleSet::for_path("crates/sim/src/engine.rs");
         assert!(sim.unit_hygiene && sim.determinism_time && sim.panic_freedom);
-        assert!(sim.layering);
+        assert!(sim.layering && sim.unit_flow && sim.error_swallowing);
         let report = RuleSet::for_path("crates/sim/src/report.rs");
         assert!(report.determinism_hash);
         // The durability layer is panic-free and codec-deterministic
         // throughout; the sim-side ledger codec joins the hash scope.
         let durable = RuleSet::for_path("crates/durable/src/supervisor.rs");
         assert!(durable.panic_freedom && durable.determinism_hash);
-        assert!(!durable.unit_hygiene);
+        assert!(durable.error_swallowing && !durable.unit_hygiene);
         let ledger = RuleSet::for_path("crates/sim/src/ledger.rs");
         assert!(ledger.determinism_hash && ledger.panic_freedom);
         let wal = RuleSet::for_path("crates/durable/src/wal.rs");
         assert!(wal.determinism_hash);
+        // v2 widened the harness crates into the panic/determinism scopes.
+        let chaos = RuleSet::for_path("crates/chaos/src/campaign.rs");
+        assert!(chaos.panic_freedom && chaos.determinism_time);
+        assert!(chaos.parallel_determinism && !chaos.error_swallowing);
+        let grid = RuleSet::for_path("crates/grid/src/lib.rs");
+        assert!(grid.panic_freedom && grid.determinism_time);
         let cli = RuleSet::for_path("crates/cli/src/main.rs");
         assert!(!cli.nan_safety && !cli.unit_hygiene);
-        assert!(cli.layering);
+        assert!(cli.layering && !cli.parallel_determinism);
         let experiments = RuleSet::for_path("crates/experiments/src/bin/fig10.rs");
-        assert!(!experiments.layering);
+        assert!(!experiments.layering && !experiments.parallel_determinism);
         let tests = RuleSet::for_path("crates/core/tests/integration.rs");
         assert!(!tests.nan_safety);
     }
@@ -929,6 +1817,37 @@ mod tests {
     }
 
     #[test]
+    fn return_flow_catches_quantity_local_escaping_raw() {
+        // The lexer engine could not see this: the fn name is neutral, the
+        // signature is neutral, but the returned local is a quantity.
+        let a = run("pub fn compute(&self) -> f64 {\n\
+                         let watts = self.base * 2.0;\n\
+                         watts\n\
+                     }\n");
+        let l1: Vec<_> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::UnitHygiene)
+            .collect();
+        assert_eq!(l1.len(), 1, "{l1:?}");
+        assert_eq!(l1[0].line, 3);
+        assert!(l1[0].message.contains("watts"), "{}", l1[0].message);
+        // Explicit `return` form is caught too.
+        let b = run("pub fn compute() -> f64 {\n\
+                         let budget = 1.0;\n\
+                         if cond { return budget; }\n\
+                         0.0\n\
+                     }\n");
+        assert!(
+            b.violations
+                .iter()
+                .any(|v| v.rule == Rule::UnitHygiene && v.line == 3),
+            "{:?}",
+            b.violations
+        );
+    }
+
+    #[test]
     fn test_regions_are_exempt() {
         let a = run("pub fn ok() {}\n\
                      #[cfg(test)]\n\
@@ -954,6 +1873,20 @@ mod tests {
         assert_eq!(a.violations.len(), 2, "{:?}", a.violations);
         assert!(a.violations.iter().any(|v| v.rule == Rule::Exemption));
         assert!(a.violations.iter().any(|v| v.rule == Rule::UnitHygiene));
+    }
+
+    #[test]
+    fn stale_exemption_is_a_violation() {
+        // The justified exemption no longer suppresses anything: the code
+        // below it is clean. That is a violation, not a freebie.
+        let a = run(
+            "// lint: allow(panic-freedom) historical, slice was indexed here\n\
+                     pub fn f(v: &[u32]) -> Option<u32> { v.first().copied() }\n",
+        );
+        assert_eq!(a.violations.len(), 1, "{:?}", a.violations);
+        assert_eq!(a.violations[0].rule, Rule::Exemption);
+        assert_eq!(a.violations[0].line, 1);
+        assert!(a.violations[0].message.contains("stale"));
     }
 
     #[test]
@@ -992,5 +1925,94 @@ mod tests {
             .count();
         // Instant plus HashMap; the two same-line HashMap hits dedupe.
         assert_eq!(l4, 2);
+    }
+
+    #[test]
+    fn negated_float_equality_is_flagged() {
+        // The lexer engine missed `x == -1.0` (the token before the literal
+        // is `-`); the AST sees the negation.
+        let a = run("fn f(x: f64) -> bool { x == -1.0 }\n");
+        assert_eq!(
+            a.violations
+                .iter()
+                .filter(|v| v.rule == Rule::NanSafety)
+                .count(),
+            1,
+            "{:?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn error_swallowing_patterns() {
+        let src = "\
+            struct Wal;\n\
+            impl Wal {\n\
+                pub fn sync(&mut self) -> Result<(), Corruption> { Ok(()) }\n\
+            }\n\
+            pub fn persist() -> Result<(), Corruption> { Ok(()) }\n\
+            fn f(w: &mut Wal) {\n\
+                let _ = w.sync();\n\
+                let _ = persist();\n\
+                w.sync().ok();\n\
+                match w.sync() {\n\
+                    Ok(()) => {}\n\
+                    Err(_) => {}\n\
+                }\n\
+            }\n";
+        let a = run(src);
+        let l7: Vec<u32> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::ErrorSwallowing)
+            .map(|v| v.line)
+            .collect();
+        // let _ = method (7), let _ = fn (8), dropped .ok() (9),
+        // empty Err arm (12).
+        assert_eq!(l7, vec![7, 8, 9, 12], "{:?}", a.violations);
+    }
+
+    #[test]
+    fn error_swallowing_ignores_handled_results() {
+        let src = "\
+            pub fn persist() -> Result<(), Corruption> { Ok(()) }\n\
+            fn f() -> Result<(), Corruption> {\n\
+                persist()?;\n\
+                let r = persist();\n\
+                match persist() {\n\
+                    Ok(()) => {}\n\
+                    Err(e) => log(e),\n\
+                }\n\
+                r\n\
+            }\n";
+        let a = run(src);
+        assert!(
+            a.violations.iter().all(|v| v.rule != Rule::ErrorSwallowing),
+            "{:?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn parallel_determinism_patterns() {
+        let src = "\
+            fn f(v: &[f64]) -> f64 {\n\
+                let x = v.par_iter().map(|x| x * 2.0).sum();\n\
+                let _ = flag.load(Ordering::Relaxed);\n\
+                let n = rayon::current_num_threads();\n\
+                let safe: Vec<f64> = v.par_iter().map(|x| x + 1.0).collect();\n\
+                let s: f64 = safe.iter().sum();\n\
+                x + s + n as f64\n\
+            }\n";
+        let a = run(src);
+        let l8: Vec<u32> = a
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::ParallelDeterminism)
+            .map(|v| v.line)
+            .collect();
+        // par sum (2), Relaxed (3), thread count (4); the collect-then-
+        // sequential-sum pattern on lines 5-6 is the sanctioned fix.
+        assert_eq!(l8, vec![2, 3, 4], "{:?}", a.violations);
     }
 }

@@ -1,0 +1,34 @@
+//! L7 fixture: fallible results silently discarded. Expected violations at
+//! lines 17, 18, 19, 22; the handled patterns from line 26 on are clean.
+
+pub struct Wal;
+
+impl Wal {
+    pub fn sync(&mut self) -> Result<(), Corruption> {
+        Ok(())
+    }
+}
+
+pub fn persist() -> Result<(), Corruption> {
+    Ok(())
+}
+
+fn swallows(w: &mut Wal) {
+    let _ = w.sync();
+    let _ = persist();
+    w.sync().ok();
+    match w.sync() {
+        Ok(()) => {}
+        Err(_) => {}
+    }
+}
+
+fn handles(w: &mut Wal) -> Result<(), Corruption> {
+    persist()?;
+    let r = w.sync();
+    match persist() {
+        Ok(()) => {}
+        Err(e) => log(e),
+    }
+    r
+}

@@ -1,0 +1,19 @@
+//! L8 fixture: order-nondeterministic parallelism. Expected violations at
+//! lines 8, 10, 12; the collect-then-sequential reduction is the fix.
+
+use std::sync::atomic::Ordering;
+
+pub fn nondeterministic(v: &[f64], flag: &AtomicBool) -> f64 {
+    // Parallel float reduction: summation order varies run to run.
+    let x: f64 = v.par_iter().map(|x| x * 2.0).sum();
+    // Relaxed atomics give no cross-thread ordering guarantee.
+    let seen = flag.load(Ordering::Relaxed);
+    // Thread-count introspection makes results depend on the machine.
+    let n = rayon::current_num_threads();
+    x + f64::from(u32::from(seen)) + n as f64
+}
+
+pub fn deterministic(v: &[f64]) -> f64 {
+    let doubled: Vec<f64> = v.par_iter().map(|x| x * 2.0).collect();
+    doubled.iter().sum()
+}

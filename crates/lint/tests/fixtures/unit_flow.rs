@@ -1,0 +1,35 @@
+//! L6 fixture: raw `f64` values with unit provenance crossing unit
+//! boundaries. Expected violations at lines 7, 13, 17; clean from 20 on.
+
+use mpr_core::units::{Price, Watts};
+
+pub fn price_as_power(p: Price) -> Watts {
+    Watts::new(p.get())
+}
+
+pub fn laundered_through_local(p: Price) -> Watts {
+    let x = p.get();
+    let y = x * 2.0;
+    Watts::new(y)
+}
+
+pub fn mixed_dimension_sum(p: Price, w: Watts) -> f64 {
+    p.get() + w.get()
+}
+
+pub fn rewrap_same_unit(w: Watts) -> Watts {
+    Watts::new(w.get() * 1.1)
+}
+
+pub fn fresh_from_anonymous(x: f64) -> Watts {
+    Watts::new(x)
+}
+
+pub fn ratio_cancels(w: Watts, cap: Watts) -> f64 {
+    w.get() / cap.get()
+}
+
+pub fn closed_form(a: Watts, price: Price) -> Watts {
+    let q = price.get();
+    Watts::new((a.get() - 2.0 / q).max(0.0))
+}

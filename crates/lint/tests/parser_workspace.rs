@@ -1,0 +1,89 @@
+//! The parser must swallow every real workspace source file: each token
+//! either lands in the AST or in an opaque fallback region, and opaque
+//! regions (macro bodies, enums, `use` items, recovery spans) must stay a
+//! bounded minority — a regression here means the AST rules silently lose
+//! coverage to the token fallback.
+
+use mpr_lint::find_workspace_root;
+use mpr_lint::parser::parse;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("entry").path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Golden snapshot: the AST of a representative fixture must not drift.
+/// Structural parser changes must update the `.ast.snap` file deliberately
+/// (regenerate with `parse(&src).file.dump()`), never by accident.
+#[test]
+fn ast_golden_snapshot_is_stable() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = fs::read_to_string(dir.join("error_swallowing.rs")).expect("fixture");
+    let golden = fs::read_to_string(dir.join("error_swallowing.ast.snap")).expect("snapshot");
+    let actual = parse(&src).file.dump();
+    assert_eq!(
+        actual, golden,
+        "AST drifted from the golden snapshot; if intended, regenerate the .ast.snap file"
+    );
+}
+
+#[test]
+fn workspace_parses_with_bounded_opaque_fraction() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("entry").path();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect(&src, &mut files);
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() > 50,
+        "expected a real workspace, got {} files",
+        files.len()
+    );
+
+    let mut total_toks = 0usize;
+    let mut opaque_toks = 0usize;
+    let mut worst: Vec<(String, f64, usize)> = Vec::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else {
+            continue;
+        };
+        let parsed = parse(&text);
+        // dump() must never panic on real input.
+        let _ = parsed.file.dump();
+        let o: usize = parsed.opaque.iter().map(|(a, b)| b - a).sum();
+        let n = parsed.toks.len().max(1);
+        total_toks += parsed.toks.len();
+        opaque_toks += o;
+        let frac = o as f64 / n as f64;
+        worst.push((file.display().to_string(), frac, parsed.toks.len()));
+    }
+    worst.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let overall = opaque_toks as f64 / total_toks.max(1) as f64;
+    eprintln!(
+        "parsed {} files, {} tokens, opaque fraction {:.1}%",
+        files.len(),
+        total_toks,
+        overall * 100.0
+    );
+    for (f, frac, n) in worst.iter().take(10) {
+        eprintln!("  {:>6.1}%  {n:>6} toks  {f}", frac * 100.0);
+    }
+    assert!(
+        overall < 0.30,
+        "opaque fallback covers {:.1}% of workspace tokens — parser coverage regressed",
+        overall * 100.0
+    );
+}

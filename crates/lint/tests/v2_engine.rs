@@ -1,0 +1,264 @@
+//! v2 engine tests: the L6/L7/L8 fixture corpora, the incremental cache's
+//! invalidation contract, byte-identical double runs, and the planted-
+//! violation gate proving each new rule fails the real binary with a
+//! `file:line` diagnostic and a nonzero exit.
+
+use std::path::PathBuf;
+
+use mpr_lint::{
+    analyze_source_with, analyze_workspace_cached, to_json, to_sarif, Rule, RuleSet,
+    RULESET_VERSION,
+};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lines_of(violations: &[mpr_lint::Violation], rule: Rule) -> Vec<u32> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn l6_unit_flow_fixture_counts() {
+    let src = fixture("unit_flow.rs");
+    let rules = RuleSet {
+        unit_flow: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::UnitFlow),
+        vec![7, 13, 17],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 3);
+}
+
+#[test]
+fn l7_error_swallowing_fixture_counts() {
+    let src = fixture("error_swallowing.rs");
+    let rules = RuleSet {
+        error_swallowing: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::ErrorSwallowing),
+        vec![17, 18, 19, 22],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 4);
+}
+
+#[test]
+fn l8_parallel_determinism_fixture_counts() {
+    let src = fixture("parallel_determinism.rs");
+    let rules = RuleSet {
+        parallel_determinism: true,
+        ..RuleSet::default()
+    };
+    let a = analyze_source_with("crates/core/src/fixture.rs", &src, rules);
+    assert_eq!(
+        lines_of(&a.violations, Rule::ParallelDeterminism),
+        vec![8, 10, 12],
+        "{:?}",
+        a.violations
+    );
+    assert_eq!(a.violations.len(), 3);
+}
+
+/// Creates a throwaway mini-workspace under the system temp dir.
+fn mk_ws(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("mpr-lint-v2-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("crates/core/src")).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    for (rel, text) in files {
+        let p = root.join(rel);
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent).expect("mkdir");
+        }
+        std::fs::write(p, text).expect("write");
+    }
+    root
+}
+
+const CLEAN_A: &str = "pub fn cap(w: Watts) -> Watts {\n    w\n}\n";
+const CLEAN_B: &str = "pub fn half(p: Price) -> Price {\n    p\n}\n";
+
+#[test]
+fn cache_cold_then_warm_is_bit_identical() {
+    let root = mk_ws(
+        "warm",
+        &[
+            ("crates/core/src/a.rs", CLEAN_A),
+            ("crates/core/src/b.rs", CLEAN_B),
+        ],
+    );
+    let cache = root.join("target/mpr-lint.cache");
+    let (cold, cs) = analyze_workspace_cached(&root, Some(&cache)).expect("cold");
+    assert_eq!(cs.analyzed, 2);
+    assert_eq!(cs.reused, 0);
+    let (warm, ws) = analyze_workspace_cached(&root, Some(&cache)).expect("warm");
+    assert_eq!(ws.reused, 2, "warm run must serve every file from cache");
+    assert_eq!(ws.analyzed, 0);
+    assert_eq!(to_json(&cold), to_json(&warm), "reports must be byte-equal");
+    assert_eq!(to_sarif(&cold), to_sarif(&warm));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_invalidates_on_file_edit() {
+    let root = mk_ws(
+        "edit",
+        &[
+            ("crates/core/src/a.rs", CLEAN_A),
+            ("crates/core/src/b.rs", CLEAN_B),
+        ],
+    );
+    let cache = root.join("target/mpr-lint.cache");
+    analyze_workspace_cached(&root, Some(&cache)).expect("cold");
+    // A comment-only edit leaves the exported symbols (and hence the
+    // symbol-table digest) unchanged: only the edited file re-analyzes.
+    std::fs::write(
+        root.join("crates/core/src/a.rs"),
+        format!("// touched\n{CLEAN_A}"),
+    )
+    .expect("edit");
+    let (_, stats) = analyze_workspace_cached(&root, Some(&cache)).expect("after edit");
+    assert_eq!(stats.analyzed, 1, "only the edited file re-analyzes");
+    assert_eq!(stats.reused, 1);
+    // An edit that changes exported signatures shifts the symbol-table
+    // digest, which invalidates every file's diagnostics (cross-file rules
+    // may now fire differently).
+    std::fs::write(
+        root.join("crates/core/src/a.rs"),
+        "pub fn cap(w: Watts) -> Result<Watts, CapError> {\n    Ok(w)\n}\n",
+    )
+    .expect("edit");
+    let (_, stats) = analyze_workspace_cached(&root, Some(&cache)).expect("after sig edit");
+    assert_eq!(stats.analyzed, 2, "signature change invalidates everything");
+    assert_eq!(stats.reused, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_invalidates_on_ruleset_version_bump() {
+    let root = mk_ws("version", &[("crates/core/src/a.rs", CLEAN_A)]);
+    let cache = root.join("target/mpr-lint.cache");
+    analyze_workspace_cached(&root, Some(&cache)).expect("cold");
+    // Simulate a ruleset bump by rewriting the header the way an older or
+    // newer binary would have.
+    let text = std::fs::read_to_string(&cache).expect("cache file");
+    let tampered = text.replace(
+        &format!("mpr-lint-cache v{RULESET_VERSION}"),
+        "mpr-lint-cache v1",
+    );
+    assert_ne!(text, tampered, "header must carry the ruleset version");
+    std::fs::write(&cache, tampered).expect("tamper");
+    let (_, stats) = analyze_workspace_cached(&root, Some(&cache)).expect("after bump");
+    assert_eq!(stats.analyzed, 1, "other-version cache must be cold");
+    assert_eq!(stats.reused, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn run_binary(root: &std::path::Path) -> (Option<i32>, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mpr-lint"))
+        .args(["check", "--no-cache", "--root"])
+        .arg(root)
+        .output()
+        .expect("run mpr-lint");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn planted_unit_flow_fails_the_binary() {
+    let root = mk_ws(
+        "plant-l6",
+        &[(
+            "crates/core/src/planted.rs",
+            "pub fn cross(p: Price) -> Watts {\n    Watts::new(p.get())\n}\n",
+        )],
+    );
+    let (code, stdout) = run_binary(&root);
+    assert_eq!(code, Some(1), "planted L6 must fail the build:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/planted.rs:2") && stdout.contains("[unit-flow]"),
+        "diagnostic must carry file:line and rule:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn planted_error_swallowing_fails_the_binary() {
+    let root = mk_ws(
+        "plant-l7",
+        &[(
+            "crates/core/src/planted.rs",
+            "pub fn persist() -> Result<(), Corruption> {\n    Ok(())\n}\n\
+             pub fn tick() {\n    let _ = persist();\n}\n",
+        )],
+    );
+    let (code, stdout) = run_binary(&root);
+    assert_eq!(code, Some(1), "planted L7 must fail the build:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/planted.rs:5") && stdout.contains("[error-swallowing]"),
+        "diagnostic must carry file:line and rule:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn planted_parallel_determinism_fails_the_binary() {
+    let root = mk_ws(
+        "plant-l8",
+        &[(
+            "crates/core/src/planted.rs",
+            "pub fn tally(v: &[f64]) -> f64 {\n    v.par_iter().map(|x| x * 2.0).sum()\n}\n",
+        )],
+    );
+    let (code, stdout) = run_binary(&root);
+    assert_eq!(code, Some(1), "planted L8 must fail the build:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/planted.rs:2")
+            && stdout.contains("[parallel-determinism]"),
+        "diagnostic must carry file:line and rule:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Double-run over the real workspace through a fresh cache: the warm
+/// report must be byte-identical to the cold one, with every file reused.
+#[test]
+fn real_workspace_double_run_is_byte_identical() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = mpr_lint::find_workspace_root(manifest).expect("workspace root");
+    let cache = std::env::temp_dir().join(format!(
+        "mpr-lint-v2-{}-real-double-run.cache",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache);
+    let (cold, _) = analyze_workspace_cached(&root, Some(&cache)).expect("cold");
+    let (warm, stats) = analyze_workspace_cached(&root, Some(&cache)).expect("warm");
+    assert_eq!(stats.analyzed, 0, "nothing changed, nothing re-analyzes");
+    assert_eq!(stats.reused, warm.files_scanned);
+    assert_eq!(to_json(&cold), to_json(&warm));
+    assert_eq!(to_sarif(&cold), to_sarif(&warm));
+    assert!(
+        !to_sarif(&cold).contains(&root.display().to_string()),
+        "SARIF must not leak absolute paths"
+    );
+    let _ = std::fs::remove_file(&cache);
+}

@@ -137,24 +137,22 @@ impl Experiment {
         let mut samples = Vec::with_capacity(n);
 
         // Cooperative bids are fixed for the whole run (MPR-STAT style).
-        let supplies: Vec<_> = self
+        // An invalid cost model (never the prototype apps) simply keeps the
+        // app out of the market rather than aborting the run.
+        let supplies: Vec<Option<_>> = self
             .apps
             .iter()
-            .map(|a| {
-                StaticStrategy::Cooperative
-                    .supply_for(&a.cost_model())
-                    .expect("prototype cost models are valid")
-            })
+            .map(|a| StaticStrategy::Cooperative.supply_for(&a.cost_model()).ok())
             .collect();
 
         for step in 0..n {
             let t = step as f64;
             // Measured power: static + per-app dynamic with phase noise.
             let mut power = STATIC_POWER_W;
-            for (i, app) in self.apps.iter().enumerate() {
+            for (i, (app, &f)) in self.apps.iter().zip(&freqs).enumerate() {
                 let wobble =
                     1.0 + 0.02 * (t / 90.0 + i as f64).sin() + 0.01 * rng.gen_range(-1.0..1.0);
-                power += app.dynamic_power_w(freqs[i]) * wobble;
+                power += app.dynamic_power_w(f) * wobble;
             }
             samples.push(Sample {
                 t_secs: t,
@@ -172,13 +170,12 @@ impl Experiment {
                         let participants: Vec<Participant> = self
                             .apps
                             .iter()
+                            .zip(&supplies)
                             .enumerate()
-                            .map(|(i, a)| {
-                                Participant::new(
-                                    i as u64,
-                                    supplies[i],
-                                    Watts::new(a.watts_per_unit()),
-                                )
+                            .filter_map(|(i, (a, s))| {
+                                s.map(|s| {
+                                    Participant::new(i as u64, s, Watts::new(a.watts_per_unit()))
+                                })
                             })
                             .collect();
                         let clearing = StaticMarket::new(participants).clear_best_effort(target);
@@ -186,12 +183,18 @@ impl Experiment {
                         let mut delivered = 0.0;
                         for alloc in clearing.allocations() {
                             let i = alloc.id as usize;
-                            let f = self.apps[i].freq_for_reduction(alloc.reduction);
-                            freqs[i] = f;
+                            let Some(app) = self.apps.get(i) else {
+                                continue;
+                            };
+                            let f = app.freq_for_reduction(alloc.reduction);
+                            if let Some(fr) = freqs.get_mut(i) {
+                                *fr = f;
+                            }
                             // Actual reduction after frequency snapping.
-                            reductions[i] = f64::from(self.apps[i].cores())
-                                * (1.0 - self.apps[i].allocation(f));
-                            delivered += self.apps[i].power_saving_w(f);
+                            if let Some(r) = reductions.get_mut(i) {
+                                *r = f64::from(app.cores()) * (1.0 - app.allocation(f));
+                            }
+                            delivered += app.power_saving_w(f);
                         }
                         controller.record_delivered(Watts::new(delivered));
                     }
@@ -204,22 +207,24 @@ impl Experiment {
                 }
             }
 
-            for i in 0..self.apps.len() {
-                red_sum[i] += reductions[i];
-                freq_sum[i] += freqs[i];
-                reward[i] += price * reductions[i] / 3600.0;
+            let sums = red_sum.iter_mut().zip(&mut freq_sum).zip(&mut reward);
+            for (((rs, fs), rw), (&r, &f)) in sums.zip(reductions.iter().zip(&freqs)) {
+                *rs += r;
+                *fs += f;
+                *rw += price * r / 3600.0;
             }
         }
 
+        let totals = red_sum.iter().zip(&freq_sum).zip(&reward);
         let apps = self
             .apps
             .iter()
-            .enumerate()
-            .map(|(i, a)| AppOutcome {
+            .zip(totals)
+            .map(|(a, ((&rs, &fs), &rw))| AppOutcome {
                 name: a.name().to_owned(),
-                avg_reduction_cores: red_sum[i] / n as f64,
-                avg_freq_ghz: freq_sum[i] / n as f64,
-                reward: reward[i],
+                avg_reduction_cores: rs / n as f64,
+                avg_freq_ghz: fs / n as f64,
+                reward: rw,
             })
             .collect();
         ExperimentResult {

@@ -128,8 +128,9 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
         .map(|(i, j)| (j.submit_secs, i))
         .collect();
     order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let order: Vec<usize> = order.into_iter().map(|(_, i)| i).collect();
 
+    // Pending items carry their submit time so the event loop never has to
+    // re-index `jobs` to learn it.
     let mut pending = order.into_iter().peekable();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut running: Vec<Running> = Vec::new();
@@ -151,8 +152,8 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
             }
         });
         // Admit submissions at `now`.
-        while let Some(&idx) = pending.peek() {
-            if jobs[idx].submit_secs <= now + 1e-9 {
+        while let Some(&(submit, idx)) = pending.peek() {
+            if submit <= now + 1e-9 {
                 queue.push_back(idx);
                 pending.next();
             } else {
@@ -163,15 +164,19 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
         // Start jobs per policy.
         let mut start_job =
             |idx: usize, free: &mut u32, running: &mut Vec<Running>, is_backfill: bool| {
-                let j = &jobs[idx];
+                let Some(j) = jobs.get(idx) else { return };
                 *free -= j.cores;
                 running.push(Running {
                     end_actual: now + j.runtime_secs,
                     end_estimate: now + j.estimate_secs,
                     cores: j.cores,
                 });
-                starts[idx] = now;
-                started[idx] = true;
+                if let Some(s) = starts.get_mut(idx) {
+                    *s = now;
+                }
+                if let Some(s) = started.get_mut(idx) {
+                    *s = true;
+                }
                 makespan = makespan.max(now + j.runtime_secs);
                 if is_backfill {
                     backfilled += 1;
@@ -179,10 +184,11 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
             };
 
         // FCFS phase: start from the head while it fits.
-        while let Some(&head) = queue.front() {
-            if jobs[head].cores <= free {
-                start_job(head, &mut free, &mut running, false);
-                queue.pop_front();
+        while let Some(j) = queue.front().and_then(|&h| jobs.get(h)) {
+            if j.cores <= free {
+                if let Some(head) = queue.pop_front() {
+                    start_job(head, &mut free, &mut running, false);
+                }
             } else {
                 break;
             }
@@ -190,13 +196,13 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
 
         // EASY backfill phase.
         if policy == Policy::EasyBackfill {
-            if let Some(&head) = queue.front() {
+            if let Some(head_cores) = queue.front().and_then(|&h| jobs.get(h)).map(|j| j.cores) {
                 // Recompute the head's reservation after each backfill.
                 'backfill: loop {
-                    let (shadow, spare) = reservation(&running, free, jobs[head].cores);
+                    let (shadow, spare) = reservation(&running, free, head_cores);
                     let mut chosen = None;
                     for (qpos, &cand) in queue.iter().enumerate().skip(1) {
-                        let c = &jobs[cand];
+                        let Some(c) = jobs.get(cand) else { continue };
                         let fits_now = c.cores <= free;
                         let ends_by_shadow = now + c.estimate_secs <= shadow + 1e-9;
                         let within_spare = c.cores <= spare;
@@ -205,11 +211,8 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
                             break;
                         }
                     }
-                    match chosen {
-                        Some(qpos) => {
-                            let idx = queue.remove(qpos).expect("valid queue position");
-                            start_job(idx, &mut free, &mut running, true);
-                        }
+                    match chosen.and_then(|qpos| queue.remove(qpos)) {
+                        Some(idx) => start_job(idx, &mut free, &mut running, true),
                         None => break 'backfill,
                     }
                 }
@@ -217,7 +220,7 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
         }
 
         // Advance time to the next event.
-        let next_submit = pending.peek().map(|&i| jobs[i].submit_secs);
+        let next_submit = pending.peek().map(|&(s, _)| s);
         let next_completion = running
             .iter()
             .map(|r| r.end_actual)
@@ -230,22 +233,23 @@ pub fn schedule(jobs: &[SubmittedJob], total_cores: u32, policy: Policy) -> Sche
         };
         debug_assert!(next >= now - 1e-9, "time must advance");
         now = next;
-        if !queue.is_empty() && !next_completion.is_finite() && next_submit.is_none() {
-            unreachable!("queued jobs with nothing running and nothing arriving");
-        }
+        debug_assert!(
+            queue.is_empty() || next_completion.is_finite() || next_submit.is_some(),
+            "queued jobs with nothing running and nothing arriving"
+        );
     }
     debug_assert!(started.iter().all(|&s| s), "every job must be scheduled");
 
     // Build outputs.
     let traced: Vec<Job> = jobs
         .iter()
-        .enumerate()
-        .map(|(i, j)| Job::new(j.id, starts[i], j.runtime_secs, j.cores))
+        .zip(&starts)
+        .map(|(j, &st)| Job::new(j.id, st, j.runtime_secs, j.cores))
         .collect();
     let waits: Vec<f64> = jobs
         .iter()
-        .enumerate()
-        .map(|(i, j)| (starts[i] - j.submit_secs).max(0.0))
+        .zip(&starts)
+        .map(|(j, &st)| (st - j.submit_secs).max(0.0))
         .collect();
     let mean_wait_secs = if waits.is_empty() {
         0.0

@@ -824,6 +824,7 @@ fn replay_from(
             }
         }
     }
+    // lint: allow(error-swallowing) replay runs over fault-injected storage by design; the wal image read back below reflects exactly what persisted
     let _ = wal.sync();
     let recovered_slots = (state.step - start_step) as u64;
     let report = sim.finish_report(setup, state);

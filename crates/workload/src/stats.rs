@@ -32,8 +32,12 @@ impl AllocationSeries {
             let e = ((j.end_secs() / slot_secs).ceil() as usize).clamp(s + 1, n.max(s + 1));
             let e = e.min(n);
             if s < n {
-                diff[s] += f64::from(j.cores);
-                diff[e] -= f64::from(j.cores);
+                if let Some(d) = diff.get_mut(s) {
+                    *d += f64::from(j.cores);
+                }
+                if let Some(d) = diff.get_mut(e) {
+                    *d -= f64::from(j.cores);
+                }
             }
         }
         let mut values = Vec::with_capacity(n);
@@ -160,13 +164,14 @@ impl JobMix {
         let mut runtimes: Vec<f64> = jobs.iter().map(|j| j.runtime_secs / 3600.0).collect();
         cores.sort_by(f64::total_cmp);
         runtimes.sort_by(f64::total_cmp);
+        let median = |sorted: &[f64]| sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
         JobMix {
             jobs: jobs.len(),
             mean_cores: cores.iter().sum::<f64>() / n,
-            median_cores: cores[jobs.len() / 2],
+            median_cores: median(&cores),
             max_cores: jobs.iter().map(|j| j.cores).max().unwrap_or(0),
             mean_runtime_hours: runtimes.iter().sum::<f64>() / n,
-            median_runtime_hours: runtimes[jobs.len() / 2],
+            median_runtime_hours: median(&runtimes),
             mean_core_hours: jobs.iter().map(Job::core_hours).sum::<f64>() / n,
             arrivals_per_day: n / (span_secs / 86_400.0).max(1e-9),
         }

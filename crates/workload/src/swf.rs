@@ -108,10 +108,13 @@ pub fn parse_swf(text: &str, name: &str, total_cores: Option<u32>) -> Result<Tra
             });
         }
         let num = |idx: usize| -> Result<f64, SwfError> {
-            fields[idx].parse::<f64>().map_err(|_| SwfError::BadField {
-                line: lineno + 1,
-                field: idx,
-            })
+            fields
+                .get(idx)
+                .and_then(|f| f.parse::<f64>().ok())
+                .ok_or(SwfError::BadField {
+                    line: lineno + 1,
+                    field: idx,
+                })
         };
         let id = num(0)? as u64;
         let submit = num(1)?;
