@@ -1,0 +1,135 @@
+//! Federated vs flat clearing at scale: the same structure-of-arrays
+//! [`MarketInstance`] cleared once by a flat MPR-STAT market and once
+//! through [`HierarchicalMarket`] over a 4 UPS × 4 PDU × 4 rack tree
+//! (64 racks).
+//!
+//! Two tree shapes bracket the federated overhead:
+//! * `federated-root` — only the root ATS binds, so the sweep runs one
+//!   pristine identity-view market and `Clearing::merge` returns it
+//!   verbatim: the measurable cost of the tree walk itself.
+//! * `federated-racks` — every rack binds, so the sweep partitions the
+//!   instance into 64 subtree markets of N/64 rows each. On a
+//!   multi-core host the depth wave clears them on rayon workers; the
+//!   recorded numbers in `BENCHMARKS.md` note the worker count.
+//!
+//! Recorded results live in `BENCHMARKS.md` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_bench::{attainable_watts, make_instance, make_jobs};
+use mpr_core::{MarketInstance, MclrMechanism, Mechanism, Watts};
+use mpr_power::{HierarchicalMarket, LevelKind, PowerHierarchy};
+
+const SIZES: &[usize] = &[100_000, 1_000_000];
+/// 4 UPS × 4 PDU × 4 racks.
+const FANOUT: usize = 4;
+const RACKS: usize = FANOUT * FANOUT * FANOUT;
+/// Fraction of the (estimated) attainable reduction each binding node
+/// asks for — the Fig. 10 benchmarks' 30% working point.
+const TARGET_FRAC: f64 = 0.3;
+
+fn mech() -> Box<dyn Mechanism> {
+    Box::new(MclrMechanism::best_effort())
+}
+
+/// Builds the 4×4×4 tree with per-rack loads `total_load / 64`. A
+/// binding node's capacity sits `deficit` below its subtree load; every
+/// other level gets effectively unbounded capacity.
+fn tree(total_load: f64, deficit: f64, at_racks: bool) -> (PowerHierarchy, Vec<usize>) {
+    let mut h = PowerHierarchy::new();
+    let rack_load = total_load / RACKS as f64;
+    let root_cap = if at_racks {
+        total_load * 10.0
+    } else {
+        total_load - deficit
+    };
+    let ats = h.add_root("ats", LevelKind::Ats, Watts::new(root_cap));
+    let mut racks = Vec::with_capacity(RACKS);
+    for u in 0..FANOUT {
+        let ups = h
+            .add_child(format!("ups-{u}"), LevelKind::Ups, Watts::new(1e15), ats)
+            .expect("ups under ats");
+        for p in 0..FANOUT {
+            let pdu = h
+                .add_child(
+                    format!("pdu-{u}-{p}"),
+                    LevelKind::Pdu,
+                    Watts::new(1e15),
+                    ups,
+                )
+                .expect("pdu under ups");
+            for r in 0..FANOUT {
+                let rack_cap = if at_racks {
+                    rack_load - deficit / RACKS as f64
+                } else {
+                    rack_load * 10.0
+                };
+                let rack = h
+                    .add_child(
+                        format!("rack-{u}-{p}-{r}"),
+                        LevelKind::Rack,
+                        Watts::new(rack_cap),
+                        pdu,
+                    )
+                    .expect("rack under pdu");
+                h.set_load(rack, Watts::new(rack_load)).expect("rack load");
+                racks.push(rack);
+            }
+        }
+    }
+    (h, racks)
+}
+
+fn bench_federated_scale(c: &mut Criterion) {
+    for &n in SIZES {
+        let jobs = make_jobs(n);
+        let instance: MarketInstance = make_instance(&jobs);
+        let deficit = TARGET_FRAC * attainable_watts(&jobs);
+        // Loads are a benchmark proxy: what matters is the deficit each
+        // binding node presents, which mirrors the flat target.
+        let total_load = 2.0 * deficit / TARGET_FRAC;
+        let assignment =
+            |racks: &[usize]| -> Vec<usize> { (0..n).map(|i| racks[i % RACKS]).collect() };
+
+        let mut group = c.benchmark_group("federated_clear");
+        group.sample_size(10);
+
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
+            let mut flat = mech();
+            b.iter(|| {
+                flat.clear(std::hint::black_box(&instance), Watts::new(deficit))
+                    .expect("best-effort always clears")
+            });
+        });
+
+        let (root_tree, root_racks) = tree(total_load, deficit, false);
+        let root_market =
+            HierarchicalMarket::new(&root_tree, assignment(&root_racks)).expect("market");
+        group.bench_with_input(BenchmarkId::new("federated-root", n), &n, |b, _| {
+            b.iter(|| {
+                let out = root_market
+                    .clear(std::hint::black_box(&instance), mech)
+                    .expect("root sweep clears");
+                assert_eq!(out.markets, 1);
+                out
+            });
+        });
+
+        let (rack_tree, rack_racks) = tree(total_load, deficit, true);
+        let rack_market =
+            HierarchicalMarket::new(&rack_tree, assignment(&rack_racks)).expect("market");
+        group.bench_with_input(BenchmarkId::new("federated-racks", n), &n, |b, _| {
+            b.iter(|| {
+                let out = rack_market
+                    .clear(std::hint::black_box(&instance), mech)
+                    .expect("rack sweep clears");
+                assert!(out.markets >= RACKS);
+                out
+            });
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_federated_scale);
+criterion_main!(benches);

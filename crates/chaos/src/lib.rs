@@ -7,7 +7,10 @@
 //! random [`Scenario`] — an algorithm, an oversubscription level, a
 //! [`FaultPlan`](mpr_sim::FaultPlan) × [`NetPlan`](mpr_sim::NetPlan) ×
 //! sensor-fault × [`DiskPlan`](mpr_sim::DiskPlan)-under-the-ledger mix,
-//! an optional mid-run kill/recover point, and config perturbations —
+//! an optional mid-run kill/recover point, an optional power-tree shape
+//! ([`TopologyDraw`]) that routes overloads through the hierarchical
+//! federated market with nested inner-level overloads, and config
+//! perturbations —
 //! from a seeded ChaCha8 generator space, simulates it, and checks a
 //! registry of safety-invariant [`oracles`](oracle) on the resulting
 //! [`SimReport`](mpr_sim::SimReport).
@@ -23,7 +26,8 @@
 //! 3. **Check** — every report passes through [`oracle::registry`]:
 //!    power-cap enforcement, degradation-ladder monotonicity, accounting
 //!    conservation, finite non-negative prices,
-//!    quarantine-implies-stragglers, the durability trio
+//!    quarantine-implies-stragglers, federated residual conservation
+//!    over drawn power trees, the durability trio
 //!    (acknowledged-slot retention, exactly-once ledger payments,
 //!    replay convergence — see `DESIGN.md` §14), and no-panic (each run
 //!    is wrapped in `catch_unwind` as a backstop — `mpr-lint`'s L3
@@ -50,14 +54,14 @@ pub mod shrink;
 
 pub use campaign::{run, CampaignConfig, CampaignReport, Failure, RunRecord};
 pub use oracle::{registry, Oracle, Violation};
-pub use scenario::Scenario;
+pub use scenario::{Scenario, TopologyDraw};
 
 /// Version of the scenario generator space. Bump whenever
 /// [`Scenario::generate`]'s draw sequence or ranges change: the version is
 /// folded into scenario checkpoint fingerprints, so a resumed campaign
 /// rejects checkpoints from a mismatched generator instead of silently
 /// regenerating different scenarios under the same seed.
-pub const SPACE_VERSION: u32 = 2;
+pub const SPACE_VERSION: u32 = 3;
 
 /// Stream separator folded into the campaign seed before scenario draws,
 /// so scenario RNG streams can never collide with the simulator's own

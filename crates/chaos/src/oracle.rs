@@ -23,6 +23,13 @@
 //!   non-market algorithms never post a price.
 //! * `quarantine` — transport quarantines imply observed deadline misses:
 //!   an agent can only be quarantined after straggling.
+//! * `federated` — residual conservation over the power tree: federated
+//!   stats appear exactly when the scenario draws a topology, every
+//!   level's cleared and residual watts are finite, non-negative and
+//!   bounded by the level's cumulative target, per-level market counts
+//!   sum to the total, and the sweep's final residual never exceeds the
+//!   deficit it was asked to clear (clearing only ever *reduces* load,
+//!   so residuals are monotone under the sweep).
 //! * `durability-commit` — a crash never loses a slot the manager already
 //!   acknowledged as durable: `recovered_commit_slot >=
 //!   acked_slot_before_crash`. Waived under injected bit flips, which can
@@ -164,6 +171,11 @@ pub fn registry() -> &'static [Oracle] {
             name: "quarantine",
             description: "transport quarantines imply observed deadline misses",
             check: check_quarantine,
+        },
+        Oracle {
+            name: "federated",
+            description: "federated residuals are conserved and bounded by their targets",
+            check: check_federated,
         },
         Oracle {
             name: "durability-commit",
@@ -512,6 +524,126 @@ fn check_quarantine(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// federated
+
+fn check_federated(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(f) = r.federated.as_ref() else {
+        if scenario.topology.is_some() {
+            out.push(Violation::new(
+                "federated",
+                "scenario draws a power tree but the report carries no federated stats",
+            ));
+        }
+        return out;
+    };
+    if scenario.topology.is_none() {
+        out.push(Violation::new(
+            "federated",
+            "federated stats reported without a drawn power tree",
+        ));
+    }
+    if !f.residual_watts.is_finite() || f.residual_watts < 0.0 {
+        out.push(Violation::new(
+            "federated",
+            format!(
+                "total residual {} W is not finite non-negative",
+                f.residual_watts
+            ),
+        ));
+    }
+    if f.infeasible_events > f.events {
+        out.push(Violation::new(
+            "federated",
+            format!(
+                "{} infeasible events exceed the {} events cleared",
+                f.infeasible_events, f.events
+            ),
+        ));
+    }
+    if f.events > 0 && f.markets < f.events {
+        // Every overload event starts with an overloaded root, whose
+        // first (pristine) round always runs at least one subtree market.
+        out.push(Violation::new(
+            "federated",
+            format!(
+                "{} events cleared but only {} markets ran",
+                f.events, f.markets
+            ),
+        ));
+    }
+    let mut level_markets = 0usize;
+    let mut total_target = 0.0f64;
+    for (name, lv) in &f.levels {
+        level_markets += lv.markets;
+        total_target += lv.target_watts;
+        if lv.markets == 0 {
+            out.push(Violation::new(
+                "federated",
+                format!("level `{name}` is reported but ran no market"),
+            ));
+        }
+        for (what, w) in [
+            ("target", lv.target_watts),
+            ("cleared", lv.cleared_watts),
+            ("residual", lv.residual_watts),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                out.push(Violation::new(
+                    "federated",
+                    format!("level `{name}` {what} {w} W is not finite non-negative"),
+                ));
+            }
+        }
+        // A subtree market never clears (or leaves) more than it was
+        // asked: both are event-wise bounded by the node's deficit, and
+        // the bounds survive summation over events.
+        let tol = 1e-6 + lv.target_watts.abs() * 1e-9;
+        if lv.cleared_watts > lv.target_watts + tol {
+            out.push(Violation::new(
+                "federated",
+                format!(
+                    "level `{name}` cleared {} W above its cumulative target {} W",
+                    lv.cleared_watts, lv.target_watts
+                ),
+            ));
+        }
+        if lv.residual_watts > lv.target_watts + tol {
+            out.push(Violation::new(
+                "federated",
+                format!(
+                    "level `{name}` residual {} W exceeds its cumulative target {} W",
+                    lv.residual_watts, lv.target_watts
+                ),
+            ));
+        }
+    }
+    if level_markets != f.markets {
+        out.push(Violation::new(
+            "federated",
+            format!(
+                "per-level markets sum to {level_markets} but the totals report {}",
+                f.markets
+            ),
+        ));
+    }
+    // Monotonicity of the sweep: clearing only reduces load, so the
+    // residual left at the tree can never exceed the summed deficit the
+    // markets were asked to clear.
+    let tol = 1e-6 + total_target.abs() * 1e-9;
+    if f.residual_watts > total_target + tol {
+        out.push(Violation::new(
+            "federated",
+            format!(
+                "final residual {} W exceeds the {} W of deficit asked across all markets",
+                f.residual_watts, total_target
+            ),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // durability
 
 fn check_durability_commit(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
@@ -601,6 +733,7 @@ mod tests {
             sensor: cfg.telemetry.map(|t| t.sensor),
             disk_plan: cfg.durability.as_ref().and_then(|d| d.disk),
             kill_at_frac: 0.0,
+            topology: None,
             wal_fsync_never: false,
             emergency_disabled: cfg.emergency_disabled,
         }
@@ -687,11 +820,68 @@ mod tests {
                 "accounting",
                 "prices",
                 "quarantine",
+                "federated",
                 "durability-commit",
                 "durability-payments",
                 "durability-replay"
             ]
         );
+    }
+
+    #[test]
+    fn federated_run_passes_and_mismatches_trip_the_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        let mut scenario = scenario_for(&SimConfig::new(Algorithm::MprStat, 20.0).with_timeline());
+        // Squeezed inner headroom: UPS/PDU/rack levels overload alongside
+        // the root, exercising nested subtree markets.
+        scenario.topology = Some(crate::scenario::TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 1,
+            racks_per_pdu: 2,
+            inner_headroom: 1.1,
+        });
+        let report = Simulation::new(&trace, scenario.sim_config()).run();
+        let fed = report.federated.as_ref().expect("federated stats");
+        assert!(fed.events > 0, "need overloads to exercise the sweep");
+        let violations = check_all(&scenario, &report);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // A report with federated stats but no drawn tree is inconsistent,
+        // as is the converse.
+        let mut flat = scenario.clone();
+        flat.topology = None;
+        assert!(check_federated(&flat, &report)
+            .iter()
+            .any(|v| v.message.contains("without a drawn power tree")));
+        let flat_report = Simulation::new(&trace, flat.sim_config()).run();
+        assert!(check_federated(&scenario, &flat_report)
+            .iter()
+            .any(|v| v.message.contains("no federated stats")));
+
+        // Corrupted accounting trips the conservation checks.
+        let mut bad = report.clone();
+        if let Some(f) = bad.federated.as_mut() {
+            let lv = f.levels.values_mut().next().expect("levels");
+            lv.cleared_watts = lv.target_watts + 1.0;
+        }
+        assert!(check_federated(&scenario, &bad)
+            .iter()
+            .any(|v| v.message.contains("above its cumulative target")));
+        let mut bad = report.clone();
+        if let Some(f) = bad.federated.as_mut() {
+            let total: f64 = f.levels.values().map(|l| l.target_watts).sum();
+            f.residual_watts = total + 10.0;
+        }
+        assert!(check_federated(&scenario, &bad)
+            .iter()
+            .any(|v| v.message.contains("deficit asked across all markets")));
+        let mut bad = report;
+        if let Some(f) = bad.federated.as_mut() {
+            f.markets += 1;
+        }
+        assert!(check_federated(&scenario, &bad)
+            .iter()
+            .any(|v| v.message.contains("per-level markets sum")));
     }
 
     #[test]

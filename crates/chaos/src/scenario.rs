@@ -9,7 +9,10 @@
 //! storage faults under the durable market ledger ([`DiskPlan`]). A drawn
 //! disk layer usually also schedules a mid-run manager kill
 //! ([`Scenario::kill_at_frac`]), exercising the checkpoint + ledger-replay
-//! recovery path end-to-end.
+//! recovery path end-to-end. A drawn power-tree shape
+//! ([`Scenario::topology`]) routes every overload event through the
+//! hierarchical federated market, with inner-level headroom squeezed so
+//! UPS/PDU/rack subtrees overload in nested patterns.
 //!
 //! [`Scenario::generate`] maps `(campaign seed, run index)` to a scenario
 //! through an independent ChaCha8 stream per index, so run *k* of campaign
@@ -22,7 +25,9 @@
 
 use std::collections::BTreeMap;
 
+use mpr_core::Watts;
 use mpr_power::telemetry::SensorFaultConfig;
+use mpr_power::{LevelKind, NodeSpec, TopologySpec};
 use mpr_sim::{
     Algorithm, CostNoise, DiskPlan, DurabilityPlan, FaultPlan, FsyncPolicy, NetPlan, SimConfig,
     TelemetryConfig,
@@ -38,6 +43,83 @@ use crate::{SCENARIO_SEED_XOR, SPACE_VERSION};
 /// level, to which [`shrink`](crate::shrink) tries to normalize
 /// [`Scenario::oversub_pct`].
 pub const DEFAULT_OVERSUB_PCT: f64 = 15.0;
+
+/// A drawn power-tree shape for federated clearing.
+///
+/// The scenario realizes it as a [`TopologySpec`] whose inner nodes carry
+/// `inner_headroom ×` their fair share of the root budget. The simulator
+/// rescales the whole tree so the root capacity matches the run's
+/// oversubscribed capacity, so headroom near 1.0 squeezes UPS/PDU/rack
+/// levels into *nested* overloads (every level clears its own subtree
+/// market), while generous headroom leaves the root as the only binding
+/// constraint — the flat-equivalent degenerate case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyDraw {
+    /// UPS nodes under the root ATS.
+    pub ups_count: usize,
+    /// PDU nodes under each UPS.
+    pub pdus_per_ups: usize,
+    /// Rack nodes under each PDU.
+    pub racks_per_pdu: usize,
+    /// Inner-node capacity as a multiple of its fair share of the root.
+    pub inner_headroom: f64,
+}
+
+impl TopologyDraw {
+    /// Total rack (leaf) count of the drawn tree.
+    #[must_use]
+    pub fn total_racks(&self) -> usize {
+        self.ups_count * self.pdus_per_ups * self.racks_per_pdu
+    }
+
+    /// Materializes the draw as a topology spec with nominal root
+    /// capacity 1.0 (the simulator rescales it to the run's capacity).
+    #[must_use]
+    pub fn to_spec(&self) -> TopologySpec {
+        let mut nodes = vec![NodeSpec {
+            name: "ats".to_owned(),
+            kind: LevelKind::Ats,
+            capacity: Watts::new(1.0),
+            parent: None,
+        }];
+        let ups_fair = 1.0 / self.ups_count as f64;
+        let pdu_fair = ups_fair / self.pdus_per_ups as f64;
+        let rack_fair = pdu_fair / self.racks_per_pdu as f64;
+        for u in 0..self.ups_count {
+            let ups_id = nodes.len();
+            nodes.push(NodeSpec {
+                name: format!("ups-{u}"),
+                kind: LevelKind::Ups,
+                capacity: Watts::new(ups_fair * self.inner_headroom),
+                parent: Some(0),
+            });
+            for p in 0..self.pdus_per_ups {
+                let pdu_id = nodes.len();
+                nodes.push(NodeSpec {
+                    name: format!("pdu-{u}-{p}"),
+                    kind: LevelKind::Pdu,
+                    capacity: Watts::new(pdu_fair * self.inner_headroom),
+                    parent: Some(ups_id),
+                });
+                for r in 0..self.racks_per_pdu {
+                    nodes.push(NodeSpec {
+                        name: format!("rack-{u}-{p}-{r}"),
+                        kind: LevelKind::Rack,
+                        capacity: Watts::new(rack_fair * self.inner_headroom),
+                        parent: Some(pdu_id),
+                    });
+                }
+            }
+        }
+        TopologySpec {
+            name: format!(
+                "chaos-{}x{}x{}",
+                self.ups_count, self.pdus_per_ups, self.racks_per_pdu
+            ),
+            nodes,
+        }
+    }
+}
 
 /// One generated point of the campaign's composition space.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +153,10 @@ pub struct Scenario {
     /// against the trace it generates; usually drawn alongside a disk
     /// plan so recovery replays over a faulty ledger.
     pub kill_at_frac: f64,
+    /// Power-tree shape for federated clearing, when drawn. Presence
+    /// routes every overload event through the hierarchical market over
+    /// the realized [`TopologySpec`] instead of one flat market.
+    pub topology: Option<TopologyDraw>,
     /// **Test-only.** Journal with the intentionally unsound
     /// [`FsyncPolicy::Never`], which acknowledges slots before they are
     /// durable. Never drawn by [`generate`](Self::generate); planted by
@@ -226,6 +312,17 @@ impl Scenario {
         } else {
             0.0
         };
+        // A drawn tree routes overloads through the federated market.
+        // Headroom is biased toward the squeezed end so inner levels
+        // overload too — the nested-overload scenarios the flat model
+        // never exercises — but reaches high enough that the degenerate
+        // root-only case stays in the space.
+        let topology = rng.gen_bool(0.3).then(|| TopologyDraw {
+            ups_count: rng.gen_range(1..=3usize),
+            pdus_per_ups: rng.gen_range(1..=2usize),
+            racks_per_pdu: rng.gen_range(1..=3usize),
+            inner_headroom: rng.gen_range(1.0..2.5f64),
+        });
 
         Scenario {
             algorithm,
@@ -240,6 +337,7 @@ impl Scenario {
             sensor,
             disk_plan,
             kill_at_frac,
+            topology,
             wal_fsync_never: false,
             emergency_disabled: false,
         }
@@ -276,6 +374,9 @@ impl Scenario {
         }
         if let Some(s) = self.sensor {
             cfg = cfg.with_telemetry(TelemetryConfig::with_faults(s));
+        }
+        if let Some(t) = self.topology {
+            cfg = cfg.with_topology(t.to_spec());
         }
         if self.is_durable() {
             // `kill_at_slot` stays unresolved here: the fraction is
@@ -331,6 +432,10 @@ impl Scenario {
             n += usize::from(p.bit_flip_prob > 0.0);
             n += usize::from(p.fsync_fail_prob > 0.0);
         }
+        if let Some(t) = self.topology {
+            n += 1; // presence itself
+            n += usize::from(t.total_racks() > 1);
+        }
         n += usize::from(self.kill_at_frac > 0.0);
         n += usize::from(!matches!(self.cost_noise, CostNoise::None));
         n += usize::from(self.alpha_spread > 0.0);
@@ -374,6 +479,12 @@ impl Scenario {
         }
         if self.kill_at_frac > 0.0 {
             parts.push(format!("kill@{:.2}", self.kill_at_frac));
+        }
+        if let Some(t) = self.topology {
+            parts.push(format!(
+                "tree({}x{}x{},headroom={:.2})",
+                t.ups_count, t.pdus_per_ups, t.racks_per_pdu, t.inner_headroom
+            ));
         }
         match self.cost_noise {
             CostNoise::None => {}
@@ -492,6 +603,19 @@ impl Scenario {
                 w.raw("disk_plan", "null");
             }
         }
+        match self.topology {
+            Some(t) => {
+                let mut f = ObjWriter::new();
+                f.num("ups_count", t.ups_count as f64)
+                    .num("pdus_per_ups", t.pdus_per_ups as f64)
+                    .num("racks_per_pdu", t.racks_per_pdu as f64)
+                    .num("inner_headroom", t.inner_headroom);
+                w.raw("topology", f.render(indent + 1));
+            }
+            None => {
+                w.raw("topology", "null");
+            }
+        }
         w.render(indent)
     }
 
@@ -598,6 +722,25 @@ impl Scenario {
                 })
             }
         };
+        let topology = match json::field(obj, "topology")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "topology")?;
+                let draw = TopologyDraw {
+                    ups_count: usize_field(f, "ups_count")?,
+                    pdus_per_ups: usize_field(f, "pdus_per_ups")?,
+                    racks_per_pdu: usize_field(f, "racks_per_pdu")?,
+                    inner_headroom: json::field_num(f, "inner_headroom")?,
+                };
+                if draw.total_racks() == 0 {
+                    return Err(json::ParseError {
+                        at: 0,
+                        message: "topology fan-out must be positive at every level".to_owned(),
+                    });
+                }
+                Some(draw)
+            }
+        };
         Ok(Scenario {
             algorithm,
             oversub_pct: json::field_num(obj, "oversub_pct")?,
@@ -611,6 +754,7 @@ impl Scenario {
             sensor,
             disk_plan,
             kill_at_frac: json::field_num(obj, "kill_at_frac")?,
+            topology,
             wal_fsync_never: json::field_bool(obj, "wal_fsync_never")?,
             emergency_disabled: json::field_bool(obj, "emergency_disabled")?,
         })
@@ -694,6 +838,19 @@ mod tests {
         assert!(scenarios
             .iter()
             .all(|s| s.kill_at_frac == 0.0 || s.disk_plan.is_some()));
+        // Power trees are drawn — both squeezed multi-rack shapes and the
+        // flat (no-tree) majority — and compose with the fault layers.
+        assert!(scenarios.iter().any(|s| s.topology.is_some()));
+        assert!(scenarios.iter().any(|s| s.topology.is_none()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.topology.is_some_and(|t| t.total_racks() > 1)));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.topology.is_some() && s.fault_plan.is_some()));
+        assert!(scenarios.iter().all(|s| s
+            .topology
+            .is_none_or(|t| t.total_racks() >= 1 && (1.0..2.5).contains(&t.inner_headroom))));
         // The generator never plants the test-only knobs.
         assert!(scenarios.iter().all(|s| !s.emergency_disabled));
         assert!(scenarios.iter().all(|s| !s.wal_fsync_never));
@@ -713,6 +870,14 @@ mod tests {
                 s.disk_plan = Some(DiskPlan {
                     capacity_bytes: Some(1 << 20),
                     ..DiskPlan::default()
+                });
+            }
+            if i % 5 == 0 {
+                s.topology = Some(TopologyDraw {
+                    ups_count: 2,
+                    pdus_per_ups: 1,
+                    racks_per_pdu: 3,
+                    inner_headroom: 1.0 + i as f64 / 49.0,
                 });
             }
             let text = s.to_json(0);
@@ -735,6 +900,46 @@ mod tests {
         assert_eq!(cfg.fault_plan, s.fault_plan);
         assert_eq!(cfg.net_plan, s.net_plan);
         assert_eq!(cfg.durability.is_some(), s.is_durable());
+        assert_eq!(cfg.is_federated(), s.topology.is_some());
+        s.topology = Some(TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 2,
+            racks_per_pdu: 2,
+            inner_headroom: 1.1,
+        });
+        let cfg = s.sim_config();
+        assert!(cfg.is_federated());
+        assert_eq!(cfg.topology.as_ref().map(|t| t.nodes.len()), Some(15));
+    }
+
+    #[test]
+    fn topology_draw_realizes_a_valid_nested_tree() {
+        let draw = TopologyDraw {
+            ups_count: 3,
+            pdus_per_ups: 2,
+            racks_per_pdu: 2,
+            inner_headroom: 1.2,
+        };
+        assert_eq!(draw.total_racks(), 12);
+        let spec = draw.to_spec();
+        // 1 ATS + 3 UPS + 6 PDU + 12 racks, in id order with valid parents.
+        assert_eq!(spec.nodes.len(), 22);
+        let h = spec.to_hierarchy().expect("draws satisfy nesting rules");
+        assert_eq!(h.len(), spec.nodes.len());
+        assert_eq!(spec.rack_ids().len(), 12);
+        // The spec round-trips through the on-disk codec like any other.
+        let reparsed = TopologySpec::parse(&spec.to_json()).expect("reparses");
+        assert_eq!(spec, reparsed);
+        // Inner capacity is headroom × fair share of the unit root.
+        let ups_cap = spec.nodes[1].capacity.get();
+        assert!((ups_cap - 1.2 / 3.0).abs() < 1e-12, "{ups_cap}");
+        // Squeezing headroom changes the tree identity (and so the
+        // checkpoint fingerprint the simulator folds in).
+        let squeezed = TopologyDraw {
+            inner_headroom: 1.0,
+            ..draw
+        };
+        assert_ne!(spec.fingerprint(), squeezed.to_spec().fingerprint());
     }
 
     #[test]
@@ -770,6 +975,7 @@ mod tests {
         s.sensor = None;
         s.disk_plan = None;
         s.kill_at_frac = 0.0;
+        s.topology = None;
         s.cost_noise = CostNoise::None;
         s.alpha_spread = 0.0;
         s.participation = 1.0;
@@ -788,6 +994,20 @@ mod tests {
         assert_eq!(s.complexity(), 7, "presence + two nonzero fault probs");
         s.kill_at_frac = 0.5;
         assert_eq!(s.complexity(), 8);
+        s.topology = Some(TopologyDraw {
+            ups_count: 1,
+            pdus_per_ups: 1,
+            racks_per_pdu: 1,
+            inner_headroom: 1.5,
+        });
+        assert_eq!(s.complexity(), 9, "single-branch tree counts presence");
+        s.topology = Some(TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 1,
+            racks_per_pdu: 2,
+            inner_headroom: 1.5,
+        });
+        assert_eq!(s.complexity(), 10, "fan-out adds one more component");
     }
 
     #[test]
@@ -799,12 +1019,19 @@ mod tests {
             ..DiskPlan::default()
         });
         s.kill_at_frac = 0.5;
+        s.topology = Some(TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 1,
+            racks_per_pdu: 3,
+            inner_headroom: 1.25,
+        });
         s.wal_fsync_never = true;
         s.emergency_disabled = true;
         let d = s.describe();
         assert!(d.contains("faults("), "{d}");
         assert!(d.contains("disk(torn=0.20"), "{d}");
         assert!(d.contains("kill@0.50"), "{d}");
+        assert!(d.contains("tree(2x1x3,headroom=1.25)"), "{d}");
         assert!(d.contains("WAL-FSYNC-NEVER"), "{d}");
         assert!(d.contains("EMERGENCY-FSM-DISABLED"), "{d}");
     }

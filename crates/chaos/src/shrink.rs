@@ -83,6 +83,29 @@ const STEPS: &[Step] = &[
         },
     },
     Step {
+        name: "collapse power tree",
+        apply: |s| {
+            s.topology?;
+            Some(Scenario {
+                topology: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "prune power tree to one branch",
+        apply: |s| {
+            let mut t = s.topology.filter(|t| t.total_racks() > 1)?;
+            t.ups_count = 1;
+            t.pdus_per_ups = 1;
+            t.racks_per_pdu = 1;
+            Some(Scenario {
+                topology: Some(t),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
         name: "zero unresponsive_frac",
         apply: |s| {
             let mut p = s.fault_plan.filter(|p| p.unresponsive_frac > 0.0)?;
@@ -389,6 +412,12 @@ mod tests {
             capacity_bytes: None,
         });
         s.kill_at_frac = 0.5;
+        s.topology = Some(crate::scenario::TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 2,
+            racks_per_pdu: 3,
+            inner_headroom: 1.1,
+        });
         s.cost_noise = CostNoise::Random { magnitude: 0.2 };
         s.participation = 0.6;
         s.oversub_pct = 25.0;
@@ -469,6 +498,27 @@ mod tests {
         assert!(r.scenario.net_plan.is_none());
         // presence + torn + kill
         assert_eq!(r.scenario.complexity(), 3);
+    }
+
+    #[test]
+    fn predicate_needing_the_tree_keeps_a_minimal_branch() {
+        let s = busy_scenario();
+        // A federated-style predicate: only reproduces while overloads
+        // still clear over a power tree. Everything else is noise, and the
+        // tree itself collapses to a single UPS/PDU/rack branch.
+        let r = shrink(&s, |c| c.topology.is_some());
+        let t = r.scenario.topology.expect("kept the tree");
+        assert_eq!(t.total_racks(), 1, "pruned to one branch");
+        assert!(r.scenario.fault_plan.is_none());
+        assert!(r.scenario.net_plan.is_none());
+        assert!(r.scenario.disk_plan.is_none());
+        assert_eq!(r.scenario.kill_at_frac, 0.0);
+        // presence only: the fan-out component was pruned away
+        assert_eq!(r.scenario.complexity(), 1);
+        // Without the predicate the tree collapses entirely.
+        let r = shrink(&s, |_| true);
+        assert!(r.scenario.topology.is_none());
+        assert_eq!(r.scenario.complexity(), 0);
     }
 
     #[test]

@@ -156,6 +156,10 @@ pub struct SimulateArgs {
     pub wal: Option<String>,
     /// WAL fsync policy; `None` (flag absent) means [`FsyncPolicy::Always`].
     pub wal_fsync: Option<FsyncPolicy>,
+    /// Path to a power-topology spec (JSON) for federated clearing.
+    pub topology: Option<String>,
+    /// Clear overloads through the hierarchical federated market.
+    pub federated: bool,
     /// Emit CSV instead of a human-readable summary.
     pub csv: bool,
 }
@@ -233,6 +237,8 @@ USAGE:
                   [--resume-from FILE]                      (crash-safe checkpointing)
                   [--wal FILE] [--wal-fsync always|every=<n>|never]
                                                             (write-ahead market ledger)
+                  [--topology FILE --federated]             (hierarchical power-tree markets;
+                                                             FILE is a JSON topology spec)
     mpr market    [--jobs N] [--target-watts W]
                   [--mechanism mpr-stat|mpr-int|opt|eql|vcg|chain]
                   [--interactive]                  (synonym for --mechanism mpr-int)
@@ -371,6 +377,8 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         resume_from: None,
         wal: None,
         wal_fsync: None,
+        topology: None,
+        federated: false,
         csv: false,
     };
     let mut it = rest.iter();
@@ -422,6 +430,8 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
                 out.checkpoint_path = Some(take_value(flag, &mut it)?.to_owned());
             }
             "--resume-from" => out.resume_from = Some(take_value(flag, &mut it)?.to_owned()),
+            "--topology" => out.topology = Some(take_value(flag, &mut it)?.to_owned()),
+            "--federated" => out.federated = true,
             "--wal" => out.wal = Some(take_value(flag, &mut it)?.to_owned()),
             "--wal-fsync" => {
                 let v = take_value(flag, &mut it)?;
@@ -444,6 +454,12 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
     }
     if out.wal_fsync.is_some() && out.wal.is_none() {
         return Err(UsageError("--wal-fsync needs --wal FILE".into()));
+    }
+    if out.federated && out.topology.is_none() {
+        return Err(UsageError("--federated needs --topology FILE".into()));
+    }
+    if out.topology.is_some() && !out.federated {
+        return Err(UsageError("--topology needs --federated".into()));
     }
     if out.wal.is_some() && (out.checkpoint_path.is_some() || out.resume_from.is_some()) {
         return Err(UsageError(
@@ -928,6 +944,27 @@ mod tests {
             "simulate --wal w --checkpoint-every 10 --checkpoint-path c.ckpt"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn simulate_federated_flags() {
+        let Command::Simulate(a) =
+            parse(&argv("simulate --topology tree.json --federated")).unwrap()
+        else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.topology.as_deref(), Some("tree.json"));
+        assert!(a.federated);
+        // Defaults leave federated clearing off.
+        let Command::Simulate(b) = parse(&argv("simulate")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(b.topology, None);
+        assert!(!b.federated);
+        // The flags come as a pair.
+        assert!(parse(&argv("simulate --federated")).is_err());
+        assert!(parse(&argv("simulate --topology tree.json")).is_err());
+        assert!(parse(&argv("simulate --topology")).is_err());
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub fn simulate(
     if sensor.is_active() {
         config = config.with_telemetry(TelemetryConfig::with_faults(sensor));
     }
+    if let Some(path) = &args.topology {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--topology {path}: {e}"))?;
+        let spec =
+            mpr_power::TopologySpec::parse(&text).map_err(|e| format!("--topology {path}: {e}"))?;
+        config = config.with_topology(spec);
+    }
     let r = if let Some(wal_path) = &args.wal {
         config = config.with_durability(DurabilityPlan {
             fsync: args.wal_fsync.unwrap_or(FsyncPolicy::Always),
@@ -168,11 +174,12 @@ pub fn simulate(
              reduction_{ch},cost_{ch},reward_{ch},avg_runtime_increase_pct,\
              jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_{w},\
              sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls,\
-             net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped"
+             net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped,\
+             fed_markets,fed_rounds,fed_residual_{w}"
         )?;
         writeln!(
             out,
-            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{:.3}",
             r.trace_name,
             r.algorithm,
             r.oversubscription_pct,
@@ -198,6 +205,9 @@ pub fn simulate(
             r.transport.map_or(0, |t| t.retransmits),
             r.transport.map_or(0, |t| t.straggler_rounds),
             r.transport.map_or(0, |t| t.messages_dropped),
+            r.federated.as_ref().map_or(0, |f| f.markets),
+            r.federated.as_ref().map_or(0, |f| f.rounds),
+            r.federated.as_ref().map_or(0.0, |f| f.residual_watts),
         )?;
     } else {
         writeln!(
@@ -286,6 +296,34 @@ pub fn simulate(
                 CoreHours::new(d.ledger_reward_core_hours),
                 if d.ledger_wedged { " [WEDGED]" } else { "" },
             )?;
+        }
+        if let Some(f) = &r.federated {
+            writeln!(
+                out,
+                "  federated:           {} subtree markets over {} clearings, \
+                 {} rounds, residual {:.1}, {} infeasible",
+                f.markets,
+                f.events,
+                f.rounds,
+                Watts::new(f.residual_watts),
+                f.infeasible_events,
+            )?;
+            // Levels print root-first: by depth, then by node name.
+            let mut levels: Vec<_> = f.levels.iter().collect();
+            levels.sort_by_key(|(name, lv)| (lv.depth, (*name).clone()));
+            for (name, lv) in levels {
+                writeln!(
+                    out,
+                    "    {:<12} depth {} | {} markets | target {:.1} | \
+                     cleared {:.1} | residual {:.1}",
+                    name,
+                    lv.depth,
+                    lv.markets,
+                    Watts::new(lv.target_watts),
+                    Watts::new(lv.cleared_watts),
+                    Watts::new(lv.residual_watts),
+                )?;
+            }
         }
     }
     Ok(())
@@ -846,9 +884,9 @@ mod tests {
         simulate(&csv, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines.first().is_some_and(
-            |h| h.ends_with("net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped")
-        ));
+        assert!(lines.first().is_some_and(|h| h
+            .contains("net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped")
+            && h.ends_with("fed_markets,fed_rounds,fed_residual_w")));
     }
 
     #[test]
@@ -912,6 +950,81 @@ mod tests {
         };
         assert!(simulate(&bad, &mut Vec::new()).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_federated_reports_per_level_markets() {
+        let tree = std::env::temp_dir().join(format!("mpr_cli_{}_tree.json", std::process::id()));
+        std::fs::write(&tree, include_str!("../../../examples/tree.json")).unwrap();
+        let spec = tree.to_str().unwrap();
+
+        let Command::Simulate(a) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("federated:"),
+            "missing federated line: {text}"
+        );
+        assert!(text.contains("depth"), "missing per-level rows: {text}");
+        assert!(text.contains("residual"), "{text}");
+
+        // The CSV carries the federated columns.
+        let Command::Simulate(csv) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated --csv"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&csv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].ends_with("fed_markets,fed_rounds,fed_residual_w"));
+        let markets: usize = lines[1]
+            .split(',')
+            .nth_back(2)
+            .and_then(|v| v.parse().ok())
+            .expect("fed_markets column");
+        assert!(markets > 0, "federated run must clear subtree markets");
+
+        // A federated checkpoint only resumes under the same topology.
+        let ckpt = std::env::temp_dir().join(format!("mpr_cli_{}_fed.ckpt", std::process::id()));
+        let ckpt_s = ckpt.to_str().unwrap();
+        let Command::Simulate(w) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated \
+             --checkpoint-every 300 --checkpoint-path {ckpt_s}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        simulate(&w, &mut Vec::new()).unwrap();
+        let Command::Simulate(ok) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated --resume-from {ckpt_s}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut resumed = Vec::new();
+        simulate(&ok, &mut resumed).unwrap();
+        assert!(String::from_utf8(resumed).unwrap().contains("federated:"));
+        let Command::Simulate(bad) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --resume-from {ckpt_s}"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(
+            simulate(&bad, &mut Vec::new()).is_err(),
+            "a flat resume must be fenced off a federated checkpoint"
+        );
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&tree);
     }
 
     #[test]

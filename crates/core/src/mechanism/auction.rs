@@ -2,7 +2,7 @@
 
 use crate::cost::CostModel;
 use crate::error::MarketError;
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{Clearing, Diagnostics, InstanceView, Mechanism, MechanismError};
 use crate::opt::{OptJob, OptMethod};
 use crate::units::{Price, Watts};
 use crate::vcg;
@@ -54,13 +54,13 @@ impl Mechanism for VcgMechanism {
         "VCG"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        let rows: Vec<usize> = instance
+        view.ensure_clearable()?;
+        let rows: Vec<usize> = view
             .costs()
             .iter()
             .enumerate()
@@ -72,17 +72,17 @@ impl Mechanism for VcgMechanism {
         let jobs: Vec<OptJob<'_>> = rows
             .iter()
             .filter_map(|&row| {
-                let id = instance.ids().get(row)?;
-                let cost = instance.costs().get(row)?.as_ref()?;
-                let wpu = instance.watts_per_unit_slice().get(row)?;
+                let id = view.ids().get(row)?;
+                let cost = view.costs().get(row)?.as_ref()?;
+                let wpu = view.watts_per_unit_slice().get(row)?;
                 Some(OptJob::new(*id, cost.as_ref(), Watts::new(*wpu)))
             })
             .collect();
         match vcg::auction(&jobs, target, self.method) {
             Ok(outcome) => {
-                let mut reductions = vec![0.0; instance.len()];
-                let mut prices = vec![0.0; instance.len()];
-                let mut payments = vec![0.0; instance.len()];
+                let mut reductions = vec![0.0; view.len()];
+                let mut prices = vec![0.0; view.len()];
+                let mut payments = vec![0.0; view.len()];
                 for (row, award) in rows.iter().zip(&outcome.awards) {
                     if let Some(slot) = reductions.get_mut(*row) {
                         *slot = award.reduction;
@@ -99,7 +99,7 @@ impl Mechanism for VcgMechanism {
                     }
                 }
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
                     reductions,
@@ -110,9 +110,9 @@ impl Mechanism for VcgMechanism {
             }
             Err(e) if self.strict => Err(MechanismError::Market(e)),
             Err(_) => {
-                let mut reductions = vec![0.0; instance.len()];
-                let mut prices = vec![0.0; instance.len()];
-                for (row, cost) in instance.costs().iter().enumerate() {
+                let mut reductions = vec![0.0; view.len()];
+                let mut prices = vec![0.0; view.len()];
+                for (row, cost) in view.costs().iter().enumerate() {
                     if let Some(c) = cost {
                         let delta = c.delta_max();
                         if let Some(slot) = reductions.get_mut(row) {
@@ -129,7 +129,7 @@ impl Mechanism for VcgMechanism {
                     ..Diagnostics::default()
                 };
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
                     reductions,
@@ -146,7 +146,7 @@ impl Mechanism for VcgMechanism {
 mod tests {
     use super::*;
     use crate::cost::QuadraticCost;
-    use crate::mechanism::ParticipantSpec;
+    use crate::mechanism::{MarketInstance, ParticipantSpec};
     use std::sync::Arc;
 
     fn instance(alphas: &[f64]) -> MarketInstance {

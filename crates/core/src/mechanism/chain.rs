@@ -14,7 +14,9 @@
 //! information available.
 
 use crate::market::faults::ChainLevel;
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{
+    Clearing, Diagnostics, InstanceView, MarketInstance, Mechanism, MechanismError,
+};
 use crate::units::Watts;
 
 /// An ordered ladder of mechanisms with progressively weaker guarantees.
@@ -69,27 +71,28 @@ impl Mechanism for FallbackChain<'_> {
         "CHAIN"
     }
 
-    fn prepare(&mut self, instance: &MarketInstance) -> Result<(), MechanismError> {
-        instance.ensure_clearable()?;
+    fn prepare(&mut self, view: &InstanceView<'_>) -> Result<(), MechanismError> {
+        view.ensure_clearable()?;
         for (_, stage) in &mut self.stages {
-            stage.prepare(instance)?;
+            stage.prepare(view)?;
         }
         Ok(())
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
+        view.ensure_clearable()?;
         if self.stages.is_empty() {
             return Err(MechanismError::DegenerateInstance {
                 reason: "the fallback chain has no stages",
             });
         }
-        // The working instance, re-patched whenever a stage reports fresher
-        // bids than the caller supplied.
+        // The working window, re-patched (as a standalone instance of the
+        // view's rows) whenever a stage reports fresher bids than the
+        // caller supplied.
         let mut patched: Option<MarketInstance> = None;
         // Diagnostics of the first stage that produced *any* clearing — the
         // primary mechanism's story (iterations, quarantines, price trace)
@@ -98,9 +101,12 @@ impl Mechanism for FallbackChain<'_> {
         let mut last_err: Option<MechanismError> = None;
         let total = self.stages.len();
         for (idx, (level, stage)) in self.stages.iter_mut().enumerate() {
-            let current: &MarketInstance = patched.as_ref().unwrap_or(instance);
             let is_last = idx + 1 == total;
-            match stage.clear(current, target) {
+            let result = match &patched {
+                Some(p) => stage.clear_view(&p.view(), target),
+                None => stage.clear_view(view, target),
+            };
+            match result {
                 Ok(mut clearing) => {
                     let accepted = clearing.diagnostics().accepted && clearing.met_target();
                     if primary.is_none() {
@@ -127,7 +133,11 @@ impl Mechanism for FallbackChain<'_> {
                     }
                     // Not good enough: carry the freshest bids forward.
                     if let Some(bids) = &clearing.diagnostics().observed_bids {
-                        patched = Some(current.with_bids(bids));
+                        let next = match &patched {
+                            Some(p) => p.with_bids(bids),
+                            None => view.with_bids(bids),
+                        };
+                        patched = Some(next);
                     }
                 }
                 Err(e) => {

@@ -2,7 +2,7 @@
 
 use crate::eql::{self, EqlJob};
 use crate::error::MarketError;
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{Clearing, Diagnostics, InstanceView, Mechanism, MechanismError};
 use crate::units::{Price, Watts};
 
 /// The cost-oblivious baseline (Section III-C): every job loses the same
@@ -21,18 +21,18 @@ impl Mechanism for EqlMechanism {
         "EQL"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        let jobs: Vec<EqlJob> = instance
+        view.ensure_clearable()?;
+        let jobs: Vec<EqlJob> = view
             .ids()
             .iter()
-            .zip(instance.cores())
-            .zip(instance.deltas())
-            .zip(instance.watts_per_unit_slice())
+            .zip(view.cores())
+            .zip(view.deltas())
+            .zip(view.watts_per_unit_slice())
             .map(|(((id, cores), delta), wpu)| EqlJob {
                 id: *id,
                 cores: *cores,
@@ -49,7 +49,7 @@ impl Mechanism for EqlMechanism {
                     ..Diagnostics::default()
                 };
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
                     reductions,
@@ -66,10 +66,10 @@ impl Mechanism for EqlMechanism {
                     ..Diagnostics::default()
                 };
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
-                    instance.cores().to_vec(),
+                    view.cores().to_vec(),
                     None,
                     None,
                     diagnostics,
@@ -91,21 +91,21 @@ impl Mechanism for EqlCappingMechanism {
         "EQL-CAP"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        let attainable = instance.attainable_watts().get();
+        view.ensure_clearable()?;
+        let attainable = view.attainable_watts().get();
         let fraction = if attainable > 0.0 {
             (target.get() / attainable).clamp(0.0, 1.0)
         } else {
             0.0
         };
-        let reductions: Vec<f64> = instance.deltas().iter().map(|d| fraction * d).collect();
+        let reductions: Vec<f64> = view.deltas().iter().map(|d| fraction * d).collect();
         Ok(Clearing::build(
-            instance,
+            view,
             target,
             Price::ZERO,
             reductions,
@@ -119,7 +119,7 @@ impl Mechanism for EqlCappingMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mechanism::ParticipantSpec;
+    use crate::mechanism::{MarketInstance, ParticipantSpec};
 
     fn instance() -> MarketInstance {
         vec![

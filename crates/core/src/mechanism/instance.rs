@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cost::CostModel;
+use crate::mechanism::view::{GroupId, InstanceView};
 use crate::mechanism::MechanismError;
 use crate::participant::{JobId, Participant};
 use crate::units::Watts;
@@ -121,6 +122,11 @@ pub struct MarketInstance {
     watts_per_unit: Vec<f64>,
     cores: Vec<f64>,
     costs: Vec<Option<Arc<dyn CostModel>>>,
+    /// Per-row "a bid was supplied at build time" mask. The bids column
+    /// stores NaN both for "no bid" and for a supplied-but-NaN bid, so
+    /// subset views need this mask to recompute their own degeneracy
+    /// counters.
+    supplied: Vec<bool>,
     bids_supplied: usize,
     finite_bids: usize,
     token: u64,
@@ -244,9 +250,104 @@ impl MarketInstance {
         patched.bids = bids.iter().copied().take(n).collect();
         patched.bids.resize(n, f64::NAN);
         patched.bids_supplied = bids.len().min(n);
+        patched.supplied = (0..n).map(|i| i < patched.bids_supplied).collect();
         patched.finite_bids = patched.bids.iter().filter(|b| b.is_finite()).count();
         patched.token = NEXT_TOKEN.fetch_add(1, Ordering::SeqCst);
         patched
+    }
+
+    /// Whether row `i` was built with a bid (finite or not) — the checked
+    /// companion of the NaN-encoded [`MarketInstance::bids`] column.
+    #[must_use]
+    pub fn bid_supplied(&self, i: usize) -> bool {
+        self.supplied.get(i).copied().unwrap_or(false)
+    }
+
+    /// A borrowed full-width [`InstanceView`] over this instance — what
+    /// every [`Mechanism`](crate::mechanism::Mechanism) clears.
+    #[must_use]
+    pub fn view(&self) -> InstanceView<'_> {
+        InstanceView::full(self)
+    }
+
+    /// An index-mapped window over a subset of rows (parent row indices,
+    /// ascending order not required but preserved). Out-of-range indices
+    /// are dropped. A selection covering every row in order collapses to
+    /// the borrowed full view — bit-identical to clearing the instance
+    /// directly.
+    #[must_use]
+    pub fn select(&self, rows: &[u32]) -> InstanceView<'_> {
+        InstanceView::subset(self, rows, None)
+    }
+
+    /// Partitions the instance into per-group subtree views.
+    ///
+    /// `groups[i]` names the group of row `i`; rows beyond `groups.len()`
+    /// belong to no group and are dropped. Views come back sorted by
+    /// ascending [`GroupId`], each with its rows in parent order. When a
+    /// single group covers every row the lone view is the borrowed full
+    /// view (the identity partition), so a one-group partition clears
+    /// bit-identically to the flat instance.
+    #[must_use]
+    pub fn partition_by(&self, groups: &[GroupId]) -> Vec<InstanceView<'_>> {
+        let mut by_group: std::collections::BTreeMap<GroupId, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (row, &g) in groups.iter().enumerate().take(self.len()) {
+            if let Ok(idx) = u32::try_from(row) {
+                by_group.entry(g).or_default().push(idx);
+            }
+        }
+        by_group
+            .into_iter()
+            .map(|(g, rows)| InstanceView::subset(self, &rows, Some(g)))
+            .collect()
+    }
+
+    /// Materializes the given parent rows as a standalone sub-instance
+    /// (fresh token, per-subset degeneracy counters). Cost models are
+    /// shared via `Arc`; out-of-range rows are skipped.
+    #[must_use]
+    pub(crate) fn gather(&self, rows: &[u32]) -> MarketInstance {
+        let mut out = MarketInstance {
+            ids: Vec::with_capacity(rows.len()),
+            delta_max: Vec::with_capacity(rows.len()),
+            bids: Vec::with_capacity(rows.len()),
+            watts_per_unit: Vec::with_capacity(rows.len()),
+            cores: Vec::with_capacity(rows.len()),
+            costs: Vec::with_capacity(rows.len()),
+            supplied: Vec::with_capacity(rows.len()),
+            bids_supplied: 0,
+            finite_bids: 0,
+            token: NEXT_TOKEN.fetch_add(1, Ordering::SeqCst),
+        };
+        for &r in rows {
+            let i = r as usize;
+            let (Some(id), Some(delta), Some(bid), Some(wpu), Some(cores), Some(cost)) = (
+                self.ids.get(i),
+                self.delta_max.get(i),
+                self.bids.get(i),
+                self.watts_per_unit.get(i),
+                self.cores.get(i),
+                self.costs.get(i),
+            ) else {
+                continue;
+            };
+            out.ids.push(*id);
+            out.delta_max.push(*delta);
+            out.bids.push(*bid);
+            out.watts_per_unit.push(*wpu);
+            out.cores.push(*cores);
+            out.costs.push(cost.clone());
+            let was_supplied = self.bid_supplied(i);
+            out.supplied.push(was_supplied);
+            if was_supplied {
+                out.bids_supplied += 1;
+                if bid.is_finite() {
+                    out.finite_bids += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Rejects instances no mechanism can meaningfully clear: no
@@ -282,6 +383,7 @@ impl FromIterator<ParticipantSpec> for MarketInstance {
         let mut watts_per_unit = Vec::with_capacity(hint);
         let mut cores = Vec::with_capacity(hint);
         let mut costs = Vec::with_capacity(hint);
+        let mut supplied = Vec::with_capacity(hint);
         let mut bids_supplied = 0;
         let mut finite_bids = 0;
         for spec in iter {
@@ -290,6 +392,7 @@ impl FromIterator<ParticipantSpec> for MarketInstance {
             watts_per_unit.push(spec.watts_per_unit);
             cores.push(spec.cores.unwrap_or(spec.delta_max));
             costs.push(spec.cost);
+            supplied.push(spec.bid.is_some());
             match spec.bid {
                 Some(b) => {
                     bids_supplied += 1;
@@ -308,6 +411,7 @@ impl FromIterator<ParticipantSpec> for MarketInstance {
             watts_per_unit,
             cores,
             costs,
+            supplied,
             bids_supplied,
             finite_bids,
             token: NEXT_TOKEN.fetch_add(1, Ordering::SeqCst),

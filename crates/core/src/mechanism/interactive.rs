@@ -7,7 +7,7 @@ use crate::error::MarketError;
 use crate::market::interactive::{
     is_oscillating, BiddingAgent, InteractiveConfig, InteractiveMarket, NetGainAgent,
 };
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{Clearing, Diagnostics, InstanceView, Mechanism, MechanismError};
 use crate::units::{Price, Watts};
 
 /// The interactive market (Section III-B): rational [`NetGainAgent`]s are
@@ -52,12 +52,11 @@ impl InteractiveMechanism {
         self.config
     }
 
-    fn agents(instance: &MarketInstance) -> Vec<Box<dyn BiddingAgent>> {
-        instance
-            .ids()
+    fn agents(view: &InstanceView<'_>) -> Vec<Box<dyn BiddingAgent>> {
+        view.ids()
             .iter()
-            .zip(instance.costs())
-            .zip(instance.watts_per_unit_slice())
+            .zip(view.costs())
+            .zip(view.watts_per_unit_slice())
             .filter_map(|((id, cost), wpu)| {
                 let cost = cost.clone()?;
                 Some(Box::new(NetGainAgent::new(*id, cost, Watts::new(*wpu)))
@@ -68,10 +67,10 @@ impl InteractiveMechanism {
 
     /// The capped fallback: every cost-bearing row reduces by its full
     /// `Δ_m` and is paid its own marginal unit cost at that point.
-    fn capped(instance: &MarketInstance, target: Watts) -> Clearing {
-        let mut reductions = Vec::with_capacity(instance.len());
-        let mut prices = Vec::with_capacity(instance.len());
-        for cost in instance.costs() {
+    fn capped(view: &InstanceView<'_>, target: Watts) -> Clearing {
+        let mut reductions = Vec::with_capacity(view.len());
+        let mut prices = Vec::with_capacity(view.len());
+        for cost in view.costs() {
             match cost {
                 Some(c) => {
                     let delta = c.delta_max();
@@ -92,7 +91,7 @@ impl InteractiveMechanism {
             ..Diagnostics::default()
         };
         Clearing::build(
-            instance,
+            view,
             target,
             Price::ZERO,
             reductions,
@@ -108,13 +107,13 @@ impl Mechanism for InteractiveMechanism {
         "MPR-INT"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        let agents = Self::agents(instance);
+        view.ensure_clearable()?;
+        let agents = Self::agents(view);
         if agents.is_empty() {
             return Err(MechanismError::Market(MarketError::NoParticipants));
         }
@@ -144,7 +143,7 @@ impl Mechanism for InteractiveMechanism {
                     .iter()
                     .map(|a| (a.id, a.reduction))
                     .collect();
-                let reductions: Vec<f64> = instance
+                let reductions: Vec<f64> = view
                     .ids()
                     .iter()
                     .map(|id| by_id.get(id).copied().unwrap_or(0.0))
@@ -157,7 +156,7 @@ impl Mechanism for InteractiveMechanism {
                     ..Diagnostics::default()
                 };
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     outcome.clearing.price(),
                     reductions,
@@ -170,7 +169,7 @@ impl Mechanism for InteractiveMechanism {
                 if self.strict {
                     Err(MechanismError::Market(e))
                 } else {
-                    Ok(Self::capped(instance, target))
+                    Ok(Self::capped(view, target))
                 }
             }
             Err(e) => Err(MechanismError::Market(e)),
@@ -182,7 +181,7 @@ impl Mechanism for InteractiveMechanism {
 mod tests {
     use super::*;
     use crate::cost::QuadraticCost;
-    use crate::mechanism::ParticipantSpec;
+    use crate::mechanism::{MarketInstance, ParticipantSpec};
     use std::sync::Arc;
 
     fn instance(alphas: &[f64]) -> MarketInstance {

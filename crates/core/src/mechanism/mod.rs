@@ -8,8 +8,14 @@
 //! * [`MarketInstance`] — a struct-of-arrays snapshot of the overload
 //!   (contiguous `Δ_m`, `b_m`, watts-per-unit, cores, cost curves), built
 //!   once per overload and shared by every solver.
-//! * [`Mechanism`] — `prepare`/`clear` over a `MarketInstance`, returning a
-//!   uniform [`Clearing`] (price, per-participant reductions and payments,
+//! * [`InstanceView`] — a borrowed, index-mapped window over those columns:
+//!   the full instance, a row subset ([`MarketInstance::select`]), or one
+//!   group of a [`MarketInstance::partition_by`] split. Solvers clear
+//!   views; per-view clearings fold back into parent row order with
+//!   [`Clearing::merge`].
+//! * [`Mechanism`] — `prepare`/`clear_view` over an `InstanceView` (with
+//!   `clear` sugar for the full instance), returning a uniform
+//!   [`Clearing`] (price, per-participant reductions and payments,
 //!   residual shortfall, diagnostics) or a typed [`MechanismError`].
 //! * The implementations: [`MclrMechanism`] (MPR-STAT),
 //!   [`InteractiveMechanism`] (MPR-INT), [`OptMechanism`], [`EqlMechanism`],
@@ -31,6 +37,7 @@ mod optimal;
 mod resilient;
 mod stat;
 mod transported;
+mod view;
 
 pub use auction::VcgMechanism;
 pub use chain::FallbackChain;
@@ -41,6 +48,7 @@ pub use optimal::OptMechanism;
 pub use resilient::ResilientInteractiveMechanism;
 pub use stat::MclrMechanism;
 pub use transported::TransportedInteractiveMechanism;
+pub use view::{GroupId, InstanceView};
 
 use crate::error::MarketError;
 use crate::market::faults::{ChainLevel, Quarantine};
@@ -171,6 +179,35 @@ impl Default for Diagnostics {
     }
 }
 
+impl Diagnostics {
+    /// Folds two per-view diagnostics into one merged account (used by
+    /// [`Clearing::merge`]): counters add, convergence flags conjoin,
+    /// degradation flags disjoin, quarantines concatenate in fold order,
+    /// and the chain level keeps the deepest degradation seen. Per-view
+    /// price traces, observed bids, and transport counters do not compose
+    /// across disjoint row windows and are dropped.
+    #[must_use]
+    pub fn fold(mut acc: Self, other: &Self) -> Self {
+        acc.iterations += other.iterations;
+        acc.converged &= other.converged;
+        acc.diverged |= other.diverged;
+        acc.retries += other.retries;
+        acc.quarantined.extend(other.quarantined.iter().cloned());
+        acc.price_trace = Vec::new();
+        acc.violations += other.violations;
+        acc.capped_at_delta_max |= other.capped_at_delta_max;
+        acc.accepted &= other.accepted;
+        acc.chain_level = match (acc.chain_level, other.chain_level) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        acc.levels_tried = acc.levels_tried.max(other.levels_tried);
+        acc.observed_bids = None;
+        acc.transport = None;
+        acc
+    }
+}
+
 /// The uniform result of clearing a [`MarketInstance`].
 ///
 /// Per-participant data is dense and positional: index `i` in every slice
@@ -189,15 +226,15 @@ pub struct Clearing {
 }
 
 impl Clearing {
-    /// Assembles a clearing for `instance`.
+    /// Assembles a clearing for the rows of `view`.
     ///
-    /// `reductions` is positional (row `i` of the instance); shorter
-    /// vectors are zero-padded, longer ones truncated. `prices` defaults to
-    /// the uniform clearing `price`; `payments` (core-hours per hour)
-    /// defaults to `price_i · reduction_i`.
+    /// `reductions` is positional (row `i` of the view); shorter vectors
+    /// are zero-padded, longer ones truncated. `prices` defaults to the
+    /// uniform clearing `price`; `payments` (core-hours per hour) defaults
+    /// to `price_i · reduction_i`.
     #[must_use]
     pub fn build(
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
         price: Price,
         reductions: Vec<f64>,
@@ -205,13 +242,13 @@ impl Clearing {
         payments: Option<Vec<f64>>,
         diagnostics: Diagnostics,
     ) -> Self {
-        let n = instance.len();
+        let n = view.len();
         let mut reductions = reductions;
         reductions.resize(n, 0.0);
         reductions.truncate(n);
         let power_w: Vec<f64> = reductions
             .iter()
-            .zip(instance.watts_per_unit_slice())
+            .zip(view.watts_per_unit_slice())
             .map(|(r, w)| r * w)
             .collect();
         let mut prices = prices.unwrap_or_else(|| vec![price.get(); n]);
@@ -233,7 +270,7 @@ impl Clearing {
         Self {
             price,
             target,
-            ids: instance.ids().to_vec(),
+            ids: view.ids().to_vec(),
             reductions,
             power_w,
             prices,
@@ -241,6 +278,76 @@ impl Clearing {
             residual,
             diagnostics,
         }
+    }
+
+    /// Folds per-view clearings back into the parent instance's row order:
+    /// the deterministic merge step of a
+    /// [`MarketInstance::partition_by`] round.
+    ///
+    /// Reductions and payments scatter-add through each view's row map
+    /// (partitions are disjoint, so adds are plain writes there);
+    /// per-participant prices scatter with last-writer-wins in part order.
+    /// The headline price is the maximum part price — the binding subtree
+    /// market. Diagnostics fold part-by-part in the given (deterministic)
+    /// order. A single full-cover part whose target matches is returned
+    /// verbatim, making the identity partition's merge bit-identical to
+    /// the flat clearing, diagnostics included.
+    #[must_use]
+    pub fn merge(
+        instance: &MarketInstance,
+        target: Watts,
+        parts: &[(InstanceView<'_>, Clearing)],
+    ) -> Self {
+        if let [(view, clearing)] = parts {
+            if view.is_full() && clearing.target_watts() == target {
+                return clearing.clone();
+            }
+        }
+        let n = instance.len();
+        let mut reductions = vec![0.0; n];
+        let mut prices = vec![0.0; n];
+        let mut payments = vec![0.0; n];
+        let mut folded: Option<Diagnostics> = None;
+        let mut price = Price::ZERO;
+        for (view, clearing) in parts {
+            for (j, ((r, q), pay)) in clearing
+                .reductions()
+                .iter()
+                .zip(clearing.participant_prices())
+                .zip(clearing.payment_rates())
+                .enumerate()
+            {
+                let row = view.parent_row(j);
+                let (Some(rs), Some(qs), Some(ps)) = (
+                    reductions.get_mut(row),
+                    prices.get_mut(row),
+                    payments.get_mut(row),
+                ) else {
+                    continue;
+                };
+                *rs += r;
+                *qs = *q;
+                *ps += pay;
+            }
+            if clearing.price() > price {
+                price = clearing.price();
+            }
+            let d = clearing.diagnostics();
+            folded = Some(match folded {
+                None => d.clone(),
+                Some(acc) => Diagnostics::fold(acc, d),
+            });
+        }
+        let diagnostics = folded.unwrap_or_default();
+        Clearing::build(
+            &instance.view(),
+            target,
+            price,
+            reductions,
+            Some(prices),
+            Some(payments),
+            diagnostics,
+        )
     }
 
     /// The headline clearing price `q'` in core-hours per watt (zero for
@@ -391,29 +498,35 @@ impl Clearing {
     }
 }
 
-/// One clearing scheme over a shared [`MarketInstance`].
+/// One clearing scheme over a borrowed [`InstanceView`] window of a
+/// shared [`MarketInstance`].
 ///
-/// `clear` takes `&mut self` because several mechanisms are stateful: the
-/// interactive game owns bidding agents, resilient variants carry
+/// `clear_view` takes `&mut self` because several mechanisms are stateful:
+/// the interactive game owns bidding agents, resilient variants carry
 /// quarantine state across clearings, and chains own their stages.
+/// Clearing the whole instance is the identity window —
+/// [`Mechanism::clear`] is provided sugar for
+/// `clear_view(&instance.view(), target)`.
 pub trait Mechanism: Send {
     /// Short scheme name for dispatch tables and reports (e.g.
     /// `"MPR-STAT"`).
     fn name(&self) -> &'static str;
 
-    /// Validates and (optionally) pre-processes an instance before
-    /// clearing — the hook where index structures for batched/parallel
-    /// clearing belong.
+    /// Validates and (optionally) pre-processes a view before clearing —
+    /// the hook where index structures for batched/parallel clearing
+    /// belong.
     ///
     /// # Errors
     ///
-    /// [`MechanismError::DegenerateInstance`] when the instance is empty or
-    /// all supplied bids are non-finite.
-    fn prepare(&mut self, instance: &MarketInstance) -> Result<(), MechanismError> {
-        instance.ensure_clearable()
+    /// [`MechanismError::DegenerateInstance`] when the view is empty or
+    /// all bids supplied within it are non-finite.
+    fn prepare(&mut self, view: &InstanceView<'_>) -> Result<(), MechanismError> {
+        view.ensure_clearable()
     }
 
-    /// Clears the instance for a power-reduction target.
+    /// Clears the view's rows for a power-reduction target. Every
+    /// per-participant slice of the resulting [`Clearing`] is positional
+    /// in *view* row order.
     ///
     /// # Errors
     ///
@@ -421,19 +534,39 @@ pub trait Mechanism: Send {
     /// * [`MechanismError::Market`] for solver-level failures (strict
     ///   mechanisms propagate infeasibility; best-effort variants return a
     ///   capped [`Clearing`] with a positive residual instead).
+    fn clear_view(
+        &mut self,
+        view: &InstanceView<'_>,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError>;
+
+    /// Clears the whole instance (the identity window).
+    ///
+    /// # Errors
+    ///
+    /// As [`Mechanism::clear_view`].
     fn clear(
         &mut self,
         instance: &MarketInstance,
         target: Watts,
-    ) -> Result<Clearing, MechanismError>;
+    ) -> Result<Clearing, MechanismError> {
+        self.clear_view(&instance.view(), target)
+    }
 }
 
 impl<M: Mechanism + ?Sized> Mechanism for &mut M {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn prepare(&mut self, instance: &MarketInstance) -> Result<(), MechanismError> {
-        (**self).prepare(instance)
+    fn prepare(&mut self, view: &InstanceView<'_>) -> Result<(), MechanismError> {
+        (**self).prepare(view)
+    }
+    fn clear_view(
+        &mut self,
+        view: &InstanceView<'_>,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        (**self).clear_view(view, target)
     }
     fn clear(
         &mut self,
@@ -448,8 +581,15 @@ impl<M: Mechanism + ?Sized> Mechanism for Box<M> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn prepare(&mut self, instance: &MarketInstance) -> Result<(), MechanismError> {
-        (**self).prepare(instance)
+    fn prepare(&mut self, view: &InstanceView<'_>) -> Result<(), MechanismError> {
+        (**self).prepare(view)
+    }
+    fn clear_view(
+        &mut self,
+        view: &InstanceView<'_>,
+        target: Watts,
+    ) -> Result<Clearing, MechanismError> {
+        (**self).clear_view(view, target)
     }
     fn clear(
         &mut self,
@@ -474,7 +614,7 @@ mod tests {
     fn residual_and_met_target_are_mutually_exclusive() {
         let inst = small_instance();
         let met = Clearing::build(
-            &inst,
+            &inst.view(),
             Watts::new(250.0),
             Price::new(0.5),
             vec![1.0, 1.0],
@@ -486,7 +626,7 @@ mod tests {
         assert_eq!(met.residual(), Watts::ZERO);
 
         let short = Clearing::build(
-            &inst,
+            &inst.view(),
             Watts::new(250.0),
             Price::new(0.5),
             vec![0.5, 0.5],
@@ -503,7 +643,7 @@ mod tests {
     fn payments_default_to_price_times_reduction() {
         let inst = small_instance();
         let c = Clearing::build(
-            &inst,
+            &inst.view(),
             Watts::new(100.0),
             Price::new(0.4),
             vec![0.5, 1.0],
@@ -523,7 +663,7 @@ mod tests {
     fn reduction_vectors_are_normalized_to_instance_length() {
         let inst = small_instance();
         let c = Clearing::build(
-            &inst,
+            &inst.view(),
             Watts::new(10.0),
             Price::new(0.1),
             vec![1.0],
@@ -543,7 +683,7 @@ mod tests {
     fn negative_target_is_met_with_zero_residual() {
         let inst = small_instance();
         let c = Clearing::build(
-            &inst,
+            &inst.view(),
             Watts::new(-5.0),
             Price::ZERO,
             vec![0.0, 0.0],
@@ -553,5 +693,60 @@ mod tests {
         );
         assert!(c.met_target());
         assert_eq!(c.residual(), Watts::ZERO);
+    }
+
+    #[test]
+    fn merge_of_the_identity_partition_is_the_flat_clearing_verbatim() {
+        let inst = small_instance();
+        let target = Watts::new(200.0);
+        let mut mech = MclrMechanism::best_effort();
+        let flat = mech.clear(&inst, target).unwrap();
+        let views = inst.partition_by(&[5, 5]);
+        let parts: Vec<(InstanceView<'_>, Clearing)> = views
+            .into_iter()
+            .map(|v| {
+                let c = mech.clear_view(&v, target).unwrap();
+                (v, c)
+            })
+            .collect();
+        let merged = Clearing::merge(&inst, target, &parts);
+        assert_eq!(merged.reductions(), flat.reductions());
+        assert_eq!(merged.participant_prices(), flat.participant_prices());
+        assert_eq!(merged.payment_rates(), flat.payment_rates());
+        assert_eq!(merged.price(), flat.price());
+        assert_eq!(merged.diagnostics(), flat.diagnostics());
+    }
+
+    #[test]
+    fn merge_scatters_disjoint_parts_back_into_parent_order() {
+        let inst: MarketInstance = (0..4)
+            .map(|id| ParticipantSpec::new(id, 1.0 + id as f64, Watts::new(100.0)).with_bid(0.2))
+            .collect();
+        let views = inst.partition_by(&[1, 0, 1, 0]);
+        let parts: Vec<(InstanceView<'_>, Clearing)> = views
+            .into_iter()
+            .map(|v| {
+                let reductions: Vec<f64> = v.deltas().to_vec();
+                let c = Clearing::build(
+                    &v,
+                    Watts::new(50.0),
+                    Price::new(0.1 * (1.0 + f64::from(v.group().unwrap_or(0)))),
+                    reductions,
+                    None,
+                    None,
+                    Diagnostics::default(),
+                );
+                (v, c)
+            })
+            .collect();
+        let merged = Clearing::merge(&inst, Watts::new(100.0), &parts);
+        // Every row got its own delta back, in parent order.
+        assert_eq!(merged.reductions(), &[1.0, 2.0, 3.0, 4.0]);
+        // Headline price is the binding (maximum) part price.
+        assert!((merged.price().get() - 0.2).abs() < 1e-12);
+        // Per-row prices came from each row's own subtree market.
+        assert!((merged.participant_prices()[0] - 0.2).abs() < 1e-12);
+        assert!((merged.participant_prices()[1] - 0.1).abs() < 1e-12);
+        assert_eq!(merged.target_watts(), Watts::new(100.0));
     }
 }

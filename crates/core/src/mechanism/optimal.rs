@@ -3,7 +3,7 @@
 
 use crate::cost::CostModel;
 use crate::error::MarketError;
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{Clearing, Diagnostics, InstanceView, Mechanism, MechanismError};
 use crate::opt::{self, OptJob, OptMethod};
 use crate::units::{Price, Watts};
 
@@ -47,19 +47,19 @@ impl Mechanism for OptMechanism {
         "OPT"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        // Positional map: row index -> OptJob. Borrows the Arc'd cost
-        // models straight from the SoA arrays (no per-solver clones).
-        let rows: Vec<(usize, OptJob<'_>)> = instance
+        view.ensure_clearable()?;
+        // Positional map: view row index -> OptJob. Borrows the Arc'd cost
+        // models straight from the SoA columns (no per-solver clones).
+        let rows: Vec<(usize, OptJob<'_>)> = view
             .ids()
             .iter()
-            .zip(instance.costs())
-            .zip(instance.watts_per_unit_slice())
+            .zip(view.costs())
+            .zip(view.watts_per_unit_slice())
             .enumerate()
             .filter_map(|(row, ((id, cost), wpu))| {
                 let cost = cost.as_ref()?;
@@ -72,14 +72,14 @@ impl Mechanism for OptMechanism {
         let jobs: Vec<OptJob<'_>> = rows.iter().map(|(_, j)| *j).collect();
         match opt::solve(&jobs, target, self.method) {
             Ok(sol) => {
-                let mut reductions = vec![0.0; instance.len()];
+                let mut reductions = vec![0.0; view.len()];
                 for ((row, _), (_, delta)) in rows.iter().zip(&sol.reductions) {
                     if let Some(slot) = reductions.get_mut(*row) {
                         *slot = *delta;
                     }
                 }
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
                     reductions,
@@ -91,7 +91,7 @@ impl Mechanism for OptMechanism {
             Err(e) if self.strict => Err(MechanismError::Market(e)),
             Err(_) => {
                 // Forced capping: every cost-bearing row gives its maximum.
-                let reductions: Vec<f64> = instance
+                let reductions: Vec<f64> = view
                     .costs()
                     .iter()
                     .map(|cost| cost.as_ref().map_or(0.0, |c| c.delta_max()))
@@ -102,7 +102,7 @@ impl Mechanism for OptMechanism {
                     ..Diagnostics::default()
                 };
                 Ok(Clearing::build(
-                    instance,
+                    view,
                     target,
                     Price::ZERO,
                     reductions,
@@ -119,7 +119,7 @@ impl Mechanism for OptMechanism {
 mod tests {
     use super::*;
     use crate::cost::QuadraticCost;
-    use crate::mechanism::ParticipantSpec;
+    use crate::mechanism::{MarketInstance, ParticipantSpec};
     use std::sync::Arc;
 
     fn instance(alphas: &[f64]) -> MarketInstance {

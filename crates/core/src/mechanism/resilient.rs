@@ -15,7 +15,7 @@ use crate::market::faults::{ConvergenceWatchdog, Quarantine, ResilientConfig};
 use crate::market::interactive::BiddingAgent;
 use crate::mclr;
 use crate::mechanism::{
-    Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError, ParticipantSpec,
+    Clearing, Diagnostics, InstanceView, MarketInstance, Mechanism, MechanismError, ParticipantSpec,
 };
 use crate::participant::Participant;
 use crate::supply::SupplyFunction;
@@ -194,9 +194,9 @@ impl Mechanism for ResilientInteractiveMechanism {
         "MPR-INT-RESILIENT"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
         if self.slots.is_empty() {
@@ -205,13 +205,15 @@ impl Mechanism for ResilientInteractiveMechanism {
             });
         }
         // Row layout must match the registered agents; fall back to our own
-        // view when a caller hands us a foreign instance.
+        // view when a caller hands us a foreign window.
         let own;
-        let layout = if instance.len() == self.slots.len() {
-            instance
+        let own_view;
+        let layout: &InstanceView<'_> = if view.len() == self.slots.len() {
+            view
         } else {
             own = self.instance();
-            &own
+            own_view = own.view();
+            &own_view
         };
         let target_watts = target.get();
         if target_watts <= 0.0 {

@@ -1,7 +1,7 @@
 //! MPR-STAT / MClr on the unified [`Mechanism`] interface.
 
 use crate::mclr;
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{Clearing, Diagnostics, InstanceView, Mechanism, MechanismError};
 use crate::participant::Participant;
 use crate::supply::SupplyFunction;
 use crate::units::Watts;
@@ -36,16 +36,16 @@ impl MclrMechanism {
         Self { strict: false }
     }
 
-    /// Materializes the bid-bearing rows as MClr participants. This is the
-    /// single point where the SoA instance meets the array-of-structs
-    /// solver; rows with a non-finite bid or an unusable `Δ_m` are skipped.
-    fn participants(instance: &MarketInstance) -> Vec<Participant> {
-        instance
-            .ids()
+    /// Materializes the view's bid-bearing rows as MClr participants.
+    /// This is the single point where the SoA columns meet the
+    /// array-of-structs solver; rows with a non-finite bid or an unusable
+    /// `Δ_m` are skipped.
+    fn participants(view: &InstanceView<'_>) -> Vec<Participant> {
+        view.ids()
             .iter()
-            .zip(instance.deltas())
-            .zip(instance.bids())
-            .zip(instance.watts_per_unit_slice())
+            .zip(view.deltas())
+            .zip(view.bids())
+            .zip(view.watts_per_unit_slice())
             .filter_map(|(((id, delta), bid), wpu)| {
                 if !bid.is_finite() {
                     return None;
@@ -62,13 +62,13 @@ impl Mechanism for MclrMechanism {
         "MPR-STAT"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
-        instance.ensure_clearable()?;
-        let participants = Self::participants(instance);
+        view.ensure_clearable()?;
+        let participants = Self::participants(view);
         if participants.is_empty() {
             return Err(MechanismError::Market(
                 crate::error::MarketError::NoParticipants,
@@ -83,10 +83,10 @@ impl Mechanism for MclrMechanism {
         // Read reductions straight off the SoA arrays at the clearing
         // price: δ_m(q') = [Δ_m − b_m/q']⁺, zero for bid-less rows.
         let price = sol.price;
-        let reductions: Vec<f64> = instance
+        let reductions: Vec<f64> = view
             .deltas()
             .iter()
-            .zip(instance.bids())
+            .zip(view.bids())
             .map(|(delta, bid)| {
                 if !bid.is_finite() || !delta.is_finite() || price.get() <= 0.0 {
                     0.0
@@ -100,7 +100,7 @@ impl Mechanism for MclrMechanism {
             ..Diagnostics::default()
         };
         Ok(Clearing::build(
-            instance,
+            view,
             target,
             price,
             reductions,
@@ -114,7 +114,7 @@ impl Mechanism for MclrMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mechanism::ParticipantSpec;
+    use crate::mechanism::{MarketInstance, ParticipantSpec};
 
     fn instance(bids: &[f64]) -> MarketInstance {
         bids.iter()
@@ -130,7 +130,7 @@ mod tests {
         let mut mech = MclrMechanism::strict();
         let c = mech.clear(&inst, Watts::new(200.0)).unwrap();
 
-        let legacy = StaticMarket::new(MclrMechanism::participants(&inst))
+        let legacy = StaticMarket::new(MclrMechanism::participants(&inst.view()))
             .clear(Watts::new(200.0))
             .unwrap();
         assert!((c.price().get() - legacy.price().get()).abs() < 1e-9);

@@ -32,7 +32,9 @@ use crate::mechanism::resilient::{
     slots_instance, slots_observed_bids, slots_survivor_participants, slots_survivor_reductions,
     AgentSlot,
 };
-use crate::mechanism::{Clearing, Diagnostics, MarketInstance, Mechanism, MechanismError};
+use crate::mechanism::{
+    Clearing, Diagnostics, InstanceView, MarketInstance, Mechanism, MechanismError,
+};
 use crate::units::{Price, Watts};
 
 /// Per-slot state of one collection round.
@@ -386,9 +388,9 @@ impl<T: Transport> Mechanism for TransportedInteractiveMechanism<T> {
         "MPR-INT-NET"
     }
 
-    fn clear(
+    fn clear_view(
         &mut self,
-        instance: &MarketInstance,
+        view: &InstanceView<'_>,
         target: Watts,
     ) -> Result<Clearing, MechanismError> {
         if self.slots.is_empty() {
@@ -397,13 +399,15 @@ impl<T: Transport> Mechanism for TransportedInteractiveMechanism<T> {
             });
         }
         // Row layout must match the registered agents; fall back to our own
-        // view when a caller hands us a foreign instance.
+        // view when a caller hands us a foreign window.
         let own;
-        let layout = if instance.len() == self.slots.len() {
-            instance
+        let own_view;
+        let layout: &InstanceView<'_> = if view.len() == self.slots.len() {
+            view
         } else {
             own = self.instance();
-            &own
+            own_view = own.view();
+            &own_view
         };
         let target_watts = target.get();
         if target_watts <= 0.0 {

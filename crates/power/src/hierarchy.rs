@@ -95,6 +95,8 @@ pub struct OverloadedNode {
     pub load: Watts,
     /// The node's capacity.
     pub capacity: Watts,
+    /// Distance from the node's root (root = 0).
+    pub depth: usize,
 }
 
 /// A power-infrastructure tree with per-level capacities.
@@ -220,12 +222,32 @@ impl PowerHierarchy {
         self.nodes.get(id).map_or(Watts::ZERO, |n| n.aggregate)
     }
 
-    /// All nodes whose aggregate load exceeds their capacity, ordered by id.
-    /// Simultaneous overloads at nested levels (e.g. a rack *and* its UPS)
-    /// are all reported.
+    /// Distance from `id` to its root (root = 0); `None` for an unknown
+    /// node. Bounded by the node count, so a (malformed) parent cycle
+    /// cannot hang the walk.
+    #[must_use]
+    pub fn depth(&self, id: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut cursor = self.nodes.get(id)?.parent;
+        while let Some(pid) = cursor {
+            depth += 1;
+            if depth > self.nodes.len() {
+                return None;
+            }
+            cursor = self.nodes.get(pid)?.parent;
+        }
+        Some(depth)
+    }
+
+    /// All nodes whose aggregate load exceeds their capacity, in
+    /// deterministic (depth, id) order — shallow levels first, ids
+    /// ascending within a level. Simultaneous overloads at nested levels
+    /// (e.g. a rack *and* its UPS) are all reported; a federated clearing
+    /// walk iterates this list in reverse for its bottom-up sweep.
     #[must_use]
     pub fn overloaded(&self) -> Vec<OverloadedNode> {
-        self.nodes
+        let mut over: Vec<OverloadedNode> = self
+            .nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.aggregate > n.capacity)
@@ -235,8 +257,79 @@ impl PowerHierarchy {
                 kind: n.kind,
                 load: n.aggregate,
                 capacity: n.capacity,
+                depth: self.depth(id).unwrap_or(0),
             })
+            .collect();
+        over.sort_by_key(|o| (o.depth, o.id));
+        over
+    }
+
+    /// Spare capacity at a node: `capacity − aggregate load` (negative when
+    /// the subtree is overloaded). `Watts::ZERO` for unknown nodes.
+    #[must_use]
+    pub fn subtree_headroom(&self, id: usize) -> Watts {
+        self.nodes.get(id).map_or(Watts::ZERO, |n| {
+            Watts::new(n.capacity.get() - n.aggregate.get())
+        })
+    }
+
+    /// Ids of every rack in the subtree rooted at `id`, ascending. A rack
+    /// id queries as its own (single-element) leaf set; unknown ids yield
+    /// an empty set.
+    #[must_use]
+    pub fn leaf_racks(&self, id: usize) -> Vec<usize> {
+        if self.nodes.get(id).is_none() {
+            return Vec::new();
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == LevelKind::Rack)
+            .filter(|&(rid, _)| self.is_ancestor_or_self(id, rid))
+            .map(|(rid, _)| rid)
             .collect()
+    }
+
+    /// `true` when `ancestor` is `node` itself or lies on `node`'s parent
+    /// chain.
+    fn is_ancestor_or_self(&self, ancestor: usize, node: usize) -> bool {
+        let mut cursor = Some(node);
+        let mut hops = 0usize;
+        while let Some(id) = cursor {
+            if id == ancestor {
+                return true;
+            }
+            hops += 1;
+            if hops > self.nodes.len() {
+                return false;
+            }
+            cursor = self.nodes.get(id).and_then(|n| n.parent);
+        }
+        false
+    }
+
+    /// The parent id of a node, if it has one.
+    #[must_use]
+    pub fn parent(&self, id: usize) -> Option<usize> {
+        self.nodes.get(id)?.parent
+    }
+
+    /// The capacity of a node (`Watts::ZERO` for unknown ids).
+    #[must_use]
+    pub fn capacity_of(&self, id: usize) -> Watts {
+        self.nodes.get(id).map_or(Watts::ZERO, |n| n.capacity)
+    }
+
+    /// The kind of a node, if it exists.
+    #[must_use]
+    pub fn kind_of(&self, id: usize) -> Option<LevelKind> {
+        Some(self.nodes.get(id)?.kind)
+    }
+
+    /// The name of a node (empty for unknown ids).
+    #[must_use]
+    pub fn name_of(&self, id: usize) -> &str {
+        self.nodes.get(id).map_or("", |n| n.name.as_str())
     }
 
     /// Number of nodes in the hierarchy.
@@ -406,6 +499,118 @@ mod tests {
             h.set_load(77, Watts::new(10.0)),
             Err(HierarchyError::UnknownNode(77))
         );
+    }
+
+    /// Two UPS subtrees under one ATS: `(h, ups_a, ups_b, racks_a, racks_b)`.
+    fn two_ups_tree() -> (PowerHierarchy, usize, usize, Vec<usize>, Vec<usize>) {
+        let mut h = PowerHierarchy::new();
+        let ats = h.add_root("ats", LevelKind::Ats, Watts::new(10_000.0));
+        let ups_a = h
+            .add_child("ups-a", LevelKind::Ups, Watts::new(3000.0), ats)
+            .unwrap();
+        let ups_b = h
+            .add_child("ups-b", LevelKind::Ups, Watts::new(3000.0), ats)
+            .unwrap();
+        let pdu_a = h
+            .add_child("pdu-a", LevelKind::Pdu, Watts::new(4000.0), ups_a)
+            .unwrap();
+        let pdu_b = h
+            .add_child("pdu-b", LevelKind::Pdu, Watts::new(4000.0), ups_b)
+            .unwrap();
+        let racks_a: Vec<usize> = (0..2)
+            .map(|i| {
+                h.add_child(
+                    format!("rack-a{i}"),
+                    LevelKind::Rack,
+                    Watts::new(2000.0),
+                    pdu_a,
+                )
+                .unwrap()
+            })
+            .collect();
+        let racks_b: Vec<usize> = (0..2)
+            .map(|i| {
+                h.add_child(
+                    format!("rack-b{i}"),
+                    LevelKind::Rack,
+                    Watts::new(2000.0),
+                    pdu_b,
+                )
+                .unwrap()
+            })
+            .collect();
+        (h, ups_a, ups_b, racks_a, racks_b)
+    }
+
+    #[test]
+    fn overloaded_is_sorted_by_depth_then_id() {
+        let (mut h, ups_a, ups_b, racks_a, racks_b) = two_ups_tree();
+        // Overload a deep rack in subtree B first, then both UPSes: the
+        // report must still come out shallow-first, ids ascending per level,
+        // regardless of set_load order.
+        h.set_load(racks_b[1], Watts::new(2500.0)).unwrap();
+        h.set_load(racks_b[0], Watts::new(1000.0)).unwrap();
+        h.set_load(racks_a[0], Watts::new(2200.0)).unwrap();
+        h.set_load(racks_a[1], Watts::new(1500.0)).unwrap();
+        let over = h.overloaded();
+        let order: Vec<(usize, usize)> = over.iter().map(|o| (o.depth, o.id)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "must be (depth, id)-sorted");
+        // Both UPSes (depth 1) precede every rack (depth 3).
+        assert_eq!(over[0].id, ups_a);
+        assert_eq!(over[1].id, ups_b);
+        assert!(over[2..].iter().all(|o| o.depth == 3));
+    }
+
+    #[test]
+    fn depth_counts_hops_from_the_root() {
+        let (h, ups_a, _, racks_a, _) = two_ups_tree();
+        assert_eq!(h.depth(0), Some(0));
+        assert_eq!(h.depth(ups_a), Some(1));
+        assert_eq!(h.depth(racks_a[0]), Some(3));
+        assert_eq!(h.depth(99), None);
+    }
+
+    #[test]
+    fn subtree_headroom_tracks_loads_and_goes_negative_on_overload() {
+        let (mut h, ups_a, ups_b, racks_a, _) = two_ups_tree();
+        assert_eq!(h.subtree_headroom(ups_a), Watts::new(3000.0));
+        h.set_load(racks_a[0], Watts::new(1800.0)).unwrap();
+        assert_eq!(h.subtree_headroom(ups_a), Watts::new(1200.0));
+        assert_eq!(h.subtree_headroom(ups_b), Watts::new(3000.0));
+        h.set_load(racks_a[1], Watts::new(1800.0)).unwrap();
+        assert!(
+            h.subtree_headroom(ups_a).get() < 0.0,
+            "overloaded ⇒ negative"
+        );
+        assert_eq!(h.subtree_headroom(0), Watts::new(10_000.0 - 3600.0));
+        assert_eq!(h.subtree_headroom(42), Watts::ZERO);
+    }
+
+    #[test]
+    fn leaf_racks_collects_each_subtrees_racks() {
+        let (h, ups_a, ups_b, racks_a, racks_b) = two_ups_tree();
+        assert_eq!(h.leaf_racks(ups_a), racks_a);
+        assert_eq!(h.leaf_racks(ups_b), racks_b);
+        let mut all = racks_a.clone();
+        all.extend(&racks_b);
+        assert_eq!(h.leaf_racks(0), all, "root sees every rack");
+        // A rack is its own leaf set; unknown ids are empty.
+        assert_eq!(h.leaf_racks(racks_a[1]), vec![racks_a[1]]);
+        assert!(h.leaf_racks(99).is_empty());
+    }
+
+    #[test]
+    fn node_accessors_expose_parent_capacity_kind_name() {
+        let (h, ups_a, _, racks_a, _) = two_ups_tree();
+        assert_eq!(h.parent(ups_a), Some(0));
+        assert_eq!(h.parent(0), None);
+        assert_eq!(h.capacity_of(ups_a), Watts::new(3000.0));
+        assert_eq!(h.kind_of(racks_a[0]), Some(LevelKind::Rack));
+        assert_eq!(h.kind_of(99), None);
+        assert_eq!(h.name_of(ups_a), "ups-a");
+        assert_eq!(h.name_of(99), "");
     }
 
     #[test]

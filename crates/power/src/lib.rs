@@ -28,12 +28,14 @@
 pub mod breaker;
 pub mod emergency;
 pub mod error;
+pub mod federated;
 pub mod hierarchy;
 pub mod model;
 pub mod oversubscription;
 pub mod policy;
 pub mod telemetry;
 pub mod thermal;
+pub mod topology;
 pub mod ups;
 
 pub use breaker::{BreakerState, TripCurve};
@@ -41,6 +43,7 @@ pub use emergency::{
     ControllerState, EmergencyAction, EmergencyConfig, EmergencyController, EmergencyPhase,
 };
 pub use error::PowerError;
+pub use federated::{FederatedError, FederatedOutcome, HierarchicalMarket, LevelReport};
 pub use hierarchy::{HierarchyError, LevelKind, PowerHierarchy};
 pub use model::PowerModel;
 pub use oversubscription::Oversubscription;
@@ -50,4 +53,5 @@ pub use telemetry::{
     SensorReading, TelemetryHealth, TrueSensor,
 };
 pub use thermal::{RoomState, ThermalModel};
+pub use topology::{NodeSpec, TopologyError, TopologySpec};
 pub use ups::UpsBattery;

@@ -50,7 +50,7 @@ use crate::report::{
 };
 
 const MAGIC: [u8; 8] = *b"MPRCKPT\0";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Why a checkpoint could not be written or restored.
@@ -482,6 +482,17 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
         }
         None => e.u8(0),
     }
+    // The power-tree topology and the federated flag change every overload
+    // clearing (subtree targets, rack assignment), so a federated run can
+    // only resume under the bit-identical tree (checkpoint V4).
+    match &cfg.topology {
+        Some(t) => {
+            e.u8(1);
+            e.u64(t.fingerprint());
+        }
+        None => e.u8(0),
+    }
+    e.bool(cfg.federated);
     e.str(sim.trace.name());
     e.u64(u64::from(sim.trace.total_cores()));
     e.usize(sim.trace.len());
@@ -633,6 +644,21 @@ pub(crate) fn encode_state(state: &EngineState) -> Vec<u8> {
         e.str(name);
         e.f64(*sum);
         e.usize(*count);
+    }
+    let fed = &acc.federated;
+    e.usize(fed.events);
+    e.usize(fed.markets);
+    e.usize(fed.rounds);
+    e.usize(fed.infeasible_events);
+    e.f64(fed.residual_watts);
+    e.usize(fed.levels.len());
+    for (name, lv) in &fed.levels {
+        e.str(name);
+        e.usize(lv.depth);
+        e.usize(lv.markets);
+        e.f64(lv.target_watts);
+        e.f64(lv.cleared_watts);
+        e.f64(lv.residual_watts);
     }
 
     // Timeline.
@@ -859,6 +885,23 @@ pub(crate) fn decode_state(
         let sum = d.f64()?;
         let count = d.usize()?;
         acc.per_profile_stretch.insert(name, (sum, count));
+    }
+    acc.federated.events = d.usize()?;
+    acc.federated.markets = d.usize()?;
+    acc.federated.rounds = d.usize()?;
+    acc.federated.infeasible_events = d.usize()?;
+    acc.federated.residual_watts = d.f64()?;
+    let n_levels = d.len()?;
+    for _ in 0..n_levels {
+        let name = d.string()?;
+        let level = crate::report::FederatedLevelStats {
+            depth: d.usize()?,
+            markets: d.usize()?,
+            target_watts: d.f64()?,
+            cleared_watts: d.f64()?,
+            residual_watts: d.f64()?,
+        };
+        acc.federated.levels.insert(name, level);
     }
 
     let timeline = match d.u8()? {
@@ -1241,6 +1284,62 @@ mod tests {
                 .with_faults(crate::config::FaultPlan::unresponsive_and_crash(0.3, 0.1)),
         );
         assert_ne!(fingerprint(&clean), fingerprint(&chained));
+    }
+
+    #[test]
+    fn federated_kill_and_resume_reproduces_the_uninterrupted_run() {
+        let trace = small_trace();
+        let spec = mpr_power::TopologySpec::parse(include_str!("../../../examples/tree.json"))
+            .expect("sample topology");
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0).with_topology(spec);
+        let full = Simulation::new(&trace, cfg.clone()).run();
+        assert!(
+            full.federated.as_ref().is_some_and(|f| f.events > 0),
+            "federated path must engage at 15% oversubscription"
+        );
+        let path = tmp_ckpt("federated_resume");
+        let sim = Simulation::new(&trace, cfg);
+        let plan = CheckpointPlan::every(&path, 400).with_kill_at(2000);
+        sim.run_with_checkpoints(&plan).expect("checkpointed run");
+        let resumed = sim.resume(&path).expect("resume");
+        assert_eq!(resumed, full, "federated state must round-trip exactly");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_under_a_different_topology_is_rejected() {
+        let trace = small_trace();
+        let spec = mpr_power::TopologySpec::parse(include_str!("../../../examples/tree.json"))
+            .expect("sample topology");
+        let mut other = spec.clone();
+        other.nodes[1].capacity = Watts::new(spec.nodes[1].capacity.get() * 0.5);
+        let path = tmp_ckpt("topology-mismatch");
+        let writer = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_topology(spec.clone()),
+        );
+        let plan = CheckpointPlan::every(&path, 400).with_kill_at(800);
+        writer
+            .run_with_checkpoints(&plan)
+            .expect("checkpointed run");
+        // A different tree, a flat run, and a federated-flag-off run must
+        // all be refused at restore time.
+        let different_tree = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0).with_topology(other),
+        );
+        let flat = Simulation::new(&trace, SimConfig::new(Algorithm::MprStat, 15.0));
+        let mut flag_off_cfg = SimConfig::new(Algorithm::MprStat, 15.0).with_topology(spec);
+        flag_off_cfg.federated = false;
+        let flag_off = Simulation::new(&trace, flag_off_cfg);
+        for reader in [&different_tree, &flat, &flag_off] {
+            match reader.resume(&path) {
+                Err(CheckpointError::ConfigMismatch) => {}
+                other => panic!("expected ConfigMismatch, got {other:?}"),
+            }
+        }
+        assert!(writer.resume(&path).is_ok());
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

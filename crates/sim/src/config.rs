@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mpr_apps::AppProfile;
 use mpr_power::telemetry::{EstimatorConfig, SensorFaultConfig};
-use mpr_power::{CapacityPolicy, PowerModel};
+use mpr_power::{CapacityPolicy, PowerModel, TopologySpec};
 
 /// The overload-handling algorithm under evaluation (Section IV-A,
 /// "Benchmark algorithms").
@@ -459,6 +459,16 @@ pub struct SimConfig {
     /// fingerprint so a campaign resumed under a different generator-space
     /// version is rejected instead of silently diverging.
     pub scenario_space: Option<u32>,
+    /// Power-tree topology for federated clearing (`None` keeps the flat
+    /// single-constraint model). The spec's capacities are scaled so the
+    /// root matches the run's oversubscribed capacity; its fingerprint is
+    /// folded into the checkpoint fingerprint, so a run can only resume
+    /// under the identical tree.
+    pub topology: Option<TopologySpec>,
+    /// Clear overload events through the hierarchical federated market
+    /// (one subtree market per oversubscribed node) instead of one flat
+    /// market. Requires [`SimConfig::topology`]; ignored without it.
+    pub federated: bool,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -480,6 +490,8 @@ impl std::fmt::Debug for SimConfig {
             .field("emergency_disabled", &self.emergency_disabled)
             .field("durability", &self.durability)
             .field("scenario_space", &self.scenario_space)
+            .field("topology", &self.topology.as_ref().map(|t| t.name.as_str()))
+            .field("federated", &self.federated)
             .finish()
     }
 }
@@ -516,6 +528,8 @@ impl SimConfig {
             emergency_disabled: false,
             durability: None,
             scenario_space: None,
+            topology: None,
+            federated: false,
         }
     }
 
@@ -618,6 +632,22 @@ impl SimConfig {
     pub fn with_scenario_space(mut self, version: u32) -> Self {
         self.scenario_space = Some(version);
         self
+    }
+
+    /// Installs a power-tree topology and enables federated clearing over
+    /// it (see [`SimConfig::topology`] and [`SimConfig::federated`]).
+    #[must_use]
+    pub fn with_topology(mut self, spec: TopologySpec) -> Self {
+        self.topology = Some(spec);
+        self.federated = true;
+        self
+    }
+
+    /// `true` when overload events clear through the hierarchical
+    /// federated market (both the flag and a topology are present).
+    #[must_use]
+    pub fn is_federated(&self) -> bool {
+        self.federated && self.topology.is_some()
     }
 }
 

@@ -23,7 +23,10 @@ use mpr_core::{
     SimNet, StaleAgent, SupplyFunction, TransportedInteractiveMechanism, UnresponsiveAgent, Watts,
 };
 use mpr_power::telemetry::{FaultySensor, PowerSensor, RobustEstimator};
-use mpr_power::{EmergencyAction, EmergencyConfig, EmergencyController, Oversubscription};
+use mpr_power::{
+    EmergencyAction, EmergencyConfig, EmergencyController, HierarchicalMarket, Oversubscription,
+    TopologySpec,
+};
 use mpr_workload::Trace;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -32,7 +35,8 @@ use crate::checkpoint::{self, CheckpointError, CheckpointPlan, RunOutcome};
 use crate::config::{Algorithm, CostNoise, FaultPlan, NetPlan, SimConfig};
 use crate::ledger::LedgerEvent;
 use crate::report::{
-    DegradationStats, EmergencyEvent, EmergencyEventKind, ProfileStats, SimReport, TransportTotals,
+    DegradationStats, EmergencyEvent, EmergencyEventKind, FederatedStats, ProfileStats, SimReport,
+    TransportTotals,
 };
 
 /// Stream separator for the sensor fault RNG, so telemetry faults never
@@ -113,6 +117,7 @@ pub(crate) struct Accounting {
     pub(crate) stretch_count: usize,
     pub(crate) per_profile: BTreeMap<String, ProfileStats>,
     pub(crate) per_profile_stretch: BTreeMap<String, (f64, usize)>,
+    pub(crate) federated: FederatedStats,
 }
 
 /// Immutable per-run context derived from the trace and configuration.
@@ -823,6 +828,11 @@ impl<'a> Simulation<'a> {
                 return self.apply_resilient_int(active, target_w, acc, plan);
             }
         }
+        if self.config.is_federated() {
+            if let Some(spec) = self.config.topology.clone() {
+                return self.apply_federated(active, target_w, acc, &spec);
+            }
+        }
         let instance = self.build_instance(active);
         let mut mechanism = crate::mechanism::for_algorithm(&self.config);
         let clearing = match mechanism.clear(&instance, Watts::new(target_w)) {
@@ -831,11 +841,25 @@ impl<'a> Simulation<'a> {
             // or a solver failure: nothing clears, reductions stand.
             Err(_) => return (0.0, false),
         };
+        self.apply_clearing(active, &instance, &clearing, acc)
+    }
+
+    /// Maps a clearing back onto the active jobs according to the
+    /// configured algorithm's price discipline. Shared by the flat path
+    /// and the federated path (whose merged clearing is positional over
+    /// the same instance).
+    fn apply_clearing(
+        &self,
+        active: &mut [ActiveJob],
+        instance: &MarketInstance,
+        clearing: &MechanismClearing,
+        acc: &mut Accounting,
+    ) -> (f64, bool) {
         match self.config.algorithm {
             Algorithm::MprStat => {
                 // One uniform clearing price; every job sees it,
                 // non-members shed nothing.
-                (apply_uniform(active, &instance, &clearing, true), false)
+                (apply_uniform(active, instance, clearing, true), false)
             }
             Algorithm::MprInt => {
                 acc.int_iterations += clearing.iterations();
@@ -843,15 +867,15 @@ impl<'a> Simulation<'a> {
                     // Infeasible target: members cap at Δ and are paid
                     // their break-even unit cost; non-members keep their
                     // in-force reductions.
-                    (apply_member_rows(active, &instance, &clearing), false)
+                    (apply_member_rows(active, instance, clearing), false)
                 } else {
-                    (apply_uniform(active, &instance, &clearing, true), false)
+                    (apply_uniform(active, instance, clearing, true), false)
                 }
             }
             // VCG pays per-job pivot prices, never one uniform price.
-            Algorithm::Vcg => (apply_member_rows(active, &instance, &clearing), false),
+            Algorithm::Vcg => (apply_member_rows(active, instance, clearing), false),
             // OPT is the offline benchmark: reductions only, no market.
-            Algorithm::Opt => (apply_uniform(active, &instance, &clearing, false), false),
+            Algorithm::Opt => (apply_uniform(active, instance, clearing, false), false),
             Algorithm::Eql => {
                 let d = clearing.diagnostics();
                 // Per-job Δ violations mean the uniform slowdown cannot
@@ -861,9 +885,83 @@ impl<'a> Simulation<'a> {
                 if !d.accepted && !d.capped_at_delta_max {
                     acc.unmet_emergencies += 1;
                 }
-                (apply_uniform(active, &instance, &clearing, false), false)
+                (apply_uniform(active, instance, clearing, false), false)
             }
         }
+    }
+
+    /// Clears one overload event through the hierarchical federated
+    /// market: the topology is scaled so the root's capacity deficit is
+    /// exactly the controller's reduction target, instance rows are
+    /// assigned to racks deterministically by job id, rack loads carry the
+    /// rows' full-speed demand, and every oversubscribed node of the tree
+    /// runs its own subtree market (same mechanism as the flat path). The
+    /// merged clearing maps back onto the jobs exactly as a flat clearing
+    /// would; per-level accounting lands in [`FederatedStats`].
+    fn apply_federated(
+        &self,
+        active: &mut [ActiveJob],
+        target_w: f64,
+        acc: &mut Accounting,
+        spec: &TopologySpec,
+    ) -> (f64, bool) {
+        let instance = self.build_instance(active);
+        let rack_ids = spec.rack_ids();
+        let Some(&first_rack) = rack_ids.first() else {
+            return (0.0, false);
+        };
+        if instance.is_empty() {
+            return (0.0, false);
+        }
+        // Full-speed demand of each active job, by market id.
+        let static_w = self.config.power_model.static_w_per_core();
+        let demand_by_id: BTreeMap<u64, f64> = active
+            .iter()
+            .map(|j| {
+                (
+                    j.idx as u64,
+                    j.cores * (static_w + j.profile.unit_dynamic_power_w()),
+                )
+            })
+            .collect();
+        // Deterministic job → rack placement: stable across slots and
+        // resume, independent of arrival order.
+        let mut assignment = Vec::with_capacity(instance.len());
+        let mut rack_load: BTreeMap<usize, f64> = BTreeMap::new();
+        for id in instance.ids() {
+            let rack = rack_ids
+                .get((*id as usize) % rack_ids.len())
+                .copied()
+                .unwrap_or(first_rack);
+            assignment.push(rack);
+            *rack_load.entry(rack).or_insert(0.0) += demand_by_id.get(id).copied().unwrap_or(0.0);
+        }
+        let total_load: f64 = rack_load.values().sum();
+        // Scale every capacity so the root's deficit equals the
+        // controller's target (floored at a sliver of the load so a
+        // target exceeding the whole demand still yields a valid tree).
+        let root_cap_w = (total_load - target_w).max(total_load * 1e-3).max(1e-6);
+        let scale = root_cap_w / spec.root_capacity().get();
+        let Ok(mut hierarchy) = spec.to_hierarchy_scaled(scale) else {
+            return (0.0, false);
+        };
+        for (rack, load) in &rack_load {
+            if hierarchy.set_load(*rack, Watts::new(*load)).is_err() {
+                return (0.0, false);
+            }
+        }
+        let Ok(market) = HierarchicalMarket::new(&hierarchy, assignment) else {
+            return (0.0, false);
+        };
+        let outcome =
+            match market.clear(&instance, || crate::mechanism::for_algorithm(&self.config)) {
+                Ok(outcome) => outcome,
+                // Every subtree market failed: nothing clears,
+                // reductions stand — same contract as the flat path.
+                Err(_) => return (0.0, false),
+            };
+        acc.federated.absorb(&outcome);
+        self.apply_clearing(active, &instance, &outcome.clearing, acc)
     }
 
     /// MPR-INT under fault injection: wraps each participating agent in its
@@ -1032,6 +1130,10 @@ impl<'a> Simulation<'a> {
             telemetry,
             ..
         } = state;
+        let federated = self
+            .config
+            .is_federated()
+            .then(|| std::mem::take(&mut acc.federated));
         let hours = total_slots as f64 * self.config.slot_secs / 3600.0;
         let x = self.config.oversubscription_pct;
         let extra_capacity = f64::from(self.trace.total_cores()) * (x / (100.0 + x)) * hours;
@@ -1075,6 +1177,7 @@ impl<'a> Simulation<'a> {
                 .filter(NetPlan::is_active)
                 .map(|_| acc.transport),
             durability: None,
+            federated,
         }
     }
 }

@@ -80,6 +80,30 @@ impl PartitionedReport {
         let over: usize = self.partitions.iter().map(|r| r.overload_slots).sum();
         100.0 * over as f64 / slots as f64
     }
+
+    /// Federated-market totals merged across partitions (each partition
+    /// clears its own power tree). `None` when no partition ran federated.
+    #[must_use]
+    pub fn federated(&self) -> Option<crate::report::FederatedStats> {
+        let mut merged: Option<crate::report::FederatedStats> = None;
+        for fed in self.partitions.iter().filter_map(|r| r.federated.as_ref()) {
+            let acc = merged.get_or_insert_with(Default::default);
+            acc.events += fed.events;
+            acc.markets += fed.markets;
+            acc.rounds += fed.rounds;
+            acc.residual_watts += fed.residual_watts;
+            acc.infeasible_events += fed.infeasible_events;
+            for (name, lv) in &fed.levels {
+                let entry = acc.levels.entry(name.clone()).or_default();
+                entry.depth = lv.depth;
+                entry.markets += lv.markets;
+                entry.target_watts += lv.target_watts;
+                entry.cleared_watts += lv.cleared_watts;
+                entry.residual_watts += lv.residual_watts;
+            }
+        }
+        merged
+    }
 }
 
 impl<'a> PartitionedSimulation<'a> {
@@ -253,6 +277,29 @@ mod tests {
             one.overload_time_pct()
         );
         assert!(eight.overload_events() >= one.overload_events());
+    }
+
+    #[test]
+    fn federated_partitions_aggregate_per_level_accounting() {
+        let t = trace();
+        let spec = mpr_power::TopologySpec::parse(include_str!("../../../examples/tree.json"))
+            .expect("sample topology");
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0).with_topology(spec);
+        let flat_cfg = SimConfig::new(Algorithm::MprStat, 15.0);
+        let fed = PartitionedSimulation::new(&t, cfg, 2, PartitionPolicy::RoundRobin).run();
+        let plain = PartitionedSimulation::new(&t, flat_cfg, 2, PartitionPolicy::RoundRobin).run();
+        assert!(plain.federated().is_none());
+        let stats = fed.federated().expect("federated totals");
+        assert!(stats.events > 0, "overloads must clear federated");
+        assert!(stats.markets >= stats.events);
+        assert!(!stats.levels.is_empty());
+        let merged_events: usize = fed
+            .partitions
+            .iter()
+            .filter_map(|r| r.federated.as_ref())
+            .map(|f| f.events)
+            .sum();
+        assert_eq!(stats.events, merged_events);
     }
 
     #[test]

@@ -264,6 +264,64 @@ impl Timeline {
     }
 }
 
+/// Per-tree-level accounting of federated clearings, keyed by node name
+/// inside [`FederatedStats::levels`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FederatedLevelStats {
+    /// Distance of the node from the tree root.
+    pub depth: usize,
+    /// Subtree markets cleared at this node across the run.
+    pub markets: usize,
+    /// Summed initial capacity deficits (the node markets' targets), W.
+    pub target_watts: f64,
+    /// Summed power shed by markets run at this node, W.
+    pub cleared_watts: f64,
+    /// Summed residual deficit left at this node after each sweep, W.
+    pub residual_watts: f64,
+}
+
+/// Federated-market totals, present when the run cleared overload events
+/// through a [`HierarchicalMarket`](mpr_power::HierarchicalMarket) over a
+/// power-tree topology (`SimConfig::topology` + `SimConfig::federated`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FederatedStats {
+    /// Overload events cleared through the federated path.
+    pub events: usize,
+    /// Total subtree markets cleared across all events.
+    pub markets: usize,
+    /// Total deepest-to-root sweep rounds across all events.
+    pub rounds: usize,
+    /// Summed residual deficit left at the tree after each sweep, W —
+    /// the federated analogue of
+    /// [`DegradationStats::residual_overload_watts`].
+    pub residual_watts: f64,
+    /// Events whose sweep ended with the tree still infeasible.
+    pub infeasible_events: usize,
+    /// Per-node accounting, keyed by node name, ordered by name.
+    pub levels: BTreeMap<String, FederatedLevelStats>,
+}
+
+impl FederatedStats {
+    /// Folds one sweep's per-level reports into the running totals.
+    pub fn absorb(&mut self, outcome: &mpr_power::FederatedOutcome) {
+        self.events += 1;
+        self.markets += outcome.markets;
+        self.rounds += outcome.rounds;
+        self.residual_watts += outcome.residual.get();
+        if !outcome.feasible() {
+            self.infeasible_events += 1;
+        }
+        for level in &outcome.levels {
+            let entry = self.levels.entry(level.name.clone()).or_default();
+            entry.depth = level.depth;
+            entry.markets += level.markets;
+            entry.target_watts += level.target.get();
+            entry.cleared_watts += level.cleared.get();
+            entry.residual_watts += level.residual.get();
+        }
+    }
+}
+
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -339,6 +397,11 @@ pub struct SimReport {
     /// write-ahead ledger (`SimConfig::durability`). Attached by the
     /// `ledger` harness after the engine finishes.
     pub durability: Option<DurabilityTotals>,
+
+    /// Federated-market totals, present when the run cleared overload
+    /// events through a hierarchical market over a power-tree topology
+    /// (`SimConfig::topology` + `SimConfig::federated`).
+    pub federated: Option<FederatedStats>,
 }
 
 impl SimReport {
@@ -441,6 +504,7 @@ mod tests {
             telemetry: None,
             transport: None,
             durability: None,
+            federated: None,
         }
     }
 
