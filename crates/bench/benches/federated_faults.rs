@@ -1,0 +1,148 @@
+//! Infrastructure-fault overhead over federated clearing: what the engine
+//! pays per overload slot to reconstruct the faulted [`TopologyState`],
+//! prune dead subtrees out of the hierarchy, reassign the fenced racks'
+//! jobs, and re-clear the survivors — against the same machinery run over
+//! a healthy tree.
+//!
+//! Three measurements over a 4 UPS × 4 PDU × 4 rack tree (85 nodes):
+//! * `state_at` — reconstructing the per-slot topology state from the
+//!   seeded plan (pure function of `(plan, spec, t)`; the engine pays this
+//!   every slot a plan is armed).
+//! * `prune_build` — building the surviving scaled hierarchy plus the
+//!   spec→hierarchy map from a faulted state.
+//! * `reclear` — the full emergency path: state, prune, reassign 100 k
+//!   jobs, place loads, build the market and clear it, healthy vs faulted.
+//!
+//! Recorded results live in `BENCHMARKS.md` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_bench::{attainable_watts, make_instance, make_jobs};
+use mpr_core::{MarketInstance, MclrMechanism, Mechanism, Watts};
+use mpr_power::{GridFaultPlan, HierarchicalMarket, TopologySpec, TopologyState};
+
+/// 4 UPS × 4 PDU × 4 racks.
+const FANOUT: usize = 4;
+const RACKS: usize = FANOUT * FANOUT * FANOUT;
+/// Fraction of the attainable reduction the root asks for (the Fig. 10
+/// benchmarks' 30% working point).
+const TARGET_FRAC: f64 = 0.3;
+const N: usize = 100_000;
+/// Mid-fault instant: inside the default onset window, before repairs.
+const T_MID: f64 = 1200.0;
+
+fn mech() -> Box<dyn Mechanism> {
+    Box::new(MclrMechanism::best_effort())
+}
+
+/// The 4×4×4 spec: a binding root, effectively unbounded inner levels.
+fn spec(root_cap: f64) -> TopologySpec {
+    let big = 1e15;
+    let mut nodes = vec![format!(
+        r#"{{"name":"ats","kind":"ats","capacity_w":{root_cap},"parent":null}}"#
+    )];
+    for u in 0..FANOUT {
+        let ups = nodes.len();
+        nodes.push(format!(
+            r#"{{"name":"ups-{u}","kind":"ups","capacity_w":{big},"parent":0}}"#
+        ));
+        for p in 0..FANOUT {
+            let pdu = nodes.len();
+            nodes.push(format!(
+                r#"{{"name":"pdu-{u}-{p}","kind":"pdu","capacity_w":{big},"parent":{ups}}}"#
+            ));
+            for r in 0..FANOUT {
+                nodes.push(format!(
+                    r#"{{"name":"rack-{u}{p}{r}","kind":"rack","capacity_w":{big},"parent":{pdu}}}"#
+                ));
+            }
+        }
+    }
+    let json = format!(r#"{{"name":"bench","nodes":[{}]}}"#, nodes.join(","));
+    TopologySpec::parse(&json).expect("valid bench spec")
+}
+
+/// One pass of the engine's per-slot emergency path over `grid`.
+fn reclear(
+    s: &TopologySpec,
+    grid: &TopologyState<'_>,
+    instance: &MarketInstance,
+    total_load: f64,
+) -> usize {
+    let (mut h, map) = grid.to_hierarchy_scaled(1.0).expect("prune");
+    let rack_ids = s.rack_ids();
+    let mut assignment = Vec::with_capacity(N);
+    for i in 0..N {
+        let home = rack_ids[i % rack_ids.len()];
+        let rack = if grid.alive(home) {
+            home
+        } else {
+            grid.reassign_rack(home).expect("a sibling rack survives")
+        };
+        assignment.push(map[rack].expect("alive rack is mapped"));
+    }
+    for &r in &grid.alive_racks() {
+        h.set_load(
+            map[r].expect("mapped"),
+            Watts::new(total_load / RACKS as f64),
+        )
+        .expect("rack load");
+    }
+    let market = HierarchicalMarket::new(&h, assignment).expect("market");
+    market
+        .clear(instance, mech)
+        .expect("survivors clear")
+        .markets
+}
+
+fn bench_federated_faults(c: &mut Criterion) {
+    let jobs = make_jobs(N);
+    let instance: MarketInstance = make_instance(&jobs);
+    let deficit = TARGET_FRAC * attainable_watts(&jobs);
+    let total_load = 2.0 * deficit / TARGET_FRAC;
+    let s = spec(total_load - deficit);
+    // The seeded plan must actually fence part of the tree mid-window
+    // while leaving survivors to reassign onto; scan seeds until one does
+    // (deterministic: the scan always lands on the same seed).
+    let plan = (0..256u64)
+        .map(|i| GridFaultPlan {
+            seed: GridFaultPlan::default().seed + i,
+            ..GridFaultPlan::ups_outage(0.5)
+        })
+        .find(|p| {
+            let g = p.state_at(&s, T_MID);
+            g.dead_count() > 0 && !g.alive_racks().is_empty()
+        })
+        .expect("some seed fences part of the tree at T_MID");
+    let faulted = plan.state_at(&s, T_MID);
+
+    let mut group = c.benchmark_group("federated_faults");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("state_at", "ups-0.5"), &plan, |b, p| {
+        b.iter(|| p.state_at(std::hint::black_box(&s), std::hint::black_box(T_MID)));
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("prune_build", "faulted"),
+        &faulted,
+        |b, g| {
+            b.iter(|| {
+                g.to_hierarchy_scaled(std::hint::black_box(1.0))
+                    .expect("prune")
+            });
+        },
+    );
+
+    let healthy = TopologyState::healthy(&s);
+    group.bench_with_input(BenchmarkId::new("reclear", "healthy"), &N, |b, _| {
+        b.iter(|| reclear(&s, &healthy, std::hint::black_box(&instance), total_load));
+    });
+    group.bench_with_input(BenchmarkId::new("reclear", "faulted"), &N, |b, _| {
+        b.iter(|| reclear(&s, &faulted, std::hint::black_box(&instance), total_load));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_federated_faults);
+criterion_main!(benches);

@@ -46,6 +46,11 @@ pub struct CampaignConfig {
     /// every scenario, to prove the `durability-commit` oracle catches an
     /// acknowledgement-loss bug end-to-end.
     pub wal_fsync_never: bool,
+    /// **Test-only.** Plant an always-on UPS failure with fencing
+    /// disabled (plus a power tree where the scenario drew none) into
+    /// every scenario, to prove the `grid-fencing` oracle catches power
+    /// routed through dead infrastructure end-to-end.
+    pub tree_fault_ups: bool,
     /// Delta-debug each failure to a minimal reproducing scenario.
     pub shrink: bool,
     /// Where to write repro artifacts (one JSON file per failing run);
@@ -61,6 +66,7 @@ impl Default for CampaignConfig {
             days: 1.0,
             emergency_disabled: false,
             wal_fsync_never: false,
+            tree_fault_ups: false,
             shrink: true,
             artifact_dir: None,
         }
@@ -228,10 +234,16 @@ impl CampaignReport {
             .iter()
             .filter(|r| r.scenario.kill_at_frac > 0.0)
             .count();
+        let with_grid = self
+            .records
+            .iter()
+            .filter(|r| r.scenario.grid_fault.is_some())
+            .count();
         let emergencies: usize = self.records.iter().map(|r| r.overload_events).sum();
         out.push_str(&format!(
             "  fault plans: {with_faults}  net plans: {with_net}  sensor faults: {with_sensor}  \
-             disk faults: {with_disk}  kills: {with_kill}  emergencies simulated: {emergencies}\n",
+             disk faults: {with_disk}  kills: {with_kill}  grid faults: {with_grid}  \
+             emergencies simulated: {emergencies}\n",
         ));
         if self.passed() {
             out.push_str(&format!(
@@ -319,6 +331,21 @@ fn run_one(trace: &Trace, cc: &CampaignConfig, index: u64) -> RunRecord {
         if scenario.kill_at_frac == 0.0 {
             scenario.kill_at_frac = 0.5;
         }
+    }
+    if cc.tree_fault_ups {
+        // The unfenced knob only bites when a dead node exists to route
+        // power through: give every planted run a tree and a UPS that is
+        // dark from the first slot and never repaired.
+        scenario.grid_unfenced = true;
+        if scenario.topology.is_none() {
+            scenario.topology = Some(crate::scenario::TopologyDraw {
+                ups_count: 2,
+                pdus_per_ups: 1,
+                racks_per_pdu: 2,
+                inner_headroom: 1.3,
+            });
+        }
+        scenario.grid_fault = Some(mpr_power::GridFaultPlan::always_on_ups_failure());
     }
     match simulate(trace, &scenario) {
         Ok(report) => RunRecord {
@@ -600,11 +627,70 @@ mod tests {
     }
 
     #[test]
+    fn planted_ups_failure_is_caught_and_shrunk() {
+        let cc = CampaignConfig {
+            tree_fault_ups: true,
+            ..quick(4, 33)
+        };
+        let report = run(&cc).expect("no artifact io");
+        assert!(
+            !report.passed(),
+            "unfenced clearing over a dark UPS must route power through it:\n{}",
+            report.summary()
+        );
+        let f = report
+            .failures
+            .iter()
+            .find(|f| f.oracle == "grid-fencing")
+            .expect("grid-fencing must be the firing oracle");
+        assert!(f.shrunk.grid_unfenced, "knob must survive shrinking");
+        assert!(
+            f.shrunk.grid_fault.is_some() && f.shrunk.topology.is_some(),
+            "the fault plan and its tree must survive shrinking: {}",
+            f.shrunk.describe()
+        );
+        // The minimal counterexample reproduces independently.
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(cc.days)).generate();
+        assert!(
+            reproduces(&trace, &f.shrunk, "grid-fencing"),
+            "shrunk scenario no longer trips grid-fencing: {}",
+            f.shrunk.describe()
+        );
+        // A sound campaign at the same seed is clean: the violation is
+        // attributable to the planted knob, not grid faults per se.
+        let sound = run(&quick(4, 33)).expect("no artifact io");
+        assert!(sound.passed(), "{}", sound.summary());
+    }
+
+    #[test]
     fn campaign_is_deterministic_for_a_seed() {
         let a = run(&quick(6, 123)).expect("io");
         let b = run(&quick(6, 123)).expect("io");
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn grid_campaign_is_bit_identical_across_thread_counts() {
+        // A campaign whose draws include at least one grid-faulted federated
+        // scenario must produce byte-identical CSV whether rayon fans the
+        // runs out over one worker or several — the acceptance bar for
+        // infrastructure-fault determinism.
+        let cc = quick(8, 21);
+        let saved = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let a = run(&cc).expect("io");
+        match &saved {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        let b = run(&cc).expect("io");
+        assert!(
+            a.records.iter().any(|r| r.scenario.grid_fault.is_some()),
+            "seed 21 must draw at least one grid-faulted scenario"
+        );
+        assert_eq!(a, b);
         assert_eq!(a.to_csv(), b.to_csv());
     }
 

@@ -9,8 +9,11 @@
 //! sensor-fault × [`DiskPlan`](mpr_sim::DiskPlan)-under-the-ledger mix,
 //! an optional mid-run kill/recover point, an optional power-tree shape
 //! ([`TopologyDraw`]) that routes overloads through the hierarchical
-//! federated market with nested inner-level overloads, and config
-//! perturbations —
+//! federated market with nested inner-level overloads, an optional
+//! infrastructure fault plan
+//! ([`GridFaultPlan`](mpr_power::GridFaultPlan), space v4) that fails
+//! UPSes, trips PDU breakers and derates feeds over the drawn tree, and
+//! config perturbations —
 //! from a seeded ChaCha8 generator space, simulates it, and checks a
 //! registry of safety-invariant [`oracles`](oracle) on the resulting
 //! [`SimReport`](mpr_sim::SimReport).
@@ -27,7 +30,9 @@
 //!    power-cap enforcement, degradation-ladder monotonicity, accounting
 //!    conservation, finite non-negative prices,
 //!    quarantine-implies-stragglers, federated residual conservation
-//!    over drawn power trees, the durability trio
+//!    over drawn power trees, the grid trio (no power through dead
+//!    nodes, derated capacities respected, post-repair clearing
+//!    bit-identical to the healthy baseline), the durability trio
 //!    (acknowledged-slot retention, exactly-once ledger payments,
 //!    replay convergence — see `DESIGN.md` §14), and no-panic (each run
 //!    is wrapped in `catch_unwind` as a backstop — `mpr-lint`'s L3
@@ -61,7 +66,7 @@ pub use scenario::{Scenario, TopologyDraw};
 /// folded into scenario checkpoint fingerprints, so a resumed campaign
 /// rejects checkpoints from a mismatched generator instead of silently
 /// regenerating different scenarios under the same seed.
-pub const SPACE_VERSION: u32 = 3;
+pub const SPACE_VERSION: u32 = 4;
 
 /// Stream separator folded into the campaign seed before scenario draws,
 /// so scenario RNG streams can never collide with the simulator's own

@@ -30,6 +30,18 @@
 //!   sum to the total, and the sweep's final residual never exceeds the
 //!   deficit it was asked to clear (clearing only ever *reduces* load,
 //!   so residuals are monotone under the sweep).
+//! * `grid-fencing` — no power is ever cleared through a dead node: the
+//!   engine audits every federated clearing against the instant's
+//!   [`TopologyState`](mpr_power::TopologyState) and reports the watts
+//!   routed through fenced subtrees, which must be exactly zero. This is
+//!   the oracle that catches the planted `--grid-fencing-disabled` bug.
+//! * `grid-derate` — no node is ever loaded past its derated capacity
+//!   beyond its reported residual during a fault window: deratings are
+//!   real constraints, not advisory.
+//! * `grid-repair` — repair restores the world: once the plan's last
+//!   scheduled repair has passed, the topology state must be bit-identical
+//!   to healthy, the pruned tree builder must reproduce the spec tree
+//!   exactly, and a canonical clearing over both must agree bit-for-bit.
 //! * `durability-commit` — a crash never loses a slot the manager already
 //!   acknowledged as durable: `recovered_commit_slot >=
 //!   acked_slot_before_crash`. Waived under injected bit flips, which can
@@ -176,6 +188,21 @@ pub fn registry() -> &'static [Oracle] {
             name: "federated",
             description: "federated residuals are conserved and bounded by their targets",
             check: check_federated,
+        },
+        Oracle {
+            name: "grid-fencing",
+            description: "no power is cleared through a dead node",
+            check: check_grid_fencing,
+        },
+        Oracle {
+            name: "grid-derate",
+            description: "no node exceeds its derated capacity beyond its residual",
+            check: check_grid_derate,
+        },
+        Oracle {
+            name: "grid-repair",
+            description: "post-repair clearing is bit-identical to the healthy baseline",
+            check: check_grid_repair,
         },
         Oracle {
             name: "durability-commit",
@@ -644,6 +671,169 @@ fn check_federated(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// grid faults
+
+fn check_grid_fencing(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(f) = r.federated.as_ref() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // Exactly zero, not "within tolerance": any watt through a fenced
+    // subtree means the market routed power into dead infrastructure.
+    // Bit-level test: +0.0 is the only accepted accumulator state, so a
+    // NaN (or a sign-flipped zero) is itself a fencing violation.
+    if f.dead_cleared_watts.to_bits() != 0 {
+        out.push(Violation::new(
+            "grid-fencing",
+            format!(
+                "{} W cleared through dead nodes across {} faulted slot(s) \
+                 (fencing must keep every cleared watt on live infrastructure)",
+                f.dead_cleared_watts, f.grid_fault_slots
+            ),
+        ));
+    }
+    if scenario.grid_fault.is_none()
+        && (f.grid_fault_slots > 0
+            || f.fenced_nodes > 0
+            || f.derated_nodes > 0
+            || f.reassigned_jobs > 0
+            || f.quarantined_jobs > 0)
+    {
+        out.push(Violation::new(
+            "grid-fencing",
+            format!(
+                "grid-fault accounting ({} faulted slots, {} fenced, {} derated, \
+                 {} reassigned, {} quarantined) without a drawn fault plan",
+                f.grid_fault_slots,
+                f.fenced_nodes,
+                f.derated_nodes,
+                f.reassigned_jobs,
+                f.quarantined_jobs
+            ),
+        ));
+    }
+    out
+}
+
+fn check_grid_derate(_scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
+    let Some(f) = r.federated.as_ref() else {
+        return Vec::new();
+    };
+    if !f.derate_excess_watts.is_finite() {
+        return vec![Violation::new(
+            "grid-derate",
+            format!("derate excess {} W is not finite", f.derate_excess_watts),
+        )];
+    }
+    // The engine already nets out each node's reported residual, so the
+    // worst excess must be numerical dust relative to the system scale.
+    let tol = 1e-6 + 1e-9 * r.capacity_watts.abs();
+    if f.derate_excess_watts > tol {
+        return vec![Violation::new(
+            "grid-derate",
+            format!(
+                "a node's post-clear load exceeds its derated capacity by {} W \
+                 beyond its reported residual (bound: {tol} W)",
+                f.derate_excess_watts
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+fn check_grid_repair(scenario: &Scenario, _r: &SimReport) -> Vec<Violation> {
+    let (Some(plan), Some(draw)) = (scenario.grid_fault, scenario.topology) else {
+        return Vec::new();
+    };
+    let spec = draw.to_spec();
+    let last = plan.last_repair_secs(&spec);
+    if !last.is_finite() {
+        // A planted never-repairing plan has no post-repair world to judge.
+        return Vec::new();
+    }
+    let repaired = plan.state_at(&spec, last);
+    if !repaired.is_healthy() {
+        return vec![Violation::new(
+            "grid-repair",
+            format!(
+                "state at t={last}s (the last scheduled repair) still carries \
+                 {} dead and {} derated node(s)",
+                repaired.dead_count(),
+                repaired.derated_count()
+            ),
+        )];
+    }
+    let (Ok((mut tree_a, map)), Ok(mut tree_b)) = (
+        repaired.to_hierarchy_scaled(1.0),
+        spec.to_hierarchy_scaled(1.0),
+    ) else {
+        return vec![Violation::new(
+            "grid-repair",
+            "post-repair topology fails to realize as a power hierarchy",
+        )];
+    };
+    let identity = map.len() == tree_b.len()
+        && map.iter().enumerate().all(|(i, m)| *m == Some(i))
+        && tree_a.len() == tree_b.len()
+        && (0..tree_a.len()).all(|i| {
+            tree_a.capacity_of(i).get().to_bits() == tree_b.capacity_of(i).get().to_bits()
+        });
+    if !identity {
+        return vec![Violation::new(
+            "grid-repair",
+            "post-repair pruned tree is not bit-identical to the healthy spec tree",
+        )];
+    }
+    // Canonical clearing: overload every rack of both trees identically
+    // and clear with the canonical mechanism; the outcomes must agree
+    // bit-for-bit — the federated pipeline has fully forgotten the fault.
+    let racks = spec.rack_ids();
+    let instance: mpr_core::MarketInstance = (0..racks.len() * 2)
+        .map(|id| {
+            mpr_core::ParticipantSpec::new(id as u64, 2.0, mpr_core::Watts::new(125.0))
+                .with_bid(0.2)
+        })
+        .collect();
+    let assignment: Vec<usize> = racks.iter().copied().cycle().take(instance.len()).collect();
+    for &rack in &racks {
+        let load = mpr_core::Watts::new(tree_b.capacity_of(rack).get() * 2.0);
+        if tree_a.set_load(rack, load).is_err() || tree_b.set_load(rack, load).is_err() {
+            return vec![Violation::new(
+                "grid-repair",
+                "canonical load does not attach to the post-repair tree",
+            )];
+        }
+    }
+    let clear = |h: &mpr_power::PowerHierarchy| {
+        mpr_power::HierarchicalMarket::new(h, assignment.clone())
+            .ok()
+            .and_then(|m| {
+                m.clear(&instance, mpr_core::MclrMechanism::best_effort)
+                    .ok()
+            })
+    };
+    match (clear(&tree_a), clear(&tree_b)) {
+        (Some(a), Some(b)) => {
+            if a.clearing != b.clearing
+                || a.residual.get().to_bits() != b.residual.get().to_bits()
+                || a.markets != b.markets
+            {
+                vec![Violation::new(
+                    "grid-repair",
+                    "canonical post-repair clearing differs from the healthy baseline",
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => vec![Violation::new(
+            "grid-repair",
+            "canonical post-repair clearing failed to run",
+        )],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // durability
 
 fn check_durability_commit(scenario: &Scenario, r: &SimReport) -> Vec<Violation> {
@@ -734,8 +924,10 @@ mod tests {
             disk_plan: cfg.durability.as_ref().and_then(|d| d.disk),
             kill_at_frac: 0.0,
             topology: None,
+            grid_fault: cfg.grid_fault,
             wal_fsync_never: false,
             emergency_disabled: cfg.emergency_disabled,
+            grid_unfenced: cfg.grid_fencing_disabled,
         }
     }
 
@@ -821,6 +1013,9 @@ mod tests {
                 "prices",
                 "quarantine",
                 "federated",
+                "grid-fencing",
+                "grid-derate",
+                "grid-repair",
                 "durability-commit",
                 "durability-payments",
                 "durability-replay"
@@ -882,6 +1077,94 @@ mod tests {
         assert!(check_federated(&scenario, &bad)
             .iter()
             .any(|v| v.message.contains("per-level markets sum")));
+    }
+
+    #[test]
+    fn grid_faulted_run_passes_and_unfenced_run_trips_the_fencing_oracle() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(2.0)).generate();
+        let mut scenario = scenario_for(&SimConfig::new(Algorithm::MprStat, 20.0).with_timeline());
+        scenario.topology = Some(crate::scenario::TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 1,
+            racks_per_pdu: 2,
+            inner_headroom: 1.3,
+        });
+        // A UPS guaranteed dark through the first fault window, repaired
+        // well inside the two-day trace.
+        scenario.grid_fault = Some(mpr_power::GridFaultPlan {
+            ups_failure_prob: 1.0,
+            window_secs: 0.0,
+            repair_secs: 20_000.0,
+            ..mpr_power::GridFaultPlan::default()
+        });
+        let report = Simulation::new(&trace, scenario.sim_config()).run();
+        let fed = report.federated.as_ref().expect("federated stats");
+        assert!(
+            fed.grid_fault_slots > 0 && fed.fenced_nodes > 0,
+            "the fault window must overlap overload events: {fed:?}"
+        );
+        let violations = check_all(&scenario, &report);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // The same scenario with fencing disabled keeps jobs on their
+        // dead racks: the engine's audit must report the routed watts and
+        // the oracle must fire.
+        let mut unfenced = scenario.clone();
+        unfenced.grid_unfenced = true;
+        let report = Simulation::new(&trace, unfenced.sim_config()).run();
+        let fed = report.federated.as_ref().expect("federated stats");
+        assert!(
+            fed.dead_cleared_watts > 0.0,
+            "unfenced clearing must route power through the dead UPS: {fed:?}"
+        );
+        let violations = check_all(&unfenced, &report);
+        assert!(
+            violations.iter().any(|v| v.oracle == "grid-fencing"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn grid_oracles_trip_on_corrupted_reports_and_broken_repairs() {
+        let trace = TraceGenerator::new(ClusterSpec::gaia().with_span_days(1.0)).generate();
+        let mut scenario = scenario_for(&SimConfig::new(Algorithm::MprStat, 20.0).with_timeline());
+        scenario.topology = Some(crate::scenario::TopologyDraw {
+            ups_count: 2,
+            pdus_per_ups: 1,
+            racks_per_pdu: 1,
+            inner_headroom: 1.5,
+        });
+        scenario.grid_fault = Some(mpr_power::GridFaultPlan::ups_outage(0.9));
+        let report = Simulation::new(&trace, scenario.sim_config()).run();
+
+        // A corrupted derate excess trips grid-derate.
+        let mut bad = report.clone();
+        if let Some(f) = bad.federated.as_mut() {
+            f.derate_excess_watts = 50.0;
+        }
+        assert!(check_grid_derate(&scenario, &bad)
+            .iter()
+            .any(|v| v.message.contains("derated capacity")));
+
+        // Grid accounting without a drawn plan is inconsistent.
+        let mut no_plan = scenario.clone();
+        no_plan.grid_fault = None;
+        let mut bad = report.clone();
+        if let Some(f) = bad.federated.as_mut() {
+            f.fenced_nodes = 3;
+        }
+        assert!(check_grid_fencing(&no_plan, &bad)
+            .iter()
+            .any(|v| v.message.contains("without a drawn fault plan")));
+
+        // A plan whose faults never repair has no post-repair world to
+        // judge: grid-repair is vacuously clean.
+        let mut planted = scenario.clone();
+        planted.grid_fault = Some(mpr_power::GridFaultPlan::always_on_ups_failure());
+        assert!(check_grid_repair(&planted, &report).is_empty());
+
+        // A repairing plan judges clean against the real library.
+        assert!(check_grid_repair(&scenario, &report).is_empty());
     }
 
     #[test]

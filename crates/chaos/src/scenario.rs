@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 
 use mpr_core::Watts;
 use mpr_power::telemetry::SensorFaultConfig;
-use mpr_power::{LevelKind, NodeSpec, TopologySpec};
+use mpr_power::{GridFaultPlan, LevelKind, NodeSpec, TopologySpec};
 use mpr_sim::{
     Algorithm, CostNoise, DiskPlan, DurabilityPlan, FaultPlan, FsyncPolicy, NetPlan, SimConfig,
     TelemetryConfig,
@@ -157,6 +157,11 @@ pub struct Scenario {
     /// routes every overload event through the hierarchical market over
     /// the realized [`TopologySpec`] instead of one flat market.
     pub topology: Option<TopologyDraw>,
+    /// Infrastructure fault plan over the drawn power tree (UPS failures,
+    /// ATS transfers, PDU breaker trips, gradual deratings), when drawn.
+    /// Only ever present alongside [`topology`](Self::topology): grid
+    /// faults are meaningless without a tree to break.
+    pub grid_fault: Option<GridFaultPlan>,
     /// **Test-only.** Journal with the intentionally unsound
     /// [`FsyncPolicy::Never`], which acknowledges slots before they are
     /// durable. Never drawn by [`generate`](Self::generate); planted by
@@ -169,6 +174,13 @@ pub struct Scenario {
     /// seeded-violation mode to prove the oracles catch a real safety
     /// failure.
     pub emergency_disabled: bool,
+    /// **Test-only.** Realize the scenario with dead-subtree fencing
+    /// disabled (see [`SimConfig::grid_fencing_disabled`]): grid faults
+    /// still derate capacity but jobs stay on their dead racks. Never
+    /// drawn by [`generate`](Self::generate); planted by the campaign's
+    /// seeded-violation mode to prove the `grid-fencing` oracle catches
+    /// power routed through a dead node.
+    pub grid_unfenced: bool,
 }
 
 impl Scenario {
@@ -323,6 +335,29 @@ impl Scenario {
             racks_per_pdu: rng.gen_range(1..=3usize),
             inner_headroom: rng.gen_range(1.0..2.5f64),
         });
+        // Infrastructure faults over the drawn tree (space v4): UPS
+        // failures, ATS transfers onto derated feeds, PDU breaker trips
+        // and gradual deratings, each repaired on its own schedule. Only
+        // drawn when a tree exists, and discarded when every fault class
+        // rolled zero (an inactive plan adds nothing to the space).
+        let grid_fault = topology
+            .is_some()
+            .then(|| {
+                rng.gen_bool(0.35).then(|| GridFaultPlan {
+                    seed: rng.gen(),
+                    ups_failure_prob: frac(&mut rng, 0.4, 0.8),
+                    ats_derate_prob: frac(&mut rng, 0.4, 0.8),
+                    ats_derate_frac: rng.gen_range(0.3..0.9f64),
+                    pdu_trip_prob: frac(&mut rng, 0.4, 0.8),
+                    derate_prob: frac(&mut rng, 0.4, 0.8),
+                    derate_floor: rng.gen_range(0.5..0.95f64),
+                    onset_secs: 0.0,
+                    window_secs: rng.gen_range(1800.0..14400.0f64),
+                    repair_secs: rng.gen_range(900.0..7200.0f64),
+                })
+            })
+            .flatten()
+            .filter(GridFaultPlan::is_active);
 
         Scenario {
             algorithm,
@@ -338,8 +373,10 @@ impl Scenario {
             disk_plan,
             kill_at_frac,
             topology,
+            grid_fault,
             wal_fsync_never: false,
             emergency_disabled: false,
+            grid_unfenced: false,
         }
     }
 
@@ -378,6 +415,9 @@ impl Scenario {
         if let Some(t) = self.topology {
             cfg = cfg.with_topology(t.to_spec());
         }
+        if let Some(g) = self.grid_fault {
+            cfg = cfg.with_grid_faults(g);
+        }
         if self.is_durable() {
             // `kill_at_slot` stays unresolved here: the fraction is
             // relative to the trace span, which only the campaign knows
@@ -394,6 +434,9 @@ impl Scenario {
         }
         if self.emergency_disabled {
             cfg = cfg.with_emergency_disabled();
+        }
+        if self.grid_unfenced {
+            cfg = cfg.with_grid_fencing_disabled();
         }
         cfg
     }
@@ -435,6 +478,13 @@ impl Scenario {
         if let Some(t) = self.topology {
             n += 1; // presence itself
             n += usize::from(t.total_racks() > 1);
+        }
+        if let Some(g) = self.grid_fault {
+            n += 1; // presence itself
+            n += usize::from(g.ups_failure_prob > 0.0);
+            n += usize::from(g.ats_derate_prob > 0.0);
+            n += usize::from(g.pdu_trip_prob > 0.0);
+            n += usize::from(g.derate_prob > 0.0);
         }
         n += usize::from(self.kill_at_frac > 0.0);
         n += usize::from(!matches!(self.cost_noise, CostNoise::None));
@@ -486,6 +536,16 @@ impl Scenario {
                 t.ups_count, t.pdus_per_ups, t.racks_per_pdu, t.inner_headroom
             ));
         }
+        if let Some(g) = self.grid_fault.filter(GridFaultPlan::is_active) {
+            parts.push(format!(
+                "grid(ups={:.2},ats={:.2},pdu={:.2},derate={:.2},repair={:.0}s)",
+                g.ups_failure_prob,
+                g.ats_derate_prob,
+                g.pdu_trip_prob,
+                g.derate_prob,
+                g.repair_secs
+            ));
+        }
         match self.cost_noise {
             CostNoise::None => {}
             CostNoise::Random { magnitude } => parts.push(format!("noise(random,{magnitude:.2})")),
@@ -507,6 +567,9 @@ impl Scenario {
         }
         if self.emergency_disabled {
             parts.push("EMERGENCY-FSM-DISABLED".to_owned());
+        }
+        if self.grid_unfenced {
+            parts.push("GRID-FENCING-DISABLED".to_owned());
         }
         parts.join(" ")
     }
@@ -535,7 +598,8 @@ impl Scenario {
         w.num("phase_amplitude", self.phase_amplitude)
             .num("kill_at_frac", self.kill_at_frac)
             .bool("wal_fsync_never", self.wal_fsync_never)
-            .bool("emergency_disabled", self.emergency_disabled);
+            .bool("emergency_disabled", self.emergency_disabled)
+            .bool("grid_unfenced", self.grid_unfenced);
         match self.fault_plan {
             Some(p) => {
                 let mut f = ObjWriter::new();
@@ -614,6 +678,25 @@ impl Scenario {
             }
             None => {
                 w.raw("topology", "null");
+            }
+        }
+        match self.grid_fault {
+            Some(g) => {
+                let mut f = ObjWriter::new();
+                f.u64("seed", g.seed)
+                    .num("ups_failure_prob", g.ups_failure_prob)
+                    .num("ats_derate_prob", g.ats_derate_prob)
+                    .num("ats_derate_frac", g.ats_derate_frac)
+                    .num("pdu_trip_prob", g.pdu_trip_prob)
+                    .num("derate_prob", g.derate_prob)
+                    .num("derate_floor", g.derate_floor)
+                    .num("onset_secs", g.onset_secs)
+                    .num("window_secs", g.window_secs)
+                    .num("repair_secs", g.repair_secs);
+                w.raw("grid_fault", f.render(indent + 1));
+            }
+            None => {
+                w.raw("grid_fault", "null");
             }
         }
         w.render(indent)
@@ -741,6 +824,31 @@ impl Scenario {
                 Some(draw)
             }
         };
+        let grid_fault = match json::field(obj, "grid_fault")? {
+            Value::Null => None,
+            v => {
+                let f = obj_of(v, "grid_fault")?;
+                let plan = GridFaultPlan {
+                    seed: json::field_u64(f, "seed")?,
+                    ups_failure_prob: json::field_num(f, "ups_failure_prob")?,
+                    ats_derate_prob: json::field_num(f, "ats_derate_prob")?,
+                    ats_derate_frac: json::field_num(f, "ats_derate_frac")?,
+                    pdu_trip_prob: json::field_num(f, "pdu_trip_prob")?,
+                    derate_prob: json::field_num(f, "derate_prob")?,
+                    derate_floor: json::field_num(f, "derate_floor")?,
+                    onset_secs: json::field_num(f, "onset_secs")?,
+                    window_secs: json::field_num(f, "window_secs")?,
+                    repair_secs: json::field_num(f, "repair_secs")?,
+                };
+                if topology.is_none() {
+                    return Err(json::ParseError {
+                        at: 0,
+                        message: "grid_fault requires a topology".to_owned(),
+                    });
+                }
+                Some(plan)
+            }
+        };
         Ok(Scenario {
             algorithm,
             oversub_pct: json::field_num(obj, "oversub_pct")?,
@@ -755,8 +863,10 @@ impl Scenario {
             disk_plan,
             kill_at_frac: json::field_num(obj, "kill_at_frac")?,
             topology,
+            grid_fault,
             wal_fsync_never: json::field_bool(obj, "wal_fsync_never")?,
             emergency_disabled: json::field_bool(obj, "emergency_disabled")?,
+            grid_unfenced: json::field_bool(obj, "grid_unfenced")?,
         })
     }
 }
@@ -851,9 +961,26 @@ mod tests {
         assert!(scenarios.iter().all(|s| s
             .topology
             .is_none_or(|t| t.total_racks() >= 1 && (1.0..2.5).contains(&t.inner_headroom))));
+        // Grid faults are drawn (space v4), always riding on a tree and
+        // always with at least one active fault class; trees without grid
+        // faults remain the majority.
+        assert!(scenarios.iter().any(|s| s.grid_fault.is_some()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.topology.is_some() && s.grid_fault.is_none()));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.grid_fault.is_none() || s.topology.is_some()));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.grid_fault.is_none_or(|g| g.is_active())));
+        // Grid faults compose with the other fault layers.
+        assert!(scenarios.iter().any(|s| s.grid_fault.is_some()
+            && (s.fault_plan.is_some() || s.net_plan.is_some() || s.sensor.is_some())));
         // The generator never plants the test-only knobs.
         assert!(scenarios.iter().all(|s| !s.emergency_disabled));
         assert!(scenarios.iter().all(|s| !s.wal_fsync_never));
+        assert!(scenarios.iter().all(|s| !s.grid_unfenced));
     }
 
     #[test]
@@ -879,6 +1006,12 @@ mod tests {
                     racks_per_pdu: 3,
                     inner_headroom: 1.0 + i as f64 / 49.0,
                 });
+                s.grid_fault = Some(GridFaultPlan {
+                    seed: 0xdead_beef + i,
+                    ups_failure_prob: 0.5,
+                    ..GridFaultPlan::default()
+                });
+                s.grid_unfenced = i % 10 == 0;
             }
             let text = s.to_json(0);
             let back =
@@ -1008,6 +1141,16 @@ mod tests {
             inner_headroom: 1.5,
         });
         assert_eq!(s.complexity(), 10, "fan-out adds one more component");
+        s.grid_fault = Some(GridFaultPlan {
+            ups_failure_prob: 0.6,
+            pdu_trip_prob: 0.2,
+            ..GridFaultPlan::default()
+        });
+        assert_eq!(
+            s.complexity(),
+            13,
+            "grid presence + two active fault classes"
+        );
     }
 
     #[test]
@@ -1027,12 +1170,21 @@ mod tests {
         });
         s.wal_fsync_never = true;
         s.emergency_disabled = true;
+        s.grid_fault = Some(GridFaultPlan {
+            ups_failure_prob: 0.75,
+            repair_secs: 1800.0,
+            ..GridFaultPlan::default()
+        });
+        s.grid_unfenced = true;
         let d = s.describe();
         assert!(d.contains("faults("), "{d}");
         assert!(d.contains("disk(torn=0.20"), "{d}");
         assert!(d.contains("kill@0.50"), "{d}");
         assert!(d.contains("tree(2x1x3,headroom=1.25)"), "{d}");
+        assert!(d.contains("grid(ups=0.75"), "{d}");
+        assert!(d.contains("repair=1800s"), "{d}");
         assert!(d.contains("WAL-FSYNC-NEVER"), "{d}");
         assert!(d.contains("EMERGENCY-FSM-DISABLED"), "{d}");
+        assert!(d.contains("GRID-FENCING-DISABLED"), "{d}");
     }
 }

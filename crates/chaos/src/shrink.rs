@@ -10,13 +10,17 @@
 //! every kept step strictly decreases [`Scenario::complexity`], so the
 //! loop terminates after at most `complexity²` predicate evaluations.
 //!
-//! The test-only `emergency_disabled` and `wal_fsync_never` knobs are
-//! deliberately **not** shrink targets: they are planted (never drawn),
-//! and removing them would turn a seeded-violation counterexample back
-//! into a healthy run. The kill point *is* a target — a durability
-//! violation that survives with the kill removed is not about crashes at
-//! all — but one that needs the crash keeps it, pinning the minimal
-//! repro to "this fsync policy loses acknowledged slots on a kill".
+//! The test-only `emergency_disabled`, `wal_fsync_never` and
+//! `grid_unfenced` knobs are deliberately **not** shrink targets: they
+//! are planted (never drawn), and removing them would turn a
+//! seeded-violation counterexample back into a healthy run. The kill
+//! point *is* a target — a durability violation that survives with the
+//! kill removed is not about crashes at all — but one that needs the
+//! crash keeps it, pinning the minimal repro to "this fsync policy loses
+//! acknowledged slots on a kill". Likewise the grid-fault layer and the
+//! tree it breaks are pinned while `grid_unfenced` is set: an unfenced
+//! violation without a dead node to route power through is no violation
+//! at all.
 
 use mpr_sim::{CostNoise, NetPlan};
 
@@ -83,11 +87,29 @@ const STEPS: &[Step] = &[
         },
     },
     Step {
+        name: "drop grid faults",
+        apply: |s| {
+            s.grid_fault?;
+            if s.grid_unfenced {
+                return None;
+            }
+            Some(Scenario {
+                grid_fault: None,
+                ..s.clone()
+            })
+        },
+    },
+    Step {
         name: "collapse power tree",
         apply: |s| {
             s.topology?;
+            if s.grid_unfenced {
+                return None;
+            }
+            // Grid faults cannot outlive the tree they break.
             Some(Scenario {
                 topology: None,
+                grid_fault: None,
                 ..s.clone()
             })
         },
@@ -101,6 +123,62 @@ const STEPS: &[Step] = &[
             t.racks_per_pdu = 1;
             Some(Scenario {
                 topology: Some(t),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero grid ups failures",
+        apply: |s| {
+            if s.grid_unfenced {
+                return None;
+            }
+            let mut g = s.grid_fault.filter(|g| g.ups_failure_prob > 0.0)?;
+            g.ups_failure_prob = 0.0;
+            Some(Scenario {
+                grid_fault: Some(g),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero grid ats transfers",
+        apply: |s| {
+            if s.grid_unfenced {
+                return None;
+            }
+            let mut g = s.grid_fault.filter(|g| g.ats_derate_prob > 0.0)?;
+            g.ats_derate_prob = 0.0;
+            Some(Scenario {
+                grid_fault: Some(g),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero grid pdu trips",
+        apply: |s| {
+            if s.grid_unfenced {
+                return None;
+            }
+            let mut g = s.grid_fault.filter(|g| g.pdu_trip_prob > 0.0)?;
+            g.pdu_trip_prob = 0.0;
+            Some(Scenario {
+                grid_fault: Some(g),
+                ..s.clone()
+            })
+        },
+    },
+    Step {
+        name: "zero grid deratings",
+        apply: |s| {
+            if s.grid_unfenced {
+                return None;
+            }
+            let mut g = s.grid_fault.filter(|g| g.derate_prob > 0.0)?;
+            g.derate_prob = 0.0;
+            Some(Scenario {
+                grid_fault: Some(g),
                 ..s.clone()
             })
         },
@@ -418,6 +496,11 @@ mod tests {
             racks_per_pdu: 3,
             inner_headroom: 1.1,
         });
+        s.grid_fault = Some(mpr_power::GridFaultPlan {
+            ups_failure_prob: 0.6,
+            pdu_trip_prob: 0.3,
+            ..mpr_power::GridFaultPlan::default()
+        });
         s.cost_noise = CostNoise::Random { magnitude: 0.2 };
         s.participation = 0.6;
         s.oversub_pct = 25.0;
@@ -519,6 +602,96 @@ mod tests {
         let r = shrink(&s, |_| true);
         assert!(r.scenario.topology.is_none());
         assert_eq!(r.scenario.complexity(), 0);
+    }
+
+    #[test]
+    fn predicate_needing_grid_faults_keeps_the_plan_and_its_tree() {
+        let s = busy_scenario();
+        // A grid-fencing-style predicate: only reproduces while UPS
+        // failures still strike the tree.
+        let r = shrink(&s, |c| {
+            c.grid_fault.is_some_and(|g| g.ups_failure_prob > 0.0)
+        });
+        let g = r.scenario.grid_fault.expect("kept the plan");
+        assert!(g.ups_failure_prob > 0.0);
+        assert_eq!(g.pdu_trip_prob, 0.0, "the other fault class is noise");
+        assert!(
+            r.scenario.topology.is_some(),
+            "grid faults keep the tree they break"
+        );
+        // tree presence + plan presence + the pinned UPS class
+        assert_eq!(r.scenario.complexity(), 3);
+        // Without the predicate the plan and the tree both collapse.
+        let r = shrink(&s, |_| true);
+        assert!(r.scenario.grid_fault.is_none());
+        assert!(r.scenario.topology.is_none());
+        assert_eq!(r.scenario.complexity(), 0);
+    }
+
+    #[test]
+    fn grid_unfenced_knob_pins_the_plan_and_tree() {
+        let mut s = busy_scenario();
+        s.grid_unfenced = true;
+        let r = shrink(&s, |_| true);
+        assert!(r.scenario.grid_unfenced);
+        assert!(
+            r.scenario.grid_fault.is_some(),
+            "planted unfenced violations need their faults"
+        );
+        assert!(r.scenario.topology.is_some());
+        // Everything outside the pinned grid layer still shrinks away:
+        // tree (pruned to one branch) + plan presence + two fault classes.
+        assert_eq!(r.scenario.complexity(), 4);
+        assert!(r.scenario.fault_plan.is_none());
+        assert!(r.scenario.disk_plan.is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Whatever grid-fault scenario the generator draws, its shrunk
+            /// counterexample still reproduces the predicate that convicted
+            /// it, never grows, keeps the tree the faults strike, shrinks
+            /// away every fault class but the convicting one, and does all
+            /// of it deterministically.
+            #[test]
+            fn shrunk_grid_counterexamples_still_reproduce(
+                seed in 0u64..=u64::MAX,
+                idx in 0u64..4096,
+            ) {
+                let scenario = Scenario::generate(seed, idx);
+                prop_assume!(scenario.grid_fault.is_some());
+                let reproduces =
+                    |c: &Scenario| c.grid_fault.is_some_and(|g| g.ups_failure_prob > 0.0);
+                prop_assume!(reproduces(&scenario));
+                let a = shrink(&scenario, reproduces);
+                let b = shrink(&scenario, reproduces);
+                prop_assert_eq!(&a, &b, "shrinking must be deterministic");
+                prop_assert!(
+                    reproduces(&a.scenario),
+                    "the minimal scenario must still reproduce"
+                );
+                prop_assert!(a.scenario.complexity() <= scenario.complexity());
+                prop_assert!(
+                    a.scenario.topology.is_some(),
+                    "grid faults keep the tree they break"
+                );
+                let g = a.scenario.grid_fault.unwrap();
+                let live_classes =
+                    [g.ats_derate_prob, g.pdu_trip_prob, g.derate_prob]
+                        .iter()
+                        .filter(|p| **p > 0.0)
+                        .count();
+                prop_assert_eq!(
+                    live_classes, 0,
+                    "every fault class but the convicting one shrinks away"
+                );
+            }
+        }
     }
 
     #[test]

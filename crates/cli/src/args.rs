@@ -10,8 +10,9 @@ use mpr_workload::ClusterSpec;
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `mpr simulate …` — run a trace-driven simulation.
-    Simulate(SimulateArgs),
+    /// `mpr simulate …` — run a trace-driven simulation. (Boxed: the
+    /// argument struct dwarfs every other variant.)
+    Simulate(Box<SimulateArgs>),
     /// `mpr market …` — clear one ad-hoc market.
     Market(MarketArgs),
     /// `mpr traces` — list the built-in cluster workloads.
@@ -96,6 +97,10 @@ pub struct ChaosArgs {
     /// mid-run kill) into every scenario (proves the `durability-commit`
     /// oracle catches acknowledgement loss).
     pub wal_fsync_never: bool,
+    /// Plant a permanent UPS failure with subtree fencing disabled into
+    /// every scenario (proves the `grid-fencing` oracle catches power
+    /// flowing through dead infrastructure).
+    pub tree_fault_ups: bool,
     /// Replay a repro artifact instead of running a campaign.
     pub replay: Option<String>,
     /// Emit the per-run CSV instead of the human summary.
@@ -160,6 +165,18 @@ pub struct SimulateArgs {
     pub topology: Option<String>,
     /// Clear overloads through the hierarchical federated market.
     pub federated: bool,
+    /// Per-UPS outage probability for the infrastructure fault plan.
+    pub tree_fault_ups: f64,
+    /// Per-ATS degraded-transfer probability.
+    pub tree_fault_ats: f64,
+    /// Per-PDU breaker-trip probability.
+    pub tree_fault_pdu: f64,
+    /// Per-node gradual-derate probability.
+    pub tree_fault_derate: f64,
+    /// Infrastructure fault-plan RNG seed (0 keeps the plan default).
+    pub tree_fault_seed: u64,
+    /// Repair time after a fault window, seconds (0 keeps the plan default).
+    pub tree_fault_repair_secs: f64,
     /// Emit CSV instead of a human-readable summary.
     pub csv: bool,
 }
@@ -239,6 +256,11 @@ USAGE:
                                                             (write-ahead market ledger)
                   [--topology FILE --federated]             (hierarchical power-tree markets;
                                                              FILE is a JSON topology spec)
+                  [--tree-fault-ups F] [--tree-fault-ats F]
+                  [--tree-fault-pdu F] [--tree-fault-derate F]
+                  [--tree-fault-seed N] [--tree-fault-repair-secs S]
+                                                            (infrastructure fault injection
+                                                             over the federated power tree)
     mpr market    [--jobs N] [--target-watts W]
                   [--mechanism mpr-stat|mpr-int|opt|eql|vcg|chain]
                   [--interactive]                  (synonym for --mechanism mpr-int)
@@ -246,6 +268,7 @@ USAGE:
                   [--artifact-dir DIR] [--no-shrink]
                   [--disable-emergency]        (seeded-violation self-test)
                   [--wal-fsync-never]          (seeded durability-bug self-test)
+                  [--tree-fault-ups]           (seeded grid-fencing-bug self-test)
                   [--csv | --json]
     mpr chaos     --replay FILE               (re-run a repro artifact)
     mpr ledger    dump FILE [--json]          (decode a WAL written by --wal)
@@ -273,7 +296,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
         return Ok(Command::Help);
     };
     match cmd.as_str() {
-        "simulate" => parse_simulate(rest).map(Command::Simulate),
+        "simulate" => parse_simulate(rest).map(|a| Command::Simulate(Box::new(a))),
         "market" => parse_market(rest).map(Command::Market),
         "swf" => parse_swf_args(rest).map(Command::Swf),
         "calibrate" => expect_no_args(rest, Command::Calibrate),
@@ -379,6 +402,12 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
         wal_fsync: None,
         topology: None,
         federated: false,
+        tree_fault_ups: 0.0,
+        tree_fault_ats: 0.0,
+        tree_fault_pdu: 0.0,
+        tree_fault_derate: 0.0,
+        tree_fault_seed: 0,
+        tree_fault_repair_secs: 0.0,
         csv: false,
     };
     let mut it = rest.iter();
@@ -432,6 +461,24 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
             "--resume-from" => out.resume_from = Some(take_value(flag, &mut it)?.to_owned()),
             "--topology" => out.topology = Some(take_value(flag, &mut it)?.to_owned()),
             "--federated" => out.federated = true,
+            "--tree-fault-ups" => {
+                out.tree_fault_ups = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--tree-fault-ats" => {
+                out.tree_fault_ats = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--tree-fault-pdu" => {
+                out.tree_fault_pdu = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--tree-fault-derate" => {
+                out.tree_fault_derate = parse_fraction(flag, take_value(flag, &mut it)?)?;
+            }
+            "--tree-fault-seed" => {
+                out.tree_fault_seed = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--tree-fault-repair-secs" => {
+                out.tree_fault_repair_secs = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
             "--wal" => out.wal = Some(take_value(flag, &mut it)?.to_owned()),
             "--wal-fsync" => {
                 let v = take_value(flag, &mut it)?;
@@ -460,6 +507,22 @@ fn parse_simulate(rest: &[String]) -> Result<SimulateArgs, UsageError> {
     }
     if out.topology.is_some() && !out.federated {
         return Err(UsageError("--topology needs --federated".into()));
+    }
+    let tree_faults = out.tree_fault_ups > 0.0
+        || out.tree_fault_ats > 0.0
+        || out.tree_fault_pdu > 0.0
+        || out.tree_fault_derate > 0.0
+        || out.tree_fault_seed != 0
+        || out.tree_fault_repair_secs != 0.0;
+    if tree_faults && out.topology.is_none() {
+        return Err(UsageError(
+            "--tree-fault-* needs --topology FILE --federated".into(),
+        ));
+    }
+    if !out.tree_fault_repair_secs.is_finite() || out.tree_fault_repair_secs < 0.0 {
+        return Err(UsageError(
+            "--tree-fault-repair-secs must be finite and non-negative".into(),
+        ));
     }
     if out.wal.is_some() && (out.checkpoint_path.is_some() || out.resume_from.is_some()) {
         return Err(UsageError(
@@ -538,6 +601,7 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
         days: 1.0,
         disable_emergency: false,
         wal_fsync_never: false,
+        tree_fault_ups: false,
         no_shrink: false,
         artifact_dir: None,
         replay: None,
@@ -552,6 +616,7 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
             "--days" => out.days = parse_num(flag, take_value(flag, &mut it)?)?,
             "--disable-emergency" => out.disable_emergency = true,
             "--wal-fsync-never" => out.wal_fsync_never = true,
+            "--tree-fault-ups" => out.tree_fault_ups = true,
             "--no-shrink" => out.no_shrink = true,
             "--artifact-dir" => out.artifact_dir = Some(take_value(flag, &mut it)?.to_owned()),
             "--replay" => out.replay = Some(take_value(flag, &mut it)?.to_owned()),
@@ -563,7 +628,12 @@ fn parse_chaos(rest: &[String]) -> Result<ChaosArgs, UsageError> {
     if out.csv && out.json {
         return Err(UsageError("--csv and --json are mutually exclusive".into()));
     }
-    if out.replay.is_some() && (out.disable_emergency || out.wal_fsync_never || out.csv || out.json)
+    if out.replay.is_some()
+        && (out.disable_emergency
+            || out.wal_fsync_never
+            || out.tree_fault_ups
+            || out.csv
+            || out.json)
     {
         return Err(UsageError(
             "--replay takes no campaign flags (only the artifact file)".into(),
@@ -882,7 +952,8 @@ mod tests {
         assert_eq!(a.runs, 100);
         assert_eq!(a.seed, 0x4d50_5221);
         assert_eq!(a.days, 1.0);
-        assert!(!a.disable_emergency && !a.wal_fsync_never && !a.no_shrink && !a.csv && !a.json);
+        assert!(!a.disable_emergency && !a.wal_fsync_never && !a.tree_fault_ups);
+        assert!(!a.no_shrink && !a.csv && !a.json);
         assert_eq!(a.artifact_dir, None);
         assert_eq!(a.replay, None);
 
@@ -890,6 +961,12 @@ mod tests {
             panic!("expected chaos");
         };
         assert!(a.wal_fsync_never);
+
+        let Command::Chaos(a) = parse(&argv("chaos --tree-fault-ups")).unwrap() else {
+            panic!("expected chaos");
+        };
+        assert!(a.tree_fault_ups);
+        assert!(parse(&argv("chaos --replay r.json --tree-fault-ups")).is_err());
 
         let Command::Chaos(a) = parse(&argv(
             "chaos --runs 1000 --seed 42 --days 0.5 --disable-emergency \
@@ -965,6 +1042,55 @@ mod tests {
         assert!(parse(&argv("simulate --federated")).is_err());
         assert!(parse(&argv("simulate --topology tree.json")).is_err());
         assert!(parse(&argv("simulate --topology")).is_err());
+    }
+
+    #[test]
+    fn simulate_tree_fault_flags() {
+        let Command::Simulate(a) = parse(&argv(
+            "simulate --topology tree.json --federated --tree-fault-ups 0.4 \
+             --tree-fault-ats 0.3 --tree-fault-pdu 0.2 --tree-fault-derate 0.1 \
+             --tree-fault-seed 7 --tree-fault-repair-secs 900",
+        ))
+        .unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(a.tree_fault_ups, 0.4);
+        assert_eq!(a.tree_fault_ats, 0.3);
+        assert_eq!(a.tree_fault_pdu, 0.2);
+        assert_eq!(a.tree_fault_derate, 0.1);
+        assert_eq!(a.tree_fault_seed, 7);
+        assert_eq!(a.tree_fault_repair_secs, 900.0);
+        // Defaults leave the plan idle.
+        let Command::Simulate(b) = parse(&argv("simulate")).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(b.tree_fault_ups, 0.0);
+        assert_eq!(b.tree_fault_seed, 0);
+        // Fault probabilities are fractions.
+        assert!(parse(&argv(
+            "simulate --topology t.json --federated --tree-fault-ups 1.5"
+        ))
+        .is_err());
+        // Every tree-fault flag needs the federated power tree.
+        for flag in [
+            "--tree-fault-ups 0.5",
+            "--tree-fault-ats 0.5",
+            "--tree-fault-pdu 0.5",
+            "--tree-fault-derate 0.5",
+            "--tree-fault-seed 9",
+            "--tree-fault-repair-secs 60",
+        ] {
+            assert!(parse(&argv(&format!("simulate {flag}"))).is_err(), "{flag}");
+        }
+        // Repair times are finite and non-negative.
+        assert!(parse(&argv(
+            "simulate --topology t.json --federated --tree-fault-repair-secs -5"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "simulate --topology t.json --federated --tree-fault-repair-secs inf"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -133,6 +133,22 @@ pub fn simulate(
         let spec =
             mpr_power::TopologySpec::parse(&text).map_err(|e| format!("--topology {path}: {e}"))?;
         config = config.with_topology(spec);
+        let mut grid = mpr_power::GridFaultPlan {
+            ups_failure_prob: args.tree_fault_ups,
+            ats_derate_prob: args.tree_fault_ats,
+            pdu_trip_prob: args.tree_fault_pdu,
+            derate_prob: args.tree_fault_derate,
+            ..mpr_power::GridFaultPlan::default()
+        };
+        if args.tree_fault_seed != 0 {
+            grid.seed = args.tree_fault_seed;
+        }
+        if args.tree_fault_repair_secs > 0.0 {
+            grid.repair_secs = args.tree_fault_repair_secs;
+        }
+        if grid.is_active() {
+            config = config.with_grid_faults(grid);
+        }
     }
     let r = if let Some(wal_path) = &args.wal {
         config = config.with_durability(DurabilityPlan {
@@ -175,11 +191,14 @@ pub fn simulate(
              jobs_affected_pct,rounds_retried,quarantined,chain_level,residual_overload_{w},\
              sensor_samples_missed,sensor_outliers_rejected,sensor_stale_polls,\
              net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped,\
-             fed_markets,fed_rounds,fed_residual_{w}"
+             fed_markets,fed_rounds,fed_residual_{w},\
+             fed_grid_fault_slots,fed_fenced_nodes,fed_derated_nodes,\
+             fed_reassigned_jobs,fed_quarantined_jobs,fed_dead_cleared_{w},\
+             fed_derate_excess_{w},fed_post_repair_events"
         )?;
         writeln!(
             out,
-            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{:.3}",
+            "{},{},{},{},{},{:.4},{},{:.3},{:.3},{:.3},{:.4},{:.3},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{:.3},{:.6},{}",
             r.trace_name,
             r.algorithm,
             r.oversubscription_pct,
@@ -208,6 +227,14 @@ pub fn simulate(
             r.federated.as_ref().map_or(0, |f| f.markets),
             r.federated.as_ref().map_or(0, |f| f.rounds),
             r.federated.as_ref().map_or(0.0, |f| f.residual_watts),
+            r.federated.as_ref().map_or(0, |f| f.grid_fault_slots),
+            r.federated.as_ref().map_or(0, |f| f.fenced_nodes),
+            r.federated.as_ref().map_or(0, |f| f.derated_nodes),
+            r.federated.as_ref().map_or(0, |f| f.reassigned_jobs),
+            r.federated.as_ref().map_or(0, |f| f.quarantined_jobs),
+            r.federated.as_ref().map_or(0.0, |f| f.dead_cleared_watts),
+            r.federated.as_ref().map_or(0.0, |f| f.derate_excess_watts),
+            r.federated.as_ref().map_or(0, |f| f.post_repair_events),
         )?;
     } else {
         writeln!(
@@ -308,6 +335,20 @@ pub fn simulate(
                 Watts::new(f.residual_watts),
                 f.infeasible_events,
             )?;
+            if f.grid_fault_slots > 0 {
+                writeln!(
+                    out,
+                    "  grid faults:         {} faulted slots, {} node-slots fenced, \
+                     {} derated, {} jobs reassigned, {} quarantined, \
+                     {} post-repair clearings",
+                    f.grid_fault_slots,
+                    f.fenced_nodes,
+                    f.derated_nodes,
+                    f.reassigned_jobs,
+                    f.quarantined_jobs,
+                    f.post_repair_events,
+                )?;
+            }
             // Levels print root-first: by depth, then by node name.
             let mut levels: Vec<_> = f.levels.iter().collect();
             levels.sort_by_key(|(name, lv)| (lv.depth, (*name).clone()));
@@ -783,6 +824,7 @@ pub fn chaos(args: &ChaosArgs, out: &mut dyn Write) -> Result<(), Box<dyn std::e
         days: args.days,
         emergency_disabled: args.disable_emergency,
         wal_fsync_never: args.wal_fsync_never,
+        tree_fault_ups: args.tree_fault_ups,
         shrink: !args.no_shrink,
         artifact_dir: args.artifact_dir.as_ref().map(Into::into),
     };
@@ -886,7 +928,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines.first().is_some_and(|h| h
             .contains("net_rounds,net_retransmits,net_straggler_rounds,net_messages_dropped")
-            && h.ends_with("fed_markets,fed_rounds,fed_residual_w")));
+            && h.contains("fed_markets,fed_rounds,fed_residual_w")));
     }
 
     #[test]
@@ -985,10 +1027,12 @@ mod tests {
         simulate(&csv, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines[0].ends_with("fed_markets,fed_rounds,fed_residual_w"));
+        assert!(lines[0].ends_with("fed_derate_excess_w,fed_post_repair_events"));
+        assert!(lines[0].contains("fed_markets,fed_rounds,fed_residual_w"));
+        assert!(lines[0].contains("fed_grid_fault_slots,fed_fenced_nodes"));
         let markets: usize = lines[1]
             .split(',')
-            .nth_back(2)
+            .nth_back(10)
             .and_then(|v| v.parse().ok())
             .expect("fed_markets column");
         assert!(markets > 0, "federated run must clear subtree markets");
@@ -1024,6 +1068,55 @@ mod tests {
             "a flat resume must be fenced off a federated checkpoint"
         );
         let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&tree);
+    }
+
+    #[test]
+    fn simulate_tree_faults_fence_and_report() {
+        let tree = std::env::temp_dir().join(format!("mpr_cli_{}_gtree.json", std::process::id()));
+        std::fs::write(&tree, include_str!("../../../examples/tree.json")).unwrap();
+        let spec = tree.to_str().unwrap();
+
+        let Command::Simulate(a) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated \
+             --tree-fault-ups 1.0 --tree-fault-seed 7 --tree-fault-repair-secs 1800"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut buf = Vec::new();
+        simulate(&a, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("grid faults:"),
+            "missing grid-fault line: {text}"
+        );
+
+        // The CSV carries the fault counters, and the run is deterministic:
+        // two invocations of the same command are byte-identical.
+        let Command::Simulate(csv) = parse(&argv(&format!(
+            "simulate --days 1 --oversub 15 --topology {spec} --federated \
+             --tree-fault-ups 1.0 --tree-fault-seed 7 --tree-fault-repair-secs 1800 --csv"
+        )))
+        .unwrap() else {
+            panic!()
+        };
+        let mut first = Vec::new();
+        simulate(&csv, &mut first).unwrap();
+        let mut second = Vec::new();
+        simulate(&csv, &mut second).unwrap();
+        assert_eq!(
+            first, second,
+            "faulted federated runs must be deterministic"
+        );
+        let text = String::from_utf8(first).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let slots: usize = lines[1]
+            .split(',')
+            .nth_back(7)
+            .and_then(|v| v.parse().ok())
+            .expect("fed_grid_fault_slots column");
+        assert!(slots > 0, "an always-on UPS plan must fault some slots");
         let _ = std::fs::remove_file(&tree);
     }
 

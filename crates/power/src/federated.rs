@@ -38,15 +38,16 @@ use crate::hierarchy::{LevelKind, PowerHierarchy};
 /// Residual tolerance: deficits below this are treated as feasible.
 const DEFICIT_TOL: f64 = 1e-6;
 
-/// A row whose remaining Δ has fallen to this fraction of its original Δ
-/// (or below an absolute floor) is exhausted and never re-marketed. A
-/// best-effort ceiling clear leaves exactly `Δ/1000` on the table (the
-/// ceiling is 1000× the highest activation price); re-clearing those
-/// leftovers would multiply the next market's activation prices — and
-/// hence its ceiling — by 1000 per round, compounding payments without
-/// bound. The unshed remainder escalates as residual instead, which the
-/// manager covers with direct power capping outside the market.
-const EXHAUSTED_FRAC: f64 = 2e-3;
+/// Default for [`HierarchicalMarket::with_exhausted_frac`]: a row whose
+/// remaining Δ has fallen to this fraction of its original Δ (or below an
+/// absolute floor) is exhausted and never re-marketed. A best-effort
+/// ceiling clear leaves exactly `Δ/1000` on the table (the ceiling is
+/// 1000× the highest activation price); re-clearing those leftovers would
+/// multiply the next market's activation prices — and hence its ceiling —
+/// by 1000 per round, compounding payments without bound. The unshed
+/// remainder escalates as residual instead, which the manager covers with
+/// direct power capping outside the market.
+pub const DEFAULT_EXHAUSTED_FRAC: f64 = 2e-3;
 
 /// Errors from federated market construction and clearing.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,18 @@ pub enum FederatedError {
         /// Entries in the assignment.
         assigned: usize,
     },
+    /// The hierarchy contains a node with zero (or negative) capacity. A
+    /// dead node must be *fenced out* of the hierarchy (see
+    /// `mpr_power::gridfault::TopologyState::to_hierarchy_scaled`), never
+    /// modeled as a zero-capacity constraint: its deficit arithmetic would
+    /// silently report the node as feasible while power still routes
+    /// through it.
+    ZeroCapacity {
+        /// The offending node id.
+        node: usize,
+        /// The node's name.
+        name: String,
+    },
     /// Every subtree market failed; the first error observed.
     Mechanism(MechanismError),
 }
@@ -83,6 +96,11 @@ impl std::fmt::Display for FederatedError {
             FederatedError::AssignmentLength { rows, assigned } => write!(
                 f,
                 "assignment has {assigned} entries for an instance of {rows} rows"
+            ),
+            FederatedError::ZeroCapacity { node, name } => write!(
+                f,
+                "node {node} (`{name}`) has zero capacity — fence dead nodes out of the \
+                 hierarchy instead of zeroing them"
             ),
             FederatedError::Mechanism(e) => write!(f, "federated clearing failed: {e}"),
         }
@@ -114,6 +132,10 @@ pub struct LevelReport {
     /// propagated residuals)`. Edge-monotone by construction — the chaos
     /// oracle checks reported values preserve this.
     pub propagated_residual: Watts,
+    /// `true` when the node's local markets could not shed its full
+    /// deficit: the residual escalates past the market to the node's
+    /// emergency path (direct capping / load shedding outside the market).
+    pub escalated: bool,
 }
 
 /// The outcome of one federated sweep over the tree.
@@ -176,6 +198,9 @@ pub struct HierarchicalMarket<'h> {
     assignment: Vec<usize>,
     /// Cap on deepest-to-root sweep rounds.
     max_rounds: usize,
+    /// Remaining-Δ fraction under which a row is exhausted and never
+    /// re-marketed (see [`DEFAULT_EXHAUSTED_FRAC`] for why).
+    exhausted_frac: f64,
 }
 
 impl<'h> HierarchicalMarket<'h> {
@@ -184,11 +209,21 @@ impl<'h> HierarchicalMarket<'h> {
     ///
     /// # Errors
     ///
-    /// [`FederatedError::BadAssignment`] when an entry is not a rack id.
+    /// * [`FederatedError::BadAssignment`] when an entry is not a rack id.
+    /// * [`FederatedError::ZeroCapacity`] when any hierarchy node has no
+    ///   capacity — dead nodes must be fenced out of the tree, not zeroed.
     pub fn new(
         hierarchy: &'h PowerHierarchy,
         assignment: Vec<usize>,
     ) -> Result<Self, FederatedError> {
+        for node in 0..hierarchy.len() {
+            if hierarchy.capacity_of(node).get() <= 0.0 {
+                return Err(FederatedError::ZeroCapacity {
+                    node,
+                    name: hierarchy.name_of(node).to_owned(),
+                });
+            }
+        }
         for (row, &node) in assignment.iter().enumerate() {
             if hierarchy.kind_of(node) != Some(LevelKind::Rack) {
                 return Err(FederatedError::BadAssignment { row, node });
@@ -198,6 +233,7 @@ impl<'h> HierarchicalMarket<'h> {
             hierarchy,
             assignment,
             max_rounds: 8,
+            exhausted_frac: DEFAULT_EXHAUSTED_FRAC,
         })
     }
 
@@ -208,10 +244,27 @@ impl<'h> HierarchicalMarket<'h> {
         self
     }
 
+    /// Overrides the exhausted-row fencing fraction (default
+    /// [`DEFAULT_EXHAUSTED_FRAC`]). Clamped to `[0, 0.5]`: rows whose
+    /// remaining Δ falls under this fraction of their original Δ are
+    /// dropped from re-clears so ceiling-clear leftovers are never
+    /// re-priced.
+    #[must_use]
+    pub fn with_exhausted_frac(mut self, frac: f64) -> Self {
+        self.exhausted_frac = frac.clamp(0.0, 0.5);
+        self
+    }
+
     /// The job→rack assignment in use.
     #[must_use]
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
+    }
+
+    /// The exhausted-row fencing fraction in use.
+    #[must_use]
+    pub fn exhausted_frac(&self) -> f64 {
+        self.exhausted_frac
     }
 
     /// Ascending instance rows living in the subtree rooted at `node`.
@@ -328,7 +381,8 @@ impl<'h> HierarchicalMarket<'h> {
                         let (rows, remaining) = if pristine {
                             (rows, None)
                         } else {
-                            let (kept, remaining) = gather_remaining(instance, &rows, &committed);
+                            let (kept, remaining) =
+                                gather_remaining(instance, &rows, &committed, self.exhausted_frac);
                             if kept.is_empty() {
                                 // Every row is exhausted: the deficit is
                                 // stuck residual, there is no market to run.
@@ -395,6 +449,7 @@ impl<'h> HierarchicalMarket<'h> {
                         markets: 0,
                         residual: Watts::ZERO,
                         propagated_residual: Watts::ZERO,
+                        escalated: false,
                     });
                     report.markets += 1;
                     let clearing = match clear.result {
@@ -460,6 +515,9 @@ impl<'h> HierarchicalMarket<'h> {
         for report in &mut levels {
             report.residual =
                 Watts::new(self.effective_deficit(report.id, &committed, &wpu).max(0.0));
+            // The market is out of supply here: the leftover deficit must
+            // escalate to the node's emergency path (direct capping).
+            report.escalated = report.residual.get() > DEFICIT_TOL;
         }
         levels.sort_by_key(|r| (r.depth, r.id));
         // The recursive max-of-children's-maxes collapses to one max over
@@ -556,12 +614,14 @@ impl<'h> HierarchicalMarket<'h> {
 /// carried over) — the re-clear instance for a partially shed subtree.
 /// Returns the kept parent rows (in order) alongside the instance, so the
 /// clearing's outputs map back row-for-row. Rows with less than
-/// [`EXHAUSTED_FRAC`] of their original Δ left are dropped: re-pricing
-/// ceiling-clear leftovers compounds without bound (see the constant).
+/// `exhausted_frac` of their original Δ left are dropped: re-pricing
+/// ceiling-clear leftovers compounds without bound (see
+/// [`DEFAULT_EXHAUSTED_FRAC`]).
 fn gather_remaining(
     instance: &MarketInstance,
     rows: &[u32],
     committed: &[f64],
+    exhausted_frac: f64,
 ) -> (Vec<u32>, MarketInstance) {
     let mut kept = Vec::new();
     let gathered: MarketInstance = rows
@@ -572,7 +632,7 @@ fn gather_remaining(
             let delta = instance.deltas().get(row)?;
             let done = committed.get(row).copied().unwrap_or(0.0);
             let remaining = (delta - done).max(0.0);
-            if remaining <= (delta * EXHAUSTED_FRAC).max(1e-9) {
+            if remaining <= (delta * exhausted_frac).max(1e-9) {
                 return None;
             }
             let wpu = instance.watts_per_unit_slice().get(row)?;
@@ -667,6 +727,10 @@ mod tests {
         assert_eq!(outcome.markets, 2);
         assert_eq!(outcome.rounds, 1);
         assert_eq!(outcome.levels.len(), 2);
+        assert!(
+            outcome.levels.iter().all(|l| !l.escalated),
+            "feasible nodes never escalate"
+        );
         assert_eq!(outcome.levels[0].id, ups_a);
         assert_eq!(outcome.levels[1].id, ups_b);
         assert!((outcome.levels[0].target.get() - 100.0).abs() < 1e-9);
@@ -697,6 +761,10 @@ mod tests {
         // UPS-A needs 300 W but its only job caps at 125 W: residual stays.
         let a_report = outcome.levels.iter().find(|l| l.id == ups_a).unwrap();
         assert!(a_report.residual.get() > 0.0);
+        assert!(
+            a_report.escalated,
+            "a stuck residual escalates to the node's emergency path"
+        );
         assert!(!outcome.feasible());
         assert!(outcome.rounds >= 1);
         // Propagated residuals are edge-monotone: the root's reported
@@ -780,6 +848,51 @@ mod tests {
         }
         // The sweep settles instead of spinning all eight rounds.
         assert!(outcome.rounds <= 3, "rounds: {}", outcome.rounds);
+    }
+
+    #[test]
+    fn zero_capacity_nodes_are_a_typed_error() {
+        let mut h = PowerHierarchy::new();
+        let ats = h.add_root("ats", LevelKind::Ats, Watts::new(100.0));
+        let ups = h
+            .add_child("ups", LevelKind::Ups, Watts::ZERO, ats)
+            .unwrap();
+        let pdu = h
+            .add_child("pdu", LevelKind::Pdu, Watts::new(100.0), ups)
+            .unwrap();
+        h.add_child("rack", LevelKind::Rack, Watts::new(100.0), pdu)
+            .unwrap();
+        match HierarchicalMarket::new(&h, Vec::new()) {
+            Err(FederatedError::ZeroCapacity { node, name }) => {
+                assert_eq!(node, ups);
+                assert_eq!(name, "ups");
+            }
+            other => panic!("expected ZeroCapacity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_fencing_fraction_is_configurable() {
+        let (mut h, _, _, rack_a, rack_b) = two_ups_tree(10.0, 5.0);
+        h.set_load(rack_a, Watts::new(1000.0)).unwrap();
+        h.set_load(rack_b, Watts::new(1000.0)).unwrap();
+        let inst = instance(4);
+        let market = HierarchicalMarket::new(&h, vec![rack_a, rack_a, rack_b, rack_b]).unwrap();
+        assert_eq!(market.exhausted_frac(), DEFAULT_EXHAUSTED_FRAC);
+        // The clamp keeps pathological values out.
+        let market = market.with_exhausted_frac(5.0);
+        assert_eq!(market.exhausted_frac(), 0.5);
+        // With fencing effectively off, ceiling-clear leftovers are
+        // re-marketed and the headline price escapes the single-pass
+        // ceiling — exactly the compounding the default prevents.
+        let market = market.with_exhausted_frac(0.0);
+        assert_eq!(market.exhausted_frac(), 0.0);
+        let outcome = market.clear(&inst, MclrMechanism::best_effort).unwrap();
+        assert!(
+            outcome.clearing.price().get() > 100.0 + 1e-9,
+            "price {} should compound past the single-pass ceiling with fencing off",
+            outcome.clearing.price().get()
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //! * [`telemetry`] — sensor-fault-tolerant power measurement: seeded
 //!   fault adapters (noise, dropout, stuck, delay, spikes) over true
 //!   power, and the [`RobustEstimator`] whose conservative upper bound —
-//!   not raw power — should drive the emergency controller.
+//!   not raw power — should drive the emergency controller;
+//! * [`gridfault`] — seeded infrastructure fault injection over the power
+//!   tree: UPS failures, ATS transfers at derated capacity, PDU breaker
+//!   trips and gradual deratings with scheduled repairs, evaluated as a
+//!   pure [`TopologyState`] over the immutable [`TopologySpec`] so
+//!   federated clearing can fence dead subtrees deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +34,7 @@ pub mod breaker;
 pub mod emergency;
 pub mod error;
 pub mod federated;
+pub mod gridfault;
 pub mod hierarchy;
 pub mod model;
 pub mod oversubscription;
@@ -44,6 +50,7 @@ pub use emergency::{
 };
 pub use error::PowerError;
 pub use federated::{FederatedError, FederatedOutcome, HierarchicalMarket, LevelReport};
+pub use gridfault::{GridFault, GridFaultKind, GridFaultPlan, TopologyState};
 pub use hierarchy::{HierarchyError, LevelKind, PowerHierarchy};
 pub use model::PowerModel;
 pub use oversubscription::Oversubscription;

@@ -50,7 +50,7 @@ use crate::report::{
 };
 
 const MAGIC: [u8; 8] = *b"MPRCKPT\0";
-const VERSION: u32 = 4;
+const VERSION: u32 = 5;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Why a checkpoint could not be written or restored.
@@ -493,6 +493,28 @@ pub(crate) fn fingerprint(sim: &Simulation<'_>) -> u64 {
         None => e.u8(0),
     }
     e.bool(cfg.federated);
+    // The grid-fault plan is a pure function of (plan, topology, t): no
+    // fault state lives in `EngineState`, so fingerprinting the plan is
+    // all that's needed for a bit-identical resume mid-fault-window —
+    // and a resume under *different* `--tree-fault-*` flags must be
+    // rejected here (checkpoint V5).
+    match &cfg.grid_fault {
+        Some(p) => {
+            e.u8(1);
+            e.u64(p.seed);
+            e.f64(p.ups_failure_prob);
+            e.f64(p.ats_derate_prob);
+            e.f64(p.ats_derate_frac);
+            e.f64(p.pdu_trip_prob);
+            e.f64(p.derate_prob);
+            e.f64(p.derate_floor);
+            e.f64(p.onset_secs);
+            e.f64(p.window_secs);
+            e.f64(p.repair_secs);
+        }
+        None => e.u8(0),
+    }
+    e.bool(cfg.grid_fencing_disabled);
     e.str(sim.trace.name());
     e.u64(u64::from(sim.trace.total_cores()));
     e.usize(sim.trace.len());
@@ -651,6 +673,14 @@ pub(crate) fn encode_state(state: &EngineState) -> Vec<u8> {
     e.usize(fed.rounds);
     e.usize(fed.infeasible_events);
     e.f64(fed.residual_watts);
+    e.usize(fed.grid_fault_slots);
+    e.usize(fed.fenced_nodes);
+    e.usize(fed.derated_nodes);
+    e.usize(fed.reassigned_jobs);
+    e.usize(fed.quarantined_jobs);
+    e.f64(fed.dead_cleared_watts);
+    e.f64(fed.derate_excess_watts);
+    e.usize(fed.post_repair_events);
     e.usize(fed.levels.len());
     for (name, lv) in &fed.levels {
         e.str(name);
@@ -659,6 +689,7 @@ pub(crate) fn encode_state(state: &EngineState) -> Vec<u8> {
         e.f64(lv.target_watts);
         e.f64(lv.cleared_watts);
         e.f64(lv.residual_watts);
+        e.usize(lv.escalations);
     }
 
     // Timeline.
@@ -891,6 +922,14 @@ pub(crate) fn decode_state(
     acc.federated.rounds = d.usize()?;
     acc.federated.infeasible_events = d.usize()?;
     acc.federated.residual_watts = d.f64()?;
+    acc.federated.grid_fault_slots = d.usize()?;
+    acc.federated.fenced_nodes = d.usize()?;
+    acc.federated.derated_nodes = d.usize()?;
+    acc.federated.reassigned_jobs = d.usize()?;
+    acc.federated.quarantined_jobs = d.usize()?;
+    acc.federated.dead_cleared_watts = d.f64()?;
+    acc.federated.derate_excess_watts = d.f64()?;
+    acc.federated.post_repair_events = d.usize()?;
     let n_levels = d.len()?;
     for _ in 0..n_levels {
         let name = d.string()?;
@@ -900,6 +939,7 @@ pub(crate) fn decode_state(
             target_watts: d.f64()?,
             cleared_watts: d.f64()?,
             residual_watts: d.f64()?,
+            escalations: d.usize()?,
         };
         acc.federated.levels.insert(name, level);
     }
@@ -1303,6 +1343,89 @@ mod tests {
         sim.run_with_checkpoints(&plan).expect("checkpointed run");
         let resumed = sim.resume(&path).expect("resume");
         assert_eq!(resumed, full, "federated state must round-trip exactly");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grid_fault_kill_and_resume_mid_window_is_bit_identical() {
+        // The fault schedule is a pure function of (plan, topology, t),
+        // so a checkpoint taken while a UPS is dark carries no fault
+        // state at all — the resumed run must still be bit-identical to
+        // the uninterrupted one, fences and all.
+        let trace = small_trace();
+        let spec = mpr_power::TopologySpec::parse(include_str!("../../../examples/tree.json"))
+            .expect("sample topology");
+        let plan = mpr_power::GridFaultPlan {
+            ups_failure_prob: 1.0,
+            window_secs: 0.0,
+            repair_secs: 100_000.0,
+            ..mpr_power::GridFaultPlan::default()
+        };
+        let cfg = SimConfig::new(Algorithm::MprStat, 15.0)
+            .with_topology(spec)
+            .with_grid_faults(plan);
+        let full = Simulation::new(&trace, cfg.clone()).run();
+        let fed = full.federated.as_ref().expect("federated stats");
+        assert!(
+            fed.fenced_nodes > 0,
+            "the always-on UPS failure must fence nodes during the run"
+        );
+        let path = tmp_ckpt("grid_fault_resume");
+        let sim = Simulation::new(&trace, cfg);
+        // 2000 slots × 60 s = 120 000 s: well inside the fault windows of
+        // a plan whose repairs land at ~150 000–250 000 s.
+        let plan_ck = CheckpointPlan::every(&path, 400).with_kill_at(2000);
+        sim.run_with_checkpoints(&plan_ck)
+            .expect("checkpointed run");
+        let resumed = sim.resume(&path).expect("resume");
+        assert_eq!(
+            resumed, full,
+            "resume mid-fault-window must be bit-identical"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_under_a_different_grid_fault_plan_is_rejected() {
+        let trace = small_trace();
+        let spec = mpr_power::TopologySpec::parse(include_str!("../../../examples/tree.json"))
+            .expect("sample topology");
+        let plan = mpr_power::GridFaultPlan::ups_outage(0.8);
+        let path = tmp_ckpt("grid-fault-mismatch");
+        let writer = Simulation::new(
+            &trace,
+            SimConfig::new(Algorithm::MprStat, 15.0)
+                .with_topology(spec.clone())
+                .with_grid_faults(plan),
+        );
+        let plan_ck = CheckpointPlan::every(&path, 400).with_kill_at(800);
+        writer
+            .run_with_checkpoints(&plan_ck)
+            .expect("checkpointed run");
+        // A different seed, a different fault mix, a fault-free run, and
+        // a fencing-disabled run all change what every overload event
+        // cleared — each must be refused at restore time.
+        let mut reseeded = plan;
+        reseeded.seed ^= 1;
+        let mut pdu = plan;
+        pdu.pdu_trip_prob = 0.5;
+        let base = || SimConfig::new(Algorithm::MprStat, 15.0).with_topology(spec.clone());
+        let readers = [
+            Simulation::new(&trace, base().with_grid_faults(reseeded)),
+            Simulation::new(&trace, base().with_grid_faults(pdu)),
+            Simulation::new(&trace, base()),
+            Simulation::new(
+                &trace,
+                base().with_grid_faults(plan).with_grid_fencing_disabled(),
+            ),
+        ];
+        for reader in &readers {
+            match reader.resume(&path) {
+                Err(CheckpointError::ConfigMismatch) => {}
+                other => panic!("expected ConfigMismatch, got {other:?}"),
+            }
+        }
+        assert!(writer.resume(&path).is_ok());
         let _ = fs::remove_file(&path);
     }
 

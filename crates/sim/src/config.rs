@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use mpr_apps::AppProfile;
 use mpr_power::telemetry::{EstimatorConfig, SensorFaultConfig};
-use mpr_power::{CapacityPolicy, PowerModel, TopologySpec};
+use mpr_power::{CapacityPolicy, GridFaultPlan, PowerModel, TopologySpec};
 
 /// The overload-handling algorithm under evaluation (Section IV-A,
 /// "Benchmark algorithms").
@@ -469,6 +469,20 @@ pub struct SimConfig {
     /// (one subtree market per oversubscribed node) instead of one flat
     /// market. Requires [`SimConfig::topology`]; ignored without it.
     pub federated: bool,
+    /// Infrastructure faults over the power tree: UPS failures, derated
+    /// ATS transfers, PDU breaker trips and gradual deratings with
+    /// scheduled repairs (see [`GridFaultPlan`]). The schedule is a pure
+    /// function of the plan and topology, so no fault state is
+    /// checkpointed — only the plan itself is folded into the checkpoint
+    /// fingerprint. Requires [`SimConfig::topology`]; ignored without it.
+    pub grid_fault: Option<GridFaultPlan>,
+    /// **Test-only.** Disables dead-subtree fencing in federated clearing:
+    /// faults still derate the system budget, but jobs stay assigned to
+    /// their (possibly dead) racks and the full healthy tree is cleared.
+    /// Exists so the chaos harness can plant a known fencing violation
+    /// and prove the grid-fencing oracle catches it; never set in
+    /// production configurations.
+    pub grid_fencing_disabled: bool,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -492,6 +506,8 @@ impl std::fmt::Debug for SimConfig {
             .field("scenario_space", &self.scenario_space)
             .field("topology", &self.topology.as_ref().map(|t| t.name.as_str()))
             .field("federated", &self.federated)
+            .field("grid_fault", &self.grid_fault)
+            .field("grid_fencing_disabled", &self.grid_fencing_disabled)
             .finish()
     }
 }
@@ -530,6 +546,8 @@ impl SimConfig {
             scenario_space: None,
             topology: None,
             federated: false,
+            grid_fault: None,
+            grid_fencing_disabled: false,
         }
     }
 
@@ -643,11 +661,37 @@ impl SimConfig {
         self
     }
 
+    /// Installs an infrastructure fault plan over the power tree (see
+    /// [`GridFaultPlan`]). Only consulted when a topology is present.
+    #[must_use]
+    pub fn with_grid_faults(mut self, plan: GridFaultPlan) -> Self {
+        self.grid_fault = Some(plan);
+        self
+    }
+
+    /// **Test-only.** Disables dead-subtree fencing (see
+    /// [`SimConfig::grid_fencing_disabled`]).
+    #[must_use]
+    pub fn with_grid_fencing_disabled(mut self) -> Self {
+        self.grid_fencing_disabled = true;
+        self
+    }
+
     /// `true` when overload events clear through the hierarchical
     /// federated market (both the flag and a topology are present).
     #[must_use]
     pub fn is_federated(&self) -> bool {
         self.federated && self.topology.is_some()
+    }
+
+    /// The grid-fault plan in force: present, active, and backed by a
+    /// federated topology to act on.
+    #[must_use]
+    pub fn active_grid_fault(&self) -> Option<GridFaultPlan> {
+        match self.grid_fault {
+            Some(plan) if plan.is_active() && self.is_federated() => Some(plan),
+            _ => None,
+        }
     }
 }
 
@@ -742,6 +786,38 @@ mod tests {
         let tel = c.telemetry.expect("telemetry installed");
         assert_eq!(tel.sensor, sensor);
         assert_eq!(tel.estimator, EstimatorConfig::default());
+    }
+
+    #[test]
+    fn grid_fault_builder_requires_a_topology_to_act() {
+        let plan = GridFaultPlan::ups_outage(0.5);
+        let c = SimConfig::new(Algorithm::MprStat, 15.0).with_grid_faults(plan);
+        assert_eq!(c.grid_fault, Some(plan));
+        assert!(
+            c.active_grid_fault().is_none(),
+            "without a topology the plan has nothing to act on"
+        );
+        let spec = TopologySpec::parse(
+            r#"{"name": "t", "nodes": [
+              {"name": "a", "kind": "ats", "capacity_w": 4.0, "parent": null},
+              {"name": "u", "kind": "ups", "capacity_w": 2.0, "parent": 0},
+              {"name": "p", "kind": "pdu", "capacity_w": 2.0, "parent": 1},
+              {"name": "r", "kind": "rack", "capacity_w": 2.0, "parent": 2}
+            ]}"#,
+        )
+        .unwrap();
+        let c = c.with_topology(spec);
+        assert_eq!(c.active_grid_fault(), Some(plan));
+        // An all-zero plan is inert even with a topology.
+        let inert =
+            SimConfig::new(Algorithm::MprStat, 15.0).with_grid_faults(GridFaultPlan::default());
+        assert!(inert.active_grid_fault().is_none());
+        assert!(!SimConfig::new(Algorithm::MprStat, 15.0).grid_fencing_disabled);
+        assert!(
+            SimConfig::new(Algorithm::MprStat, 15.0)
+                .with_grid_fencing_disabled()
+                .grid_fencing_disabled
+        );
     }
 
     #[test]

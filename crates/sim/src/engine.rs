@@ -25,7 +25,7 @@ use mpr_core::{
 use mpr_power::telemetry::{FaultySensor, PowerSensor, RobustEstimator};
 use mpr_power::{
     EmergencyAction, EmergencyConfig, EmergencyController, HierarchicalMarket, Oversubscription,
-    TopologySpec,
+    TopologySpec, TopologyState,
 };
 use mpr_workload::Trace;
 use rand::{Rng, SeedableRng};
@@ -401,6 +401,22 @@ impl<'a> Simulation<'a> {
         let capacity_now = cfg.capacity_policy.as_ref().map_or(setup.capacity_w, |p| {
             p.capacity_at(t).get().min(setup.capacity_w)
         });
+        // Infrastructure faults shrink the usable tree: derate the flat
+        // budget by the faulted min-cut fraction. The state is a pure
+        // function of (plan, topology, t) — exactly 1.0 while healthy, so
+        // fault-free slots (and whole fault-free runs) stay bit-identical.
+        let capacity_now = match (cfg.active_grid_fault(), cfg.topology.as_ref()) {
+            (Some(plan), Some(spec)) => {
+                let grid = plan.state_at(spec, t);
+                if grid.is_healthy() {
+                    capacity_now
+                } else {
+                    state.acc.federated.grid_fault_slots += 1;
+                    capacity_now * grid.capacity_frac()
+                }
+            }
+            _ => capacity_now,
+        };
         state.controller.set_capacity(Watts::new(capacity_now));
         let in_emergency = state.controller.phase().is_active();
 
@@ -497,7 +513,7 @@ impl<'a> Simulation<'a> {
                 let quarantined_before = state.acc.degradation.participants_quarantined;
                 let target = state.controller.active_target().get();
                 let (delivered, degraded) =
-                    self.apply_algorithm(&mut state.active, target, &mut state.acc);
+                    self.apply_algorithm(&mut state.active, target, t, &mut state.acc);
                 state.controller.record_delivered(Watts::new(delivered));
                 if degraded {
                     state.controller.mark_degraded();
@@ -813,6 +829,7 @@ impl<'a> Simulation<'a> {
         &self,
         active: &mut [ActiveJob],
         target_w: f64,
+        t_secs: f64,
         acc: &mut Accounting,
     ) -> (f64, bool) {
         if active.is_empty() || target_w <= 0.0 {
@@ -830,7 +847,7 @@ impl<'a> Simulation<'a> {
         }
         if self.config.is_federated() {
             if let Some(spec) = self.config.topology.clone() {
-                return self.apply_federated(active, target_w, acc, &spec);
+                return self.apply_federated(active, target_w, t_secs, acc, &spec);
             }
         }
         let instance = self.build_instance(active);
@@ -898,10 +915,21 @@ impl<'a> Simulation<'a> {
     /// runs its own subtree market (same mechanism as the flat path). The
     /// merged clearing maps back onto the jobs exactly as a flat clearing
     /// would; per-level accounting lands in [`FederatedStats`].
+    ///
+    /// Under an active [`GridFaultPlan`](mpr_power::GridFaultPlan) the
+    /// event clears against the faulted [`TopologyState`] instead of the
+    /// raw spec: dead subtrees are fenced out of the hierarchy, their jobs
+    /// reassigned to the nearest surviving sibling rack (quarantined when
+    /// nothing survives), and surviving nodes clear at derated
+    /// capacities. Once every fault is repaired the state is bit-identical
+    /// to healthy, so post-repair clearing matches the never-faulted run
+    /// exactly — the invariant the grid-repair chaos oracle checks.
+    #[allow(clippy::too_many_lines)]
     fn apply_federated(
         &self,
         active: &mut [ActiveJob],
         target_w: f64,
+        t_secs: f64,
         acc: &mut Accounting,
         spec: &TopologySpec,
     ) -> (f64, bool) {
@@ -912,6 +940,25 @@ impl<'a> Simulation<'a> {
         };
         if instance.is_empty() {
             return (0.0, false);
+        }
+        // Infrastructure state at this instant — a pure function of
+        // (plan, topology, t), healthy when no plan is active.
+        let grid_plan = self.config.active_grid_fault();
+        let grid = grid_plan.as_ref().map_or_else(
+            || TopologyState::healthy(spec),
+            |plan| plan.state_at(spec, t_secs),
+        );
+        let faulted = !grid.is_healthy();
+        let fencing = faulted && !self.config.grid_fencing_disabled;
+        if faulted {
+            acc.federated.fenced_nodes += grid.dead_count();
+            acc.federated.derated_nodes += grid.derated_count();
+        }
+        if let Some(plan) = grid_plan {
+            let last = plan.last_repair_secs(spec);
+            if last.is_finite() && t_secs >= last {
+                acc.federated.post_repair_events += 1;
+            }
         }
         // Full-speed demand of each active job, by market id.
         let static_w = self.config.power_model.static_w_per_core();
@@ -925,32 +972,79 @@ impl<'a> Simulation<'a> {
             })
             .collect();
         // Deterministic job → rack placement: stable across slots and
-        // resume, independent of arrival order.
+        // resume, independent of arrival order. A job whose home rack is
+        // fenced fails over to the nearest surviving sibling (same PDU
+        // first, then the same UPS, widening to the whole tree).
         let mut assignment = Vec::with_capacity(instance.len());
         let mut rack_load: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut quarantined = 0usize;
         for id in instance.ids() {
-            let rack = rack_ids
+            let home = rack_ids
                 .get((*id as usize) % rack_ids.len())
                 .copied()
                 .unwrap_or(first_rack);
+            let rack = if fencing && !grid.alive(home) {
+                match grid.reassign_rack(home) {
+                    Some(r) => {
+                        acc.federated.reassigned_jobs += 1;
+                        r
+                    }
+                    None => {
+                        quarantined += 1;
+                        home
+                    }
+                }
+            } else {
+                home
+            };
             assignment.push(rack);
             *rack_load.entry(rack).or_insert(0.0) += demand_by_id.get(id).copied().unwrap_or(0.0);
+        }
+        if quarantined > 0 {
+            // Reassignment only fails when no rack anywhere survives: the
+            // tree is dark, no market can run. Reductions stand and the
+            // shortfall surfaces as an unmet emergency.
+            acc.federated.quarantined_jobs += quarantined;
+            return (0.0, false);
         }
         let total_load: f64 = rack_load.values().sum();
         // Scale every capacity so the root's deficit equals the
         // controller's target (floored at a sliver of the load so a
         // target exceeding the whole demand still yields a valid tree).
+        // The root's *derated* capacity anchors the scale, so inner
+        // constraints keep their spec-relative proportions under faults.
         let root_cap_w = (total_load - target_w).max(total_load * 1e-3).max(1e-6);
-        let scale = root_cap_w / spec.root_capacity().get();
-        let Ok(mut hierarchy) = spec.to_hierarchy_scaled(scale) else {
+        let root_spec_cap = grid.derated_capacity(0).get();
+        if root_spec_cap <= 0.0 {
+            return (0.0, false);
+        }
+        let scale = root_cap_w / root_spec_cap;
+        // The fencing path prunes dead subtrees and derates survivors; on
+        // a healthy state it is bit-identical to the plain spec build
+        // with an identity map.
+        let built = if self.config.grid_fencing_disabled {
+            spec.to_hierarchy_scaled(scale)
+                .map(|h| (h, (0..spec.nodes.len()).map(Some).collect::<Vec<_>>()))
+        } else {
+            grid.to_hierarchy_scaled(scale)
+        };
+        let Ok((mut hierarchy, map)) = built else {
             return (0.0, false);
         };
         for (rack, load) in &rack_load {
-            if hierarchy.set_load(*rack, Watts::new(*load)).is_err() {
+            let Some(&Some(mapped)) = map.get(*rack) else {
+                return (0.0, false);
+            };
+            if hierarchy.set_load(mapped, Watts::new(*load)).is_err() {
                 return (0.0, false);
             }
         }
-        let Ok(market) = HierarchicalMarket::new(&hierarchy, assignment) else {
+        // Assignment in hierarchy ids (identity while healthy).
+        let hier_assignment: Vec<usize> = assignment
+            .iter()
+            .map(|r| map.get(*r).copied().flatten().unwrap_or(*r))
+            .collect();
+        let Ok(market) = HierarchicalMarket::new(&hierarchy, hier_assignment.clone()) else {
             return (0.0, false);
         };
         let outcome =
@@ -961,7 +1055,66 @@ impl<'a> Simulation<'a> {
                 Err(_) => return (0.0, false),
             };
         acc.federated.absorb(&outcome);
+        if grid_plan.is_some() {
+            self.audit_grid_invariants(
+                acc,
+                &grid,
+                &assignment,
+                &hier_assignment,
+                &hierarchy,
+                &instance,
+                &outcome,
+            );
+        }
         self.apply_clearing(active, &instance, &outcome.clearing, acc)
+    }
+
+    /// Post-clear audit of the grid-fault safety invariants, recorded in
+    /// [`FederatedStats`] for the chaos oracles: (1) watts cleared through
+    /// rows still assigned to dead racks (must be zero under fencing), and
+    /// (2) the worst excess of any node's post-clear load over its derated
+    /// capacity beyond its reported residual (must be ~zero always).
+    #[allow(clippy::too_many_arguments)]
+    fn audit_grid_invariants(
+        &self,
+        acc: &mut Accounting,
+        grid: &mpr_power::TopologyState<'_>,
+        assignment: &[usize],
+        hier_assignment: &[usize],
+        hierarchy: &mpr_power::PowerHierarchy,
+        instance: &MarketInstance,
+        outcome: &mpr_power::FederatedOutcome,
+    ) {
+        let wpu = instance.watts_per_unit_slice();
+        let reductions = outcome.clearing.reductions();
+        let dead_w: f64 = assignment
+            .iter()
+            .zip(reductions)
+            .zip(wpu)
+            .filter(|((rack, _), _)| !grid.alive(**rack))
+            .map(|((_, r), w)| r * w)
+            .sum();
+        acc.federated.dead_cleared_watts += dead_w;
+        for node in 0..hierarchy.len() {
+            let racks = hierarchy.leaf_racks(node);
+            let shed: f64 = hier_assignment
+                .iter()
+                .zip(reductions)
+                .zip(wpu)
+                .filter(|((rack, _), _)| racks.binary_search(rack).is_ok())
+                .map(|((_, r), w)| r * w)
+                .sum();
+            let post = hierarchy.load_at(node).get() - shed;
+            let residual = outcome
+                .levels
+                .iter()
+                .find(|l| l.id == node)
+                .map_or(0.0, |l| l.residual.get());
+            let excess = post - hierarchy.capacity_of(node).get() - residual;
+            if excess > acc.federated.derate_excess_watts {
+                acc.federated.derate_excess_watts = excess;
+            }
+        }
     }
 
     /// MPR-INT under fault injection: wraps each participating agent in its

@@ -93,6 +93,14 @@ impl PartitionedReport {
             acc.rounds += fed.rounds;
             acc.residual_watts += fed.residual_watts;
             acc.infeasible_events += fed.infeasible_events;
+            acc.grid_fault_slots += fed.grid_fault_slots;
+            acc.fenced_nodes += fed.fenced_nodes;
+            acc.derated_nodes += fed.derated_nodes;
+            acc.reassigned_jobs += fed.reassigned_jobs;
+            acc.quarantined_jobs += fed.quarantined_jobs;
+            acc.dead_cleared_watts += fed.dead_cleared_watts;
+            acc.derate_excess_watts = acc.derate_excess_watts.max(fed.derate_excess_watts);
+            acc.post_repair_events += fed.post_repair_events;
             for (name, lv) in &fed.levels {
                 let entry = acc.levels.entry(name.clone()).or_default();
                 entry.depth = lv.depth;
@@ -100,6 +108,7 @@ impl PartitionedReport {
                 entry.target_watts += lv.target_watts;
                 entry.cleared_watts += lv.cleared_watts;
                 entry.residual_watts += lv.residual_watts;
+                entry.escalations += lv.escalations;
             }
         }
         merged

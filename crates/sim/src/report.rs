@@ -278,6 +278,9 @@ pub struct FederatedLevelStats {
     pub cleared_watts: f64,
     /// Summed residual deficit left at this node after each sweep, W.
     pub residual_watts: f64,
+    /// Sweeps where this node's markets could not shed its full deficit
+    /// and the residual escalated to the node's emergency path.
+    pub escalations: usize,
 }
 
 /// Federated-market totals, present when the run cleared overload events
@@ -297,6 +300,30 @@ pub struct FederatedStats {
     pub residual_watts: f64,
     /// Events whose sweep ended with the tree still infeasible.
     pub infeasible_events: usize,
+    /// Slots during which at least one infrastructure fault was in force
+    /// over the power tree (grid-fault plans only).
+    pub grid_fault_slots: usize,
+    /// Cumulative dead (fenced) nodes observed across federated events.
+    pub fenced_nodes: usize,
+    /// Cumulative derated-but-alive nodes observed across federated
+    /// events.
+    pub derated_nodes: usize,
+    /// Jobs moved off a dead rack to a surviving sibling, cumulative.
+    pub reassigned_jobs: usize,
+    /// Jobs stranded with no surviving rack anywhere, cumulative.
+    pub quarantined_jobs: usize,
+    /// Power cleared through rows assigned to dead racks, W. The
+    /// grid-fencing chaos oracle requires this to stay exactly zero —
+    /// any positive value means power was routed through a dead node.
+    pub dead_cleared_watts: f64,
+    /// Worst observed excess of a node's post-clear load over its derated
+    /// capacity *beyond* its reported residual, W. The derate chaos
+    /// oracle requires this to stay within tolerance — residuals account
+    /// every exceedance, nothing is silently over capacity.
+    pub derate_excess_watts: f64,
+    /// Federated events cleared after the last scheduled repair — the
+    /// post-repair window the bit-exactness oracle scrutinizes.
+    pub post_repair_events: usize,
     /// Per-node accounting, keyed by node name, ordered by name.
     pub levels: BTreeMap<String, FederatedLevelStats>,
 }
@@ -318,6 +345,7 @@ impl FederatedStats {
             entry.target_watts += level.target.get();
             entry.cleared_watts += level.cleared.get();
             entry.residual_watts += level.residual.get();
+            entry.escalations += usize::from(level.escalated);
         }
     }
 }
